@@ -1,0 +1,167 @@
+// Safe-to-process validation (paper §III.A):
+//
+//   "when a reactor receives a message with tag t from the network, it
+//    has to schedule an action with tag t+D+L+E ... The physical time
+//    delay enforced by the scheduler ensures that no message with a
+//    timestamp smaller than t is still expected to arrive."
+//
+// Sweeps the *assumed* latency bound L against a fixed actual latency
+// distribution and prints the rate of tardy messages (messages whose
+// safe-to-process tag had already passed on arrival). Expected shape:
+// zero tardiness once L covers the actual worst-case latency; growing
+// tardy rate (all observable, never silent reordering) as L shrinks
+// below it.
+//
+// Environment knob: DEAR_STP_EVENTS (default 2000 events per point).
+#include <cstdio>
+
+#include "ara/event.hpp"
+#include "ara/runtime.hpp"
+#include "ara/skeleton.hpp"
+#include "ara/proxy.hpp"
+#include "common/flags.hpp"
+#include "dear/dear.hpp"
+#include "net/sim_network.hpp"
+#include "sim/sim_executor.hpp"
+
+namespace {
+
+using namespace dear;
+using namespace dear::literals;
+
+constexpr someip::ServiceId kService = 0x0C0C;
+constexpr someip::EventId kEvent = 0x8001;
+
+class Skeleton : public ara::ServiceSkeleton {
+ public:
+  explicit Skeleton(ara::Runtime& rt) : ServiceSkeleton(rt, {kService, 1}) {}
+  ara::SkeletonEvent<std::int64_t> data{*this, kEvent};
+};
+
+class Proxy : public ara::ServiceProxy {
+ public:
+  Proxy(ara::Runtime& rt, net::Endpoint server) : ServiceProxy(rt, {kService, 1}, server) {}
+  ara::ProxyEvent<std::int64_t> data{*this, kEvent};
+};
+
+class Producer final : public reactor::Reactor {
+ public:
+  reactor::Output<std::int64_t> out{"out", this};
+  Producer(reactor::Environment& env, Duration period, std::int64_t limit)
+      : Reactor("producer", env), timer_("t", this, period) {
+    add_reaction("emit",
+                 [this, limit] {
+                   if (next_ < limit) {
+                     out.set(next_++);
+                   }
+                 })
+        .triggered_by(timer_)
+        .writes(out);
+  }
+
+ private:
+  reactor::Timer timer_;
+  std::int64_t next_{0};
+};
+
+class Consumer final : public reactor::Reactor {
+ public:
+  reactor::Input<std::int64_t> in{"in", this};
+  std::uint64_t received{0};
+  bool in_order{true};
+  explicit Consumer(reactor::Environment& env) : Reactor("consumer", env) {
+    add_reaction("record",
+                 [this] {
+                   if (in.get() <= last_) {
+                     in_order = false;
+                   }
+                   last_ = in.get();
+                   ++received;
+                 })
+        .triggered_by(in);
+  }
+
+ private:
+  std::int64_t last_{-1};
+};
+
+struct Point {
+  std::uint64_t delivered;
+  std::uint64_t tardy;
+  bool in_order;
+};
+
+Point run_point(Duration assumed_bound, Duration actual_max, std::int64_t events,
+                std::uint64_t seed) {
+  common::Rng rng(seed);
+  sim::Kernel kernel;
+  net::SimNetwork network(kernel, rng.stream("net"));
+  net::LinkParams link;
+  link.latency = sim::ExecTimeModel::uniform(actual_max / 10, actual_max);
+  network.set_default_link(link);
+  someip::ServiceDiscovery discovery;
+  sim::SimExecutor executor(kernel, rng.stream("exec"));
+  ara::Runtime server_rt(network, discovery, executor, {1, 100}, 0x01);
+  ara::Runtime client_rt(network, discovery, executor, {2, 200}, 0x02);
+  Skeleton skeleton(server_rt);
+  skeleton.OfferService();
+  Proxy proxy(client_rt, *client_rt.resolve({kService, 1}));
+
+  reactor::SimClock clock(kernel);
+  reactor::Environment::Config env_config;
+  env_config.keepalive = true;
+  reactor::Environment server_env(clock, env_config);
+  reactor::Environment client_env(clock, env_config);
+
+  transact::TransactorConfig config;
+  config.deadline = 1_ms;
+  config.latency_bound = assumed_bound;
+  Producer producer(server_env, 5_ms, events);
+  transact::ServerEventTransactor<std::int64_t> server_tx("server_tx", server_env, skeleton.data,
+                                                          server_rt.binding(), config);
+  server_env.connect(producer.out, server_tx.in);
+  Consumer consumer(client_env);
+  transact::ClientEventTransactor<std::int64_t> client_tx("client_tx", client_env, proxy.data,
+                                                          client_rt.binding(), config);
+  client_env.connect(client_tx.out, consumer.in);
+
+  kernel.run_until(100_ms);  // settle subscription
+  reactor::SimDriver server_driver(server_env, kernel, rng.stream("sd"));
+  reactor::SimDriver client_driver(client_env, kernel, rng.stream("cd"));
+  server_driver.start();
+  client_driver.start();
+  kernel.run_until(100_ms + (events + 100) * 5_ms);
+  return Point{consumer.received, client_tx.tardy_messages(), consumer.in_order};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const common::Flags flags(argc, argv);
+  const auto events = static_cast<std::int64_t>(
+      flags.get_int("events", common::env_int("DEAR_STP_EVENTS", 2000)));
+  const Duration actual_max = 10_ms;
+
+  std::printf("=====================================================================\n");
+  std::printf("Safe-to-process sweep: assumed latency bound L vs actual latency\n");
+  std::printf("(actual latency uniform in [1, 10] ms; %lld events per point)\n",
+              static_cast<long long>(events));
+  std::printf("=====================================================================\n\n");
+  std::printf("  %-10s %12s %12s %10s %10s\n", "assumed L", "delivered", "tardy", "tardy(%)",
+              "in-order");
+
+  for (const Duration bound : {1_ms, 2_ms, 3_ms, 5_ms, 8_ms, 10_ms, 15_ms, 20_ms}) {
+    const Point point = run_point(bound, actual_max, events, 42);
+    std::printf("  %-10s %12llu %12llu %10.3f %10s\n", format_duration(bound).c_str(),
+                static_cast<unsigned long long>(point.delivered),
+                static_cast<unsigned long long>(point.tardy),
+                100.0 * static_cast<double>(point.tardy) / static_cast<double>(events),
+                point.in_order ? "yes" : "NO");
+  }
+  std::printf("\n  expected: the tardy rate falls monotonically as L grows and reaches\n");
+  std::printf("  zero at or before the actual worst case (10 ms) — the receiver's\n");
+  std::printf("  logical time lags physical time, which grants extra slack — and\n");
+  std::printf("  delivered messages stay in tag order at every point (violations are\n");
+  std::printf("  observable errors, never silent reordering).\n");
+  return 0;
+}

@@ -1,0 +1,165 @@
+// Fields and gradual migration.
+//
+// Part 1: plain ara::com field usage — a legacy cruise-control server
+// exposes a `target_speed` field (get method, set method, update event)
+// and a legacy client gets/sets/subscribes.
+//
+// Part 2: a DEAR reactor client talks to the *same legacy server* through
+// a client field transactor bundle. The legacy server knows nothing about
+// tags, so its responses arrive untagged; with UntaggedPolicy::kPhysicalTime
+// the transactors treat them like sporadic sensor inputs — "backward
+// compatibility with existing service implementations and the ability to
+// gradually introduce reactor-based SWCs" (paper §III.B).
+//
+// Everything runs on the DES kernel (deterministic, seeded).
+#include <cstdio>
+
+#include "ara/field.hpp"
+#include "ara/runtime.hpp"
+#include "dear/dear.hpp"
+#include "net/sim_network.hpp"
+#include "sim/sim_executor.hpp"
+
+using namespace dear;
+using namespace dear::literals;
+
+namespace {
+
+constexpr someip::ServiceId kCruiseService = 0x3001;
+constexpr someip::InstanceId kCruiseInstance = 1;
+constexpr ara::FieldIds kSpeedField{0x0010, 0x0011, 0x8010};
+
+constexpr net::Endpoint kServerEp{1, 30};
+constexpr net::Endpoint kLegacyClientEp{2, 31};
+constexpr net::Endpoint kDearClientEp{2, 32};
+
+/// Legacy server: state lives in the SkeletonField, no reactors involved.
+class CruiseSkeleton : public ara::ServiceSkeleton {
+ public:
+  explicit CruiseSkeleton(ara::Runtime& runtime)
+      : ServiceSkeleton(runtime, {kCruiseService, kCruiseInstance}) {}
+
+  ara::SkeletonField<double> target_speed{*this, kSpeedField};
+};
+
+class CruiseProxy : public ara::ServiceProxy {
+ public:
+  CruiseProxy(ara::Runtime& runtime, net::Endpoint server)
+      : ServiceProxy(runtime, {kCruiseService, kCruiseInstance}, server) {}
+
+  ara::ProxyField<double> target_speed{*this, kSpeedField};
+};
+
+/// Raw field pieces for the DEAR client (the transactors need the plain
+/// proxy methods/event rather than the ProxyField wrapper).
+class CruiseRawProxy : public ara::ServiceProxy {
+ public:
+  CruiseRawProxy(ara::Runtime& runtime, net::Endpoint server)
+      : ServiceProxy(runtime, {kCruiseService, kCruiseInstance}, server) {}
+
+  transact::FieldClientParts<double> speed{*this, kSpeedField};
+};
+
+/// The DEAR monitor: periodically polls the field and reacts to updates,
+/// all in deterministic tag order.
+class Monitor final : public reactor::Reactor {
+ public:
+  reactor::Output<reactor::Empty> poll_out{"poll_out", this};
+  reactor::Input<double> speed_in{"speed_in", this};
+  reactor::Input<double> update_in{"update_in", this};
+
+  explicit Monitor(reactor::Environment& env) : Reactor("monitor", env) {
+    add_reaction("poll", [this] { poll_out.set(reactor::Empty{}); })
+        .triggered_by(timer_)
+        .writes(poll_out);
+    add_reaction("on_poll_result",
+                 [this] {
+                   std::printf("  [monitor] t=%-9s polled target_speed = %.1f km/h\n",
+                               format_duration(elapsed_logical_time()).c_str(), speed_in.get());
+                 })
+        .triggered_by(speed_in);
+    add_reaction("on_update",
+                 [this] {
+                   std::printf("  [monitor] t=%-9s update notification  = %.1f km/h\n",
+                               format_duration(elapsed_logical_time()).c_str(), update_in.get());
+                 })
+        .triggered_by(update_in);
+  }
+
+ private:
+  reactor::Timer timer_{"poll_timer", this, 20_ms, 5_ms};
+};
+
+}  // namespace
+
+int main() {
+  common::Rng rng(42);
+  sim::Kernel kernel;
+  net::SimNetwork network(kernel, rng.stream("net"));
+  someip::ServiceDiscovery discovery;
+  sim::SimExecutor executor(kernel, rng.stream("dispatch"));
+
+  // --- the legacy server -------------------------------------------------------
+  ara::Runtime server_rt(network, discovery, executor, kServerEp, 0x51);
+  CruiseSkeleton server(server_rt);
+  server.target_speed.set_set_filter([](const double& requested) {
+    return requested < 0.0 ? 0.0 : (requested > 130.0 ? 130.0 : requested);
+  });
+  server.target_speed.Update(100.0);
+  server.OfferService();
+
+  // --- part 1: legacy client ----------------------------------------------------
+  std::printf("== Part 1: legacy ara::com client ==\n");
+  ara::Runtime legacy_rt(network, discovery, executor, kLegacyClientEp, 0x52);
+  CruiseProxy legacy(legacy_rt, *legacy_rt.resolve({kCruiseService, kCruiseInstance}));
+  legacy.target_speed.notifier().SetReceiveHandler([](const double& value) {
+    std::printf("  [legacy]  update notification = %.1f km/h\n", value);
+  });
+  legacy.target_speed.notifier().Subscribe();
+
+  auto get_future = legacy.target_speed.Get();
+  get_future.then([](const ara::Result<double>& result) {
+    std::printf("  [legacy]  Get() -> %.1f km/h\n", result.value_or(-1.0));
+  });
+  auto set_future = legacy.target_speed.Set(150.0);  // gets clamped to 130
+  set_future.then([](const ara::Result<double>& result) {
+    std::printf("  [legacy]  Set(150.0) adopted -> %.1f km/h (server clamped)\n",
+                result.value_or(-1.0));
+  });
+  kernel.run();
+
+  // --- part 2: DEAR reactor client against the unchanged legacy server ------------
+  std::printf("\n== Part 2: DEAR monitor with UntaggedPolicy::kPhysicalTime ==\n");
+  ara::Runtime dear_rt(network, discovery, executor, kDearClientEp, 0x53);
+  CruiseRawProxy raw(dear_rt, *dear_rt.resolve({kCruiseService, kCruiseInstance}));
+
+  reactor::SimClock clock(kernel);
+  reactor::Environment::Config env_config;
+  env_config.keepalive = true;
+  env_config.timeout = 100_ms;
+  reactor::Environment env(clock, env_config);
+
+  Monitor monitor(env);
+  transact::TransactorConfig tc;
+  tc.deadline = 2_ms;
+  tc.latency_bound = 5_ms;
+  tc.untagged = transact::UntaggedPolicy::kPhysicalTime;  // legacy peer!
+  transact::ClientFieldTransactor<double> field("speed_field", env, raw.speed, dear_rt.binding(),
+                                                tc);
+  env.connect(monitor.poll_out, field.get.request);
+  env.connect(field.get.response, monitor.speed_in);
+  env.connect(field.notify.out, monitor.update_in);
+
+  reactor::SimDriver driver(env, kernel, rng.stream("cost"));
+  driver.start();
+
+  // Someone changes the set-point mid-run (a legacy write).
+  kernel.schedule_after(50_ms, [&] { server.target_speed.Update(80.0); });
+
+  kernel.run();
+
+  std::printf("\nuntagged messages handled by the DEAR client: %llu (policy: physical time)\n",
+              static_cast<unsigned long long>(field.get.untagged_messages() +
+                                              field.notify.untagged_messages()));
+  return 0;
+}

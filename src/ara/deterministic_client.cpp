@@ -1,0 +1,39 @@
+#include "ara/deterministic_client.hpp"
+
+namespace dear::ara {
+
+DeterministicClient::DeterministicClient(Config config) : config_(config) {}
+
+ActivationReturnType DeterministicClient::WaitForActivation(TimePoint activation_time) {
+  activation_time_ = activation_time;
+  switch (phase_) {
+    case Phase::kStartup0:
+      phase_ = Phase::kStartup1;
+      return ActivationReturnType::kRegisterServices;
+    case Phase::kStartup1:
+      phase_ = Phase::kStartup2;
+      return ActivationReturnType::kServiceDiscovery;
+    case Phase::kStartup2:
+      phase_ = Phase::kRunning;
+      return ActivationReturnType::kInit;
+    case Phase::kRunning:
+      break;
+    case Phase::kDone:
+      return ActivationReturnType::kTerminate;
+  }
+  if (terminate_requested_) {
+    phase_ = Phase::kDone;
+    return ActivationReturnType::kTerminate;
+  }
+  ++cycle_;
+  // Deterministic per-cycle random stream: depends only on seed and cycle
+  // index, never on timing.
+  std::uint64_t mix = config_.seed;
+  mix ^= 0x9e3779b97f4a7c15ULL * cycle_;
+  cycle_rng_.reseed(common::splitmix64(mix));
+  return ActivationReturnType::kRun;
+}
+
+std::uint64_t DeterministicClient::GetRandom() { return cycle_rng_(); }
+
+}  // namespace dear::ara

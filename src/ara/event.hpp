@@ -1,0 +1,110 @@
+// Typed service events.
+//
+// "Events are one-way messages that the server initiates and the client
+// handles" (paper §II.A). SkeletonEvent::Send serializes the sample and
+// notifies every subscriber; ProxyEvent delivers decoded samples to the
+// registered receive handler on the binding's receive path.
+#pragma once
+
+#include <functional>
+#include <utility>
+
+#include "ara/proxy.hpp"
+#include "ara/skeleton.hpp"
+#include "someip/serialization.hpp"
+
+namespace dear::ara {
+
+template <typename T>
+class SkeletonEvent {
+ public:
+  SkeletonEvent(ServiceSkeleton& skeleton, someip::EventId event)
+      : skeleton_(skeleton), event_(event) {}
+
+  /// Sends one sample to all current subscribers.
+  void Send(const T& sample) {
+    skeleton_.runtime().binding().notify(skeleton_.instance().service, event_,
+                                         someip::encode_payload(sample));
+  }
+
+  [[nodiscard]] std::size_t subscriber_count() const {
+    return skeleton_.runtime().binding().subscriber_count(skeleton_.instance().service, event_);
+  }
+
+  [[nodiscard]] someip::EventId id() const noexcept { return event_; }
+
+ private:
+  ServiceSkeleton& skeleton_;
+  someip::EventId event_;
+};
+
+template <typename T>
+class ProxyEvent {
+ public:
+  using ReceiveHandler = std::function<void(const T&)>;
+
+  ProxyEvent(ServiceProxy& proxy, someip::EventId event) : proxy_(proxy), event_(event) {}
+
+  ~ProxyEvent() {
+    if (subscribed_) {
+      Unsubscribe();
+    }
+  }
+
+  /// Registers the handler invoked for every incoming sample. Must be set
+  /// before Subscribe(). The handler is dispatched onto the runtime's
+  /// dispatcher (as ara::com event receive handlers are), so its
+  /// invocation time — and the relative order of handlers for different
+  /// events — is up to the scheduler.
+  void SetReceiveHandler(ReceiveHandler handler) {
+    handler_ = std::move(handler);
+    immediate_ = false;
+  }
+
+  /// Registers a handler that runs synchronously on the binding's receive
+  /// path. Needed by the DEAR client event transactor, which must observe
+  /// the timestamp bypass while the notification is current (paper
+  /// Figure 3). The handler must be cheap and thread-safe.
+  void SetImmediateReceiveHandler(ReceiveHandler handler) {
+    handler_ = std::move(handler);
+    immediate_ = true;
+  }
+
+  void Subscribe() {
+    subscribed_ = true;
+    proxy_.runtime().binding().subscribe(
+        proxy_.server(), proxy_.instance().service, event_,
+        [this](const someip::Message& message) {
+          T sample{};
+          if (!someip::decode_payload(message.payload, sample)) {
+            return;  // malformed notification; drop
+          }
+          if (!handler_) {
+            return;
+          }
+          if (immediate_) {
+            handler_(sample);
+          } else {
+            proxy_.runtime().dispatcher().post(
+                [this, sample = std::move(sample)] { handler_(sample); });
+          }
+        });
+  }
+
+  void Unsubscribe() {
+    subscribed_ = false;
+    proxy_.runtime().binding().unsubscribe(proxy_.server(), proxy_.instance().service, event_);
+  }
+
+  [[nodiscard]] bool subscribed() const noexcept { return subscribed_; }
+  [[nodiscard]] someip::EventId id() const noexcept { return event_; }
+
+ private:
+  ServiceProxy& proxy_;
+  someip::EventId event_;
+  ReceiveHandler handler_;
+  bool subscribed_{false};
+  bool immediate_{false};
+};
+
+}  // namespace dear::ara

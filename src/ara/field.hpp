@@ -1,0 +1,100 @@
+// Typed service fields.
+//
+// "Fields are state variables exposed by the server. Each field may provide
+// a get method, a set method and an event that indicates state changes"
+// (paper §II.A). A field therefore occupies two method ids and one event
+// id; the DEAR field transactor bundle mirrors this composition with two
+// method transactors and one event transactor (paper §III.B).
+#pragma once
+
+#include <mutex>
+#include <optional>
+
+#include "ara/event.hpp"
+#include "ara/method.hpp"
+
+namespace dear::ara {
+
+/// Ids used by a field: get/set are plain methods, notify is an event.
+struct FieldIds {
+  someip::MethodId get;
+  someip::MethodId set;
+  someip::EventId notify;
+};
+
+template <typename T>
+class SkeletonField {
+ public:
+  SkeletonField(ServiceSkeleton& skeleton, FieldIds ids)
+      : get_method_(skeleton, ids.get), set_method_(skeleton, ids.set),
+        notifier_(skeleton, ids.notify) {
+    get_method_.set_handler([this]() -> Future<T> {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      Promise<T> promise;
+      if (value_.has_value()) {
+        promise.set_value(*value_);
+      } else {
+        promise.SetError(ComErrc::kFieldValueNotSet);
+      }
+      return promise.get_future();
+    });
+    set_method_.set_handler([this](const T& requested) -> Future<T> {
+      T accepted = set_filter_ ? set_filter_(requested) : requested;
+      {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        value_ = accepted;
+      }
+      notifier_.Send(accepted);
+      return make_ready_future<T>(std::move(accepted));
+    });
+  }
+
+  /// Server-side update (also notifies subscribers).
+  void Update(const T& value) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      value_ = value;
+    }
+    notifier_.Send(value);
+  }
+
+  /// Optional validation/clamping applied to client Set requests; returns
+  /// the value actually adopted.
+  void set_set_filter(std::function<T(const T&)> filter) { set_filter_ = std::move(filter); }
+
+  [[nodiscard]] std::optional<T> value() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return value_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::optional<T> value_;
+  std::function<T(const T&)> set_filter_;
+  SkeletonMethod<T> get_method_;
+  SkeletonMethod<T, T> set_method_;
+  SkeletonEvent<T> notifier_;
+};
+
+template <typename T>
+class ProxyField {
+ public:
+  ProxyField(ServiceProxy& proxy, FieldIds ids)
+      : get_method_(proxy, ids.get), set_method_(proxy, ids.set), notifier_(proxy, ids.notify) {}
+
+  /// Reads the current field value.
+  [[nodiscard]] Future<T> Get() { return get_method_(); }
+
+  /// Writes the field; resolves with the value the server adopted.
+  [[nodiscard]] Future<T> Set(const T& value) { return set_method_(value); }
+
+  /// Update notifications.
+  [[nodiscard]] ProxyEvent<T>& notifier() noexcept { return notifier_; }
+
+ private:
+  ProxyMethod<T> get_method_;
+  ProxyMethod<T, T> set_method_;
+  ProxyEvent<T> notifier_;
+};
+
+}  // namespace dear::ara

@@ -1,0 +1,135 @@
+// ara::core::Future / ara::core::Promise.
+//
+// Service method implementations return a Future; the skeleton sends the
+// response message "as soon as the corresponding promise is fulfilled"
+// (paper §II.A). Unlike std::future, this Future supports continuations
+// (then), which the runtime uses to chain the response transmission — and
+// which sim-mode code must use instead of blocking waits (the DES runs on
+// one thread).
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "ara/result.hpp"
+
+namespace dear::ara {
+
+namespace detail {
+
+template <typename T>
+class SharedState {
+ public:
+  void set(Result<T> result) {
+    std::vector<std::function<void(const Result<T>&)>> continuations;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (result_.has_value()) {
+        return;  // already satisfied; ignore double set
+      }
+      result_.emplace(std::move(result));
+      continuations.swap(continuations_);
+    }
+    cv_.notify_all();
+    for (auto& continuation : continuations) {
+      continuation(*result_);
+    }
+  }
+
+  [[nodiscard]] bool ready() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return result_.has_value();
+  }
+
+  [[nodiscard]] const Result<T>& wait() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return result_.has_value(); });
+    return *result_;
+  }
+
+  template <typename Rep, typename Period>
+  [[nodiscard]] bool wait_for(std::chrono::duration<Rep, Period> timeout) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    return cv_.wait_for(lock, timeout, [this] { return result_.has_value(); });
+  }
+
+  /// Runs `fn` with the result: immediately if ready, otherwise when set.
+  void on_ready(std::function<void(const Result<T>&)> fn) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (!result_.has_value()) {
+        continuations_.push_back(std::move(fn));
+        return;
+      }
+    }
+    fn(*result_);
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::optional<Result<T>> result_;
+  std::vector<std::function<void(const Result<T>&)>> continuations_;
+};
+
+}  // namespace detail
+
+template <typename T>
+class Future {
+ public:
+  Future() = default;
+  explicit Future(std::shared_ptr<detail::SharedState<T>> state) : state_(std::move(state)) {}
+
+  [[nodiscard]] bool valid() const noexcept { return state_ != nullptr; }
+  [[nodiscard]] bool is_ready() const { return state_ && state_->ready(); }
+
+  /// Blocks until the result is available (real-threads mode only).
+  [[nodiscard]] Result<T> GetResult() const { return state_->wait(); }
+
+  /// Blocks and returns the value; on error returns a default-constructed T.
+  /// Prefer GetResult() where errors matter.
+  [[nodiscard]] T get() const {
+    const Result<T>& result = state_->wait();
+    return result.has_value() ? result.value() : T{};
+  }
+
+  template <typename Rep, typename Period>
+  [[nodiscard]] bool wait_for(std::chrono::duration<Rep, Period> timeout) const {
+    return state_->wait_for(timeout);
+  }
+
+  /// Continuation; `fn(result)` runs on the thread that fulfills the
+  /// promise (or inline when already ready).
+  void then(std::function<void(const Result<T>&)> fn) const { state_->on_ready(std::move(fn)); }
+
+ private:
+  std::shared_ptr<detail::SharedState<T>> state_;
+};
+
+template <typename T>
+class Promise {
+ public:
+  Promise() : state_(std::make_shared<detail::SharedState<T>>()) {}
+
+  [[nodiscard]] Future<T> get_future() const { return Future<T>(state_); }
+
+  void set_value(T value) { state_->set(Result<T>(std::move(value))); }
+  void SetError(ComErrc error) { state_->set(Result<T>(error)); }
+
+ private:
+  std::shared_ptr<detail::SharedState<T>> state_;
+};
+
+/// Convenience: an already-resolved future.
+template <typename T>
+[[nodiscard]] Future<T> make_ready_future(T value) {
+  Promise<T> promise;
+  promise.set_value(std::move(value));
+  return promise.get_future();
+}
+
+}  // namespace dear::ara

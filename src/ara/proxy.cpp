@@ -1,0 +1,8 @@
+#include "ara/proxy.hpp"
+
+namespace dear::ara {
+
+ServiceProxy::ServiceProxy(Runtime& runtime, InstanceIdentifier instance, net::Endpoint server)
+    : runtime_(runtime), instance_(instance), server_(server) {}
+
+}  // namespace dear::ara

@@ -1,0 +1,52 @@
+// Service proxy base.
+//
+// "A proxy is an object that a client receives when requesting a service"
+// (paper §II.A). Generated proxy code is modeled by subclassing
+// ServiceProxy and declaring ProxyMethod / ProxyEvent / ProxyField members.
+#pragma once
+
+#include <optional>
+
+#include "ara/runtime.hpp"
+#include "ara/types.hpp"
+
+namespace dear::ara {
+
+class ServiceProxy {
+ public:
+  /// Binds to a resolved server endpoint (obtained via Runtime::resolve or
+  /// start_find_service).
+  ServiceProxy(Runtime& runtime, InstanceIdentifier instance, net::Endpoint server);
+  virtual ~ServiceProxy() = default;
+
+  ServiceProxy(const ServiceProxy&) = delete;
+  ServiceProxy& operator=(const ServiceProxy&) = delete;
+
+  /// Convenience factory: resolves the instance and constructs the proxy
+  /// subclass, or returns nullopt when the service is not offered.
+  template <typename P>
+  [[nodiscard]] static std::optional<P> find(Runtime& runtime, InstanceIdentifier instance) {
+    const std::optional<net::Endpoint> endpoint = runtime.resolve(instance);
+    if (!endpoint.has_value()) {
+      return std::nullopt;
+    }
+    return std::optional<P>(std::in_place, runtime, instance, *endpoint);
+  }
+
+  [[nodiscard]] Runtime& runtime() noexcept { return runtime_; }
+  [[nodiscard]] InstanceIdentifier instance() const noexcept { return instance_; }
+  [[nodiscard]] net::Endpoint server() const noexcept { return server_; }
+
+  /// Response deadline for method calls made through this proxy; 0 disables
+  /// the timeout.
+  void set_call_timeout(Duration timeout) noexcept { call_timeout_ = timeout; }
+  [[nodiscard]] Duration call_timeout() const noexcept { return call_timeout_; }
+
+ private:
+  Runtime& runtime_;
+  InstanceIdentifier instance_;
+  net::Endpoint server_;
+  Duration call_timeout_{0};
+};
+
+}  // namespace dear::ara

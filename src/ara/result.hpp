@@ -1,0 +1,47 @@
+// ara::core::Result-style value-or-error type (C++20 has no std::expected).
+#pragma once
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "ara/types.hpp"
+
+namespace dear::ara {
+
+template <typename T>
+class Result {
+ public:
+  Result(T value) : storage_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(ComErrc error) : storage_(error) {        // NOLINT(google-explicit-constructor)
+    assert(error != ComErrc::kOk && "use a value for success results");
+  }
+
+  [[nodiscard]] bool has_value() const noexcept { return std::holds_alternative<T>(storage_); }
+  explicit operator bool() const noexcept { return has_value(); }
+
+  [[nodiscard]] const T& value() const& {
+    assert(has_value());
+    return std::get<T>(storage_);
+  }
+  [[nodiscard]] T& value() & {
+    assert(has_value());
+    return std::get<T>(storage_);
+  }
+  [[nodiscard]] T&& value() && {
+    assert(has_value());
+    return std::get<T>(std::move(storage_));
+  }
+
+  [[nodiscard]] ComErrc error() const noexcept {
+    return has_value() ? ComErrc::kOk : std::get<ComErrc>(storage_);
+  }
+
+  /// Returns the value or `fallback` on error.
+  [[nodiscard]] T value_or(T fallback) const& { return has_value() ? value() : fallback; }
+
+ private:
+  std::variant<T, ComErrc> storage_;
+};
+
+}  // namespace dear::ara

@@ -1,0 +1,20 @@
+#include "ara/runtime.hpp"
+
+namespace dear::ara {
+
+Runtime::Runtime(net::Network& network, someip::ServiceDiscovery& discovery,
+                 common::Executor& dispatcher, net::Endpoint self, someip::ClientId client_id)
+    : discovery_(discovery), dispatcher_(dispatcher), binding_(network, dispatcher, self, client_id) {}
+
+std::optional<net::Endpoint> Runtime::resolve(InstanceIdentifier id) const {
+  return discovery_.find({id.service, id.instance});
+}
+
+someip::WatchId Runtime::start_find_service(InstanceIdentifier id,
+                                            someip::ServiceDiscovery::Watcher watcher) {
+  return discovery_.watch({id.service, id.instance}, dispatcher_, std::move(watcher));
+}
+
+void Runtime::stop_find_service(someip::WatchId watch_id) { discovery_.unwatch(watch_id); }
+
+}  // namespace dear::ara

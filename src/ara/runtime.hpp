@@ -1,0 +1,50 @@
+// Per-process ara::com runtime.
+//
+// Each SWC "can be considered a full program as it is mapped to a process
+// on the target platform" (paper §II.A). One Runtime instance models that
+// process: it owns the process's SOME/IP binding, talks to service
+// discovery, and provides the dispatch executor onto which incoming method
+// calls and event handlers are scheduled.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "common/executor.hpp"
+#include "net/network.hpp"
+#include "someip/binding.hpp"
+#include "someip/service_discovery.hpp"
+#include "ara/types.hpp"
+
+namespace dear::ara {
+
+class Runtime {
+ public:
+  Runtime(net::Network& network, someip::ServiceDiscovery& discovery,
+          common::Executor& dispatcher, net::Endpoint self, someip::ClientId client_id);
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  /// One-shot service lookup (ara::com FindService).
+  [[nodiscard]] std::optional<net::Endpoint> resolve(InstanceIdentifier id) const;
+
+  /// Continuous lookup (ara::com StartFindService); the handler runs on the
+  /// dispatch executor.
+  someip::WatchId start_find_service(InstanceIdentifier id,
+                                     someip::ServiceDiscovery::Watcher watcher);
+
+  void stop_find_service(someip::WatchId watch_id);
+
+  [[nodiscard]] someip::Binding& binding() noexcept { return binding_; }
+  [[nodiscard]] someip::ServiceDiscovery& discovery() noexcept { return discovery_; }
+  [[nodiscard]] common::Executor& dispatcher() noexcept { return dispatcher_; }
+  [[nodiscard]] net::Endpoint endpoint() const noexcept { return binding_.endpoint(); }
+
+ private:
+  someip::ServiceDiscovery& discovery_;
+  common::Executor& dispatcher_;
+  someip::Binding binding_;
+};
+
+}  // namespace dear::ara

@@ -1,0 +1,86 @@
+#include "ara/skeleton.hpp"
+
+namespace dear::ara {
+
+ServiceSkeleton::ServiceSkeleton(Runtime& runtime, InstanceIdentifier instance,
+                                 MethodCallProcessingMode mode)
+    : runtime_(runtime), instance_(instance), mode_(mode) {
+  if (mode_ == MethodCallProcessingMode::kEventSingleThread) {
+    strand_ = std::make_unique<common::SerialExecutor>(runtime_.dispatcher());
+  }
+}
+
+ServiceSkeleton::~ServiceSkeleton() {
+  StopOfferService();
+  for (const someip::MethodId method : registered_methods_) {
+    runtime_.binding().remove_method(instance_.service, method);
+  }
+}
+
+void ServiceSkeleton::OfferService() {
+  if (offered_) {
+    return;
+  }
+  offered_ = true;
+  runtime_.discovery().offer({instance_.service, instance_.instance},
+                             runtime_.binding().endpoint());
+}
+
+void ServiceSkeleton::StopOfferService() {
+  if (!offered_) {
+    return;
+  }
+  offered_ = false;
+  runtime_.discovery().stop_offer({instance_.service, instance_.instance});
+}
+
+void ServiceSkeleton::register_method(
+    someip::MethodId method,
+    std::function<void(const someip::Message&, const net::Endpoint&)> processor) {
+  registered_methods_.push_back(method);
+  runtime_.binding().provide_method(instance_.service, method, std::move(processor));
+}
+
+void ServiceSkeleton::dispatch(std::function<void()> work) {
+  // User handlers are mutually exclusive per instance — "the server
+  // implementation enforces mutual exclusion between the execution of
+  // method invocations" (paper §I).
+  auto guarded = [this, work = std::move(work)] {
+    const std::lock_guard<std::mutex> lock(handler_mutex_);
+    work();
+  };
+  switch (mode_) {
+    case MethodCallProcessingMode::kEvent:
+      runtime_.dispatcher().post(std::move(guarded));
+      break;
+    case MethodCallProcessingMode::kEventSingleThread:
+      strand_->post(std::move(guarded));
+      break;
+    case MethodCallProcessingMode::kPoll: {
+      const std::lock_guard<std::mutex> lock(poll_mutex_);
+      poll_queue_.push_back(std::move(guarded));
+      break;
+    }
+  }
+}
+
+bool ServiceSkeleton::ProcessNextMethodCall() {
+  std::function<void()> work;
+  {
+    const std::lock_guard<std::mutex> lock(poll_mutex_);
+    if (poll_queue_.empty()) {
+      return false;
+    }
+    work = std::move(poll_queue_.front());
+    poll_queue_.pop_front();
+  }
+  work();
+  return true;
+}
+
+std::size_t ServiceSkeleton::pending_method_calls() const {
+  const std::lock_guard<std::mutex> lock(poll_mutex_);
+  return poll_queue_.size();
+}
+
+}  // namespace dear::ara

@@ -1,0 +1,72 @@
+// ara::com-style core types.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "someip/types.hpp"
+
+namespace dear::ara {
+
+/// Communication error codes (subset of ara::com::ComErrc / ara::core).
+enum class ComErrc : std::uint8_t {
+  kOk = 0,
+  kServiceNotAvailable,
+  kNetworkBindingFailure,
+  kCommunicationTimeout,
+  kMalformedResponse,
+  kRemoteError,
+  kPromiseBroken,
+  kFieldValueNotSet,
+};
+
+[[nodiscard]] constexpr const char* to_string(ComErrc error) noexcept {
+  switch (error) {
+    case ComErrc::kOk:
+      return "kOk";
+    case ComErrc::kServiceNotAvailable:
+      return "kServiceNotAvailable";
+    case ComErrc::kNetworkBindingFailure:
+      return "kNetworkBindingFailure";
+    case ComErrc::kCommunicationTimeout:
+      return "kCommunicationTimeout";
+    case ComErrc::kMalformedResponse:
+      return "kMalformedResponse";
+    case ComErrc::kRemoteError:
+      return "kRemoteError";
+    case ComErrc::kPromiseBroken:
+      return "kPromiseBroken";
+    case ComErrc::kFieldValueNotSet:
+      return "kFieldValueNotSet";
+  }
+  return "?";
+}
+
+/// Identifies a service instance (ara::com InstanceIdentifier).
+struct InstanceIdentifier {
+  someip::ServiceId service{0};
+  someip::InstanceId instance{0};
+
+  auto operator<=>(const InstanceIdentifier&) const = default;
+
+  [[nodiscard]] std::string to_string() const {
+    return "service:" + std::to_string(service) + "/instance:" + std::to_string(instance);
+  }
+};
+
+/// How a skeleton processes incoming method calls (ara::com
+/// MethodCallProcessingMode).
+enum class MethodCallProcessingMode : std::uint8_t {
+  /// Calls are queued; the application drains them with
+  /// ProcessNextMethodCall().
+  kPoll,
+  /// Every call is dispatched as its own task — with a multi-worker
+  /// executor this means "the runtime maps each invocation to a different
+  /// thread" (paper §I), the default and the nondeterministic mode.
+  kEvent,
+  /// Calls are dispatched through a FIFO strand: one at a time, in arrival
+  /// order.
+  kEventSingleThread,
+};
+
+}  // namespace dear::ara

@@ -1,0 +1,34 @@
+#include "brake/camera.hpp"
+
+#include "someip/serialization.hpp"
+
+namespace dear::brake {
+
+bool decode_camera_packet(const std::vector<std::uint8_t>& payload, VideoFrame& frame) {
+  someip::Reader reader(payload);
+  someip_deserialize(reader, frame);
+  return reader.ok() && reader.remaining() == 0;
+}
+
+Camera::Camera(sim::Kernel& kernel, const sim::PlatformClock& clock, net::Network& network,
+               net::Endpoint self, net::Endpoint adapter, Config config, common::Rng rng)
+    : kernel_(kernel), clock_(clock), network_(network), self_(self), adapter_(adapter),
+      config_(config),
+      task_(kernel, clock, config.period, config.phase,
+            [this](std::uint64_t index, TimePoint release) { capture(index, release); }) {
+  task_.set_jitter(config_.jitter, rng.stream("camera.jitter"));
+}
+
+void Camera::capture(std::uint64_t index, TimePoint release_time) {
+  if (config_.frame_limit != 0 && frames_sent_ >= config_.frame_limit) {
+    task_.stop();
+    return;
+  }
+  const VideoFrame frame = generate_frame(index, clock_.local_now(release_time));
+  someip::Writer writer;
+  someip_serialize(writer, frame);
+  network_.send(self_, adapter_, writer.take());
+  ++frames_sent_;
+}
+
+}  // namespace dear::brake

@@ -1,0 +1,62 @@
+// Video Provider (camera) on platform 1.
+//
+// "Video Provider captures video frames and sends one approximately every
+// 50 ms (via a proprietary protocol) to Video Adapter, which is running on
+// the second platform" (paper §IV.A). The proprietary protocol is modeled
+// as raw serialized frames over the datagram network — deliberately *not*
+// SOME/IP, and never tagged; the Video Adapter is the sensor boundary of
+// the system in both pipeline variants.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "brake/logic.hpp"
+#include "brake/types.hpp"
+#include "common/rng.hpp"
+#include "net/network.hpp"
+#include "sim/clock_model.hpp"
+#include "sim/exec_time_model.hpp"
+#include "sim/kernel.hpp"
+#include "sim/periodic_task.hpp"
+
+namespace dear::brake {
+
+/// Decodes a proprietary camera datagram back into a frame. Returns false
+/// on malformed input.
+[[nodiscard]] bool decode_camera_packet(const std::vector<std::uint8_t>& payload,
+                                        VideoFrame& frame);
+
+class Camera {
+ public:
+  struct Config {
+    Duration period{50 * kMillisecond};
+    /// Phase of the first capture on the camera's local clock.
+    Duration phase{0};
+    /// Per-capture release jitter.
+    sim::ExecTimeModel jitter{sim::ExecTimeModel::uniform(0, 500 * kMicrosecond)};
+    std::uint64_t frame_limit{0};  // 0 = unlimited
+  };
+
+  Camera(sim::Kernel& kernel, const sim::PlatformClock& clock, net::Network& network,
+         net::Endpoint self, net::Endpoint adapter, Config config, common::Rng rng);
+
+  void start() { task_.start(); }
+  void stop() { task_.stop(); }
+
+  [[nodiscard]] std::uint64_t frames_sent() const noexcept { return frames_sent_; }
+
+ private:
+  void capture(std::uint64_t index, TimePoint release_time);
+
+  sim::Kernel& kernel_;
+  const sim::PlatformClock& clock_;
+  net::Network& network_;
+  net::Endpoint self_;
+  net::Endpoint adapter_;
+  Config config_;
+  sim::PeriodicTask task_;
+  std::uint64_t frames_sent_{0};
+};
+
+}  // namespace dear::brake

@@ -1,0 +1,57 @@
+// The deterministic brake assistant built on DEAR (paper §IV.B).
+//
+// Each SWC's logic is encapsulated in a reactor with one reaction per
+// incoming event; transactors bind the reactors to the unchanged AP
+// service interfaces. The Video Adapter is the sensor boundary: incoming
+// camera frames are tagged with the physical time of reception, and from
+// there on every reaction executes in a deterministic order.
+//
+// Deadlines (defaults from the paper): Video Adapter 5 ms, Preprocessing
+// 25 ms, Computer Vision 25 ms, EBA 5 ms; maximum communication latency
+// 5 ms; clock synchronization error 0 (all four SWCs share platform 2).
+#pragma once
+
+#include <cstdint>
+
+#include "brake/metrics.hpp"
+#include "brake/nondet_pipeline.hpp"
+#include "dear/config.hpp"
+
+namespace dear::brake {
+
+struct DearScenarioConfig {
+  /// Timing seeds, split like ScenarioConfig so determinism can be tested
+  /// against platform-side timing variation in isolation.
+  std::uint64_t camera_seed{1};
+  std::uint64_t platform_seed{1};
+  std::uint64_t frames{100'000};
+  Duration period{50 * kMillisecond};
+  Duration camera_jitter{500 * kMicrosecond};
+  Duration link_latency_min{200 * kMicrosecond};
+  Duration link_latency_max{800 * kMicrosecond};
+
+  // Paper §IV.B deadlines and bounds.
+  Duration adapter_deadline{5 * kMillisecond};
+  Duration preprocessing_deadline{25 * kMillisecond};
+  Duration cv_deadline{25 * kMillisecond};
+  Duration eba_deadline{5 * kMillisecond};
+  Duration latency_bound{5 * kMillisecond};
+  Duration clock_error_bound{0};
+
+  /// Global scale factor on all four deadlines — the knob of the
+  /// latency/error trade-off sweep ("for certain applications it is
+  /// acceptable to deliberately introduce the possibility of sporadic
+  /// errors by setting deadlines to values lower than the actual WCET").
+  double deadline_scale{1.0};
+
+  /// Scale factor on the modeled execution times (stress knob).
+  double exec_time_scale{1.0};
+
+  transact::UntaggedPolicy untagged{transact::UntaggedPolicy::kFail};
+};
+
+/// Runs the DEAR pipeline; deadline violations, tardy messages and CV
+/// mismatches are reported through PipelineResult.
+[[nodiscard]] PipelineResult run_dear_pipeline(const DearScenarioConfig& config);
+
+}  // namespace dear::brake

@@ -1,0 +1,10 @@
+#include "brake/det_client_pipeline.hpp"
+
+namespace dear::brake {
+
+PipelineResult run_det_client_pipeline(ScenarioConfig config) {
+  config.use_deterministic_client = true;
+  return run_nondet_pipeline(config);
+}
+
+}  // namespace dear::brake

@@ -1,0 +1,19 @@
+// Baseline: the brake assistant with each SWC using the AUTOSAR AP
+// "deterministic client" (paper §II.B).
+//
+// The deterministic client makes each SWC internally deterministic
+// (cycle-driven activation, deterministic random numbers, deterministic
+// worker pool) but "its scope is limited to individual SWCs" — the
+// buffer-based communication between SWCs is untouched, so the Figure 5
+// error classes persist. bench_det_client_baseline contrasts this with
+// DEAR.
+#pragma once
+
+#include "brake/nondet_pipeline.hpp"
+
+namespace dear::brake {
+
+/// Runs the classic pipeline with DeterministicClient-driven SWCs.
+[[nodiscard]] PipelineResult run_det_client_pipeline(ScenarioConfig config);
+
+}  // namespace dear::brake

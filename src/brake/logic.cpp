@@ -1,0 +1,93 @@
+#include "brake/logic.hpp"
+
+#include "common/rng.hpp"
+
+namespace dear::brake {
+
+namespace {
+
+/// Deterministic per-frame entropy source.
+[[nodiscard]] std::uint64_t frame_hash(std::uint64_t frame_id) {
+  std::uint64_t state = frame_id ^ 0xa0761d6478bd642fULL;
+  return common::splitmix64(state);
+}
+
+}  // namespace
+
+VideoFrame generate_frame(std::uint64_t frame_id, std::int64_t capture_time) {
+  VideoFrame frame;
+  frame.frame_id = frame_id;
+  frame.capture_time = capture_time;
+  frame.content_hash = frame_hash(frame_id);
+  return frame;
+}
+
+LaneInfo detect_lane(const VideoFrame& frame) {
+  const std::uint64_t h = frame.content_hash;
+  LaneInfo lane;
+  lane.frame_id = frame.frame_id;
+  // A lane box that sways gently with the frame content.
+  const auto sway = static_cast<std::uint16_t>(h % 120);
+  lane.left = static_cast<std::uint16_t>(frame.width / 4 + sway);
+  lane.right = static_cast<std::uint16_t>(3 * frame.width / 4 + sway);
+  lane.top = static_cast<std::uint16_t>(frame.height / 3);
+  lane.bottom = frame.height;
+  lane.confidence = 0.7 + 0.3 * static_cast<double>((h >> 8) % 1000) / 1000.0;
+  return lane;
+}
+
+VehicleList detect_vehicles(const VideoFrame& frame, const LaneInfo& lane) {
+  VehicleList list;
+  list.frame_id = frame.frame_id;
+  list.lane_frame_id = lane.frame_id;
+  // Vehicle population derived from the *frame* content; distances are
+  // modulated by the lane estimate so that misaligned inputs produce
+  // different (wrong) results.
+  const std::uint64_t h = frame.content_hash;
+  const std::uint64_t lane_mix = frame_hash(lane.frame_id) >> 16;
+  const auto count = static_cast<std::uint32_t>(h % 4);  // 0-3 vehicles
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::uint64_t state = h ^ (0x9e3779b97f4a7c15ULL * (i + 1)) ^ lane_mix;
+    const std::uint64_t v = common::splitmix64(state);
+    Vehicle vehicle;
+    vehicle.vehicle_id = static_cast<std::uint32_t>(v);
+    vehicle.distance_m = 5.0 + static_cast<double>(v % 1500) / 10.0;          // 5-155 m
+    vehicle.closing_speed = -5.0 + static_cast<double>((v >> 16) % 400) / 10.0;  // -5..35 m/s
+    list.vehicles.push_back(vehicle);
+  }
+  return list;
+}
+
+BrakeCommand decide_brake(const VehicleList& vehicles) {
+  // Emergency braking when the minimum time-to-collision drops below 2 s.
+  constexpr double kTtcThreshold = 2.0;
+  BrakeCommand command;
+  command.frame_id = vehicles.frame_id;
+  double min_ttc = 1e9;
+  for (const Vehicle& vehicle : vehicles.vehicles) {
+    if (vehicle.closing_speed <= 0.0) {
+      continue;  // not approaching
+    }
+    const double ttc = vehicle.distance_m / vehicle.closing_speed;
+    if (ttc < min_ttc) {
+      min_ttc = ttc;
+    }
+  }
+  if (min_ttc < kTtcThreshold) {
+    command.brake = true;
+    command.intensity = std::min(1.0, kTtcThreshold / (min_ttc + 1e-9) - 1.0);
+    if (command.intensity < 0.0) {
+      command.intensity = 0.0;
+    }
+  }
+  return command;
+}
+
+BrakeCommand reference_decision(std::uint64_t frame_id) {
+  const VideoFrame frame = generate_frame(frame_id, 0);
+  const LaneInfo lane = detect_lane(frame);
+  const VehicleList vehicles = detect_vehicles(frame, lane);
+  return decide_brake(vehicles);
+}
+
+}  // namespace dear::brake

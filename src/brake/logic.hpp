@@ -1,0 +1,37 @@
+// Component logic of the brake assistant SWCs.
+//
+// Pure, deterministic functions of their inputs — the same logic runs in
+// the classic (nondeterministic) wiring and in the DEAR wiring, so every
+// behavioral difference between the two pipelines is attributable to
+// coordination, exactly as in the paper's case study.
+#pragma once
+
+#include <cstdint>
+
+#include "brake/types.hpp"
+
+namespace dear::brake {
+
+/// Synthesizes the frame a camera would capture at `capture_time`.
+/// Content depends only on frame_id, so any component can verify which
+/// frame a downstream value was derived from.
+[[nodiscard]] VideoFrame generate_frame(std::uint64_t frame_id, std::int64_t capture_time);
+
+/// Preprocessing: computes the travel-lane bounding box for a frame.
+[[nodiscard]] LaneInfo detect_lane(const VideoFrame& frame);
+
+/// Computer Vision: detects vehicles in the lane and estimates distances.
+/// Deterministic in (frame, lane); the number of vehicles and their
+/// distances vary across frames to exercise the EBA decision logic.
+[[nodiscard]] VehicleList detect_vehicles(const VideoFrame& frame, const LaneInfo& lane);
+
+/// Emergency Brake Assist: decides whether an emergency maneuver is
+/// required. Time-to-collision below the threshold triggers braking.
+[[nodiscard]] BrakeCommand decide_brake(const VehicleList& vehicles);
+
+/// Reference pipeline: what the brake decision for `frame_id` *should* be
+/// when no frame is dropped or misaligned. Used by tests and by the
+/// experiment harnesses to validate pipeline outputs.
+[[nodiscard]] BrakeCommand reference_decision(std::uint64_t frame_id);
+
+}  // namespace dear::brake

@@ -1,0 +1,302 @@
+#include "brake/nondet_pipeline.hpp"
+
+#include <memory>
+#include <optional>
+
+#include "ara/deterministic_client.hpp"
+#include "ara/runtime.hpp"
+#include "brake/camera.hpp"
+#include "brake/logic.hpp"
+#include "brake/services.hpp"
+#include "brake/input_buffer.hpp"
+#include "common/rng.hpp"
+#include "net/sim_network.hpp"
+#include "sim/clock_model.hpp"
+#include "sim/periodic_task.hpp"
+#include "sim/sim_executor.hpp"
+
+namespace dear::brake {
+
+namespace {
+
+constexpr net::NodeId kPlatform1 = 1;
+constexpr net::NodeId kPlatform2 = 2;
+
+constexpr net::Endpoint kCameraEp{kPlatform1, 10};
+constexpr net::Endpoint kAdapterRawEp{kPlatform2, 100};
+constexpr net::Endpoint kAdapterEp{kPlatform2, 101};
+constexpr net::Endpoint kPreprocEp{kPlatform2, 102};
+constexpr net::Endpoint kCvEp{kPlatform2, 103};
+constexpr net::Endpoint kEbaEp{kPlatform2, 104};
+constexpr net::Endpoint kMonitorEp{kPlatform2, 105};
+
+/// Digest update helper (order-sensitive FNV-over-splitmix).
+void mix_digest(std::uint64_t& digest, std::uint64_t value) {
+  std::uint64_t state = digest ^ (value + 0x9e3779b97f4a7c15ULL);
+  digest = common::splitmix64(state);
+}
+
+/// Draws a drift in [-bound, bound] with mass concentrated near zero
+/// (cubic shaping): most real clocks/timers sit close to nominal, a few
+/// are well off — which is what makes the best experiment instances of
+/// Figure 5 nearly error-free and the worst ones terrible.
+[[nodiscard]] double draw_drift(common::Rng& rng, double bound) {
+  const double u = 2.0 * rng.uniform01() - 1.0;
+  return bound * u * u * u;
+}
+
+/// Shared state of one scenario execution.
+struct Scenario {
+  explicit Scenario(const ScenarioConfig& config)
+      : config(config), platform_rng(config.platform_seed), camera_rng(config.camera_seed) {}
+
+  const ScenarioConfig& config;
+  common::Rng platform_rng;
+  common::Rng camera_rng;
+
+  sim::Kernel kernel;
+  sim::PlatformClock clock1;  // camera platform
+  sim::PlatformClock clock2;  // compute platform
+  std::unique_ptr<net::SimNetwork> network;
+  someip::ServiceDiscovery discovery;
+  std::unique_ptr<sim::SimExecutor> executor;
+
+  PipelineResult result;
+
+  [[nodiscard]] Duration random_phase(common::Rng& rng) {
+    return rng.uniform_duration(0, config.period - 1);
+  }
+};
+
+/// One SWC of the classic pipeline: periodic callback + one-slot buffers.
+/// The deterministic-client variant routes each activation through the
+/// DeterministicClient cycle state machine (intra-SWC determinism only).
+class ClassicSwc {
+ public:
+  static Duration effective_period(Scenario& scenario, const std::string& name) {
+    auto rng = scenario.platform_rng.stream(name + ".period_drift");
+    const double bound = scenario.config.task_period_drift_ppm * 1e-6 *
+                         static_cast<double>(scenario.config.period);
+    return scenario.config.period + static_cast<Duration>(draw_drift(rng, bound));
+  }
+
+  ClassicSwc(Scenario& scenario, std::string name, Duration phase,
+             std::function<void(TimePoint)> logic)
+      : logic_(std::move(logic)),
+        task_(scenario.kernel, scenario.clock2, effective_period(scenario, name), phase,
+              [this](std::uint64_t, TimePoint release) { tick(release); }) {
+    task_.set_jitter(
+        sim::ExecTimeModel::uniform(0, scenario.config.callback_jitter),
+        scenario.platform_rng.stream(name + ".jitter"));
+    if (scenario.config.use_deterministic_client) {
+      client_.emplace(ara::DeterministicClient::Config{scenario.config.platform_seed, 4});
+    }
+  }
+
+  void start() { task_.start(); }
+  void stop() { task_.stop(); }
+
+ private:
+  void tick(TimePoint release) {
+    if (client_.has_value()) {
+      // Drive the deterministic client's activation cycle; the first three
+      // activations are startup phases.
+      const auto state = client_->WaitForActivation(release);
+      if (state != ara::ActivationReturnType::kRun) {
+        return;
+      }
+    }
+    logic_(release);
+  }
+
+  std::function<void(TimePoint)> logic_;
+  sim::PeriodicTask task_;
+  std::optional<ara::DeterministicClient> client_;
+};
+
+}  // namespace
+
+PipelineResult run_nondet_pipeline(const ScenarioConfig& config) {
+  Scenario s(config);
+
+  // --- platform clocks (offset + drift, paper's two MinnowBoards) -----------
+  auto drift_rng = s.platform_rng.stream("clock.drift");
+  s.clock1 = sim::PlatformClock(drift_rng.uniform_duration(0, config.period),
+                                draw_drift(drift_rng, config.max_drift_ppm));
+  s.clock2 = sim::PlatformClock(drift_rng.uniform_duration(0, config.period),
+                                draw_drift(drift_rng, config.max_drift_ppm));
+
+  // --- network ----------------------------------------------------------------
+  s.network = std::make_unique<net::SimNetwork>(s.kernel, s.platform_rng.stream("net"));
+  net::LinkParams inter_link;
+  inter_link.latency =
+      sim::ExecTimeModel::uniform(config.link_latency_min, config.link_latency_max);
+  s.network->set_default_link(inter_link);
+
+  s.executor = std::make_unique<sim::SimExecutor>(
+      s.kernel, s.platform_rng.stream("dispatch"),
+      sim::ExecTimeModel::uniform(0, config.dispatch_jitter));
+
+  // --- runtimes, skeletons, proxies ---------------------------------------------
+  ara::Runtime adapter_rt(*s.network, s.discovery, *s.executor, kAdapterEp, 0x11);
+  ara::Runtime preproc_rt(*s.network, s.discovery, *s.executor, kPreprocEp, 0x12);
+  ara::Runtime cv_rt(*s.network, s.discovery, *s.executor, kCvEp, 0x13);
+  ara::Runtime eba_rt(*s.network, s.discovery, *s.executor, kEbaEp, 0x14);
+  ara::Runtime monitor_rt(*s.network, s.discovery, *s.executor, kMonitorEp, 0x15);
+
+  VideoAdapterSkeleton adapter_skel(adapter_rt);
+  PreprocessingSkeleton preproc_skel(preproc_rt);
+  ComputerVisionSkeleton cv_skel(cv_rt);
+  EbaSkeleton eba_skel(eba_rt);
+  adapter_skel.OfferService();
+  preproc_skel.OfferService();
+  cv_skel.OfferService();
+  eba_skel.OfferService();
+
+  VideoAdapterProxy adapter_proxy(preproc_rt, {kVideoAdapterService, kInstance},
+                                  *preproc_rt.resolve({kVideoAdapterService, kInstance}));
+  PreprocessingProxy preproc_proxy(cv_rt, {kPreprocessingService, kInstance},
+                                   *cv_rt.resolve({kPreprocessingService, kInstance}));
+  ComputerVisionProxy cv_proxy(eba_rt, {kComputerVisionService, kInstance},
+                               *eba_rt.resolve({kComputerVisionService, kInstance}));
+  EbaProxy eba_proxy(monitor_rt, {kEbaService, kInstance},
+                     *monitor_rt.resolve({kEbaService, kInstance}));
+
+  // --- one-slot input buffers (the nondeterminism at the heart of §IV.A) ------
+  const std::size_t depth = config.input_queue_depth;
+  InputBuffer<VideoFrame> adapter_buffer(depth);
+  InputBuffer<VideoFrame> preproc_buffer(depth);
+  InputBuffer<VideoFrame> cv_frame_buffer(depth);
+  InputBuffer<LaneInfo> cv_lane_buffer(depth);
+  InputBuffer<VehicleList> eba_buffer(depth);
+
+  PipelineResult& result = s.result;
+  std::uint64_t latest_frame_id = 0;  // newest frame that reached platform 2
+
+  // Camera frames arrive over the proprietary protocol.
+  s.network->bind(kAdapterRawEp, [&](const net::Packet& packet) {
+    VideoFrame frame;
+    if (!decode_camera_packet(packet.payload, frame)) {
+      return;
+    }
+    latest_frame_id = frame.frame_id;
+    if (adapter_buffer.store(frame)) {
+      // Overwritten before the adapter forwarded it: Preprocessing never
+      // sees this frame.
+      ++result.errors.dropped_frames_preprocessing;
+    }
+  });
+
+  // Event handlers store into the buffers (and detect overwrites).
+  adapter_proxy.frame.SetReceiveHandler([&](const VideoFrame& frame) {
+    if (preproc_buffer.store(frame)) {
+      ++result.errors.dropped_frames_preprocessing;
+    }
+  });
+  adapter_proxy.frame.Subscribe();
+
+  // The forwarded frame and its lane info travel as a pair; an overwrite
+  // of the frame slot counts as one dropped frame at Computer Vision (the
+  // lane slot overwrite is the same lost pair, not a second error).
+  preproc_proxy.forwarded_frame.SetReceiveHandler([&](const VideoFrame& frame) {
+    if (cv_frame_buffer.store(frame)) {
+      ++result.errors.dropped_frames_cv;
+    }
+  });
+  preproc_proxy.forwarded_frame.Subscribe();
+  preproc_proxy.lane.SetReceiveHandler([&](const LaneInfo& lane) { (void)cv_lane_buffer.store(lane); });
+  preproc_proxy.lane.Subscribe();
+
+  cv_proxy.vehicles.SetReceiveHandler([&](const VehicleList& vehicles) {
+    if (eba_buffer.store(vehicles)) {
+      ++result.errors.dropped_vehicles_eba;
+    }
+  });
+  cv_proxy.vehicles.Subscribe();
+
+  eba_proxy.brake.SetReceiveHandler([&](const BrakeCommand&) {});
+  eba_proxy.brake.Subscribe();
+
+  // --- the periodic SWC logic ------------------------------------------------------
+  auto phase_rng = s.platform_rng.stream("phases");
+
+  ClassicSwc adapter_swc(s, "adapter", s.random_phase(phase_rng), [&](TimePoint) {
+    if (auto frame = adapter_buffer.take(); frame.has_value()) {
+      adapter_skel.frame.Send(*frame);
+    }
+  });
+
+  ClassicSwc preproc_swc(s, "preproc", s.random_phase(phase_rng), [&](TimePoint) {
+    if (auto frame = preproc_buffer.take(); frame.has_value()) {
+      preproc_skel.lane.Send(detect_lane(*frame));
+      preproc_skel.forwarded_frame.Send(*frame);
+    }
+  });
+
+  ClassicSwc cv_swc(s, "cv", s.random_phase(phase_rng), [&](TimePoint) {
+    auto frame = cv_frame_buffer.take();
+    auto lane = cv_lane_buffer.take();
+    if (!frame.has_value() && !lane.has_value()) {
+      return;  // silently wait for the next trigger
+    }
+    if (!frame.has_value() || !lane.has_value()) {
+      // One input consumed without its counterpart: that sample is lost.
+      ++result.errors.dropped_frames_cv;
+      return;
+    }
+    if (frame->frame_id != lane->frame_id) {
+      ++result.errors.input_mismatches_cv;  // misaligned inputs — computed anyway
+    }
+    cv_skel.vehicles.Send(detect_vehicles(*frame, *lane));
+  });
+
+  ClassicSwc eba_swc(s, "eba", s.random_phase(phase_rng), [&](TimePoint) {
+    if (auto vehicles = eba_buffer.take(); vehicles.has_value()) {
+      const BrakeCommand command = decide_brake(*vehicles);
+      eba_skel.brake.Send(command);
+      ++result.frames_processed_eba;
+      if (command.brake) {
+        ++result.brake_commands;
+      }
+      if (command != reference_decision(vehicles->frame_id)) {
+        ++result.wrong_decisions;
+      }
+      result.staleness.add(static_cast<double>(latest_frame_id - vehicles->frame_id));
+      mix_digest(result.output_digest, vehicles->frame_id);
+      mix_digest(result.output_digest, command.brake ? 1 : 0);
+      mix_digest(result.output_digest, static_cast<std::uint64_t>(command.intensity * 1e6));
+    }
+  });
+
+  // --- the camera ---------------------------------------------------------------------
+  auto camera_cfg_rng = s.camera_rng.stream("camera");
+  Camera::Config camera_config;
+  camera_config.period = config.period;
+  camera_config.phase = camera_cfg_rng.uniform_duration(0, config.period - 1);
+  camera_config.jitter = sim::ExecTimeModel::uniform(0, config.camera_jitter);
+  camera_config.frame_limit = config.frames;
+  Camera camera(s.kernel, s.clock1, *s.network, kCameraEp, kAdapterRawEp, camera_config,
+                s.camera_rng);
+
+  adapter_swc.start();
+  preproc_swc.start();
+  cv_swc.start();
+  eba_swc.start();
+  camera.start();
+
+  // Run until all frames have flushed through the (4-stage, 50 ms) pipeline.
+  const TimePoint horizon =
+      static_cast<TimePoint>(config.frames + 16) * config.period + 16 * config.period;
+  s.kernel.run_until(horizon);
+
+  camera.stop();
+  adapter_swc.stop();
+  preproc_swc.stop();
+  cv_swc.stop();
+  eba_swc.stop();
+
+  result.frames_sent = camera.frames_sent();
+  return result;
+}
+
+}  // namespace dear::brake

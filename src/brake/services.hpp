@@ -1,0 +1,112 @@
+// Service interfaces of the brake assistant (paper Figure 4).
+//
+// The communication along the component chain occurs through AP service
+// interfaces via the SOME/IP middleware; event notifications transfer the
+// data. These are the "generated" proxy/skeleton classes for each service.
+#pragma once
+
+#include "ara/event.hpp"
+#include "ara/proxy.hpp"
+#include "ara/skeleton.hpp"
+#include "brake/types.hpp"
+
+namespace dear::brake {
+
+// Service ids.
+inline constexpr someip::ServiceId kVideoAdapterService = 0x1001;
+inline constexpr someip::ServiceId kPreprocessingService = 0x1002;
+inline constexpr someip::ServiceId kComputerVisionService = 0x1003;
+inline constexpr someip::ServiceId kEbaService = 0x1004;
+inline constexpr someip::InstanceId kInstance = 0x0001;
+
+// Event ids (high bit set per SOME/IP convention).
+inline constexpr someip::EventId kFrameEvent = 0x8001;
+inline constexpr someip::EventId kLaneEvent = 0x8002;
+/// Preprocessing forwards the original frame alongside the lane info
+/// ("Computer Vision receives from Preprocessing both the lane information
+/// as well as the original frame", paper §IV.A).
+inline constexpr someip::EventId kForwardedFrameEvent = 0x8003;
+inline constexpr someip::EventId kVehiclesEvent = 0x8004;
+inline constexpr someip::EventId kBrakeEvent = 0x8005;
+
+// --- Video Adapter: offers the frame stream ---------------------------------
+
+class VideoAdapterSkeleton : public ara::ServiceSkeleton {
+ public:
+  VideoAdapterSkeleton(ara::Runtime& runtime,
+                       ara::MethodCallProcessingMode mode = ara::MethodCallProcessingMode::kEvent)
+      : ServiceSkeleton(runtime, {kVideoAdapterService, kInstance}, mode) {}
+
+  ara::SkeletonEvent<VideoFrame> frame{*this, kFrameEvent};
+};
+
+class VideoAdapterProxy : public ara::ServiceProxy {
+ public:
+  VideoAdapterProxy(ara::Runtime& runtime, ara::InstanceIdentifier instance, net::Endpoint server)
+      : ServiceProxy(runtime, instance, server) {}
+
+  ara::ProxyEvent<VideoFrame> frame{*this, kFrameEvent};
+};
+
+// --- Preprocessing: offers lane info + forwarded frames -----------------------
+
+class PreprocessingSkeleton : public ara::ServiceSkeleton {
+ public:
+  PreprocessingSkeleton(ara::Runtime& runtime,
+                        ara::MethodCallProcessingMode mode = ara::MethodCallProcessingMode::kEvent)
+      : ServiceSkeleton(runtime, {kPreprocessingService, kInstance}, mode) {}
+
+  ara::SkeletonEvent<LaneInfo> lane{*this, kLaneEvent};
+  ara::SkeletonEvent<VideoFrame> forwarded_frame{*this, kForwardedFrameEvent};
+};
+
+class PreprocessingProxy : public ara::ServiceProxy {
+ public:
+  PreprocessingProxy(ara::Runtime& runtime, ara::InstanceIdentifier instance,
+                     net::Endpoint server)
+      : ServiceProxy(runtime, instance, server) {}
+
+  ara::ProxyEvent<LaneInfo> lane{*this, kLaneEvent};
+  ara::ProxyEvent<VideoFrame> forwarded_frame{*this, kForwardedFrameEvent};
+};
+
+// --- Computer Vision: offers detected vehicles ---------------------------------
+
+class ComputerVisionSkeleton : public ara::ServiceSkeleton {
+ public:
+  ComputerVisionSkeleton(ara::Runtime& runtime,
+                         ara::MethodCallProcessingMode mode = ara::MethodCallProcessingMode::kEvent)
+      : ServiceSkeleton(runtime, {kComputerVisionService, kInstance}, mode) {}
+
+  ara::SkeletonEvent<VehicleList> vehicles{*this, kVehiclesEvent};
+};
+
+class ComputerVisionProxy : public ara::ServiceProxy {
+ public:
+  ComputerVisionProxy(ara::Runtime& runtime, ara::InstanceIdentifier instance,
+                      net::Endpoint server)
+      : ServiceProxy(runtime, instance, server) {}
+
+  ara::ProxyEvent<VehicleList> vehicles{*this, kVehiclesEvent};
+};
+
+// --- EBA: offers the brake command (for actuators / instrumentation) -----------
+
+class EbaSkeleton : public ara::ServiceSkeleton {
+ public:
+  EbaSkeleton(ara::Runtime& runtime,
+              ara::MethodCallProcessingMode mode = ara::MethodCallProcessingMode::kEvent)
+      : ServiceSkeleton(runtime, {kEbaService, kInstance}, mode) {}
+
+  ara::SkeletonEvent<BrakeCommand> brake{*this, kBrakeEvent};
+};
+
+class EbaProxy : public ara::ServiceProxy {
+ public:
+  EbaProxy(ara::Runtime& runtime, ara::InstanceIdentifier instance, net::Endpoint server)
+      : ServiceProxy(runtime, instance, server) {}
+
+  ara::ProxyEvent<BrakeCommand> brake{*this, kBrakeEvent};
+};
+
+}  // namespace dear::brake

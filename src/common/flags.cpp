@@ -1,0 +1,71 @@
+#include "common/flags.hpp"
+
+#include <cstdlib>
+
+namespace dear::common {
+
+Flags::Flags(int argc, const char* const* argv) {
+  if (argc > 0) {
+    program_ = argv[0];
+  }
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.emplace_back(arg);
+      continue;
+    }
+    const std::string_view body = arg.substr(2);
+    const auto eq = body.find('=');
+    if (eq != std::string_view::npos) {
+      values_.emplace(std::string(body.substr(0, eq)), std::string(body.substr(eq + 1)));
+      continue;
+    }
+    // `--name value` when the next token is not itself a flag; else boolean.
+    if (i + 1 < argc && std::string_view(argv[i + 1]).rfind("--", 0) != 0) {
+      values_.emplace(std::string(body), argv[i + 1]);
+      ++i;
+    } else {
+      values_.emplace(std::string(body), "true");
+    }
+  }
+}
+
+bool Flags::has(std::string_view name) const { return values_.find(name) != values_.end(); }
+
+std::string Flags::get_string(std::string_view name, std::string_view fallback) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? std::string(fallback) : it->second;
+}
+
+std::int64_t Flags::get_int(std::string_view name, std::int64_t fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) {
+    return fallback;
+  }
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double Flags::get_double(std::string_view name, double fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) {
+    return fallback;
+  }
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+bool Flags::get_bool(std::string_view name, bool fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) {
+    return fallback;
+  }
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+std::int64_t env_int(const char* name, std::int64_t fallback) {
+  if (const char* env = std::getenv(name); env != nullptr && *env != '\0') {
+    return std::strtoll(env, nullptr, 10);
+  }
+  return fallback;
+}
+
+}  // namespace dear::common

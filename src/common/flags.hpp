@@ -1,0 +1,43 @@
+// Tiny command-line flag parser for the examples and benchmark harnesses.
+//
+// Supports `--name=value`, `--name value` and boolean `--name`. Unknown
+// flags are collected so harnesses can reject typos. Values can also fall
+// back to environment variables (used to scale experiment sizes in CI).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dear::common {
+
+class Flags {
+ public:
+  Flags(int argc, const char* const* argv);
+
+  [[nodiscard]] bool has(std::string_view name) const;
+
+  [[nodiscard]] std::string get_string(std::string_view name, std::string_view fallback) const;
+  [[nodiscard]] std::int64_t get_int(std::string_view name, std::int64_t fallback) const;
+  [[nodiscard]] double get_double(std::string_view name, double fallback) const;
+  [[nodiscard]] bool get_bool(std::string_view name, bool fallback) const;
+
+  /// Positional (non-flag) arguments in order.
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept { return positional_; }
+
+  /// Program name (argv[0]).
+  [[nodiscard]] const std::string& program() const noexcept { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string, std::less<>> values_;
+  std::vector<std::string> positional_;
+};
+
+/// Reads an integer from the environment, or returns fallback. Used so CI
+/// can shrink experiment sizes (e.g. DEAR_FIG5_FRAMES=10000).
+[[nodiscard]] std::int64_t env_int(const char* name, std::int64_t fallback);
+
+}  // namespace dear::common

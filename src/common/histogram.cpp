@@ -1,0 +1,112 @@
+#include "common/histogram.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+namespace dear::common {
+
+std::uint64_t CategoricalHistogram::total() const noexcept {
+  std::uint64_t sum = 0;
+  for (const auto& [value, count] : counts_) {
+    sum += count;
+  }
+  return sum;
+}
+
+double CategoricalHistogram::probability(std::int64_t value) const {
+  const std::uint64_t sum = total();
+  if (sum == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(count(value)) / static_cast<double>(sum);
+}
+
+std::vector<std::int64_t> CategoricalHistogram::values() const {
+  std::vector<std::int64_t> result;
+  result.reserve(counts_.size());
+  for (const auto& [value, count] : counts_) {
+    result.push_back(value);
+  }
+  return result;
+}
+
+std::string CategoricalHistogram::to_ascii(int bar_width) const {
+  std::string out;
+  const std::uint64_t sum = total();
+  if (sum == 0) {
+    return "(empty)\n";
+  }
+  std::uint64_t max_count = 0;
+  for (const auto& [value, count] : counts_) {
+    max_count = std::max(max_count, count);
+  }
+  char line[160];
+  for (const auto& [value, count] : counts_) {
+    const double p = static_cast<double>(count) / static_cast<double>(sum);
+    const int bar = max_count == 0
+                        ? 0
+                        : static_cast<int>(static_cast<double>(count) * bar_width /
+                                           static_cast<double>(max_count));
+    std::snprintf(line, sizeof(line), "%6lld | %-*s %6.3f (%llu)\n",
+                  static_cast<long long>(value), bar_width,
+                  std::string(static_cast<std::size_t>(bar), '#').c_str(), p,
+                  static_cast<unsigned long long>(count));
+    out += line;
+  }
+  return out;
+}
+
+BinnedHistogram::BinnedHistogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)), counts_(bins, 0) {
+  if (bins == 0 || !(hi > lo)) {
+    throw std::invalid_argument("BinnedHistogram requires bins > 0 and hi > lo");
+  }
+}
+
+void BinnedHistogram::add(double value) {
+  ++total_;
+  if (value < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (value >= hi_) {
+    ++overflow_;
+    return;
+  }
+  auto index = static_cast<std::size_t>((value - lo_) / width_);
+  index = std::min(index, counts_.size() - 1);
+  ++counts_[index];
+}
+
+double BinnedHistogram::bin_lower(std::size_t index) const {
+  return lo_ + width_ * static_cast<double>(index);
+}
+
+double BinnedHistogram::bin_upper(std::size_t index) const {
+  return lo_ + width_ * static_cast<double>(index + 1);
+}
+
+double BinnedHistogram::quantile(double q) const {
+  if (total_ == 0) {
+    return lo_;
+  }
+  const auto target = static_cast<std::uint64_t>(q * static_cast<double>(total_));
+  std::uint64_t cumulative = underflow_;
+  if (cumulative > target) {
+    return lo_;
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (cumulative + counts_[i] > target) {
+      const double within =
+          counts_[i] == 0
+              ? 0.0
+              : static_cast<double>(target - cumulative) / static_cast<double>(counts_[i]);
+      return bin_lower(i) + within * width_;
+    }
+    cumulative += counts_[i];
+  }
+  return hi_;
+}
+
+}  // namespace dear::common

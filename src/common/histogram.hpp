@@ -1,0 +1,68 @@
+// Small histogram utilities used by the benchmark harnesses to report
+// distributions (e.g. the Figure 1 printed-value distribution and the
+// Figure 5 per-type error breakdown).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dear::common {
+
+/// Counts occurrences of integer-valued outcomes.
+class CategoricalHistogram {
+ public:
+  void add(std::int64_t value, std::uint64_t count = 1) { counts_[value] += count; }
+
+  [[nodiscard]] std::uint64_t count(std::int64_t value) const {
+    const auto it = counts_.find(value);
+    return it == counts_.end() ? 0 : it->second;
+  }
+
+  [[nodiscard]] std::uint64_t total() const noexcept;
+
+  [[nodiscard]] double probability(std::int64_t value) const;
+
+  /// All observed values in ascending order.
+  [[nodiscard]] std::vector<std::int64_t> values() const;
+
+  /// Renders an ASCII bar chart like the one next to Figure 1.
+  [[nodiscard]] std::string to_ascii(int bar_width = 40) const;
+
+  [[nodiscard]] bool empty() const noexcept { return counts_.empty(); }
+
+ private:
+  std::map<std::int64_t, std::uint64_t> counts_;
+};
+
+/// Fixed-bin histogram over a numeric range, for latency distributions.
+class BinnedHistogram {
+ public:
+  BinnedHistogram(double lo, double hi, std::size_t bins);
+
+  void add(double value);
+
+  [[nodiscard]] std::size_t bin_count() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::uint64_t bin(std::size_t index) const { return counts_.at(index); }
+  [[nodiscard]] double bin_lower(std::size_t index) const;
+  [[nodiscard]] double bin_upper(std::size_t index) const;
+  [[nodiscard]] std::uint64_t underflow() const noexcept { return underflow_; }
+  [[nodiscard]] std::uint64_t overflow() const noexcept { return overflow_; }
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+
+  /// Value below which the given fraction of samples fall (linear
+  /// interpolation inside the bin). quantile in [0, 1].
+  [[nodiscard]] double quantile(double q) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_{0};
+  std::uint64_t overflow_{0};
+  std::uint64_t total_{0};
+};
+
+}  // namespace dear::common

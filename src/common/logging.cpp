@@ -1,0 +1,71 @@
+#include "common/logging.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace dear::log {
+
+namespace {
+
+std::atomic<Level> g_threshold{Level::kWarn};
+std::mutex g_sink_mutex;
+
+[[nodiscard]] const char* level_name(Level level) noexcept {
+  switch (level) {
+    case Level::kTrace:
+      return "TRACE";
+    case Level::kDebug:
+      return "DEBUG";
+    case Level::kInfo:
+      return "INFO";
+    case Level::kWarn:
+      return "WARN";
+    case Level::kError:
+      return "ERROR";
+    case Level::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+/// Reads DEAR_LOG_LEVEL from the environment once at startup.
+Level initial_threshold() noexcept {
+  if (const char* env = std::getenv("DEAR_LOG_LEVEL"); env != nullptr) {
+    return parse_level(env);
+  }
+  return Level::kWarn;
+}
+
+struct ThresholdInit {
+  ThresholdInit() { g_threshold.store(initial_threshold(), std::memory_order_relaxed); }
+};
+const ThresholdInit g_threshold_init{};
+
+}  // namespace
+
+Level threshold() noexcept { return g_threshold.load(std::memory_order_relaxed); }
+
+void set_threshold(Level level) noexcept { g_threshold.store(level, std::memory_order_relaxed); }
+
+Level parse_level(std::string_view text) noexcept {
+  if (text == "trace") return Level::kTrace;
+  if (text == "debug") return Level::kDebug;
+  if (text == "info") return Level::kInfo;
+  if (text == "warn") return Level::kWarn;
+  if (text == "error") return Level::kError;
+  if (text == "off") return Level::kOff;
+  return Level::kInfo;
+}
+
+namespace detail {
+
+void emit(Level level, std::string_view component, const std::string& message) {
+  const std::lock_guard<std::mutex> lock(g_sink_mutex);
+  std::fprintf(stderr, "[%s] %.*s: %s\n", level_name(level), static_cast<int>(component.size()),
+               component.data(), message.c_str());
+}
+
+}  // namespace detail
+
+}  // namespace dear::log

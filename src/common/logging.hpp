@@ -1,0 +1,75 @@
+// Minimal leveled logger.
+//
+// The AUTOSAR Adaptive Platform specifies ara::log; this project only needs
+// a thread-safe sink with severity filtering, so we provide exactly that.
+// Messages are composed into an ostringstream and emitted atomically.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace dear::log {
+
+enum class Level : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+/// Returns the process-wide minimum severity that is emitted.
+[[nodiscard]] Level threshold() noexcept;
+
+/// Sets the process-wide minimum severity. Thread-safe.
+void set_threshold(Level level) noexcept;
+
+/// Parses "trace" / "debug" / "info" / "warn" / "error" / "off".
+/// Unknown strings map to kInfo.
+[[nodiscard]] Level parse_level(std::string_view text) noexcept;
+
+namespace detail {
+void emit(Level level, std::string_view component, const std::string& message);
+}
+
+/// RAII message builder: `Logger(Level::kInfo, "scheduler") << "tag " << t;`
+/// emits on destruction if the level passes the threshold.
+class Logger {
+ public:
+  Logger(Level level, std::string_view component) noexcept
+      : level_(level), component_(component), enabled_(level >= threshold()) {}
+
+  Logger(const Logger&) = delete;
+  Logger& operator=(const Logger&) = delete;
+
+  ~Logger() {
+    if (enabled_) {
+      detail::emit(level_, component_, stream_.str());
+    }
+  }
+
+  template <typename T>
+  Logger& operator<<(const T& value) {
+    if (enabled_) {
+      stream_ << value;
+    }
+    return *this;
+  }
+
+ private:
+  Level level_;
+  std::string_view component_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace dear::log
+
+#define DEAR_LOG_TRACE(component) ::dear::log::Logger(::dear::log::Level::kTrace, component)
+#define DEAR_LOG_DEBUG(component) ::dear::log::Logger(::dear::log::Level::kDebug, component)
+#define DEAR_LOG_INFO(component) ::dear::log::Logger(::dear::log::Level::kInfo, component)
+#define DEAR_LOG_WARN(component) ::dear::log::Logger(::dear::log::Level::kWarn, component)
+#define DEAR_LOG_ERROR(component) ::dear::log::Logger(::dear::log::Level::kError, component)

@@ -1,0 +1,76 @@
+// The one-slot input buffer pattern used by the APD brake assistant
+// (paper §IV.A): event handlers overwrite the slot, the periodic SWC logic
+// takes the latest value. An overwrite of an unread value is a dropped
+// input — exactly the error class Figure 5 counts.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace dear::common {
+
+template <typename T>
+class OneSlotBuffer {
+ public:
+  /// Stores a value, returning true if an unread value was overwritten
+  /// (i.e. an input was dropped).
+  bool store(T value) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const bool overwrote = slot_.has_value();
+    if (overwrote) {
+      ++overwrites_;
+    }
+    slot_ = std::move(value);
+    ++stores_;
+    return overwrote;
+  }
+
+  /// Removes and returns the current value, or nullopt when the slot is
+  /// empty (the SWC then "silently stops computation", per the paper).
+  [[nodiscard]] std::optional<T> take() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    std::optional<T> result = std::move(slot_);
+    slot_.reset();
+    if (result.has_value()) {
+      ++takes_;
+    } else {
+      ++empty_takes_;
+    }
+    return result;
+  }
+
+  /// Reads without consuming (used by instrumentation only).
+  [[nodiscard]] std::optional<T> peek() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return slot_;
+  }
+
+  [[nodiscard]] std::uint64_t stores() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return stores_;
+  }
+  [[nodiscard]] std::uint64_t overwrites() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return overwrites_;
+  }
+  [[nodiscard]] std::uint64_t takes() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return takes_;
+  }
+  [[nodiscard]] std::uint64_t empty_takes() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return empty_takes_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::optional<T> slot_;
+  std::uint64_t stores_{0};
+  std::uint64_t overwrites_{0};
+  std::uint64_t takes_{0};
+  std::uint64_t empty_takes_{0};
+};
+
+}  // namespace dear::common

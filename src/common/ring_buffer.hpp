@@ -1,0 +1,78 @@
+// Fixed-capacity FIFO ring buffer (single-threaded). Used by transport
+// queues and the trace recorder where allocation-free steady state matters.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace dear::common {
+
+template <typename T>
+class RingBuffer {
+ public:
+  explicit RingBuffer(std::size_t capacity) : storage_(capacity) {
+    if (capacity == 0) {
+      throw std::invalid_argument("RingBuffer capacity must be > 0");
+    }
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return storage_.size(); }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] bool full() const noexcept { return size_ == storage_.size(); }
+
+  /// Appends; returns false (and leaves the buffer unchanged) when full.
+  bool push(T value) {
+    if (full()) {
+      return false;
+    }
+    storage_[(head_ + size_) % storage_.size()] = std::move(value);
+    ++size_;
+    return true;
+  }
+
+  /// Appends, evicting the oldest element when full. Returns the evicted
+  /// element if any.
+  std::optional<T> push_evict(T value) {
+    std::optional<T> evicted;
+    if (full()) {
+      evicted = std::move(storage_[head_]);
+      head_ = (head_ + 1) % storage_.size();
+      --size_;
+    }
+    push(std::move(value));
+    return evicted;
+  }
+
+  [[nodiscard]] std::optional<T> pop() {
+    if (empty()) {
+      return std::nullopt;
+    }
+    T value = std::move(storage_[head_]);
+    head_ = (head_ + 1) % storage_.size();
+    --size_;
+    return value;
+  }
+
+  [[nodiscard]] const T& front() const {
+    if (empty()) {
+      throw std::out_of_range("RingBuffer::front on empty buffer");
+    }
+    return storage_[head_];
+  }
+
+  void clear() noexcept {
+    head_ = 0;
+    size_ = 0;
+  }
+
+ private:
+  std::vector<T> storage_;
+  std::size_t head_{0};
+  std::size_t size_{0};
+};
+
+}  // namespace dear::common

@@ -1,0 +1,61 @@
+#include "common/rng.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace dear::common {
+
+std::uint64_t Rng::next_below(std::uint64_t bound) noexcept {
+  // Lemire's debiased multiply-shift rejection method.
+  std::uint64_t x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto low = static_cast<std::uint64_t>(m);
+  if (low < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (low < threshold) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * bound;
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::uniform(std::int64_t lo, std::int64_t hi) noexcept {
+  const auto range = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (range == 0) {  // full 64-bit range
+    return static_cast<std::int64_t>((*this)());
+  }
+  return lo + static_cast<std::int64_t>(next_below(range));
+}
+
+double Rng::uniform01() noexcept {
+  // 53 random mantissa bits.
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+Duration Rng::uniform_duration(Duration lo, Duration hi) noexcept { return uniform(lo, hi); }
+
+double Rng::normal() noexcept {
+  double u1 = uniform01();
+  while (u1 <= 0.0) {
+    u1 = uniform01();
+  }
+  const double u2 = uniform01();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double Rng::normal(double mean, double sigma) noexcept {
+  const double raw = mean + sigma * normal();
+  return std::clamp(raw, mean - 4.0 * sigma, mean + 4.0 * sigma);
+}
+
+Rng Rng::stream(std::string_view name) const noexcept {
+  // Mix the current state with the stream name; the parent is not advanced.
+  std::uint64_t mix = state_[0] ^ rotl(state_[1], 13) ^ rotl(state_[2], 31) ^ rotl(state_[3], 47);
+  mix ^= fnv1a(name);
+  return Rng(splitmix64(mix));
+}
+
+}  // namespace dear::common

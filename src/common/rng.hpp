@@ -1,0 +1,98 @@
+// Seedable random number generation for the simulation models.
+//
+// Every stochastic choice in the DES (phase offsets, scheduling jitter,
+// network latency, dispatch interleaving) draws from a named stream derived
+// from a root seed, so entire experiments are bit-reproducible while still
+// modeling nondeterministic platforms. The generator is xoshiro256**, seeded
+// through splitmix64 as its authors recommend.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/time.hpp"
+
+namespace dear::common {
+
+/// splitmix64 step; also used for hashing stream names into sub-seeds.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// FNV-1a, used to derive independent sub-streams from string names.
+[[nodiscard]] constexpr std::uint64_t fnv1a(std::string_view text) noexcept {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const char c : text) {
+    hash ^= static_cast<std::uint8_t>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+/// xoshiro256** PRNG. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) {
+      word = splitmix64(sm);
+    }
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~static_cast<result_type>(0); }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). bound must be > 0.
+  [[nodiscard]] std::uint64_t next_below(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  [[nodiscard]] std::int64_t uniform(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform01() noexcept;
+
+  /// Uniform duration in [lo, hi] inclusive.
+  [[nodiscard]] Duration uniform_duration(Duration lo, Duration hi) noexcept;
+
+  /// Standard normal via Box-Muller (no cached spare; stateless draws).
+  [[nodiscard]] double normal() noexcept;
+
+  /// Normal with the given mean and standard deviation, truncated to
+  /// [mean - 4*sigma, mean + 4*sigma] to keep models bounded.
+  [[nodiscard]] double normal(double mean, double sigma) noexcept;
+
+  /// Bernoulli trial with probability p of returning true.
+  [[nodiscard]] bool chance(double p) noexcept { return uniform01() < p; }
+
+  /// Derives an independent generator for a named sub-stream. Streams with
+  /// different names (or parents with different seeds) are decorrelated.
+  [[nodiscard]] Rng stream(std::string_view name) const noexcept;
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace dear::common

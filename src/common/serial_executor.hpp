@@ -1,0 +1,66 @@
+// Strand adapter: serializes tasks posted through it onto an underlying
+// executor, preserving FIFO order. Used for the kEventSingleThread method
+// call processing mode ("the server could inform the runtime to use a
+// single thread rather than multiple", paper §I).
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <mutex>
+
+#include "common/executor.hpp"
+
+namespace dear::common {
+
+class SerialExecutor final : public Executor {
+ public:
+  explicit SerialExecutor(Executor& underlying) : underlying_(underlying) {}
+
+  void post(Task task) override {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      queue_.push_back(std::move(task));
+      if (running_) {
+        return;
+      }
+      running_ = true;
+    }
+    underlying_.post([this] { run_one(); });
+  }
+
+  void post_after(Duration delay, Task task) override {
+    underlying_.post_after(delay,
+                           [this, task = std::move(task)]() mutable { post(std::move(task)); });
+  }
+
+  [[nodiscard]] TimePoint now() const override { return underlying_.now(); }
+
+ private:
+  void run_one() {
+    Task task;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    bool more = false;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      more = !queue_.empty();
+      if (!more) {
+        running_ = false;
+      }
+    }
+    if (more) {
+      underlying_.post([this] { run_one(); });
+    }
+  }
+
+  Executor& underlying_;
+  std::mutex mutex_;
+  std::deque<Task> queue_;
+  bool running_{false};
+};
+
+}  // namespace dear::common

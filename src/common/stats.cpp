@@ -1,0 +1,63 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dear::common {
+
+void RunningStats::add(double sample) noexcept {
+  if (count_ == 0) {
+    min_ = sample;
+    max_ = sample;
+  } else {
+    min_ = std::min(min_, sample);
+    max_ = std::max(max_, sample);
+  }
+  ++count_;
+  const double delta = sample - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (sample - mean_);
+}
+
+double RunningStats::variance() const noexcept {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.count_ == 0) {
+    return;
+  }
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto n1 = static_cast<double>(count_);
+  const auto n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double total = n1 + n2;
+  mean_ += delta * n2 / total;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / total;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double QuantileSketch::quantile(double q) const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  const double clamped = std::clamp(q, 0.0, 1.0);
+  const auto index = static_cast<std::size_t>(clamped * static_cast<double>(samples_.size() - 1));
+  return samples_[index];
+}
+
+}  // namespace dear::common

@@ -1,0 +1,49 @@
+// Streaming summary statistics (Welford) used by the experiment harnesses.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dear::common {
+
+/// Single-pass mean/variance/min/max accumulator.
+class RunningStats {
+ public:
+  void add(double sample) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+  /// Merges another accumulator into this one (parallel-friendly).
+  void merge(const RunningStats& other) noexcept;
+
+ private:
+  std::uint64_t count_{0};
+  double mean_{0.0};
+  double m2_{0.0};
+  double min_{0.0};
+  double max_{0.0};
+};
+
+/// Exact quantile over a retained sample vector. Suitable for the
+/// experiment sizes in this repository (<= a few million samples).
+class QuantileSketch {
+ public:
+  void add(double sample) {
+    samples_.push_back(sample);
+    sorted_ = false;
+  }
+  [[nodiscard]] std::size_t count() const noexcept { return samples_.size(); }
+  /// q in [0,1]; returns 0.0 when empty.
+  [[nodiscard]] double quantile(double q) const;
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_{false};
+};
+
+}  // namespace dear::common

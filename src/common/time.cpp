@@ -1,0 +1,27 @@
+#include "common/time.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace dear {
+
+std::string format_duration(Duration d) {
+  char buffer[64];
+  const char* sign = d < 0 ? "-" : "";
+  const std::int64_t abs = d < 0 ? -d : d;
+  if (abs >= kSecond) {
+    std::snprintf(buffer, sizeof(buffer), "%s%.3fs", sign,
+                  static_cast<double>(abs) / static_cast<double>(kSecond));
+  } else if (abs >= kMillisecond) {
+    std::snprintf(buffer, sizeof(buffer), "%s%.3fms", sign,
+                  static_cast<double>(abs) / static_cast<double>(kMillisecond));
+  } else if (abs >= kMicrosecond) {
+    std::snprintf(buffer, sizeof(buffer), "%s%.3fus", sign,
+                  static_cast<double>(abs) / static_cast<double>(kMicrosecond));
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%s%" PRId64 "ns", sign, abs);
+  }
+  return buffer;
+}
+
+}  // namespace dear

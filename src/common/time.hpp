@@ -1,0 +1,45 @@
+// Common time representation shared by the simulation kernel, the network
+// models, the SOME/IP stack and the reactor runtime.
+//
+// All times are signed 64-bit nanosecond counts. Physical and logical time
+// points share the representation but are kept apart by the type aliases
+// below; arithmetic helpers are constexpr so models can be configured with
+// literals like `50 * kMillisecond`.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace dear {
+
+/// A point in time, in nanoseconds since an arbitrary epoch.
+using TimePoint = std::int64_t;
+/// A span of time in nanoseconds. May be negative in intermediate arithmetic.
+using Duration = std::int64_t;
+
+inline constexpr Duration kNanosecond = 1;
+inline constexpr Duration kMicrosecond = 1'000;
+inline constexpr Duration kMillisecond = 1'000'000;
+inline constexpr Duration kSecond = 1'000'000'000;
+
+inline constexpr TimePoint kTimeMax = std::numeric_limits<TimePoint>::max();
+inline constexpr TimePoint kTimeMin = std::numeric_limits<TimePoint>::min();
+
+[[nodiscard]] constexpr Duration nanoseconds(std::int64_t n) noexcept { return n; }
+[[nodiscard]] constexpr Duration microseconds(std::int64_t n) noexcept { return n * kMicrosecond; }
+[[nodiscard]] constexpr Duration milliseconds(std::int64_t n) noexcept { return n * kMillisecond; }
+[[nodiscard]] constexpr Duration seconds(std::int64_t n) noexcept { return n * kSecond; }
+
+/// Formats a time point or duration as a human-readable string, e.g.
+/// "1.250ms" or "3.000s". Used by log messages and benchmark tables.
+[[nodiscard]] std::string format_duration(Duration d);
+
+namespace literals {
+constexpr Duration operator""_ns(unsigned long long n) { return static_cast<Duration>(n); }
+constexpr Duration operator""_us(unsigned long long n) { return static_cast<Duration>(n) * kMicrosecond; }
+constexpr Duration operator""_ms(unsigned long long n) { return static_cast<Duration>(n) * kMillisecond; }
+constexpr Duration operator""_s(unsigned long long n) { return static_cast<Duration>(n) * kSecond; }
+}  // namespace literals
+
+}  // namespace dear

@@ -1,0 +1,12 @@
+// Umbrella header for the DEAR framework (Discrete Events for AUTOSAR):
+// the reactor runtime plus the transactors that bridge reactor programs to
+// AUTOSAR AP service interfaces.
+#pragma once
+
+#include "dear/config.hpp"
+#include "dear/event_transactors.hpp"
+#include "dear/field_transactors.hpp"
+#include "dear/method_transactors.hpp"
+#include "dear/tag_codec.hpp"
+#include "dear/transactor_base.hpp"
+#include "reactor/runtime.hpp"

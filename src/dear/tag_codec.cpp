@@ -1,0 +1,13 @@
+#include "dear/tag_codec.hpp"
+
+namespace dear::transact {
+
+someip::WireTag to_wire(const reactor::Tag& tag) noexcept {
+  return someip::WireTag{tag.time, tag.microstep};
+}
+
+reactor::Tag from_wire(const someip::WireTag& wire) noexcept {
+  return reactor::Tag{wire.time, wire.microstep};
+}
+
+}  // namespace dear::transact

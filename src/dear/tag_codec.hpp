@@ -1,0 +1,24 @@
+// Conversions between reactor tags and the SOME/IP wire tag, plus the
+// SOME/IP codec for the Empty signal payload.
+#pragma once
+
+#include "reactor/fwd.hpp"
+#include "reactor/tag.hpp"
+#include "someip/message.hpp"
+#include "someip/serialization.hpp"
+
+namespace dear::transact {
+
+[[nodiscard]] someip::WireTag to_wire(const reactor::Tag& tag) noexcept;
+[[nodiscard]] reactor::Tag from_wire(const someip::WireTag& wire) noexcept;
+
+}  // namespace dear::transact
+
+namespace dear::reactor {
+
+// ADL codecs so Empty-typed payloads (pure signals, e.g. field get
+// requests) can travel through ara::com methods and events.
+inline void someip_serialize(someip::Writer& writer, const Empty&) { writer.write_u8(0); }
+inline void someip_deserialize(someip::Reader& reader, Empty&) { (void)reader.read_u8(); }
+
+}  // namespace dear::reactor

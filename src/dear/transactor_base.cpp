@@ -1,0 +1,4 @@
+#include "dear/transactor_base.hpp"
+
+// The transactor base is header-only; this translation unit anchors the
+// library and instantiates nothing.

@@ -1,0 +1,74 @@
+// The Figure 1 client/server application.
+//
+//   int main() {
+//     s = ServiceProxy();
+//     s.set_value(1);
+//     s.add(2);
+//     result = s.get_value();
+//     std::cout << result.get();
+//   }
+//
+// The server implements set_value/add/get_value non-blocking; the runtime
+// maps each invocation to a different thread, so "the order in which the
+// calls are handled is determined purely by the thread scheduler" and the
+// printed value is one of {0, 1, 2, 3}. This module provides:
+//   * Fig1RealHarness   — the nondeterministic app over real threads
+//                         (genuine OS scheduler nondeterminism),
+//   * run_fig1_nondet_sim — the same app over the DES with seeded dispatch
+//                         jitter (reproducible nondeterminism),
+//   * run_fig1_dear_sim / run_fig1_dear_threaded — the DEAR version: the
+//                         client issues the calls at successive logical
+//                         tags through client method transactors, the
+//                         server processes them in tag order; the printed
+//                         value is always 3.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "common/time.hpp"
+
+namespace dear::demo {
+
+struct Fig1Outcome {
+  /// The value the client prints (0, 1, 2 or 3).
+  std::int32_t printed{-1};
+  /// True when all three calls completed without communication errors.
+  bool completed{false};
+  /// DEAR variants: observable protocol errors (tardy/untagged/deadline).
+  std::uint64_t protocol_errors{0};
+};
+
+/// Nondeterministic variant over real threads. One server is reused across
+/// trials (its state is reset between trials).
+class Fig1RealHarness {
+ public:
+  explicit Fig1RealHarness(std::size_t workers);
+  ~Fig1RealHarness();
+
+  Fig1RealHarness(const Fig1RealHarness&) = delete;
+  Fig1RealHarness& operator=(const Fig1RealHarness&) = delete;
+
+  /// Runs the client program once and returns the printed value.
+  [[nodiscard]] Fig1Outcome run_trial();
+
+  [[nodiscard]] std::size_t workers() const noexcept;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Nondeterministic variant on the DES; the seed drives dispatch jitter and
+/// link latency, reproducing the thread-scheduler race reproducibly.
+[[nodiscard]] Fig1Outcome run_fig1_nondet_sim(std::uint64_t seed);
+
+/// DEAR variant on the DES: always prints 3.
+[[nodiscard]] Fig1Outcome run_fig1_dear_sim(std::uint64_t seed);
+
+/// DEAR variant over real threads and real time: always prints 3.
+/// `call_spacing` is the logical spacing between the three calls.
+[[nodiscard]] Fig1Outcome run_fig1_dear_threaded(std::size_t workers,
+                                                 Duration call_spacing = kMillisecond);
+
+}  // namespace dear::demo

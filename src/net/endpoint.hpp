@@ -1,0 +1,34 @@
+// Network endpoints.
+//
+// A node models one platform (ECU); a port distinguishes services/bindings
+// on that platform, mirroring UDP ports under SOME/IP.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace dear::net {
+
+using NodeId = std::uint32_t;
+using PortId = std::uint16_t;
+
+struct Endpoint {
+  NodeId node{0};
+  PortId port{0};
+
+  auto operator<=>(const Endpoint&) const = default;
+
+  [[nodiscard]] std::string to_string() const {
+    return "node" + std::to_string(node) + ":" + std::to_string(port);
+  }
+};
+
+struct EndpointHash {
+  [[nodiscard]] std::size_t operator()(const Endpoint& ep) const noexcept {
+    return std::hash<std::uint64_t>{}((static_cast<std::uint64_t>(ep.node) << 16) | ep.port);
+  }
+};
+
+}  // namespace dear::net

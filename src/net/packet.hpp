@@ -1,0 +1,23 @@
+// Datagram passed through the network layer. Payloads are opaque byte
+// vectors; SOME/IP framing lives one layer up.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/time.hpp"
+#include "net/endpoint.hpp"
+
+namespace dear::net {
+
+struct Packet {
+  Endpoint source;
+  Endpoint destination;
+  std::vector<std::uint8_t> payload;
+  /// Physical (network-layer) time at which the packet was handed to send().
+  TimePoint send_time{0};
+  /// Physical time at which the packet was delivered to the receiver.
+  TimePoint receive_time{0};
+};
+
+}  // namespace dear::net

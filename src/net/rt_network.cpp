@@ -1,0 +1,35 @@
+#include "net/rt_network.hpp"
+
+#include <utility>
+
+namespace dear::net {
+
+void RtNetwork::send(Endpoint source, Endpoint destination, std::vector<std::uint8_t> payload) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++sent_;
+  }
+  Packet packet;
+  packet.source = source;
+  packet.destination = destination;
+  packet.payload = std::move(payload);
+  packet.send_time = executor_.now();
+
+  executor_.post([this, packet = std::move(packet)]() mutable {
+    ReceiveHandler handler;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      const auto it = receivers_.find(packet.destination);
+      if (it == receivers_.end()) {
+        ++dropped_;
+        return;
+      }
+      handler = it->second;
+      ++delivered_;
+    }
+    packet.receive_time = executor_.now();
+    handler(packet);
+  });
+}
+
+}  // namespace dear::net

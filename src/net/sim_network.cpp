@@ -1,0 +1,65 @@
+#include "net/sim_network.hpp"
+
+namespace dear::net {
+
+SimNetwork::SimNetwork(sim::Kernel& kernel, common::Rng rng) : kernel_(kernel), rng_(rng) {}
+
+void SimNetwork::bind(Endpoint endpoint, ReceiveHandler handler) {
+  receivers_[endpoint] = std::move(handler);
+}
+
+void SimNetwork::unbind(Endpoint endpoint) { receivers_.erase(endpoint); }
+
+const LinkParams& SimNetwork::link_for(NodeId source, NodeId destination) const {
+  if (source == destination) {
+    const auto it = links_.find({source, destination});
+    return it != links_.end() ? it->second : loopback_link_;
+  }
+  const auto it = links_.find({source, destination});
+  return it != links_.end() ? it->second : default_link_;
+}
+
+void SimNetwork::set_link(NodeId source, NodeId destination, LinkParams params) {
+  links_[{source, destination}] = std::move(params);
+}
+
+void SimNetwork::send(Endpoint source, Endpoint destination, std::vector<std::uint8_t> payload) {
+  ++sent_;
+  const LinkParams& link = link_for(source.node, destination.node);
+  if (link.drop_probability > 0.0 && rng_.chance(link.drop_probability)) {
+    ++dropped_;
+    return;
+  }
+  const TimePoint send_time = kernel_.now();
+  TimePoint delivery = send_time + link.latency.sample(rng_);
+  auto& pair = pair_state_[{source.node, destination.node}];
+  if (link.enforce_in_order && delivery < pair.last_scheduled_delivery) {
+    delivery = pair.last_scheduled_delivery;
+  }
+  const bool reordered = delivery < pair.last_scheduled_delivery;
+  if (reordered) {
+    ++reordered_;
+  }
+  if (delivery > pair.last_scheduled_delivery) {
+    pair.last_scheduled_delivery = delivery;
+  }
+
+  Packet packet;
+  packet.source = source;
+  packet.destination = destination;
+  packet.payload = std::move(payload);
+  packet.send_time = send_time;
+
+  kernel_.schedule_at(delivery, [this, packet = std::move(packet)]() mutable {
+    const auto it = receivers_.find(packet.destination);
+    if (it == receivers_.end()) {
+      ++dropped_;
+      return;
+    }
+    packet.receive_time = kernel_.now();
+    ++delivered_;
+    it->second(packet);
+  });
+}
+
+}  // namespace dear::net

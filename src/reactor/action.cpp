@@ -1,0 +1,41 @@
+#include "reactor/action.hpp"
+
+#include "reactor/environment.hpp"
+#include "reactor/reactor.hpp"
+
+namespace dear::reactor {
+
+BaseAction::BaseAction(std::string name, Reactor* container, Environment& environment,
+                       Duration min_delay)
+    : Element(std::move(name), container, environment), min_delay_(min_delay) {
+  if (container != nullptr) {
+    container->register_action(this);
+  }
+}
+
+Timer::Timer(std::string name, Reactor* container, Duration period, Duration offset)
+    : BaseAction(std::move(name), container, container->environment()), period_(period),
+      offset_(offset) {
+  if (period <= 0) {
+    throw std::logic_error("timer period must be positive: " + fqn());
+  }
+}
+
+void Timer::arm(const Tag& start_tag) {
+  // Requires the scheduler lock (called from Scheduler::start_at).
+  environment().scheduler().enqueue_locked(this, Tag{start_tag.time + offset_, 0});
+}
+
+void Timer::setup(const Tag& tag) {
+  BaseAction::setup(tag);
+  // Re-arm the next firing (the scheduler lock is held during setup).
+  environment().scheduler().enqueue_locked(this, Tag{tag.time + period_, 0});
+}
+
+StartupTrigger::StartupTrigger(std::string name, Reactor* container)
+    : BaseAction(std::move(name), container, container->environment()) {}
+
+ShutdownTrigger::ShutdownTrigger(std::string name, Reactor* container)
+    : BaseAction(std::move(name), container, container->environment()) {}
+
+}  // namespace dear::reactor

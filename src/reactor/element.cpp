@@ -1,0 +1,17 @@
+#include "reactor/element.hpp"
+
+#include "reactor/reactor.hpp"
+
+namespace dear::reactor {
+
+Element::Element(std::string name, Reactor* container, Environment& environment)
+    : name_(std::move(name)), container_(container), environment_(environment) {}
+
+std::string Element::fqn() const {
+  if (container_ == nullptr) {
+    return name_;
+  }
+  return container_->fqn() + "." + name_;
+}
+
+}  // namespace dear::reactor

@@ -1,0 +1,34 @@
+// Base class for every named element of a reactor program (reactors,
+// ports, actions, reactions). Provides the containment hierarchy and
+// fully-qualified names used in diagnostics and traces.
+#pragma once
+
+#include <string>
+
+#include "reactor/fwd.hpp"
+
+namespace dear::reactor {
+
+class Element {
+ public:
+  Element(std::string name, Reactor* container, Environment& environment);
+  virtual ~Element() = default;
+
+  Element(const Element&) = delete;
+  Element& operator=(const Element&) = delete;
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  /// Dotted path from the top-level reactor, e.g. "pipeline.cv.frame_in".
+  [[nodiscard]] std::string fqn() const;
+
+  [[nodiscard]] Reactor* container() const noexcept { return container_; }
+  [[nodiscard]] Environment& environment() const noexcept { return environment_; }
+
+ private:
+  std::string name_;
+  Reactor* container_;
+  Environment& environment_;
+};
+
+}  // namespace dear::reactor

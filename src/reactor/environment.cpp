@@ -1,0 +1,53 @@
+#include "reactor/environment.hpp"
+
+#include "reactor/action.hpp"
+#include "reactor/graph.hpp"
+#include "reactor/reactor.hpp"
+
+namespace dear::reactor {
+
+Environment::Environment(PhysicalClock& clock, Config config)
+    : clock_(clock), config_(config), scheduler_(*this, clock) {}
+
+Environment::~Environment() = default;
+
+void Environment::register_special_actions(Reactor* reactor) {
+  for (BaseAction* action : reactor->actions()) {
+    if (auto* timer = dynamic_cast<Timer*>(action); timer != nullptr) {
+      scheduler_.register_timer(timer);
+    } else if (dynamic_cast<StartupTrigger*>(action) != nullptr) {
+      scheduler_.register_startup(action);
+    } else if (dynamic_cast<ShutdownTrigger*>(action) != nullptr) {
+      scheduler_.register_shutdown(action);
+    }
+  }
+  for (BasePort* port : reactor->ports()) {
+    port->cache_closure();
+  }
+  for (Reactor* child : reactor->children()) {
+    register_special_actions(child);
+  }
+}
+
+void Environment::assemble() {
+  if (assembled_) {
+    return;
+  }
+  DependencyGraph graph(top_level_);
+  level_count_ = graph.assign_levels();
+  for (Reactor* reactor : top_level_) {
+    register_special_actions(reactor);
+  }
+  scheduler_.configure(level_count_, config_.workers, config_.keepalive, config_.timeout);
+  scheduler_.trace().set_enabled(config_.tracing);
+  assembled_ = true;
+}
+
+void Environment::run() {
+  assemble();
+  scheduler_.run_threaded();
+}
+
+void Environment::request_shutdown() { scheduler_.request_stop(); }
+
+}  // namespace dear::reactor

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <memory>
+
+namespace dear::reactor {
+
+class Element;
+class Reactor;
+class BasePort;
+template <typename T>
+class Port;
+class BaseAction;
+class Reaction;
+class Scheduler;
+class Environment;
+class SimDriver;
+
+/// Values flowing through ports are immutable and shared: a single set()
+/// fans out to many readers without copies, and no reader can mutate what
+/// another reaction observes.
+template <typename T>
+using ImmutableValuePtr = std::shared_ptr<const T>;
+
+template <typename T, typename... Args>
+[[nodiscard]] ImmutableValuePtr<T> make_immutable_value(Args&&... args) {
+  return std::make_shared<const T>(std::forward<Args>(args)...);
+}
+
+/// Payload type for pure signals (presence only).
+struct Empty {
+  bool operator==(const Empty&) const = default;
+};
+
+}  // namespace dear::reactor

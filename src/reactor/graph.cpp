@@ -1,0 +1,136 @@
+#include "reactor/graph.hpp"
+
+#include <deque>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "reactor/port.hpp"
+#include "reactor/reaction.hpp"
+#include "reactor/reactor.hpp"
+
+namespace dear::reactor {
+
+DependencyGraph::DependencyGraph(const std::vector<Reactor*>& top_level) {
+  for (Reactor* reactor : top_level) {
+    collect(reactor);
+  }
+  build_edges();
+}
+
+void DependencyGraph::collect(Reactor* reactor) {
+  all_reactors_.push_back(reactor);
+  for (const auto& reaction : reactor->reactions()) {
+    reactions_.push_back(reaction.get());
+  }
+  for (Reactor* child : reactor->children()) {
+    collect(child);
+  }
+}
+
+namespace {
+
+/// All ports reachable from `port` through outward bindings (inclusive).
+void downstream_ports(BasePort* port, std::vector<BasePort*>& out) {
+  out.push_back(port);
+  for (BasePort* sink : port->outward_bindings()) {
+    downstream_ports(sink, out);
+  }
+}
+
+}  // namespace
+
+void DependencyGraph::build_edges() {
+  std::unordered_map<const Reaction*, std::size_t> index;
+  index.reserve(reactions_.size());
+  for (std::size_t i = 0; i < reactions_.size(); ++i) {
+    index[reactions_[i]] = i;
+  }
+  edges_.assign(reactions_.size(), {});
+
+  // Port dataflow edges: writer -> (transitively connected) reader/triggeree.
+  for (std::size_t i = 0; i < reactions_.size(); ++i) {
+    for (BasePort* effect : reactions_[i]->effect_ports()) {
+      std::vector<BasePort*> reachable;
+      downstream_ports(effect, reachable);
+      for (BasePort* port : reachable) {
+        for (Reaction* reader : port->triggered_reactions()) {
+          edges_[i].push_back(index.at(reader));
+        }
+      }
+    }
+  }
+  // Reads that do not trigger still order the reader after the writer; the
+  // dependency set of a reaction includes both triggers and reads, so a
+  // second pass adds writer->reader edges for read-only dependencies.
+  for (std::size_t i = 0; i < reactions_.size(); ++i) {
+    for (BasePort* dependency : reactions_[i]->dependency_ports()) {
+      // Find the source of the binding chain, then all its writers.
+      BasePort* source = dependency;
+      while (source->inward_binding() != nullptr) {
+        source = source->inward_binding();
+      }
+      for (Reaction* writer : source->writers()) {
+        edges_[index.at(writer)].push_back(i);
+      }
+    }
+  }
+  // Intra-reactor priority chain.
+  for (Reactor* reactor : all_reactors_) {
+    const auto& list = reactor->reactions();
+    for (std::size_t k = 1; k < list.size(); ++k) {
+      edges_[index.at(list[k - 1].get())].push_back(index.at(list[k].get()));
+    }
+  }
+}
+
+int DependencyGraph::assign_levels() {
+  const std::size_t n = reactions_.size();
+  std::vector<int> indegree(n, 0);
+  for (const auto& targets : edges_) {
+    for (const std::size_t target : targets) {
+      ++indegree[target];
+    }
+  }
+  std::deque<std::size_t> ready;
+  std::vector<int> level(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (indegree[i] == 0) {
+      ready.push_back(i);
+    }
+  }
+  std::size_t visited = 0;
+  int max_level = -1;
+  while (!ready.empty()) {
+    const std::size_t node = ready.front();
+    ready.pop_front();
+    ++visited;
+    max_level = std::max(max_level, level[node]);
+    for (const std::size_t target : edges_[node]) {
+      level[target] = std::max(level[target], level[node] + 1);
+      if (--indegree[target] == 0) {
+        ready.push_back(target);
+      }
+    }
+  }
+  if (visited != n) {
+    // Collect the reactions on cycles for the error message.
+    std::string names;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (indegree[i] > 0) {
+        if (!names.empty()) {
+          names += ", ";
+        }
+        names += reactions_[i]->fqn();
+      }
+    }
+    throw std::logic_error("reactor program has a dependency cycle involving: " + names);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    reactions_[i]->set_level(level[i]);
+  }
+  level_count_ = max_level + 1;
+  return level_count_ < 1 ? 1 : level_count_;
+}
+
+}  // namespace dear::reactor

@@ -1,0 +1,44 @@
+// Acyclic precedence graph (APG).
+//
+// "The communication topology of a reactor program translates into an
+// acyclic precedence graph that drives the execution" (paper §III.A).
+// Edges:
+//   * a reaction that may write a port precedes every reaction that is
+//     triggered by or reads that port (following connections transitively),
+//   * within one reactor, reactions are ordered by declaration priority.
+// A topological sort assigns each reaction a level; reactions on the same
+// level are independent and may execute in parallel. Cycles are reported
+// with the full path.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "reactor/fwd.hpp"
+
+namespace dear::reactor {
+
+class DependencyGraph {
+ public:
+  /// Collects all reactions reachable from the given top-level reactors.
+  explicit DependencyGraph(const std::vector<Reactor*>& top_level);
+
+  /// Assigns levels; throws std::logic_error naming the cycle if the graph
+  /// is cyclic. Returns the number of levels.
+  int assign_levels();
+
+  [[nodiscard]] const std::vector<Reaction*>& reactions() const noexcept { return reactions_; }
+  [[nodiscard]] int level_count() const noexcept { return level_count_; }
+
+ private:
+  void collect(Reactor* reactor);
+  void build_edges();
+
+  std::vector<Reactor*> all_reactors_;
+  std::vector<Reaction*> reactions_;
+  // adjacency: edges_[i] lists indices of reactions that must run after i.
+  std::vector<std::vector<std::size_t>> edges_;
+  int level_count_{0};
+};
+
+}  // namespace dear::reactor

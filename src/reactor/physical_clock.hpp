@@ -1,0 +1,53 @@
+// Physical time sources for the reactor runtime.
+//
+// The scheduler never handles an event before physical time exceeds its
+// tag (paper §III.A); what "physical time" means is pluggable:
+//   * RealClock — monotonic wall time (threaded execution),
+//   * SimClock  — the DES kernel's time (simulated execution via SimDriver).
+#pragma once
+
+#include <chrono>
+
+#include "common/time.hpp"
+#include "sim/kernel.hpp"
+
+namespace dear::reactor {
+
+class PhysicalClock {
+ public:
+  virtual ~PhysicalClock() = default;
+  [[nodiscard]] virtual TimePoint now() const = 0;
+};
+
+/// Monotonic wall clock; time 0 is the construction instant.
+class RealClock final : public PhysicalClock {
+ public:
+  RealClock() : epoch_(std::chrono::steady_clock::now()) {}
+
+  [[nodiscard]] TimePoint now() const override {
+    const auto elapsed = std::chrono::steady_clock::now() - epoch_;
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count();
+  }
+
+  /// Converts a reactor TimePoint to the equivalent steady_clock instant
+  /// (used by the threaded scheduler's timed waits).
+  [[nodiscard]] std::chrono::steady_clock::time_point to_chrono(TimePoint t) const {
+    return epoch_ + std::chrono::nanoseconds(t);
+  }
+
+ private:
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+/// Physical time is simulation time.
+class SimClock final : public PhysicalClock {
+ public:
+  explicit SimClock(const sim::Kernel& kernel) : kernel_(kernel) {}
+
+  [[nodiscard]] TimePoint now() const override { return kernel_.now(); }
+
+ private:
+  const sim::Kernel& kernel_;
+};
+
+}  // namespace dear::reactor

@@ -1,0 +1,146 @@
+// Reactor ports and connections.
+//
+// "Reactors only communicate to one another via channels that connect
+// reactor ports" (paper §III.A). A connection binds a source port to a
+// sink; values are shared immutable pointers, so fan-out is free. Reading
+// follows the inward-binding chain to the source, writing is only allowed
+// on unbound (source) ports.
+#pragma once
+
+#include <cassert>
+#include <stdexcept>
+#include <vector>
+
+#include "reactor/element.hpp"
+#include "reactor/fwd.hpp"
+
+namespace dear::reactor {
+
+enum class PortDirection : std::uint8_t { kInput, kOutput };
+
+class BasePort : public Element {
+ public:
+  BasePort(std::string name, PortDirection direction, Reactor* container,
+           Environment& environment);
+
+  [[nodiscard]] PortDirection direction() const noexcept { return direction_; }
+  [[nodiscard]] bool is_input() const noexcept { return direction_ == PortDirection::kInput; }
+  [[nodiscard]] bool is_output() const noexcept { return direction_ == PortDirection::kOutput; }
+
+  /// True when a value was set at the current tag (anywhere along the
+  /// binding chain).
+  [[nodiscard]] bool is_present() const noexcept { return source().present_; }
+
+  [[nodiscard]] BasePort* inward_binding() const noexcept { return inward_; }
+  [[nodiscard]] const std::vector<BasePort*>& outward_bindings() const noexcept {
+    return outward_;
+  }
+
+  /// Reactions triggered by this port becoming present.
+  [[nodiscard]] const std::vector<Reaction*>& triggered_reactions() const noexcept {
+    return triggers_;
+  }
+  /// Reactions that may write this port.
+  [[nodiscard]] const std::vector<Reaction*>& writers() const noexcept { return writers_; }
+
+  /// Reactions to stage when this port's *source* becomes present,
+  /// including reactions triggered by transitively bound sinks. Cached at
+  /// assembly.
+  [[nodiscard]] const std::vector<Reaction*>& triggered_closure() const noexcept {
+    return closure_;
+  }
+
+  // --- assembly-time wiring (used by Environment/Reaction) -------------------
+
+  void bind_to(BasePort* sink);
+  void add_trigger(Reaction* reaction) { triggers_.push_back(reaction); }
+  void add_writer(Reaction* reaction) { writers_.push_back(reaction); }
+  void cache_closure();
+
+ protected:
+  [[nodiscard]] const BasePort& source() const noexcept {
+    const BasePort* port = this;
+    while (port->inward_ != nullptr) {
+      port = port->inward_;
+    }
+    return *port;
+  }
+  [[nodiscard]] BasePort& source() noexcept {
+    return const_cast<BasePort&>(static_cast<const BasePort*>(this)->source());
+  }
+
+  /// Marks present and stages triggered reactions; called by Port<T>::set.
+  void signal_presence();
+
+  bool present_{false};
+
+ protected:
+  friend class Scheduler;
+  virtual void cleanup() noexcept { present_ = false; }
+
+ private:
+  PortDirection direction_;
+  BasePort* inward_{nullptr};
+  std::vector<BasePort*> outward_;
+  std::vector<Reaction*> triggers_;
+  std::vector<Reaction*> writers_;
+  std::vector<Reaction*> closure_;
+};
+
+template <typename T>
+class Port : public BasePort {
+ public:
+  using BasePort::BasePort;
+
+  /// Writes a value at the current tag. Only valid during reaction
+  /// execution, on ports without an inward binding.
+  void set(ImmutableValuePtr<T> value) {
+    if (inward_binding() != nullptr) {
+      throw std::logic_error("cannot set a port with an inward binding: " + fqn());
+    }
+    assert(value != nullptr);
+    value_ = std::move(value);
+    signal_presence();
+  }
+
+  void set(const T& value) { set(make_immutable_value<T>(value)); }
+  void set(T&& value) { set(make_immutable_value<T>(std::move(value))); }
+
+  /// For Port<Empty> style pure signals.
+  void set() requires std::same_as<T, Empty> { set(Empty{}); }
+
+  /// Reads the value at the current tag; requires is_present().
+  [[nodiscard]] const T& get() const {
+    const auto& src = static_cast<const Port<T>&>(source());
+    assert(src.value_ != nullptr && "get() on absent port");
+    return *src.value_;
+  }
+
+  /// Shared pointer to the current value (null when absent).
+  [[nodiscard]] ImmutableValuePtr<T> get_ptr() const {
+    return static_cast<const Port<T>&>(source()).value_;
+  }
+
+ protected:
+  void cleanup() noexcept override {
+    BasePort::cleanup();
+    value_.reset();
+  }
+
+ private:
+  ImmutableValuePtr<T> value_;
+};
+
+template <typename T>
+class Input final : public Port<T> {
+ public:
+  Input(std::string name, Reactor* container);
+};
+
+template <typename T>
+class Output final : public Port<T> {
+ public:
+  Output(std::string name, Reactor* container);
+};
+
+}  // namespace dear::reactor

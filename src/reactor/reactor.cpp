@@ -1,0 +1,38 @@
+#include "reactor/reactor.hpp"
+
+#include "reactor/environment.hpp"
+
+namespace dear::reactor {
+
+Reactor::Reactor(std::string name, Environment& environment)
+    : Element(std::move(name), nullptr, environment) {
+  environment.register_top_level(this);
+}
+
+Reactor::Reactor(std::string name, Reactor* parent)
+    : Element(std::move(name), parent, parent->environment()) {
+  parent->register_child(this);
+}
+
+Reaction& Reactor::add_reaction(std::string name, Reaction::Body body) {
+  const int priority = static_cast<int>(reactions_.size());
+  reactions_.push_back(
+      std::make_unique<Reaction>(std::move(name), priority, this, std::move(body)));
+  return *reactions_.back();
+}
+
+const Tag& Reactor::current_tag() const {
+  return environment().scheduler().current_tag_locked();
+}
+
+TimePoint Reactor::logical_time() const { return current_tag().time; }
+
+Duration Reactor::elapsed_logical_time() const {
+  return logical_time() - environment().scheduler().start_tag().time;
+}
+
+TimePoint Reactor::physical_time() const { return environment().clock().now(); }
+
+void Reactor::request_shutdown() const { environment().request_shutdown(); }
+
+}  // namespace dear::reactor

@@ -1,0 +1,80 @@
+// Reactor base class.
+//
+// A reactor is a container for state, ports, actions, reactions and child
+// reactors. User reactors subclass this and declare members; all wiring
+// happens in the constructor (see examples/quickstart.cpp).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "reactor/action.hpp"
+#include "reactor/element.hpp"
+#include "reactor/port.hpp"
+#include "reactor/reaction.hpp"
+
+namespace dear::reactor {
+
+class Reactor : public Element {
+ public:
+  /// Top-level reactor, registered with the environment.
+  Reactor(std::string name, Environment& environment);
+  /// Nested reactor.
+  Reactor(std::string name, Reactor* parent);
+
+  /// Declares a reaction. Declaration order defines the total order among
+  /// this reactor's reactions (earlier wins at the same tag).
+  Reaction& add_reaction(std::string name, Reaction::Body body);
+
+  // --- conveniences available to reaction bodies ------------------------------
+
+  [[nodiscard]] const Tag& current_tag() const;
+  /// Logical time of the current tag.
+  [[nodiscard]] TimePoint logical_time() const;
+  /// Logical time elapsed since startup.
+  [[nodiscard]] Duration elapsed_logical_time() const;
+  [[nodiscard]] TimePoint physical_time() const;
+  void request_shutdown() const;
+
+  // --- hierarchy ----------------------------------------------------------------
+
+  [[nodiscard]] const std::vector<Reactor*>& children() const noexcept { return children_; }
+  [[nodiscard]] const std::vector<BasePort*>& ports() const noexcept { return ports_; }
+  [[nodiscard]] const std::vector<BaseAction*>& actions() const noexcept { return actions_; }
+  [[nodiscard]] const std::vector<std::unique_ptr<Reaction>>& reactions() const noexcept {
+    return reactions_;
+  }
+
+  // --- registration (called from element constructors) ---------------------------
+
+  void register_port(BasePort* port) { ports_.push_back(port); }
+  void register_action(BaseAction* action) { actions_.push_back(action); }
+  void register_child(Reactor* child) { children_.push_back(child); }
+
+ private:
+  std::vector<Reactor*> children_;
+  std::vector<BasePort*> ports_;
+  std::vector<BaseAction*> actions_;
+  std::vector<std::unique_ptr<Reaction>> reactions_;
+};
+
+// --- out-of-line constructors that need the Reactor definition ------------------
+
+template <typename T>
+Input<T>::Input(std::string name, Reactor* container)
+    : Port<T>(std::move(name), PortDirection::kInput, container, container->environment()) {}
+
+template <typename T>
+Output<T>::Output(std::string name, Reactor* container)
+    : Port<T>(std::move(name), PortDirection::kOutput, container, container->environment()) {}
+
+template <typename T>
+LogicalAction<T>::LogicalAction(std::string name, Reactor* container, Duration min_delay)
+    : ValuedAction<T>(std::move(name), container, container->environment(), min_delay) {}
+
+template <typename T>
+PhysicalAction<T>::PhysicalAction(std::string name, Reactor* container, Duration min_delay)
+    : ValuedAction<T>(std::move(name), container, container->environment(), min_delay) {}
+
+}  // namespace dear::reactor

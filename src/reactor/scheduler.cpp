@@ -1,0 +1,353 @@
+#include "reactor/scheduler.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "reactor/action.hpp"
+#include "reactor/environment.hpp"
+#include "reactor/port.hpp"
+
+namespace dear::reactor {
+
+Scheduler::Scheduler(Environment& environment, PhysicalClock& clock)
+    : environment_(environment), clock_(clock) {}
+
+Scheduler::~Scheduler() {
+  {
+    const std::lock_guard<std::mutex> lock(pool_mutex_);
+    pool_shutdown_ = true;
+  }
+  pool_cv_.notify_all();
+  for (auto& thread : worker_threads_) {
+    thread.join();
+  }
+}
+
+void Scheduler::configure(int level_count, unsigned workers, bool keepalive, Duration timeout) {
+  staged_.resize(static_cast<std::size_t>(level_count));
+  workers_ = workers == 0 ? 1 : workers;
+  keepalive_ = keepalive;
+  timeout_ = timeout;
+}
+
+void Scheduler::enqueue_locked(BaseAction* action, const Tag& tag) {
+  assert(state_ != State::kFinished);
+  const bool was_earliest =
+      event_queue_.empty() || tag < event_queue_.begin()->first;
+  auto& actions = event_queue_[tag];
+  // Re-scheduling the same action at the same tag replaces the value (the
+  // action's pending map was overwritten); don't double-trigger.
+  if (std::find(actions.begin(), actions.end(), action) == actions.end()) {
+    actions.push_back(action);
+  }
+  if (was_earliest) {
+    wake_pending_.store(true, std::memory_order_release);
+  }
+}
+
+void Scheduler::notify() {
+  cv_.notify_all();
+  bool expected = true;
+  if (wake_pending_.compare_exchange_strong(expected, false) && wake_callback_) {
+    wake_callback_();
+  }
+}
+
+void Scheduler::request_stop() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (state_ == State::kFinished) {
+      return;
+    }
+    stop_requested_ = true;
+    const Tag earliest_stop = current_tag_.delay(0);
+    if (earliest_stop < stop_tag_) {
+      stop_tag_ = earliest_stop;
+    }
+    wake_pending_.store(true, std::memory_order_release);
+  }
+  notify();
+}
+
+void Scheduler::start_at(const Tag& start_tag) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (state_ != State::kIdle) {
+    throw std::logic_error("scheduler already started");
+  }
+  state_ = State::kRunning;
+  start_tag_ = start_tag;
+  current_tag_ = start_tag;
+  if (timeout_ >= 0) {
+    stop_tag_ = Tag{start_tag.time + timeout_, 0};
+  }
+  for (BaseAction* action : startup_actions_) {
+    event_queue_[start_tag].push_back(action);
+  }
+  for (Timer* timer : timers_) {
+    timer->arm(start_tag);
+  }
+}
+
+Tag Scheduler::next_tag() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (state_ != State::kRunning) {
+    return Tag::maximum();
+  }
+  Tag next = event_queue_.empty() ? Tag::maximum() : event_queue_.begin()->first;
+  if (stop_tag_ < next) {
+    next = stop_tag_;
+  }
+  return next;
+}
+
+void Scheduler::prepare_tag_locked(const Tag& tag, bool is_stop) {
+  assert(tag >= current_tag_);
+  current_tag_ = tag;
+  ++tags_processed_;
+  busy_offset_ = 0;
+
+  const std::lock_guard<std::mutex> staging_lock(staging_mutex_);
+  const auto it = event_queue_.find(tag);
+  if (it != event_queue_.end()) {
+    for (BaseAction* action : it->second) {
+      action->setup(tag);  // Timer::setup re-arms via enqueue_locked
+      active_actions_.push_back(action);
+      for (Reaction* reaction : action->triggered_reactions()) {
+        stage_locked(*reaction);
+      }
+    }
+    event_queue_.erase(it);
+  }
+  if (is_stop) {
+    for (BaseAction* action : shutdown_actions_) {
+      action->setup(tag);
+      active_actions_.push_back(action);
+      for (Reaction* reaction : action->triggered_reactions()) {
+        stage_locked(*reaction);
+      }
+    }
+  }
+}
+
+void Scheduler::stage_locked(Reaction& reaction) {
+  if (reaction.staged_for_ == current_tag_) {
+    return;  // already staged at this tag
+  }
+  reaction.staged_for_ = current_tag_;
+  assert(reaction.level() >= 0);
+  assert(static_cast<std::size_t>(reaction.level()) < staged_.size());
+  staged_[static_cast<std::size_t>(reaction.level())].push_back(&reaction);
+}
+
+void Scheduler::stage_port_triggers(BasePort& port) {
+  const std::lock_guard<std::mutex> lock(staging_mutex_);
+  assert(port.triggered_closure().empty() ||
+         port.triggered_closure().front()->level() > current_level_);
+  for (Reaction* reaction : port.triggered_closure()) {
+    stage_locked(*reaction);
+  }
+}
+
+void Scheduler::register_set_port(BasePort& port) {
+  const std::lock_guard<std::mutex> lock(staging_mutex_);
+  set_ports_.push_back(&port);
+}
+
+void Scheduler::execute_reaction(Reaction& reaction) {
+  // busy_offset_ models execution time already consumed at this tag (DES
+  // driver only; zero in threaded mode).
+  const TimePoint physical_now = clock_.now() + busy_offset_;
+  const bool violated =
+      reaction.has_deadline() && physical_now > current_tag_.time + reaction.deadline();
+  if (violated) {
+    deadline_violations_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (trace_.enabled()) {
+    const std::lock_guard<std::mutex> lock(staging_mutex_);
+    trace_.record(current_tag_, reaction.fqn(), violated);
+  }
+  reaction.execute(current_tag_, physical_now);
+  reactions_executed_.fetch_add(1, std::memory_order_relaxed);
+  if (exec_cost_hook_) {
+    busy_offset_ += exec_cost_hook_(reaction);
+  }
+}
+
+void Scheduler::execute_staged(std::vector<Reaction*>& executed) {
+  for (std::size_t level = 0; level < staged_.size(); ++level) {
+    std::vector<Reaction*> batch;
+    {
+      const std::lock_guard<std::mutex> lock(staging_mutex_);
+      current_level_ = static_cast<int>(level);
+      batch.swap(staged_[level]);
+    }
+    if (batch.empty()) {
+      continue;
+    }
+    if (workers_ <= 1 || batch.size() == 1) {
+      for (Reaction* reaction : batch) {
+        execute_reaction(*reaction);
+      }
+    } else {
+      run_level_parallel(batch);
+    }
+    executed.insert(executed.end(), batch.begin(), batch.end());
+  }
+  {
+    const std::lock_guard<std::mutex> lock(staging_mutex_);
+    current_level_ = -1;
+  }
+}
+
+void Scheduler::run_level_parallel(const std::vector<Reaction*>& level_reactions) {
+  {
+    const std::lock_guard<std::mutex> lock(pool_mutex_);
+    pool_buffer_ = level_reactions;
+    pool_work_ = &pool_buffer_;
+    pool_index_.store(0, std::memory_order_relaxed);
+    ++pool_generation_;
+  }
+  pool_cv_.notify_all();
+  // The orchestrating thread participates too.
+  for (;;) {
+    const std::size_t index = pool_index_.fetch_add(1, std::memory_order_relaxed);
+    if (index >= pool_buffer_.size()) {
+      break;
+    }
+    execute_reaction(*pool_buffer_[index]);
+  }
+  std::unique_lock<std::mutex> lock(pool_mutex_);
+  pool_done_cv_.wait(lock, [this] { return pool_active_ == 0; });
+}
+
+void Scheduler::worker_loop() {
+  std::unique_lock<std::mutex> lock(pool_mutex_);
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    pool_cv_.wait(lock,
+                  [&] { return pool_shutdown_ || pool_generation_ != seen_generation; });
+    if (pool_shutdown_) {
+      return;
+    }
+    seen_generation = pool_generation_;
+    const std::vector<Reaction*>* work = pool_work_;
+    ++pool_active_;
+    lock.unlock();
+    for (;;) {
+      const std::size_t index = pool_index_.fetch_add(1, std::memory_order_relaxed);
+      if (index >= work->size()) {
+        break;
+      }
+      execute_reaction(*(*work)[index]);
+    }
+    lock.lock();
+    --pool_active_;
+    if (pool_active_ == 0) {
+      pool_done_cv_.notify_all();
+    }
+  }
+}
+
+void Scheduler::finalize_tag_locked() {
+  const std::lock_guard<std::mutex> staging_lock(staging_mutex_);
+  for (BasePort* port : set_ports_) {
+    port->cleanup();
+  }
+  set_ports_.clear();
+  for (BaseAction* action : active_actions_) {
+    action->cleanup();
+  }
+  active_actions_.clear();
+}
+
+std::optional<Scheduler::TagResult> Scheduler::process_next_tag(TimePoint horizon) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (state_ != State::kRunning) {
+    return std::nullopt;
+  }
+  Tag next = event_queue_.empty() ? Tag::maximum() : event_queue_.begin()->first;
+  if (stop_tag_ < next) {
+    next = stop_tag_;
+  }
+  if (next == Tag::maximum() || next.time > horizon) {
+    return std::nullopt;
+  }
+  const bool is_stop = next == stop_tag_;
+  prepare_tag_locked(next, is_stop);
+  lock.unlock();
+
+  TagResult result;
+  result.tag = next;
+  execute_staged(result.executed);
+
+  lock.lock();
+  finalize_tag_locked();
+  if (is_stop) {
+    state_ = State::kFinished;
+  } else if (stop_requested_) {
+    // A reaction at this tag called request_shutdown(); honor it at the
+    // next microstep.
+    const Tag earliest_stop = current_tag_.delay(0);
+    if (earliest_stop < stop_tag_) {
+      stop_tag_ = earliest_stop;
+    }
+  }
+  return result;
+}
+
+void Scheduler::run_threaded() {
+  auto* real_clock = dynamic_cast<RealClock*>(&clock_);
+  if (real_clock == nullptr) {
+    throw std::logic_error(
+        "run_threaded requires a RealClock; use SimDriver for simulated execution");
+  }
+  // Spawn the worker pool (the orchestrating thread is worker 0).
+  for (unsigned i = 1; i < workers_; ++i) {
+    worker_threads_.emplace_back([this] { worker_loop(); });
+  }
+
+  start_at(Tag{clock_.now(), 0});
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (state_ == State::kRunning) {
+    Tag next = event_queue_.empty() ? Tag::maximum() : event_queue_.begin()->first;
+    if (stop_tag_ < next) {
+      next = stop_tag_;
+    }
+    if (next == Tag::maximum()) {
+      if (keepalive_) {
+        cv_.wait(lock);
+        continue;
+      }
+      // Nothing left to do: shut down at the next microstep.
+      const Tag earliest_stop = current_tag_.delay(0);
+      if (earliest_stop < stop_tag_) {
+        stop_tag_ = earliest_stop;
+      }
+      continue;
+    }
+    // Never handle an event before physical time exceeds its tag.
+    if (clock_.now() < next.time) {
+      cv_.wait_until(lock, real_clock->to_chrono(next.time));
+      continue;  // re-evaluate: an earlier event or stop may have arrived
+    }
+    const bool is_stop = next == stop_tag_;
+    prepare_tag_locked(next, is_stop);
+    lock.unlock();
+    std::vector<Reaction*> executed;
+    execute_staged(executed);
+    lock.lock();
+    finalize_tag_locked();
+    if (is_stop) {
+      state_ = State::kFinished;
+    } else if (stop_requested_) {
+      const Tag earliest_stop = current_tag_.delay(0);
+      if (earliest_stop < stop_tag_) {
+        stop_tag_ = earliest_stop;
+      }
+    }
+  }
+}
+
+}  // namespace dear::reactor

@@ -1,0 +1,233 @@
+// Event scheduler.
+//
+// One scheduler core serves two execution drivers:
+//   * the threaded driver (run_threaded): a blocking loop that waits on a
+//     real clock until physical time reaches the next tag, then executes
+//     the staged reactions level by level on a worker pool — "a reactor
+//     runtime scheduler is responsible for transparently exploiting
+//     concurrency in the APG by mapping independent reactions to separate
+//     worker threads" (paper §III.A);
+//   * the DES driver (SimDriver in sim_driver.hpp): calls process_next_tag
+//     from kernel callbacks, with physical time = simulation time.
+//
+// Reactions at one tag execute in level waves with a barrier per level
+// (design decision documented in DESIGN.md §5). Events are never handled
+// before physical time exceeds their tag, which is what makes externally
+// tagged events (PTIDES safe-to-process) safe.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "reactor/physical_clock.hpp"
+#include "reactor/reaction.hpp"
+#include "reactor/tag.hpp"
+#include "reactor/trace.hpp"
+
+namespace dear::reactor {
+
+class BasePort;
+class BaseAction;
+class Timer;
+class Environment;
+
+class Scheduler {
+ public:
+  Scheduler(Environment& environment, PhysicalClock& clock);
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  // --- configuration (before start) -------------------------------------------
+
+  void configure(int level_count, unsigned workers, bool keepalive, Duration timeout);
+
+  /// Invoked (outside the lock) whenever the earliest pending tag becomes
+  /// earlier than it was — the SimDriver uses this to re-arm its kernel
+  /// wake-up.
+  void set_wake_callback(std::function<void()> callback) { wake_callback_ = std::move(callback); }
+
+  // --- event insertion ----------------------------------------------------------
+
+  /// Runs `fn` under the scheduler mutex. Actions use this to install
+  /// values in their pending map atomically with queue insertion.
+  template <typename Fn>
+  auto with_lock(Fn&& fn) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return fn();
+  }
+
+  /// Inserts an event (requires the scheduler mutex held via with_lock).
+  void enqueue_locked(BaseAction* action, const Tag& tag);
+
+  /// Current logical tag (requires lock for exactness; used by actions
+  /// inside with_lock).
+  [[nodiscard]] const Tag& current_tag_locked() const noexcept { return current_tag_; }
+
+  /// Snapshot of the current logical tag.
+  [[nodiscard]] Tag current_tag() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return current_tag_;
+  }
+
+  /// Called after with_lock insertion to wake a waiting driver.
+  void notify();
+
+  // --- execution-time API (called from reaction bodies) ---------------------------
+
+  /// Stages all reactions in the port's trigger closure at the current tag.
+  void stage_port_triggers(BasePort& port);
+
+  /// Registers a port for end-of-tag cleanup.
+  void register_set_port(BasePort& port);
+
+  /// Installs a modeled execution-cost hook (DES driver, single worker
+  /// only): after each reaction executes, the hook returns the platform
+  /// time it consumed; the accumulated offset is added to the physical
+  /// time used in subsequent deadline checks at the same tag, so a slow
+  /// reaction makes a later reaction at the same tag miss its deadline —
+  /// exactly as it would on the real platform.
+  void set_exec_cost_hook(std::function<Duration(const Reaction&)> hook) {
+    exec_cost_hook_ = std::move(hook);
+  }
+
+  /// Modeled time consumed by the most recently processed tag.
+  [[nodiscard]] Duration last_tag_cost() const noexcept { return busy_offset_; }
+
+  // --- threaded driver ------------------------------------------------------------
+
+  /// Blocking execution loop (requires a RealClock).
+  void run_threaded();
+
+  /// Requests shutdown at the earliest opportunity (thread-safe).
+  void request_stop();
+
+  // --- DES driver interface ---------------------------------------------------------
+
+  /// Starts execution at the given tag: triggers startup actions and arms
+  /// timers. Must be called exactly once before any processing.
+  void start_at(const Tag& start_tag);
+
+  /// Earliest pending tag, or Tag::maximum() when idle. Takes the stop tag
+  /// into account (never returns a tag past it).
+  [[nodiscard]] Tag next_tag() const;
+
+  /// Processes the earliest pending tag if it is <= horizon; reactions run
+  /// on the calling thread. Returns the executed reactions (for modeled
+  /// cost accounting), or nullopt when nothing was processed. Processing
+  /// the stop tag finishes execution.
+  struct TagResult {
+    Tag tag;
+    std::vector<Reaction*> executed;
+  };
+  [[nodiscard]] std::optional<TagResult> process_next_tag(TimePoint horizon);
+
+  [[nodiscard]] bool finished() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return state_ == State::kFinished;
+  }
+
+  /// True between start_at() and the processing of the stop tag.
+  [[nodiscard]] bool running() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return state_ == State::kRunning;
+  }
+
+  // --- introspection ------------------------------------------------------------------
+
+  [[nodiscard]] const Tag& start_tag() const noexcept { return start_tag_; }
+  [[nodiscard]] std::uint64_t tags_processed() const noexcept { return tags_processed_; }
+  [[nodiscard]] std::uint64_t reactions_executed() const noexcept {
+    return reactions_executed_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t deadline_violations() const noexcept {
+    return deadline_violations_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] Trace& trace() noexcept { return trace_; }
+
+  /// Startup/shutdown trigger registration (Environment assembly).
+  void register_startup(BaseAction* action) { startup_actions_.push_back(action); }
+  void register_shutdown(BaseAction* action) { shutdown_actions_.push_back(action); }
+  void register_timer(Timer* timer) { timers_.push_back(timer); }
+
+ private:
+  enum class State : std::uint8_t { kIdle, kRunning, kFinished };
+
+  /// Pops all actions at `tag`, runs setup, stages triggered reactions.
+  /// Requires the lock; `is_stop` additionally triggers shutdown actions.
+  void prepare_tag_locked(const Tag& tag, bool is_stop);
+
+  /// Executes staged levels; the lock must NOT be held. Appends executed
+  /// reactions to `executed`.
+  void execute_staged(std::vector<Reaction*>& executed);
+
+  /// Stages one reaction at the current tag (staging mutex must be held).
+  void stage_locked(Reaction& reaction);
+
+  /// End-of-tag cleanup of present ports/actions. Requires the lock.
+  void finalize_tag_locked();
+
+  void run_level_parallel(const std::vector<Reaction*>& level_reactions);
+  void worker_loop();
+  void execute_reaction(Reaction& reaction);
+
+  Environment& environment_;
+  PhysicalClock& clock_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::function<void()> wake_callback_;
+  std::atomic<bool> wake_pending_{false};
+
+  std::map<Tag, std::vector<BaseAction*>> event_queue_;
+  Tag current_tag_{};
+  Tag start_tag_{};
+  Tag stop_tag_{Tag::maximum()};
+  bool stop_requested_{false};
+  State state_{State::kIdle};
+
+  // Staging of reactions for the tag being processed.
+  std::mutex staging_mutex_;
+  std::vector<std::vector<Reaction*>> staged_;
+  int current_level_{-1};
+  std::vector<BasePort*> set_ports_;
+  std::vector<BaseAction*> active_actions_;
+
+  // Configuration.
+  unsigned workers_{1};
+  bool keepalive_{false};
+  Duration timeout_{-1};
+
+  // Worker pool (threaded driver only).
+  std::vector<std::thread> worker_threads_;
+  std::mutex pool_mutex_;
+  std::condition_variable pool_cv_;
+  std::condition_variable pool_done_cv_;
+  const std::vector<Reaction*>* pool_work_{nullptr};
+  std::vector<Reaction*> pool_buffer_;
+  std::atomic<std::size_t> pool_index_{0};
+  std::size_t pool_active_{0};
+  std::uint64_t pool_generation_{0};
+  bool pool_shutdown_{false};
+
+  std::function<Duration(const Reaction&)> exec_cost_hook_;
+  Duration busy_offset_{0};
+
+  std::vector<BaseAction*> startup_actions_;
+  std::vector<BaseAction*> shutdown_actions_;
+  std::vector<Timer*> timers_;
+
+  std::uint64_t tags_processed_{0};
+  std::atomic<std::uint64_t> reactions_executed_{0};
+  std::atomic<std::uint64_t> deadline_violations_{0};
+  Trace trace_;
+};
+
+}  // namespace dear::reactor

@@ -1,0 +1,9 @@
+#include "reactor/tag.hpp"
+
+namespace dear::reactor {
+
+std::string Tag::to_string() const {
+  return "(" + format_duration(time) + ", " + std::to_string(microstep) + ")";
+}
+
+}  // namespace dear::reactor

@@ -1,0 +1,42 @@
+// Logical time tags.
+//
+// "Communications between reactors occur via events that are associated
+// with tags ... tags denote logical time and reactions are logically
+// instantaneous" (paper §III.A). A tag is a (time, microstep) pair;
+// microsteps order events that are logically simultaneous but causally
+// distinct (superdense time).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+#include "common/time.hpp"
+
+namespace dear::reactor {
+
+struct Tag {
+  TimePoint time{0};
+  std::uint32_t microstep{0};
+
+  auto operator<=>(const Tag&) const = default;
+
+  /// The tag at which an event scheduled from this tag with the given
+  /// delay appears: a zero delay advances one microstep ("strictly later,
+  /// logically simultaneous"); a positive delay advances time and resets
+  /// the microstep.
+  [[nodiscard]] Tag delay(Duration amount) const noexcept {
+    if (amount <= 0) {
+      return Tag{time, microstep + 1};
+    }
+    return Tag{time + amount, 0};
+  }
+
+  [[nodiscard]] static constexpr Tag maximum() noexcept {
+    return Tag{kTimeMax, ~std::uint32_t{0}};
+  }
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+}  // namespace dear::reactor

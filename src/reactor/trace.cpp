@@ -1,0 +1,19 @@
+#include "reactor/trace.hpp"
+
+namespace dear::reactor {
+
+std::string Trace::to_string() const {
+  std::string out;
+  for (const TraceRecord& record : records_) {
+    out += record.tag.to_string();
+    out += " ";
+    out += record.reaction;
+    if (record.deadline_violated) {
+      out += " [deadline violated]";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace dear::reactor

@@ -1,0 +1,48 @@
+// Execution trace recorder.
+//
+// When enabled, the scheduler records every reaction execution as
+// (tag, reaction fqn). Two runs of a deterministic program produce
+// identical traces — the property the determinism test-suite asserts
+// across repeated runs and worker counts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "reactor/tag.hpp"
+
+namespace dear::reactor {
+
+struct TraceRecord {
+  Tag tag;
+  std::string reaction;
+  bool deadline_violated{false};
+
+  bool operator==(const TraceRecord&) const = default;
+};
+
+class Trace {
+ public:
+  void set_enabled(bool enabled) noexcept { enabled_ = enabled; }
+  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+
+  void record(const Tag& tag, std::string reaction, bool deadline_violated) {
+    if (enabled_) {
+      records_.push_back(TraceRecord{tag, std::move(reaction), deadline_violated});
+    }
+  }
+
+  [[nodiscard]] const std::vector<TraceRecord>& records() const noexcept { return records_; }
+  void clear() noexcept { records_.clear(); }
+
+  [[nodiscard]] std::string to_string() const;
+
+  bool operator==(const Trace& other) const { return records_ == other.records_; }
+
+ private:
+  bool enabled_{false};
+  std::vector<TraceRecord> records_;
+};
+
+}  // namespace dear::reactor

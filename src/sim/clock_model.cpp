@@ -1,0 +1,60 @@
+#include "sim/clock_model.hpp"
+
+#include <cmath>
+
+namespace dear::sim {
+
+TimePoint PlatformClock::local_now(TimePoint global) const noexcept {
+  const double skew = drift_ppm_ * 1e-6 * static_cast<double>(global - epoch_);
+  return global + offset_ + static_cast<Duration>(std::llround(skew));
+}
+
+TimePoint PlatformClock::global_from_local(TimePoint local) const noexcept {
+  // Solve local = g + offset + drift*(g - epoch) for g.
+  const double drift = drift_ppm_ * 1e-6;
+  const double numerator =
+      static_cast<double>(local - offset_) + drift * static_cast<double>(epoch_);
+  return static_cast<TimePoint>(std::llround(numerator / (1.0 + drift)));
+}
+
+void PlatformClock::resync(TimePoint global_now, Duration residual) noexcept {
+  epoch_ = global_now;
+  offset_ = residual;
+}
+
+TimeSyncService::TimeSyncService(Kernel& kernel, PlatformClock& clock, Duration period,
+                                 Duration residual_bound, common::Rng rng)
+    : kernel_(kernel), clock_(clock), period_(period), residual_bound_(residual_bound), rng_(rng) {}
+
+void TimeSyncService::start() {
+  if (running_) {
+    return;
+  }
+  running_ = true;
+  pending_ = kernel_.schedule_after(period_, [this] { tick(); });
+}
+
+void TimeSyncService::stop() {
+  if (!running_) {
+    return;
+  }
+  running_ = false;
+  kernel_.cancel(pending_);
+}
+
+void TimeSyncService::tick() {
+  if (!running_) {
+    return;
+  }
+  const Duration residual = rng_.uniform_duration(-residual_bound_, residual_bound_);
+  clock_.resync(kernel_.now(), residual);
+  ++resyncs_;
+  pending_ = kernel_.schedule_after(period_, [this] { tick(); });
+}
+
+Duration TimeSyncService::worst_case_error() const noexcept {
+  const double drift_term = std::abs(clock_.drift_ppm()) * 1e-6 * static_cast<double>(period_);
+  return residual_bound_ + static_cast<Duration>(std::ceil(drift_term));
+}
+
+}  // namespace dear::sim

@@ -1,0 +1,79 @@
+// Per-platform clock models.
+//
+// AUTOSAR AP platforms synchronize their clocks (Specification of Time
+// Synchronization for Adaptive Platform); the paper's safe-to-process rule
+// assumes a bounded synchronization error E. We model each platform clock
+// as  local(g) = g + offset + drift_ppm * 1e-6 * (g - epoch)  and provide a
+// periodic time-sync service that re-anchors the offset with a bounded
+// residual, so |local - global| stays within a configurable bound between
+// resyncs.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "sim/kernel.hpp"
+
+namespace dear::sim {
+
+class PlatformClock {
+ public:
+  PlatformClock() = default;
+  PlatformClock(Duration initial_offset, double drift_ppm) noexcept
+      : offset_(initial_offset), drift_ppm_(drift_ppm) {}
+
+  /// Local reading of this clock when the global (true) time is `global`.
+  [[nodiscard]] TimePoint local_now(TimePoint global) const noexcept;
+
+  /// Inverse of local_now: the global time at which this clock reads `local`.
+  [[nodiscard]] TimePoint global_from_local(TimePoint local) const noexcept;
+
+  /// Error of this clock at global time `global` (local - global).
+  [[nodiscard]] Duration error_at(TimePoint global) const noexcept {
+    return local_now(global) - global;
+  }
+
+  /// Re-anchors the clock so that local(global_now) = global_now + residual.
+  /// Models a time-sync correction with residual error.
+  void resync(TimePoint global_now, Duration residual) noexcept;
+
+  [[nodiscard]] double drift_ppm() const noexcept { return drift_ppm_; }
+
+ private:
+  Duration offset_{0};
+  double drift_ppm_{0.0};
+  TimePoint epoch_{0};
+};
+
+/// Periodically resyncs a PlatformClock on the kernel, drawing the residual
+/// uniformly from [-residual_bound, +residual_bound]. The worst-case error
+/// between resyncs is residual_bound + |drift_ppm| * 1e-6 * period, which is
+/// the value to use for E in the DEAR safe-to-process configuration.
+class TimeSyncService {
+ public:
+  TimeSyncService(Kernel& kernel, PlatformClock& clock, Duration period, Duration residual_bound,
+                  common::Rng rng);
+
+  void start();
+  void stop();
+
+  /// Upper bound on |local - global| while the service runs.
+  [[nodiscard]] Duration worst_case_error() const noexcept;
+
+  [[nodiscard]] std::uint64_t resync_count() const noexcept { return resyncs_; }
+
+ private:
+  void tick();
+
+  Kernel& kernel_;
+  PlatformClock& clock_;
+  Duration period_;
+  Duration residual_bound_;
+  common::Rng rng_;
+  EventId pending_{0};
+  bool running_{false};
+  std::uint64_t resyncs_{0};
+};
+
+}  // namespace dear::sim

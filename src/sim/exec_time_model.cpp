@@ -1,0 +1,43 @@
+#include "sim/exec_time_model.hpp"
+
+#include <cmath>
+
+namespace dear::sim {
+
+Duration ExecTimeModel::sample(common::Rng& rng) const noexcept {
+  switch (kind_) {
+    case Kind::kConstant:
+      return lo_;
+    case Kind::kUniform:
+      return rng.uniform_duration(lo_, hi_);
+    case Kind::kNormal: {
+      const double draw = rng.normal(static_cast<double>(mean_), sigma_);
+      return std::clamp(static_cast<Duration>(std::llround(draw)), lo_, hi_);
+    }
+    case Kind::kNormalTail: {
+      const double draw = rng.normal(static_cast<double>(mean_), sigma_);
+      Duration value = std::clamp(static_cast<Duration>(std::llround(draw)), lo_, hi_);
+      if (rng.chance(tail_p_)) {
+        value += rng.uniform_duration(0, tail_extra_);
+      }
+      return value;
+    }
+  }
+  return lo_;
+}
+
+ExecTimeModel ExecTimeModel::scaled(double factor) const noexcept {
+  const auto scale = [factor](Duration d) {
+    return static_cast<Duration>(std::llround(static_cast<double>(d) * factor));
+  };
+  ExecTimeModel copy = *this;
+  copy.lo_ = scale(lo_);
+  copy.hi_ = scale(hi_);
+  copy.sigma_ *= factor;
+  copy.upper_ = scale(upper_);
+  copy.mean_ = scale(mean_);
+  copy.tail_extra_ = scale(tail_extra_);
+  return copy;
+}
+
+}  // namespace dear::sim

@@ -1,0 +1,77 @@
+// Execution-time models for simulated computations.
+//
+// SWC logic in the simulated brake assistant consumes modeled execution
+// time drawn from one of these distributions. Every model exposes an upper
+// bound, which plays the role of the WCET that the paper's deterministic
+// deadlines must cover (§IV.B).
+#pragma once
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+
+namespace dear::sim {
+
+class ExecTimeModel {
+ public:
+  /// Always exactly `value`.
+  [[nodiscard]] static ExecTimeModel constant(Duration value) noexcept {
+    return ExecTimeModel(Kind::kConstant, value, value, 0.0, value);
+  }
+
+  /// Uniform in [lo, hi].
+  [[nodiscard]] static ExecTimeModel uniform(Duration lo, Duration hi) noexcept {
+    return ExecTimeModel(Kind::kUniform, lo, hi, 0.0, hi);
+  }
+
+  /// Truncated normal: mean/sigma, clamped to [min, max].
+  [[nodiscard]] static ExecTimeModel normal(Duration mean, Duration sigma, Duration min,
+                                            Duration max) noexcept {
+    ExecTimeModel m(Kind::kNormal, min, max, static_cast<double>(sigma), max);
+    m.mean_ = mean;
+    return m;
+  }
+
+  /// Normal body with a rare heavy tail: with probability tail_p the draw
+  /// gets an extra uniform [0, tail_extra] added (models cache misses,
+  /// page faults, interfering load). Upper bound = max + tail_extra.
+  [[nodiscard]] static ExecTimeModel normal_with_tail(Duration mean, Duration sigma, Duration min,
+                                                      Duration max, double tail_p,
+                                                      Duration tail_extra) noexcept {
+    ExecTimeModel m(Kind::kNormalTail, min, max, static_cast<double>(sigma), max + tail_extra);
+    m.mean_ = mean;
+    m.tail_p_ = tail_p;
+    m.tail_extra_ = tail_extra;
+    return m;
+  }
+
+  [[nodiscard]] Duration sample(common::Rng& rng) const noexcept;
+
+  /// Worst-case value this model can produce (the WCET bound).
+  [[nodiscard]] Duration upper_bound() const noexcept { return upper_; }
+
+  /// Smallest value this model can produce.
+  [[nodiscard]] Duration lower_bound() const noexcept { return lo_; }
+
+  /// Returns a copy with every parameter scaled by `factor` (used by the
+  /// deadline/error trade-off sweep to stress models).
+  [[nodiscard]] ExecTimeModel scaled(double factor) const noexcept;
+
+ private:
+  enum class Kind { kConstant, kUniform, kNormal, kNormalTail };
+
+  ExecTimeModel(Kind kind, Duration lo, Duration hi, double sigma, Duration upper) noexcept
+      : kind_(kind), lo_(lo), hi_(hi), sigma_(sigma), upper_(upper) {}
+
+  Kind kind_;
+  Duration lo_;
+  Duration hi_;
+  double sigma_;
+  Duration upper_;
+  Duration mean_{0};
+  double tail_p_{0.0};
+  Duration tail_extra_{0};
+};
+
+}  // namespace dear::sim

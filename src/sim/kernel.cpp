@@ -1,0 +1,84 @@
+#include "sim/kernel.hpp"
+
+#include <utility>
+
+namespace dear::sim {
+
+EventId Kernel::schedule_at(TimePoint time, Handler handler, int priority) {
+  const EventId id = next_id_++;
+  queue_.push(Event{time < now_ ? now_ : time, priority, id, std::move(handler)});
+  return id;
+}
+
+EventId Kernel::schedule_after(Duration delay, Handler handler, int priority) {
+  return schedule_at(now_ + (delay < 0 ? 0 : delay), std::move(handler), priority);
+}
+
+bool Kernel::cancel(EventId id) {
+  if (id >= next_id_) {
+    return false;
+  }
+  // Tombstone; the queue entry is discarded when it reaches the top.
+  return cancelled_.insert(id).second;
+}
+
+void Kernel::skim() {
+  while (!queue_.empty()) {
+    const auto it = cancelled_.find(queue_.top().id);
+    if (it == cancelled_.end()) {
+      return;
+    }
+    cancelled_.erase(it);
+    queue_.pop();
+  }
+}
+
+bool Kernel::step() {
+  skim();
+  if (queue_.empty()) {
+    return false;
+  }
+  // Move the handler out before popping so it may schedule new events.
+  Event event = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  now_ = event.time;
+  ++processed_;
+  event.handler();
+  return true;
+}
+
+std::uint64_t Kernel::run() {
+  std::uint64_t count = 0;
+  while (!stopped_ && step()) {
+    ++count;
+  }
+  return count;
+}
+
+std::uint64_t Kernel::run_until(TimePoint horizon) {
+  std::uint64_t count = 0;
+  while (!stopped_) {
+    skim();
+    if (queue_.empty() || queue_.top().time > horizon) {
+      break;
+    }
+    step();
+    ++count;
+  }
+  if (!stopped_ && now_ < horizon) {
+    now_ = horizon;
+  }
+  return count;
+}
+
+TimePoint Kernel::next_event_time() const {
+  const_cast<Kernel*>(this)->skim();
+  return queue_.empty() ? kTimeMax : queue_.top().time;
+}
+
+bool Kernel::empty() const {
+  const_cast<Kernel*>(this)->skim();
+  return queue_.empty();
+}
+
+}  // namespace dear::sim

@@ -1,0 +1,58 @@
+#include "sim/periodic_task.hpp"
+
+#include <utility>
+
+namespace dear::sim {
+
+PeriodicTask::PeriodicTask(Kernel& kernel, const PlatformClock& clock, Duration period,
+                           Duration phase, Callback callback)
+    : kernel_(kernel),
+      clock_(clock),
+      period_(period),
+      phase_(phase),
+      callback_(std::move(callback)) {}
+
+void PeriodicTask::set_jitter(ExecTimeModel jitter, common::Rng rng) {
+  jitter_ = jitter;
+  rng_ = rng;
+  has_jitter_ = true;
+}
+
+void PeriodicTask::start() {
+  if (running_) {
+    return;
+  }
+  running_ = true;
+  activation_ = 0;
+  arm_next();
+}
+
+void PeriodicTask::stop() {
+  if (!running_) {
+    return;
+  }
+  running_ = false;
+  kernel_.cancel(pending_);
+}
+
+void PeriodicTask::arm_next() {
+  // Nominal release on the local clock grid, converted to global kernel time.
+  const TimePoint local_release =
+      phase_ + static_cast<TimePoint>(activation_) * period_;
+  TimePoint global_release = clock_.global_from_local(local_release);
+  if (has_jitter_) {
+    global_release += jitter_.sample(rng_);
+  }
+  pending_ = kernel_.schedule_at(global_release, [this] { fire(); });
+}
+
+void PeriodicTask::fire() {
+  if (!running_) {
+    return;
+  }
+  const std::uint64_t index = activation_++;
+  arm_next();
+  callback_(index, kernel_.now());
+}
+
+}  // namespace dear::sim

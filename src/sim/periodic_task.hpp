@@ -1,0 +1,60 @@
+// Periodic OS callback model.
+//
+// Each SWC in the stock brake assistant "sets up a periodic callback so
+// that the OS triggers the SWC logic every 50 ms" (paper §IV.A). The phase
+// of that callback relative to the other SWCs — plus per-activation
+// scheduler jitter — is exactly what drives the error-rate variance in
+// Figure 5, so both are first-class parameters here.
+//
+// Nominal activation k fires at phase + k*period on the platform's *local*
+// clock, plus a jitter draw. Jitter affects release time only; the nominal
+// grid does not accumulate error.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "sim/clock_model.hpp"
+#include "sim/exec_time_model.hpp"
+#include "sim/kernel.hpp"
+
+namespace dear::sim {
+
+class PeriodicTask {
+ public:
+  /// `callback(activation_index, release_global_time)` runs on the kernel.
+  using Callback = std::function<void(std::uint64_t, TimePoint)>;
+
+  PeriodicTask(Kernel& kernel, const PlatformClock& clock, Duration period, Duration phase,
+               Callback callback);
+
+  /// Adds per-activation release jitter (default: none).
+  void set_jitter(ExecTimeModel jitter, common::Rng rng);
+
+  void start();
+  void stop();
+
+  [[nodiscard]] bool running() const noexcept { return running_; }
+  [[nodiscard]] std::uint64_t activations() const noexcept { return activation_; }
+  [[nodiscard]] Duration period() const noexcept { return period_; }
+
+ private:
+  void arm_next();
+  void fire();
+
+  Kernel& kernel_;
+  const PlatformClock& clock_;
+  Duration period_;
+  Duration phase_;
+  Callback callback_;
+  bool has_jitter_{false};
+  ExecTimeModel jitter_{ExecTimeModel::constant(0)};
+  common::Rng rng_{0};
+  EventId pending_{0};
+  std::uint64_t activation_{0};
+  bool running_{false};
+};
+
+}  // namespace dear::sim

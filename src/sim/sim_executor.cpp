@@ -1,0 +1,3 @@
+#include "sim/sim_executor.hpp"
+
+// Header-only implementation; this translation unit anchors the library.

@@ -1,0 +1,300 @@
+#include "someip/binding.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.hpp"
+
+namespace dear::someip {
+
+namespace {
+constexpr std::string_view kLogComponent = "someip.binding";
+}
+
+Binding::Binding(net::Network& network, common::Executor& executor, net::Endpoint self,
+                 ClientId client_id)
+    : network_(network), executor_(executor), self_(self), client_id_(client_id) {
+  network_.bind(self_, [this](const net::Packet& packet) { on_packet(packet); });
+}
+
+Binding::~Binding() { network_.unbind(self_); }
+
+void Binding::send_message(const net::Endpoint& destination, Message message) {
+  // The paper's modification: pick up a pending tag from the bypass and
+  // attach it to the outgoing message (Figure 3, steps 5 and 16).
+  message.tag = send_bypass_.collect();
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (message.tag.has_value()) {
+      ++tagged_sent_;
+    }
+  }
+  network_.send(self_, destination, message.encode());
+}
+
+SessionId Binding::call(const net::Endpoint& server, ServiceId service, MethodId method,
+                        std::vector<std::uint8_t> payload, ResponseHandler on_response,
+                        Duration timeout) {
+  SessionId session = 0;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    session = next_session_++;
+    if (next_session_ == 0) {
+      next_session_ = 1;  // session id 0 is reserved
+    }
+    pending_[session] = std::move(on_response);
+    ++requests_sent_;
+  }
+
+  Message message;
+  message.service = service;
+  message.method = method;
+  message.client = client_id_;
+  message.session = session;
+  message.type = MessageType::kRequest;
+  message.payload = std::move(payload);
+  send_message(server, std::move(message));
+
+  if (timeout > 0) {
+    executor_.post_after(timeout, [this, session, service, method] {
+      ResponseHandler handler;
+      {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = pending_.find(session);
+        if (it == pending_.end()) {
+          return;  // response already arrived
+        }
+        handler = std::move(it->second);
+        pending_.erase(it);
+        ++timeouts_;
+      }
+      Message error;
+      error.service = service;
+      error.method = method;
+      error.client = client_id_;
+      error.session = session;
+      error.type = MessageType::kError;
+      error.return_code = ReturnCode::kTimeout;
+      handler(error);
+    });
+  }
+  return session;
+}
+
+void Binding::call_no_return(const net::Endpoint& server, ServiceId service, MethodId method,
+                             std::vector<std::uint8_t> payload) {
+  Message message;
+  message.service = service;
+  message.method = method;
+  message.client = client_id_;
+  message.session = 0;
+  message.type = MessageType::kRequestNoReturn;
+  message.payload = std::move(payload);
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++requests_sent_;
+  }
+  send_message(server, std::move(message));
+}
+
+void Binding::subscribe(const net::Endpoint& server, ServiceId service, EventId event,
+                        NotificationHandler handler) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    event_handlers_[{service, event}] = std::move(handler);
+  }
+  Writer writer;
+  writer.write_u16(service);
+  writer.write_u16(event);
+  Message message;
+  message.service = kControlService;
+  message.method = kSubscribeMethod;
+  message.client = client_id_;
+  message.type = MessageType::kRequestNoReturn;
+  message.payload = writer.take();
+  send_message(server, std::move(message));
+}
+
+void Binding::unsubscribe(const net::Endpoint& server, ServiceId service, EventId event) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    event_handlers_.erase({service, event});
+  }
+  Writer writer;
+  writer.write_u16(service);
+  writer.write_u16(event);
+  Message message;
+  message.service = kControlService;
+  message.method = kUnsubscribeMethod;
+  message.client = client_id_;
+  message.type = MessageType::kRequestNoReturn;
+  message.payload = writer.take();
+  send_message(server, std::move(message));
+}
+
+void Binding::provide_method(ServiceId service, MethodId method, RequestHandler handler) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  methods_[{service, method}] = std::move(handler);
+}
+
+void Binding::remove_method(ServiceId service, MethodId method) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  methods_.erase({service, method});
+}
+
+void Binding::respond(const Message& request, const net::Endpoint& to,
+                      std::vector<std::uint8_t> payload, ReturnCode return_code) {
+  Message message;
+  message.service = request.service;
+  message.method = request.method;
+  message.client = request.client;
+  message.session = request.session;
+  message.type = return_code == ReturnCode::kOk ? MessageType::kResponse : MessageType::kError;
+  message.return_code = return_code;
+  message.payload = std::move(payload);
+  send_message(to, std::move(message));
+}
+
+void Binding::notify(ServiceId service, EventId event, std::vector<std::uint8_t> payload) {
+  std::vector<net::Endpoint> subscribers;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = subscribers_.find({service, event});
+    if (it != subscribers_.end()) {
+      subscribers = it->second;
+    }
+    ++notifications_sent_;
+  }
+  // The tag (if any) must reach every subscriber; collect once and re-arm
+  // for each send.
+  const std::optional<WireTag> tag = send_bypass_.collect();
+  for (const net::Endpoint& subscriber : subscribers) {
+    if (tag.has_value()) {
+      send_bypass_.deposit(*tag);
+    }
+    Message message;
+    message.service = service;
+    message.method = event;
+    message.client = client_id_;
+    message.type = MessageType::kNotification;
+    message.payload = payload;
+    send_message(subscriber, std::move(message));
+  }
+}
+
+std::size_t Binding::subscriber_count(ServiceId service, EventId event) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = subscribers_.find({service, event});
+  return it == subscribers_.end() ? 0 : it->second.size();
+}
+
+void Binding::on_packet(const net::Packet& packet) {
+  std::optional<Message> decoded = Message::decode(packet.payload);
+  if (!decoded.has_value()) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++malformed_received_;
+    DEAR_LOG_WARN(kLogComponent) << self_.to_string() << ": dropping malformed packet from "
+                                 << packet.source.to_string();
+    return;
+  }
+  Message& message = *decoded;
+
+  // Serialize the receive path: the deposit→handler pairing below must not
+  // interleave with another message's.
+  const std::lock_guard<std::mutex> receive_lock(receive_mutex_);
+  if (message.tag.has_value()) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      ++tagged_received_;
+    }
+    // Figure 3, steps 7 and 18: the modified binding deposits the received
+    // tag before invoking the handler.
+    receive_bypass_.deposit(*message.tag);
+  }
+
+  if (message.service == kControlService) {
+    handle_control(message, packet.source);
+  } else if (message.is_request()) {
+    handle_request(message, packet.source);
+  } else if (message.is_response()) {
+    handle_response(message);
+  } else if (message.is_notification()) {
+    handle_notification(message, packet.source);
+  }
+
+  // A tag the handler did not collect is stale; clear it so it cannot be
+  // mis-associated with the next untagged message.
+  (void)receive_bypass_.collect();
+}
+
+void Binding::handle_request(const Message& message, const net::Endpoint& from) {
+  RequestHandler handler;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = methods_.find({message.service, message.method});
+    if (it != methods_.end()) {
+      handler = it->second;
+    }
+  }
+  if (!handler) {
+    if (message.type == MessageType::kRequest) {
+      respond(message, from, {}, ReturnCode::kUnknownMethod);
+    }
+    return;
+  }
+  handler(message, from);
+}
+
+void Binding::handle_response(const Message& message) {
+  ResponseHandler handler;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = pending_.find(message.session);
+    if (it == pending_.end()) {
+      return;  // late response after timeout, or duplicate
+    }
+    handler = std::move(it->second);
+    pending_.erase(it);
+    ++responses_received_;
+  }
+  handler(message);
+}
+
+void Binding::handle_notification(const Message& message, const net::Endpoint& /*from*/) {
+  NotificationHandler handler;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = event_handlers_.find({message.service, static_cast<EventId>(message.method)});
+    if (it == event_handlers_.end()) {
+      return;
+    }
+    handler = it->second;
+    ++notifications_received_;
+  }
+  handler(message);
+}
+
+void Binding::handle_control(const Message& message, const net::Endpoint& from) {
+  Reader reader(message.payload);
+  const ServiceId service = reader.read_u16();
+  const EventId event = reader.read_u16();
+  if (!reader.ok()) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++malformed_received_;
+    return;
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& list = subscribers_[{service, event}];
+  const auto it = std::find(list.begin(), list.end(), from);
+  if (message.method == kSubscribeMethod) {
+    if (it == list.end()) {
+      list.push_back(from);
+    }
+  } else if (message.method == kUnsubscribeMethod) {
+    if (it != list.end()) {
+      list.erase(it);
+    }
+  }
+}
+
+}  // namespace dear::someip

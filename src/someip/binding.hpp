@@ -1,0 +1,144 @@
+// SOME/IP runtime binding.
+//
+// One Binding per SWC process: it frames/parses messages, matches responses
+// to requests via session ids, routes notifications to event handlers, and
+// manages event subscriptions via a small control protocol. This is the
+// layer the paper modified: on every send it collects a pending tag from
+// the send-side timestamp bypass and appends it to the wire message; on
+// every receive it deposits an attached tag into the receive-side bypass
+// before invoking the handler (Figure 3, steps 5/7 and 16/18).
+//
+// The receive path is serialized per binding (vsomeip dispatches
+// per-application in the same way), which also makes the deposit→handler
+// pairing race-free.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "common/executor.hpp"
+#include "common/time.hpp"
+#include "net/network.hpp"
+#include "someip/message.hpp"
+#include "someip/timestamp_bypass.hpp"
+#include "someip/types.hpp"
+
+namespace dear::someip {
+
+/// Control service used for subscription management (mirrors the SD
+/// service id reserved by SOME/IP).
+inline constexpr ServiceId kControlService = 0xFFFF;
+inline constexpr MethodId kSubscribeMethod = 0x0001;
+inline constexpr MethodId kUnsubscribeMethod = 0x0002;
+
+class Binding {
+ public:
+  using ResponseHandler = std::function<void(const Message&)>;
+  using RequestHandler = std::function<void(const Message&, const net::Endpoint& from)>;
+  using NotificationHandler = std::function<void(const Message&)>;
+
+  Binding(net::Network& network, common::Executor& executor, net::Endpoint self,
+          ClientId client_id);
+  ~Binding();
+
+  Binding(const Binding&) = delete;
+  Binding& operator=(const Binding&) = delete;
+
+  // --- client role ---------------------------------------------------------
+
+  /// Sends a method request. `on_response` fires (from the receive path)
+  /// with the response or, if `timeout` > 0 elapses first, with a
+  /// synthesized kTimeout error message. Returns the session id.
+  SessionId call(const net::Endpoint& server, ServiceId service, MethodId method,
+                 std::vector<std::uint8_t> payload, ResponseHandler on_response,
+                 Duration timeout = 0);
+
+  /// Fire-and-forget request (REQUEST_NO_RETURN).
+  void call_no_return(const net::Endpoint& server, ServiceId service, MethodId method,
+                      std::vector<std::uint8_t> payload);
+
+  /// Subscribes to event notifications from `server`. The handler runs on
+  /// the receive path.
+  void subscribe(const net::Endpoint& server, ServiceId service, EventId event,
+                 NotificationHandler handler);
+
+  void unsubscribe(const net::Endpoint& server, ServiceId service, EventId event);
+
+  // --- server role ---------------------------------------------------------
+
+  /// Registers the handler for incoming requests to (service, method).
+  void provide_method(ServiceId service, MethodId method, RequestHandler handler);
+
+  void remove_method(ServiceId service, MethodId method);
+
+  /// Sends the response for `request` back to `to`.
+  void respond(const Message& request, const net::Endpoint& to,
+               std::vector<std::uint8_t> payload, ReturnCode return_code = ReturnCode::kOk);
+
+  /// Sends a notification for (service, event) to all subscribers.
+  void notify(ServiceId service, EventId event, std::vector<std::uint8_t> payload);
+
+  [[nodiscard]] std::size_t subscriber_count(ServiceId service, EventId event) const;
+
+  // --- DEAR tag extension ----------------------------------------------------
+
+  /// Bypass collected on every outgoing message.
+  [[nodiscard]] TimestampBypass& send_bypass() noexcept { return send_bypass_; }
+  /// Bypass deposited on every incoming tagged message.
+  [[nodiscard]] TimestampBypass& receive_bypass() noexcept { return receive_bypass_; }
+
+  [[nodiscard]] net::Endpoint endpoint() const noexcept { return self_; }
+  [[nodiscard]] ClientId client_id() const noexcept { return client_id_; }
+
+  // --- statistics ------------------------------------------------------------
+
+  [[nodiscard]] std::uint64_t requests_sent() const noexcept { return requests_sent_; }
+  [[nodiscard]] std::uint64_t responses_received() const noexcept { return responses_received_; }
+  [[nodiscard]] std::uint64_t notifications_sent() const noexcept { return notifications_sent_; }
+  [[nodiscard]] std::uint64_t notifications_received() const noexcept {
+    return notifications_received_;
+  }
+  [[nodiscard]] std::uint64_t tagged_sent() const noexcept { return tagged_sent_; }
+  [[nodiscard]] std::uint64_t tagged_received() const noexcept { return tagged_received_; }
+  [[nodiscard]] std::uint64_t malformed_received() const noexcept { return malformed_received_; }
+  [[nodiscard]] std::uint64_t timeouts() const noexcept { return timeouts_; }
+
+ private:
+  void on_packet(const net::Packet& packet);
+  void handle_request(const Message& message, const net::Endpoint& from);
+  void handle_response(const Message& message);
+  void handle_notification(const Message& message, const net::Endpoint& from);
+  void handle_control(const Message& message, const net::Endpoint& from);
+  void send_message(const net::Endpoint& destination, Message message);
+
+  net::Network& network_;
+  common::Executor& executor_;
+  net::Endpoint self_;
+  ClientId client_id_;
+
+  TimestampBypass send_bypass_;
+  TimestampBypass receive_bypass_;
+
+  mutable std::mutex mutex_;
+  std::mutex receive_mutex_;
+
+  SessionId next_session_{1};
+  std::map<SessionId, ResponseHandler> pending_;
+  std::map<std::pair<ServiceId, MethodId>, RequestHandler> methods_;
+  std::map<std::pair<ServiceId, EventId>, NotificationHandler> event_handlers_;
+  std::map<std::pair<ServiceId, EventId>, std::vector<net::Endpoint>> subscribers_;
+
+  std::uint64_t requests_sent_{0};
+  std::uint64_t responses_received_{0};
+  std::uint64_t notifications_sent_{0};
+  std::uint64_t notifications_received_{0};
+  std::uint64_t tagged_sent_{0};
+  std::uint64_t tagged_received_{0};
+  std::uint64_t malformed_received_{0};
+  std::uint64_t timeouts_{0};
+};
+
+}  // namespace dear::someip

@@ -1,0 +1,69 @@
+#include "someip/message.hpp"
+
+namespace dear::someip {
+
+std::vector<std::uint8_t> Message::encode() const {
+  Writer writer;
+  writer.write_u16(service);
+  writer.write_u16(method);
+  const std::size_t trailer = tag.has_value() ? kTagTrailerSize : 0;
+  // Length covers request id (4) + version/type fields (4) + payload + trailer.
+  writer.write_u32(static_cast<std::uint32_t>(8 + payload.size() + trailer));
+  writer.write_u16(client);
+  writer.write_u16(session);
+  writer.write_u8(tag.has_value() ? kTaggedProtocolVersion : kProtocolVersion);
+  writer.write_u8(interface_version);
+  writer.write_u8(static_cast<std::uint8_t>(type));
+  writer.write_u8(static_cast<std::uint8_t>(return_code));
+  writer.write_bytes(payload.data(), payload.size());
+  if (tag.has_value()) {
+    writer.write_i64(tag->time);
+    writer.write_u32(tag->microstep);
+  }
+  return writer.take();
+}
+
+std::optional<Message> Message::decode(const std::vector<std::uint8_t>& bytes) {
+  Reader reader(bytes);
+  Message message;
+  message.service = reader.read_u16();
+  message.method = reader.read_u16();
+  const std::uint32_t length = reader.read_u32();
+  message.client = reader.read_u16();
+  message.session = reader.read_u16();
+  const std::uint8_t protocol_version = reader.read_u8();
+  message.interface_version = reader.read_u8();
+  message.type = static_cast<MessageType>(reader.read_u8());
+  message.return_code = static_cast<ReturnCode>(reader.read_u8());
+  if (!reader.ok() || length < 8) {
+    return std::nullopt;
+  }
+  if (protocol_version != kProtocolVersion && protocol_version != kTaggedProtocolVersion) {
+    return std::nullopt;
+  }
+  const bool tagged = protocol_version == kTaggedProtocolVersion;
+  const std::size_t body = length - 8;
+  if (body != reader.remaining()) {
+    return std::nullopt;  // inconsistent length field
+  }
+  if (tagged && body < kTagTrailerSize) {
+    return std::nullopt;
+  }
+  const std::size_t payload_size = body - (tagged ? kTagTrailerSize : 0);
+  message.payload.resize(payload_size);
+  if (payload_size > 0 && !reader.read_bytes(message.payload.data(), payload_size)) {
+    return std::nullopt;
+  }
+  if (tagged) {
+    WireTag tag;
+    tag.time = reader.read_i64();
+    tag.microstep = reader.read_u32();
+    if (!reader.ok()) {
+      return std::nullopt;
+    }
+    message.tag = tag;
+  }
+  return message;
+}
+
+}  // namespace dear::someip

@@ -1,0 +1,67 @@
+// SOME/IP message framing.
+//
+// Standard 16-byte header:
+//   message id (service id u16 | method id u16)
+//   length u32                  — bytes after this field
+//   request id (client id u16 | session id u16)
+//   protocol version u8, interface version u8, message type u8, return code u8
+// followed by the payload.
+//
+// DEAR extension: when protocol version == kTaggedProtocolVersion, a 12-byte
+// tag trailer (logical time i64, microstep u32) follows the payload. The
+// trailer is covered by the length field, so standard-compliant peers that
+// reject protocol version 2 simply drop the message, and peers running the
+// extension interoperate with untagged version-1 senders.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "someip/serialization.hpp"
+#include "someip/types.hpp"
+
+namespace dear::someip {
+
+/// Logical tag on the wire (paper §III.B).
+struct WireTag {
+  std::int64_t time{0};
+  std::uint32_t microstep{0};
+
+  bool operator==(const WireTag&) const = default;
+};
+
+inline constexpr std::size_t kHeaderSize = 16;
+inline constexpr std::size_t kTagTrailerSize = 12;
+
+struct Message {
+  ServiceId service{0};
+  MethodId method{0};
+  ClientId client{0};
+  SessionId session{0};
+  std::uint8_t interface_version{1};
+  MessageType type{MessageType::kRequest};
+  ReturnCode return_code{ReturnCode::kOk};
+  std::vector<std::uint8_t> payload;
+  /// Present on messages sent through the tagged (DEAR-extended) binding.
+  std::optional<WireTag> tag;
+
+  /// Serializes header + payload (+ tag trailer when tag is set).
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+
+  /// Parses a datagram. Returns nullopt on malformed input (short buffer,
+  /// inconsistent length field, unknown protocol version).
+  [[nodiscard]] static std::optional<Message> decode(const std::vector<std::uint8_t>& bytes);
+
+  [[nodiscard]] bool is_request() const noexcept {
+    return type == MessageType::kRequest || type == MessageType::kRequestNoReturn;
+  }
+  [[nodiscard]] bool is_response() const noexcept {
+    return type == MessageType::kResponse || type == MessageType::kError;
+  }
+  [[nodiscard]] bool is_notification() const noexcept {
+    return type == MessageType::kNotification;
+  }
+};
+
+}  // namespace dear::someip

@@ -1,0 +1,156 @@
+#include "someip/sd_wire.hpp"
+
+namespace dear::someip {
+
+namespace {
+
+constexpr std::uint8_t kIpv4EndpointOptionType = 0x04;
+constexpr std::size_t kEntrySize = 16;
+constexpr std::size_t kOptionSize = 12;  // incl. the leading length field
+
+void encode_option(Writer& writer, const SdEndpointOption& option) {
+  writer.write_u16(0x0009);  // length of the remainder
+  writer.write_u8(kIpv4EndpointOptionType);
+  writer.write_u8(0x00);  // reserved
+  writer.write_u32(option.address);
+  writer.write_u8(0x00);  // reserved
+  writer.write_u8(static_cast<std::uint8_t>(option.protocol));
+  writer.write_u16(option.port);
+}
+
+[[nodiscard]] bool decode_option(Reader& reader, SdEndpointOption& option) {
+  const std::uint16_t length = reader.read_u16();
+  const std::uint8_t type = reader.read_u8();
+  (void)reader.read_u8();
+  option.address = reader.read_u32();
+  (void)reader.read_u8();
+  option.protocol = static_cast<SdProtocol>(reader.read_u8());
+  option.port = reader.read_u16();
+  return reader.ok() && length == 0x0009 && type == kIpv4EndpointOptionType;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> SdMessage::encode() const {
+  // Collect options; each entry references a contiguous run in the shared
+  // options array (index1 + count1).
+  Writer writer;
+  writer.write_u8(flags);
+  writer.write_u8(0);
+  writer.write_u16(0);  // reserved u24 split as u8+u16
+  writer.write_u32(static_cast<std::uint32_t>(entries.size() * kEntrySize));
+
+  std::vector<SdEndpointOption> all_options;
+  for (const SdEntry& entry : entries) {
+    const auto index = static_cast<std::uint8_t>(all_options.size());
+    const auto count = static_cast<std::uint8_t>(entry.options.size());
+    writer.write_u8(static_cast<std::uint8_t>(entry.type));
+    writer.write_u8(index);  // index of the first option run
+    writer.write_u8(0);      // second option run unused
+    writer.write_u8(static_cast<std::uint8_t>(count << 4));
+    writer.write_u16(entry.service);
+    writer.write_u16(entry.instance);
+    writer.write_u8(entry.major_version);
+    // TTL is 24 bits.
+    writer.write_u8(static_cast<std::uint8_t>(entry.ttl >> 16));
+    writer.write_u16(static_cast<std::uint16_t>(entry.ttl));
+    writer.write_u32(entry.minor_version);
+    for (const SdEndpointOption& option : entry.options) {
+      all_options.push_back(option);
+    }
+  }
+  writer.write_u32(static_cast<std::uint32_t>(all_options.size() * kOptionSize));
+  for (const SdEndpointOption& option : all_options) {
+    encode_option(writer, option);
+  }
+  return writer.take();
+}
+
+std::optional<SdMessage> SdMessage::decode(const std::vector<std::uint8_t>& bytes) {
+  Reader reader(bytes);
+  SdMessage message;
+  message.flags = reader.read_u8();
+  (void)reader.read_u8();
+  (void)reader.read_u16();
+  const std::uint32_t entries_bytes = reader.read_u32();
+  if (!reader.ok() || entries_bytes % kEntrySize != 0 || entries_bytes > reader.remaining()) {
+    return std::nullopt;
+  }
+  struct PendingRun {
+    std::uint8_t index;
+    std::uint8_t count;
+  };
+  std::vector<PendingRun> runs;
+  const std::size_t entry_count = entries_bytes / kEntrySize;
+  for (std::size_t i = 0; i < entry_count; ++i) {
+    SdEntry entry;
+    entry.type = static_cast<SdEntryType>(reader.read_u8());
+    const std::uint8_t index1 = reader.read_u8();
+    (void)reader.read_u8();  // index2 unused
+    const std::uint8_t counts = reader.read_u8();
+    entry.service = reader.read_u16();
+    entry.instance = reader.read_u16();
+    entry.major_version = reader.read_u8();
+    const auto ttl_high = static_cast<std::uint32_t>(reader.read_u8());
+    const auto ttl_low = static_cast<std::uint32_t>(reader.read_u16());
+    entry.ttl = (ttl_high << 16) | ttl_low;
+    entry.minor_version = reader.read_u32();
+    message.entries.push_back(entry);
+    runs.push_back(PendingRun{index1, static_cast<std::uint8_t>(counts >> 4)});
+  }
+  const std::uint32_t options_bytes = reader.read_u32();
+  if (!reader.ok() || options_bytes % kOptionSize != 0 ||
+      options_bytes != reader.remaining()) {
+    return std::nullopt;
+  }
+  std::vector<SdEndpointOption> all_options;
+  const std::size_t option_count = options_bytes / kOptionSize;
+  for (std::size_t i = 0; i < option_count; ++i) {
+    SdEndpointOption option;
+    if (!decode_option(reader, option)) {
+      return std::nullopt;
+    }
+    all_options.push_back(option);
+  }
+  for (std::size_t i = 0; i < message.entries.size(); ++i) {
+    const PendingRun& run = runs[i];
+    if (static_cast<std::size_t>(run.index) + run.count > all_options.size()) {
+      return std::nullopt;
+    }
+    for (std::uint8_t k = 0; k < run.count; ++k) {
+      message.entries[i].options.push_back(all_options[run.index + k]);
+    }
+  }
+  return message;
+}
+
+SdEntry make_offer_entry(ServiceId service, InstanceId instance, SdEndpointOption endpoint,
+                         std::uint32_t ttl) {
+  SdEntry entry;
+  entry.type = SdEntryType::kOfferService;
+  entry.service = service;
+  entry.instance = instance;
+  entry.ttl = ttl;
+  entry.options.push_back(endpoint);
+  return entry;
+}
+
+SdEntry make_find_entry(ServiceId service, InstanceId instance) {
+  SdEntry entry;
+  entry.type = SdEntryType::kFindService;
+  entry.service = service;
+  entry.instance = instance;
+  entry.ttl = 3;
+  return entry;
+}
+
+SdEntry make_stop_offer_entry(ServiceId service, InstanceId instance) {
+  SdEntry entry;
+  entry.type = SdEntryType::kOfferService;
+  entry.service = service;
+  entry.instance = instance;
+  entry.ttl = 0;  // stop-offer is an offer with TTL 0
+  return entry;
+}
+
+}  // namespace dear::someip

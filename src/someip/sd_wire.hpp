@@ -1,0 +1,85 @@
+// SOME/IP Service Discovery wire format (AUTOSAR FO "SOME/IP Service
+// Discovery Protocol Specification").
+//
+// The in-process ServiceDiscovery registry models the SD *domain*; this
+// module provides the on-wire representation of SD messages (entries +
+// IPv4 endpoint options) so deployments that exchange discovery over the
+// network can be built and tested against the real format. Layout:
+//
+//   flags u8, reserved u24
+//   length of entries array u32
+//     entry: type u8, index1 u8, index2 u8, #opts u4|u4,
+//            service u16, instance u16, major u8, ttl u24,
+//            minor u32 (service entries) / counter+eventgroup (eventgroup
+//            entries)
+//   length of options array u32
+//     ipv4 endpoint option: length u16, type u8 (0x04), reserved u8,
+//            addr u32, reserved u8, proto u8, port u16
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "someip/serialization.hpp"
+#include "someip/types.hpp"
+
+namespace dear::someip {
+
+enum class SdEntryType : std::uint8_t {
+  kFindService = 0x00,
+  kOfferService = 0x01,
+  kSubscribeEventgroup = 0x06,
+  kSubscribeEventgroupAck = 0x07,
+};
+
+enum class SdProtocol : std::uint8_t {
+  kTcp = 0x06,
+  kUdp = 0x11,
+};
+
+struct SdEndpointOption {
+  std::uint32_t address{0};  // IPv4 in host order
+  SdProtocol protocol{SdProtocol::kUdp};
+  std::uint16_t port{0};
+
+  bool operator==(const SdEndpointOption&) const = default;
+};
+
+struct SdEntry {
+  SdEntryType type{SdEntryType::kFindService};
+  ServiceId service{0};
+  InstanceId instance{0};
+  std::uint8_t major_version{1};
+  /// TTL in seconds (24 bits on the wire); 0 withdraws the offer /
+  /// subscription ("stop offer").
+  std::uint32_t ttl{0};
+  /// Service entries carry the minor version; eventgroup entries carry
+  /// counter + eventgroup id in the same 4 bytes.
+  std::uint32_t minor_version{0};
+  /// Endpoint options referenced by this entry (via index/count fields).
+  std::vector<SdEndpointOption> options;
+
+  bool operator==(const SdEntry&) const = default;
+
+  [[nodiscard]] bool is_stop() const noexcept { return ttl == 0; }
+};
+
+struct SdMessage {
+  /// Bit 7: reboot flag; bit 6: unicast supported.
+  std::uint8_t flags{0xC0};
+  std::vector<SdEntry> entries;
+
+  bool operator==(const SdMessage&) const = default;
+
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+  [[nodiscard]] static std::optional<SdMessage> decode(const std::vector<std::uint8_t>& bytes);
+};
+
+/// Convenience constructors for the common entries.
+[[nodiscard]] SdEntry make_offer_entry(ServiceId service, InstanceId instance,
+                                       SdEndpointOption endpoint, std::uint32_t ttl = 3);
+[[nodiscard]] SdEntry make_find_entry(ServiceId service, InstanceId instance);
+[[nodiscard]] SdEntry make_stop_offer_entry(ServiceId service, InstanceId instance);
+
+}  // namespace dear::someip

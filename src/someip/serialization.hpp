@@ -1,0 +1,144 @@
+// SOME/IP on-wire payload serialization.
+//
+// Big-endian (network byte order) basic encoding per the SOME/IP
+// specification: fixed-width integers, IEEE-754 floats, strings and dynamic
+// arrays with 32-bit length fields. User-defined structs opt in by
+// providing ADL-visible `someip_serialize(Writer&, const T&)` and
+// `someip_deserialize(Reader&, T&)` overloads.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace dear::someip {
+
+class Writer {
+ public:
+  void write_u8(std::uint8_t v) { bytes_.push_back(v); }
+  void write_u16(std::uint16_t v);
+  void write_u32(std::uint32_t v);
+  void write_u64(std::uint64_t v);
+  void write_i8(std::int8_t v) { write_u8(static_cast<std::uint8_t>(v)); }
+  void write_i16(std::int16_t v) { write_u16(static_cast<std::uint16_t>(v)); }
+  void write_i32(std::int32_t v) { write_u32(static_cast<std::uint32_t>(v)); }
+  void write_i64(std::int64_t v) { write_u64(static_cast<std::uint64_t>(v)); }
+  void write_f32(float v) { write_u32(std::bit_cast<std::uint32_t>(v)); }
+  void write_f64(double v) { write_u64(std::bit_cast<std::uint64_t>(v)); }
+  void write_bool(bool v) { write_u8(v ? 1 : 0); }
+  void write_bytes(const std::uint8_t* data, std::size_t size);
+  void write_string(const std::string& s);
+
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const noexcept { return bytes_; }
+  [[nodiscard]] std::vector<std::uint8_t> take() noexcept { return std::move(bytes_); }
+  [[nodiscard]] std::size_t size() const noexcept { return bytes_.size(); }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+/// Non-throwing cursor over a byte buffer. After any failed read, ok() is
+/// false and all subsequent reads return zero values.
+class Reader {
+ public:
+  Reader(const std::uint8_t* data, std::size_t size) noexcept : data_(data), size_(size) {}
+  explicit Reader(const std::vector<std::uint8_t>& bytes) noexcept
+      : Reader(bytes.data(), bytes.size()) {}
+
+  [[nodiscard]] std::uint8_t read_u8() noexcept;
+  [[nodiscard]] std::uint16_t read_u16() noexcept;
+  [[nodiscard]] std::uint32_t read_u32() noexcept;
+  [[nodiscard]] std::uint64_t read_u64() noexcept;
+  [[nodiscard]] std::int8_t read_i8() noexcept { return static_cast<std::int8_t>(read_u8()); }
+  [[nodiscard]] std::int16_t read_i16() noexcept { return static_cast<std::int16_t>(read_u16()); }
+  [[nodiscard]] std::int32_t read_i32() noexcept { return static_cast<std::int32_t>(read_u32()); }
+  [[nodiscard]] std::int64_t read_i64() noexcept { return static_cast<std::int64_t>(read_u64()); }
+  [[nodiscard]] float read_f32() noexcept { return std::bit_cast<float>(read_u32()); }
+  [[nodiscard]] double read_f64() noexcept { return std::bit_cast<double>(read_u64()); }
+  [[nodiscard]] bool read_bool() noexcept { return read_u8() != 0; }
+  [[nodiscard]] std::string read_string();
+
+  bool read_bytes(std::uint8_t* out, std::size_t count) noexcept;
+
+  [[nodiscard]] bool ok() const noexcept { return ok_; }
+  [[nodiscard]] std::size_t remaining() const noexcept { return size_ - position_; }
+  [[nodiscard]] std::size_t position() const noexcept { return position_; }
+
+  /// Marks the reader failed (used by typed decoders on semantic errors).
+  void fail() noexcept { ok_ = false; }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t position_{0};
+  bool ok_{true};
+};
+
+// --- built-in type codecs -------------------------------------------------
+
+inline void someip_serialize(Writer& w, std::uint8_t v) { w.write_u8(v); }
+inline void someip_serialize(Writer& w, std::uint16_t v) { w.write_u16(v); }
+inline void someip_serialize(Writer& w, std::uint32_t v) { w.write_u32(v); }
+inline void someip_serialize(Writer& w, std::uint64_t v) { w.write_u64(v); }
+inline void someip_serialize(Writer& w, std::int8_t v) { w.write_i8(v); }
+inline void someip_serialize(Writer& w, std::int16_t v) { w.write_i16(v); }
+inline void someip_serialize(Writer& w, std::int32_t v) { w.write_i32(v); }
+inline void someip_serialize(Writer& w, std::int64_t v) { w.write_i64(v); }
+inline void someip_serialize(Writer& w, float v) { w.write_f32(v); }
+inline void someip_serialize(Writer& w, double v) { w.write_f64(v); }
+inline void someip_serialize(Writer& w, bool v) { w.write_bool(v); }
+inline void someip_serialize(Writer& w, const std::string& v) { w.write_string(v); }
+
+inline void someip_deserialize(Reader& r, std::uint8_t& v) { v = r.read_u8(); }
+inline void someip_deserialize(Reader& r, std::uint16_t& v) { v = r.read_u16(); }
+inline void someip_deserialize(Reader& r, std::uint32_t& v) { v = r.read_u32(); }
+inline void someip_deserialize(Reader& r, std::uint64_t& v) { v = r.read_u64(); }
+inline void someip_deserialize(Reader& r, std::int8_t& v) { v = r.read_i8(); }
+inline void someip_deserialize(Reader& r, std::int16_t& v) { v = r.read_i16(); }
+inline void someip_deserialize(Reader& r, std::int32_t& v) { v = r.read_i32(); }
+inline void someip_deserialize(Reader& r, std::int64_t& v) { v = r.read_i64(); }
+inline void someip_deserialize(Reader& r, float& v) { v = r.read_f32(); }
+inline void someip_deserialize(Reader& r, double& v) { v = r.read_f64(); }
+inline void someip_deserialize(Reader& r, bool& v) { v = r.read_bool(); }
+inline void someip_deserialize(Reader& r, std::string& v) { v = r.read_string(); }
+
+template <typename T>
+void someip_serialize(Writer& w, const std::vector<T>& v) {
+  w.write_u32(static_cast<std::uint32_t>(v.size()));
+  for (const T& item : v) {
+    someip_serialize(w, item);
+  }
+}
+
+template <typename T>
+void someip_deserialize(Reader& r, std::vector<T>& v) {
+  const std::uint32_t count = r.read_u32();
+  v.clear();
+  for (std::uint32_t i = 0; i < count && r.ok(); ++i) {
+    T item{};
+    someip_deserialize(r, item);
+    v.push_back(std::move(item));
+  }
+}
+
+/// Serializes a value pack into a fresh payload (method arguments are
+/// serialized in declaration order).
+template <typename... Ts>
+[[nodiscard]] std::vector<std::uint8_t> encode_payload(const Ts&... values) {
+  Writer writer;
+  (someip_serialize(writer, values), ...);
+  return writer.take();
+}
+
+/// Decodes a payload into a tuple; returns false on malformed input.
+template <typename... Ts>
+[[nodiscard]] bool decode_payload(const std::vector<std::uint8_t>& payload, Ts&... values) {
+  Reader reader(payload);
+  (someip_deserialize(reader, values), ...);
+  return reader.ok();
+}
+
+}  // namespace dear::someip

@@ -1,0 +1,58 @@
+#include "someip/service_discovery.hpp"
+
+namespace dear::someip {
+
+void ServiceDiscovery::offer(ServiceKey key, net::Endpoint endpoint) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  offers_[key] = endpoint;
+  notify_locked(key, endpoint);
+}
+
+void ServiceDiscovery::stop_offer(ServiceKey key) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (offers_.erase(key) > 0) {
+    notify_locked(key, std::nullopt);
+  }
+}
+
+std::optional<net::Endpoint> ServiceDiscovery::find(ServiceKey key) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = offers_.find(key);
+  if (it == offers_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+WatchId ServiceDiscovery::watch(ServiceKey key, common::Executor& executor, Watcher watcher) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const WatchId id = next_watch_id_++;
+  watchers_[id] = WatchEntry{key, &executor, std::move(watcher)};
+  const auto it = offers_.find(key);
+  if (it != offers_.end()) {
+    const WatchEntry& entry = watchers_[id];
+    const net::Endpoint endpoint = it->second;
+    entry.executor->post([watcher = entry.watcher, endpoint] { watcher(endpoint); });
+  }
+  return id;
+}
+
+void ServiceDiscovery::unwatch(WatchId id) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  watchers_.erase(id);
+}
+
+std::size_t ServiceDiscovery::offered_count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return offers_.size();
+}
+
+void ServiceDiscovery::notify_locked(ServiceKey key, std::optional<net::Endpoint> endpoint) {
+  for (const auto& [id, entry] : watchers_) {
+    if (entry.key == key) {
+      entry.executor->post([watcher = entry.watcher, endpoint] { watcher(endpoint); });
+    }
+  }
+}
+
+}  // namespace dear::someip

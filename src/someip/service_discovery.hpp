@@ -1,0 +1,75 @@
+// Simplified SOME/IP service discovery.
+//
+// Real SOME/IP-SD exchanges multicast Offer/Find entries; dynamic binding
+// of clients to servers at runtime is the core adaptivity mechanism of
+// AUTOSAR AP (paper §II.A). This implementation models the SD domain as a
+// shared registry with asynchronous watcher notification — offers become
+// visible immediately, watchers are notified through their own executor
+// (matching the asynchronous FindServiceHandler of ara::com).
+//
+// Simplification vs. the wire protocol: SD message latency and TTL/refresh
+// cycles are not modeled. Binding happens during startup in every
+// experiment in the paper, so this does not affect any reproduced result.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "common/executor.hpp"
+#include "net/endpoint.hpp"
+#include "someip/types.hpp"
+
+namespace dear::someip {
+
+struct ServiceKey {
+  ServiceId service{0};
+  InstanceId instance{0};
+
+  auto operator<=>(const ServiceKey&) const = default;
+};
+
+using WatchId = std::uint64_t;
+
+class ServiceDiscovery {
+ public:
+  /// Called with the offering endpoint, or nullopt when the offer is
+  /// withdrawn.
+  using Watcher = std::function<void(std::optional<net::Endpoint>)>;
+
+  /// Announces a service instance at `endpoint`. Re-offering replaces the
+  /// previous endpoint.
+  void offer(ServiceKey key, net::Endpoint endpoint);
+
+  void stop_offer(ServiceKey key);
+
+  /// Synchronous one-shot lookup (ara::com FindService).
+  [[nodiscard]] std::optional<net::Endpoint> find(ServiceKey key) const;
+
+  /// Continuous lookup (ara::com StartFindService). The watcher fires once
+  /// immediately if the service is already offered, then on every change.
+  WatchId watch(ServiceKey key, common::Executor& executor, Watcher watcher);
+
+  void unwatch(WatchId id);
+
+  [[nodiscard]] std::size_t offered_count() const;
+
+ private:
+  struct WatchEntry {
+    ServiceKey key;
+    common::Executor* executor;
+    Watcher watcher;
+  };
+
+  void notify_locked(ServiceKey key, std::optional<net::Endpoint> endpoint);
+
+  mutable std::mutex mutex_;
+  std::map<ServiceKey, net::Endpoint> offers_;
+  std::map<WatchId, WatchEntry> watchers_;
+  WatchId next_watch_id_{1};
+};
+
+}  // namespace dear::someip

@@ -1,0 +1,30 @@
+#include "someip/timestamp_bypass.hpp"
+
+namespace dear::someip {
+
+void TimestampBypass::deposit(WireTag tag) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (slot_.has_value()) {
+    ++overwrites_;
+  }
+  slot_ = tag;
+}
+
+std::optional<WireTag> TimestampBypass::collect() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::optional<WireTag> tag = slot_;
+  slot_.reset();
+  return tag;
+}
+
+bool TimestampBypass::armed() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return slot_.has_value();
+}
+
+std::uint64_t TimestampBypass::overwrites() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return overwrites_;
+}
+
+}  // namespace dear::someip

@@ -1,0 +1,52 @@
+// SOME/IP protocol types (AUTOSAR FO "SOME/IP Protocol Specification").
+#pragma once
+
+#include <cstdint>
+
+namespace dear::someip {
+
+using ServiceId = std::uint16_t;
+using InstanceId = std::uint16_t;
+/// Methods occupy ids 0x0000-0x7FFF; events/notifications 0x8000-0xFFFF.
+using MethodId = std::uint16_t;
+using EventId = std::uint16_t;
+using ClientId = std::uint16_t;
+using SessionId = std::uint16_t;
+
+inline constexpr MethodId kEventFlag = 0x8000;
+
+[[nodiscard]] constexpr bool is_event_id(MethodId id) noexcept { return (id & kEventFlag) != 0; }
+
+enum class MessageType : std::uint8_t {
+  kRequest = 0x00,
+  kRequestNoReturn = 0x01,
+  kNotification = 0x02,
+  kResponse = 0x80,
+  kError = 0x81,
+};
+
+enum class ReturnCode : std::uint8_t {
+  kOk = 0x00,
+  kNotOk = 0x01,
+  kUnknownService = 0x02,
+  kUnknownMethod = 0x03,
+  kNotReady = 0x04,
+  kNotReachable = 0x05,
+  kTimeout = 0x06,
+  kWrongProtocolVersion = 0x07,
+  kWrongInterfaceVersion = 0x08,
+  kMalformedMessage = 0x09,
+  kWrongMessageType = 0x0a,
+};
+
+/// Standard SOME/IP protocol version.
+inline constexpr std::uint8_t kProtocolVersion = 0x01;
+
+/// The DEAR extension: messages carrying this protocol version have a
+/// 12-byte tag trailer (logical time + microstep) appended to the payload.
+/// This realizes the paper's "third-party middleware that extends over
+/// SOME/IP by allowing the transmission of tagged messages" while staying
+/// interoperable with untagged peers.
+inline constexpr std::uint8_t kTaggedProtocolVersion = 0x02;
+
+}  // namespace dear::someip

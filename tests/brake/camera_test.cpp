@@ -1,0 +1,104 @@
+#include "brake/camera.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/sim_network.hpp"
+
+namespace dear::brake {
+namespace {
+
+using namespace dear::literals;
+
+struct CameraFixture : ::testing::Test {
+  sim::Kernel kernel;
+  sim::PlatformClock clock;
+  net::SimNetwork network{kernel, common::Rng(1)};
+  net::Endpoint camera_ep{1, 10};
+  net::Endpoint adapter_ep{2, 100};
+  std::vector<VideoFrame> received;
+
+  void bind_adapter() {
+    network.bind(adapter_ep, [this](const net::Packet& packet) {
+      VideoFrame frame;
+      ASSERT_TRUE(decode_camera_packet(packet.payload, frame));
+      received.push_back(frame);
+    });
+  }
+};
+
+TEST_F(CameraFixture, SendsFramesOnPeriodicGrid) {
+  bind_adapter();
+  Camera::Config config;
+  config.period = 50_ms;
+  config.phase = 0;
+  config.jitter = sim::ExecTimeModel::constant(0);
+  Camera camera(kernel, clock, network, camera_ep, adapter_ep, config, common::Rng(2));
+  camera.start();
+  kernel.run_until(240_ms);
+  camera.stop();
+  ASSERT_EQ(received.size(), 5u);  // 0, 50, 100, 150, 200 ms
+  for (std::size_t i = 0; i < received.size(); ++i) {
+    EXPECT_EQ(received[i].frame_id, i);
+    EXPECT_EQ(received[i].capture_time, static_cast<TimePoint>(i) * 50_ms);
+  }
+  EXPECT_EQ(camera.frames_sent(), 5u);
+}
+
+TEST_F(CameraFixture, FrameLimitStopsCapture) {
+  bind_adapter();
+  Camera::Config config;
+  config.period = 10_ms;
+  config.jitter = sim::ExecTimeModel::constant(0);
+  config.frame_limit = 3;
+  Camera camera(kernel, clock, network, camera_ep, adapter_ep, config, common::Rng(2));
+  camera.start();
+  kernel.run_until(1_s);
+  EXPECT_EQ(camera.frames_sent(), 3u);
+  EXPECT_EQ(received.size(), 3u);
+}
+
+TEST_F(CameraFixture, CaptureTimeUsesCameraClock) {
+  bind_adapter();
+  sim::PlatformClock skewed(3_ms, 0.0);  // camera clock 3 ms ahead
+  Camera::Config config;
+  config.period = 10_ms;
+  config.jitter = sim::ExecTimeModel::constant(0);
+  config.frame_limit = 1;
+  Camera camera(kernel, skewed, network, camera_ep, adapter_ep, config, common::Rng(2));
+  camera.start();
+  kernel.run_until(100_ms);
+  ASSERT_EQ(received.size(), 1u);
+  // The first local-grid release maps to global -3 ms, which the kernel
+  // clamps to 0; the capture timestamp is the camera's local reading at
+  // that instant: +3 ms.
+  EXPECT_EQ(received[0].capture_time, 3_ms);
+}
+
+TEST_F(CameraFixture, FrameContentMatchesGenerator) {
+  bind_adapter();
+  Camera::Config config;
+  config.period = 10_ms;
+  config.jitter = sim::ExecTimeModel::constant(0);
+  config.frame_limit = 2;
+  Camera camera(kernel, clock, network, camera_ep, adapter_ep, config, common::Rng(2));
+  camera.start();
+  kernel.run_until(100_ms);
+  ASSERT_EQ(received.size(), 2u);
+  EXPECT_EQ(received[0].content_hash, generate_frame(0, 0).content_hash);
+  EXPECT_EQ(received[1].content_hash, generate_frame(1, 0).content_hash);
+}
+
+TEST(CameraPacket, DecodeRejectsGarbage) {
+  VideoFrame frame;
+  EXPECT_FALSE(decode_camera_packet({1, 2, 3}, frame));
+  EXPECT_FALSE(decode_camera_packet({}, frame));
+  // Trailing garbage after a valid frame is rejected too.
+  someip::Writer writer;
+  someip_serialize(writer, generate_frame(1, 2));
+  auto bytes = writer.take();
+  bytes.push_back(0xFF);
+  EXPECT_FALSE(decode_camera_packet(bytes, frame));
+}
+
+}  // namespace
+}  // namespace dear::brake

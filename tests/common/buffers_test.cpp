@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/one_slot_buffer.hpp"
+#include "common/ring_buffer.hpp"
+
+namespace dear::common {
+namespace {
+
+// --- OneSlotBuffer -----------------------------------------------------------
+
+TEST(OneSlotBuffer, TakeFromEmptyIsNullopt) {
+  OneSlotBuffer<int> buffer;
+  EXPECT_FALSE(buffer.take().has_value());
+  EXPECT_EQ(buffer.empty_takes(), 1u);
+}
+
+TEST(OneSlotBuffer, StoreThenTake) {
+  OneSlotBuffer<int> buffer;
+  EXPECT_FALSE(buffer.store(42));
+  const auto value = buffer.take();
+  ASSERT_TRUE(value.has_value());
+  EXPECT_EQ(*value, 42);
+  EXPECT_FALSE(buffer.take().has_value());
+}
+
+TEST(OneSlotBuffer, OverwriteIsReportedAndCounted) {
+  OneSlotBuffer<std::string> buffer;
+  EXPECT_FALSE(buffer.store("first"));
+  EXPECT_TRUE(buffer.store("second"));  // the dropped-input case of §IV.A
+  EXPECT_EQ(buffer.overwrites(), 1u);
+  const auto value = buffer.take();
+  ASSERT_TRUE(value.has_value());
+  EXPECT_EQ(*value, "second");  // latest wins
+}
+
+TEST(OneSlotBuffer, CountersTrackTraffic) {
+  OneSlotBuffer<int> buffer;
+  (void)buffer.store(1);
+  (void)buffer.take();
+  (void)buffer.store(2);
+  (void)buffer.store(3);
+  (void)buffer.take();
+  (void)buffer.take();
+  EXPECT_EQ(buffer.stores(), 3u);
+  EXPECT_EQ(buffer.takes(), 2u);
+  EXPECT_EQ(buffer.empty_takes(), 1u);
+  EXPECT_EQ(buffer.overwrites(), 1u);
+}
+
+TEST(OneSlotBuffer, PeekDoesNotConsume) {
+  OneSlotBuffer<int> buffer;
+  (void)buffer.store(5);
+  EXPECT_EQ(buffer.peek().value(), 5);
+  EXPECT_EQ(buffer.take().value(), 5);
+  EXPECT_FALSE(buffer.peek().has_value());
+}
+
+// --- RingBuffer ------------------------------------------------------------------
+
+TEST(RingBuffer, RejectsZeroCapacity) {
+  EXPECT_THROW(RingBuffer<int>(0), std::invalid_argument);
+}
+
+TEST(RingBuffer, FifoOrder) {
+  RingBuffer<int> ring(4);
+  for (int i = 1; i <= 4; ++i) {
+    EXPECT_TRUE(ring.push(i));
+  }
+  EXPECT_TRUE(ring.full());
+  EXPECT_FALSE(ring.push(5));
+  for (int i = 1; i <= 4; ++i) {
+    EXPECT_EQ(ring.pop().value(), i);
+  }
+  EXPECT_TRUE(ring.empty());
+  EXPECT_FALSE(ring.pop().has_value());
+}
+
+TEST(RingBuffer, WrapAround) {
+  RingBuffer<int> ring(3);
+  (void)ring.push(1);
+  (void)ring.push(2);
+  (void)ring.pop();
+  (void)ring.push(3);
+  (void)ring.push(4);
+  EXPECT_EQ(ring.pop().value(), 2);
+  EXPECT_EQ(ring.pop().value(), 3);
+  EXPECT_EQ(ring.pop().value(), 4);
+}
+
+TEST(RingBuffer, PushEvictReturnsOldest) {
+  RingBuffer<int> ring(2);
+  EXPECT_FALSE(ring.push_evict(1).has_value());
+  EXPECT_FALSE(ring.push_evict(2).has_value());
+  const auto evicted = ring.push_evict(3);
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(*evicted, 1);
+  EXPECT_EQ(ring.pop().value(), 2);
+  EXPECT_EQ(ring.pop().value(), 3);
+}
+
+TEST(RingBuffer, FrontAndClear) {
+  RingBuffer<int> ring(2);
+  EXPECT_THROW((void)ring.front(), std::out_of_range);
+  (void)ring.push(7);
+  EXPECT_EQ(ring.front(), 7);
+  EXPECT_EQ(ring.size(), 1u);
+  ring.clear();
+  EXPECT_TRUE(ring.empty());
+  EXPECT_EQ(ring.capacity(), 2u);
+}
+
+}  // namespace
+}  // namespace dear::common

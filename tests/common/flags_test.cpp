@@ -1,0 +1,72 @@
+#include "common/flags.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace dear::common {
+namespace {
+
+Flags make_flags(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Flags(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Flags, EqualsSyntax) {
+  const auto flags = make_flags({"--frames=100", "--scale=0.5", "--name=hello"});
+  EXPECT_EQ(flags.get_int("frames", 0), 100);
+  EXPECT_DOUBLE_EQ(flags.get_double("scale", 0.0), 0.5);
+  EXPECT_EQ(flags.get_string("name", ""), "hello");
+}
+
+TEST(Flags, SpaceSyntax) {
+  const auto flags = make_flags({"--frames", "42", "--label", "x"});
+  EXPECT_EQ(flags.get_int("frames", 0), 42);
+  EXPECT_EQ(flags.get_string("label", ""), "x");
+}
+
+TEST(Flags, BooleanForms) {
+  const auto flags = make_flags({"--verbose", "--fast=true", "--slow=false", "--n=1"});
+  EXPECT_TRUE(flags.get_bool("verbose", false));
+  EXPECT_TRUE(flags.get_bool("fast", false));
+  EXPECT_FALSE(flags.get_bool("slow", true));
+  EXPECT_TRUE(flags.get_bool("n", false));
+  EXPECT_TRUE(flags.get_bool("absent", true));
+  EXPECT_FALSE(flags.get_bool("absent", false));
+}
+
+TEST(Flags, Fallbacks) {
+  const auto flags = make_flags({});
+  EXPECT_EQ(flags.get_int("missing", -7), -7);
+  EXPECT_DOUBLE_EQ(flags.get_double("missing", 1.25), 1.25);
+  EXPECT_EQ(flags.get_string("missing", "dflt"), "dflt");
+  EXPECT_FALSE(flags.has("missing"));
+}
+
+TEST(Flags, Positional) {
+  const auto flags = make_flags({"input.txt", "--opt=1", "output.txt"});
+  ASSERT_EQ(flags.positional().size(), 2u);
+  EXPECT_EQ(flags.positional()[0], "input.txt");
+  EXPECT_EQ(flags.positional()[1], "output.txt");
+  EXPECT_EQ(flags.program(), "prog");
+}
+
+TEST(Flags, FlagFollowedByFlagIsBoolean) {
+  const auto flags = make_flags({"--a", "--b", "7"});
+  EXPECT_TRUE(flags.get_bool("a", false));
+  EXPECT_EQ(flags.get_int("b", 0), 7);
+}
+
+TEST(EnvInt, ReadsAndFallsBack) {
+  ::setenv("DEAR_TEST_ENV_INT", "123", 1);
+  EXPECT_EQ(env_int("DEAR_TEST_ENV_INT", 0), 123);
+  ::unsetenv("DEAR_TEST_ENV_INT");
+  EXPECT_EQ(env_int("DEAR_TEST_ENV_INT", 77), 77);
+  ::setenv("DEAR_TEST_ENV_INT", "", 1);
+  EXPECT_EQ(env_int("DEAR_TEST_ENV_INT", 5), 5);
+  ::unsetenv("DEAR_TEST_ENV_INT");
+}
+
+}  // namespace
+}  // namespace dear::common

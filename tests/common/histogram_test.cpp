@@ -1,0 +1,105 @@
+#include "common/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dear::common {
+namespace {
+
+TEST(CategoricalHistogram, CountsAndTotals) {
+  CategoricalHistogram h;
+  EXPECT_TRUE(h.empty());
+  h.add(3);
+  h.add(3);
+  h.add(0);
+  EXPECT_FALSE(h.empty());
+  EXPECT_EQ(h.count(3), 2u);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(7), 0u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(CategoricalHistogram, BulkAdd) {
+  CategoricalHistogram h;
+  h.add(1, 10);
+  h.add(2, 30);
+  EXPECT_EQ(h.total(), 40u);
+  EXPECT_DOUBLE_EQ(h.probability(2), 0.75);
+}
+
+TEST(CategoricalHistogram, ProbabilityEmptyIsZero) {
+  const CategoricalHistogram h;
+  EXPECT_DOUBLE_EQ(h.probability(0), 0.0);
+}
+
+TEST(CategoricalHistogram, ValuesSorted) {
+  CategoricalHistogram h;
+  h.add(5);
+  h.add(-2);
+  h.add(3);
+  const auto values = h.values();
+  ASSERT_EQ(values.size(), 3u);
+  EXPECT_EQ(values[0], -2);
+  EXPECT_EQ(values[1], 3);
+  EXPECT_EQ(values[2], 5);
+}
+
+TEST(CategoricalHistogram, AsciiRendering) {
+  CategoricalHistogram h;
+  EXPECT_EQ(h.to_ascii(), "(empty)\n");
+  h.add(0, 1);
+  h.add(1, 3);
+  const std::string art = h.to_ascii(10);
+  EXPECT_NE(art.find('#'), std::string::npos);
+  EXPECT_NE(art.find("0.250"), std::string::npos);
+  EXPECT_NE(art.find("0.750"), std::string::npos);
+}
+
+TEST(BinnedHistogram, RejectsBadConstruction) {
+  EXPECT_THROW(BinnedHistogram(0.0, 1.0, 0), std::invalid_argument);
+  EXPECT_THROW(BinnedHistogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(BinnedHistogram(2.0, 1.0, 4), std::invalid_argument);
+}
+
+TEST(BinnedHistogram, BinsAndOverflow) {
+  BinnedHistogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(9.99);
+  h.add(-1.0);
+  h.add(10.0);
+  h.add(25.0);
+  EXPECT_EQ(h.bin(0), 1u);
+  EXPECT_EQ(h.bin(9), 1u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.total(), 5u);
+}
+
+TEST(BinnedHistogram, BinEdges) {
+  BinnedHistogram h(10.0, 20.0, 5);
+  EXPECT_DOUBLE_EQ(h.bin_lower(0), 10.0);
+  EXPECT_DOUBLE_EQ(h.bin_upper(0), 12.0);
+  EXPECT_DOUBLE_EQ(h.bin_lower(4), 18.0);
+  EXPECT_DOUBLE_EQ(h.bin_upper(4), 20.0);
+}
+
+TEST(BinnedHistogram, QuantileMonotone) {
+  BinnedHistogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 1000; ++i) {
+    h.add(static_cast<double>(i % 100) + 0.5);
+  }
+  const double q10 = h.quantile(0.10);
+  const double q50 = h.quantile(0.50);
+  const double q90 = h.quantile(0.90);
+  EXPECT_LE(q10, q50);
+  EXPECT_LE(q50, q90);
+  EXPECT_NEAR(q50, 50.0, 2.0);
+  EXPECT_NEAR(q90, 90.0, 2.0);
+}
+
+TEST(BinnedHistogram, QuantileEmpty) {
+  BinnedHistogram h(0.0, 1.0, 4);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+}
+
+}  // namespace
+}  // namespace dear::common

@@ -1,0 +1,214 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace dear::common {
+namespace {
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(Rng, DifferentSeedsDifferentSequences) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a() == b()) {
+      ++equal;
+    }
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, ReseedRestartsSequence) {
+  Rng a(7);
+  std::vector<std::uint64_t> first;
+  for (int i = 0; i < 10; ++i) {
+    first.push_back(a());
+  }
+  a.reseed(7);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(a(), first[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng rng(3);
+  for (std::uint64_t bound : {1ULL, 2ULL, 7ULL, 100ULL, 1'000'000ULL}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, NextBelowOneAlwaysZero) {
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.next_below(1), 0u);
+  }
+}
+
+TEST(Rng, UniformInclusiveRange) {
+  Rng rng(5);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t v = rng.uniform(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit
+}
+
+TEST(Rng, UniformSingletonRange) {
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(rng.uniform(42, 42), 42);
+  }
+}
+
+TEST(Rng, Uniform01InHalfOpenInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 5000; ++i) {
+    const double v = rng.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, Uniform01MeanRoughlyHalf) {
+  Rng rng(13);
+  double sum = 0.0;
+  constexpr int kSamples = 100'000;
+  for (int i = 0; i < kSamples; ++i) {
+    sum += rng.uniform01();
+  }
+  EXPECT_NEAR(sum / kSamples, 0.5, 0.01);
+}
+
+TEST(Rng, NormalMeanAndSpread) {
+  Rng rng(17);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  constexpr int kSamples = 100'000;
+  for (int i = 0; i < kSamples; ++i) {
+    const double v = rng.normal(10.0, 2.0);
+    sum += v;
+    sum_sq += v * v;
+  }
+  const double mean = sum / kSamples;
+  const double variance = sum_sq / kSamples - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(variance, 4.0, 0.3);
+}
+
+TEST(Rng, NormalTruncatedAtFourSigma) {
+  Rng rng(19);
+  for (int i = 0; i < 50'000; ++i) {
+    const double v = rng.normal(0.0, 1.0);
+    EXPECT_GE(v, -4.0);
+    EXPECT_LE(v, 4.0);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(23);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ChanceRate) {
+  Rng rng(29);
+  int hits = 0;
+  constexpr int kSamples = 100'000;
+  for (int i = 0; i < kSamples; ++i) {
+    if (rng.chance(0.25)) {
+      ++hits;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kSamples, 0.25, 0.01);
+}
+
+TEST(Rng, StreamsAreDecorrelated) {
+  const Rng root(99);
+  Rng a = root.stream("alpha");
+  Rng b = root.stream("beta");
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a() == b()) {
+      ++equal;
+    }
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, StreamsAreDeterministic) {
+  const Rng root(99);
+  Rng a1 = root.stream("alpha");
+  Rng a2 = root.stream("alpha");
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a1(), a2());
+  }
+}
+
+TEST(Rng, StreamDoesNotAdvanceParent) {
+  Rng root(7);
+  Rng copy(7);
+  (void)root.stream("x");
+  (void)root.stream("y");
+  EXPECT_EQ(root(), copy());
+}
+
+TEST(Rng, UniformDurationBounds) {
+  Rng rng(31);
+  for (int i = 0; i < 1000; ++i) {
+    const Duration d = rng.uniform_duration(5, 500);
+    EXPECT_GE(d, 5);
+    EXPECT_LE(d, 500);
+  }
+}
+
+TEST(Fnv1a, KnownValuesStable) {
+  EXPECT_EQ(fnv1a(""), 0xcbf29ce484222325ULL);
+  EXPECT_NE(fnv1a("a"), fnv1a("b"));
+  EXPECT_EQ(fnv1a("dear"), fnv1a("dear"));
+}
+
+TEST(Splitmix64, AdvancesState) {
+  std::uint64_t state = 1;
+  const std::uint64_t first = splitmix64(state);
+  const std::uint64_t second = splitmix64(state);
+  EXPECT_NE(first, second);
+  EXPECT_NE(state, 1u);
+}
+
+class RngRangeTest : public ::testing::TestWithParam<std::pair<std::int64_t, std::int64_t>> {};
+
+TEST_P(RngRangeTest, AllDrawsInRange) {
+  const auto [lo, hi] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(lo * 31 + hi));
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t v = rng.uniform(lo, hi);
+    EXPECT_GE(v, lo);
+    EXPECT_LE(v, hi);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranges, RngRangeTest,
+                         ::testing::Values(std::pair{0L, 1L}, std::pair{-100L, 100L},
+                                           std::pair{0L, 49'999'999L},
+                                           std::pair{-1'000'000'000L, -999'999'990L},
+                                           std::pair{5L, 5L}));
+
+}  // namespace
+}  // namespace dear::common

@@ -1,0 +1,38 @@
+#include "common/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dear {
+namespace {
+
+using namespace dear::literals;
+
+TEST(TimeLiterals, Conversions) {
+  EXPECT_EQ(1_us, 1000_ns);
+  EXPECT_EQ(1_ms, 1000_us);
+  EXPECT_EQ(1_s, 1000_ms);
+  EXPECT_EQ(50_ms, 50 * kMillisecond);
+}
+
+TEST(TimeHelpers, FactoryFunctions) {
+  EXPECT_EQ(nanoseconds(5), 5);
+  EXPECT_EQ(microseconds(5), 5'000);
+  EXPECT_EQ(milliseconds(5), 5'000'000);
+  EXPECT_EQ(seconds(5), 5'000'000'000);
+}
+
+TEST(FormatDuration, PicksUnits) {
+  EXPECT_EQ(format_duration(0), "0ns");
+  EXPECT_EQ(format_duration(999), "999ns");
+  EXPECT_EQ(format_duration(1500), "1.500us");
+  EXPECT_EQ(format_duration(2'500'000), "2.500ms");
+  EXPECT_EQ(format_duration(3'250'000'000), "3.250s");
+}
+
+TEST(FormatDuration, Negative) {
+  EXPECT_EQ(format_duration(-1500), "-1.500us");
+  EXPECT_EQ(format_duration(-2 * kSecond), "-2.000s");
+}
+
+}  // namespace
+}  // namespace dear

@@ -1,0 +1,138 @@
+// Simulation world for the transactor tests: a server SWC and a client SWC
+// (each an ara runtime + reactor environment) connected through a single
+// AP event service over the DES network.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "ara/event.hpp"
+#include "ara/method.hpp"
+#include "ara/proxy.hpp"
+#include "ara/runtime.hpp"
+#include "ara/skeleton.hpp"
+#include "dear/dear.hpp"
+#include "net/sim_network.hpp"
+#include "sim/sim_executor.hpp"
+
+namespace dear::transact::testing {
+
+inline constexpr someip::ServiceId kService = 0x0B0B;
+inline constexpr someip::InstanceId kInstance = 1;
+inline constexpr someip::EventId kDataEvent = 0x8001;
+inline constexpr someip::MethodId kComputeMethod = 0x01;
+
+class WorldSkeleton : public ara::ServiceSkeleton {
+ public:
+  explicit WorldSkeleton(ara::Runtime& runtime)
+      : ServiceSkeleton(runtime, {kService, kInstance}) {}
+
+  ara::SkeletonEvent<std::int64_t> data{*this, kDataEvent};
+  ara::SkeletonMethod<std::int64_t, std::int64_t> compute{*this, kComputeMethod};
+};
+
+class WorldProxy : public ara::ServiceProxy {
+ public:
+  WorldProxy(ara::Runtime& runtime, net::Endpoint server)
+      : ServiceProxy(runtime, {kService, kInstance}, server) {}
+
+  ara::ProxyEvent<std::int64_t> data{*this, kDataEvent};
+  ara::ProxyMethod<std::int64_t, std::int64_t> compute{*this, kComputeMethod};
+};
+
+struct DearWorld : public ::testing::Test {
+  using Config = reactor::Environment::Config;
+
+  static Config keepalive_config() {
+    Config config;
+    config.keepalive = true;
+    return config;
+  }
+
+  DearWorld()
+      : network(kernel, common::Rng(9)),
+        executor(kernel, common::Rng(10)),
+        server_rt(network, discovery, executor, {1, 100}, 0x01),
+        client_rt(network, discovery, executor, {2, 200}, 0x02),
+        clock(kernel),
+        server_env(clock, keepalive_config()),
+        client_env(clock, keepalive_config()),
+        skeleton(server_rt) {
+    skeleton.OfferService();
+    proxy = std::make_unique<WorldProxy>(client_rt, *client_rt.resolve({kService, kInstance}));
+  }
+
+  [[nodiscard]] TransactorConfig transactor_config(Duration deadline = 2 * kMillisecond,
+                                                   Duration latency_bound = 5 * kMillisecond,
+                                                   Duration clock_error = 0) const {
+    TransactorConfig config;
+    config.deadline = deadline;
+    config.latency_bound = latency_bound;
+    config.clock_error_bound = clock_error;
+    return config;
+  }
+
+  /// Time given to subscription control messages before logical execution
+  /// starts (matches the paper's setup: binding happens during startup).
+  static constexpr Duration kSettle = kMillisecond;
+
+  void start_drivers() {
+    kernel.run_until(kSettle);  // deliver subscription control messages
+    server_driver = std::make_unique<reactor::SimDriver>(server_env, kernel, common::Rng(11));
+    client_driver = std::make_unique<reactor::SimDriver>(client_env, kernel, common::Rng(12));
+    server_driver->start();
+    client_driver->start();
+  }
+
+  sim::Kernel kernel;
+  net::SimNetwork network;
+  someip::ServiceDiscovery discovery;
+  sim::SimExecutor executor;
+  ara::Runtime server_rt;
+  ara::Runtime client_rt;
+  reactor::SimClock clock;
+  reactor::Environment server_env;
+  reactor::Environment client_env;
+  WorldSkeleton skeleton;
+  std::unique_ptr<WorldProxy> proxy;
+  std::unique_ptr<reactor::SimDriver> server_driver;
+  std::unique_ptr<reactor::SimDriver> client_driver;
+};
+
+/// Producer reactor for the server side: emits values on a timer.
+class Producer final : public reactor::Reactor {
+ public:
+  reactor::Output<std::int64_t> out{"out", this};
+
+  Producer(reactor::Environment& env, Duration period, int limit)
+      : Reactor("producer", env), timer_("timer", this, period) {
+    add_reaction("emit",
+                 [this, limit] {
+                   // Stop emitting after `limit` values but keep the
+                   // environment alive; the test harness bounds the run.
+                   if (next_ < limit) {
+                     out.set(next_++);
+                   }
+                 })
+        .triggered_by(timer_)
+        .writes(out);
+  }
+
+ private:
+  reactor::Timer timer_;
+  std::int64_t next_{0};
+};
+
+/// Consumer reactor for the client side: records values and tags.
+class Consumer final : public reactor::Reactor {
+ public:
+  reactor::Input<std::int64_t> in{"in", this};
+  std::vector<std::pair<std::int64_t, reactor::Tag>> received;
+
+  explicit Consumer(reactor::Environment& env) : Reactor("consumer", env) {
+    add_reaction("record", [this] {
+      received.emplace_back(in.get(), current_tag());
+    }).triggered_by(in);
+  }
+};
+
+}  // namespace dear::transact::testing

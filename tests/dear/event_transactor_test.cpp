@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include "dear_fixture.hpp"
+
+namespace dear::transact {
+namespace {
+
+using namespace dear::literals;
+using testing::Consumer;
+using testing::DearWorld;
+using testing::Producer;
+
+struct EventTransactorTest : DearWorld {};
+
+TEST_F(EventTransactorTest, EndToEndTagAlgebra) {
+  // Producer emits at tags kMillisecond-grid t; the client must observe the
+  // value at exactly t + Ds + L + E.
+  const Duration deadline = 2_ms;
+  const Duration latency_bound = 5_ms;
+  Producer producer(server_env, 10_ms, 5);
+  ServerEventTransactor<std::int64_t> server_tx("server_tx", server_env, skeleton.data,
+                                                server_rt.binding(),
+                                                transactor_config(deadline, latency_bound));
+  server_env.connect(producer.out, server_tx.in);
+
+  Consumer consumer(client_env);
+  ClientEventTransactor<std::int64_t> client_tx("client_tx", client_env, proxy->data,
+                                                client_rt.binding(),
+                                                transactor_config(deadline, latency_bound));
+  client_env.connect(client_tx.out, consumer.in);
+
+  start_drivers();
+  kernel.run_until(100_ms);
+
+  ASSERT_EQ(consumer.received.size(), 5u);
+  for (std::size_t i = 0; i < consumer.received.size(); ++i) {
+    EXPECT_EQ(consumer.received[i].first, static_cast<std::int64_t>(i));
+    const TimePoint send_tag = kSettle + static_cast<TimePoint>(i) * 10_ms;
+    EXPECT_EQ(consumer.received[i].second,
+              (reactor::Tag{send_tag + deadline + latency_bound, 0}));
+  }
+  EXPECT_EQ(server_tx.messages_sent(), 5u);
+  EXPECT_EQ(client_tx.messages_released(), 5u);
+  EXPECT_EQ(client_tx.tardy_messages(), 0u);
+  EXPECT_EQ(client_tx.untagged_messages(), 0u);
+}
+
+TEST_F(EventTransactorTest, ClockErrorBoundAddsToReleaseTag) {
+  Producer producer(server_env, 10_ms, 1);
+  ServerEventTransactor<std::int64_t> server_tx(
+      "server_tx", server_env, skeleton.data, server_rt.binding(),
+      transactor_config(2_ms, 5_ms, /*clock_error=*/3_ms));
+  server_env.connect(producer.out, server_tx.in);
+  Consumer consumer(client_env);
+  ClientEventTransactor<std::int64_t> client_tx(
+      "client_tx", client_env, proxy->data, client_rt.binding(),
+      transactor_config(2_ms, 5_ms, /*clock_error=*/3_ms));
+  client_env.connect(client_tx.out, consumer.in);
+  start_drivers();
+  kernel.run_until(100_ms);
+  ASSERT_EQ(consumer.received.size(), 1u);
+  EXPECT_EQ(consumer.received[0].second.time, kSettle + 2_ms + 5_ms + 3_ms);
+}
+
+TEST_F(EventTransactorTest, FanOutToTwoReactorClients) {
+  ara::Runtime client2_rt(network, discovery, executor, {3, 300}, 0x03);
+  reactor::Environment client2_env(clock, keepalive_config());
+  testing::WorldProxy proxy2(client2_rt, *client2_rt.resolve({testing::kService, 1}));
+
+  Producer producer(server_env, 10_ms, 3);
+  ServerEventTransactor<std::int64_t> server_tx("server_tx", server_env, skeleton.data,
+                                                server_rt.binding(), transactor_config());
+  server_env.connect(producer.out, server_tx.in);
+
+  Consumer consumer1(client_env);
+  ClientEventTransactor<std::int64_t> client_tx1("client_tx1", client_env, proxy->data,
+                                                 client_rt.binding(), transactor_config());
+  client_env.connect(client_tx1.out, consumer1.in);
+
+  Consumer consumer2(client2_env);
+  ClientEventTransactor<std::int64_t> client_tx2("client_tx2", client2_env, proxy2.data,
+                                                 client2_rt.binding(), transactor_config());
+  client2_env.connect(client_tx2.out, consumer2.in);
+
+  reactor::SimDriver driver2(client2_env, kernel, common::Rng(13));
+  driver2.start();
+  start_drivers();
+  kernel.run_until(100_ms);
+
+  ASSERT_EQ(consumer1.received.size(), 3u);
+  ASSERT_EQ(consumer2.received.size(), 3u);
+  // Both clients observe identical tags: deterministic fan-out.
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(consumer1.received[i], consumer2.received[i]);
+  }
+}
+
+TEST_F(EventTransactorTest, DeadlineViolationDropsSample) {
+  // The producer's modeled cost exceeds the sending deadline, so the
+  // transactor's deadline handler fires and the sample is never sent —
+  // an *observable* error.
+  class SlowProducer final : public reactor::Reactor {
+   public:
+    reactor::Output<std::int64_t> out{"out", this};
+    explicit SlowProducer(reactor::Environment& env)
+        : Reactor("slow_producer", env), timer_("timer", this, 20_ms) {
+      add_reaction("emit", [this] { out.set(next_++); })
+          .triggered_by(timer_)
+          .writes(out)
+          .set_modeled_cost(sim::ExecTimeModel::constant(4_ms));
+    }
+
+   private:
+    reactor::Timer timer_;
+    std::int64_t next_{0};
+  };
+
+  SlowProducer producer(server_env);
+  ServerEventTransactor<std::int64_t> server_tx("server_tx", server_env, skeleton.data,
+                                                server_rt.binding(),
+                                                transactor_config(/*deadline=*/2_ms));
+  server_env.connect(producer.out, server_tx.in);
+  Consumer consumer(client_env);
+  ClientEventTransactor<std::int64_t> client_tx("client_tx", client_env, proxy->data,
+                                                client_rt.binding(), transactor_config(2_ms));
+  client_env.connect(client_tx.out, consumer.in);
+  start_drivers();
+  kernel.run_until(100_ms);
+  EXPECT_EQ(consumer.received.size(), 0u);
+  EXPECT_GT(server_tx.deadline_violations(), 0u);
+  EXPECT_EQ(server_tx.messages_sent(), 0u);
+}
+
+TEST_F(EventTransactorTest, UntaggedFailPolicyDropsLegacyEvents) {
+  // A legacy (non-reactor) server sends plain events; the DEAR client with
+  // the default kFail policy drops them and counts the error.
+  Consumer consumer(client_env);
+  ClientEventTransactor<std::int64_t> client_tx("client_tx", client_env, proxy->data,
+                                                client_rt.binding(), transactor_config());
+  client_env.connect(client_tx.out, consumer.in);
+  start_drivers();
+  kernel.run_until(5_ms);
+  skeleton.data.Send(41);  // untagged: no transactor on the server side
+  kernel.run_until(50_ms);
+  EXPECT_TRUE(consumer.received.empty());
+  EXPECT_EQ(client_tx.untagged_messages(), 1u);
+  EXPECT_EQ(client_tx.dropped_messages(), 1u);
+}
+
+TEST_F(EventTransactorTest, UntaggedPhysicalTimePolicyAcceptsLegacyEvents) {
+  Consumer consumer(client_env);
+  TransactorConfig config = transactor_config();
+  config.untagged = UntaggedPolicy::kPhysicalTime;
+  ClientEventTransactor<std::int64_t> client_tx("client_tx", client_env, proxy->data,
+                                                client_rt.binding(), config);
+  client_env.connect(client_tx.out, consumer.in);
+  start_drivers();
+  kernel.run_until(5_ms);
+  skeleton.data.Send(41);
+  kernel.run_until(50_ms);
+  ASSERT_EQ(consumer.received.size(), 1u);
+  EXPECT_EQ(consumer.received[0].first, 41);
+  // Tagged with physical reception time: after the send instant.
+  EXPECT_GT(consumer.received[0].second.time, 5_ms);
+  EXPECT_EQ(client_tx.untagged_messages(), 1u);
+  EXPECT_EQ(client_tx.dropped_messages(), 0u);
+}
+
+TEST_F(EventTransactorTest, TagsPreserveOrderDespiteNetworkJitter) {
+  // High-jitter link that reorders packets in flight: tag-order processing
+  // at the client restores the logical order.
+  net::LinkParams jittery;
+  jittery.latency = sim::ExecTimeModel::uniform(0, 4_ms);
+  network.set_default_link(jittery);
+
+  Producer producer(server_env, 5_ms, 20);
+  ServerEventTransactor<std::int64_t> server_tx("server_tx", server_env, skeleton.data,
+                                                server_rt.binding(),
+                                                transactor_config(2_ms, 5_ms));
+  server_env.connect(producer.out, server_tx.in);
+  Consumer consumer(client_env);
+  ClientEventTransactor<std::int64_t> client_tx("client_tx", client_env, proxy->data,
+                                                client_rt.binding(),
+                                                transactor_config(2_ms, 5_ms));
+  client_env.connect(client_tx.out, consumer.in);
+  start_drivers();
+  kernel.run_until(300_ms);
+  ASSERT_EQ(consumer.received.size(), 20u);
+  for (std::size_t i = 0; i < consumer.received.size(); ++i) {
+    EXPECT_EQ(consumer.received[i].first, static_cast<std::int64_t>(i))
+        << "values must arrive in tag order regardless of wire order";
+  }
+  EXPECT_EQ(client_tx.tardy_messages(), 0u);
+}
+
+}  // namespace
+}  // namespace dear::transact

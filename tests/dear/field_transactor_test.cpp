@@ -1,0 +1,176 @@
+// Field transactor bundles: "interaction with fields requires the use of
+// one event and two method transactors" (paper §III.B).
+#include <gtest/gtest.h>
+
+#include "dear_fixture.hpp"
+
+namespace dear::transact {
+namespace {
+
+using namespace dear::literals;
+using testing::DearWorld;
+
+constexpr ara::FieldIds kSpeedField{0x30, 0x31, 0x8030};
+
+class FieldSkeleton : public ara::ServiceSkeleton {
+ public:
+  explicit FieldSkeleton(ara::Runtime& runtime)
+      : ServiceSkeleton(runtime, {testing::kService, testing::kInstance}) {}
+
+  FieldServerParts<double> speed{*this, kSpeedField};
+};
+
+class FieldProxy : public ara::ServiceProxy {
+ public:
+  FieldProxy(ara::Runtime& runtime, net::Endpoint server)
+      : ServiceProxy(runtime, {testing::kService, testing::kInstance}, server) {}
+
+  FieldClientParts<double> speed{*this, kSpeedField};
+};
+
+/// Server logic owning the field state: reacts to get/set requests and
+/// publishes updates.
+class FieldOwner final : public reactor::Reactor {
+ public:
+  reactor::Input<reactor::Empty> get_req{"get_req", this};
+  reactor::Output<double> get_res{"get_res", this};
+  reactor::Input<double> set_req{"set_req", this};
+  reactor::Output<double> set_res{"set_res", this};
+  reactor::Output<double> notify_out{"notify_out", this};
+
+  explicit FieldOwner(reactor::Environment& env, double initial)
+      : Reactor("field_owner", env), value_(initial) {
+    add_reaction("on_get", [this] { get_res.set(value_); })
+        .triggered_by(get_req)
+        .writes(get_res);
+    add_reaction("on_set",
+                 [this] {
+                   value_ = set_req.get();
+                   set_res.set(value_);
+                   notify_out.set(value_);
+                 })
+        .triggered_by(set_req)
+        .writes(set_res)
+        .writes(notify_out);
+  }
+
+  [[nodiscard]] double value() const noexcept { return value_; }
+
+ private:
+  double value_;
+};
+
+/// Client logic: gets, then sets, then observes the update notification.
+class FieldUser final : public reactor::Reactor {
+ public:
+  reactor::Output<reactor::Empty> get_req{"get_req", this};
+  reactor::Input<double> get_res{"get_res", this};
+  reactor::Output<double> set_req{"set_req", this};
+  reactor::Input<double> set_res{"set_res", this};
+  reactor::Input<double> update_in{"update_in", this};
+
+  std::vector<double> gets;
+  std::vector<double> set_acks;
+  std::vector<double> updates;
+
+  explicit FieldUser(reactor::Environment& env) : Reactor("field_user", env) {
+    add_reaction("kickoff", [this] { get_req.set(reactor::Empty{}); })
+        .triggered_by(startup_)
+        .writes(get_req);
+    add_reaction("on_get",
+                 [this] {
+                   gets.push_back(get_res.get());
+                   set_req.set(get_res.get() + 10.0);
+                 })
+        .triggered_by(get_res)
+        .writes(set_req);
+    add_reaction("on_set_ack", [this] { set_acks.push_back(set_res.get()); })
+        .triggered_by(set_res);
+    add_reaction("on_update", [this] { updates.push_back(update_in.get()); })
+        .triggered_by(update_in);
+  }
+
+ private:
+  reactor::StartupTrigger startup_{"startup", this};
+};
+
+struct FieldTransactorTest : DearWorld {};
+
+TEST_F(FieldTransactorTest, GetSetNotifyThroughBundles) {
+  FieldSkeleton field_skel(server_rt);
+  field_skel.OfferService();
+  FieldProxy field_proxy(client_rt, *client_rt.resolve({testing::kService, testing::kInstance}));
+
+  FieldOwner owner(server_env, 100.0);
+  ServerFieldTransactor<double> server_field("speed", server_env, field_skel.speed,
+                                             server_rt.binding(), transactor_config());
+  server_env.connect(server_field.get.request, owner.get_req);
+  server_env.connect(owner.get_res, server_field.get.response);
+  server_env.connect(server_field.set.request, owner.set_req);
+  server_env.connect(owner.set_res, server_field.set.response);
+  server_env.connect(owner.notify_out, server_field.notify.in);
+
+  FieldUser user(client_env);
+  ClientFieldTransactor<double> client_field("speed", client_env, field_proxy.speed,
+                                             client_rt.binding(), transactor_config());
+  client_env.connect(user.get_req, client_field.get.request);
+  client_env.connect(client_field.get.response, user.get_res);
+  client_env.connect(user.set_req, client_field.set.request);
+  client_env.connect(client_field.set.response, user.set_res);
+  client_env.connect(client_field.notify.out, user.update_in);
+
+  start_drivers();
+  kernel.run_until(500_ms);
+
+  ASSERT_EQ(user.gets.size(), 1u);
+  EXPECT_DOUBLE_EQ(user.gets[0], 100.0);
+  ASSERT_EQ(user.set_acks.size(), 1u);
+  EXPECT_DOUBLE_EQ(user.set_acks[0], 110.0);
+  ASSERT_EQ(user.updates.size(), 1u);
+  EXPECT_DOUBLE_EQ(user.updates[0], 110.0);
+  EXPECT_DOUBLE_EQ(owner.value(), 110.0);
+  EXPECT_EQ(server_field.total_errors(), 0u);
+  EXPECT_EQ(client_field.total_errors(), 0u);
+}
+
+TEST_F(FieldTransactorTest, LegacyFieldServerWithPhysicalTimePolicy) {
+  // A SkeletonField-based legacy server (no reactors at all) serves a DEAR
+  // client under the kPhysicalTime fallback — the paper's migration path.
+  class LegacySkeleton : public ara::ServiceSkeleton {
+   public:
+    explicit LegacySkeleton(ara::Runtime& runtime)
+        : ServiceSkeleton(runtime, {testing::kService, testing::kInstance}) {}
+    ara::SkeletonField<double> speed{*this, kSpeedField};
+  };
+  LegacySkeleton legacy(server_rt);
+  legacy.speed.Update(55.0);
+  legacy.OfferService();
+  FieldProxy field_proxy(client_rt, *client_rt.resolve({testing::kService, testing::kInstance}));
+
+  FieldUser user(client_env);
+  TransactorConfig config = transactor_config();
+  config.untagged = UntaggedPolicy::kPhysicalTime;
+  ClientFieldTransactor<double> client_field("speed", client_env, field_proxy.speed,
+                                             client_rt.binding(), config);
+  client_env.connect(user.get_req, client_field.get.request);
+  client_env.connect(client_field.get.response, user.get_res);
+  client_env.connect(user.set_req, client_field.set.request);
+  client_env.connect(client_field.set.response, user.set_res);
+  client_env.connect(client_field.notify.out, user.update_in);
+
+  start_drivers();
+  kernel.run_until(500_ms);
+
+  ASSERT_EQ(user.gets.size(), 1u);
+  EXPECT_DOUBLE_EQ(user.gets[0], 55.0);
+  ASSERT_EQ(user.set_acks.size(), 1u);
+  EXPECT_DOUBLE_EQ(user.set_acks[0], 65.0);
+  // The legacy server's responses were untagged, handled via physical time.
+  EXPECT_GT(client_field.get.untagged_messages() + client_field.set.untagged_messages(), 0u);
+  // The set triggered a legacy notification too.
+  ASSERT_EQ(user.updates.size(), 1u);
+  EXPECT_DOUBLE_EQ(user.updates[0], 65.0);
+}
+
+}  // namespace
+}  // namespace dear::transact

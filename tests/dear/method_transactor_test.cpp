@@ -1,0 +1,159 @@
+// Method transactor tests: the full Figure 3 sequence, including the tag
+// algebra tc+Dc, tc+Dc+L+E, ts+Ds, ts+Ds+L+E.
+#include <gtest/gtest.h>
+
+#include "dear_fixture.hpp"
+
+namespace dear::transact {
+namespace {
+
+using namespace dear::literals;
+using testing::DearWorld;
+
+/// Server logic: responds to compute(x) with x * 3, recording request tags.
+class ComputeServer final : public reactor::Reactor {
+ public:
+  reactor::Input<std::int64_t> request{"request", this};
+  reactor::Output<std::int64_t> response{"response", this};
+  std::vector<reactor::Tag> request_tags;
+
+  explicit ComputeServer(reactor::Environment& env) : Reactor("compute_server", env) {
+    add_reaction("serve",
+                 [this] {
+                   request_tags.push_back(current_tag());
+                   response.set(request.get() * 3);
+                 })
+        .triggered_by(request)
+        .writes(response);
+  }
+};
+
+/// Client logic: issues requests at logical 10 ms intervals, records
+/// responses with tags.
+class ComputeClient final : public reactor::Reactor {
+ public:
+  reactor::Output<std::int64_t> request{"request", this};
+  reactor::Input<std::int64_t> response{"response", this};
+  std::vector<std::pair<std::int64_t, reactor::Tag>> responses;
+
+  ComputeClient(reactor::Environment& env, int count)
+      : Reactor("compute_client", env), timer_("timer", this, 10_ms) {
+    add_reaction("issue",
+                 [this, count] {
+                   if (issued_ < count) {
+                     request.set(issued_++);
+                   }
+                 })
+        .triggered_by(timer_)
+        .writes(request);
+    add_reaction("on_response", [this] {
+      responses.emplace_back(response.get(), current_tag());
+    }).triggered_by(response);
+  }
+
+ private:
+  reactor::Timer timer_;
+  int issued_{0};
+};
+
+struct MethodTransactorTest : DearWorld {
+  static constexpr Duration kDc = 2_ms;   // client-side deadline
+  static constexpr Duration kDs = 3_ms;   // server-side deadline
+  static constexpr Duration kL = 5_ms;    // latency bound
+
+  void build(int requests) {
+    server_logic = std::make_unique<ComputeServer>(server_env);
+    server_tx = std::make_unique<ServerMethodTransactor<std::int64_t, std::int64_t>>(
+        "server_tx", server_env, skeleton.compute, server_rt.binding(),
+        transactor_config(kDs, kL));
+    server_env.connect(server_tx->request, server_logic->request);
+    server_env.connect(server_logic->response, server_tx->response);
+
+    client_logic = std::make_unique<ComputeClient>(client_env, requests);
+    client_tx = std::make_unique<ClientMethodTransactor<std::int64_t, std::int64_t>>(
+        "client_tx", client_env, proxy->compute, client_rt.binding(),
+        transactor_config(kDc, kL));
+    client_env.connect(client_logic->request, client_tx->request);
+    client_env.connect(client_tx->response, client_logic->response);
+  }
+
+  std::unique_ptr<ComputeServer> server_logic;
+  std::unique_ptr<ServerMethodTransactor<std::int64_t, std::int64_t>> server_tx;
+  std::unique_ptr<ComputeClient> client_logic;
+  std::unique_ptr<ClientMethodTransactor<std::int64_t, std::int64_t>> client_tx;
+};
+
+TEST_F(MethodTransactorTest, Figure3TagAlgebra) {
+  build(3);
+  start_drivers();
+  kernel.run_until(200_ms);
+
+  // Server side: request k issued at tc = k*10ms, released at tc + Dc + L.
+  ASSERT_EQ(server_logic->request_tags.size(), 3u);
+  for (std::size_t k = 0; k < 3; ++k) {
+    const TimePoint tc = kSettle + static_cast<TimePoint>(k) * 10_ms;
+    EXPECT_EQ(server_logic->request_tags[k], (reactor::Tag{tc + kDc + kL, 0}));
+  }
+  // Client side: the server replied at ts = tc + Dc + L (logically
+  // instantaneous logic), so the response lands at ts + Ds + L.
+  ASSERT_EQ(client_logic->responses.size(), 3u);
+  for (std::size_t k = 0; k < 3; ++k) {
+    const TimePoint tc = kSettle + static_cast<TimePoint>(k) * 10_ms;
+    const TimePoint ts = tc + kDc + kL;
+    EXPECT_EQ(client_logic->responses[k].first, static_cast<std::int64_t>(k) * 3);
+    EXPECT_EQ(client_logic->responses[k].second, (reactor::Tag{ts + kDs + kL, 0}));
+  }
+  EXPECT_EQ(client_tx->messages_sent(), 3u);
+  EXPECT_EQ(server_tx->messages_sent(), 3u);  // responses
+  EXPECT_EQ(client_tx->total_errors() + server_tx->total_errors(), 0u);
+}
+
+TEST_F(MethodTransactorTest, PipelinedRequestsKeepOrder) {
+  build(10);
+  start_drivers();
+  kernel.run_until(500_ms);
+  ASSERT_EQ(client_logic->responses.size(), 10u);
+  for (std::size_t k = 0; k < 10; ++k) {
+    EXPECT_EQ(client_logic->responses[k].first, static_cast<std::int64_t>(k) * 3);
+  }
+  // Tags strictly increase: deterministic serialization of the round trips.
+  for (std::size_t k = 1; k < 10; ++k) {
+    EXPECT_LT(client_logic->responses[k - 1].second, client_logic->responses[k].second);
+  }
+}
+
+TEST_F(MethodTransactorTest, CallFromNonReactorClientFailsCleanly) {
+  // An untagged (legacy) client calls the DEAR-served method; the server
+  // transactor's kFail policy rejects it and the client receives an error
+  // instead of a silently unordered execution.
+  build(0);
+  start_drivers();
+  kernel.run_until(5_ms);
+  auto future = proxy->compute(7);  // raw ara call, no tag
+  kernel.run_until(100_ms);
+  ASSERT_TRUE(future.is_ready());
+  EXPECT_FALSE(future.GetResult().has_value());
+  EXPECT_EQ(server_tx->untagged_messages(), 1u);
+  EXPECT_TRUE(server_logic->request_tags.empty());
+}
+
+TEST_F(MethodTransactorTest, PhysicalTimePolicyServesLegacyClients) {
+  server_logic = std::make_unique<ComputeServer>(server_env);
+  TransactorConfig config = transactor_config(kDs, kL);
+  config.untagged = UntaggedPolicy::kPhysicalTime;
+  server_tx = std::make_unique<ServerMethodTransactor<std::int64_t, std::int64_t>>(
+      "server_tx", server_env, skeleton.compute, server_rt.binding(), config);
+  server_env.connect(server_tx->request, server_logic->request);
+  server_env.connect(server_logic->response, server_tx->response);
+  start_drivers();
+  kernel.run_until(5_ms);
+  auto future = proxy->compute(7);
+  kernel.run_until(100_ms);
+  ASSERT_TRUE(future.is_ready());
+  ASSERT_TRUE(future.GetResult().has_value());
+  EXPECT_EQ(future.GetResult().value(), 21);
+  EXPECT_EQ(server_tx->untagged_messages(), 1u);
+}
+
+}  // namespace
+}  // namespace dear::transact

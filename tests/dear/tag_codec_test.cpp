@@ -1,0 +1,55 @@
+#include "dear/tag_codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dear/config.hpp"
+
+namespace dear::transact {
+namespace {
+
+TEST(TagCodec, RoundTrip) {
+  const reactor::Tag tag{123'456'789, 42};
+  const someip::WireTag wire = to_wire(tag);
+  EXPECT_EQ(wire.time, 123'456'789);
+  EXPECT_EQ(wire.microstep, 42u);
+  EXPECT_EQ(from_wire(wire), tag);
+}
+
+TEST(TagCodec, NegativeAndExtremeTimes) {
+  for (const TimePoint time : {TimePoint{-1}, TimePoint{0}, kTimeMax, kTimeMin}) {
+    const reactor::Tag tag{time, 0};
+    EXPECT_EQ(from_wire(to_wire(tag)), tag);
+  }
+}
+
+TEST(TagCodec, SurvivesWireMessage) {
+  // Through the full message encode/decode path.
+  const reactor::Tag tag{999, 3};
+  someip::Message message;
+  message.tag = to_wire(tag);
+  const auto decoded = someip::Message::decode(message.encode());
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_TRUE(decoded->tag.has_value());
+  EXPECT_EQ(from_wire(*decoded->tag), tag);
+}
+
+TEST(EmptyCodec, SerializesToOneByte) {
+  someip::Writer writer;
+  someip_serialize(writer, reactor::Empty{});
+  EXPECT_EQ(writer.size(), 1u);
+  someip::Reader reader(writer.bytes());
+  reactor::Empty empty;
+  someip_deserialize(reader, empty);
+  EXPECT_TRUE(reader.ok());
+  EXPECT_EQ(reader.remaining(), 0u);
+}
+
+TEST(TransactorConfig, ReleaseOffsetIsLatencyPlusClockError) {
+  TransactorConfig config;
+  config.latency_bound = 5 * kMillisecond;
+  config.clock_error_bound = 2 * kMillisecond;
+  EXPECT_EQ(config.release_offset(), 7 * kMillisecond);
+}
+
+}  // namespace
+}  // namespace dear::transact

@@ -1,0 +1,59 @@
+// The Figure 1 experiment as an integration test.
+#include "demo/fig1.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace dear::demo {
+namespace {
+
+TEST(Fig1Nondet, SimOutcomesSpanMultipleValues) {
+  std::set<std::int32_t> outcomes;
+  for (std::uint64_t seed = 1; seed <= 300; ++seed) {
+    const Fig1Outcome outcome = run_fig1_nondet_sim(seed);
+    ASSERT_TRUE(outcome.completed) << "seed " << seed;
+    ASSERT_GE(outcome.printed, 0);
+    ASSERT_LE(outcome.printed, 3);
+    outcomes.insert(outcome.printed);
+  }
+  // The paper's histogram: all four results {0,1,2,3} occur.
+  EXPECT_EQ(outcomes.size(), 4u);
+}
+
+TEST(Fig1Nondet, SimIsSeedReproducible) {
+  for (std::uint64_t seed : {1ULL, 17ULL, 99ULL}) {
+    EXPECT_EQ(run_fig1_nondet_sim(seed).printed, run_fig1_nondet_sim(seed).printed);
+  }
+}
+
+TEST(Fig1Nondet, RealThreadsTrialsComplete) {
+  Fig1RealHarness harness(4);
+  for (int i = 0; i < 50; ++i) {
+    const Fig1Outcome outcome = harness.run_trial();
+    ASSERT_TRUE(outcome.completed);
+    ASSERT_GE(outcome.printed, 0);
+    ASSERT_LE(outcome.printed, 3);
+  }
+}
+
+TEST(Fig1Dear, SimAlwaysPrintsThree) {
+  for (std::uint64_t seed = 1; seed <= 100; ++seed) {
+    const Fig1Outcome outcome = run_fig1_dear_sim(seed);
+    ASSERT_TRUE(outcome.completed) << "seed " << seed;
+    EXPECT_EQ(outcome.printed, 3) << "seed " << seed;
+    EXPECT_EQ(outcome.protocol_errors, 0u) << "seed " << seed;
+  }
+}
+
+TEST(Fig1Dear, ThreadedAlwaysPrintsThree) {
+  for (int i = 0; i < 5; ++i) {
+    const Fig1Outcome outcome = run_fig1_dear_threaded(4);
+    ASSERT_TRUE(outcome.completed);
+    EXPECT_EQ(outcome.printed, 3);
+    EXPECT_EQ(outcome.protocol_errors, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace dear::demo

@@ -1,0 +1,94 @@
+#include "net/rt_network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "common/thread_pool.hpp"
+
+namespace dear::net {
+namespace {
+
+TEST(RtNetwork, DeliversPackets) {
+  common::ThreadPoolExecutor pool(2);
+  RtNetwork network(pool);
+  const Endpoint a{1, 1};
+  const Endpoint b{1, 2};
+  std::atomic<int> received{0};
+  network.bind(b, [&](const Packet& p) {
+    EXPECT_EQ(p.payload.size(), 3u);
+    received.fetch_add(1);
+  });
+  for (int i = 0; i < 50; ++i) {
+    network.send(a, b, {1, 2, 3});
+  }
+  pool.drain();
+  EXPECT_EQ(received.load(), 50);
+  EXPECT_EQ(network.packets_sent(), 50u);
+  EXPECT_EQ(network.packets_delivered(), 50u);
+}
+
+TEST(RtNetwork, UnboundCountsDropped) {
+  common::ThreadPoolExecutor pool(1);
+  RtNetwork network(pool);
+  network.send({1, 1}, {2, 2}, {0});
+  pool.drain();
+  EXPECT_EQ(network.packets_dropped(), 1u);
+  EXPECT_EQ(network.packets_delivered(), 0u);
+}
+
+TEST(RtNetwork, UnbindStopsDelivery) {
+  common::ThreadPoolExecutor pool(1);
+  RtNetwork network(pool);
+  const Endpoint b{1, 2};
+  std::atomic<int> received{0};
+  network.bind(b, [&](const Packet&) { received.fetch_add(1); });
+  network.send({1, 1}, b, {0});
+  pool.drain();
+  network.unbind(b);
+  network.send({1, 1}, b, {0});
+  pool.drain();
+  EXPECT_EQ(received.load(), 1);
+}
+
+TEST(RtNetwork, ConcurrentSendersAllDelivered) {
+  common::ThreadPoolExecutor pool(4);
+  RtNetwork network(pool);
+  const Endpoint b{1, 2};
+  std::atomic<int> received{0};
+  network.bind(b, [&](const Packet&) { received.fetch_add(1); });
+  std::vector<std::thread> senders;
+  for (int t = 0; t < 4; ++t) {
+    senders.emplace_back([&network, t] {
+      for (int i = 0; i < 100; ++i) {
+        network.send({static_cast<NodeId>(t), 0}, {1, 2}, {static_cast<std::uint8_t>(i)});
+      }
+    });
+  }
+  for (auto& thread : senders) {
+    thread.join();
+  }
+  pool.drain();
+  EXPECT_EQ(received.load(), 400);
+}
+
+TEST(RtNetwork, ReceiveTimeIsPopulated) {
+  common::ThreadPoolExecutor pool(1);
+  RtNetwork network(pool);
+  const Endpoint b{1, 2};
+  std::atomic<TimePoint> send_time{-1};
+  std::atomic<TimePoint> receive_time{-1};
+  network.bind(b, [&](const Packet& p) {
+    send_time.store(p.send_time);
+    receive_time.store(p.receive_time);
+  });
+  network.send({1, 1}, b, {0});
+  pool.drain();
+  EXPECT_GE(send_time.load(), 0);
+  EXPECT_GE(receive_time.load(), send_time.load());
+}
+
+}  // namespace
+}  // namespace dear::net

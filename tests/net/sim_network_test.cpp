@@ -1,0 +1,170 @@
+#include "net/sim_network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dear::net {
+namespace {
+
+using namespace dear::literals;
+
+struct NetFixture : public ::testing::Test {
+  sim::Kernel kernel;
+  SimNetwork network{kernel, common::Rng(11)};
+
+  static std::vector<std::uint8_t> bytes(std::initializer_list<std::uint8_t> list) {
+    return std::vector<std::uint8_t>(list);
+  }
+};
+
+TEST_F(NetFixture, DeliversToBoundEndpoint) {
+  const Endpoint a{1, 10};
+  const Endpoint b{2, 20};
+  std::vector<Packet> received;
+  network.bind(b, [&](const Packet& p) { received.push_back(p); });
+  network.send(a, b, bytes({1, 2, 3}));
+  kernel.run();
+  ASSERT_EQ(received.size(), 1u);
+  EXPECT_EQ(received[0].payload, bytes({1, 2, 3}));
+  EXPECT_EQ(received[0].source, a);
+  EXPECT_EQ(received[0].destination, b);
+  EXPECT_EQ(network.packets_delivered(), 1u);
+}
+
+TEST_F(NetFixture, DefaultLinkLatencyWithinBounds) {
+  const Endpoint a{1, 10};
+  const Endpoint b{2, 20};
+  LinkParams link;
+  link.latency = sim::ExecTimeModel::uniform(300_us, 700_us);
+  network.set_default_link(link);
+  std::vector<TimePoint> arrivals;
+  network.bind(b, [&](const Packet& p) { arrivals.push_back(p.receive_time); });
+  for (int i = 0; i < 200; ++i) {
+    network.send(a, b, bytes({0}));
+  }
+  kernel.run();
+  ASSERT_EQ(arrivals.size(), 200u);
+  for (const TimePoint t : arrivals) {
+    EXPECT_GE(t, 300_us);
+    EXPECT_LE(t, 700_us);
+  }
+}
+
+TEST_F(NetFixture, LoopbackIsFasterThanDefault) {
+  const Endpoint a{1, 10};
+  const Endpoint same_node{1, 11};
+  TimePoint arrival = -1;
+  network.bind(same_node, [&](const Packet& p) { arrival = p.receive_time; });
+  network.send(a, same_node, bytes({9}));
+  kernel.run();
+  EXPECT_GE(arrival, 0);
+  EXPECT_LE(arrival, 50_us);  // the default loopback model
+}
+
+TEST_F(NetFixture, UnboundDestinationCountsDropped) {
+  network.send({1, 1}, {9, 9}, bytes({1}));
+  kernel.run();
+  EXPECT_EQ(network.packets_sent(), 1u);
+  EXPECT_EQ(network.packets_delivered(), 0u);
+  EXPECT_EQ(network.packets_dropped(), 1u);
+}
+
+TEST_F(NetFixture, UnbindStopsDelivery) {
+  const Endpoint b{2, 20};
+  int count = 0;
+  network.bind(b, [&](const Packet&) { ++count; });
+  network.send({1, 1}, b, bytes({1}));
+  kernel.run();
+  network.unbind(b);
+  network.send({1, 1}, b, bytes({2}));
+  kernel.run();
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(network.packets_dropped(), 1u);
+}
+
+TEST_F(NetFixture, DropProbabilityRoughlyHolds) {
+  const Endpoint a{1, 10};
+  const Endpoint b{2, 20};
+  LinkParams link;
+  link.latency = sim::ExecTimeModel::constant(100_us);
+  link.drop_probability = 0.3;
+  network.set_default_link(link);
+  int delivered = 0;
+  network.bind(b, [&](const Packet&) { ++delivered; });
+  constexpr int kPackets = 10'000;
+  for (int i = 0; i < kPackets; ++i) {
+    network.send(a, b, bytes({0}));
+  }
+  kernel.run();
+  EXPECT_NEAR(static_cast<double>(delivered) / kPackets, 0.7, 0.02);
+  EXPECT_EQ(network.packets_dropped(), static_cast<std::uint64_t>(kPackets - delivered));
+}
+
+TEST_F(NetFixture, JitterCanReorderWithoutInOrderFlag) {
+  const Endpoint a{1, 10};
+  const Endpoint b{2, 20};
+  LinkParams link;
+  link.latency = sim::ExecTimeModel::uniform(0, 1_ms);
+  link.enforce_in_order = false;
+  network.set_default_link(link);
+  std::vector<std::uint8_t> arrival_order;
+  network.bind(b, [&](const Packet& p) { arrival_order.push_back(p.payload[0]); });
+  for (std::uint8_t i = 0; i < 100; ++i) {
+    network.send(a, b, bytes({i}));
+  }
+  kernel.run();
+  ASSERT_EQ(arrival_order.size(), 100u);
+  EXPECT_FALSE(std::is_sorted(arrival_order.begin(), arrival_order.end()))
+      << "jitter should reorder same-instant packets (nondeterminism source 3)";
+  EXPECT_GT(network.packets_reordered(), 0u);
+}
+
+TEST_F(NetFixture, InOrderFlagPreventsReordering) {
+  const Endpoint a{1, 10};
+  const Endpoint b{2, 20};
+  LinkParams link;
+  link.latency = sim::ExecTimeModel::uniform(0, 1_ms);
+  link.enforce_in_order = true;
+  network.set_default_link(link);
+  std::vector<std::uint8_t> arrival_order;
+  network.bind(b, [&](const Packet& p) { arrival_order.push_back(p.payload[0]); });
+  for (std::uint8_t i = 0; i < 100; ++i) {
+    network.send(a, b, bytes({i}));
+  }
+  kernel.run();
+  ASSERT_EQ(arrival_order.size(), 100u);
+  EXPECT_TRUE(std::is_sorted(arrival_order.begin(), arrival_order.end()));
+  EXPECT_EQ(network.packets_reordered(), 0u);
+}
+
+TEST_F(NetFixture, PerPairLinkOverride) {
+  const Endpoint a{1, 10};
+  const Endpoint b{2, 20};
+  const Endpoint c{3, 30};
+  LinkParams slow;
+  slow.latency = sim::ExecTimeModel::constant(10_ms);
+  network.set_link(1, 3, slow);
+  TimePoint to_b = -1;
+  TimePoint to_c = -1;
+  network.bind(b, [&](const Packet& p) { to_b = p.receive_time; });
+  network.bind(c, [&](const Packet& p) { to_c = p.receive_time; });
+  network.send(a, b, bytes({1}));
+  network.send(a, c, bytes({2}));
+  kernel.run();
+  EXPECT_LT(to_b, 1_ms);    // default link
+  EXPECT_EQ(to_c, 10_ms);   // overridden link
+}
+
+TEST_F(NetFixture, SendRecordsSendTime) {
+  const Endpoint b{2, 20};
+  kernel.schedule_at(5_ms, [&] { network.send({1, 1}, b, bytes({1})); });
+  Packet seen;
+  network.bind(b, [&](const Packet& p) { seen = p; });
+  kernel.run();
+  EXPECT_EQ(seen.send_time, 5_ms);
+  EXPECT_GE(seen.receive_time, seen.send_time);
+}
+
+}  // namespace
+}  // namespace dear::net

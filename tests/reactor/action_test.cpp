@@ -1,0 +1,250 @@
+#include "reactor/action.hpp"
+
+#include <gtest/gtest.h>
+
+#include "reactor_fixture.hpp"
+
+namespace dear::reactor {
+namespace {
+
+using namespace dear::literals;
+using testing::run_sim;
+
+struct ActionTest : ::testing::Test {
+  sim::Kernel kernel;
+  SimClock clock{kernel};
+};
+
+/// Schedules a configurable chain of logical actions from startup.
+class LogicalChain final : public Reactor {
+ public:
+  std::vector<Tag> fired;
+  std::vector<int> values;
+
+  LogicalChain(Environment& env, Duration delay, int count)
+      : Reactor("chain", env), delay_(delay), limit_(count) {
+    add_reaction("kickoff", [this] { action_.schedule(0, delay_); }).triggered_by(startup_);
+    add_reaction("on_action",
+                 [this] {
+                   fired.push_back(current_tag());
+                   values.push_back(action_.get());
+                   if (action_.get() + 1 < limit_) {
+                     action_.schedule(action_.get() + 1, delay_);
+                   } else {
+                     request_shutdown();
+                   }
+                 })
+        .triggered_by(action_);
+  }
+
+ private:
+  StartupTrigger startup_{"startup", this};
+  LogicalAction<int> action_{"action", this};
+  Duration delay_;
+  int limit_;
+};
+
+TEST_F(ActionTest, LogicalActionWithDelayAdvancesTime) {
+  Environment env(clock);
+  LogicalChain chain(env, 5_ms, 4);
+  run_sim(env, kernel, 1_s);
+  ASSERT_EQ(chain.fired.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(chain.fired[i], (Tag{static_cast<TimePoint>(i + 1) * 5_ms, 0}));
+    EXPECT_EQ(chain.values[i], static_cast<int>(i));
+  }
+}
+
+TEST_F(ActionTest, ZeroDelayAdvancesMicrostepOnly) {
+  Environment env(clock);
+  LogicalChain chain(env, 0, 3);
+  run_sim(env, kernel, 1_s);
+  ASSERT_EQ(chain.fired.size(), 3u);
+  EXPECT_EQ(chain.fired[0], (Tag{0, 1}));
+  EXPECT_EQ(chain.fired[1], (Tag{0, 2}));
+  EXPECT_EQ(chain.fired[2], (Tag{0, 3}));
+}
+
+TEST_F(ActionTest, MinDelayAddsToEveryScheduling) {
+  class WithMinDelay final : public Reactor {
+   public:
+    Tag fired{};
+    explicit WithMinDelay(Environment& env) : Reactor("min_delay", env) {
+      add_reaction("kickoff", [this] { action_.schedule(Empty{}, 2_ms); })
+          .triggered_by(startup_);
+      add_reaction("on_action",
+                   [this] {
+                     fired = current_tag();
+                     request_shutdown();
+                   })
+          .triggered_by(action_);
+    }
+
+   private:
+    StartupTrigger startup_{"startup", this};
+    LogicalAction<Empty> action_{"action", this, 3_ms};  // min_delay = 3 ms
+  };
+  Environment env(clock);
+  WithMinDelay reactor(env);
+  run_sim(env, kernel, 1_s);
+  EXPECT_EQ(reactor.fired, (Tag{5_ms, 0}));  // 2 + 3 ms
+}
+
+TEST_F(ActionTest, RescheduleSameTagReplacesValue) {
+  class Resched final : public Reactor {
+   public:
+    std::vector<int> seen;
+    explicit Resched(Environment& env) : Reactor("resched", env) {
+      add_reaction("kickoff",
+                   [this] {
+                     action_.schedule(1, 5_ms);
+                     action_.schedule(2, 5_ms);  // same tag: replaces value
+                   })
+          .triggered_by(startup_);
+      add_reaction("on_action",
+                   [this] {
+                     seen.push_back(action_.get());
+                     request_shutdown();
+                   })
+          .triggered_by(action_);
+    }
+
+   private:
+    StartupTrigger startup_{"startup", this};
+    LogicalAction<int> action_{"action", this};
+  };
+  Environment env(clock);
+  Resched reactor(env);
+  run_sim(env, kernel, 1_s);
+  ASSERT_EQ(reactor.seen.size(), 1u);  // one event, not two
+  EXPECT_EQ(reactor.seen[0], 2);
+}
+
+TEST_F(ActionTest, PhysicalActionFromOutside) {
+  class Sensor final : public Reactor {
+   public:
+    PhysicalAction<int> sample{"sample", this};
+    std::vector<std::pair<int, Tag>> seen;
+    explicit Sensor(Environment& env) : Reactor("sensor", env) {
+      add_reaction("on_sample", [this] {
+        seen.emplace_back(sample.get(), current_tag());
+      }).triggered_by(sample);
+    }
+  };
+  Environment::Config config;
+  config.keepalive = true;
+  Environment env(clock, config);
+  Sensor sensor(env);
+  SimDriver driver(env, kernel, common::Rng(1));
+  driver.start();
+  // External events arrive at 3 ms and 8 ms (e.g. network packets).
+  kernel.schedule_at(3_ms, [&] { sensor.sample.schedule(10); });
+  kernel.schedule_at(8_ms, [&] { sensor.sample.schedule(20); });
+  kernel.run_until(20_ms);
+  ASSERT_EQ(sensor.seen.size(), 2u);
+  EXPECT_EQ(sensor.seen[0].first, 10);
+  EXPECT_EQ(sensor.seen[0].second.time, 3_ms);  // tagged with physical arrival
+  EXPECT_EQ(sensor.seen[1].first, 20);
+  EXPECT_EQ(sensor.seen[1].second.time, 8_ms);
+}
+
+TEST_F(ActionTest, ScheduleAtExplicitTag) {
+  class Receiver final : public Reactor {
+   public:
+    PhysicalAction<int> arrival{"arrival", this};
+    std::vector<Tag> seen;
+    explicit Receiver(Environment& env) : Reactor("receiver", env) {
+      add_reaction("on_arrival", [this] { seen.push_back(current_tag()); })
+          .triggered_by(arrival);
+    }
+  };
+  Environment::Config config;
+  config.keepalive = true;
+  Environment env(clock, config);
+  Receiver receiver(env);
+  SimDriver driver(env, kernel, common::Rng(1));
+  driver.start();
+  // Message physically arrives at 1 ms but carries safe-to-process tag 10 ms.
+  kernel.schedule_at(1_ms, [&] {
+    EXPECT_TRUE(receiver.arrival.schedule_at(Tag{10_ms, 0}, 5));
+  });
+  kernel.run_until(5_ms);
+  EXPECT_TRUE(receiver.seen.empty());  // not yet: physical time < tag
+  kernel.run_until(20_ms);
+  ASSERT_EQ(receiver.seen.size(), 1u);
+  EXPECT_EQ(receiver.seen[0], (Tag{10_ms, 0}));
+}
+
+TEST_F(ActionTest, ScheduleAtRejectsTardyTag) {
+  class Receiver final : public Reactor {
+   public:
+    PhysicalAction<int> arrival{"arrival", this};
+    int count{0};
+    explicit Receiver(Environment& env) : Reactor("receiver", env) {
+      add_reaction("on_arrival", [this] { ++count; }).triggered_by(arrival);
+    }
+  };
+  Environment::Config config;
+  config.keepalive = true;
+  Environment env(clock, config);
+  Receiver receiver(env);
+  SimDriver driver(env, kernel, common::Rng(1));
+  driver.start();
+  kernel.schedule_at(2_ms, [&] { EXPECT_TRUE(receiver.arrival.schedule_at(Tag{3_ms, 0}, 1)); });
+  // At 10 ms, logical time has passed 3 ms; a message tagged 3 ms is tardy.
+  kernel.schedule_at(10_ms, [&] {
+    EXPECT_FALSE(receiver.arrival.schedule_at(Tag{3_ms, 0}, 2));
+  });
+  kernel.run_until(20_ms);
+  EXPECT_EQ(receiver.count, 1);
+}
+
+TEST_F(ActionTest, GetOnAbsentActionThrows) {
+  class Bad final : public Reactor {
+   public:
+    LogicalAction<int> action{"action", this};
+    explicit Bad(Environment& env) : Reactor("bad", env) {
+      add_reaction("startup_probe",
+                   [this] {
+                     EXPECT_THROW((void)action.get(), std::logic_error);
+                     request_shutdown();
+                   })
+          .triggered_by(startup_);
+    }
+
+   private:
+    StartupTrigger startup_{"startup", this};
+  };
+  Environment env(clock);
+  Bad reactor(env);
+  run_sim(env, kernel, 1_s);
+}
+
+TEST_F(ActionTest, ShutdownTriggerRunsAtStop) {
+  class WithShutdown final : public Reactor {
+   public:
+    bool shutdown_ran{false};
+    Tag shutdown_tag{};
+    explicit WithShutdown(Environment& env) : Reactor("ws", env) {
+      add_reaction("kickoff", [this] { request_shutdown(); }).triggered_by(startup_);
+      add_reaction("on_shutdown",
+                   [this] {
+                     shutdown_ran = true;
+                     shutdown_tag = current_tag();
+                   })
+          .triggered_by(shutdown_);
+    }
+
+   private:
+    StartupTrigger startup_{"startup", this};
+    ShutdownTrigger shutdown_{"shutdown", this};
+  };
+  Environment env(clock);
+  WithShutdown reactor(env);
+  run_sim(env, kernel, 1_s);
+  EXPECT_TRUE(reactor.shutdown_ran);
+  EXPECT_EQ(reactor.shutdown_tag, (Tag{0, 1}));  // one microstep after the request
+}
+
+}  // namespace
+}  // namespace dear::reactor

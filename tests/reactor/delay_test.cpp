@@ -1,0 +1,176 @@
+#include "reactor/delay.hpp"
+
+#include <gtest/gtest.h>
+
+#include "reactor_fixture.hpp"
+
+namespace dear::reactor {
+namespace {
+
+using namespace dear::literals;
+using testing::Recorder;
+using testing::run_sim;
+
+struct DelayTest : ::testing::Test {
+  sim::Kernel kernel;
+  SimClock clock{kernel};
+
+  static Environment::Config with_timeout(Duration timeout) {
+    Environment::Config config;
+    config.timeout = timeout;
+    return config;
+  }
+};
+
+/// Emits 0, 1, 2, ... every `period` without requesting shutdown (the
+/// environment timeout bounds the run, so delayed events can flush).
+class PassiveCounter final : public Reactor {
+ public:
+  Output<int> out{"out", this};
+
+  PassiveCounter(Environment& env, Duration period)
+      : Reactor("counter", env), timer_("timer", this, period) {
+    add_reaction("emit", [this] { out.set(count_++); }).triggered_by(timer_).writes(out);
+  }
+
+ private:
+  Timer timer_;
+  int count_{0};
+};
+
+TEST_F(DelayTest, PositiveDelayShiftsTags) {
+  Environment env(clock, with_timeout(30_ms));
+  PassiveCounter counter(env, 10_ms);
+  Recorder<int> recorder(env);
+  env.connect_delayed(counter.out, recorder.in, 4_ms);
+  run_sim(env, kernel, 1_s);
+  ASSERT_EQ(recorder.entries.size(), 3u);  // emitted 0/10/20 ms -> 4/14/24 ms
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(recorder.entries[i].value, static_cast<int>(i));
+    EXPECT_EQ(recorder.entries[i].tag,
+              (Tag{static_cast<TimePoint>(i) * 10_ms + 4_ms, 0}));
+  }
+}
+
+TEST_F(DelayTest, ZeroDelayAdvancesMicrostep) {
+  Environment env(clock, with_timeout(15_ms));
+  PassiveCounter counter(env, 10_ms);
+  Recorder<int> recorder(env);
+  env.connect_delayed(counter.out, recorder.in, 0);
+  run_sim(env, kernel, 1_s);
+  ASSERT_EQ(recorder.entries.size(), 2u);
+  EXPECT_EQ(recorder.entries[0].tag, (Tag{0, 1}));
+  EXPECT_EQ(recorder.entries[1].tag, (Tag{10_ms, 1}));
+}
+
+TEST_F(DelayTest, DelayedEventsPastShutdownAreDiscarded) {
+  // A delayed value whose release tag lies beyond the stop tag never
+  // appears (shutdown semantics).
+  Environment env(clock, with_timeout(12_ms));
+  PassiveCounter counter(env, 10_ms);  // emits at 0, 10 ms
+  Recorder<int> recorder(env);
+  env.connect_delayed(counter.out, recorder.in, 5_ms);  // releases at 5, 15 ms
+  run_sim(env, kernel, 1_s);
+  ASSERT_EQ(recorder.entries.size(), 1u);
+  EXPECT_EQ(recorder.entries[0].tag.time, 5_ms);
+}
+
+TEST_F(DelayTest, DelayedAndDirectPathsCoexist) {
+  Environment env(clock, with_timeout(15_ms));
+  PassiveCounter counter(env, 10_ms);
+  Recorder<int> direct(env, "direct");
+  Recorder<int> delayed(env, "delayed");
+  env.connect(counter.out, direct.in);
+  env.connect_delayed(counter.out, delayed.in, 3_ms);
+  run_sim(env, kernel, 1_s);
+  ASSERT_EQ(direct.entries.size(), 2u);
+  ASSERT_EQ(delayed.entries.size(), 2u);
+  EXPECT_EQ(direct.entries[0].tag.time, 0);
+  EXPECT_EQ(delayed.entries[0].tag.time, 3_ms);
+  EXPECT_EQ(direct.entries[1].value, delayed.entries[1].value);
+}
+
+TEST_F(DelayTest, DelayBreaksDependencyCycles) {
+  // A feedback loop is illegal as a direct connection but fine through a
+  // delayed one (the delay breaks the zero-delay cycle).
+  class Feedback final : public Reactor {
+   public:
+    Input<int> in{"in", this};
+    Output<int> out{"out", this};
+    std::vector<int> seen;
+    explicit Feedback(Environment& env) : Reactor("feedback", env) {
+      add_reaction("kick", [this] { out.set(1); }).triggered_by(startup_).writes(out);
+      add_reaction("loop",
+                   [this] {
+                     seen.push_back(in.get());
+                     if (in.get() < 5) {
+                       out.set(in.get() + 1);
+                     } else {
+                       request_shutdown();
+                     }
+                   })
+          .triggered_by(in)
+          .writes(out);
+    }
+
+   private:
+    StartupTrigger startup_{"startup", this};
+  };
+  Environment env(clock);
+  Feedback feedback(env);
+  env.connect_delayed(feedback.out, feedback.in, 1_ms);
+  run_sim(env, kernel, 1_s);
+  EXPECT_EQ(feedback.seen, (std::vector<int>{1, 2, 3, 4, 5}));
+}
+
+TEST_F(DelayTest, DirectFeedbackLoopStillRejected) {
+  class Feedback final : public Reactor {
+   public:
+    Input<int> in{"in", this};
+    Output<int> out{"out", this};
+    explicit Feedback(Environment& env) : Reactor("feedback", env) {
+      add_reaction("loop", [] {}).triggered_by(in).writes(out);
+    }
+  };
+  Environment env(clock);
+  Feedback feedback(env);
+  env.connect(feedback.out, feedback.in);
+  EXPECT_THROW(env.assemble(), std::logic_error);
+}
+
+TEST_F(DelayTest, HeavyValuesAreNotCopied) {
+  class Producer final : public Reactor {
+   public:
+    Output<std::vector<int>> out{"out", this};
+    explicit Producer(Environment& env) : Reactor("producer", env) {
+      add_reaction("emit", [this] { out.set(std::vector<int>(1000, 7)); })
+          .triggered_by(startup_)
+          .writes(out);
+    }
+
+   private:
+    StartupTrigger startup_{"startup", this};
+  };
+  class Probe final : public Reactor {
+   public:
+    Input<std::vector<int>> in{"in", this};
+    std::size_t size_seen{0};
+    explicit Probe(Environment& env) : Reactor("probe", env) {
+      add_reaction("check",
+                   [this] {
+                     size_seen = in.get().size();
+                     request_shutdown();
+                   })
+          .triggered_by(in);
+    }
+  };
+  Environment env(clock);
+  Producer producer(env);
+  Probe probe(env);
+  env.connect_delayed(producer.out, probe.in, 5_ms);
+  run_sim(env, kernel, 1_s);
+  EXPECT_EQ(probe.size_seen, 1000u);
+}
+
+}  // namespace
+}  // namespace dear::reactor

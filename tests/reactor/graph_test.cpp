@@ -1,0 +1,168 @@
+#include "reactor/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "reactor_fixture.hpp"
+
+namespace dear::reactor {
+namespace {
+
+using namespace dear::literals;
+using testing::Counter;
+using testing::Doubler;
+using testing::Recorder;
+
+struct GraphTest : ::testing::Test {
+  sim::Kernel kernel;
+  SimClock clock{kernel};
+};
+
+TEST_F(GraphTest, ChainLevelsIncrease) {
+  Environment env(clock);
+  Counter counter(env, 10_ms, 1);
+  Doubler d1(env, "d1");
+  Doubler d2(env, "d2");
+  Recorder<int> recorder(env);
+  env.connect(counter.out, d1.in);
+  env.connect(d1.out, d2.in);
+  env.connect(d2.out, recorder.in);
+  env.assemble();
+  EXPECT_EQ(env.level_count(), 4);
+  EXPECT_EQ(counter.reactions()[0]->level(), 0);
+  EXPECT_EQ(d1.reactions()[0]->level(), 1);
+  EXPECT_EQ(d2.reactions()[0]->level(), 2);
+  EXPECT_EQ(recorder.reactions()[0]->level(), 3);
+}
+
+TEST_F(GraphTest, IndependentReactorsShareLevelZero) {
+  Environment env(clock);
+  Counter a(env, 10_ms, 1, "a");
+  Counter b(env, 10_ms, 1, "b");
+  env.assemble();
+  EXPECT_EQ(env.level_count(), 1);
+  EXPECT_EQ(a.reactions()[0]->level(), 0);
+  EXPECT_EQ(b.reactions()[0]->level(), 0);
+}
+
+TEST_F(GraphTest, DiamondConverges) {
+  Environment env(clock);
+  Counter source(env, 10_ms, 1, "source");
+  Doubler left(env, "left");
+  Doubler right(env, "right");
+  // Join reactor reading both branches.
+  class Join final : public Reactor {
+   public:
+    Input<int> a{"a", this};
+    Input<int> b{"b", this};
+    explicit Join(Environment& env) : Reactor("join", env) {
+      add_reaction("join", [] {}).triggered_by(a).triggered_by(b);
+    }
+  };
+  Join join(env);
+  env.connect(source.out, left.in);
+  env.connect(source.out, right.in);
+  env.connect(left.out, join.a);
+  env.connect(right.out, join.b);
+  env.assemble();
+  EXPECT_EQ(source.reactions()[0]->level(), 0);
+  EXPECT_EQ(left.reactions()[0]->level(), 1);
+  EXPECT_EQ(right.reactions()[0]->level(), 1);
+  EXPECT_EQ(join.reactions()[0]->level(), 2);
+}
+
+TEST_F(GraphTest, IntraReactorPriorityOrders) {
+  class MultiReaction final : public Reactor {
+   public:
+    explicit MultiReaction(Environment& env) : Reactor("multi", env) {
+      add_reaction("first", [] {});
+      add_reaction("second", [] {});
+      add_reaction("third", [] {});
+    }
+  };
+  Environment env(clock);
+  MultiReaction reactor(env);
+  env.assemble();
+  EXPECT_EQ(reactor.reactions()[0]->level(), 0);
+  EXPECT_EQ(reactor.reactions()[1]->level(), 1);
+  EXPECT_EQ(reactor.reactions()[2]->level(), 2);
+  EXPECT_EQ(reactor.reactions()[0]->priority(), 0);
+  EXPECT_EQ(reactor.reactions()[2]->priority(), 2);
+}
+
+TEST_F(GraphTest, CycleDetectedWithNames) {
+  class Loop final : public Reactor {
+   public:
+    Input<int> in{"in", this};
+    Output<int> out{"out", this};
+    explicit Loop(Environment& env, std::string name) : Reactor(std::move(name), env) {
+      add_reaction("loop", [] {}).triggered_by(in).writes(out);
+    }
+  };
+  Environment env(clock);
+  Loop a(env, "loop_a");
+  Loop b(env, "loop_b");
+  env.connect(a.out, b.in);
+  env.connect(b.out, a.in);
+  try {
+    env.assemble();
+    FAIL() << "expected cycle detection to throw";
+  } catch (const std::logic_error& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find("cycle"), std::string::npos);
+    EXPECT_NE(message.find("loop_a"), std::string::npos);
+    EXPECT_NE(message.find("loop_b"), std::string::npos);
+  }
+}
+
+TEST_F(GraphTest, ReadDependencyOrdersWithoutTriggering) {
+  // A reaction that only *reads* a port must still run after its writer.
+  class Reader final : public Reactor {
+   public:
+    Input<int> in{"in", this};
+    explicit Reader(Environment& env) : Reactor("reader", env), timer_("t", this, 10_ms) {
+      add_reaction("read", [] {}).triggered_by(timer_).reads(in);
+    }
+
+   private:
+    Timer timer_;
+  };
+  Environment env(clock);
+  Counter writer(env, 10_ms, 1, "writer");
+  Reader reader(env);
+  env.connect(writer.out, reader.in);
+  env.assemble();
+  EXPECT_GT(reader.reactions()[0]->level(), writer.reactions()[0]->level());
+}
+
+TEST_F(GraphTest, NestedReactorsCollected) {
+  class Parent final : public Reactor {
+   public:
+    explicit Parent(Environment& env) : Reactor("parent", env) {
+      child = std::make_unique<Counter>(env, 10_ms, 1);
+    }
+    std::unique_ptr<Counter> child;
+  };
+  Environment env(clock);
+  class Inner final : public Reactor {
+   public:
+    Inner(std::string name, Reactor* parent) : Reactor(std::move(name), parent) {
+      add_reaction("noop", [] {});
+    }
+  };
+  class Outer final : public Reactor {
+   public:
+    explicit Outer(Environment& env) : Reactor("outer", env), inner("inner", this) {
+      add_reaction("outer_noop", [] {});
+    }
+    Inner inner;
+  };
+  Outer outer(env);
+  env.assemble();
+  // Both the outer and the nested reaction got levels.
+  EXPECT_GE(outer.reactions()[0]->level(), 0);
+  EXPECT_GE(outer.inner.reactions()[0]->level(), 0);
+  EXPECT_EQ(outer.inner.fqn(), "outer.inner");
+}
+
+}  // namespace
+}  // namespace dear::reactor

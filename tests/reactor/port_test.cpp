@@ -1,0 +1,174 @@
+#include "reactor/port.hpp"
+
+#include <gtest/gtest.h>
+
+#include "reactor_fixture.hpp"
+
+namespace dear::reactor {
+namespace {
+
+using namespace dear::literals;
+using testing::Counter;
+using testing::Doubler;
+using testing::Recorder;
+using testing::run_sim;
+
+struct PortTest : ::testing::Test {
+  sim::Kernel kernel;
+  SimClock clock{kernel};
+};
+
+TEST_F(PortTest, ValueFlowsThroughConnection) {
+  Environment env(clock);
+  Counter counter(env, 10_ms, 3);
+  Recorder<int> recorder(env);
+  env.connect(counter.out, recorder.in);
+  run_sim(env, kernel, 1_s);
+  ASSERT_EQ(recorder.entries.size(), 3u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(recorder.entries[static_cast<std::size_t>(i)].value, i);
+    EXPECT_EQ(recorder.entries[static_cast<std::size_t>(i)].tag.time,
+              static_cast<TimePoint>(i) * 10_ms);
+  }
+}
+
+TEST_F(PortTest, FanOutDeliversToAllSinks) {
+  Environment env(clock);
+  Counter counter(env, 10_ms, 2);
+  Recorder<int> a(env, "a");
+  Recorder<int> b(env, "b");
+  Recorder<int> c(env, "c");
+  env.connect(counter.out, a.in);
+  env.connect(counter.out, b.in);
+  env.connect(counter.out, c.in);
+  run_sim(env, kernel, 1_s);
+  EXPECT_EQ(a.entries.size(), 2u);
+  EXPECT_EQ(b.entries.size(), 2u);
+  EXPECT_EQ(c.entries.size(), 2u);
+}
+
+TEST_F(PortTest, ChainedBindingsReachTheEnd) {
+  Environment env(clock);
+  Counter counter(env, 10_ms, 2);
+  Doubler d1(env, "d1");
+  Doubler d2(env, "d2");
+  Recorder<int> recorder(env);
+  env.connect(counter.out, d1.in);
+  env.connect(d1.out, d2.in);
+  env.connect(d2.out, recorder.in);
+  run_sim(env, kernel, 1_s);
+  ASSERT_EQ(recorder.entries.size(), 2u);
+  EXPECT_EQ(recorder.entries[0].value, 0);
+  EXPECT_EQ(recorder.entries[1].value, 4);  // 1 * 2 * 2
+}
+
+TEST_F(PortTest, SameTagForLogicallyInstantaneousChain) {
+  Environment env(clock);
+  Counter counter(env, 10_ms, 1);
+  Doubler doubler(env);
+  Recorder<int> recorder(env);
+  env.connect(counter.out, doubler.in);
+  env.connect(doubler.out, recorder.in);
+  run_sim(env, kernel, 1_s);
+  ASSERT_EQ(recorder.entries.size(), 1u);
+  EXPECT_EQ(recorder.entries[0].tag, (Tag{0, 0}));  // reactions take zero logical time
+}
+
+TEST_F(PortTest, DoubleInwardBindingRejected) {
+  Environment env(clock);
+  Counter a(env, 10_ms, 1, "a");
+  Counter b(env, 10_ms, 1, "b");
+  Recorder<int> recorder(env);
+  env.connect(a.out, recorder.in);
+  EXPECT_THROW(env.connect(b.out, recorder.in), std::logic_error);
+}
+
+TEST_F(PortTest, ConnectAfterAssembleRejected) {
+  Environment env(clock);
+  Counter counter(env, 10_ms, 1);
+  Recorder<int> recorder(env);
+  env.assemble();
+  EXPECT_THROW(env.connect(counter.out, recorder.in), std::logic_error);
+}
+
+TEST_F(PortTest, SelfConnectionRejected) {
+  Environment env(clock);
+  Counter counter(env, 10_ms, 1);
+  EXPECT_THROW(env.connect(counter.out, counter.out), std::logic_error);
+}
+
+TEST_F(PortTest, SharedValueNotCopiedAcrossFanOut) {
+  // Heavy payloads are shared by pointer: both sinks must observe the
+  // same object.
+  class Producer final : public Reactor {
+   public:
+    Output<std::vector<int>> out{"out", this};
+    explicit Producer(Environment& env) : Reactor("producer", env) {
+      add_reaction("emit",
+                   [this] {
+                     out.set(std::vector<int>{1, 2, 3});
+                     request_shutdown();
+                   })
+          .triggered_by(startup_)
+          .writes(out);
+    }
+
+   private:
+    StartupTrigger startup_{"startup", this};
+  };
+  class PtrProbe final : public Reactor {
+   public:
+    Input<std::vector<int>> in{"in", this};
+    const std::vector<int>* seen{nullptr};
+    explicit PtrProbe(Environment& env, std::string name) : Reactor(std::move(name), env) {
+      add_reaction("probe", [this] { seen = &in.get(); }).triggered_by(in);
+    }
+  };
+
+  Environment env(clock);
+  Producer producer(env);
+  PtrProbe a(env, "a");
+  PtrProbe b(env, "b");
+  env.connect(producer.out, a.in);
+  env.connect(producer.out, b.in);
+  run_sim(env, kernel, 1_s);
+  ASSERT_NE(a.seen, nullptr);
+  EXPECT_EQ(a.seen, b.seen);
+}
+
+TEST_F(PortTest, PresenceClearedBetweenTags) {
+  class Probe final : public Reactor {
+   public:
+    Input<int> in{"in", this};
+    int absent_ticks{0};
+    int present_ticks{0};
+    explicit Probe(Environment& env) : Reactor("probe", env) {
+      timer_ = std::make_unique<Timer>("timer", this, 5 * kMillisecond);
+      add_reaction("check",
+                   [this] {
+                     if (in.is_present()) {
+                       ++present_ticks;
+                     } else {
+                       ++absent_ticks;
+                     }
+                   })
+          .triggered_by(*timer_)
+          .reads(in);
+    }
+
+   private:
+    std::unique_ptr<Timer> timer_;
+  };
+
+  Environment env(clock);
+  Counter counter(env, 10_ms, 3);  // fires at 0, 10, 20 ms
+  Probe probe(env);                // checks every 5 ms
+  env.connect(counter.out, probe.in);
+  run_sim(env, kernel, 22_ms);
+  // Probe ticks at 0,5,10,15,20: present at 0,10,20 and absent at 5,15.
+  EXPECT_EQ(probe.present_ticks, 3);
+  EXPECT_EQ(probe.absent_ticks, 2);
+}
+
+}  // namespace
+}  // namespace dear::reactor

@@ -1,0 +1,83 @@
+// Shared test reactors for the runtime tests. All tests here run on the
+// DES driver unless they specifically exercise the threaded scheduler.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "reactor/runtime.hpp"
+#include "sim/kernel.hpp"
+
+namespace dear::reactor::testing {
+
+/// Emits 0, 1, 2, ... every `period`, stopping after `limit` values.
+class Counter final : public Reactor {
+ public:
+  Output<int> out{"out", this};
+
+  Counter(Environment& env, Duration period, int limit, std::string name = "counter")
+      : Reactor(std::move(name), env) {
+    timer_ = std::make_unique<Timer>("timer", this, period);
+    add_reaction("emit",
+                 [this, limit] {
+                   out.set(count_);
+                   if (++count_ >= limit) {
+                     request_shutdown();
+                   }
+                 })
+        .triggered_by(*timer_)
+        .writes(out);
+  }
+
+  [[nodiscard]] int count() const noexcept { return count_; }
+
+ private:
+  std::unique_ptr<Timer> timer_;
+  int count_{0};
+};
+
+/// Records every received value with its tag.
+template <typename T>
+class Recorder final : public Reactor {
+ public:
+  Input<T> in{"in", this};
+
+  struct Entry {
+    T value;
+    Tag tag;
+  };
+
+  explicit Recorder(Environment& env, std::string name = "recorder")
+      : Reactor(std::move(name), env) {
+    add_reaction("record", [this] {
+      entries.push_back(Entry{in.get(), current_tag()});
+    }).triggered_by(in);
+  }
+
+  std::vector<Entry> entries;
+};
+
+/// Forwards its input to its output, optionally transforming.
+class Doubler final : public Reactor {
+ public:
+  Input<int> in{"in", this};
+  Output<int> out{"out", this};
+
+  explicit Doubler(Environment& env, std::string name = "doubler")
+      : Reactor(std::move(name), env) {
+    add_reaction("double", [this] { out.set(in.get() * 2); })
+        .triggered_by(in)
+        .writes(out);
+  }
+};
+
+/// Runs the environment on the kernel until quiescence or the horizon.
+inline void run_sim(Environment& env, sim::Kernel& kernel, Duration horizon,
+                    common::Rng rng = common::Rng(1)) {
+  SimDriver driver(env, kernel, rng);
+  driver.start();
+  kernel.run_until(horizon);
+}
+
+}  // namespace dear::reactor::testing

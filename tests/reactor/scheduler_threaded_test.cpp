@@ -1,0 +1,255 @@
+// Threaded scheduler tests: real clock, worker pools, physical actions
+// from foreign threads, deadlines under real time.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "reactor_fixture.hpp"
+
+namespace dear::reactor {
+namespace {
+
+using namespace dear::literals;
+using testing::Counter;
+using testing::Recorder;
+
+TEST(ThreadedScheduler, RunsTimerProgramToShutdown) {
+  RealClock clock;
+  Environment env(clock);
+  Counter counter(env, 1_ms, 10);
+  Recorder<int> recorder(env);
+  env.connect(counter.out, recorder.in);
+  env.run();
+  ASSERT_EQ(recorder.entries.size(), 10u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(recorder.entries[static_cast<std::size_t>(i)].value, i);
+  }
+  EXPECT_EQ(env.scheduler().tags_processed(), 11u);  // 10 timer tags + shutdown
+}
+
+TEST(ThreadedScheduler, TimerTagsFollowRealTime) {
+  // Events are never handled before physical time exceeds their tag.
+  RealClock clock;
+  Environment env(clock);
+  class Probe final : public Reactor {
+   public:
+    std::vector<Duration> lags;
+    explicit Probe(Environment& env) : Reactor("probe", env), timer_("t", this, 2_ms) {
+      add_reaction("tick",
+                   [this] {
+                     lags.push_back(physical_time() - logical_time());
+                     if (lags.size() >= 5) {
+                       request_shutdown();
+                     }
+                   })
+          .triggered_by(timer_);
+    }
+
+   private:
+    Timer timer_;
+  };
+  Probe probe(env);
+  env.run();
+  ASSERT_EQ(probe.lags.size(), 5u);
+  for (const Duration lag : probe.lags) {
+    EXPECT_GE(lag, 0) << "reaction ran before physical time reached the tag";
+    EXPECT_LT(lag, 100_ms) << "implausible scheduling lag";
+  }
+}
+
+TEST(ThreadedScheduler, TimeoutTerminatesRun) {
+  RealClock clock;
+  Environment::Config config;
+  config.timeout = 10_ms;
+  Environment env(clock, config);
+  class Endless final : public Reactor {
+   public:
+    int ticks{0};
+    explicit Endless(Environment& env) : Reactor("endless", env), timer_("t", this, 1_ms) {
+      add_reaction("tick", [this] { ++ticks; }).triggered_by(timer_);
+    }
+
+   private:
+    Timer timer_;
+  };
+  Endless endless(env);
+  env.run();
+  EXPECT_GE(endless.ticks, 9);
+  EXPECT_LE(endless.ticks, 11);
+}
+
+TEST(ThreadedScheduler, KeepaliveWaitsForPhysicalActions) {
+  RealClock clock;
+  Environment::Config config;
+  config.keepalive = true;
+  Environment env(clock, config);
+  class Sink final : public Reactor {
+   public:
+    PhysicalAction<int> in{"in", this};
+    std::atomic<int> received{0};
+    explicit Sink(Environment& env) : Reactor("sink", env) {
+      add_reaction("on_in",
+                   [this] {
+                     received.fetch_add(in.get());
+                     if (received.load() >= 30) {
+                       request_shutdown();
+                     }
+                   })
+          .triggered_by(in);
+    }
+  };
+  Sink sink(env);
+  std::thread producer([&] {
+    for (int i = 0; i < 3; ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      sink.in.schedule(10);
+    }
+  });
+  env.run();  // returns once the sink requested shutdown
+  producer.join();
+  EXPECT_EQ(sink.received.load(), 30);
+}
+
+TEST(ThreadedScheduler, RequestShutdownFromOutside) {
+  RealClock clock;
+  Environment::Config config;
+  config.keepalive = true;
+  Environment env(clock, config);
+  Counter counter(env, 1_ms, 1'000'000);  // would run for ages
+  std::thread stopper([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    env.request_shutdown();
+  });
+  env.run();
+  stopper.join();
+  EXPECT_LT(counter.count(), 1'000'000);
+}
+
+TEST(ThreadedScheduler, DeadlineViolationRunsHandlerInsteadOfBody) {
+  RealClock clock;
+  Environment env(clock);
+  class Late final : public Reactor {
+   public:
+    int body_runs{0};
+    int handler_runs{0};
+    explicit Late(Environment& env) : Reactor("late", env), timer_("t", this, 2_ms) {
+      // The first reaction at each tag burns ~3 ms of physical time; the
+      // second has a 1 ms deadline relative to the same tag, which is
+      // violated because physical time has already passed tag + 1 ms.
+      add_reaction("burn",
+                   [this] {
+                     std::this_thread::sleep_for(std::chrono::milliseconds(3));
+                     if (++ticks_ >= 3) {
+                       request_shutdown();
+                     }
+                   })
+          .triggered_by(timer_);
+      add_reaction("check", [this] { ++body_runs; })
+          .triggered_by(timer_)
+          .with_deadline(1_ms, [this] { ++handler_runs; });
+    }
+
+   private:
+    Timer timer_;
+    int ticks_{0};
+  };
+  Late late(env);
+  env.run();
+  EXPECT_EQ(late.body_runs, 0);
+  EXPECT_EQ(late.handler_runs, 3);
+  EXPECT_EQ(env.scheduler().deadline_violations(), 3u);
+}
+
+TEST(ThreadedScheduler, DeadlineMetRunsBody) {
+  RealClock clock;
+  Environment env(clock);
+  class OnTime final : public Reactor {
+   public:
+    int body_runs{0};
+    int handler_runs{0};
+    explicit OnTime(Environment& env) : Reactor("on_time", env), timer_("t", this, 2_ms) {
+      add_reaction("check",
+                   [this] {
+                     if (++body_runs >= 3) {
+                       request_shutdown();
+                     }
+                   })
+          .triggered_by(timer_)
+          .with_deadline(500_ms, [this] { ++handler_runs; });
+    }
+
+   private:
+    Timer timer_;
+  };
+  OnTime on_time(env);
+  env.run();
+  EXPECT_EQ(on_time.body_runs, 3);
+  EXPECT_EQ(on_time.handler_runs, 0);
+}
+
+TEST(ThreadedScheduler, ParallelWorkersExecuteIndependentReactions) {
+  RealClock clock;
+  Environment::Config config;
+  config.workers = 4;
+  Environment env(clock, config);
+  // Several reactors triggered by their own timers at the same period:
+  // their reactions are independent (same level) and may run concurrently.
+  class Busy final : public Reactor {
+   public:
+    std::atomic<int>& concurrent;
+    std::atomic<int>& peak;
+    explicit Busy(Environment& env, std::string name, std::atomic<int>& concurrent_count,
+                  std::atomic<int>& peak_count)
+        : Reactor(std::move(name), env), concurrent(concurrent_count), peak(peak_count),
+          timer_("t", this, 5_ms) {
+      add_reaction("work",
+                   [this] {
+                     const int now = concurrent.fetch_add(1) + 1;
+                     int expected = peak.load();
+                     while (now > expected && !peak.compare_exchange_weak(expected, now)) {
+                     }
+                     std::this_thread::sleep_for(std::chrono::milliseconds(2));
+                     concurrent.fetch_sub(1);
+                     if (++count_ >= 3) {
+                       request_shutdown();
+                     }
+                   })
+          .triggered_by(timer_);
+    }
+
+   private:
+    Timer timer_;
+    int count_{0};
+  };
+  std::atomic<int> concurrent{0};
+  std::atomic<int> peak{0};
+  Busy a(env, "a", concurrent, peak);
+  Busy b(env, "b", concurrent, peak);
+  Busy c(env, "c", concurrent, peak);
+  env.run();
+  EXPECT_GE(peak.load(), 2) << "same-level reactions should run in parallel";
+}
+
+TEST(ThreadedScheduler, StatsAreConsistent) {
+  RealClock clock;
+  Environment env(clock);
+  Counter counter(env, 1_ms, 5);
+  Recorder<int> recorder(env);
+  env.connect(counter.out, recorder.in);
+  env.run();
+  EXPECT_EQ(env.scheduler().reactions_executed(), 10u);  // 5 emits + 5 records
+  EXPECT_EQ(env.scheduler().deadline_violations(), 0u);
+}
+
+TEST(ThreadedScheduler, RunRequiresRealClock) {
+  sim::Kernel kernel;
+  SimClock clock(kernel);
+  Environment env(clock);
+  Counter counter(env, 1_ms, 1);
+  EXPECT_THROW(env.run(), std::logic_error);
+}
+
+}  // namespace
+}  // namespace dear::reactor

@@ -1,0 +1,62 @@
+#include "reactor/tag.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dear::reactor {
+namespace {
+
+using namespace dear::literals;
+
+TEST(Tag, OrderingByTimeThenMicrostep) {
+  EXPECT_LT((Tag{1, 0}), (Tag{2, 0}));
+  EXPECT_LT((Tag{1, 0}), (Tag{1, 1}));
+  EXPECT_LT((Tag{1, 5}), (Tag{2, 0}));
+  EXPECT_EQ((Tag{3, 2}), (Tag{3, 2}));
+  EXPECT_GT((Tag{3, 3}), (Tag{3, 2}));
+}
+
+TEST(Tag, ZeroDelayAdvancesMicrostep) {
+  const Tag tag{100, 4};
+  const Tag delayed = tag.delay(0);
+  EXPECT_EQ(delayed.time, 100);
+  EXPECT_EQ(delayed.microstep, 5u);
+  EXPECT_GT(delayed, tag);  // strictly later
+}
+
+TEST(Tag, NegativeDelayBehavesLikeZero) {
+  const Tag tag{100, 4};
+  const Tag delayed = tag.delay(-10);
+  EXPECT_EQ(delayed, tag.delay(0));
+}
+
+TEST(Tag, PositiveDelayResetsMicrostep) {
+  const Tag tag{100, 4};
+  const Tag delayed = tag.delay(50);
+  EXPECT_EQ(delayed.time, 150);
+  EXPECT_EQ(delayed.microstep, 0u);
+}
+
+TEST(Tag, DelayChainsAreMonotone) {
+  Tag tag{0, 0};
+  Tag previous = tag;
+  for (int i = 0; i < 100; ++i) {
+    tag = tag.delay(i % 3 == 0 ? 0 : 1_ms);
+    EXPECT_GT(tag, previous);
+    previous = tag;
+  }
+}
+
+TEST(Tag, MaximumDominatesEverything) {
+  EXPECT_GT(Tag::maximum(), (Tag{kTimeMax, 0}));
+  EXPECT_GT(Tag::maximum(), (Tag{0, 0}));
+}
+
+TEST(Tag, ToStringIsReadable) {
+  const Tag tag{2500000, 3};
+  const std::string text = tag.to_string();
+  EXPECT_NE(text.find("2.500ms"), std::string::npos);
+  EXPECT_NE(text.find("3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dear::reactor

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "reactor_fixture.hpp"
+
+namespace dear::reactor {
+namespace {
+
+using namespace dear::literals;
+using testing::run_sim;
+
+struct TimerTest : ::testing::Test {
+  sim::Kernel kernel;
+  SimClock clock{kernel};
+};
+
+class TimerProbe final : public Reactor {
+ public:
+  std::vector<Tag> firings;
+
+  TimerProbe(Environment& env, Duration period, Duration offset)
+      : Reactor("probe", env), timer_("timer", this, period, offset) {
+    add_reaction("tick", [this] { firings.push_back(current_tag()); }).triggered_by(timer_);
+  }
+
+ private:
+  Timer timer_;
+};
+
+TEST_F(TimerTest, FiresAtOffsetThenPeriod) {
+  Environment::Config config;
+  config.timeout = 50_ms;
+  Environment env(clock, config);
+  TimerProbe probe(env, 10_ms, 3_ms);
+  run_sim(env, kernel, 1_s);
+  ASSERT_EQ(probe.firings.size(), 5u);  // 3, 13, 23, 33, 43 ms
+  for (std::size_t i = 0; i < probe.firings.size(); ++i) {
+    EXPECT_EQ(probe.firings[i],
+              (Tag{3_ms + static_cast<TimePoint>(i) * 10_ms, 0}));
+  }
+}
+
+TEST_F(TimerTest, ZeroOffsetFiresAtStartTag) {
+  Environment::Config config;
+  config.timeout = 25_ms;
+  Environment env(clock, config);
+  TimerProbe probe(env, 10_ms, 0);
+  run_sim(env, kernel, 1_s);
+  ASSERT_EQ(probe.firings.size(), 3u);
+  EXPECT_EQ(probe.firings[0], (Tag{0, 0}));
+}
+
+TEST_F(TimerTest, NonPositivePeriodRejected) {
+  Environment env(clock);
+  class BadTimer final : public Reactor {
+   public:
+    explicit BadTimer(Environment& env) : Reactor("bad", env) {
+      Timer timer("timer", this, 0);
+    }
+  };
+  EXPECT_THROW(BadTimer bad(env), std::logic_error);
+}
+
+TEST_F(TimerTest, TwoTimersInterleave) {
+  class TwoTimers final : public Reactor {
+   public:
+    std::vector<std::pair<char, TimePoint>> log;
+    explicit TwoTimers(Environment& env)
+        : Reactor("two", env), fast_("fast", this, 10_ms), slow_("slow", this, 25_ms) {
+      add_reaction("on_fast", [this] { log.emplace_back('f', logical_time()); })
+          .triggered_by(fast_);
+      add_reaction("on_slow", [this] { log.emplace_back('s', logical_time()); })
+          .triggered_by(slow_);
+    }
+
+   private:
+    Timer fast_;
+    Timer slow_;
+  };
+  Environment::Config config;
+  config.timeout = 51_ms;
+  Environment env(clock, config);
+  TwoTimers probe(env);
+  run_sim(env, kernel, 1_s);
+  // fast: 0,10,20,30,40,50; slow: 0,25,50.
+  std::vector<std::pair<char, TimePoint>> expected{
+      {'f', 0},     {'s', 0},     {'f', 10_ms}, {'f', 20_ms}, {'s', 25_ms},
+      {'f', 30_ms}, {'f', 40_ms}, {'f', 50_ms}, {'s', 50_ms}};
+  EXPECT_EQ(probe.log, expected);
+}
+
+TEST_F(TimerTest, TimeoutStopsExactlyAtHorizon) {
+  Environment::Config config;
+  config.timeout = 100_ms;
+  Environment env(clock, config);
+  TimerProbe probe(env, 7_ms, 0);
+  run_sim(env, kernel, 10_s);
+  // Firings at 0, 7, ..., 98 ms -> 15 firings; nothing after the timeout.
+  EXPECT_EQ(probe.firings.size(), 15u);
+  EXPECT_TRUE(env.scheduler().finished());
+}
+
+TEST_F(TimerTest, ElapsedLogicalTimeTracksTimer) {
+  class ElapsedProbe final : public Reactor {
+   public:
+    std::vector<Duration> elapsed;
+    explicit ElapsedProbe(Environment& env)
+        : Reactor("elapsed", env), timer_("timer", this, 10_ms) {
+      add_reaction("tick", [this] { elapsed.push_back(elapsed_logical_time()); })
+          .triggered_by(timer_);
+    }
+
+   private:
+    Timer timer_;
+  };
+  Environment::Config config;
+  config.timeout = 25_ms;
+  Environment env(clock, config);
+  ElapsedProbe probe(env);
+  // Start the kernel late: elapsed logical time is relative to start, not
+  // to kernel time zero.
+  kernel.schedule_at(5_ms, [] {});
+  kernel.run();
+  run_sim(env, kernel, 1_s);
+  ASSERT_EQ(probe.elapsed.size(), 3u);
+  EXPECT_EQ(probe.elapsed[0], 0);
+  EXPECT_EQ(probe.elapsed[1], 10_ms);
+  EXPECT_EQ(probe.elapsed[2], 20_ms);
+}
+
+}  // namespace
+}  // namespace dear::reactor

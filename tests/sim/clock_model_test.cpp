@@ -1,0 +1,104 @@
+#include "sim/clock_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace dear::sim {
+namespace {
+
+using namespace dear::literals;
+
+TEST(PlatformClock, IdentityByDefault) {
+  const PlatformClock clock;
+  EXPECT_EQ(clock.local_now(12345), 12345);
+  EXPECT_EQ(clock.global_from_local(12345), 12345);
+  EXPECT_EQ(clock.error_at(999), 0);
+}
+
+TEST(PlatformClock, OffsetOnly) {
+  const PlatformClock clock(5_ms, 0.0);
+  EXPECT_EQ(clock.local_now(0), 5_ms);
+  EXPECT_EQ(clock.local_now(1_s), 1_s + 5_ms);
+  EXPECT_EQ(clock.error_at(1_s), 5_ms);
+}
+
+TEST(PlatformClock, DriftAccumulates) {
+  const PlatformClock clock(0, 100.0);  // +100 ppm
+  // After one second of global time the clock is 100 us ahead.
+  EXPECT_NEAR(static_cast<double>(clock.error_at(1_s)), 100e3, 5.0);
+  EXPECT_NEAR(static_cast<double>(clock.error_at(10_s)), 1e6, 50.0);
+}
+
+TEST(PlatformClock, NegativeDrift) {
+  const PlatformClock clock(0, -50.0);
+  EXPECT_LT(clock.error_at(1_s), 0);
+  EXPECT_NEAR(static_cast<double>(clock.error_at(1_s)), -50e3, 5.0);
+}
+
+class ClockRoundTripTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ClockRoundTripTest, GlobalLocalInverse) {
+  const PlatformClock clock(3_ms, GetParam());
+  for (const TimePoint global : {TimePoint{0}, TimePoint{1_ms}, TimePoint{1_s}, TimePoint{100_s},
+                                 TimePoint{3600_s}}) {
+    const TimePoint local = clock.local_now(global);
+    const TimePoint back = clock.global_from_local(local);
+    EXPECT_NEAR(static_cast<double>(back), static_cast<double>(global), 2.0)
+        << "drift=" << GetParam() << " global=" << global;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Drifts, ClockRoundTripTest,
+                         ::testing::Values(0.0, 10.0, -10.0, 100.0, -100.0, 500.0));
+
+TEST(PlatformClock, ResyncReanchorsError) {
+  PlatformClock clock(10_ms, 200.0);
+  EXPECT_GT(clock.error_at(1_s), 10_ms);
+  clock.resync(1_s, 100 * kMicrosecond);
+  EXPECT_EQ(clock.error_at(1_s), 100 * kMicrosecond);
+  // Drift keeps accumulating from the new anchor.
+  EXPECT_GT(clock.error_at(2_s), 100 * kMicrosecond);
+}
+
+TEST(TimeSyncService, BoundsClockError) {
+  Kernel kernel;
+  PlatformClock clock(2_ms, 80.0);  // 2 ms initial offset, 80 ppm drift
+  const Duration residual = 50 * kMicrosecond;
+  const Duration period = 1_s;
+  TimeSyncService sync(kernel, clock, period, residual, common::Rng(7));
+  sync.start();
+  kernel.run_until(60_s);
+  sync.stop();
+  EXPECT_GE(sync.resync_count(), 59u);
+  // After the first resync the error must stay within the worst-case bound.
+  const Duration bound = sync.worst_case_error();
+  EXPECT_LE(std::llabs(clock.error_at(60_s)), bound);
+  EXPECT_LE(bound, residual + 100 * kMicrosecond);
+}
+
+TEST(TimeSyncService, StopCancelsFutureResyncs) {
+  Kernel kernel;
+  PlatformClock clock(0, 0.0);
+  TimeSyncService sync(kernel, clock, 10_ms, 1_ms, common::Rng(1));
+  sync.start();
+  kernel.run_until(35_ms);
+  const auto count = sync.resync_count();
+  EXPECT_EQ(count, 3u);
+  sync.stop();
+  kernel.run_until(100_ms);
+  EXPECT_EQ(sync.resync_count(), count);
+}
+
+TEST(TimeSyncService, StartIsIdempotent) {
+  Kernel kernel;
+  PlatformClock clock(0, 0.0);
+  TimeSyncService sync(kernel, clock, 10_ms, 1_ms, common::Rng(1));
+  sync.start();
+  sync.start();
+  kernel.run_until(25_ms);
+  EXPECT_EQ(sync.resync_count(), 2u);  // not doubled
+}
+
+}  // namespace
+}  // namespace dear::sim

@@ -1,0 +1,121 @@
+#include "sim/exec_time_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dear::sim {
+namespace {
+
+using namespace dear::literals;
+
+TEST(ExecTimeModel, ConstantAlwaysSame) {
+  const auto model = ExecTimeModel::constant(3_ms);
+  common::Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(model.sample(rng), 3_ms);
+  }
+  EXPECT_EQ(model.upper_bound(), 3_ms);
+  EXPECT_EQ(model.lower_bound(), 3_ms);
+}
+
+TEST(ExecTimeModel, UniformWithinBounds) {
+  const auto model = ExecTimeModel::uniform(1_ms, 2_ms);
+  common::Rng rng(2);
+  Duration min = kTimeMax;
+  Duration max = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const Duration d = model.sample(rng);
+    EXPECT_GE(d, 1_ms);
+    EXPECT_LE(d, 2_ms);
+    min = std::min(min, d);
+    max = std::max(max, d);
+  }
+  // The distribution actually covers the range.
+  EXPECT_LT(min, 1_ms + 100_us);
+  EXPECT_GT(max, 2_ms - 100_us);
+  EXPECT_EQ(model.upper_bound(), 2_ms);
+}
+
+TEST(ExecTimeModel, NormalClamped) {
+  const auto model = ExecTimeModel::normal(10_ms, 5_ms, 8_ms, 12_ms);
+  common::Rng rng(3);
+  for (int i = 0; i < 5000; ++i) {
+    const Duration d = model.sample(rng);
+    EXPECT_GE(d, 8_ms);
+    EXPECT_LE(d, 12_ms);
+  }
+  EXPECT_EQ(model.upper_bound(), 12_ms);
+  EXPECT_EQ(model.lower_bound(), 8_ms);
+}
+
+TEST(ExecTimeModel, NormalMeanApproximate) {
+  const auto model = ExecTimeModel::normal(10_ms, 1_ms, 0, 20_ms);
+  common::Rng rng(4);
+  double sum = 0.0;
+  constexpr int kSamples = 20'000;
+  for (int i = 0; i < kSamples; ++i) {
+    sum += static_cast<double>(model.sample(rng));
+  }
+  EXPECT_NEAR(sum / kSamples, static_cast<double>(10_ms), static_cast<double>(100_us));
+}
+
+TEST(ExecTimeModel, TailRespectsUpperBound) {
+  const auto model =
+      ExecTimeModel::normal_with_tail(5_ms, 1_ms, 3_ms, 7_ms, 0.1, 10_ms);
+  common::Rng rng(5);
+  bool tail_seen = false;
+  for (int i = 0; i < 20'000; ++i) {
+    const Duration d = model.sample(rng);
+    EXPECT_GE(d, 3_ms);
+    EXPECT_LE(d, model.upper_bound());
+    if (d > 7_ms) {
+      tail_seen = true;
+    }
+  }
+  EXPECT_TRUE(tail_seen);
+  EXPECT_EQ(model.upper_bound(), 17_ms);
+}
+
+TEST(ExecTimeModel, TailProbabilityRoughlyMatches) {
+  const auto model = ExecTimeModel::normal_with_tail(5_ms, 100_us, 5_ms, 5_ms, 0.2, 1_ms);
+  common::Rng rng(6);
+  int tail_hits = 0;
+  constexpr int kSamples = 50'000;
+  for (int i = 0; i < kSamples; ++i) {
+    if (model.sample(rng) > 5_ms) {
+      ++tail_hits;
+    }
+  }
+  // P(tail and extra > 0) = 0.2 * (1 - 1/bound) ~= 0.2.
+  EXPECT_NEAR(static_cast<double>(tail_hits) / kSamples, 0.2, 0.02);
+}
+
+TEST(ExecTimeModel, ScaledScalesEverything) {
+  const auto model = ExecTimeModel::uniform(2_ms, 4_ms).scaled(2.0);
+  common::Rng rng(7);
+  for (int i = 0; i < 2000; ++i) {
+    const Duration d = model.sample(rng);
+    EXPECT_GE(d, 4_ms);
+    EXPECT_LE(d, 8_ms);
+  }
+  EXPECT_EQ(model.upper_bound(), 8_ms);
+  EXPECT_EQ(model.lower_bound(), 4_ms);
+}
+
+TEST(ExecTimeModel, ScaledDownToZero) {
+  const auto model = ExecTimeModel::constant(5_ms).scaled(0.0);
+  common::Rng rng(8);
+  EXPECT_EQ(model.sample(rng), 0);
+  EXPECT_EQ(model.upper_bound(), 0);
+}
+
+TEST(ExecTimeModel, SamplingIsSeedDeterministic) {
+  const auto model = ExecTimeModel::normal(10_ms, 2_ms, 5_ms, 15_ms);
+  common::Rng a(42);
+  common::Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(model.sample(a), model.sample(b));
+  }
+}
+
+}  // namespace
+}  // namespace dear::sim

@@ -1,0 +1,110 @@
+#include "sim/periodic_task.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dear::sim {
+namespace {
+
+using namespace dear::literals;
+
+TEST(PeriodicTask, FiresOnNominalGrid) {
+  Kernel kernel;
+  PlatformClock clock;
+  std::vector<TimePoint> releases;
+  PeriodicTask task(kernel, clock, 10_ms, 3_ms,
+                    [&](std::uint64_t, TimePoint t) { releases.push_back(t); });
+  task.start();
+  kernel.run_until(45_ms);
+  task.stop();
+  EXPECT_EQ(releases, (std::vector<TimePoint>{3_ms, 13_ms, 23_ms, 33_ms, 43_ms}));
+  EXPECT_EQ(task.activations(), 5u);
+}
+
+TEST(PeriodicTask, IndicesAreSequential) {
+  Kernel kernel;
+  PlatformClock clock;
+  std::vector<std::uint64_t> indices;
+  PeriodicTask task(kernel, clock, 5_ms, 0,
+                    [&](std::uint64_t index, TimePoint) { indices.push_back(index); });
+  task.start();
+  kernel.run_until(22_ms);
+  ASSERT_EQ(indices.size(), 5u);
+  for (std::uint64_t i = 0; i < indices.size(); ++i) {
+    EXPECT_EQ(indices[i], i);
+  }
+}
+
+TEST(PeriodicTask, JitterDelaysButDoesNotAccumulate) {
+  Kernel kernel;
+  PlatformClock clock;
+  std::vector<TimePoint> releases;
+  PeriodicTask task(kernel, clock, 10_ms, 0,
+                    [&](std::uint64_t, TimePoint t) { releases.push_back(t); });
+  task.set_jitter(ExecTimeModel::uniform(0, 2_ms), common::Rng(3));
+  task.start();
+  kernel.run_until(100_ms);
+  task.stop();
+  ASSERT_GE(releases.size(), 9u);
+  for (std::size_t k = 0; k < releases.size(); ++k) {
+    const TimePoint nominal = static_cast<TimePoint>(k) * 10_ms;
+    EXPECT_GE(releases[k], nominal);
+    EXPECT_LE(releases[k], nominal + 2_ms);  // jitter never accumulates
+  }
+}
+
+TEST(PeriodicTask, ClockDriftShiftsGlobalReleases) {
+  Kernel kernel;
+  // A clock running 1000 ppm fast reaches local time t earlier in global
+  // time, so the task fires earlier and earlier relative to the nominal grid.
+  PlatformClock fast_clock(0, 1000.0);
+  std::vector<TimePoint> releases;
+  PeriodicTask task(kernel, fast_clock, 10_ms, 0,
+                    [&](std::uint64_t, TimePoint t) { releases.push_back(t); });
+  task.start();
+  kernel.run_until(1_s);
+  task.stop();
+  ASSERT_GT(releases.size(), 90u);
+  const TimePoint last = releases.back();
+  const auto k = static_cast<TimePoint>(releases.size() - 1);
+  const TimePoint nominal = k * 10_ms;
+  // ~1000 ppm early: about 1 us per ms of elapsed time.
+  EXPECT_LT(last, nominal);
+  EXPECT_NEAR(static_cast<double>(nominal - last), 1e-3 * static_cast<double>(nominal), 1e4);
+}
+
+TEST(PeriodicTask, StopPreventsFurtherActivations) {
+  Kernel kernel;
+  PlatformClock clock;
+  int count = 0;
+  PeriodicTask task(kernel, clock, 10_ms, 0, [&](std::uint64_t, TimePoint) { ++count; });
+  task.start();
+  kernel.run_until(25_ms);
+  task.stop();
+  kernel.run_until(200_ms);
+  EXPECT_EQ(count, 3);  // t = 0, 10, 20
+  EXPECT_FALSE(task.running());
+}
+
+TEST(PeriodicTask, RestartBeginsFromIndexZero) {
+  Kernel kernel;
+  PlatformClock clock;
+  std::vector<std::uint64_t> indices;
+  PeriodicTask task(kernel, clock, 10_ms, 0,
+                    [&](std::uint64_t index, TimePoint) { indices.push_back(index); });
+  task.start();
+  kernel.run_until(15_ms);
+  task.stop();
+  task.start();
+  kernel.run_until(35_ms);
+  task.stop();
+  // First run: indices 0, 1. Restart re-anchors at local phase grid.
+  ASSERT_GE(indices.size(), 3u);
+  EXPECT_EQ(indices[0], 0u);
+  EXPECT_EQ(indices[1], 1u);
+  EXPECT_EQ(indices[2], 0u);
+}
+
+}  // namespace
+}  // namespace dear::sim

@@ -1,0 +1,93 @@
+#include "sim/sim_executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dear::sim {
+namespace {
+
+using namespace dear::literals;
+
+TEST(SimExecutor, JitterCanReorderPosts) {
+  // With a wide jitter window, two back-to-back posts execute in an order
+  // decided by the seeded draws — the modeled thread-scheduler race.
+  bool reordered_seen = false;
+  bool in_order_seen = false;
+  for (std::uint64_t seed = 0; seed < 64; ++seed) {
+    Kernel kernel;
+    SimExecutor executor(kernel, common::Rng(seed), ExecTimeModel::uniform(0, 1_ms));
+    std::vector<int> order;
+    executor.post([&] { order.push_back(1); });
+    executor.post([&] { order.push_back(2); });
+    kernel.run();
+    ASSERT_EQ(order.size(), 2u);
+    if (order[0] == 2) {
+      reordered_seen = true;
+    } else {
+      in_order_seen = true;
+    }
+  }
+  EXPECT_TRUE(reordered_seen);
+  EXPECT_TRUE(in_order_seen);
+}
+
+TEST(SimExecutor, SameSeedSameSchedule) {
+  for (int run = 0; run < 2; ++run) {
+    static std::vector<int> first_order;
+    Kernel kernel;
+    SimExecutor executor(kernel, common::Rng(77), ExecTimeModel::uniform(0, 1_ms));
+    std::vector<int> order;
+    for (int i = 0; i < 20; ++i) {
+      executor.post([&order, i] { order.push_back(i); });
+    }
+    kernel.run();
+    if (run == 0) {
+      first_order = order;
+    } else {
+      EXPECT_EQ(order, first_order);
+    }
+  }
+}
+
+TEST(SimExecutor, PostAfterAddsDelayPlusJitter) {
+  Kernel kernel;
+  SimExecutor executor(kernel, common::Rng(5), ExecTimeModel::uniform(0, 500_us));
+  TimePoint ran_at = -1;
+  executor.post_after(10_ms, [&] { ran_at = kernel.now(); });
+  kernel.run();
+  EXPECT_GE(ran_at, 10_ms);
+  EXPECT_LE(ran_at, 10_ms + 500_us);
+}
+
+TEST(SimExecutor, NowTracksKernel) {
+  Kernel kernel;
+  SimExecutor executor(kernel, common::Rng(1));
+  kernel.schedule_at(42_ms, [] {});
+  kernel.run();
+  EXPECT_EQ(executor.now(), 42_ms);
+}
+
+TEST(ImmediateSimExecutor, FifoAtCurrentTime) {
+  Kernel kernel;
+  ImmediateSimExecutor executor(kernel);
+  std::vector<int> order;
+  executor.post([&] { order.push_back(1); });
+  executor.post([&] { order.push_back(2); });
+  executor.post([&] { order.push_back(3); });
+  kernel.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(kernel.now(), 0);
+}
+
+TEST(ImmediateSimExecutor, PostAfterExactDelay) {
+  Kernel kernel;
+  ImmediateSimExecutor executor(kernel);
+  TimePoint ran_at = -1;
+  executor.post_after(7_ms, [&] { ran_at = kernel.now(); });
+  kernel.run();
+  EXPECT_EQ(ran_at, 7_ms);
+}
+
+}  // namespace
+}  // namespace dear::sim

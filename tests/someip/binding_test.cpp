@@ -1,0 +1,207 @@
+#include "someip/binding.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/sim_network.hpp"
+#include "sim/sim_executor.hpp"
+
+namespace dear::someip {
+namespace {
+
+using namespace dear::literals;
+
+struct BindingFixture : public ::testing::Test {
+  sim::Kernel kernel;
+  net::SimNetwork network{kernel, common::Rng(5)};
+  sim::ImmediateSimExecutor executor{kernel};
+  net::Endpoint server_ep{1, 100};
+  net::Endpoint client_ep{2, 200};
+  Binding server{network, executor, server_ep, 0x0001};
+  Binding client{network, executor, client_ep, 0x0002};
+};
+
+TEST_F(BindingFixture, RequestResponseRoundTrip) {
+  server.provide_method(0x10, 0x01, [&](const Message& request, const net::Endpoint& from) {
+    EXPECT_EQ(request.payload, (std::vector<std::uint8_t>{7}));
+    server.respond(request, from, {42});
+  });
+  std::vector<std::uint8_t> response_payload;
+  client.call(server_ep, 0x10, 0x01, {7},
+              [&](const Message& response) { response_payload = response.payload; });
+  kernel.run();
+  EXPECT_EQ(response_payload, (std::vector<std::uint8_t>{42}));
+  EXPECT_EQ(client.requests_sent(), 1u);
+  EXPECT_EQ(client.responses_received(), 1u);
+}
+
+TEST_F(BindingFixture, SessionsMatchConcurrentCalls) {
+  server.provide_method(0x10, 0x01, [&](const Message& request, const net::Endpoint& from) {
+    server.respond(request, from, request.payload);  // echo
+  });
+  std::map<int, int> echoed;
+  for (std::uint8_t i = 0; i < 20; ++i) {
+    client.call(server_ep, 0x10, 0x01, {i},
+                [&echoed, i](const Message& response) { echoed[i] = response.payload[0]; });
+  }
+  kernel.run();
+  ASSERT_EQ(echoed.size(), 20u);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(echoed[i], i);
+  }
+}
+
+TEST_F(BindingFixture, UnknownMethodGetsErrorResponse) {
+  ReturnCode code = ReturnCode::kOk;
+  client.call(server_ep, 0x99, 0x01, {},
+              [&](const Message& response) { code = response.return_code; });
+  kernel.run();
+  EXPECT_EQ(code, ReturnCode::kUnknownMethod);
+}
+
+TEST_F(BindingFixture, TimeoutSynthesizesError) {
+  server.provide_method(0x10, 0x01, [](const Message&, const net::Endpoint&) {
+    // never responds
+  });
+  ReturnCode code = ReturnCode::kOk;
+  client.call(server_ep, 0x10, 0x01, {}, [&](const Message& r) { code = r.return_code; },
+              10_ms);
+  kernel.run();
+  EXPECT_EQ(code, ReturnCode::kTimeout);
+  EXPECT_EQ(client.timeouts(), 1u);
+}
+
+TEST_F(BindingFixture, LateResponseAfterTimeoutIgnored) {
+  // Server responds after the client timeout: the client must see exactly
+  // one callback (the timeout), and the late response must be dropped.
+  server.provide_method(0x10, 0x01, [&](const Message& request, const net::Endpoint& from) {
+    Message copy = request;
+    const net::Endpoint sender = from;
+    kernel.schedule_after(50_ms, [this, copy, sender] { server.respond(copy, sender, {1}); });
+  });
+  int callbacks = 0;
+  ReturnCode code = ReturnCode::kOk;
+  client.call(server_ep, 0x10, 0x01, {},
+              [&](const Message& r) {
+                ++callbacks;
+                code = r.return_code;
+              },
+              10_ms);
+  kernel.run();
+  EXPECT_EQ(callbacks, 1);
+  EXPECT_EQ(code, ReturnCode::kTimeout);
+}
+
+TEST_F(BindingFixture, FireAndForgetReachesServer) {
+  int calls = 0;
+  server.provide_method(0x10, 0x02,
+                        [&](const Message& request, const net::Endpoint&) {
+                          ++calls;
+                          EXPECT_EQ(request.type, MessageType::kRequestNoReturn);
+                        });
+  client.call_no_return(server_ep, 0x10, 0x02, {1, 2});
+  kernel.run();
+  EXPECT_EQ(calls, 1);
+}
+
+TEST_F(BindingFixture, SubscribeNotifyUnsubscribe) {
+  std::vector<std::uint8_t> samples;
+  client.subscribe(server_ep, 0x10, 0x8001,
+                   [&](const Message& n) { samples.push_back(n.payload[0]); });
+  kernel.run();
+  EXPECT_EQ(server.subscriber_count(0x10, 0x8001), 1u);
+  server.notify(0x10, 0x8001, {11});
+  server.notify(0x10, 0x8001, {22});
+  kernel.run();
+  EXPECT_EQ(samples, (std::vector<std::uint8_t>{11, 22}));
+  client.unsubscribe(server_ep, 0x10, 0x8001);
+  kernel.run();
+  EXPECT_EQ(server.subscriber_count(0x10, 0x8001), 0u);
+  server.notify(0x10, 0x8001, {33});
+  kernel.run();
+  EXPECT_EQ(samples.size(), 2u);
+}
+
+TEST_F(BindingFixture, NotifyFansOutToMultipleSubscribers) {
+  Binding client2(network, executor, {3, 300}, 0x0003);
+  int count1 = 0;
+  int count2 = 0;
+  client.subscribe(server_ep, 0x10, 0x8001, [&](const Message&) { ++count1; });
+  client2.subscribe(server_ep, 0x10, 0x8001, [&](const Message&) { ++count2; });
+  kernel.run();
+  server.notify(0x10, 0x8001, {1});
+  kernel.run();
+  EXPECT_EQ(count1, 1);
+  EXPECT_EQ(count2, 1);
+}
+
+TEST_F(BindingFixture, DuplicateSubscribeIsIdempotent) {
+  client.subscribe(server_ep, 0x10, 0x8001, [](const Message&) {});
+  client.subscribe(server_ep, 0x10, 0x8001, [](const Message&) {});
+  kernel.run();
+  EXPECT_EQ(server.subscriber_count(0x10, 0x8001), 1u);
+}
+
+TEST_F(BindingFixture, TagTravelsThroughBypasses) {
+  // Deposit a tag on the client side, observe it on the server side —
+  // the paper's §III.B mechanism end to end.
+  std::optional<WireTag> seen;
+  server.provide_method(0x10, 0x01, [&](const Message& request, const net::Endpoint& from) {
+    seen = server.receive_bypass().collect();
+    // Respond with another tag.
+    server.send_bypass().deposit(WireTag{900, 1});
+    server.respond(request, from, {});
+  });
+  std::optional<WireTag> response_tag;
+  client.send_bypass().deposit(WireTag{500, 2});
+  client.call(server_ep, 0x10, 0x01, {},
+              [&](const Message&) { response_tag = client.receive_bypass().collect(); });
+  kernel.run();
+  ASSERT_TRUE(seen.has_value());
+  EXPECT_EQ(seen->time, 500);
+  EXPECT_EQ(seen->microstep, 2u);
+  ASSERT_TRUE(response_tag.has_value());
+  EXPECT_EQ(response_tag->time, 900);
+  EXPECT_EQ(client.tagged_sent(), 1u);
+  EXPECT_EQ(server.tagged_received(), 1u);
+  EXPECT_EQ(server.tagged_sent(), 1u);
+  EXPECT_EQ(client.tagged_received(), 1u);
+}
+
+TEST_F(BindingFixture, UncollectedReceiveTagIsCleared) {
+  // A handler that ignores the bypass must not leak the tag into the next
+  // message's context.
+  server.provide_method(0x10, 0x01, [&](const Message& request, const net::Endpoint& from) {
+    server.respond(request, from, {});
+  });
+  client.send_bypass().deposit(WireTag{77, 0});
+  client.call(server_ep, 0x10, 0x01, {}, [](const Message&) {});
+  kernel.run();
+  EXPECT_FALSE(server.receive_bypass().armed());
+}
+
+TEST_F(BindingFixture, UntaggedMessagesHaveNoTag) {
+  std::optional<WireTag> seen = WireTag{1, 1};
+  server.provide_method(0x10, 0x01, [&](const Message& request, const net::Endpoint& from) {
+    seen = server.receive_bypass().collect();
+    server.respond(request, from, {});
+  });
+  client.call(server_ep, 0x10, 0x01, {}, [](const Message&) {});
+  kernel.run();
+  EXPECT_FALSE(seen.has_value());
+  EXPECT_EQ(server.tagged_received(), 0u);
+}
+
+TEST_F(BindingFixture, MalformedPacketCounted) {
+  network.send(client_ep, server_ep, {0x01, 0x02, 0x03});
+  kernel.run();
+  EXPECT_EQ(server.malformed_received(), 1u);
+}
+
+TEST_F(BindingFixture, NotificationWithoutHandlerIsIgnored) {
+  server.notify(0x10, 0x8001, {1});  // no subscribers at all
+  kernel.run();
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace dear::someip

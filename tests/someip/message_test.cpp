@@ -1,0 +1,140 @@
+#include "someip/message.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dear::someip {
+namespace {
+
+Message sample_message() {
+  Message m;
+  m.service = 0x1234;
+  m.method = 0x8005;
+  m.client = 0x00AB;
+  m.session = 0x0042;
+  m.interface_version = 2;
+  m.type = MessageType::kNotification;
+  m.return_code = ReturnCode::kOk;
+  m.payload = {1, 2, 3, 4, 5};
+  return m;
+}
+
+TEST(Message, UntaggedRoundTrip) {
+  const Message original = sample_message();
+  const auto wire = original.encode();
+  EXPECT_EQ(wire.size(), kHeaderSize + 5);
+  const auto decoded = Message::decode(wire);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->service, original.service);
+  EXPECT_EQ(decoded->method, original.method);
+  EXPECT_EQ(decoded->client, original.client);
+  EXPECT_EQ(decoded->session, original.session);
+  EXPECT_EQ(decoded->interface_version, original.interface_version);
+  EXPECT_EQ(decoded->type, original.type);
+  EXPECT_EQ(decoded->return_code, original.return_code);
+  EXPECT_EQ(decoded->payload, original.payload);
+  EXPECT_FALSE(decoded->tag.has_value());
+}
+
+TEST(Message, TaggedRoundTrip) {
+  Message original = sample_message();
+  original.tag = WireTag{123'456'789'012LL, 7};
+  const auto wire = original.encode();
+  EXPECT_EQ(wire.size(), kHeaderSize + 5 + kTagTrailerSize);
+  const auto decoded = Message::decode(wire);
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_TRUE(decoded->tag.has_value());
+  EXPECT_EQ(decoded->tag->time, 123'456'789'012LL);
+  EXPECT_EQ(decoded->tag->microstep, 7u);
+  EXPECT_EQ(decoded->payload, original.payload);
+}
+
+TEST(Message, TaggedUsesExtendedProtocolVersion) {
+  Message original = sample_message();
+  original.tag = WireTag{1, 0};
+  const auto wire = original.encode();
+  EXPECT_EQ(wire[12], kTaggedProtocolVersion);
+  Message untagged = sample_message();
+  EXPECT_EQ(untagged.encode()[12], kProtocolVersion);
+}
+
+TEST(Message, NegativeTagTime) {
+  Message original = sample_message();
+  original.tag = WireTag{-500, 0};
+  const auto decoded = Message::decode(original.encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->tag->time, -500);
+}
+
+TEST(Message, EmptyPayload) {
+  Message original = sample_message();
+  original.payload.clear();
+  const auto decoded = Message::decode(original.encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->payload.empty());
+}
+
+TEST(Message, EmptyPayloadTagged) {
+  Message original = sample_message();
+  original.payload.clear();
+  original.tag = WireTag{42, 1};
+  const auto decoded = Message::decode(original.encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->payload.empty());
+  EXPECT_EQ(decoded->tag->time, 42);
+}
+
+TEST(Message, DecodeRejectsShortBuffer) {
+  const auto wire = sample_message().encode();
+  for (std::size_t cut = 1; cut < kHeaderSize; ++cut) {
+    std::vector<std::uint8_t> truncated(wire.begin(), wire.begin() + static_cast<long>(cut));
+    EXPECT_FALSE(Message::decode(truncated).has_value()) << "cut=" << cut;
+  }
+}
+
+TEST(Message, DecodeRejectsInconsistentLength) {
+  auto wire = sample_message().encode();
+  wire.push_back(0xFF);  // trailing garbage not covered by the length field
+  EXPECT_FALSE(Message::decode(wire).has_value());
+  auto wire2 = sample_message().encode();
+  wire2.pop_back();  // truncated payload
+  EXPECT_FALSE(Message::decode(wire2).has_value());
+}
+
+TEST(Message, DecodeRejectsUnknownProtocolVersion) {
+  auto wire = sample_message().encode();
+  wire[12] = 0x7F;
+  EXPECT_FALSE(Message::decode(wire).has_value());
+}
+
+TEST(Message, DecodeRejectsTaggedMessageTooShortForTrailer) {
+  Message m = sample_message();
+  m.payload.clear();
+  auto wire = m.encode();
+  wire[12] = kTaggedProtocolVersion;  // claims a trailer it does not have
+  EXPECT_FALSE(Message::decode(wire).has_value());
+}
+
+TEST(Message, TypePredicates) {
+  Message m;
+  m.type = MessageType::kRequest;
+  EXPECT_TRUE(m.is_request());
+  m.type = MessageType::kRequestNoReturn;
+  EXPECT_TRUE(m.is_request());
+  EXPECT_FALSE(m.is_response());
+  m.type = MessageType::kResponse;
+  EXPECT_TRUE(m.is_response());
+  m.type = MessageType::kError;
+  EXPECT_TRUE(m.is_response());
+  m.type = MessageType::kNotification;
+  EXPECT_TRUE(m.is_notification());
+}
+
+TEST(Types, EventIdPredicate) {
+  EXPECT_TRUE(is_event_id(0x8000));
+  EXPECT_TRUE(is_event_id(0xFFFF));
+  EXPECT_FALSE(is_event_id(0x7FFF));
+  EXPECT_FALSE(is_event_id(0x0001));
+}
+
+}  // namespace
+}  // namespace dear::someip

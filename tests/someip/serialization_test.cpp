@@ -1,0 +1,238 @@
+#include "someip/serialization.hpp"
+
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace dear::someip {
+namespace {
+
+TEST(Writer, BigEndianLayout) {
+  Writer w;
+  w.write_u16(0x1234);
+  w.write_u32(0xAABBCCDD);
+  const auto& bytes = w.bytes();
+  ASSERT_EQ(bytes.size(), 6u);
+  EXPECT_EQ(bytes[0], 0x12);
+  EXPECT_EQ(bytes[1], 0x34);
+  EXPECT_EQ(bytes[2], 0xAA);
+  EXPECT_EQ(bytes[3], 0xBB);
+  EXPECT_EQ(bytes[4], 0xCC);
+  EXPECT_EQ(bytes[5], 0xDD);
+}
+
+TEST(Serialization, PrimitiveRoundTrip) {
+  Writer w;
+  someip_serialize(w, std::uint8_t{0xFE});
+  someip_serialize(w, std::uint16_t{0xBEEF});
+  someip_serialize(w, std::uint32_t{0xDEADBEEF});
+  someip_serialize(w, std::uint64_t{0x0123456789ABCDEFULL});
+  someip_serialize(w, std::int8_t{-5});
+  someip_serialize(w, std::int16_t{-3000});
+  someip_serialize(w, std::int32_t{-2'000'000'000});
+  someip_serialize(w, std::int64_t{-9'000'000'000'000LL});
+  someip_serialize(w, 3.5f);
+  someip_serialize(w, -2.25);
+  someip_serialize(w, true);
+
+  Reader r(w.bytes());
+  std::uint8_t u8;
+  std::uint16_t u16;
+  std::uint32_t u32;
+  std::uint64_t u64;
+  std::int8_t i8;
+  std::int16_t i16;
+  std::int32_t i32;
+  std::int64_t i64;
+  float f32;
+  double f64;
+  bool flag;
+  someip_deserialize(r, u8);
+  someip_deserialize(r, u16);
+  someip_deserialize(r, u32);
+  someip_deserialize(r, u64);
+  someip_deserialize(r, i8);
+  someip_deserialize(r, i16);
+  someip_deserialize(r, i32);
+  someip_deserialize(r, i64);
+  someip_deserialize(r, f32);
+  someip_deserialize(r, f64);
+  someip_deserialize(r, flag);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.remaining(), 0u);
+  EXPECT_EQ(u8, 0xFE);
+  EXPECT_EQ(u16, 0xBEEF);
+  EXPECT_EQ(u32, 0xDEADBEEF);
+  EXPECT_EQ(u64, 0x0123456789ABCDEFULL);
+  EXPECT_EQ(i8, -5);
+  EXPECT_EQ(i16, -3000);
+  EXPECT_EQ(i32, -2'000'000'000);
+  EXPECT_EQ(i64, -9'000'000'000'000LL);
+  EXPECT_FLOAT_EQ(f32, 3.5f);
+  EXPECT_DOUBLE_EQ(f64, -2.25);
+  EXPECT_TRUE(flag);
+}
+
+TEST(Serialization, SpecialFloats) {
+  Writer w;
+  someip_serialize(w, std::numeric_limits<double>::infinity());
+  someip_serialize(w, std::nan(""));
+  Reader r(w.bytes());
+  double inf;
+  double nan_value;
+  someip_deserialize(r, inf);
+  someip_deserialize(r, nan_value);
+  EXPECT_TRUE(std::isinf(inf));
+  EXPECT_TRUE(std::isnan(nan_value));
+}
+
+TEST(Serialization, StringRoundTrip) {
+  Writer w;
+  someip_serialize(w, std::string("hello SOME/IP"));
+  someip_serialize(w, std::string());
+  someip_serialize(w, std::string("\0binary\xff", 8));
+  Reader r(w.bytes());
+  std::string a;
+  std::string b;
+  std::string c;
+  someip_deserialize(r, a);
+  someip_deserialize(r, b);
+  someip_deserialize(r, c);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(a, "hello SOME/IP");
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(c.size(), 8u);
+}
+
+TEST(Serialization, VectorRoundTrip) {
+  Writer w;
+  someip_serialize(w, std::vector<std::uint32_t>{1, 2, 3});
+  someip_serialize(w, std::vector<std::string>{"a", "bb"});
+  someip_serialize(w, std::vector<double>{});
+  Reader r(w.bytes());
+  std::vector<std::uint32_t> ints;
+  std::vector<std::string> strings;
+  std::vector<double> empty;
+  someip_deserialize(r, ints);
+  someip_deserialize(r, strings);
+  someip_deserialize(r, empty);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(ints, (std::vector<std::uint32_t>{1, 2, 3}));
+  EXPECT_EQ(strings, (std::vector<std::string>{"a", "bb"}));
+  EXPECT_TRUE(empty.empty());
+}
+
+TEST(Reader, ShortBufferFails) {
+  const std::vector<std::uint8_t> short_buffer{0x01, 0x02};
+  Reader r(short_buffer);
+  (void)r.read_u32();
+  EXPECT_FALSE(r.ok());
+  // Subsequent reads stay failed and return zero.
+  EXPECT_EQ(r.read_u8(), 0u);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Reader, StringLengthBeyondBufferFails) {
+  Writer w;
+  w.write_u32(1000);  // claims 1000 bytes
+  w.write_u8('x');
+  Reader r(w.bytes());
+  const std::string s = r.read_string();
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(Reader, VectorCountBeyondBufferFails) {
+  Writer w;
+  w.write_u32(1'000'000);  // claims a million elements
+  Reader r(w.bytes());
+  std::vector<std::uint64_t> v;
+  someip_deserialize(r, v);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Reader, ExplicitFail) {
+  Writer w;
+  w.write_u8(1);
+  Reader r(w.bytes());
+  r.fail();
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.read_u8(), 0u);
+}
+
+TEST(PayloadHelpers, EncodeDecodeMultipleArguments) {
+  const auto payload = encode_payload(std::int32_t{-7}, std::string("arg"), true);
+  std::int32_t a = 0;
+  std::string b;
+  bool c = false;
+  EXPECT_TRUE(decode_payload(payload, a, b, c));
+  EXPECT_EQ(a, -7);
+  EXPECT_EQ(b, "arg");
+  EXPECT_TRUE(c);
+}
+
+TEST(PayloadHelpers, DecodeWrongShapeFails) {
+  const auto payload = encode_payload(std::uint8_t{1});
+  std::uint64_t wide = 0;
+  EXPECT_FALSE(decode_payload(payload, wide));
+}
+
+TEST(PayloadHelpers, EmptyPayload) {
+  const auto payload = encode_payload();
+  EXPECT_TRUE(payload.empty());
+  EXPECT_TRUE(decode_payload(payload));
+}
+
+/// Property: randomly generated payloads of mixed types always round-trip
+/// exactly, and truncating them anywhere always fails cleanly.
+class SerializationFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SerializationFuzzTest, RandomPayloadRoundTrip) {
+  common::Rng rng(GetParam());
+  const auto random_string = [&rng] {
+    std::string s(rng.next_below(40), '\0');
+    for (char& c : s) {
+      c = static_cast<char>(rng.next_below(256));
+    }
+    return s;
+  };
+  const std::uint64_t a = rng();
+  const std::int32_t b = static_cast<std::int32_t>(rng());
+  const std::string c = random_string();
+  std::vector<std::uint16_t> d(rng.next_below(20));
+  for (auto& value : d) {
+    value = static_cast<std::uint16_t>(rng());
+  }
+  const double e = rng.uniform01() * 1e9;
+  const bool f = rng.chance(0.5);
+
+  const auto payload = encode_payload(a, b, c, d, e, f);
+
+  std::uint64_t a2 = 0;
+  std::int32_t b2 = 0;
+  std::string c2;
+  std::vector<std::uint16_t> d2;
+  double e2 = 0;
+  bool f2 = false;
+  ASSERT_TRUE(decode_payload(payload, a2, b2, c2, d2, e2, f2));
+  EXPECT_EQ(a2, a);
+  EXPECT_EQ(b2, b);
+  EXPECT_EQ(c2, c);
+  EXPECT_EQ(d2, d);
+  EXPECT_DOUBLE_EQ(e2, e);
+  EXPECT_EQ(f2, f);
+
+  // Any strict prefix must fail to decode (never crash, never succeed).
+  for (std::size_t cut = 0; cut < payload.size(); ++cut) {
+    const std::vector<std::uint8_t> truncated(payload.begin(),
+                                              payload.begin() + static_cast<long>(cut));
+    EXPECT_FALSE(decode_payload(truncated, a2, b2, c2, d2, e2, f2)) << "cut=" << cut;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SerializationFuzzTest, ::testing::Range<std::uint64_t>(1, 17));
+
+}  // namespace
+}  // namespace dear::someip

@@ -1,0 +1,95 @@
+#include "someip/service_discovery.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/kernel.hpp"
+#include "sim/sim_executor.hpp"
+
+namespace dear::someip {
+namespace {
+
+struct SdFixture : public ::testing::Test {
+  sim::Kernel kernel;
+  sim::ImmediateSimExecutor executor{kernel};
+  ServiceDiscovery sd;
+};
+
+TEST_F(SdFixture, OfferFindStopOffer) {
+  const ServiceKey key{0x1001, 1};
+  EXPECT_FALSE(sd.find(key).has_value());
+  sd.offer(key, {1, 10});
+  const auto endpoint = sd.find(key);
+  ASSERT_TRUE(endpoint.has_value());
+  EXPECT_EQ(*endpoint, (net::Endpoint{1, 10}));
+  EXPECT_EQ(sd.offered_count(), 1u);
+  sd.stop_offer(key);
+  EXPECT_FALSE(sd.find(key).has_value());
+  EXPECT_EQ(sd.offered_count(), 0u);
+}
+
+TEST_F(SdFixture, ReofferReplacesEndpoint) {
+  const ServiceKey key{0x1001, 1};
+  sd.offer(key, {1, 10});
+  sd.offer(key, {2, 20});
+  EXPECT_EQ(sd.find(key)->node, 2u);
+  EXPECT_EQ(sd.offered_count(), 1u);
+}
+
+TEST_F(SdFixture, InstancesAreDistinct) {
+  sd.offer({0x1001, 1}, {1, 10});
+  sd.offer({0x1001, 2}, {1, 11});
+  EXPECT_EQ(sd.find({0x1001, 1})->port, 10u);
+  EXPECT_EQ(sd.find({0x1001, 2})->port, 11u);
+  EXPECT_FALSE(sd.find({0x1001, 3}).has_value());
+}
+
+TEST_F(SdFixture, WatchFiresOnOfferAndStop) {
+  const ServiceKey key{0x2002, 1};
+  std::vector<std::optional<net::Endpoint>> events;
+  sd.watch(key, executor, [&](std::optional<net::Endpoint> ep) { events.push_back(ep); });
+  kernel.run();
+  EXPECT_TRUE(events.empty());  // not offered yet, no initial callback
+  sd.offer(key, {3, 30});
+  kernel.run();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0]->node, 3u);
+  sd.stop_offer(key);
+  kernel.run();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_FALSE(events[1].has_value());
+}
+
+TEST_F(SdFixture, WatchFiresImmediatelyWhenAlreadyOffered) {
+  const ServiceKey key{0x2002, 1};
+  sd.offer(key, {3, 30});
+  std::vector<std::optional<net::Endpoint>> events;
+  sd.watch(key, executor, [&](std::optional<net::Endpoint> ep) { events.push_back(ep); });
+  kernel.run();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_TRUE(events[0].has_value());
+}
+
+TEST_F(SdFixture, UnwatchStopsNotifications) {
+  const ServiceKey key{0x2002, 1};
+  int count = 0;
+  const WatchId id = sd.watch(key, executor, [&](auto) { ++count; });
+  sd.offer(key, {1, 1});
+  kernel.run();
+  EXPECT_EQ(count, 1);
+  sd.unwatch(id);
+  sd.stop_offer(key);
+  sd.offer(key, {1, 2});
+  kernel.run();
+  EXPECT_EQ(count, 1);
+}
+
+TEST_F(SdFixture, WatchersForOtherKeysNotNotified) {
+  int count = 0;
+  sd.watch({0x3003, 1}, executor, [&](auto) { ++count; });
+  sd.offer({0x4004, 1}, {1, 1});
+  kernel.run();
+  EXPECT_EQ(count, 0);
+}
+
+}  // namespace
+}  // namespace dear::someip
