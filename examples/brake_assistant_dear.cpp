@@ -6,7 +6,9 @@
 // and a deterministic output digest.
 //
 // Flags: --frames N (default 20000), --seed N (default 7),
-//        --deadline-scale F (default 1.0; try 0.5 to see the trade-off)
+//        --deadline-scale F (default 1.0; try 0.5 to see the trade-off),
+//        --local-transport (deploy inter-SWC services over the zero-copy
+//        in-process binding instead of SOME/IP; same outputs and tags)
 #include <cstdio>
 
 #include "brake/dear_pipeline.hpp"
@@ -20,10 +22,14 @@ int main(int argc, char** argv) {
   config.platform_seed = static_cast<std::uint64_t>(flags.get_int("seed", 7));
   config.camera_seed = config.platform_seed + 1000;
   config.deadline_scale = flags.get_double("deadline-scale", 1.0);
+  config.local_transport = flags.get_bool("local-transport", false);
 
-  std::printf("running the DEAR brake assistant: %llu frames, seed %llu, deadline scale %.2f\n",
-              static_cast<unsigned long long>(config.frames),
-              static_cast<unsigned long long>(config.platform_seed), config.deadline_scale);
+  std::printf(
+      "running the DEAR brake assistant: %llu frames, seed %llu, deadline scale %.2f, "
+      "transport %s\n",
+      static_cast<unsigned long long>(config.frames),
+      static_cast<unsigned long long>(config.platform_seed), config.deadline_scale,
+      config.local_transport ? "local (zero-copy in-process)" : "someip");
 
   const auto result = dear::brake::run_dear_pipeline(config);
 

@@ -1,0 +1,28 @@
+#include "ara/com/binding_registry.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace dear::ara::com {
+
+TransportBinding& BindingRegistry::attach(BackendKind kind,
+                                          std::unique_ptr<TransportBinding> binding) {
+  auto& slot = backends_[kind];
+  if (slot != nullptr) {
+    // Proxies, skeletons and transactors resolve their binding once and
+    // keep a raw pointer; destroying an attached backend would leave them
+    // dangling. Fail fast instead of replacing silently.
+    throw std::logic_error(std::string("BindingRegistry: backend '") + to_string(kind) +
+                           "' is already attached; backends cannot be replaced once attached");
+  }
+  slot = std::move(binding);
+  return *slot;
+}
+
+TransportBinding* BindingRegistry::find(BackendKind kind) const noexcept {
+  const auto it = backends_.find(kind);
+  return it == backends_.end() ? nullptr : it->second.get();
+}
+
+}  // namespace dear::ara::com

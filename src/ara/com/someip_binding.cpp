@@ -1,0 +1,82 @@
+#include "ara/com/someip_binding.hpp"
+
+namespace dear::ara::com {
+
+SomeIpBinding::SomeIpBinding(net::Network& network, common::Executor& executor, net::Endpoint self,
+                             someip::ClientId client_id)
+    : binding_(network, executor, self, client_id) {}
+
+someip::SessionId SomeIpBinding::call(const net::Endpoint& server, someip::ServiceId service,
+                                      someip::MethodId method, std::vector<std::uint8_t> payload,
+                                      ResponseHandler on_response, Duration timeout) {
+  return binding_.call(server, service, method, std::move(payload), std::move(on_response),
+                       timeout);
+}
+
+void SomeIpBinding::call_no_return(const net::Endpoint& server, someip::ServiceId service,
+                                   someip::MethodId method, std::vector<std::uint8_t> payload) {
+  binding_.call_no_return(server, service, method, std::move(payload));
+}
+
+void SomeIpBinding::subscribe(const net::Endpoint& server, someip::ServiceId service,
+                              someip::EventId event, NotificationHandler handler) {
+  binding_.subscribe(server, service, event, std::move(handler));
+}
+
+void SomeIpBinding::unsubscribe(const net::Endpoint& server, someip::ServiceId service,
+                                someip::EventId event) {
+  binding_.unsubscribe(server, service, event);
+}
+
+void SomeIpBinding::provide_method(someip::ServiceId service, someip::MethodId method,
+                                   RequestHandler handler) {
+  binding_.provide_method(service, method, std::move(handler));
+}
+
+void SomeIpBinding::remove_method(someip::ServiceId service, someip::MethodId method) {
+  binding_.remove_method(service, method);
+}
+
+void SomeIpBinding::respond(const someip::Message& request, const net::Endpoint& to,
+                            std::vector<std::uint8_t> payload, someip::ReturnCode return_code) {
+  binding_.respond(request, to, std::move(payload), return_code);
+}
+
+void SomeIpBinding::notify(someip::ServiceId service, someip::EventId event,
+                           std::vector<std::uint8_t> payload) {
+  binding_.notify(service, event, std::move(payload));
+}
+
+std::size_t SomeIpBinding::subscriber_count(someip::ServiceId service,
+                                            someip::EventId event) const {
+  return binding_.subscriber_count(service, event);
+}
+
+void SomeIpBinding::attach_send_tag(const someip::WireTag& tag) {
+  binding_.send_bypass().deposit(tag);
+}
+
+std::optional<someip::WireTag> SomeIpBinding::collect_received_tag() {
+  return binding_.receive_bypass().collect();
+}
+
+bool SomeIpBinding::received_tag_armed() const { return binding_.receive_bypass().armed(); }
+
+net::Endpoint SomeIpBinding::endpoint() const noexcept { return binding_.endpoint(); }
+
+someip::ClientId SomeIpBinding::client_id() const noexcept { return binding_.client_id(); }
+
+TransportStats SomeIpBinding::stats() const {
+  TransportStats stats;
+  stats.requests_sent = binding_.requests_sent();
+  stats.responses_received = binding_.responses_received();
+  stats.notifications_sent = binding_.notifications_sent();
+  stats.notifications_received = binding_.notifications_received();
+  stats.tagged_sent = binding_.tagged_sent();
+  stats.tagged_received = binding_.tagged_received();
+  stats.malformed_received = binding_.malformed_received();
+  stats.timeouts = binding_.timeouts();
+  return stats;
+}
+
+}  // namespace dear::ara::com

@@ -1,0 +1,59 @@
+// SOME/IP backend of the transport-agnostic binding contract.
+//
+// A thin adapter: the protocol engine (framing, session matching,
+// subscription control messages, the DEAR tag trailer) lives unchanged in
+// someip::Binding; this class maps it onto the TransportBinding interface
+// so the ara::com layer never names the concrete transport.
+#pragma once
+
+#include "ara/com/transport_binding.hpp"
+#include "someip/binding.hpp"
+
+namespace dear::ara::com {
+
+class SomeIpBinding final : public TransportBinding {
+ public:
+  SomeIpBinding(net::Network& network, common::Executor& executor, net::Endpoint self,
+                someip::ClientId client_id);
+
+  // --- TransportBinding ----------------------------------------------------
+
+  someip::SessionId call(const net::Endpoint& server, someip::ServiceId service,
+                         someip::MethodId method, std::vector<std::uint8_t> payload,
+                         ResponseHandler on_response, Duration timeout) override;
+  void call_no_return(const net::Endpoint& server, someip::ServiceId service,
+                      someip::MethodId method, std::vector<std::uint8_t> payload) override;
+  void subscribe(const net::Endpoint& server, someip::ServiceId service, someip::EventId event,
+                 NotificationHandler handler) override;
+  void unsubscribe(const net::Endpoint& server, someip::ServiceId service,
+                   someip::EventId event) override;
+
+  void provide_method(someip::ServiceId service, someip::MethodId method,
+                      RequestHandler handler) override;
+  void remove_method(someip::ServiceId service, someip::MethodId method) override;
+  void respond(const someip::Message& request, const net::Endpoint& to,
+               std::vector<std::uint8_t> payload, someip::ReturnCode return_code) override;
+  void notify(someip::ServiceId service, someip::EventId event,
+              std::vector<std::uint8_t> payload) override;
+  [[nodiscard]] std::size_t subscriber_count(someip::ServiceId service,
+                                             someip::EventId event) const override;
+
+  void attach_send_tag(const someip::WireTag& tag) override;
+  [[nodiscard]] std::optional<someip::WireTag> collect_received_tag() override;
+  [[nodiscard]] bool received_tag_armed() const override;
+
+  [[nodiscard]] net::Endpoint endpoint() const noexcept override;
+  [[nodiscard]] someip::ClientId client_id() const noexcept override;
+  [[nodiscard]] TransportStats stats() const override;
+  [[nodiscard]] std::string_view transport_name() const noexcept override { return "someip"; }
+
+  /// The underlying protocol engine, for wire-level tests and stats that
+  /// have no transport-agnostic meaning (e.g. malformed-frame counters).
+  [[nodiscard]] someip::Binding& wire() noexcept { return binding_; }
+  [[nodiscard]] const someip::Binding& wire() const noexcept { return binding_; }
+
+ private:
+  someip::Binding binding_;
+};
+
+}  // namespace dear::ara::com

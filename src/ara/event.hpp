@@ -21,14 +21,21 @@ class SkeletonEvent {
   SkeletonEvent(ServiceSkeleton& skeleton, someip::EventId event)
       : skeleton_(skeleton), event_(event) {}
 
-  /// Sends one sample to all current subscribers.
+  /// Sends one sample to all current subscribers. No-op on a
+  /// transport-less skeleton.
   void Send(const T& sample) {
-    skeleton_.runtime().binding().notify(skeleton_.instance().service, event_,
-                                         someip::encode_payload(sample));
+    com::TransportBinding* binding = skeleton_.binding();
+    if (binding == nullptr) {
+      return;
+    }
+    binding->notify(skeleton_.instance().service, event_, someip::encode_payload(sample));
   }
 
   [[nodiscard]] std::size_t subscriber_count() const {
-    return skeleton_.runtime().binding().subscriber_count(skeleton_.instance().service, event_);
+    com::TransportBinding* binding = skeleton_.binding();
+    return binding == nullptr
+               ? 0
+               : binding->subscriber_count(skeleton_.instance().service, event_);
   }
 
   [[nodiscard]] someip::EventId id() const noexcept { return event_; }
@@ -70,9 +77,14 @@ class ProxyEvent {
     immediate_ = true;
   }
 
+  /// No-op on a transport-less proxy (subscribed() stays false).
   void Subscribe() {
+    com::TransportBinding* binding = proxy_.binding();
+    if (binding == nullptr) {
+      return;
+    }
     subscribed_ = true;
-    proxy_.runtime().binding().subscribe(
+    binding->subscribe(
         proxy_.server(), proxy_.instance().service, event_,
         [this](const someip::Message& message) {
           T sample{};
@@ -92,8 +104,12 @@ class ProxyEvent {
   }
 
   void Unsubscribe() {
+    com::TransportBinding* binding = proxy_.binding();
     subscribed_ = false;
-    proxy_.runtime().binding().unsubscribe(proxy_.server(), proxy_.instance().service, event_);
+    if (binding == nullptr) {
+      return;
+    }
+    binding->unsubscribe(proxy_.server(), proxy_.instance().service, event_);
   }
 
   [[nodiscard]] bool subscribed() const noexcept { return subscribed_; }

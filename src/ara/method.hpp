@@ -57,6 +57,9 @@ class SkeletonMethod {
 
  private:
   void on_request(const someip::Message& request, const net::Endpoint& from) {
+    // Registration implies an attached transport (register_method no-ops
+    // on transport-less skeletons), so the binding is non-null here.
+    com::TransportBinding& binding = *skeleton_.binding();
     std::tuple<std::decay_t<Args>...> arguments;
     const bool ok = std::apply(
         [&request](auto&... unpacked) {
@@ -64,26 +67,23 @@ class SkeletonMethod {
         },
         arguments);
     if (!ok) {
-      skeleton_.runtime().binding().respond(request, from, {},
-                                            someip::ReturnCode::kMalformedMessage);
+      binding.respond(request, from, {}, someip::ReturnCode::kMalformedMessage);
       return;
     }
     // Copy the request header; the dispatch may outlive the receive path.
-    auto invoke = [this, request, from, arguments = std::move(arguments)] {
+    auto invoke = [this, &binding, request, from, arguments = std::move(arguments)] {
       if (!handler_) {
-        skeleton_.runtime().binding().respond(request, from, {},
-                                              someip::ReturnCode::kUnknownMethod);
+        binding.respond(request, from, {}, someip::ReturnCode::kUnknownMethod);
         return;
       }
       Future<Res> future = std::apply(handler_, arguments);
       // "As soon as the corresponding promise is fulfilled, the server
       // sends a message back to the client" (paper §II.A).
-      future.then([this, request, from](const Result<Res>& result) {
+      future.then([&binding, request, from](const Result<Res>& result) {
         if (result.has_value()) {
-          skeleton_.runtime().binding().respond(request, from,
-                                                someip::encode_payload(result.value()));
+          binding.respond(request, from, someip::encode_payload(result.value()));
         } else {
-          skeleton_.runtime().binding().respond(request, from, {}, someip::ReturnCode::kNotOk);
+          binding.respond(request, from, {}, someip::ReturnCode::kNotOk);
         }
       });
     };
@@ -105,18 +105,23 @@ class ProxyMethod {
  public:
   ProxyMethod(ServiceProxy& proxy, someip::MethodId method) : proxy_(proxy), method_(method) {}
 
-  /// Invokes the remote method; returns immediately with a Future.
+  /// Invokes the remote method; returns immediately with a Future. On a
+  /// transport-less proxy the future resolves to kNetworkBindingFailure.
   [[nodiscard]] Future<Res> operator()(const Args&... args) {
     Promise<Res> promise;
     Future<Res> future = promise.get_future();
-    proxy_.runtime().binding().call(
+    com::TransportBinding* binding = proxy_.binding();
+    if (binding == nullptr) {
+      promise.SetError(ComErrc::kNetworkBindingFailure);
+      return future;
+    }
+    binding->call(
         proxy_.server(), proxy_.instance().service, method_, someip::encode_payload(args...),
         [promise](const someip::Message& response) mutable {
           if (response.type == someip::MessageType::kError ||
               response.return_code != someip::ReturnCode::kOk) {
-            promise.SetError(response.return_code == someip::ReturnCode::kTimeout
-                                 ? ComErrc::kCommunicationTimeout
-                                 : ComErrc::kRemoteError);
+            const ComErrc error = to_com_error(response.return_code);
+            promise.SetError(error == ComErrc::kOk ? ComErrc::kRemoteError : error);
             return;
           }
           std::decay_t<Res> value{};

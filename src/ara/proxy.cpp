@@ -3,6 +3,9 @@
 namespace dear::ara {
 
 ServiceProxy::ServiceProxy(Runtime& runtime, InstanceIdentifier instance, net::Endpoint server)
-    : runtime_(runtime), instance_(instance), server_(server) {}
+    : runtime_(runtime),
+      instance_(instance),
+      server_(server),
+      binding_(runtime.binding_for(instance)) {}
 
 }  // namespace dear::ara

@@ -3,6 +3,13 @@
 // "A proxy is an object that a client receives when requesting a service"
 // (paper §II.A). Generated proxy code is modeled by subclassing
 // ServiceProxy and declaring ProxyMethod / ProxyEvent / ProxyField members.
+//
+// The transport is resolved once, at construction, through the runtime's
+// deployment config: a proxy for an instance deployed over SOME/IP talks
+// to the SOME/IP backend, one for a co-located instance to the local
+// backend. When the configured backend is not attached, the proxy is
+// transport-less: method calls resolve to ComErrc::kNetworkBindingFailure
+// and subscriptions are inert.
 #pragma once
 
 #include <optional>
@@ -37,6 +44,11 @@ class ServiceProxy {
   [[nodiscard]] InstanceIdentifier instance() const noexcept { return instance_; }
   [[nodiscard]] net::Endpoint server() const noexcept { return server_; }
 
+  /// The transport this proxy was deployed onto, or nullptr when the
+  /// configured backend is not attached to the runtime.
+  [[nodiscard]] com::TransportBinding* binding() noexcept { return binding_; }
+  [[nodiscard]] bool has_binding() const noexcept { return binding_ != nullptr; }
+
   /// Response deadline for method calls made through this proxy; 0 disables
   /// the timeout.
   void set_call_timeout(Duration timeout) noexcept { call_timeout_ = timeout; }
@@ -46,6 +58,7 @@ class ServiceProxy {
   Runtime& runtime_;
   InstanceIdentifier instance_;
   net::Endpoint server_;
+  com::TransportBinding* binding_;
   Duration call_timeout_{0};
 };
 

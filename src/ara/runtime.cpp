@@ -1,10 +1,58 @@
 #include "ara/runtime.hpp"
 
+#include <stdexcept>
+#include <string>
+
+#include "ara/com/someip_binding.hpp"
+
 namespace dear::ara {
 
 Runtime::Runtime(net::Network& network, someip::ServiceDiscovery& discovery,
                  common::Executor& dispatcher, net::Endpoint self, someip::ClientId client_id)
-    : discovery_(discovery), dispatcher_(dispatcher), binding_(network, dispatcher, self, client_id) {}
+    : discovery_(discovery),
+      dispatcher_(dispatcher),
+      default_binding_(&registry_.attach(
+          com::BackendKind::kSomeIp,
+          std::make_unique<com::SomeIpBinding>(network, dispatcher, self, client_id))) {
+  deployment_.default_backend = com::BackendKind::kSomeIp;
+}
+
+Runtime::Runtime(someip::ServiceDiscovery& discovery, common::Executor& dispatcher,
+                 com::BackendKind kind, std::unique_ptr<com::TransportBinding> backend)
+    : discovery_(discovery),
+      dispatcher_(dispatcher),
+      default_binding_(&registry_.attach(kind, std::move(backend))) {
+  deployment_.default_backend = kind;
+}
+
+com::TransportBinding& Runtime::attach_backend(com::BackendKind kind,
+                                               std::unique_ptr<com::TransportBinding> backend) {
+  com::TransportBinding& attached = registry_.attach(kind, std::move(backend));
+  if (kind == deployment_.default_backend) {
+    default_binding_ = &attached;
+  }
+  return attached;
+}
+
+void Runtime::deploy(InstanceIdentifier instance, com::BackendKind kind) {
+  deployment_.instance_backends[instance] = kind;
+}
+
+void Runtime::set_deployment(com::DeploymentConfig deployment) {
+  com::TransportBinding* binding = registry_.find(deployment.default_backend);
+  if (binding == nullptr) {
+    // binding() must never be null and must agree with deployment();
+    // surface the misconfiguration instead of masking it.
+    throw std::logic_error(std::string("Runtime: deployment default backend '") +
+                           com::to_string(deployment.default_backend) + "' is not attached");
+  }
+  default_binding_ = binding;
+  deployment_ = std::move(deployment);
+}
+
+com::TransportBinding* Runtime::binding_for(InstanceIdentifier instance) noexcept {
+  return registry_.find(deployment_.backend_for(instance));
+}
 
 std::optional<net::Endpoint> Runtime::resolve(InstanceIdentifier id) const {
   return discovery_.find({id.service, id.instance});

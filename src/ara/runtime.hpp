@@ -2,17 +2,20 @@
 //
 // Each SWC "can be considered a full program as it is mapped to a process
 // on the target platform" (paper §II.A). One Runtime instance models that
-// process: it owns the process's SOME/IP binding, talks to service
-// discovery, and provides the dispatch executor onto which incoming method
-// calls and event handlers are scheduled.
+// process: it owns the process's transport backends (a BindingRegistry of
+// TransportBinding implementations), talks to service discovery, carries
+// the deployment config that selects a backend per service instance, and
+// provides the dispatch executor onto which incoming method calls and
+// event handlers are scheduled.
 #pragma once
 
 #include <memory>
 #include <optional>
 
+#include "ara/com/binding_registry.hpp"
+#include "ara/com/transport_binding.hpp"
 #include "common/executor.hpp"
 #include "net/network.hpp"
-#include "someip/binding.hpp"
 #include "someip/service_discovery.hpp"
 #include "ara/types.hpp"
 
@@ -20,11 +23,48 @@ namespace dear::ara {
 
 class Runtime {
  public:
+  /// Networked runtime: constructs a SOME/IP backend bound to `self` and
+  /// makes it the default deployment.
   Runtime(net::Network& network, someip::ServiceDiscovery& discovery,
           common::Executor& dispatcher, net::Endpoint self, someip::ClientId client_id);
 
+  /// Bring-your-own-backend runtime: `backend` is attached as `kind` and
+  /// becomes the default deployment (e.g. a LocalBinding for a pure
+  /// in-process topology).
+  Runtime(someip::ServiceDiscovery& discovery, common::Executor& dispatcher,
+          com::BackendKind kind, std::unique_ptr<com::TransportBinding> backend);
+
   Runtime(const Runtime&) = delete;
   Runtime& operator=(const Runtime&) = delete;
+
+  // --- deployment -----------------------------------------------------------
+
+  /// Attaches an additional backend; returns it. Attach backends before
+  /// constructing the proxies/skeletons that use them; a kind can be
+  /// attached only once (std::logic_error otherwise — existing proxies
+  /// hold raw pointers into the registry).
+  com::TransportBinding& attach_backend(com::BackendKind kind,
+                                        std::unique_ptr<com::TransportBinding> backend);
+
+  /// Routes `instance` over `kind` for this process.
+  void deploy(InstanceIdentifier instance, com::BackendKind kind);
+
+  /// Replaces the whole deployment config (default + per-instance map).
+  /// Throws std::logic_error when the new default backend is not attached.
+  void set_deployment(com::DeploymentConfig deployment);
+
+  [[nodiscard]] const com::DeploymentConfig& deployment() const noexcept { return deployment_; }
+  [[nodiscard]] com::BindingRegistry& registry() noexcept { return registry_; }
+
+  /// The backend deployed for `instance`, or nullptr when the configured
+  /// kind has no attached backend (surfaced by the typed layer as
+  /// ComErrc::kNetworkBindingFailure).
+  [[nodiscard]] com::TransportBinding* binding_for(InstanceIdentifier instance) noexcept;
+
+  /// The default-deployment backend (never null).
+  [[nodiscard]] com::TransportBinding& binding() noexcept { return *default_binding_; }
+
+  // --- service discovery ----------------------------------------------------
 
   /// One-shot service lookup (ara::com FindService).
   [[nodiscard]] std::optional<net::Endpoint> resolve(InstanceIdentifier id) const;
@@ -36,15 +76,16 @@ class Runtime {
 
   void stop_find_service(someip::WatchId watch_id);
 
-  [[nodiscard]] someip::Binding& binding() noexcept { return binding_; }
   [[nodiscard]] someip::ServiceDiscovery& discovery() noexcept { return discovery_; }
   [[nodiscard]] common::Executor& dispatcher() noexcept { return dispatcher_; }
-  [[nodiscard]] net::Endpoint endpoint() const noexcept { return binding_.endpoint(); }
+  [[nodiscard]] net::Endpoint endpoint() const noexcept { return default_binding_->endpoint(); }
 
  private:
   someip::ServiceDiscovery& discovery_;
   common::Executor& dispatcher_;
-  someip::Binding binding_;
+  com::BindingRegistry registry_;
+  com::DeploymentConfig deployment_;
+  com::TransportBinding* default_binding_;  // owned by registry_, never null
 };
 
 }  // namespace dear::ara

@@ -4,7 +4,8 @@ namespace dear::ara {
 
 ServiceSkeleton::ServiceSkeleton(Runtime& runtime, InstanceIdentifier instance,
                                  MethodCallProcessingMode mode)
-    : runtime_(runtime), instance_(instance), mode_(mode) {
+    : runtime_(runtime), instance_(instance), mode_(mode),
+      binding_(runtime.binding_for(instance)) {
   if (mode_ == MethodCallProcessingMode::kEventSingleThread) {
     strand_ = std::make_unique<common::SerialExecutor>(runtime_.dispatcher());
   }
@@ -12,18 +13,19 @@ ServiceSkeleton::ServiceSkeleton(Runtime& runtime, InstanceIdentifier instance,
 
 ServiceSkeleton::~ServiceSkeleton() {
   StopOfferService();
-  for (const someip::MethodId method : registered_methods_) {
-    runtime_.binding().remove_method(instance_.service, method);
+  if (binding_ != nullptr) {
+    for (const someip::MethodId method : registered_methods_) {
+      binding_->remove_method(instance_.service, method);
+    }
   }
 }
 
 void ServiceSkeleton::OfferService() {
-  if (offered_) {
+  if (offered_ || binding_ == nullptr) {
     return;
   }
   offered_ = true;
-  runtime_.discovery().offer({instance_.service, instance_.instance},
-                             runtime_.binding().endpoint());
+  runtime_.discovery().offer({instance_.service, instance_.instance}, binding_->endpoint());
 }
 
 void ServiceSkeleton::StopOfferService() {
@@ -37,8 +39,11 @@ void ServiceSkeleton::StopOfferService() {
 void ServiceSkeleton::register_method(
     someip::MethodId method,
     std::function<void(const someip::Message&, const net::Endpoint&)> processor) {
+  if (binding_ == nullptr) {
+    return;  // transport-less instance: calls can never arrive
+  }
   registered_methods_.push_back(method);
-  runtime_.binding().provide_method(instance_.service, method, std::move(processor));
+  binding_->provide_method(instance_.service, method, std::move(processor));
 }
 
 void ServiceSkeleton::dispatch(std::function<void()> work) {

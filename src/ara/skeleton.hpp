@@ -52,9 +52,16 @@ class ServiceSkeleton {
   [[nodiscard]] MethodCallProcessingMode processing_mode() const noexcept { return mode_; }
   [[nodiscard]] bool offered() const noexcept { return offered_; }
 
+  /// The transport this skeleton was deployed onto, or nullptr when the
+  /// configured backend is not attached (the instance then cannot be
+  /// offered and registers no methods).
+  [[nodiscard]] com::TransportBinding* binding() noexcept { return binding_; }
+  [[nodiscard]] bool has_binding() const noexcept { return binding_ != nullptr; }
+
   // --- internal API used by SkeletonMethod/Event/Field ----------------------
 
-  /// Registers a raw request processor for a method id.
+  /// Registers a raw request processor for a method id. No-op on a
+  /// transport-less skeleton.
   void register_method(someip::MethodId method,
                        std::function<void(const someip::Message&, const net::Endpoint&)> processor);
 
@@ -66,6 +73,7 @@ class ServiceSkeleton {
   Runtime& runtime_;
   InstanceIdentifier instance_;
   MethodCallProcessingMode mode_;
+  com::TransportBinding* binding_;
   bool offered_{false};
   std::unique_ptr<common::SerialExecutor> strand_;
 

@@ -42,6 +42,23 @@ enum class ComErrc : std::uint8_t {
   return "?";
 }
 
+/// Maps a transport-level return code onto the ara::com error domain. The
+/// mapping is intentionally coarse (matching the observable behavior of
+/// ara::com): a synthesized timeout becomes kCommunicationTimeout, success
+/// stays kOk, and every other failure the *server* reported is a remote
+/// error. Transport-less instances are reported separately as
+/// kNetworkBindingFailure by the proxy layer.
+[[nodiscard]] constexpr ComErrc to_com_error(someip::ReturnCode code) noexcept {
+  switch (code) {
+    case someip::ReturnCode::kOk:
+      return ComErrc::kOk;
+    case someip::ReturnCode::kTimeout:
+      return ComErrc::kCommunicationTimeout;
+    default:
+      return ComErrc::kRemoteError;
+  }
+}
+
 /// Identifies a service instance (ara::com InstanceIdentifier).
 struct InstanceIdentifier {
   someip::ServiceId service{0};

@@ -3,6 +3,7 @@
 #include <memory>
 #include <unordered_map>
 
+#include "ara/com/local_binding.hpp"
 #include "ara/runtime.hpp"
 #include "brake/camera.hpp"
 #include "brake/logic.hpp"
@@ -155,12 +156,32 @@ PipelineResult run_dear_pipeline(const DearScenarioConfig& config) {
   someip::ServiceDiscovery discovery;
   sim::SimExecutor executor(kernel, platform_rng.stream("dispatch"));
 
-  // --- ara runtimes + services (unchanged from the stock pipeline) ------------
+  // --- ara runtimes + services ------------------------------------------------
+  // Declared before the runtimes: LocalBindings owned by the runtimes'
+  // registries detach from the hub on destruction.
+  ara::com::LocalHub hub;
   ara::Runtime adapter_rt(network, discovery, executor, kAdapterEp, 0x21);
   ara::Runtime preproc_rt(network, discovery, executor, kPreprocEp, 0x22);
   ara::Runtime cv_rt(network, discovery, executor, kCvEp, 0x23);
   ara::Runtime eba_rt(network, discovery, executor, kEbaEp, 0x24);
   ara::Runtime monitor_rt(network, discovery, executor, kMonitorEp, 0x25);
+
+  // Deployment: all four SWC services either stay on the default SOME/IP
+  // backend or, when requested, move onto the zero-copy in-process
+  // transport. Must happen before skeletons/proxies resolve their binding.
+  if (config.local_transport) {
+    for (ara::Runtime* rt : {&adapter_rt, &preproc_rt, &cv_rt, &eba_rt, &monitor_rt}) {
+      // The local backend shares the SOME/IP backend's endpoint and client
+      // id, so discovery and session accounting are transport-agnostic.
+      rt->attach_backend(ara::com::BackendKind::kLocal,
+                         std::make_unique<ara::com::LocalBinding>(
+                             hub, executor, rt->endpoint(), rt->binding().client_id()));
+      for (const someip::ServiceId service :
+           {kVideoAdapterService, kPreprocessingService, kComputerVisionService, kEbaService}) {
+        rt->deploy({service, kInstance}, ara::com::BackendKind::kLocal);
+      }
+    }
+  }
 
   VideoAdapterSkeleton adapter_skel(adapter_rt);
   PreprocessingSkeleton preproc_skel(preproc_rt);
@@ -256,45 +277,54 @@ PipelineResult run_dear_pipeline(const DearScenarioConfig& config) {
 
   // Video Adapter (server role: publishes frames).
   transact::ServerEventTransactor<VideoFrame> adapter_frame_tx(
-      "adapter_frame_tx", adapter_env, adapter_skel.frame, adapter_rt.binding(),
+      "adapter_frame_tx", adapter_env, adapter_skel.frame,
+      *adapter_rt.binding_for({kVideoAdapterService, kInstance}),
       make_config(config.adapter_deadline));
   adapter_env.connect(adapter_logic.out, adapter_frame_tx.in);
 
   // Preprocessing (client role for frames; server role for lane + fwd frame).
   transact::ClientEventTransactor<VideoFrame> preproc_frame_rx(
-      "preproc_frame_rx", preproc_env, adapter_proxy.frame, preproc_rt.binding(),
+      "preproc_frame_rx", preproc_env, adapter_proxy.frame,
+      *preproc_rt.binding_for({kVideoAdapterService, kInstance}),
       make_config(config.preprocessing_deadline));
   preproc_env.connect(preproc_frame_rx.out, preproc_logic.frame_in);
   transact::ServerEventTransactor<LaneInfo> preproc_lane_tx(
-      "preproc_lane_tx", preproc_env, preproc_skel.lane, preproc_rt.binding(),
+      "preproc_lane_tx", preproc_env, preproc_skel.lane,
+      *preproc_rt.binding_for({kPreprocessingService, kInstance}),
       make_config(config.preprocessing_deadline));
   preproc_env.connect(preproc_logic.lane_out, preproc_lane_tx.in);
   transact::ServerEventTransactor<VideoFrame> preproc_fwd_tx(
-      "preproc_fwd_tx", preproc_env, preproc_skel.forwarded_frame, preproc_rt.binding(),
+      "preproc_fwd_tx", preproc_env, preproc_skel.forwarded_frame,
+      *preproc_rt.binding_for({kPreprocessingService, kInstance}),
       make_config(config.preprocessing_deadline));
   preproc_env.connect(preproc_logic.frame_fwd, preproc_fwd_tx.in);
 
   // Computer Vision (client role for lane + frame; server role for vehicles).
   transact::ClientEventTransactor<VideoFrame> cv_frame_rx(
-      "cv_frame_rx", cv_env, preproc_proxy.forwarded_frame, cv_rt.binding(),
+      "cv_frame_rx", cv_env, preproc_proxy.forwarded_frame,
+      *cv_rt.binding_for({kPreprocessingService, kInstance}),
       make_config(config.cv_deadline));
   cv_env.connect(cv_frame_rx.out, cv_logic.frame_in);
   transact::ClientEventTransactor<LaneInfo> cv_lane_rx(
-      "cv_lane_rx", cv_env, preproc_proxy.lane, cv_rt.binding(),
+      "cv_lane_rx", cv_env, preproc_proxy.lane,
+      *cv_rt.binding_for({kPreprocessingService, kInstance}),
       make_config(config.cv_deadline));
   cv_env.connect(cv_lane_rx.out, cv_logic.lane_in);
   transact::ServerEventTransactor<VehicleList> cv_vehicles_tx(
-      "cv_vehicles_tx", cv_env, cv_skel.vehicles, cv_rt.binding(),
+      "cv_vehicles_tx", cv_env, cv_skel.vehicles,
+      *cv_rt.binding_for({kComputerVisionService, kInstance}),
       make_config(config.cv_deadline));
   cv_env.connect(cv_logic.vehicles_out, cv_vehicles_tx.in);
 
   // EBA (client role for vehicles; server role for the brake command).
   transact::ClientEventTransactor<VehicleList> eba_vehicles_rx(
-      "eba_vehicles_rx", eba_env, cv_proxy.vehicles, eba_rt.binding(),
+      "eba_vehicles_rx", eba_env, cv_proxy.vehicles,
+      *eba_rt.binding_for({kComputerVisionService, kInstance}),
       make_config(config.eba_deadline));
   eba_env.connect(eba_vehicles_rx.out, eba_logic.vehicles_in);
   transact::ServerEventTransactor<BrakeCommand> eba_brake_tx(
-      "eba_brake_tx", eba_env, eba_skel.brake, eba_rt.binding(),
+      "eba_brake_tx", eba_env, eba_skel.brake,
+      *eba_rt.binding_for({kEbaService, kInstance}),
       make_config(config.eba_deadline));
   eba_env.connect(eba_logic.brake_out, eba_brake_tx.in);
 

@@ -47,6 +47,12 @@ struct DearScenarioConfig {
   /// Scale factor on the modeled execution times (stress knob).
   double exec_time_scale{1.0};
 
+  /// Deploy the four co-located platform-2 SWC services over the zero-copy
+  /// in-process transport (ara::com LocalBinding) instead of SOME/IP. The
+  /// camera→adapter link stays on the network; inter-SWC messages skip
+  /// serialization and the simulated wire entirely.
+  bool local_transport{false};
+
   transact::UntaggedPolicy untagged{transact::UntaggedPolicy::kFail};
 };
 

@@ -1,0 +1,114 @@
+// Unbounded lock-free multi-producer single-consumer queue (Vyukov's
+// intrusive MPSC design, node-per-element variant).
+//
+// push() is wait-free for any number of producers: one atomic exchange plus
+// one release store. pop() must be called by one consumer at a time (the
+// in-process transport serializes its drain loop with a mutex, which also
+// gives the deposit→handler pairing the same race-freedom as the SOME/IP
+// receive path).
+//
+// The design has one visible quirk: between a producer's exchange and its
+// link store, pop() can transiently report empty even though a later push
+// already completed. Callers that drain after their own push (as the local
+// transport does) never strand an element: the producer whose link closes
+// the chain drains everything reachable through it.
+#pragma once
+
+#include <atomic>
+#include <optional>
+#include <utility>
+
+namespace dear::common {
+
+template <typename T>
+class MpscQueue {
+ public:
+  MpscQueue() : head_(&stub_), tail_(&stub_) {}
+
+  MpscQueue(const MpscQueue&) = delete;
+  MpscQueue& operator=(const MpscQueue&) = delete;
+
+  ~MpscQueue() {
+    // Single-threaded at destruction: walk the chain and free live nodes.
+    Node* node = tail_;
+    while (node != nullptr) {
+      Node* next = node->next.load(std::memory_order_relaxed);
+      if (node != &stub_) {
+        delete node;
+      }
+      node = next;
+    }
+  }
+
+  /// Producer side; safe from any thread.
+  void push(T value) {
+    Node* node = new Node(std::move(value));
+    push_node(node);
+  }
+
+  /// Consumer side; callers must ensure mutual exclusion between pops.
+  /// Returns nullopt when the queue is empty (or transiently appears so,
+  /// see the header comment).
+  [[nodiscard]] std::optional<T> pop() {
+    Node* tail = tail_;
+    Node* next = tail->next.load(std::memory_order_acquire);
+    if (tail == &stub_) {
+      if (next == nullptr) {
+        return std::nullopt;  // empty
+      }
+      // Skip past the stub to the first real node.
+      tail_ = next;
+      tail = next;
+      next = next->next.load(std::memory_order_acquire);
+    }
+    if (next != nullptr) {
+      tail_ = next;
+      return take(tail);
+    }
+    if (tail != head_.load(std::memory_order_acquire)) {
+      // A producer finished its exchange but not its link store yet; the
+      // element becomes visible once that store lands.
+      return std::nullopt;
+    }
+    // `tail` is the sole node: re-insert the stub behind it so the chain
+    // stays closed, then consume it.
+    stub_.next.store(nullptr, std::memory_order_relaxed);
+    push_node(&stub_);
+    next = tail->next.load(std::memory_order_acquire);
+    if (next == nullptr) {
+      return std::nullopt;  // another producer slipped in between; retry later
+    }
+    tail_ = next;
+    return take(tail);
+  }
+
+  /// Consumer-side emptiness probe (same transient caveat as pop()).
+  [[nodiscard]] bool empty() const {
+    return tail_ == &stub_ && tail_->next.load(std::memory_order_acquire) == nullptr;
+  }
+
+ private:
+  struct Node {
+    Node() = default;
+    explicit Node(T v) : value(std::move(v)) {}
+    std::atomic<Node*> next{nullptr};
+    T value{};
+  };
+
+  void push_node(Node* node) {
+    Node* prev = head_.exchange(node, std::memory_order_acq_rel);
+    prev->next.store(node, std::memory_order_release);
+  }
+
+  [[nodiscard]] T take(Node* node) {
+    T value = std::move(node->value);
+    delete node;
+    return value;
+  }
+
+  std::atomic<Node*> head_;  // producers exchange onto this end
+  Node* tail_;               // consumer-owned
+  Node stub_;
+};
+
+}  // namespace dear::common

@@ -20,13 +20,13 @@ class ServerEventTransactor final : public Transactor {
   reactor::Input<T> in{"in", this};
 
   ServerEventTransactor(std::string name, reactor::Environment& environment,
-                        ara::SkeletonEvent<T>& event, someip::Binding& binding,
+                        ara::SkeletonEvent<T>& event, ara::com::TransportBinding& binding,
                         TransactorConfig config)
       : Transactor(std::move(name), environment, binding, config), event_(event) {
     add_reaction("on_event",
                  [this] {
                    const reactor::Tag out_tag = current_tag().delay(this->config().deadline);
-                   this->binding().send_bypass().deposit(to_wire(out_tag));
+                   this->binding().attach_send_tag(to_wire(out_tag));
                    count_sent();
                    event_.Send(in.get());
                  })
@@ -51,7 +51,7 @@ class ClientEventTransactor final : public Transactor {
   reactor::Output<T> out{"out", this};
 
   ClientEventTransactor(std::string name, reactor::Environment& environment,
-                        ara::ProxyEvent<T>& event, someip::Binding& binding,
+                        ara::ProxyEvent<T>& event, ara::com::TransportBinding& binding,
                         TransactorConfig config)
       : Transactor(std::move(name), environment, binding, config), event_(event) {
     event_.SetImmediateReceiveHandler(

@@ -45,7 +45,7 @@ template <typename T>
 class ServerFieldTransactor {
  public:
   ServerFieldTransactor(const std::string& name, reactor::Environment& environment,
-                        FieldServerParts<T>& parts, someip::Binding& binding,
+                        FieldServerParts<T>& parts, ara::com::TransportBinding& binding,
                         TransactorConfig config)
       : get(name + ".get", environment, parts.get, binding, config),
         set(name + ".set", environment, parts.set, binding, config),
@@ -65,7 +65,7 @@ template <typename T>
 class ClientFieldTransactor {
  public:
   ClientFieldTransactor(const std::string& name, reactor::Environment& environment,
-                        FieldClientParts<T>& parts, someip::Binding& binding,
+                        FieldClientParts<T>& parts, ara::com::TransportBinding& binding,
                         TransactorConfig config)
       : get(name + ".get", environment, parts.get, binding, config),
         set(name + ".set", environment, parts.set, binding, config),

@@ -38,14 +38,14 @@ class ClientMethodTransactor final : public Transactor {
   reactor::Output<Res> response{"response", this};
 
   ClientMethodTransactor(std::string name, reactor::Environment& environment,
-                         ara::ProxyMethod<Res, Req>& method, someip::Binding& binding,
+                         ara::ProxyMethod<Res, Req>& method, ara::com::TransportBinding& binding,
                          TransactorConfig config)
       : Transactor(std::move(name), environment, binding, config), method_(method) {
     add_reaction("on_request",
                  [this] {
                    // (1)-(3): tag the outgoing call with tc + Dc.
                    const reactor::Tag out_tag = current_tag().delay(this->config().deadline);
-                   this->binding().send_bypass().deposit(to_wire(out_tag));
+                   this->binding().attach_send_tag(to_wire(out_tag));
                    count_sent();
                    ara::Future<Res> future = method_(request.get());
                    future.then([this](const ara::Result<Res>& result) {
@@ -81,7 +81,7 @@ class ServerMethodTransactor final : public Transactor {
   reactor::Input<Res> response{"response", this};
 
   ServerMethodTransactor(std::string name, reactor::Environment& environment,
-                         ara::SkeletonMethod<Res, Req>& method, someip::Binding& binding,
+                         ara::SkeletonMethod<Res, Req>& method, ara::com::TransportBinding& binding,
                          TransactorConfig config)
       : Transactor(std::move(name), environment, binding, config) {
     method.set_immediate_handler([this](const Req& arguments) -> ara::Future<Res> {
@@ -122,7 +122,7 @@ class ServerMethodTransactor final : public Transactor {
                      pending_.pop_front();
                    }
                    const reactor::Tag out_tag = current_tag().delay(this->config().deadline);
-                   this->binding().send_bypass().deposit(to_wire(out_tag));
+                   this->binding().attach_send_tag(to_wire(out_tag));
                    count_sent();
                    promise.set_value(response.get());
                  })

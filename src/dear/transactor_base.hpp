@@ -12,21 +12,21 @@
 #include <atomic>
 #include <cstdint>
 
+#include "ara/com/transport_binding.hpp"
 #include "dear/config.hpp"
 #include "dear/tag_codec.hpp"
 #include "reactor/runtime.hpp"
-#include "someip/binding.hpp"
 
 namespace dear::transact {
 
 class Transactor : public reactor::Reactor {
  public:
-  Transactor(std::string name, reactor::Environment& environment, someip::Binding& binding,
-             TransactorConfig config)
+  Transactor(std::string name, reactor::Environment& environment,
+             ara::com::TransportBinding& binding, TransactorConfig config)
       : Reactor(std::move(name), environment), binding_(binding), config_(config) {}
 
   [[nodiscard]] const TransactorConfig& config() const noexcept { return config_; }
-  [[nodiscard]] someip::Binding& binding() noexcept { return binding_; }
+  [[nodiscard]] ara::com::TransportBinding& binding() noexcept { return binding_; }
 
   /// Messages sent with a tag attached.
   [[nodiscard]] std::uint64_t messages_sent() const noexcept { return sent_.load(); }
@@ -56,7 +56,7 @@ class Transactor : public reactor::Reactor {
   /// receiving transactors (Figure 3, steps 10/21).
   template <typename T>
   void release_received(reactor::PhysicalAction<T>& action, const T& value) {
-    const auto wire = binding_.receive_bypass().collect();
+    const auto wire = binding_.collect_received_tag();
     if (!wire.has_value()) {
       untagged_.fetch_add(1, std::memory_order_relaxed);
       if (config_.untagged == UntaggedPolicy::kFail) {
@@ -85,7 +85,7 @@ class Transactor : public reactor::Reactor {
   void count_remote_error() noexcept { remote_errors_.fetch_add(1, std::memory_order_relaxed); }
 
  private:
-  someip::Binding& binding_;
+  ara::com::TransportBinding& binding_;
   TransactorConfig config_;
   std::atomic<std::uint64_t> sent_{0};
   std::atomic<std::uint64_t> released_{0};

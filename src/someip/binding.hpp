@@ -87,8 +87,10 @@ class Binding {
 
   /// Bypass collected on every outgoing message.
   [[nodiscard]] TimestampBypass& send_bypass() noexcept { return send_bypass_; }
+  [[nodiscard]] const TimestampBypass& send_bypass() const noexcept { return send_bypass_; }
   /// Bypass deposited on every incoming tagged message.
   [[nodiscard]] TimestampBypass& receive_bypass() noexcept { return receive_bypass_; }
+  [[nodiscard]] const TimestampBypass& receive_bypass() const noexcept { return receive_bypass_; }
 
   [[nodiscard]] net::Endpoint endpoint() const noexcept { return self_; }
   [[nodiscard]] ClientId client_id() const noexcept { return client_id_; }

@@ -1,0 +1,309 @@
+// Shared conformance suite for TransportBinding backends.
+//
+// Every backend must satisfy the same observable contract — request/response
+// session matching, timeout synthesis, subscribe/notify routing, and the
+// DEAR tag attach/deposit pairing — regardless of whether messages cross a
+// (simulated) wire or process memory. The suite is parameterized over a
+// backend world so new transports plug in with one factory entry.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ara/com/local_binding.hpp"
+#include "ara/com/someip_binding.hpp"
+#include "common/rng.hpp"
+#include "net/sim_network.hpp"
+#include "sim/sim_executor.hpp"
+
+namespace dear::ara::com {
+namespace {
+
+using namespace dear::literals;
+
+constexpr someip::ServiceId kService = 0x0D0D;
+constexpr someip::MethodId kEchoMethod = 0x0001;
+constexpr someip::MethodId kMuteMethod = 0x0002;  // never answered
+constexpr someip::EventId kDataEvent = 0x8001;
+
+constexpr net::Endpoint kServerEp{1, 100};
+constexpr net::Endpoint kClientEp{2, 200};
+constexpr net::Endpoint kClient2Ep{3, 300};
+
+/// One server and two clients on a discrete-event substrate; run() advances
+/// simulated time (delivery, timers).
+class BackendWorld {
+ public:
+  virtual ~BackendWorld() = default;
+  virtual TransportBinding& server() = 0;
+  virtual TransportBinding& client() = 0;
+  virtual TransportBinding& client2() = 0;
+
+  void run(Duration d = 10_ms) { kernel.run_until(kernel.now() + d); }
+
+  sim::Kernel kernel;
+  sim::ImmediateSimExecutor executor{kernel};
+};
+
+class SomeIpWorld final : public BackendWorld {
+ public:
+  TransportBinding& server() override { return server_; }
+  TransportBinding& client() override { return client_; }
+  TransportBinding& client2() override { return client2_; }
+
+ private:
+  net::SimNetwork network_{kernel, common::Rng(17)};
+  SomeIpBinding server_{network_, executor, kServerEp, 0x01};
+  SomeIpBinding client_{network_, executor, kClientEp, 0x02};
+  SomeIpBinding client2_{network_, executor, kClient2Ep, 0x03};
+};
+
+class LocalWorld final : public BackendWorld {
+ public:
+  TransportBinding& server() override { return server_; }
+  TransportBinding& client() override { return client_; }
+  TransportBinding& client2() override { return client2_; }
+
+ private:
+  LocalHub hub_;
+  LocalBinding server_{hub_, executor, kServerEp, 0x01};
+  LocalBinding client_{hub_, executor, kClientEp, 0x02};
+  LocalBinding client2_{hub_, executor, kClient2Ep, 0x03};
+};
+
+std::unique_ptr<BackendWorld> make_world(const std::string& backend) {
+  if (backend == "someip") {
+    return std::make_unique<SomeIpWorld>();
+  }
+  return std::make_unique<LocalWorld>();
+}
+
+class BindingConformanceTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  void SetUp() override { world = make_world(GetParam()); }
+
+  /// Server-side echo: replies with the request payload.
+  void provide_echo() {
+    world->server().provide_method(
+        kService, kEchoMethod,
+        [this](const someip::Message& request, const net::Endpoint& from) {
+          world->server().respond(request, from, request.payload);
+        });
+  }
+
+  std::unique_ptr<BackendWorld> world;
+};
+
+TEST_P(BindingConformanceTest, CallResponseMatching) {
+  provide_echo();
+
+  std::vector<std::uint8_t> got_a;
+  std::vector<std::uint8_t> got_b;
+  const someip::SessionId session_a = world->client().call(
+      kServerEp, kService, kEchoMethod, {0xAA, 0x01},
+      [&](const someip::Message& response) {
+        EXPECT_EQ(response.type, someip::MessageType::kResponse);
+        got_a = response.payload;
+      });
+  const someip::SessionId session_b = world->client().call(
+      kServerEp, kService, kEchoMethod, {0xBB, 0x02},
+      [&](const someip::Message& response) { got_b = response.payload; });
+  EXPECT_NE(session_a, session_b);
+  world->run();
+
+  EXPECT_EQ(got_a, (std::vector<std::uint8_t>{0xAA, 0x01}));
+  EXPECT_EQ(got_b, (std::vector<std::uint8_t>{0xBB, 0x02}));
+
+  const TransportStats client_stats = world->client().stats();
+  EXPECT_EQ(client_stats.requests_sent, 2U);
+  EXPECT_EQ(client_stats.responses_received, 2U);
+}
+
+TEST_P(BindingConformanceTest, UnknownMethodYieldsErrorResponse) {
+  int responses = 0;
+  world->client().call(kServerEp, kService, 0x7777, {},
+                       [&](const someip::Message& response) {
+                         ++responses;
+                         EXPECT_EQ(response.type, someip::MessageType::kError);
+                         EXPECT_EQ(response.return_code, someip::ReturnCode::kUnknownMethod);
+                       });
+  world->run();
+  EXPECT_EQ(responses, 1);
+}
+
+TEST_P(BindingConformanceTest, TimeoutSynthesis) {
+  // The mute method swallows requests; the client must synthesize kTimeout.
+  world->server().provide_method(kService, kMuteMethod,
+                                 [](const someip::Message&, const net::Endpoint&) {});
+  int responses = 0;
+  world->client().call(kServerEp, kService, kMuteMethod, {0x01},
+                       [&](const someip::Message& response) {
+                         ++responses;
+                         EXPECT_EQ(response.type, someip::MessageType::kError);
+                         EXPECT_EQ(response.return_code, someip::ReturnCode::kTimeout);
+                       },
+                       5_ms);
+  world->run(20_ms);
+  EXPECT_EQ(responses, 1);
+  EXPECT_EQ(world->client().stats().timeouts, 1U);
+
+  // A response arriving after the synthesized timeout must not fire the
+  // handler again.
+  world->run(20_ms);
+  EXPECT_EQ(responses, 1);
+}
+
+TEST_P(BindingConformanceTest, TimeoutNotSynthesizedWhenResponseArrives) {
+  provide_echo();
+  int responses = 0;
+  world->client().call(kServerEp, kService, kEchoMethod, {0x05},
+                       [&](const someip::Message& response) {
+                         ++responses;
+                         EXPECT_EQ(response.type, someip::MessageType::kResponse);
+                       },
+                       50_ms);
+  world->run(100_ms);
+  EXPECT_EQ(responses, 1);
+  EXPECT_EQ(world->client().stats().timeouts, 0U);
+}
+
+TEST_P(BindingConformanceTest, CallNoReturnDelivers) {
+  int requests = 0;
+  world->server().provide_method(kService, kEchoMethod,
+                                 [&](const someip::Message& request, const net::Endpoint&) {
+                                   ++requests;
+                                   EXPECT_EQ(request.type,
+                                             someip::MessageType::kRequestNoReturn);
+                                 });
+  world->client().call_no_return(kServerEp, kService, kEchoMethod, {0x09});
+  world->run();
+  EXPECT_EQ(requests, 1);
+}
+
+TEST_P(BindingConformanceTest, SubscribeNotifyRouting) {
+  int client_samples = 0;
+  int client2_samples = 0;
+  world->client().subscribe(kServerEp, kService, kDataEvent,
+                            [&](const someip::Message& message) {
+                              ++client_samples;
+                              EXPECT_EQ(message.payload,
+                                        (std::vector<std::uint8_t>{0x11, 0x22}));
+                            });
+  world->client2().subscribe(kServerEp, kService, kDataEvent,
+                             [&](const someip::Message&) { ++client2_samples; });
+  world->run();  // settle subscription management
+
+  EXPECT_EQ(world->server().subscriber_count(kService, kDataEvent), 2U);
+  world->server().notify(kService, kDataEvent, {0x11, 0x22});
+  world->run();
+  EXPECT_EQ(client_samples, 1);
+  EXPECT_EQ(client2_samples, 1);
+
+  world->client().unsubscribe(kServerEp, kService, kDataEvent);
+  world->run();
+  EXPECT_EQ(world->server().subscriber_count(kService, kDataEvent), 1U);
+  world->server().notify(kService, kDataEvent, {0x11, 0x22});
+  world->run();
+  EXPECT_EQ(client_samples, 1);
+  EXPECT_EQ(client2_samples, 2);
+
+  const TransportStats server_stats = world->server().stats();
+  EXPECT_EQ(server_stats.notifications_sent, 2U);
+}
+
+TEST_P(BindingConformanceTest, TagAttachDepositPairing) {
+  // Round trip of paper Figure 3: the client arms tc+Dc, the server's
+  // handler collects it while the request is current, arms ts+Ds for the
+  // response, and the client collects that in its response handler.
+  std::optional<someip::WireTag> server_seen;
+  std::optional<someip::WireTag> client_seen;
+  world->server().provide_method(
+      kService, kEchoMethod, [&](const someip::Message& request, const net::Endpoint& from) {
+        server_seen = world->server().collect_received_tag();
+        world->server().attach_send_tag(someip::WireTag{900, 2});
+        world->server().respond(request, from, request.payload);
+      });
+
+  world->client().attach_send_tag(someip::WireTag{500, 1});
+  world->client().call(kServerEp, kService, kEchoMethod, {0x01},
+                       [&](const someip::Message&) {
+                         client_seen = world->client().collect_received_tag();
+                       });
+  world->run();
+
+  ASSERT_TRUE(server_seen.has_value());
+  EXPECT_EQ(*server_seen, (someip::WireTag{500, 1}));
+  ASSERT_TRUE(client_seen.has_value());
+  EXPECT_EQ(*client_seen, (someip::WireTag{900, 2}));
+
+  EXPECT_EQ(world->client().stats().tagged_sent, 1U);
+  EXPECT_EQ(world->client().stats().tagged_received, 1U);
+  EXPECT_EQ(world->server().stats().tagged_sent, 1U);
+  EXPECT_EQ(world->server().stats().tagged_received, 1U);
+}
+
+TEST_P(BindingConformanceTest, UncollectedTagIsClearedAfterDelivery) {
+  // A handler that ignores the deposited tag must not leak it into the
+  // next (untagged) delivery.
+  int requests = 0;
+  world->server().provide_method(kService, kEchoMethod,
+                                 [&](const someip::Message& request, const net::Endpoint& from) {
+                                   ++requests;  // does not collect the tag
+                                   world->server().respond(request, from, request.payload);
+                                 });
+  world->client().attach_send_tag(someip::WireTag{77, 0});
+  world->client().call(kServerEp, kService, kEchoMethod, {0x01}, [](const someip::Message&) {});
+  world->run();
+  EXPECT_EQ(requests, 1);
+  EXPECT_FALSE(world->server().received_tag_armed());
+
+  // Untagged follow-up: the server-side collect must yield nothing.
+  std::optional<someip::WireTag> seen{someip::WireTag{1, 1}};
+  world->server().provide_method(kService, kMuteMethod,
+                                 [&](const someip::Message&, const net::Endpoint&) {
+                                   seen = world->server().collect_received_tag();
+                                 });
+  world->client().call_no_return(kServerEp, kService, kMuteMethod, {0x02});
+  world->run();
+  EXPECT_FALSE(seen.has_value());
+}
+
+TEST_P(BindingConformanceTest, NotifyCarriesTagToEverySubscriber) {
+  std::optional<someip::WireTag> seen1;
+  std::optional<someip::WireTag> seen2;
+  world->client().subscribe(kServerEp, kService, kDataEvent,
+                            [&](const someip::Message&) {
+                              seen1 = world->client().collect_received_tag();
+                            });
+  world->client2().subscribe(kServerEp, kService, kDataEvent,
+                             [&](const someip::Message&) {
+                               seen2 = world->client2().collect_received_tag();
+                             });
+  world->run();
+
+  world->server().attach_send_tag(someip::WireTag{4242, 7});
+  world->server().notify(kService, kDataEvent, {0x01});
+  world->run();
+
+  ASSERT_TRUE(seen1.has_value());
+  EXPECT_EQ(*seen1, (someip::WireTag{4242, 7}));
+  ASSERT_TRUE(seen2.has_value());
+  EXPECT_EQ(*seen2, (someip::WireTag{4242, 7}));
+}
+
+TEST_P(BindingConformanceTest, IdentityAccessors) {
+  EXPECT_EQ(world->server().endpoint(), kServerEp);
+  EXPECT_EQ(world->client().endpoint(), kClientEp);
+  EXPECT_EQ(world->server().client_id(), 0x01);
+  EXPECT_FALSE(world->server().transport_name().empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, BindingConformanceTest,
+                         ::testing::Values(std::string("someip"), std::string("local")),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                           return info.param;
+                         });
+
+}  // namespace
+}  // namespace dear::ara::com

@@ -1,0 +1,167 @@
+// Backend registry + deployment config, and the kNetworkBindingFailure
+// regression: an instance deployed onto a backend kind that is not attached
+// must surface the failure through the ara::com error domain instead of
+// silently using the wrong transport.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "ara/com/local_binding.hpp"
+#include "ara/com/someip_binding.hpp"
+#include "ara/event.hpp"
+#include "ara/method.hpp"
+#include "ara/proxy.hpp"
+#include "ara/runtime.hpp"
+#include "ara/skeleton.hpp"
+#include "common/rng.hpp"
+#include "net/sim_network.hpp"
+#include "sim/sim_executor.hpp"
+
+namespace dear::ara {
+namespace {
+
+using namespace dear::literals;
+
+constexpr someip::ServiceId kService = 0x0E0E;
+constexpr someip::InstanceId kInstance = 1;
+constexpr someip::MethodId kAddMethod = 0x01;
+constexpr someip::EventId kTickEvent = 0x8001;
+
+class TestSkeleton : public ServiceSkeleton {
+ public:
+  explicit TestSkeleton(Runtime& runtime) : ServiceSkeleton(runtime, {kService, kInstance}) {}
+
+  SkeletonMethod<std::int32_t, std::int32_t> add_one{*this, kAddMethod};
+  SkeletonEvent<std::uint64_t> tick{*this, kTickEvent};
+};
+
+class TestProxy : public ServiceProxy {
+ public:
+  TestProxy(Runtime& runtime, net::Endpoint server)
+      : ServiceProxy(runtime, {kService, kInstance}, server) {}
+
+  ProxyMethod<std::int32_t, std::int32_t> add_one{*this, kAddMethod};
+  ProxyEvent<std::uint64_t> tick{*this, kTickEvent};
+};
+
+struct RegistryWorld : public ::testing::Test {
+  sim::Kernel kernel;
+  net::SimNetwork network{kernel, common::Rng(5)};
+  someip::ServiceDiscovery discovery;
+  sim::ImmediateSimExecutor executor{kernel};
+};
+
+TEST_F(RegistryWorld, DeploymentConfigSelectsBackendPerInstance) {
+  com::DeploymentConfig deployment;
+  deployment.default_backend = com::BackendKind::kSomeIp;
+  deployment.instance_backends[{0x10, 1}] = com::BackendKind::kLocal;
+
+  EXPECT_EQ(deployment.backend_for({0x10, 1}), com::BackendKind::kLocal);
+  EXPECT_EQ(deployment.backend_for({0x10, 2}), com::BackendKind::kSomeIp);
+  EXPECT_EQ(deployment.backend_for({0x20, 1}), com::BackendKind::kSomeIp);
+}
+
+TEST_F(RegistryWorld, RegistryFindsAttachedBackends) {
+  Runtime runtime(network, discovery, executor, {1, 100}, 0x01);
+  EXPECT_TRUE(runtime.registry().has(com::BackendKind::kSomeIp));
+  EXPECT_FALSE(runtime.registry().has(com::BackendKind::kLocal));
+  EXPECT_EQ(runtime.binding().transport_name(), "someip");
+
+  com::LocalHub hub;
+  runtime.attach_backend(com::BackendKind::kLocal,
+                         std::make_unique<com::LocalBinding>(hub, executor,
+                                                             net::Endpoint{1, 101}, 0x01));
+  EXPECT_TRUE(runtime.registry().has(com::BackendKind::kLocal));
+  EXPECT_EQ(runtime.registry().size(), 2U);
+
+  runtime.deploy({kService, kInstance}, com::BackendKind::kLocal);
+  ASSERT_NE(runtime.binding_for({kService, kInstance}), nullptr);
+  EXPECT_EQ(runtime.binding_for({kService, kInstance})->transport_name(), "local");
+  EXPECT_EQ(runtime.binding_for({0x7070, 1})->transport_name(), "someip");
+}
+
+TEST_F(RegistryWorld, ReattachingABackendKindIsRejected) {
+  // Proxies/skeletons cache raw binding pointers at construction;
+  // replacing an attached backend would dangle them, so attach refuses.
+  Runtime runtime(network, discovery, executor, {1, 100}, 0x01);
+  com::LocalHub hub;
+  EXPECT_THROW(runtime.attach_backend(
+                   com::BackendKind::kSomeIp,
+                   std::make_unique<com::LocalBinding>(hub, executor, net::Endpoint{1, 101}, 0x01)),
+               std::logic_error);
+}
+
+TEST_F(RegistryWorld, MissingBackendYieldsNetworkBindingFailure) {
+  Runtime server_rt(network, discovery, executor, {1, 100}, 0x01);
+  Runtime client_rt(network, discovery, executor, {2, 200}, 0x02);
+
+  TestSkeleton skeleton(server_rt);
+  skeleton.add_one.set_sync_handler([](const std::int32_t& v) { return v + 1; });
+  skeleton.OfferService();
+
+  // The client deploys the instance onto the local transport — but never
+  // attaches a local backend. The proxy must be transport-less.
+  client_rt.deploy({kService, kInstance}, com::BackendKind::kLocal);
+  TestProxy proxy(client_rt, *client_rt.resolve({kService, kInstance}));
+  EXPECT_FALSE(proxy.has_binding());
+
+  Future<std::int32_t> future = proxy.add_one(41);
+  kernel.run_until(10_ms);
+  ASSERT_TRUE(future.is_ready());
+  const Result<std::int32_t> result = future.GetResult();
+  ASSERT_FALSE(result.has_value());
+  EXPECT_EQ(result.error(), ComErrc::kNetworkBindingFailure);
+
+  // Subscriptions on a transport-less proxy are inert, not crashes.
+  proxy.tick.Subscribe();
+  EXPECT_FALSE(proxy.tick.subscribed());
+}
+
+TEST_F(RegistryWorld, TransportLessSkeletonCannotOffer) {
+  Runtime server_rt(network, discovery, executor, {1, 100}, 0x01);
+  server_rt.deploy({kService, kInstance}, com::BackendKind::kLocal);  // not attached
+
+  TestSkeleton skeleton(server_rt);
+  EXPECT_FALSE(skeleton.has_binding());
+  skeleton.OfferService();
+  EXPECT_FALSE(skeleton.offered());
+  EXPECT_FALSE(server_rt.resolve({kService, kInstance}).has_value());
+}
+
+TEST_F(RegistryWorld, EndToEndOverLocalBackend) {
+  // Bring-your-own-backend runtimes: a complete proxy/skeleton method and
+  // event round trip that never touches the network.
+  com::LocalHub hub;
+  Runtime server_rt(discovery, executor, com::BackendKind::kLocal,
+                    std::make_unique<com::LocalBinding>(hub, executor,
+                                                        net::Endpoint{1, 100}, 0x01));
+  Runtime client_rt(discovery, executor, com::BackendKind::kLocal,
+                    std::make_unique<com::LocalBinding>(hub, executor,
+                                                        net::Endpoint{2, 200}, 0x02));
+
+  TestSkeleton skeleton(server_rt);
+  skeleton.add_one.set_sync_handler([](const std::int32_t& v) { return v + 1; });
+  skeleton.OfferService();
+
+  TestProxy proxy(client_rt, *client_rt.resolve({kService, kInstance}));
+  ASSERT_TRUE(proxy.has_binding());
+  EXPECT_EQ(proxy.binding()->transport_name(), "local");
+
+  std::uint64_t ticks = 0;
+  proxy.tick.SetImmediateReceiveHandler([&](const std::uint64_t& value) { ticks = value; });
+  proxy.tick.Subscribe();
+  kernel.run_until(1_ms);
+
+  Future<std::int32_t> future = proxy.add_one(41);
+  kernel.run_until(10_ms);
+  ASSERT_TRUE(future.is_ready());
+  EXPECT_EQ(future.GetResult().value(), 42);
+
+  skeleton.tick.Send(7);
+  kernel.run_until(20_ms);
+  EXPECT_EQ(ticks, 7U);
+  EXPECT_EQ(network.packets_sent(), 0U);  // nothing ever hit the wire
+}
+
+}  // namespace
+}  // namespace dear::ara

@@ -115,6 +115,46 @@ TEST_P(DearSeedSweep, ZeroErrorsEveryFrameProcessed) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DearSeedSweep, ::testing::Range<std::uint64_t>(1, 13));
 
+TEST(DearPipeline, LocalTransportProcessesEveryFrameWithoutErrors) {
+  // The zero-copy in-process deployment must preserve the pipeline's
+  // correctness guarantees: every frame processed, decisions match the
+  // reference, no protocol errors.
+  auto config = small_scenario(1);
+  config.local_transport = true;
+  const auto result = run_dear_pipeline(config);
+  EXPECT_EQ(result.frames_sent, 2000u);
+  EXPECT_EQ(result.frames_processed_eba, 2000u);
+  EXPECT_EQ(result.errors.total(), 0u);
+  EXPECT_EQ(result.wrong_decisions, 0u);
+}
+
+TEST(DearPipeline, LocalTransportIsDeterministicAcrossPlatformTiming) {
+  auto reference_config = small_scenario(1, 5000);
+  reference_config.local_transport = true;
+  const auto reference = run_dear_pipeline(reference_config);
+  for (std::uint64_t platform_seed = 2; platform_seed <= 4; ++platform_seed) {
+    auto config = small_scenario(platform_seed, 5000);
+    config.local_transport = true;
+    const auto result = run_dear_pipeline(config);
+    EXPECT_EQ(result.output_digest, reference.output_digest);
+    EXPECT_EQ(result.tag_digest, reference.tag_digest);
+  }
+}
+
+TEST(DearPipeline, LocalTransportMatchesSomeIpObservableBehavior) {
+  // Transport choice is a deployment decision, not a semantic one: the
+  // DEAR pipeline's observable outputs (values AND logical tags) are
+  // identical whether inter-SWC messages travel over SOME/IP or through
+  // process memory — determinism makes backends interchangeable.
+  const auto someip = run_dear_pipeline(small_scenario(1, 5000));
+  auto local_config = small_scenario(1, 5000);
+  local_config.local_transport = true;
+  const auto local = run_dear_pipeline(local_config);
+  EXPECT_EQ(local.output_digest, someip.output_digest);
+  EXPECT_EQ(local.tag_digest, someip.tag_digest);
+  EXPECT_EQ(local.frames_processed_eba, someip.frames_processed_eba);
+}
+
 TEST(DearPipeline, ErrorsRemainDeterministicUnderSameSeeds) {
   auto config = small_scenario(9);
   config.deadline_scale = 0.4;
