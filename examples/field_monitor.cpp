@@ -1,20 +1,25 @@
-// Fields and gradual migration.
+// Fields and gradual migration, on the descriptor API.
 //
-// Part 1: plain ara::com field usage — a legacy cruise-control server
-// exposes a `target_speed` field (get method, set method, update event)
-// and a legacy client gets/sets/subscribes.
+// The cruise-control service is declared once, as a compile-time
+// ServiceInterface descriptor with a single field member; everything else
+// is derived from it:
+//
+// Part 1: plain ara::com usage — ara::Skeleton<Cruise> (field state in the
+// skeleton) serves a legacy ara::Proxy<Cruise> client that gets/sets/
+// subscribes.
 //
 // Part 2: a DEAR reactor client talks to the *same legacy server* through
-// a client field transactor bundle. The legacy server knows nothing about
-// tags, so its responses arrive untagged; with UntaggedPolicy::kPhysicalTime
-// the transactors treat them like sporadic sensor inputs — "backward
+// dear::ClientSide<Cruise>, which derives the field transactor bundle from
+// the descriptor. The legacy server knows nothing about tags, so its
+// responses arrive untagged; with UntaggedPolicy::kPhysicalTime the
+// transactors treat them like sporadic sensor inputs — "backward
 // compatibility with existing service implementations and the ability to
 // gradually introduce reactor-based SWCs" (paper §III.B).
 //
 // Everything runs on the DES kernel (deterministic, seeded).
 #include <cstdio>
 
-#include "ara/field.hpp"
+#include "ara/generated.hpp"
 #include "ara/runtime.hpp"
 #include "dear/dear.hpp"
 #include "net/sim_network.hpp"
@@ -27,37 +32,16 @@ namespace {
 
 constexpr someip::ServiceId kCruiseService = 0x3001;
 constexpr someip::InstanceId kCruiseInstance = 1;
-constexpr ara::FieldIds kSpeedField{0x0010, 0x0011, 0x8010};
 
 constexpr net::Endpoint kServerEp{1, 30};
 constexpr net::Endpoint kLegacyClientEp{2, 31};
 constexpr net::Endpoint kDearClientEp{2, 32};
 
-/// Legacy server: state lives in the SkeletonField, no reactors involved.
-class CruiseSkeleton : public ara::ServiceSkeleton {
- public:
-  explicit CruiseSkeleton(ara::Runtime& runtime)
-      : ServiceSkeleton(runtime, {kCruiseService, kCruiseInstance}) {}
-
-  ara::SkeletonField<double> target_speed{*this, kSpeedField};
-};
-
-class CruiseProxy : public ara::ServiceProxy {
- public:
-  CruiseProxy(ara::Runtime& runtime, net::Endpoint server)
-      : ServiceProxy(runtime, {kCruiseService, kCruiseInstance}, server) {}
-
-  ara::ProxyField<double> target_speed{*this, kSpeedField};
-};
-
-/// Raw field pieces for the DEAR client (the transactors need the plain
-/// proxy methods/event rather than the ProxyField wrapper).
-class CruiseRawProxy : public ara::ServiceProxy {
- public:
-  CruiseRawProxy(ara::Runtime& runtime, net::Endpoint server)
-      : ServiceProxy(runtime, {kCruiseService, kCruiseInstance}, server) {}
-
-  transact::FieldClientParts<double> speed{*this, kSpeedField};
+/// The single source of truth for the cruise-control service.
+struct Cruise {
+  static constexpr ara::meta::Field<double, 0x0010, 0x0011, 0x8010> target_speed{"target_speed"};
+  static constexpr auto kInterface =
+      ara::meta::service_interface("Cruise", kCruiseService, {1, 0}, target_speed);
 };
 
 /// The DEAR monitor: periodically polls the field and reacts to updates,
@@ -101,27 +85,28 @@ int main() {
 
   // --- the legacy server -------------------------------------------------------
   ara::Runtime server_rt(network, discovery, executor, kServerEp, 0x51);
-  CruiseSkeleton server(server_rt);
-  server.target_speed.set_set_filter([](const double& requested) {
+  ara::Skeleton<Cruise> server(server_rt, kCruiseInstance);
+  server.get(Cruise::target_speed).set_set_filter([](const double& requested) {
     return requested < 0.0 ? 0.0 : (requested > 130.0 ? 130.0 : requested);
   });
-  server.target_speed.Update(100.0);
+  server.get(Cruise::target_speed).Update(100.0);
   server.OfferService();
 
   // --- part 1: legacy client ----------------------------------------------------
   std::printf("== Part 1: legacy ara::com client ==\n");
   ara::Runtime legacy_rt(network, discovery, executor, kLegacyClientEp, 0x52);
-  CruiseProxy legacy(legacy_rt, *legacy_rt.resolve({kCruiseService, kCruiseInstance}));
-  legacy.target_speed.notifier().SetReceiveHandler([](const double& value) {
+  ara::Proxy<Cruise> legacy(legacy_rt, kCruiseInstance,
+                            *legacy_rt.resolve({kCruiseService, kCruiseInstance}));
+  legacy.get(Cruise::target_speed).notifier().SetReceiveHandler([](const double& value) {
     std::printf("  [legacy]  update notification = %.1f km/h\n", value);
   });
-  legacy.target_speed.notifier().Subscribe();
+  legacy.get(Cruise::target_speed).notifier().Subscribe();
 
-  auto get_future = legacy.target_speed.Get();
+  auto get_future = legacy.get(Cruise::target_speed).Get();
   get_future.then([](const ara::Result<double>& result) {
     std::printf("  [legacy]  Get() -> %.1f km/h\n", result.value_or(-1.0));
   });
-  auto set_future = legacy.target_speed.Set(150.0);  // gets clamped to 130
+  auto set_future = legacy.get(Cruise::target_speed).Set(150.0);  // gets clamped to 130
   set_future.then([](const ara::Result<double>& result) {
     std::printf("  [legacy]  Set(150.0) adopted -> %.1f km/h (server clamped)\n",
                 result.value_or(-1.0));
@@ -131,7 +116,6 @@ int main() {
   // --- part 2: DEAR reactor client against the unchanged legacy server ------------
   std::printf("\n== Part 2: DEAR monitor with UntaggedPolicy::kPhysicalTime ==\n");
   ara::Runtime dear_rt(network, discovery, executor, kDearClientEp, 0x53);
-  CruiseRawProxy raw(dear_rt, *dear_rt.resolve({kCruiseService, kCruiseInstance}));
 
   reactor::SimClock clock(kernel);
   reactor::Environment::Config env_config;
@@ -144,8 +128,8 @@ int main() {
   tc.deadline = 2_ms;
   tc.latency_bound = 5_ms;
   tc.untagged = transact::UntaggedPolicy::kPhysicalTime;  // legacy peer!
-  transact::ClientFieldTransactor<double> field("speed_field", env, raw.speed, dear_rt.binding(),
-                                                tc);
+  dear::ClientSide<Cruise> cruise("speed_field", env, dear_rt, kCruiseInstance, tc);
+  auto& field = cruise.tx(Cruise::target_speed);
   env.connect(monitor.poll_out, field.get.request);
   env.connect(field.get.response, monitor.speed_in);
   env.connect(field.notify.out, monitor.update_in);
@@ -154,12 +138,11 @@ int main() {
   driver.start();
 
   // Someone changes the set-point mid-run (a legacy write).
-  kernel.schedule_after(50_ms, [&] { server.target_speed.Update(80.0); });
+  kernel.schedule_after(50_ms, [&] { server.get(Cruise::target_speed).Update(80.0); });
 
   kernel.run();
 
   std::printf("\nuntagged messages handled by the DEAR client: %llu (policy: physical time)\n",
-              static_cast<unsigned long long>(field.get.untagged_messages() +
-                                              field.notify.untagged_messages()));
+              static_cast<unsigned long long>(cruise.untagged_messages()));
   return 0;
 }

@@ -1,0 +1,93 @@
+#include "acc/logic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace dear::acc {
+
+namespace {
+
+/// Deterministic per-(scan, salt) value in [0, 1).
+[[nodiscard]] double unit_hash(std::uint64_t scan_id, std::uint64_t salt) {
+  std::uint64_t state = scan_id * 0x9e3779b97f4a7c15ULL + salt;
+  return static_cast<double>(common::splitmix64(state) >> 11) * 0x1.0p-53;
+}
+
+/// Braking intervenes when the projected time to collision falls below 3 s.
+constexpr double kTtcThresholdSeconds = 3.0;
+/// Half-width of the travel lane in bearing terms.
+constexpr double kLaneAzimuthDeg = 10.0;
+/// Desired following distance (m).
+constexpr double kFollowDistanceM = 40.0;
+constexpr double kMaxAccel = 2.0;
+constexpr double kMaxDecel = -6.0;
+
+}  // namespace
+
+RadarScan generate_scan(std::uint64_t scan_id, std::int64_t capture_time) {
+  RadarScan scan;
+  scan.scan_id = scan_id;
+  scan.capture_time = capture_time;
+  // 0-3 reflections; traffic density varies scan to scan.
+  const auto count = static_cast<std::uint32_t>(unit_hash(scan_id, 1) * 4.0);
+  scan.returns.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    RadarReturn ret;
+    ret.object_id = i;
+    ret.range_m = 10.0 + 90.0 * unit_hash(scan_id, 10 + i);
+    ret.closing_speed = -10.0 + 30.0 * unit_hash(scan_id, 20 + i);
+    ret.azimuth_deg = -30.0 + 60.0 * unit_hash(scan_id, 30 + i);
+    scan.returns.push_back(ret);
+  }
+  return scan;
+}
+
+TrackList track_objects(const RadarScan& scan) {
+  TrackList tracks;
+  tracks.scan_id = scan.scan_id;
+  for (const RadarReturn& ret : scan.returns) {
+    if (std::abs(ret.azimuth_deg) > kLaneAzimuthDeg) {
+      continue;  // outside the travel lane
+    }
+    tracks.tracks.push_back(Track{ret.object_id, ret.range_m, ret.closing_speed});
+  }
+  // Nearest object first: the controller follows tracks.front().
+  std::sort(tracks.tracks.begin(), tracks.tracks.end(),
+            [](const Track& a, const Track& b) { return a.distance_m < b.distance_m; });
+  return tracks;
+}
+
+AccCommand decide_accel(const TrackList& tracks, double target_speed_kmh) {
+  AccCommand command;
+  command.scan_id = tracks.scan_id;
+  command.target_speed_kmh = target_speed_kmh;
+  if (!tracks.tracks.empty()) {
+    const Track& lead = tracks.tracks.front();
+    if (lead.closing_speed > 0.0 &&
+        lead.distance_m < kTtcThresholdSeconds * lead.closing_speed) {
+      // Collision avoidance: decelerate hard enough to null the closing
+      // speed within the remaining gap.
+      command.braking = true;
+      command.accel_mps2 = std::max(
+          kMaxDecel, -(lead.closing_speed * lead.closing_speed) / (2.0 * lead.distance_m));
+      return command;
+    }
+    // Distance-keeping behind the lead vehicle.
+    command.accel_mps2 = std::clamp(0.05 * (lead.distance_m - kFollowDistanceM) -
+                                        0.25 * lead.closing_speed,
+                                    kMaxDecel, kMaxAccel);
+    return command;
+  }
+  // Free road: regulate toward the set-point (proportional, around the
+  // nominal 90 km/h plant the synthetic scenario assumes).
+  command.accel_mps2 = std::clamp(0.05 * (target_speed_kmh - 90.0), kMaxDecel, kMaxAccel);
+  return command;
+}
+
+AccCommand reference_command(std::uint64_t scan_id, double target_speed_kmh) {
+  return decide_accel(track_objects(generate_scan(scan_id, 0)), target_speed_kmh);
+}
+
+}  // namespace dear::acc

@@ -1,0 +1,38 @@
+// Component logic of the adaptive cruise-control SWCs.
+//
+// Pure, deterministic functions of their inputs, mirroring
+// brake/logic.hpp: the chain's behavioral output is attributable entirely
+// to coordination, so digests over the actuator commands detect any
+// nondeterminism introduced by the middleware or the deployment.
+#pragma once
+
+#include <cstdint>
+
+#include "acc/types.hpp"
+
+namespace dear::acc {
+
+/// Cruise set-point bounds enforced by the controller (km/h).
+inline constexpr double kMinTargetSpeedKmh = 30.0;
+inline constexpr double kMaxTargetSpeedKmh = 130.0;
+
+/// Synthesizes the scan a radar would capture at `capture_time`. Content
+/// depends only on scan_id, so downstream components can verify which scan
+/// a value was derived from.
+[[nodiscard]] RadarScan generate_scan(std::uint64_t scan_id, std::int64_t capture_time);
+
+/// Tracker: associates radar returns with the travel lane and produces
+/// in-lane object tracks. Deterministic in the scan.
+[[nodiscard]] TrackList track_objects(const RadarScan& scan);
+
+/// ACC controller: follows the lead vehicle when one is tracked, otherwise
+/// regulates toward the cruise set-point; time-to-collision below the
+/// threshold triggers a braking intervention. Deterministic in
+/// (tracks, target speed).
+[[nodiscard]] AccCommand decide_accel(const TrackList& tracks, double target_speed_kmh);
+
+/// Reference chain: the command scan_id *should* produce under set-point
+/// `target_speed_kmh` when nothing is dropped or misaligned.
+[[nodiscard]] AccCommand reference_command(std::uint64_t scan_id, double target_speed_kmh);
+
+}  // namespace dear::acc

@@ -1,0 +1,355 @@
+#include "acc/pipeline.hpp"
+
+#include <algorithm>
+#include <iterator>
+#include <unordered_map>
+
+#include "acc/logic.hpp"
+#include "acc/services.hpp"
+#include "ara/com/local_binding.hpp"
+#include "common/digest.hpp"
+#include "common/rng.hpp"
+#include "dear/app_builder.hpp"
+#include "dear/bundles.hpp"
+#include "net/sim_network.hpp"
+#include "sim/clock_model.hpp"
+#include "sim/periodic_task.hpp"
+#include "sim/sim_executor.hpp"
+
+namespace dear::acc {
+
+namespace {
+
+constexpr net::NodeId kPlatform = 1;
+
+constexpr net::Endpoint kRadarEp{kPlatform, 301};
+constexpr net::Endpoint kTrackerEp{kPlatform, 302};
+constexpr net::Endpoint kAccEp{kPlatform, 303};
+constexpr net::Endpoint kActuatorEp{kPlatform, 304};
+constexpr net::Endpoint kConsoleEp{kPlatform, 305};
+
+using common::mix_digest;
+
+// --- SWC logic reactors ----------------------------------------------------------
+
+/// Radar logic: the sensor boundary. Scans arrive from the radar front-end
+/// and are tagged with the physical time of reception.
+class RadarLogic final : public reactor::Reactor {
+ public:
+  reactor::PhysicalAction<RadarScan> scan_arrival{"scan_arrival", this};
+  reactor::Output<RadarScan> out{"out", this};
+
+  RadarLogic(reactor::Environment& environment, sim::ExecTimeModel cost)
+      : Reactor("radar_logic", environment) {
+    add_reaction("on_scan", [this] { out.set(scan_arrival.get_ptr()); })
+        .triggered_by(scan_arrival)
+        .writes(out)
+        .set_modeled_cost(cost);
+  }
+};
+
+class TrackerLogic final : public reactor::Reactor {
+ public:
+  reactor::Input<RadarScan> scan_in{"scan_in", this};
+  reactor::Output<TrackList> tracks_out{"tracks_out", this};
+
+  TrackerLogic(reactor::Environment& environment, sim::ExecTimeModel cost)
+      : Reactor("tracker_logic", environment) {
+    add_reaction("on_scan", [this] { tracks_out.set(track_objects(scan_in.get())); })
+        .triggered_by(scan_in)
+        .writes(tracks_out)
+        .set_modeled_cost(cost);
+  }
+};
+
+/// ACC controller logic: owns the cruise set-point (the target_speed field
+/// state lives *here*, in the reactor, which is what makes the field
+/// deterministic) and computes a command per track list.
+class AccLogic final : public reactor::Reactor {
+ public:
+  reactor::Input<TrackList> tracks_in{"tracks_in", this};
+  reactor::Output<AccCommand> command_out{"command_out", this};
+
+  // target_speed field server ports (wired to the ServerFieldTransactor).
+  reactor::Input<reactor::Empty> get_request{"get_request", this};
+  reactor::Output<double> get_response{"get_response", this};
+  reactor::Input<double> set_request{"set_request", this};
+  reactor::Output<double> set_response{"set_response", this};
+  reactor::Output<double> notify_out{"notify_out", this};
+
+  AccLogic(reactor::Environment& environment, sim::ExecTimeModel cost, double initial_target)
+      : Reactor("acc_logic", environment), target_(initial_target) {
+    // Set before compute: a same-tag set-point update applies to the
+    // command computed at that tag.
+    add_reaction("on_set",
+                 [this] {
+                   target_ = std::clamp(set_request.get(), kMinTargetSpeedKmh,
+                                        kMaxTargetSpeedKmh);
+                   set_response.set(target_);
+                   notify_out.set(target_);
+                 })
+        .triggered_by(set_request)
+        .writes(set_response)
+        .writes(notify_out);
+    add_reaction("on_get", [this] { get_response.set(target_); })
+        .triggered_by(get_request)
+        .writes(get_response);
+    add_reaction("on_tracks",
+                 [this] { command_out.set(decide_accel(tracks_in.get(), target_)); })
+        .triggered_by(tracks_in)
+        .writes(command_out)
+        .set_modeled_cost(cost);
+  }
+
+ private:
+  double target_;
+};
+
+class ActuatorLogic final : public reactor::Reactor {
+ public:
+  reactor::Input<AccCommand> command_in{"command_in", this};
+
+  using Observer = std::function<void(const AccCommand&, const reactor::Tag&)>;
+
+  ActuatorLogic(reactor::Environment& environment, sim::ExecTimeModel cost, Observer observer)
+      : Reactor("actuator_logic", environment), observer_(std::move(observer)) {
+    add_reaction("on_command", [this] { observer_(command_in.get(), current_tag()); })
+        .triggered_by(command_in)
+        .set_modeled_cost(cost);
+  }
+
+ private:
+  Observer observer_;
+};
+
+/// Driver console: periodically polls the set-point (field get) and steps
+/// it through a deterministic profile (field set); also observes change
+/// notifications. Everything is timer-driven, hence logical and
+/// reproducible.
+class ConsoleLogic final : public reactor::Reactor {
+ public:
+  reactor::Output<reactor::Empty> get_request{"get_request", this};
+  reactor::Input<double> get_response{"get_response", this};
+  reactor::Output<double> set_request{"set_request", this};
+  reactor::Input<double> set_response{"set_response", this};
+  reactor::Input<double> notify_in{"notify_in", this};
+
+  std::uint64_t gets{0};
+  std::uint64_t sets{0};
+  std::uint64_t notifies{0};
+  std::uint64_t digest{0};
+
+  ConsoleLogic(reactor::Environment& environment, Duration poll_period, Duration update_period)
+      : Reactor("console_logic", environment),
+        poll_timer_("poll_timer", this, poll_period, poll_period / 2),
+        update_timer_("update_timer", this, update_period, update_period) {
+    add_reaction("poll", [this] { get_request.set(reactor::Empty{}); })
+        .triggered_by(poll_timer_)
+        .writes(get_request);
+    add_reaction("update",
+                 [this] {
+                   // A deterministic set-point profile sweeping the legal
+                   // range (and deliberately overshooting it once per
+                   // cycle to exercise the controller's clamping).
+                   static constexpr double kProfile[] = {110.0, 70.0, 150.0, 50.0, 90.0, 20.0};
+                   set_request.set(kProfile[update_index_++ % std::size(kProfile)]);
+                 })
+        .triggered_by(update_timer_)
+        .writes(set_request);
+    add_reaction("on_get_response",
+                 [this] {
+                   ++gets;
+                   mix_digest(digest, static_cast<std::uint64_t>(get_response.get() * 100.0));
+                 })
+        .triggered_by(get_response);
+    add_reaction("on_set_response",
+                 [this] {
+                   ++sets;
+                   mix_digest(digest, static_cast<std::uint64_t>(set_response.get() * 100.0) + 1);
+                 })
+        .triggered_by(set_response);
+    add_reaction("on_notify",
+                 [this] {
+                   ++notifies;
+                   mix_digest(digest, static_cast<std::uint64_t>(notify_in.get() * 100.0) + 2);
+                 })
+        .triggered_by(notify_in);
+  }
+
+ private:
+  reactor::Timer poll_timer_;
+  reactor::Timer update_timer_;
+  std::size_t update_index_{0};
+};
+
+}  // namespace
+
+AccResult run_acc_pipeline(const AccScenarioConfig& config) {
+  common::Rng platform_rng(config.platform_seed);
+  common::Rng radar_rng(config.radar_seed);
+
+  sim::Kernel kernel;
+  net::SimNetwork network(kernel, platform_rng.stream("net"));
+  net::LinkParams link;
+  link.latency = sim::ExecTimeModel::uniform(config.link_latency_min, config.link_latency_max);
+  network.set_default_link(link);
+
+  someip::ServiceDiscovery discovery;
+  sim::SimExecutor executor(kernel, platform_rng.stream("dispatch"));
+
+  ara::com::LocalHub hub;
+
+  const auto make_config = [&](Duration deadline) {
+    transact::TransactorConfig tc;
+    tc.deadline = scale_duration(deadline, config.deadline_scale);
+    tc.latency_bound = config.latency_bound;
+    tc.clock_error_bound = config.clock_error_bound;
+    tc.untagged = config.untagged;
+    return tc;
+  };
+
+  AppBuilder::Config app_config;
+  app_config.local_hub = config.local_transport ? &hub : nullptr;
+  AppBuilder app(kernel, network, discovery, executor, platform_rng, app_config);
+
+  auto& radar = app.node("radar", kRadarEp, 0x31);
+  auto& tracker = app.node("tracker", kTrackerEp, 0x32);
+  auto& acc = app.node("acc", kAccEp, 0x33);
+  auto& actuator = app.node("actuator", kActuatorEp, 0x34);
+  auto& console = app.node("console", kConsoleEp, 0x35);
+
+  // Servers first (offered on construction), then clients.
+  auto& radar_srv = radar.serve<Radar>(kInstance, make_config(config.radar_deadline));
+  auto& tracker_srv = tracker.serve<Tracker>(kInstance, make_config(config.tracker_deadline));
+  auto& acc_srv = acc.serve<AccController>(kInstance, make_config(config.acc_deadline));
+
+  auto& tracker_cli = tracker.require<Radar>(kInstance, make_config(config.tracker_deadline));
+  auto& acc_cli = acc.require<Tracker>(kInstance, make_config(config.acc_deadline));
+  auto& actuator_cli =
+      actuator.require<AccController>(kInstance, make_config(config.actuator_deadline));
+  auto& console_cli =
+      console.require<AccController>(kInstance, make_config(config.console_deadline));
+
+  const double ts = config.exec_time_scale;
+  const auto light_cost =
+      sim::ExecTimeModel::normal(500 * kMicrosecond, 150 * kMicrosecond, 100 * kMicrosecond,
+                                 2 * kMillisecond)
+          .scaled(ts);
+  const auto tracker_cost =
+      sim::ExecTimeModel::normal(8 * kMillisecond, 1 * kMillisecond, 4 * kMillisecond,
+                                 15 * kMillisecond)
+          .scaled(ts);
+  const auto acc_cost =
+      sim::ExecTimeModel::normal(4 * kMillisecond, 800 * kMicrosecond, 2 * kMillisecond,
+                                 8 * kMillisecond)
+          .scaled(ts);
+
+  AccResult result;
+  std::unordered_map<std::uint64_t, TimePoint> arrival_time;
+
+  auto& radar_logic = radar.logic<RadarLogic>(light_cost);
+  auto& tracker_logic = tracker.logic<TrackerLogic>(tracker_cost);
+  auto& acc_logic = acc.logic<AccLogic>(acc_cost, 100.0);
+  auto& actuator_logic = actuator.logic<ActuatorLogic>(
+      light_cost, [&](const AccCommand& command, const reactor::Tag& tag) {
+        ++result.commands;
+        if (command.braking) {
+          ++result.brake_interventions;
+        }
+        if (command != reference_command(command.scan_id, command.target_speed_kmh)) {
+          ++result.wrong_commands;
+        }
+        mix_digest(result.output_digest, command.scan_id);
+        // accel_mps2 is negative for decelerations: go through int64_t (a
+        // direct negative-double→uint64_t cast is UB / float-cast-overflow).
+        mix_digest(result.output_digest,
+                   static_cast<std::uint64_t>(static_cast<std::int64_t>(command.accel_mps2 * 1e6)));
+        mix_digest(result.output_digest, command.braking ? 1 : 0);
+        mix_digest(result.output_digest,
+                   static_cast<std::uint64_t>(command.target_speed_kmh * 100.0));
+        const auto it = arrival_time.find(command.scan_id);
+        if (it != arrival_time.end()) {
+          mix_digest(result.tag_digest, static_cast<std::uint64_t>(tag.time - it->second));
+          mix_digest(result.tag_digest, tag.microstep);
+          arrival_time.erase(it);
+        }
+      });
+  auto& console_logic =
+      console.logic<ConsoleLogic>(config.console_poll_period, config.console_update_period);
+
+  // --- wiring: all of it derived from the descriptors -------------------------
+  radar.connect(radar_logic.out, radar_srv.tx(Radar::scan).in);
+
+  tracker.connect(tracker_cli.tx(Radar::scan).out, tracker_logic.scan_in);
+  tracker.connect(tracker_logic.tracks_out, tracker_srv.tx(Tracker::tracks).in);
+
+  acc.connect(acc_cli.tx(Tracker::tracks).out, acc_logic.tracks_in);
+  acc.connect(acc_logic.command_out, acc_srv.tx(AccController::command).in);
+  auto& field_srv = acc_srv.tx(AccController::target_speed);
+  acc.connect(field_srv.get.request, acc_logic.get_request);
+  acc.connect(acc_logic.get_response, field_srv.get.response);
+  acc.connect(field_srv.set.request, acc_logic.set_request);
+  acc.connect(acc_logic.set_response, field_srv.set.response);
+  acc.connect(acc_logic.notify_out, field_srv.notify.in);
+
+  actuator.connect(actuator_cli.tx(AccController::command).out, actuator_logic.command_in);
+
+  auto& field_cli = console_cli.tx(AccController::target_speed);
+  console.connect(console_logic.get_request, field_cli.get.request);
+  console.connect(field_cli.get.response, console_logic.get_response);
+  console.connect(console_logic.set_request, field_cli.set.request);
+  console.connect(field_cli.set.response, console_logic.set_response);
+  console.connect(field_cli.notify.out, console_logic.notify_in);
+
+  // --- the radar front-end -----------------------------------------------------
+  auto radar_cfg_rng = radar_rng.stream("radar");
+  const sim::PlatformClock radar_clock(radar_cfg_rng.uniform_duration(0, config.period),
+                                       radar_cfg_rng.uniform(-1000, 1000) * 0.03);
+  std::uint64_t scans_sent = 0;
+  sim::PeriodicTask radar_task(
+      kernel, radar_clock, config.period,
+      radar_cfg_rng.uniform_duration(0, config.period - 1),
+      [&](std::uint64_t index, TimePoint release) {
+        if (scans_sent >= config.scans) {
+          return;
+        }
+        ++scans_sent;
+        const RadarScan scan = generate_scan(index, radar_clock.local_now(release));
+        arrival_time.emplace(scan.scan_id, kernel.now());
+        radar_logic.scan_arrival.schedule(scan);
+      });
+  radar_task.set_jitter(sim::ExecTimeModel::uniform(0, config.radar_jitter),
+                        radar_rng.stream("radar.jitter"));
+
+  app.start();
+
+  // Let the service wiring settle before the sensor streams: event
+  // subscriptions are SOME/IP control messages that traverse the simulated
+  // network, so a scan published at t≈0 would reach a server binding that
+  // does not know its subscribers yet. Real deployments sequence this
+  // through service discovery; the DES equivalent is a short drain.
+  constexpr Duration kServiceSettleTime = 5 * kMillisecond;
+  kernel.run_until(kServiceSettleTime);
+  radar_task.start();
+
+  const TimePoint horizon = kServiceSettleTime +
+                            static_cast<TimePoint>(config.scans + 16) * config.period +
+                            16 * config.period;
+  kernel.run_until(horizon);
+  radar_task.stop();
+
+  // --- collect results ----------------------------------------------------------
+  result.scans_sent = scans_sent;
+  result.field_gets = console_logic.gets;
+  result.field_sets = console_logic.sets;
+  result.field_notifies = console_logic.notifies;
+  result.console_digest = console_logic.digest;
+  result.deadline_violations = app.deadline_violations();
+  result.tardy_messages = app.tardy_messages();
+  result.untagged_messages = app.untagged_messages();
+  result.dropped_messages = app.dropped_messages();
+  result.remote_errors = app.remote_errors();
+  return result;
+}
+
+}  // namespace dear::acc

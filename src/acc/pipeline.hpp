@@ -1,0 +1,104 @@
+// The adaptive cruise-control chain built on DEAR, entirely from
+// ServiceInterface descriptors and the AppBuilder.
+//
+//   radar ──scan──▶ tracker ──tracks──▶ acc ──command──▶ actuator
+//                                        ▲
+//                        console ──get/set/notify (target_speed field)
+//
+// Five SWC processes on the compute platform: the radar SWC is the sensor
+// boundary (scans are tagged with the physical time of reception, like the
+// brake assistant's Video Adapter), tracker and ACC controller are pure
+// logic reactors, the actuator consumes the command stream, and a driver
+// console polls and updates the cruise set-point through the controller's
+// target_speed *field* — so one run exercises event, method and field
+// transactors derived from the same descriptors.
+//
+// Like the brake pipeline, the chain runs unchanged over SOME/IP or the
+// zero-copy in-process transport (local_transport), with bit-identical
+// observable outputs and logical tags.
+#pragma once
+
+#include <cstdint>
+
+#include "common/time.hpp"
+#include "dear/config.hpp"
+
+namespace dear::acc {
+
+struct AccScenarioConfig {
+  /// Seed for the radar's timing (capture phase + jitter + clock drift).
+  std::uint64_t radar_seed{1};
+  /// Seed for everything platform-side (network latency, dispatch order,
+  /// modeled execution-time draws).
+  std::uint64_t platform_seed{1};
+  std::uint64_t scans{10'000};
+  Duration period{50 * kMillisecond};
+  Duration radar_jitter{500 * kMicrosecond};
+  Duration link_latency_min{200 * kMicrosecond};
+  Duration link_latency_max{800 * kMicrosecond};
+
+  // Transactor deadlines and safe-to-process bounds.
+  Duration radar_deadline{5 * kMillisecond};
+  Duration tracker_deadline{20 * kMillisecond};
+  Duration acc_deadline{10 * kMillisecond};
+  Duration actuator_deadline{5 * kMillisecond};
+  Duration console_deadline{5 * kMillisecond};
+  Duration latency_bound{5 * kMillisecond};
+  Duration clock_error_bound{0};
+
+  /// Global scale on all deadlines (latency/error trade-off knob).
+  double deadline_scale{1.0};
+  /// Scale factor on the modeled execution times (stress knob).
+  double exec_time_scale{1.0};
+
+  /// Console cadence: how often the set-point is polled resp. stepped
+  /// through the field's get/set methods (logical time).
+  Duration console_poll_period{500 * kMillisecond};
+  Duration console_update_period{2000 * kMillisecond};
+
+  /// Deploy all chain services over the zero-copy in-process transport
+  /// instead of SOME/IP.
+  bool local_transport{false};
+
+  transact::UntaggedPolicy untagged{transact::UntaggedPolicy::kFail};
+};
+
+struct AccResult {
+  std::uint64_t scans_sent{0};
+  /// Commands received by the actuator (== scans_sent when nothing drops).
+  std::uint64_t commands{0};
+  std::uint64_t brake_interventions{0};
+  /// Commands that differ from the drop-free reference chain.
+  std::uint64_t wrong_commands{0};
+
+  // Field traffic observed by the console.
+  std::uint64_t field_gets{0};
+  std::uint64_t field_sets{0};
+  std::uint64_t field_notifies{0};
+
+  // Observable protocol errors (summed over every transactor in the app).
+  std::uint64_t deadline_violations{0};
+  std::uint64_t tardy_messages{0};
+  std::uint64_t untagged_messages{0};
+  std::uint64_t dropped_messages{0};
+  /// Remote/communication errors on method futures (field get/set calls).
+  std::uint64_t remote_errors{0};
+
+  /// Order-sensitive digest over every actuator command (scan id, accel,
+  /// braking, active set-point).
+  std::uint64_t output_digest{0};
+  /// Digest over the actuator tags relative to the radar arrival tags.
+  std::uint64_t tag_digest{0};
+  /// Digest over the console's get/set/notify observations.
+  std::uint64_t console_digest{0};
+
+  [[nodiscard]] std::uint64_t total_errors() const noexcept {
+    return deadline_violations + tardy_messages + dropped_messages + remote_errors +
+           wrong_commands;
+  }
+};
+
+/// Runs the ACC chain to completion and returns the instrumented outcome.
+[[nodiscard]] AccResult run_acc_pipeline(const AccScenarioConfig& config);
+
+}  // namespace dear::acc

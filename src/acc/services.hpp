@@ -1,0 +1,46 @@
+// Service interfaces of the adaptive cruise-control chain, declared as
+// compile-time ServiceInterface descriptors.
+//
+// This application exists to prove the scenario-diversity payoff of the
+// descriptor API: unlike the brake assistant (which was ported from
+// handwritten classes), the ACC chain is built *purely* on descriptors +
+// AppBuilder — there is no per-service boilerplate class anywhere in the
+// chain, and the AccController interface exercises all three member kinds
+// (event + field, the field expanding to two methods and one event).
+#pragma once
+
+#include "acc/types.hpp"
+#include "ara/meta/service_interface.hpp"
+
+namespace dear::acc {
+
+// Service ids (the brake assistant occupies 0x1001-0x1004).
+inline constexpr someip::ServiceId kRadarService = 0x2001;
+inline constexpr someip::ServiceId kTrackerService = 0x2002;
+inline constexpr someip::ServiceId kAccService = 0x2003;
+inline constexpr someip::InstanceId kInstance = 0x0001;
+
+/// Radar: offers the scan stream (sensor boundary of the chain).
+struct Radar {
+  static constexpr ara::meta::Event<RadarScan, 0x8001> scan{"scan"};
+  static constexpr auto kInterface =
+      ara::meta::service_interface("Radar", kRadarService, {1, 0}, scan);
+};
+
+/// Tracker: offers in-lane object tracks.
+struct Tracker {
+  static constexpr ara::meta::Event<TrackList, 0x8001> tracks{"tracks"};
+  static constexpr auto kInterface =
+      ara::meta::service_interface("Tracker", kTrackerService, {1, 0}, tracks);
+};
+
+/// ACC controller: offers the longitudinal command stream plus the cruise
+/// set-point as a field (get/set methods + change notification).
+struct AccController {
+  static constexpr ara::meta::Event<AccCommand, 0x8001> command{"command"};
+  static constexpr ara::meta::Field<double, 0x0001, 0x0002, 0x8002> target_speed{"target_speed"};
+  static constexpr auto kInterface =
+      ara::meta::service_interface("AccController", kAccService, {1, 0}, command, target_speed);
+};
+
+}  // namespace dear::acc

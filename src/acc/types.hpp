@@ -1,0 +1,133 @@
+// Data types flowing through the adaptive cruise-control chain.
+//
+// Like the brake assistant (brake/types.hpp), the interesting errors here
+// are coordination errors, not perception errors: payloads carry
+// deterministic synthetic content derived from the scan id, so every
+// downstream value records exactly which radar scan produced it and drops
+// or misalignment are detectable by construction.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "someip/serialization.hpp"
+
+namespace dear::acc {
+
+/// One reflection in a radar scan.
+struct RadarReturn {
+  std::uint32_t object_id{0};
+  /// Distance to the reflecting object (meters).
+  double range_m{0.0};
+  /// Closing speed (m/s, positive = approaching).
+  double closing_speed{0.0};
+  /// Bearing relative to the vehicle axis (degrees, 0 = straight ahead).
+  double azimuth_deg{0.0};
+
+  bool operator==(const RadarReturn&) const = default;
+};
+
+struct RadarScan {
+  std::uint64_t scan_id{0};
+  /// Capture time on the radar's clock (ns). Not part of the scan content.
+  std::int64_t capture_time{0};
+  std::vector<RadarReturn> returns;
+
+  bool operator==(const RadarScan&) const = default;
+};
+
+/// A tracked in-lane object.
+struct Track {
+  std::uint32_t track_id{0};
+  double distance_m{0.0};
+  double closing_speed{0.0};
+
+  bool operator==(const Track&) const = default;
+};
+
+struct TrackList {
+  /// Scan the tracks were computed from.
+  std::uint64_t scan_id{0};
+  std::vector<Track> tracks;
+
+  bool operator==(const TrackList&) const = default;
+};
+
+/// Longitudinal command issued by the ACC controller.
+struct AccCommand {
+  std::uint64_t scan_id{0};
+  /// The cruise set-point that was active when the command was computed.
+  double target_speed_kmh{0.0};
+  /// Commanded acceleration (m/s², negative = decelerate).
+  double accel_mps2{0.0};
+  /// True when the command is a collision-avoidance braking intervention.
+  bool braking{false};
+
+  bool operator==(const AccCommand&) const = default;
+};
+
+// --- SOME/IP codecs ---------------------------------------------------------
+
+inline void someip_serialize(someip::Writer& w, const RadarReturn& v) {
+  w.write_u32(v.object_id);
+  w.write_f64(v.range_m);
+  w.write_f64(v.closing_speed);
+  w.write_f64(v.azimuth_deg);
+}
+
+inline void someip_deserialize(someip::Reader& r, RadarReturn& v) {
+  v.object_id = r.read_u32();
+  v.range_m = r.read_f64();
+  v.closing_speed = r.read_f64();
+  v.azimuth_deg = r.read_f64();
+}
+
+inline void someip_serialize(someip::Writer& w, const RadarScan& v) {
+  w.write_u64(v.scan_id);
+  w.write_i64(v.capture_time);
+  someip_serialize(w, v.returns);
+}
+
+inline void someip_deserialize(someip::Reader& r, RadarScan& v) {
+  v.scan_id = r.read_u64();
+  v.capture_time = r.read_i64();
+  someip_deserialize(r, v.returns);
+}
+
+inline void someip_serialize(someip::Writer& w, const Track& v) {
+  w.write_u32(v.track_id);
+  w.write_f64(v.distance_m);
+  w.write_f64(v.closing_speed);
+}
+
+inline void someip_deserialize(someip::Reader& r, Track& v) {
+  v.track_id = r.read_u32();
+  v.distance_m = r.read_f64();
+  v.closing_speed = r.read_f64();
+}
+
+inline void someip_serialize(someip::Writer& w, const TrackList& v) {
+  w.write_u64(v.scan_id);
+  someip_serialize(w, v.tracks);
+}
+
+inline void someip_deserialize(someip::Reader& r, TrackList& v) {
+  v.scan_id = r.read_u64();
+  someip_deserialize(r, v.tracks);
+}
+
+inline void someip_serialize(someip::Writer& w, const AccCommand& v) {
+  w.write_u64(v.scan_id);
+  w.write_f64(v.target_speed_kmh);
+  w.write_f64(v.accel_mps2);
+  w.write_bool(v.braking);
+}
+
+inline void someip_deserialize(someip::Reader& r, AccCommand& v) {
+  v.scan_id = r.read_u64();
+  v.target_speed_kmh = r.read_f64();
+  v.accel_mps2 = r.read_f64();
+  v.braking = r.read_bool();
+}
+
+}  // namespace dear::acc

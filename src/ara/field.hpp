@@ -11,16 +11,10 @@
 #include <optional>
 
 #include "ara/event.hpp"
+#include "ara/meta/service_interface.hpp"  // FieldIds
 #include "ara/method.hpp"
 
 namespace dear::ara {
-
-/// Ids used by a field: get/set are plain methods, notify is an event.
-struct FieldIds {
-  someip::MethodId get;
-  someip::MethodId set;
-  someip::EventId notify;
-};
 
 template <typename T>
 class SkeletonField {

@@ -1,0 +1,288 @@
+// Compile-time ServiceInterface descriptors — the generator-input
+// replacement.
+//
+// The paper treats proxy and skeleton classes as *generated* artifacts of a
+// ServiceInterface description (paper §II.A). This header provides the
+// in-language equivalent of that description: a constexpr descriptor that
+// names a service (id + version) and its typed members, from which the
+// rest of the stack derives everything that used to be written by hand —
+//
+//   * ara::Proxy<I> / ara::Skeleton<I>      (ara/generated.hpp)
+//   * dear::ClientSide<I> / ServerSide<I>   (dear/bundles.hpp)
+//   * AppBuilder deployments                (dear/app_builder.hpp)
+//
+// A service is declared once, in ~10 lines:
+//
+//   struct VideoAdapter {
+//     static constexpr ara::meta::Event<VideoFrame, 0x8001> frame{"frame"};
+//     static constexpr auto kInterface =
+//         ara::meta::service_interface("VideoAdapter", 0x1001, {1, 0}, frame);
+//   };
+//
+// SOME/IP ids live in the member descriptor *types* (not just the values),
+// so member lookup — proxy.get(VideoAdapter::frame) — resolves at compile
+// time with no table or string search. The service_interface() factory is
+// consteval and rejects malformed interfaces (id-space violations,
+// duplicate ids) at compile time.
+#pragma once
+
+#include <cstdint>
+#include <tuple>
+#include <type_traits>
+#include <utility>
+
+#include "someip/types.hpp"
+
+namespace dear::ara {
+
+/// Ids used by a field: get/set are plain methods, notify is an event.
+/// (Also consumed by the classic handwritten API in ara/field.hpp.)
+struct FieldIds {
+  someip::MethodId get;
+  someip::MethodId set;
+  someip::EventId notify;
+};
+
+namespace meta {
+
+/// Major/minor interface version (SOME/IP service versioning).
+struct Version {
+  std::uint8_t major{1};
+  std::uint8_t minor{0};
+};
+
+// --- member descriptors ---------------------------------------------------------
+//
+// Each member kind carries its payload type(s) and SOME/IP id(s) as
+// template parameters; the only runtime state is the member's name. Two
+// members of one interface therefore never share a descriptor type, which
+// is what makes get(I::member) a pure type-level lookup.
+
+/// One-way server→client notification carrying samples of T.
+template <typename T, someip::EventId Id>
+struct Event {
+  using value_type = T;
+  static constexpr someip::EventId id = Id;
+  const char* name;
+};
+
+/// Request/response method. Methods with several parameters are modeled
+/// with a single request struct, exactly as generated proxy code would
+/// bundle them (and as the DEAR method transactors require).
+template <typename Req, typename Res, someip::MethodId Id>
+struct Method {
+  using request_type = Req;
+  using response_type = Res;
+  static constexpr someip::MethodId id = Id;
+  const char* name;
+};
+
+/// Server-side state variable: get method + set method + change event.
+template <typename T, someip::MethodId GetId, someip::MethodId SetId, someip::EventId NotifyId>
+struct Field {
+  using value_type = T;
+  static constexpr someip::MethodId get_id = GetId;
+  static constexpr someip::MethodId set_id = SetId;
+  static constexpr someip::EventId notify_id = NotifyId;
+  static constexpr FieldIds ids{GetId, SetId, NotifyId};
+  const char* name;
+};
+
+// --- member kind traits ---------------------------------------------------------
+
+template <typename M>
+inline constexpr bool is_event_member = false;
+template <typename T, someip::EventId Id>
+inline constexpr bool is_event_member<Event<T, Id>> = true;
+
+template <typename M>
+inline constexpr bool is_method_member = false;
+template <typename Req, typename Res, someip::MethodId Id>
+inline constexpr bool is_method_member<Method<Req, Res, Id>> = true;
+
+template <typename M>
+inline constexpr bool is_field_member = false;
+template <typename T, someip::MethodId G, someip::MethodId S, someip::EventId N>
+inline constexpr bool is_field_member<Field<T, G, S, N>> = true;
+
+template <typename M>
+inline constexpr bool is_member_descriptor =
+    is_event_member<M> || is_method_member<M> || is_field_member<M>;
+
+// --- the interface descriptor ---------------------------------------------------
+
+template <typename... Members>
+struct ServiceInterface {
+  static constexpr std::size_t member_count = sizeof...(Members);
+  using members_tuple = std::tuple<Members...>;
+
+  const char* name;
+  someip::ServiceId service;
+  Version version;
+  members_tuple members;
+};
+
+namespace detail {
+
+/// Compile-time id bookkeeping for validation. Each check `throw`s on
+/// violation: inside the consteval factory this is never executed at
+/// runtime, it simply makes the constant evaluation fail with the message
+/// visible in the compiler diagnostic.
+template <std::size_t N>
+struct IdChecker {
+  someip::MethodId ids[N > 0 ? N : 1]{};
+  std::size_t count{0};
+
+  constexpr void add(someip::MethodId id) {
+    for (std::size_t i = 0; i < count; ++i) {
+      if (ids[i] == id) {
+        throw "service interface declares the same SOME/IP id twice";
+      }
+    }
+    ids[count++] = id;
+  }
+
+  template <typename M>
+  constexpr void check(const M&) {
+    if constexpr (is_event_member<M>) {
+      if (!someip::is_event_id(M::id)) {
+        throw "event ids must set the 0x8000 flag (SOME/IP notification id space)";
+      }
+      add(M::id);
+    } else if constexpr (is_method_member<M>) {
+      if (someip::is_event_id(M::id)) {
+        throw "method ids must be below 0x8000 (SOME/IP method id space)";
+      }
+      add(M::id);
+    } else {
+      static_assert(is_field_member<M>, "unknown member descriptor kind");
+      if (someip::is_event_id(M::get_id) || someip::is_event_id(M::set_id)) {
+        throw "field get/set ids must be below 0x8000 (they are methods)";
+      }
+      if (!someip::is_event_id(M::notify_id)) {
+        throw "field notify ids must set the 0x8000 flag (they are events)";
+      }
+      add(M::get_id);
+      add(M::set_id);
+      add(M::notify_id);
+    }
+  }
+};
+
+}  // namespace detail
+
+/// Builds a validated ServiceInterface. Evaluated at compile time only; a
+/// malformed interface fails to compile with the violated rule in the
+/// diagnostic.
+template <typename... Members>
+[[nodiscard]] consteval ServiceInterface<Members...> service_interface(const char* name,
+                                                                       someip::ServiceId service,
+                                                                       Version version,
+                                                                       Members... members) {
+  static_assert((is_member_descriptor<Members> && ...),
+                "service_interface members must be ara::meta::Event/Method/Field descriptors");
+  if (service == 0) {
+    throw "service id must be non-zero";
+  }
+  detail::IdChecker<3 * sizeof...(Members)> checker;
+  (checker.check(members), ...);
+  return ServiceInterface<Members...>{name, service, version,
+                                      std::tuple<Members...>{members...}};
+}
+
+// --- descriptor concept + member lookup -----------------------------------------
+
+template <typename T>
+inline constexpr bool is_service_interface = false;
+template <typename... Members>
+inline constexpr bool is_service_interface<ServiceInterface<Members...>> = true;
+
+/// A type usable as the Interface parameter of Proxy<I>/Skeleton<I>/
+/// ClientSide<I>/ServerSide<I>: it exposes the descriptor as a static
+/// constexpr `kInterface`.
+template <typename I>
+concept ServiceDescriptor =
+    is_service_interface<std::remove_cvref_t<decltype(I::kInterface)>>;
+
+template <ServiceDescriptor I>
+using members_tuple_t = typename std::remove_cvref_t<decltype(I::kInterface)>::members_tuple;
+
+template <ServiceDescriptor I>
+inline constexpr std::size_t member_count = std::tuple_size_v<members_tuple_t<I>>;
+
+template <ServiceDescriptor I, std::size_t Index>
+using member_t = std::tuple_element_t<Index, members_tuple_t<I>>;
+
+/// Index of member descriptor type M within I's member list. Fails the
+/// compilation when M is not a member of I.
+template <ServiceDescriptor I, typename M>
+[[nodiscard]] consteval std::size_t index_of() {
+  constexpr std::size_t n = member_count<I>;
+  std::size_t found = n;
+  [&]<std::size_t... Is>(std::index_sequence<Is...>) {
+    (((std::is_same_v<member_t<I, Is>, std::remove_cvref_t<M>>) ? (found = Is) : found), ...);
+  }(std::make_index_sequence<n>{});
+  if (found == n) {
+    throw "the requested member is not part of this service interface";
+  }
+  return found;
+}
+
+// --- generic member-wise part storage -------------------------------------------
+//
+// Derived classes (generated proxies/skeletons, DEAR transactor bundles)
+// all need the same thing: one sub-object per interface member, chosen by
+// member kind, constructed *in place* (the ara typed parts register
+// handlers capturing `this`, so they must never be moved). MemberParts
+// builds that storage by inheriting one box per member; each box's part is
+// constructed with (member_descriptor, shared ctor args...).
+
+namespace detail {
+
+template <typename Part, std::size_t Index>
+struct PartBox {
+  Part part;
+  template <typename... Args>
+  explicit constexpr PartBox(Args&&... args) : part(std::forward<Args>(args)...) {}
+};
+
+template <ServiceDescriptor I, template <typename> class PartFor, typename Seq>
+struct MemberPartsImpl;
+
+template <ServiceDescriptor I, template <typename> class PartFor, std::size_t... Is>
+struct MemberPartsImpl<I, PartFor, std::index_sequence<Is...>>
+    : PartBox<PartFor<member_t<I, Is>>, Is>... {
+  /// Shared construction arguments are passed by lvalue reference to every
+  /// part constructor, preceded by the member's descriptor value.
+  template <typename... Args>
+  explicit MemberPartsImpl(Args&... args)
+      : PartBox<PartFor<member_t<I, Is>>, Is>(std::get<Is>(I::kInterface.members), args...)... {}
+
+  template <std::size_t Index>
+  [[nodiscard]] auto& at() noexcept {
+    return static_cast<PartBox<PartFor<member_t<I, Index>>, Index>&>(*this).part;
+  }
+  template <std::size_t Index>
+  [[nodiscard]] const auto& at() const noexcept {
+    return static_cast<const PartBox<PartFor<member_t<I, Index>>, Index>&>(*this).part;
+  }
+
+  /// Invokes f(part) for every member part, in declaration order.
+  template <typename F>
+  void for_each(F&& f) {
+    (f(static_cast<PartBox<PartFor<member_t<I, Is>>, Is>&>(*this).part), ...);
+  }
+  template <typename F>
+  void for_each(F&& f) const {
+    (f(static_cast<const PartBox<PartFor<member_t<I, Is>>, Is>&>(*this).part), ...);
+  }
+};
+
+}  // namespace detail
+
+template <ServiceDescriptor I, template <typename> class PartFor>
+using MemberParts =
+    detail::MemberPartsImpl<I, PartFor, std::make_index_sequence<member_count<I>>>;
+
+}  // namespace meta
+}  // namespace dear::ara

@@ -1,15 +1,15 @@
 #include "brake/dear_pipeline.hpp"
 
-#include <memory>
 #include <unordered_map>
 
 #include "ara/com/local_binding.hpp"
-#include "ara/runtime.hpp"
 #include "brake/camera.hpp"
 #include "brake/logic.hpp"
 #include "brake/services.hpp"
+#include "common/digest.hpp"
 #include "common/rng.hpp"
-#include "dear/dear.hpp"
+#include "dear/app_builder.hpp"
+#include "dear/bundles.hpp"
 #include "net/sim_network.hpp"
 #include "sim/clock_model.hpp"
 #include "sim/sim_executor.hpp"
@@ -29,14 +29,7 @@ constexpr net::Endpoint kCvEp{kPlatform2, 103};
 constexpr net::Endpoint kEbaEp{kPlatform2, 104};
 constexpr net::Endpoint kMonitorEp{kPlatform2, 105};
 
-void mix_digest(std::uint64_t& digest, std::uint64_t value) {
-  std::uint64_t state = digest ^ (value + 0x9e3779b97f4a7c15ULL);
-  digest = common::splitmix64(state);
-}
-
-[[nodiscard]] Duration scaled(Duration d, double factor) {
-  return static_cast<Duration>(static_cast<double>(d) * factor);
-}
+using common::mix_digest;
 
 // --- SWC logic reactors ----------------------------------------------------------
 
@@ -156,59 +149,47 @@ PipelineResult run_dear_pipeline(const DearScenarioConfig& config) {
   someip::ServiceDiscovery discovery;
   sim::SimExecutor executor(kernel, platform_rng.stream("dispatch"));
 
-  // --- ara runtimes + services ------------------------------------------------
-  // Declared before the runtimes: LocalBindings owned by the runtimes'
-  // registries detach from the hub on destruction.
+  // --- the application, declaratively -----------------------------------------
+  // Declared before the app: LocalBindings owned by the nodes' registries
+  // detach from the hub on destruction.
   ara::com::LocalHub hub;
-  ara::Runtime adapter_rt(network, discovery, executor, kAdapterEp, 0x21);
-  ara::Runtime preproc_rt(network, discovery, executor, kPreprocEp, 0x22);
-  ara::Runtime cv_rt(network, discovery, executor, kCvEp, 0x23);
-  ara::Runtime eba_rt(network, discovery, executor, kEbaEp, 0x24);
-  ara::Runtime monitor_rt(network, discovery, executor, kMonitorEp, 0x25);
+
+  // Transactor configurations (paper §IV.B): one per SWC, derived from the
+  // paper deadlines and the scenario's scaling knobs.
+  const auto make_config = [&](Duration deadline) {
+    transact::TransactorConfig tc;
+    tc.deadline = scale_duration(deadline, config.deadline_scale);
+    tc.latency_bound = config.latency_bound;
+    tc.clock_error_bound = config.clock_error_bound;
+    tc.untagged = config.untagged;
+    return tc;
+  };
 
   // Deployment: all four SWC services either stay on the default SOME/IP
   // backend or, when requested, move onto the zero-copy in-process
-  // transport. Must happen before skeletons/proxies resolve their binding.
-  if (config.local_transport) {
-    for (ara::Runtime* rt : {&adapter_rt, &preproc_rt, &cv_rt, &eba_rt, &monitor_rt}) {
-      // The local backend shares the SOME/IP backend's endpoint and client
-      // id, so discovery and session accounting are transport-agnostic.
-      rt->attach_backend(ara::com::BackendKind::kLocal,
-                         std::make_unique<ara::com::LocalBinding>(
-                             hub, executor, rt->endpoint(), rt->binding().client_id()));
-      for (const someip::ServiceId service :
-           {kVideoAdapterService, kPreprocessingService, kComputerVisionService, kEbaService}) {
-        rt->deploy({service, kInstance}, ara::com::BackendKind::kLocal);
-      }
-    }
-  }
+  // transport. The builder attaches the backend per node and deploys every
+  // served/required instance before skeletons/proxies resolve bindings.
+  AppBuilder::Config app_config;
+  app_config.local_hub = config.local_transport ? &hub : nullptr;
+  AppBuilder app(kernel, network, discovery, executor, platform_rng, app_config);
 
-  VideoAdapterSkeleton adapter_skel(adapter_rt);
-  PreprocessingSkeleton preproc_skel(preproc_rt);
-  ComputerVisionSkeleton cv_skel(cv_rt);
-  EbaSkeleton eba_skel(eba_rt);
-  adapter_skel.OfferService();
-  preproc_skel.OfferService();
-  cv_skel.OfferService();
-  eba_skel.OfferService();
+  auto& adapter = app.node("adapter", kAdapterEp, 0x21);
+  auto& preproc = app.node("preproc", kPreprocEp, 0x22);
+  auto& cv = app.node("cv", kCvEp, 0x23);
+  auto& eba = app.node("eba", kEbaEp, 0x24);
+  auto& monitor = app.node("monitor", kMonitorEp, 0x25);
 
-  VideoAdapterProxy adapter_proxy(preproc_rt, {kVideoAdapterService, kInstance},
-                                  *preproc_rt.resolve({kVideoAdapterService, kInstance}));
-  PreprocessingProxy preproc_proxy(cv_rt, {kPreprocessingService, kInstance},
-                                   *cv_rt.resolve({kPreprocessingService, kInstance}));
-  ComputerVisionProxy cv_proxy(eba_rt, {kComputerVisionService, kInstance},
-                               *eba_rt.resolve({kComputerVisionService, kInstance}));
-  EbaProxy eba_proxy(monitor_rt, {kEbaService, kInstance},
-                     *monitor_rt.resolve({kEbaService, kInstance}));
+  // Server bundles first (offered on construction), then client bundles.
+  auto& adapter_srv = adapter.serve<VideoAdapter>(kInstance, make_config(config.adapter_deadline));
+  auto& preproc_srv =
+      preproc.serve<Preprocessing>(kInstance, make_config(config.preprocessing_deadline));
+  auto& cv_srv = cv.serve<ComputerVision>(kInstance, make_config(config.cv_deadline));
+  auto& eba_srv = eba.serve<Eba>(kInstance, make_config(config.eba_deadline));
 
-  // --- reactor environments, one per SWC process ---------------------------------
-  reactor::SimClock sim_clock(kernel);
-  reactor::Environment::Config env_config;
-  env_config.keepalive = true;
-  reactor::Environment adapter_env(sim_clock, env_config);
-  reactor::Environment preproc_env(sim_clock, env_config);
-  reactor::Environment cv_env(sim_clock, env_config);
-  reactor::Environment eba_env(sim_clock, env_config);
+  auto& preproc_cli =
+      preproc.require<VideoAdapter>(kInstance, make_config(config.preprocessing_deadline));
+  auto& cv_cli = cv.require<Preprocessing>(kInstance, make_config(config.cv_deadline));
+  auto& eba_cli = eba.require<ComputerVision>(kInstance, make_config(config.eba_deadline));
 
   // Modeled execution times (upper bounds sit below the paper deadlines).
   const double ts = config.exec_time_scale;
@@ -235,103 +216,56 @@ PipelineResult run_dear_pipeline(const DearScenarioConfig& config) {
   // arrival→brake is the portion the pipeline controls).
   std::unordered_map<std::uint64_t, TimePoint> arrival_time;
 
-  AdapterLogic adapter_logic(adapter_env, adapter_cost);
-  PreprocessingLogic preproc_logic(preproc_env, preproc_cost);
-  ComputerVisionLogic cv_logic(cv_env, cv_cost);
-  EbaLogic eba_logic(eba_env, eba_cost,
-                     [&](const VehicleList& vehicles, const BrakeCommand& command,
-                         const reactor::Tag& tag) {
-                       ++result.frames_processed_eba;
-                       if (command.brake) {
-                         ++result.brake_commands;
-                       }
-                       if (command != reference_decision(vehicles.frame_id)) {
-                         ++result.wrong_decisions;
-                       }
-                       mix_digest(result.output_digest, vehicles.frame_id);
-                       mix_digest(result.output_digest, command.brake ? 1 : 0);
-                       mix_digest(result.output_digest,
-                                  static_cast<std::uint64_t>(command.intensity * 1e6));
-                       const auto it = arrival_time.find(vehicles.frame_id);
-                       if (it != arrival_time.end()) {
-                         // The logical offset from the sensor tag is the
-                         // deterministic part of the tag; the absolute tag
-                         // follows the camera/network timing inputs.
-                         mix_digest(result.tag_digest,
-                                    static_cast<std::uint64_t>(tag.time - it->second));
-                         mix_digest(result.tag_digest, tag.microstep);
-                         result.latency.add(static_cast<double>(kernel.now() - it->second));
-                         arrival_time.erase(it);
-                       }
-                     });
+  auto& adapter_logic = adapter.logic<AdapterLogic>(adapter_cost);
+  auto& preproc_logic = preproc.logic<PreprocessingLogic>(preproc_cost);
+  auto& cv_logic = cv.logic<ComputerVisionLogic>(cv_cost);
+  auto& eba_logic = eba.logic<EbaLogic>(
+      eba_cost, [&](const VehicleList& vehicles, const BrakeCommand& command,
+                    const reactor::Tag& tag) {
+        ++result.frames_processed_eba;
+        if (command.brake) {
+          ++result.brake_commands;
+        }
+        if (command != reference_decision(vehicles.frame_id)) {
+          ++result.wrong_decisions;
+        }
+        mix_digest(result.output_digest, vehicles.frame_id);
+        mix_digest(result.output_digest, command.brake ? 1 : 0);
+        mix_digest(result.output_digest, static_cast<std::uint64_t>(command.intensity * 1e6));
+        const auto it = arrival_time.find(vehicles.frame_id);
+        if (it != arrival_time.end()) {
+          // The logical offset from the sensor tag is the deterministic
+          // part of the tag; the absolute tag follows the camera/network
+          // timing inputs.
+          mix_digest(result.tag_digest, static_cast<std::uint64_t>(tag.time - it->second));
+          mix_digest(result.tag_digest, tag.microstep);
+          result.latency.add(static_cast<double>(kernel.now() - it->second));
+          arrival_time.erase(it);
+        }
+      });
 
-  // --- transactor configurations (paper §IV.B) --------------------------------------
-  const auto make_config = [&](Duration deadline) {
-    transact::TransactorConfig tc;
-    tc.deadline = scaled(deadline, config.deadline_scale);
-    tc.latency_bound = config.latency_bound;
-    tc.clock_error_bound = config.clock_error_bound;
-    tc.untagged = config.untagged;
-    return tc;
-  };
+  // Video Adapter publishes frames; Preprocessing consumes them and
+  // publishes lane info + the forwarded frame; Computer Vision fuses both
+  // into vehicle lists; EBA decides. Each connect binds an SWC logic port
+  // to the matching member transactor derived from the service descriptor.
+  adapter.connect(adapter_logic.out, adapter_srv.tx(VideoAdapter::frame).in);
 
-  // Video Adapter (server role: publishes frames).
-  transact::ServerEventTransactor<VideoFrame> adapter_frame_tx(
-      "adapter_frame_tx", adapter_env, adapter_skel.frame,
-      *adapter_rt.binding_for({kVideoAdapterService, kInstance}),
-      make_config(config.adapter_deadline));
-  adapter_env.connect(adapter_logic.out, adapter_frame_tx.in);
+  preproc.connect(preproc_cli.tx(VideoAdapter::frame).out, preproc_logic.frame_in);
+  preproc.connect(preproc_logic.lane_out, preproc_srv.tx(Preprocessing::lane).in);
+  preproc.connect(preproc_logic.frame_fwd, preproc_srv.tx(Preprocessing::forwarded_frame).in);
 
-  // Preprocessing (client role for frames; server role for lane + fwd frame).
-  transact::ClientEventTransactor<VideoFrame> preproc_frame_rx(
-      "preproc_frame_rx", preproc_env, adapter_proxy.frame,
-      *preproc_rt.binding_for({kVideoAdapterService, kInstance}),
-      make_config(config.preprocessing_deadline));
-  preproc_env.connect(preproc_frame_rx.out, preproc_logic.frame_in);
-  transact::ServerEventTransactor<LaneInfo> preproc_lane_tx(
-      "preproc_lane_tx", preproc_env, preproc_skel.lane,
-      *preproc_rt.binding_for({kPreprocessingService, kInstance}),
-      make_config(config.preprocessing_deadline));
-  preproc_env.connect(preproc_logic.lane_out, preproc_lane_tx.in);
-  transact::ServerEventTransactor<VideoFrame> preproc_fwd_tx(
-      "preproc_fwd_tx", preproc_env, preproc_skel.forwarded_frame,
-      *preproc_rt.binding_for({kPreprocessingService, kInstance}),
-      make_config(config.preprocessing_deadline));
-  preproc_env.connect(preproc_logic.frame_fwd, preproc_fwd_tx.in);
+  cv.connect(cv_cli.tx(Preprocessing::forwarded_frame).out, cv_logic.frame_in);
+  cv.connect(cv_cli.tx(Preprocessing::lane).out, cv_logic.lane_in);
+  cv.connect(cv_logic.vehicles_out, cv_srv.tx(ComputerVision::vehicles).in);
 
-  // Computer Vision (client role for lane + frame; server role for vehicles).
-  transact::ClientEventTransactor<VideoFrame> cv_frame_rx(
-      "cv_frame_rx", cv_env, preproc_proxy.forwarded_frame,
-      *cv_rt.binding_for({kPreprocessingService, kInstance}),
-      make_config(config.cv_deadline));
-  cv_env.connect(cv_frame_rx.out, cv_logic.frame_in);
-  transact::ClientEventTransactor<LaneInfo> cv_lane_rx(
-      "cv_lane_rx", cv_env, preproc_proxy.lane,
-      *cv_rt.binding_for({kPreprocessingService, kInstance}),
-      make_config(config.cv_deadline));
-  cv_env.connect(cv_lane_rx.out, cv_logic.lane_in);
-  transact::ServerEventTransactor<VehicleList> cv_vehicles_tx(
-      "cv_vehicles_tx", cv_env, cv_skel.vehicles,
-      *cv_rt.binding_for({kComputerVisionService, kInstance}),
-      make_config(config.cv_deadline));
-  cv_env.connect(cv_logic.vehicles_out, cv_vehicles_tx.in);
-
-  // EBA (client role for vehicles; server role for the brake command).
-  transact::ClientEventTransactor<VehicleList> eba_vehicles_rx(
-      "eba_vehicles_rx", eba_env, cv_proxy.vehicles,
-      *eba_rt.binding_for({kComputerVisionService, kInstance}),
-      make_config(config.eba_deadline));
-  eba_env.connect(eba_vehicles_rx.out, eba_logic.vehicles_in);
-  transact::ServerEventTransactor<BrakeCommand> eba_brake_tx(
-      "eba_brake_tx", eba_env, eba_skel.brake,
-      *eba_rt.binding_for({kEbaService, kInstance}),
-      make_config(config.eba_deadline));
-  eba_env.connect(eba_logic.brake_out, eba_brake_tx.in);
+  eba.connect(eba_cli.tx(ComputerVision::vehicles).out, eba_logic.vehicles_in);
+  eba.connect(eba_logic.brake_out, eba_srv.tx(Eba::brake).in);
 
   // Untagged monitor subscriber (exercises interoperability: the tag on
   // the brake event is simply not collected by a non-reactor client).
-  eba_proxy.brake.SetReceiveHandler([](const BrakeCommand&) {});
-  eba_proxy.brake.Subscribe();
+  auto& eba_proxy = monitor.proxy<Eba>(kInstance);
+  eba_proxy.get(Eba::brake).SetReceiveHandler([](const BrakeCommand&) {});
+  eba_proxy.get(Eba::brake).Subscribe();
 
   // Camera frames enter the reactor world as sensor events: tagged with
   // the physical time of reception (paper §IV.B).
@@ -345,14 +279,7 @@ PipelineResult run_dear_pipeline(const DearScenarioConfig& config) {
   });
 
   // --- drivers + camera ---------------------------------------------------------------
-  reactor::SimDriver adapter_driver(adapter_env, kernel, platform_rng.stream("cost.adapter"));
-  reactor::SimDriver preproc_driver(preproc_env, kernel, platform_rng.stream("cost.preproc"));
-  reactor::SimDriver cv_driver(cv_env, kernel, platform_rng.stream("cost.cv"));
-  reactor::SimDriver eba_driver(eba_env, kernel, platform_rng.stream("cost.eba"));
-  adapter_driver.start();
-  preproc_driver.start();
-  cv_driver.start();
-  eba_driver.start();
+  app.start();
 
   auto camera_cfg_rng = camera_rng.stream("camera");
   Camera::Config camera_config;
@@ -372,28 +299,30 @@ PipelineResult run_dear_pipeline(const DearScenarioConfig& config) {
   result.frames_sent = camera.frames_sent();
   result.errors.input_mismatches_cv = cv_logic.input_mismatches;
 
-  const transact::Transactor* transactors[] = {
-      &adapter_frame_tx, &preproc_frame_rx, &preproc_lane_tx, &preproc_fwd_tx,
-      &cv_frame_rx,      &cv_lane_rx,       &cv_vehicles_tx,  &eba_vehicles_rx,
-      &eba_brake_tx};
-  for (const transact::Transactor* tx : transactors) {
-    result.deadline_violations += tx->deadline_violations();
-    result.tardy_messages += tx->tardy_messages();
-    result.untagged_messages += tx->untagged_messages();
-  }
+  result.deadline_violations = app.deadline_violations();
+  result.tardy_messages = app.tardy_messages();
+  result.untagged_messages = app.untagged_messages();
+
   // Observable protocol errors map onto the Figure 5 categories: a missing
   // or late message surfaces at the stage that would have consumed it.
-  result.errors.dropped_frames_preprocessing +=
-      adapter_frame_tx.deadline_violations() + preproc_frame_rx.tardy_messages() +
-      preproc_frame_rx.dropped_messages();
-  result.errors.dropped_frames_cv += preproc_lane_tx.deadline_violations() +
-                                     preproc_fwd_tx.deadline_violations() +
-                                     cv_frame_rx.tardy_messages() + cv_lane_rx.tardy_messages() +
-                                     cv_frame_rx.dropped_messages() +
-                                     cv_lane_rx.dropped_messages();
-  result.errors.dropped_vehicles_eba += cv_vehicles_tx.deadline_violations() +
-                                        eba_vehicles_rx.tardy_messages() +
-                                        eba_vehicles_rx.dropped_messages();
+  const auto& frame_tx = adapter_srv.tx(VideoAdapter::frame);
+  const auto& frame_rx = preproc_cli.tx(VideoAdapter::frame);
+  const auto& lane_tx = preproc_srv.tx(Preprocessing::lane);
+  const auto& fwd_tx = preproc_srv.tx(Preprocessing::forwarded_frame);
+  const auto& cv_frame_rx = cv_cli.tx(Preprocessing::forwarded_frame);
+  const auto& cv_lane_rx = cv_cli.tx(Preprocessing::lane);
+  const auto& vehicles_tx = cv_srv.tx(ComputerVision::vehicles);
+  const auto& vehicles_rx = eba_cli.tx(ComputerVision::vehicles);
+
+  result.errors.dropped_frames_preprocessing += frame_tx.deadline_violations() +
+                                                frame_rx.tardy_messages() +
+                                                frame_rx.dropped_messages();
+  result.errors.dropped_frames_cv +=
+      lane_tx.deadline_violations() + fwd_tx.deadline_violations() + cv_frame_rx.tardy_messages() +
+      cv_lane_rx.tardy_messages() + cv_frame_rx.dropped_messages() + cv_lane_rx.dropped_messages();
+  result.errors.dropped_vehicles_eba += vehicles_tx.deadline_violations() +
+                                        vehicles_rx.tardy_messages() +
+                                        vehicles_rx.dropped_messages();
 
   // End-to-end logical latency: the EBA tag is the adapter arrival tag plus
   // the accumulated D + L offsets — deterministic by construction; report

@@ -1,8 +1,14 @@
-// The deterministic brake assistant built on DEAR (paper §IV.B).
+// The deterministic brake assistant built on DEAR (paper §IV.B) —
+// variant 3 of the three brake-assistant pipelines (variant 1:
+// nondet_pipeline.hpp, the stock APD baseline; variant 2:
+// det_client_pipeline.hpp, the DeterministicClient baseline; see the
+// overview in det_client_pipeline.hpp).
 //
 // Each SWC's logic is encapsulated in a reactor with one reaction per
-// incoming event; transactors bind the reactors to the unchanged AP
-// service interfaces. The Video Adapter is the sensor boundary: incoming
+// incoming event; transactor bundles derived from the service descriptors
+// (brake/services.hpp, dear/bundles.hpp) bind the reactors to the
+// unchanged AP service interfaces, and the whole deployment is assembled
+// by dear::AppBuilder. The Video Adapter is the sensor boundary: incoming
 // camera frames are tagged with the physical time of reception, and from
 // there on every reaction executes in a deterministic order.
 //

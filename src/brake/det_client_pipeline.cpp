@@ -1,3 +1,17 @@
+// Baseline variant 2 of 3 — see the overview in det_client_pipeline.hpp.
+//
+// The DeterministicClient changes *intra-SWC* behavior only, so this
+// variant is implemented as a configuration of the classic pipeline rather
+// than a separate testbed: run_nondet_pipeline already hosts the periodic
+// SWCs, and setting use_deterministic_client routes each activation
+// through the ara::DeterministicClient cycle state machine
+// (WaitForActivation: three startup phases, then kRun per cycle — paper
+// §II.B). Everything the paper identifies as the *source* of the Figure 5
+// errors — one-slot input buffers, unsynchronized callback phases,
+// scheduling jitter, clock drift — is untouched.
+//
+// Contrast with the DEAR variant (dear_pipeline.cpp), which replaces the
+// buffer-based coordination itself and eliminates those error classes.
 #include "brake/det_client_pipeline.hpp"
 
 namespace dear::brake {

@@ -4,11 +4,13 @@
 #include <optional>
 
 #include "ara/deterministic_client.hpp"
+#include "ara/generated.hpp"
 #include "ara/runtime.hpp"
 #include "brake/camera.hpp"
 #include "brake/logic.hpp"
 #include "brake/services.hpp"
 #include "brake/input_buffer.hpp"
+#include "common/digest.hpp"
 #include "common/rng.hpp"
 #include "net/sim_network.hpp"
 #include "sim/clock_model.hpp"
@@ -30,11 +32,7 @@ constexpr net::Endpoint kCvEp{kPlatform2, 103};
 constexpr net::Endpoint kEbaEp{kPlatform2, 104};
 constexpr net::Endpoint kMonitorEp{kPlatform2, 105};
 
-/// Digest update helper (order-sensitive FNV-over-splitmix).
-void mix_digest(std::uint64_t& digest, std::uint64_t value) {
-  std::uint64_t state = digest ^ (value + 0x9e3779b97f4a7c15ULL);
-  digest = common::splitmix64(state);
-}
+using common::mix_digest;
 
 /// Draws a drift in [-bound, bound] with mass concentrated near zero
 /// (cubic shaping): most real clocks/timers sit close to nominal, a few
@@ -144,23 +142,23 @@ PipelineResult run_nondet_pipeline(const ScenarioConfig& config) {
   ara::Runtime eba_rt(*s.network, s.discovery, *s.executor, kEbaEp, 0x14);
   ara::Runtime monitor_rt(*s.network, s.discovery, *s.executor, kMonitorEp, 0x15);
 
-  VideoAdapterSkeleton adapter_skel(adapter_rt);
-  PreprocessingSkeleton preproc_skel(preproc_rt);
-  ComputerVisionSkeleton cv_skel(cv_rt);
-  EbaSkeleton eba_skel(eba_rt);
+  ara::Skeleton<VideoAdapter> adapter_skel(adapter_rt, kInstance);
+  ara::Skeleton<Preprocessing> preproc_skel(preproc_rt, kInstance);
+  ara::Skeleton<ComputerVision> cv_skel(cv_rt, kInstance);
+  ara::Skeleton<Eba> eba_skel(eba_rt, kInstance);
   adapter_skel.OfferService();
   preproc_skel.OfferService();
   cv_skel.OfferService();
   eba_skel.OfferService();
 
-  VideoAdapterProxy adapter_proxy(preproc_rt, {kVideoAdapterService, kInstance},
-                                  *preproc_rt.resolve({kVideoAdapterService, kInstance}));
-  PreprocessingProxy preproc_proxy(cv_rt, {kPreprocessingService, kInstance},
-                                   *cv_rt.resolve({kPreprocessingService, kInstance}));
-  ComputerVisionProxy cv_proxy(eba_rt, {kComputerVisionService, kInstance},
-                               *eba_rt.resolve({kComputerVisionService, kInstance}));
-  EbaProxy eba_proxy(monitor_rt, {kEbaService, kInstance},
-                     *monitor_rt.resolve({kEbaService, kInstance}));
+  ara::Proxy<VideoAdapter> adapter_proxy(preproc_rt, kInstance,
+                                         *preproc_rt.resolve({kVideoAdapterService, kInstance}));
+  ara::Proxy<Preprocessing> preproc_proxy(cv_rt, kInstance,
+                                          *cv_rt.resolve({kPreprocessingService, kInstance}));
+  ara::Proxy<ComputerVision> cv_proxy(eba_rt, kInstance,
+                                      *eba_rt.resolve({kComputerVisionService, kInstance}));
+  ara::Proxy<Eba> eba_proxy(monitor_rt, kInstance,
+                            *monitor_rt.resolve({kEbaService, kInstance}));
 
   // --- one-slot input buffers (the nondeterminism at the heart of §IV.A) ------
   const std::size_t depth = config.input_queue_depth;
@@ -188,48 +186,48 @@ PipelineResult run_nondet_pipeline(const ScenarioConfig& config) {
   });
 
   // Event handlers store into the buffers (and detect overwrites).
-  adapter_proxy.frame.SetReceiveHandler([&](const VideoFrame& frame) {
+  adapter_proxy.get(VideoAdapter::frame).SetReceiveHandler([&](const VideoFrame& frame) {
     if (preproc_buffer.store(frame)) {
       ++result.errors.dropped_frames_preprocessing;
     }
   });
-  adapter_proxy.frame.Subscribe();
+  adapter_proxy.get(VideoAdapter::frame).Subscribe();
 
   // The forwarded frame and its lane info travel as a pair; an overwrite
   // of the frame slot counts as one dropped frame at Computer Vision (the
   // lane slot overwrite is the same lost pair, not a second error).
-  preproc_proxy.forwarded_frame.SetReceiveHandler([&](const VideoFrame& frame) {
+  preproc_proxy.get(Preprocessing::forwarded_frame).SetReceiveHandler([&](const VideoFrame& frame) {
     if (cv_frame_buffer.store(frame)) {
       ++result.errors.dropped_frames_cv;
     }
   });
-  preproc_proxy.forwarded_frame.Subscribe();
-  preproc_proxy.lane.SetReceiveHandler([&](const LaneInfo& lane) { (void)cv_lane_buffer.store(lane); });
-  preproc_proxy.lane.Subscribe();
+  preproc_proxy.get(Preprocessing::forwarded_frame).Subscribe();
+  preproc_proxy.get(Preprocessing::lane).SetReceiveHandler([&](const LaneInfo& lane) { (void)cv_lane_buffer.store(lane); });
+  preproc_proxy.get(Preprocessing::lane).Subscribe();
 
-  cv_proxy.vehicles.SetReceiveHandler([&](const VehicleList& vehicles) {
+  cv_proxy.get(ComputerVision::vehicles).SetReceiveHandler([&](const VehicleList& vehicles) {
     if (eba_buffer.store(vehicles)) {
       ++result.errors.dropped_vehicles_eba;
     }
   });
-  cv_proxy.vehicles.Subscribe();
+  cv_proxy.get(ComputerVision::vehicles).Subscribe();
 
-  eba_proxy.brake.SetReceiveHandler([&](const BrakeCommand&) {});
-  eba_proxy.brake.Subscribe();
+  eba_proxy.get(Eba::brake).SetReceiveHandler([&](const BrakeCommand&) {});
+  eba_proxy.get(Eba::brake).Subscribe();
 
   // --- the periodic SWC logic ------------------------------------------------------
   auto phase_rng = s.platform_rng.stream("phases");
 
   ClassicSwc adapter_swc(s, "adapter", s.random_phase(phase_rng), [&](TimePoint) {
     if (auto frame = adapter_buffer.take(); frame.has_value()) {
-      adapter_skel.frame.Send(*frame);
+      adapter_skel.get(VideoAdapter::frame).Send(*frame);
     }
   });
 
   ClassicSwc preproc_swc(s, "preproc", s.random_phase(phase_rng), [&](TimePoint) {
     if (auto frame = preproc_buffer.take(); frame.has_value()) {
-      preproc_skel.lane.Send(detect_lane(*frame));
-      preproc_skel.forwarded_frame.Send(*frame);
+      preproc_skel.get(Preprocessing::lane).Send(detect_lane(*frame));
+      preproc_skel.get(Preprocessing::forwarded_frame).Send(*frame);
     }
   });
 
@@ -247,13 +245,13 @@ PipelineResult run_nondet_pipeline(const ScenarioConfig& config) {
     if (frame->frame_id != lane->frame_id) {
       ++result.errors.input_mismatches_cv;  // misaligned inputs — computed anyway
     }
-    cv_skel.vehicles.Send(detect_vehicles(*frame, *lane));
+    cv_skel.get(ComputerVision::vehicles).Send(detect_vehicles(*frame, *lane));
   });
 
   ClassicSwc eba_swc(s, "eba", s.random_phase(phase_rng), [&](TimePoint) {
     if (auto vehicles = eba_buffer.take(); vehicles.has_value()) {
       const BrakeCommand command = decide_brake(*vehicles);
-      eba_skel.brake.Send(command);
+      eba_skel.get(Eba::brake).Send(command);
       ++result.frames_processed_eba;
       if (command.brake) {
         ++result.brake_commands;

@@ -1,5 +1,8 @@
 // The stock (nondeterministic) brake assistant, as shipped with the APD
-// (paper §IV.A), running on the simulated two-platform testbed.
+// (paper §IV.A), running on the simulated two-platform testbed —
+// variant 1 of the three brake-assistant pipelines (variant 2:
+// det_client_pipeline.hpp; variant 3: dear_pipeline.hpp; see the overview
+// in det_client_pipeline.hpp).
 //
 // Each SWC stores incoming event data in a one-slot input buffer and runs
 // its logic from a periodic 50 ms callback; buffer overwrites and

@@ -1,13 +1,22 @@
-// Service interfaces of the brake assistant (paper Figure 4).
+// Service interfaces of the brake assistant (paper Figure 4), declared as
+// compile-time ServiceInterface descriptors.
 //
 // The communication along the component chain occurs through AP service
 // interfaces via the SOME/IP middleware; event notifications transfer the
-// data. These are the "generated" proxy/skeleton classes for each service.
+// data. Where earlier revisions spelled out one proxy and one skeleton
+// class per service by hand, each service is now a single descriptor —
+// the generator-input replacement — and every consumer derives what it
+// needs from it:
+//
+//   ara::Proxy<VideoAdapter> / ara::Skeleton<VideoAdapter>   (ara/generated.hpp)
+//   dear::ClientSide<VideoAdapter> / dear::ServerSide<VideoAdapter>
+//                                                            (dear/bundles.hpp)
+//
+// Wire identifiers (service ids, event ids) are unchanged from the
+// handwritten classes; tests/ara/descriptor_test.cpp pins them.
 #pragma once
 
-#include "ara/event.hpp"
-#include "ara/proxy.hpp"
-#include "ara/skeleton.hpp"
+#include "ara/meta/service_interface.hpp"
 #include "brake/types.hpp"
 
 namespace dear::brake {
@@ -29,84 +38,34 @@ inline constexpr someip::EventId kForwardedFrameEvent = 0x8003;
 inline constexpr someip::EventId kVehiclesEvent = 0x8004;
 inline constexpr someip::EventId kBrakeEvent = 0x8005;
 
-// --- Video Adapter: offers the frame stream ---------------------------------
-
-class VideoAdapterSkeleton : public ara::ServiceSkeleton {
- public:
-  VideoAdapterSkeleton(ara::Runtime& runtime,
-                       ara::MethodCallProcessingMode mode = ara::MethodCallProcessingMode::kEvent)
-      : ServiceSkeleton(runtime, {kVideoAdapterService, kInstance}, mode) {}
-
-  ara::SkeletonEvent<VideoFrame> frame{*this, kFrameEvent};
+/// Video Adapter: offers the frame stream.
+struct VideoAdapter {
+  static constexpr ara::meta::Event<VideoFrame, kFrameEvent> frame{"frame"};
+  static constexpr auto kInterface =
+      ara::meta::service_interface("VideoAdapter", kVideoAdapterService, {1, 0}, frame);
 };
 
-class VideoAdapterProxy : public ara::ServiceProxy {
- public:
-  VideoAdapterProxy(ara::Runtime& runtime, ara::InstanceIdentifier instance, net::Endpoint server)
-      : ServiceProxy(runtime, instance, server) {}
-
-  ara::ProxyEvent<VideoFrame> frame{*this, kFrameEvent};
+/// Preprocessing: offers lane info + forwarded frames.
+struct Preprocessing {
+  static constexpr ara::meta::Event<LaneInfo, kLaneEvent> lane{"lane"};
+  static constexpr ara::meta::Event<VideoFrame, kForwardedFrameEvent> forwarded_frame{
+      "forwarded_frame"};
+  static constexpr auto kInterface = ara::meta::service_interface(
+      "Preprocessing", kPreprocessingService, {1, 0}, lane, forwarded_frame);
 };
 
-// --- Preprocessing: offers lane info + forwarded frames -----------------------
-
-class PreprocessingSkeleton : public ara::ServiceSkeleton {
- public:
-  PreprocessingSkeleton(ara::Runtime& runtime,
-                        ara::MethodCallProcessingMode mode = ara::MethodCallProcessingMode::kEvent)
-      : ServiceSkeleton(runtime, {kPreprocessingService, kInstance}, mode) {}
-
-  ara::SkeletonEvent<LaneInfo> lane{*this, kLaneEvent};
-  ara::SkeletonEvent<VideoFrame> forwarded_frame{*this, kForwardedFrameEvent};
+/// Computer Vision: offers detected vehicles.
+struct ComputerVision {
+  static constexpr ara::meta::Event<VehicleList, kVehiclesEvent> vehicles{"vehicles"};
+  static constexpr auto kInterface =
+      ara::meta::service_interface("ComputerVision", kComputerVisionService, {1, 0}, vehicles);
 };
 
-class PreprocessingProxy : public ara::ServiceProxy {
- public:
-  PreprocessingProxy(ara::Runtime& runtime, ara::InstanceIdentifier instance,
-                     net::Endpoint server)
-      : ServiceProxy(runtime, instance, server) {}
-
-  ara::ProxyEvent<LaneInfo> lane{*this, kLaneEvent};
-  ara::ProxyEvent<VideoFrame> forwarded_frame{*this, kForwardedFrameEvent};
-};
-
-// --- Computer Vision: offers detected vehicles ---------------------------------
-
-class ComputerVisionSkeleton : public ara::ServiceSkeleton {
- public:
-  ComputerVisionSkeleton(ara::Runtime& runtime,
-                         ara::MethodCallProcessingMode mode = ara::MethodCallProcessingMode::kEvent)
-      : ServiceSkeleton(runtime, {kComputerVisionService, kInstance}, mode) {}
-
-  ara::SkeletonEvent<VehicleList> vehicles{*this, kVehiclesEvent};
-};
-
-class ComputerVisionProxy : public ara::ServiceProxy {
- public:
-  ComputerVisionProxy(ara::Runtime& runtime, ara::InstanceIdentifier instance,
-                      net::Endpoint server)
-      : ServiceProxy(runtime, instance, server) {}
-
-  ara::ProxyEvent<VehicleList> vehicles{*this, kVehiclesEvent};
-};
-
-// --- EBA: offers the brake command (for actuators / instrumentation) -----------
-
-class EbaSkeleton : public ara::ServiceSkeleton {
- public:
-  EbaSkeleton(ara::Runtime& runtime,
-              ara::MethodCallProcessingMode mode = ara::MethodCallProcessingMode::kEvent)
-      : ServiceSkeleton(runtime, {kEbaService, kInstance}, mode) {}
-
-  ara::SkeletonEvent<BrakeCommand> brake{*this, kBrakeEvent};
-};
-
-class EbaProxy : public ara::ServiceProxy {
- public:
-  EbaProxy(ara::Runtime& runtime, ara::InstanceIdentifier instance, net::Endpoint server)
-      : ServiceProxy(runtime, instance, server) {}
-
-  ara::ProxyEvent<BrakeCommand> brake{*this, kBrakeEvent};
+/// EBA: offers the brake command (for actuators / instrumentation).
+struct Eba {
+  static constexpr ara::meta::Event<BrakeCommand, kBrakeEvent> brake{"brake"};
+  static constexpr auto kInterface =
+      ara::meta::service_interface("Eba", kEbaService, {1, 0}, brake);
 };
 
 }  // namespace dear::brake

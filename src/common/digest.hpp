@@ -1,0 +1,22 @@
+// Order-sensitive digesting of observable pipeline outputs.
+//
+// Cross-pipeline digest comparison (same digest over SOME/IP and the
+// local transport, over different platform seeds, across the brake and
+// ACC case studies) is a core invariant of this repo, so every harness
+// must mix values identically — hence one shared helper rather than
+// per-pipeline copies.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+
+namespace dear::common {
+
+/// Folds `value` into `digest` (order-sensitive splitmix64 chaining).
+inline void mix_digest(std::uint64_t& digest, std::uint64_t value) {
+  std::uint64_t state = digest ^ (value + 0x9e3779b97f4a7c15ULL);
+  digest = splitmix64(state);
+}
+
+}  // namespace dear::common

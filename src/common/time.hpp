@@ -31,6 +31,12 @@ inline constexpr TimePoint kTimeMin = std::numeric_limits<TimePoint>::min();
 [[nodiscard]] constexpr Duration milliseconds(std::int64_t n) noexcept { return n * kMillisecond; }
 [[nodiscard]] constexpr Duration seconds(std::int64_t n) noexcept { return n * kSecond; }
 
+/// Scales a duration by a real factor (deadline-scale knobs of the
+/// case-study pipelines).
+[[nodiscard]] constexpr Duration scale_duration(Duration d, double factor) noexcept {
+  return static_cast<Duration>(static_cast<double>(d) * factor);
+}
+
 /// Formats a time point or duration as a human-readable string, e.g.
 /// "1.250ms" or "3.000s". Used by log messages and benchmark tables.
 [[nodiscard]] std::string format_duration(Duration d);

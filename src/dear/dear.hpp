@@ -3,6 +3,8 @@
 // AUTOSAR AP service interfaces.
 #pragma once
 
+#include "dear/app_builder.hpp"
+#include "dear/bundles.hpp"
 #include "dear/config.hpp"
 #include "dear/event_transactors.hpp"
 #include "dear/field_transactors.hpp"

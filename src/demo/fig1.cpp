@@ -3,10 +3,8 @@
 #include <atomic>
 #include <thread>
 
-#include "ara/method.hpp"
-#include "ara/proxy.hpp"
+#include "ara/generated.hpp"
 #include "ara/runtime.hpp"
-#include "ara/skeleton.hpp"
 #include "common/thread_pool.hpp"
 #include "dear/dear.hpp"
 #include "net/rt_network.hpp"
@@ -27,26 +25,20 @@ constexpr someip::MethodId kGetMethod = 0x0003;
 constexpr net::Endpoint kServerEp{1, 20};
 constexpr net::Endpoint kClientEp{2, 21};
 
-class CounterSkeleton : public ara::ServiceSkeleton {
- public:
-  CounterSkeleton(ara::Runtime& runtime,
-                  ara::MethodCallProcessingMode mode = ara::MethodCallProcessingMode::kEvent)
-      : ServiceSkeleton(runtime, {kCounterService, kCounterInstance}, mode) {}
-
-  ara::SkeletonMethod<std::int32_t, std::int32_t> set{*this, kSetMethod};
-  ara::SkeletonMethod<std::int32_t, std::int32_t> add{*this, kAddMethod};
-  ara::SkeletonMethod<std::int32_t, reactor::Empty> get{*this, kGetMethod};
+/// The counter service, declared once as a descriptor; the classic
+/// Skeleton/Proxy pair and the DEAR transactor bundles below all derive
+/// from it. Method members bundle their arguments into a single request
+/// value, exactly as the transactors model them.
+struct Counter {
+  static constexpr ara::meta::Method<std::int32_t, std::int32_t, kSetMethod> set{"set"};
+  static constexpr ara::meta::Method<std::int32_t, std::int32_t, kAddMethod> add{"add"};
+  static constexpr ara::meta::Method<reactor::Empty, std::int32_t, kGetMethod> get{"get"};
+  static constexpr auto kInterface =
+      ara::meta::service_interface("Counter", kCounterService, {1, 0}, set, add, get);
 };
 
-class CounterProxy : public ara::ServiceProxy {
- public:
-  CounterProxy(ara::Runtime& runtime, net::Endpoint server)
-      : ServiceProxy(runtime, {kCounterService, kCounterInstance}, server) {}
-
-  ara::ProxyMethod<std::int32_t, std::int32_t> set{*this, kSetMethod};
-  ara::ProxyMethod<std::int32_t, std::int32_t> add{*this, kAddMethod};
-  ara::ProxyMethod<std::int32_t, reactor::Empty> get{*this, kGetMethod};
-};
+using CounterSkeleton = ara::Skeleton<Counter>;
+using CounterProxy = ara::Proxy<Counter>;
 
 /// The naive server: non-blocking methods over a shared state variable.
 /// Mutual exclusion between invocations is enforced by the skeleton, but
@@ -54,15 +46,15 @@ class CounterProxy : public ara::ServiceProxy {
 class CounterServer {
  public:
   explicit CounterServer(CounterSkeleton& skeleton) {
-    skeleton.set.set_sync_handler([this](const std::int32_t& v) {
+    skeleton.get(Counter::set).set_sync_handler([this](const std::int32_t& v) {
       value_ = v;
       return value_;
     });
-    skeleton.add.set_sync_handler([this](const std::int32_t& v) {
+    skeleton.get(Counter::add).set_sync_handler([this](const std::int32_t& v) {
       value_ += v;
       return value_;
     });
-    skeleton.get.set_sync_handler([this](const reactor::Empty&) { return value_; });
+    skeleton.get(Counter::get).set_sync_handler([this](const reactor::Empty&) { return value_; });
   }
 
   void reset() noexcept { value_ = 0; }
@@ -76,9 +68,9 @@ class CounterServer {
 /// issued back-to-back without waiting ("non-blocking procedure calls").
 Fig1Outcome run_client_body(CounterProxy& proxy) {
   Fig1Outcome outcome;
-  auto set_future = proxy.set(1);
-  auto add_future = proxy.add(2);
-  auto get_future = proxy.get(reactor::Empty{});
+  auto set_future = proxy.get(Counter::set)(1);
+  auto add_future = proxy.get(Counter::add)(2);
+  auto get_future = proxy.get(Counter::get)(reactor::Empty{});
   const auto set_result = set_future.GetResult();
   const auto add_result = add_future.GetResult();
   const auto get_result = get_future.GetResult();
@@ -99,11 +91,11 @@ struct Fig1RealHarness::Impl {
       : pool(workers), network(pool),
         server_rt(network, discovery, pool, kServerEp, 0x31),
         client_rt(network, discovery, pool, kClientEp, 0x32),
-        skeleton(server_rt, ara::MethodCallProcessingMode::kEvent),
+        skeleton(server_rt, kCounterInstance, ara::MethodCallProcessingMode::kEvent),
         server(skeleton) {
     skeleton.OfferService();
-    proxy = std::make_unique<CounterProxy>(client_rt,
-                                           *client_rt.resolve({kCounterService, kCounterInstance}));
+    proxy = std::make_unique<CounterProxy>(
+        client_rt, kCounterInstance, *client_rt.resolve({kCounterService, kCounterInstance}));
     proxy->set_call_timeout(2 * kSecond);
   }
 
@@ -127,7 +119,7 @@ std::size_t Fig1RealHarness::workers() const noexcept { return impl_->pool.worke
 Fig1Outcome Fig1RealHarness::run_trial() {
   // Trials are isolated: the previous trial waited on all three futures,
   // and the reset round-trips through the service itself.
-  auto reset_future = impl_->proxy->set(0);
+  auto reset_future = impl_->proxy->get(Counter::set)(0);
   (void)reset_future.GetResult();
   return run_client_body(*impl_->proxy);
 }
@@ -145,15 +137,16 @@ Fig1Outcome run_fig1_nondet_sim(std::uint64_t seed) {
 
   ara::Runtime server_rt(network, discovery, executor, kServerEp, 0x31);
   ara::Runtime client_rt(network, discovery, executor, kClientEp, 0x32);
-  CounterSkeleton skeleton(server_rt, ara::MethodCallProcessingMode::kEvent);
+  CounterSkeleton skeleton(server_rt, kCounterInstance, ara::MethodCallProcessingMode::kEvent);
   CounterServer server(skeleton);
   skeleton.OfferService();
-  CounterProxy proxy(client_rt, *client_rt.resolve({kCounterService, kCounterInstance}));
+  CounterProxy proxy(client_rt, kCounterInstance,
+                     *client_rt.resolve({kCounterService, kCounterInstance}));
 
   Fig1Outcome outcome;
-  auto set_future = proxy.set(1);
-  auto add_future = proxy.add(2);
-  auto get_future = proxy.get(reactor::Empty{});
+  auto set_future = proxy.get(Counter::set)(1);
+  auto add_future = proxy.get(Counter::add)(2);
+  auto get_future = proxy.get(Counter::get)(reactor::Empty{});
   kernel.run();
   outcome.completed = set_future.is_ready() && add_future.is_ready() && get_future.is_ready();
   if (get_future.is_ready() && get_future.GetResult().has_value()) {
@@ -246,40 +239,24 @@ struct DearFig1World {
                 transact::TransactorConfig tc = default_transactor_config())
       : server_rt(network, discovery, executor, kServerEp, 0x41),
         client_rt(network, discovery, executor, kClientEp, 0x42),
-        skeleton(server_rt, ara::MethodCallProcessingMode::kEvent),
         server_env(clock, env_config()),
         client_env(clock, env_config()),
-        logic(server_env) {
-    skeleton.OfferService();
-    proxy = std::make_unique<CounterProxy>(client_rt,
-                                           *client_rt.resolve({kCounterService, kCounterInstance}));
-
-    set_server_tx = std::make_unique<transact::ServerMethodTransactor<std::int32_t, std::int32_t>>(
-        "set_server_tx", server_env, skeleton.set, server_rt.binding(), tc);
-    add_server_tx = std::make_unique<transact::ServerMethodTransactor<std::int32_t, std::int32_t>>(
-        "add_server_tx", server_env, skeleton.add, server_rt.binding(), tc);
-    get_server_tx =
-        std::make_unique<transact::ServerMethodTransactor<reactor::Empty, std::int32_t>>(
-            "get_server_tx", server_env, skeleton.get, server_rt.binding(), tc);
-    server_env.connect(set_server_tx->request, logic.set_req);
-    server_env.connect(logic.set_res, set_server_tx->response);
-    server_env.connect(add_server_tx->request, logic.add_req);
-    server_env.connect(logic.add_res, add_server_tx->response);
-    server_env.connect(get_server_tx->request, logic.get_req);
-    server_env.connect(logic.get_res, get_server_tx->response);
+        logic(server_env),
+        server_side("counter_server", server_env, server_rt, kCounterInstance, tc) {
+    server_env.connect(server_side.tx(Counter::set).request, logic.set_req);
+    server_env.connect(logic.set_res, server_side.tx(Counter::set).response);
+    server_env.connect(server_side.tx(Counter::add).request, logic.add_req);
+    server_env.connect(logic.add_res, server_side.tx(Counter::add).response);
+    server_env.connect(server_side.tx(Counter::get).request, logic.get_req);
+    server_env.connect(logic.get_res, server_side.tx(Counter::get).response);
 
     client = std::make_unique<DearClient>(client_env, spacing, std::move(on_printed));
-    set_client_tx = std::make_unique<transact::ClientMethodTransactor<std::int32_t, std::int32_t>>(
-        "set_client_tx", client_env, proxy->set, client_rt.binding(), tc);
-    add_client_tx = std::make_unique<transact::ClientMethodTransactor<std::int32_t, std::int32_t>>(
-        "add_client_tx", client_env, proxy->add, client_rt.binding(), tc);
-    get_client_tx =
-        std::make_unique<transact::ClientMethodTransactor<reactor::Empty, std::int32_t>>(
-            "get_client_tx", client_env, proxy->get, client_rt.binding(), tc);
-    client_env.connect(client->set_out, set_client_tx->request);
-    client_env.connect(client->add_out, add_client_tx->request);
-    client_env.connect(client->get_out, get_client_tx->request);
-    client_env.connect(get_client_tx->response, client->printed_in);
+    client_side = std::make_unique<dear::ClientSide<Counter>>("counter_client", client_env,
+                                                              client_rt, kCounterInstance, tc);
+    client_env.connect(client->set_out, client_side->tx(Counter::set).request);
+    client_env.connect(client->add_out, client_side->tx(Counter::add).request);
+    client_env.connect(client->get_out, client_side->tx(Counter::get).request);
+    client_env.connect(client_side->tx(Counter::get).response, client->printed_in);
   }
 
   [[nodiscard]] static reactor::Environment::Config env_config() {
@@ -297,25 +274,19 @@ struct DearFig1World {
   }
 
   [[nodiscard]] std::uint64_t protocol_errors() const {
-    return set_server_tx->total_errors() + add_server_tx->total_errors() +
-           get_server_tx->total_errors() + set_client_tx->total_errors() +
-           add_client_tx->total_errors() + get_client_tx->total_errors();
+    return server_side.total_errors() + client_side->total_errors();
   }
 
   ara::Runtime server_rt;
   ara::Runtime client_rt;
-  CounterSkeleton skeleton;
   reactor::Environment server_env;
   reactor::Environment client_env;
   CounterLogic logic;
-  std::unique_ptr<CounterProxy> proxy;
+  /// Skeleton + server method transactors, derived from the descriptor
+  /// (offered on construction — before the client side resolves it).
+  dear::ServerSide<Counter> server_side;
   std::unique_ptr<DearClient> client;
-  std::unique_ptr<transact::ServerMethodTransactor<std::int32_t, std::int32_t>> set_server_tx;
-  std::unique_ptr<transact::ServerMethodTransactor<std::int32_t, std::int32_t>> add_server_tx;
-  std::unique_ptr<transact::ServerMethodTransactor<reactor::Empty, std::int32_t>> get_server_tx;
-  std::unique_ptr<transact::ClientMethodTransactor<std::int32_t, std::int32_t>> set_client_tx;
-  std::unique_ptr<transact::ClientMethodTransactor<std::int32_t, std::int32_t>> add_client_tx;
-  std::unique_ptr<transact::ClientMethodTransactor<reactor::Empty, std::int32_t>> get_client_tx;
+  std::unique_ptr<dear::ClientSide<Counter>> client_side;
 };
 
 }  // namespace
@@ -350,12 +321,12 @@ Fig1Outcome run_fig1_dear_sim(std::uint64_t seed) {
                  (unsigned long long)t.dropped_messages(), (unsigned long long)t.deadline_violations(),
                  (unsigned long long)t.remote_errors());
   };
-  dump("set_client", *world.set_client_tx);
-  dump("add_client", *world.add_client_tx);
-  dump("get_client", *world.get_client_tx);
-  dump("set_server", *world.set_server_tx);
-  dump("add_server", *world.add_server_tx);
-  dump("get_server", *world.get_server_tx);
+  dump("set_client", world.client_side->tx(Counter::set));
+  dump("add_client", world.client_side->tx(Counter::add));
+  dump("get_client", world.client_side->tx(Counter::get));
+  dump("set_server", world.server_side.tx(Counter::set));
+  dump("add_server", world.server_side.tx(Counter::add));
+  dump("get_server", world.server_side.tx(Counter::get));
 #endif
   return outcome;
 }

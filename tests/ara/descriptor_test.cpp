@@ -1,0 +1,231 @@
+// The compile-time ServiceInterface descriptor layer: id/type pinning via
+// static_assert, and wire equivalence between descriptor-generated
+// Proxy<I>/Skeleton<I> and the handwritten subclassing style they replace.
+//
+// The handwritten classes below are verbatim copies of the pre-descriptor
+// brake service declarations (the "golden" generator output); the
+// equivalence tests prove that a generated endpoint interoperates with a
+// handwritten peer in both directions — i.e. the descriptor refactor
+// changed nothing on the wire.
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "ara/generated.hpp"
+#include "ara/runtime.hpp"
+#include "brake/services.hpp"
+#include "dear/tag_codec.hpp"  // Empty codec
+#include "net/sim_network.hpp"
+#include "sim/sim_executor.hpp"
+
+namespace dear::ara {
+namespace {
+
+// --- compile-time pinning: brake descriptor ids never drift -----------------------
+
+static_assert(meta::ServiceDescriptor<brake::VideoAdapter>);
+static_assert(meta::ServiceDescriptor<brake::Preprocessing>);
+static_assert(meta::ServiceDescriptor<brake::ComputerVision>);
+static_assert(meta::ServiceDescriptor<brake::Eba>);
+static_assert(!meta::ServiceDescriptor<brake::VideoFrame>);
+
+static_assert(brake::VideoAdapter::kInterface.service == 0x1001);
+static_assert(brake::Preprocessing::kInterface.service == 0x1002);
+static_assert(brake::ComputerVision::kInterface.service == 0x1003);
+static_assert(brake::Eba::kInterface.service == 0x1004);
+
+static_assert(brake::VideoAdapter::frame.id == 0x8001);
+static_assert(brake::Preprocessing::lane.id == 0x8002);
+static_assert(brake::Preprocessing::forwarded_frame.id == 0x8003);
+static_assert(brake::ComputerVision::vehicles.id == 0x8004);
+static_assert(brake::Eba::brake.id == 0x8005);
+
+static_assert(meta::member_count<brake::VideoAdapter> == 1);
+static_assert(meta::member_count<brake::Preprocessing> == 2);
+static_assert(meta::index_of<brake::Preprocessing, decltype(brake::Preprocessing::lane)>() == 0);
+static_assert(
+    meta::index_of<brake::Preprocessing, decltype(brake::Preprocessing::forwarded_frame)>() == 1);
+
+// Payload types are carried by the descriptor types.
+static_assert(
+    std::is_same_v<decltype(brake::VideoAdapter::frame)::value_type, brake::VideoFrame>);
+static_assert(std::is_same_v<decltype(brake::Eba::brake)::value_type, brake::BrakeCommand>);
+
+// --- a descriptor exercising all three member kinds -------------------------------
+
+inline constexpr someip::ServiceId kTestService = 0x0B0B;
+inline constexpr someip::InstanceId kTestInstance = 1;
+
+struct TestService {
+  static constexpr meta::Event<std::uint64_t, 0x8001> tick{"tick"};
+  static constexpr meta::Method<std::int32_t, std::int32_t, 0x0001> negate{"negate"};
+  static constexpr meta::Field<std::int32_t, 0x0020, 0x0021, 0x8020> mode{"mode"};
+  static constexpr auto kInterface =
+      meta::service_interface("TestService", kTestService, {1, 2}, tick, negate, mode);
+};
+
+static_assert(meta::member_count<TestService> == 3);
+static_assert(TestService::kInterface.version.major == 1);
+static_assert(TestService::kInterface.version.minor == 2);
+static_assert(TestService::mode.ids.get == 0x0020);
+static_assert(TestService::mode.ids.set == 0x0021);
+static_assert(TestService::mode.ids.notify == 0x8020);
+
+// The generated parts resolve to the exact classic typed templates.
+static_assert(std::is_base_of_v<ProxyEvent<std::uint64_t>,
+                                std::remove_reference_t<decltype(std::declval<Proxy<TestService>&>()
+                                                                     .get(TestService::tick))>>);
+static_assert(
+    std::is_base_of_v<SkeletonMethod<std::int32_t, std::int32_t>,
+                      std::remove_reference_t<decltype(std::declval<Skeleton<TestService>&>().get(
+                          TestService::negate))>>);
+static_assert(
+    std::is_base_of_v<ProxyField<std::int32_t>,
+                      std::remove_reference_t<decltype(std::declval<Proxy<TestService>&>().get(
+                          TestService::mode))>>);
+
+// --- the handwritten "golden" classes the descriptors replaced --------------------
+
+class LegacyVideoAdapterSkeleton : public ServiceSkeleton {
+ public:
+  LegacyVideoAdapterSkeleton(Runtime& runtime,
+                             MethodCallProcessingMode mode = MethodCallProcessingMode::kEvent)
+      : ServiceSkeleton(runtime, {brake::kVideoAdapterService, brake::kInstance}, mode) {}
+
+  SkeletonEvent<brake::VideoFrame> frame{*this, brake::kFrameEvent};
+};
+
+class LegacyVideoAdapterProxy : public ServiceProxy {
+ public:
+  LegacyVideoAdapterProxy(Runtime& runtime, InstanceIdentifier instance, net::Endpoint server)
+      : ServiceProxy(runtime, instance, server) {}
+
+  ProxyEvent<brake::VideoFrame> frame{*this, brake::kFrameEvent};
+};
+
+// --- simulation world -------------------------------------------------------------
+
+class DescriptorEquivalence : public ::testing::Test {
+ protected:
+  sim::Kernel kernel;
+  net::SimNetwork network{kernel, common::Rng(3)};
+  someip::ServiceDiscovery discovery;
+  sim::SimExecutor executor{kernel, common::Rng(4)};
+  Runtime server_rt{network, discovery, executor, {1, 100}, 0x01};
+  Runtime client_rt{network, discovery, executor, {2, 200}, 0x02};
+};
+
+TEST_F(DescriptorEquivalence, GeneratedPartsReportTheHandwrittenIds) {
+  Skeleton<brake::VideoAdapter> skeleton(server_rt, brake::kInstance);
+  skeleton.OfferService();
+  Proxy<brake::VideoAdapter> proxy(client_rt, brake::kInstance,
+                                   *client_rt.resolve({brake::kVideoAdapterService,
+                                                       brake::kInstance}));
+
+  LegacyVideoAdapterSkeleton legacy_skeleton(server_rt);
+  EXPECT_EQ(skeleton.instance(), legacy_skeleton.instance());
+  EXPECT_EQ(skeleton.get(brake::VideoAdapter::frame).id(), legacy_skeleton.frame.id());
+  EXPECT_EQ(proxy.get(brake::VideoAdapter::frame).id(), brake::kFrameEvent);
+  EXPECT_EQ(proxy.instance(),
+            (InstanceIdentifier{brake::kVideoAdapterService, brake::kInstance}));
+}
+
+TEST_F(DescriptorEquivalence, GeneratedSkeletonServesHandwrittenProxy) {
+  Skeleton<brake::VideoAdapter> skeleton(server_rt, brake::kInstance);
+  skeleton.OfferService();
+
+  LegacyVideoAdapterProxy proxy(client_rt, {brake::kVideoAdapterService, brake::kInstance},
+                                *client_rt.resolve({brake::kVideoAdapterService,
+                                                    brake::kInstance}));
+  std::optional<brake::VideoFrame> received;
+  proxy.frame.SetReceiveHandler([&](const brake::VideoFrame& frame) { received = frame; });
+  proxy.frame.Subscribe();
+  kernel.run();
+
+  brake::VideoFrame frame;
+  frame.frame_id = 77;
+  frame.content_hash = 0xabcdef;
+  skeleton.get(brake::VideoAdapter::frame).Send(frame);
+  kernel.run();
+
+  ASSERT_TRUE(received.has_value());
+  EXPECT_EQ(*received, frame);
+}
+
+TEST_F(DescriptorEquivalence, HandwrittenSkeletonServesGeneratedProxy) {
+  LegacyVideoAdapterSkeleton skeleton(server_rt);
+  skeleton.OfferService();
+
+  Proxy<brake::VideoAdapter> proxy(client_rt, brake::kInstance,
+                                   *client_rt.resolve({brake::kVideoAdapterService,
+                                                       brake::kInstance}));
+  std::optional<brake::VideoFrame> received;
+  proxy.get(brake::VideoAdapter::frame).SetReceiveHandler([&](const brake::VideoFrame& frame) {
+    received = frame;
+  });
+  proxy.get(brake::VideoAdapter::frame).Subscribe();
+  kernel.run();
+
+  brake::VideoFrame frame;
+  frame.frame_id = 99;
+  skeleton.frame.Send(frame);
+  kernel.run();
+
+  ASSERT_TRUE(received.has_value());
+  EXPECT_EQ(*received, frame);
+}
+
+TEST_F(DescriptorEquivalence, MethodAndFieldMembersRoundTrip) {
+  Skeleton<TestService> skeleton(server_rt, kTestInstance);
+  skeleton.get(TestService::negate).set_sync_handler([](const std::int32_t& v) { return -v; });
+  skeleton.get(TestService::mode).Update(41);
+  skeleton.OfferService();
+
+  Proxy<TestService> proxy(client_rt, kTestInstance,
+                           *client_rt.resolve({kTestService, kTestInstance}));
+
+  std::optional<std::int32_t> negated;
+  proxy.get(TestService::negate)(123).then([&](const Result<std::int32_t>& result) {
+    ASSERT_TRUE(result.has_value());
+    negated = result.value();
+  });
+
+  std::optional<std::int32_t> mode_value;
+  proxy.get(TestService::mode).Get().then([&](const Result<std::int32_t>& result) {
+    ASSERT_TRUE(result.has_value());
+    mode_value = result.value();
+  });
+  kernel.run();
+
+  EXPECT_EQ(negated, -123);
+  EXPECT_EQ(mode_value, 41);
+
+  std::optional<std::int32_t> adopted;
+  proxy.get(TestService::mode).Set(7).then([&](const Result<std::int32_t>& result) {
+    ASSERT_TRUE(result.has_value());
+    adopted = result.value();
+  });
+  kernel.run();
+  EXPECT_EQ(adopted, 7);
+  EXPECT_EQ(skeleton.get(TestService::mode).value(), 7);
+}
+
+TEST_F(DescriptorEquivalence, FindResolvesOfferedInstances) {
+  EXPECT_FALSE(Proxy<TestService>::find(client_rt, kTestInstance).has_value());
+  Skeleton<TestService> skeleton(server_rt, kTestInstance);
+  skeleton.OfferService();
+  auto proxy = Proxy<TestService>::find(client_rt, kTestInstance);
+  ASSERT_TRUE(proxy.has_value());
+  EXPECT_EQ(proxy->server(), server_rt.endpoint());
+}
+
+TEST_F(DescriptorEquivalence, MismatchedInstanceIdentifierIsRejected) {
+  Skeleton<TestService> skeleton(server_rt, kTestInstance);
+  skeleton.OfferService();
+  const net::Endpoint server = *client_rt.resolve({kTestService, kTestInstance});
+  EXPECT_THROW(Proxy<brake::VideoAdapter>(client_rt, InstanceIdentifier{kTestService, 1}, server),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace dear::ara
