@@ -4,24 +4,28 @@
 // handwritten proxy/skeleton/transactor wiring anywhere (see
 // src/acc/services.hpp and src/acc/pipeline.cpp).
 //
-// Flags: --scans N (default 5000), --seed N (default 7),
-//        --deadline-scale F (default 1.0),
-//        --local-transport (deploy the chain over the zero-copy in-process
-//        binding instead of SOME/IP; same outputs and tags)
 #include <cstdio>
 
 #include "acc/pipeline.hpp"
-#include "common/flags.hpp"
+#include "common/cli.hpp"
 
 int main(int argc, char** argv) {
-  const dear::common::Flags flags(argc, argv);
+  dear::common::Cli cli("acc_demo", "Runs the DEAR adaptive cruise-control chain.");
+  cli.add_int("scans", 5'000, "radar scans to simulate");
+  cli.add_int("seed", 7, "platform seed (radar seed derives from it)");
+  cli.add_double("deadline-scale", 1.0, "global scale on the transactor deadlines");
+  cli.add_flag("local-transport",
+               "deploy over the zero-copy in-process binding instead of SOME/IP");
+  if (!cli.parse(argc, argv)) {
+    return cli.exit_code();
+  }
 
   dear::acc::AccScenarioConfig config;
-  config.scans = static_cast<std::uint64_t>(flags.get_int("scans", 5'000));
-  config.platform_seed = static_cast<std::uint64_t>(flags.get_int("seed", 7));
+  config.scans = static_cast<std::uint64_t>(cli.get_int("scans"));
+  config.platform_seed = static_cast<std::uint64_t>(cli.get_int("seed"));
   config.radar_seed = config.platform_seed + 1000;
-  config.deadline_scale = flags.get_double("deadline-scale", 1.0);
-  config.local_transport = flags.get_bool("local-transport", false);
+  config.deadline_scale = cli.get_double("deadline-scale");
+  config.local_transport = cli.get_flag("local-transport");
 
   std::printf(
       "running the DEAR adaptive cruise control chain: %llu scans, seed %llu, "

@@ -21,6 +21,7 @@
 
 #include "ara/generated.hpp"
 #include "ara/runtime.hpp"
+#include "common/cli.hpp"
 #include "dear/dear.hpp"
 #include "net/sim_network.hpp"
 #include "sim/sim_executor.hpp"
@@ -76,8 +77,15 @@ class Monitor final : public reactor::Reactor {
 
 }  // namespace
 
-int main() {
-  common::Rng rng(42);
+int main(int argc, char** argv) {
+  common::Cli cli("field_monitor",
+                  "Legacy ara::com field usage plus a DEAR monitor on the same server.");
+  cli.add_int("seed", 42, "seed for the simulated network and dispatch streams");
+  if (!cli.parse(argc, argv)) {
+    return cli.exit_code();
+  }
+
+  common::Rng rng(static_cast<std::uint64_t>(cli.get_int("seed")));
   sim::Kernel kernel;
   net::SimNetwork network(kernel, rng.stream("net"));
   someip::ServiceDiscovery discovery;

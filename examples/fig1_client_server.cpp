@@ -7,19 +7,24 @@
 // happen at successive logical tags, the server handles them in tag order,
 // and the printed value is always 3.
 //
-// Flags: --trials N (default 2000), --workers N (default 4),
-//        --dear-trials N (default 10)
 #include <cstdio>
 
-#include "common/flags.hpp"
+#include "common/cli.hpp"
 #include "common/histogram.hpp"
 #include "demo/fig1.hpp"
 
 int main(int argc, char** argv) {
-  const dear::common::Flags flags(argc, argv);
-  const auto trials = static_cast<std::uint64_t>(flags.get_int("trials", 2000));
-  const auto workers = static_cast<std::size_t>(flags.get_int("workers", 4));
-  const auto dear_trials = static_cast<std::uint64_t>(flags.get_int("dear-trials", 10));
+  dear::common::Cli cli("fig1_client_server",
+                        "Reproduces the Figure 1 client/server experiment interactively.");
+  cli.add_int("trials", 2000, "stock client/server trials over real threads");
+  cli.add_int("workers", 4, "thread-pool workers for both parts");
+  cli.add_int("dear-trials", 10, "trials of the same program over DEAR");
+  if (!cli.parse(argc, argv)) {
+    return cli.exit_code();
+  }
+  const auto trials = static_cast<std::uint64_t>(cli.get_int("trials"));
+  const auto workers = static_cast<std::size_t>(cli.get_int("workers"));
+  const auto dear_trials = static_cast<std::uint64_t>(cli.get_int("dear-trials"));
 
   std::printf("== Part 1: stock AUTOSAR AP client/server (real threads, %zu workers) ==\n",
               workers);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <iterator>
+#include <optional>
 #include <unordered_map>
 
 #include "acc/logic.hpp"
@@ -193,6 +194,14 @@ AccResult run_acc_pipeline(const AccScenarioConfig& config) {
   net::LinkParams link;
   link.latency = sim::ExecTimeModel::uniform(config.link_latency_min, config.link_latency_max);
   network.set_default_link(link);
+  // The whole chain is co-located, so every service message rides the
+  // loopback link — the surface the scenario engine's fault knobs stress.
+  net::LinkParams svc_link;
+  svc_link.latency = sim::ExecTimeModel::uniform(config.svc_latency_min, config.svc_latency_max);
+  svc_link.drop_probability = config.net_drop_probability;
+  svc_link.duplicate_probability = config.net_duplicate_probability;
+  svc_link.enforce_in_order = config.net_in_order;
+  network.set_loopback_link(svc_link);
 
   someip::ServiceDiscovery discovery;
   sim::SimExecutor executor(kernel, platform_rng.stream("dispatch"));
@@ -302,19 +311,47 @@ AccResult run_acc_pipeline(const AccScenarioConfig& config) {
   console.connect(field_cli.notify.out, console_logic.notify_in);
 
   // --- the radar front-end -----------------------------------------------------
+  // Draws are sequenced explicitly: as constructor arguments their
+  // evaluation order would be compiler-dependent.
   auto radar_cfg_rng = radar_rng.stream("radar");
-  const sim::PlatformClock radar_clock(radar_cfg_rng.uniform_duration(0, config.period),
-                                       radar_cfg_rng.uniform(-1000, 1000) * 0.03);
+  const Duration radar_clock_offset = radar_cfg_rng.uniform_duration(0, config.period);
+  const double radar_clock_drift =
+      radar_cfg_rng.uniform(-1000, 1000) * 1e-3 * config.radar_drift_ppm;
+  const sim::PlatformClock radar_clock(radar_clock_offset, radar_clock_drift);
+  sim::SensorFaultInjector radar_faults(config.sensor_faults, radar_rng.stream("radar.faults"));
+  std::uint64_t captures = 0;
   std::uint64_t scans_sent = 0;
+  std::optional<RadarScan> last_scan;
   sim::PeriodicTask radar_task(
       kernel, radar_clock, config.period,
       radar_cfg_rng.uniform_duration(0, config.period - 1),
-      [&](std::uint64_t index, TimePoint release) {
-        if (scans_sent >= config.scans) {
+      [&](std::uint64_t /*activation*/, TimePoint release) {
+        if (captures >= config.scans) {
           return;
         }
+        // Scan ids are capture ordinals (cf. brake::Camera): the input
+        // stream 0..N-1 must not depend on where the radar clock's offset
+        // lands the periodic grid.
+        const std::uint64_t scan_id = captures++;
+        RadarScan scan = generate_scan(scan_id, radar_clock.local_now(release));
+        switch (radar_faults.next()) {
+          case sim::SensorFaultInjector::Outcome::kDrop:
+            return;
+          case sim::SensorFaultInjector::Outcome::kStuck:
+            if (last_scan.has_value()) {
+              scan = *last_scan;
+            }
+            break;
+          case sim::SensorFaultInjector::Outcome::kNoisy:
+            // Corrupted reflections: the returns of a different (perturbed)
+            // scan under the sample's own identity.
+            scan.returns = generate_scan(scan.scan_id ^ radar_faults.noise_word(), 0).returns;
+            break;
+          case sim::SensorFaultInjector::Outcome::kNominal:
+            break;
+        }
+        last_scan = scan;
         ++scans_sent;
-        const RadarScan scan = generate_scan(index, radar_clock.local_now(release));
         arrival_time.emplace(scan.scan_id, kernel.now());
         radar_logic.scan_arrival.schedule(scan);
       });
@@ -327,12 +364,13 @@ AccResult run_acc_pipeline(const AccScenarioConfig& config) {
   // subscriptions are SOME/IP control messages that traverse the simulated
   // network, so a scan published at t≈0 would reach a server binding that
   // does not know its subscribers yet. Real deployments sequence this
-  // through service discovery; the DES equivalent is a short drain.
-  constexpr Duration kServiceSettleTime = 5 * kMillisecond;
-  kernel.run_until(kServiceSettleTime);
+  // through service discovery; the DES equivalent is a short drain scaled
+  // to the service-link model.
+  const Duration settle = 5 * kMillisecond + 2 * config.svc_latency_max;
+  kernel.run_until(settle);
   radar_task.start();
 
-  const TimePoint horizon = kServiceSettleTime +
+  const TimePoint horizon = settle +
                             static_cast<TimePoint>(config.scans + 16) * config.period +
                             16 * config.period;
   kernel.run_until(horizon);
@@ -340,6 +378,9 @@ AccResult run_acc_pipeline(const AccScenarioConfig& config) {
 
   // --- collect results ----------------------------------------------------------
   result.scans_sent = scans_sent;
+  result.sensor_dropped = radar_faults.dropped_samples();
+  result.sensor_stuck = radar_faults.stuck_samples();
+  result.sensor_noisy = radar_faults.noisy_samples();
   result.field_gets = console_logic.gets;
   result.field_sets = console_logic.sets;
   result.field_notifies = console_logic.notifies;

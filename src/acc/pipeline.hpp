@@ -22,6 +22,7 @@
 
 #include "common/time.hpp"
 #include "dear/config.hpp"
+#include "sim/fault_injection.hpp"
 
 namespace dear::acc {
 
@@ -36,6 +37,10 @@ struct AccScenarioConfig {
   Duration radar_jitter{500 * kMicrosecond};
   Duration link_latency_min{200 * kMicrosecond};
   Duration link_latency_max{800 * kMicrosecond};
+  /// Radar platform clock drift bound (ppm); the actual drift is drawn
+  /// from radar_seed (it shapes the sensor's capture timing). Immaterial
+  /// to the logical results: scan tags follow physical reception.
+  double radar_drift_ppm{30.0};
 
   // Transactor deadlines and safe-to-process bounds.
   Duration radar_deadline{5 * kMillisecond};
@@ -61,6 +66,21 @@ struct AccScenarioConfig {
   bool local_transport{false};
 
   transact::UntaggedPolicy untagged{transact::UntaggedPolicy::kFail};
+
+  // --- fault-campaign knobs (scenario engine) --------------------------------
+  /// Latency range of the on-platform service links (all chain traffic is
+  /// same-node, i.e. loopback). Keep the max below latency_bound for
+  /// loss-free operation.
+  Duration svc_latency_min{5 * kMicrosecond};
+  Duration svc_latency_max{50 * kMicrosecond};
+  /// Per-message drop probability on the service links.
+  double net_drop_probability{0.0};
+  /// Per-message duplication probability on the service links.
+  double net_duplicate_probability{0.0};
+  /// Enforce in-order delivery on the service links (default: off).
+  bool net_in_order{false};
+  /// Radar sensor faults (input-side: decided from radar_seed).
+  sim::SensorFaultModel sensor_faults{};
 };
 
 struct AccResult {
@@ -75,6 +95,11 @@ struct AccResult {
   std::uint64_t field_gets{0};
   std::uint64_t field_sets{0};
   std::uint64_t field_notifies{0};
+
+  // Injected radar faults (input-side).
+  std::uint64_t sensor_dropped{0};
+  std::uint64_t sensor_stuck{0};
+  std::uint64_t sensor_noisy{0};
 
   // Observable protocol errors (summed over every transactor in the app).
   std::uint64_t deadline_violations{0};

@@ -15,16 +15,39 @@ Camera::Camera(sim::Kernel& kernel, const sim::PlatformClock& clock, net::Networ
     : kernel_(kernel), clock_(clock), network_(network), self_(self), adapter_(adapter),
       config_(config),
       task_(kernel, clock, config.period, config.phase,
-            [this](std::uint64_t index, TimePoint release) { capture(index, release); }) {
+            [this](std::uint64_t index, TimePoint release) { capture(index, release); }),
+      faults_(config.faults, rng.stream("camera.faults")) {
   task_.set_jitter(config_.jitter, rng.stream("camera.jitter"));
 }
 
-void Camera::capture(std::uint64_t index, TimePoint release_time) {
-  if (config_.frame_limit != 0 && frames_sent_ >= config_.frame_limit) {
+void Camera::capture(std::uint64_t /*activation*/, TimePoint release_time) {
+  if (config_.frame_limit != 0 && captures_ >= config_.frame_limit) {
     task_.stop();
     return;
   }
-  const VideoFrame frame = generate_frame(index, clock_.local_now(release_time));
+  // Frame ids are capture ordinals, not activation indices: where the
+  // periodic grid starts depends on the camera clock's offset (a platform
+  // property), while the frame stream 0..N-1 is the *input* and must be
+  // identical for every platform seed.
+  const std::uint64_t frame_id = captures_++;
+  VideoFrame frame = generate_frame(frame_id, clock_.local_now(release_time));
+  switch (faults_.next()) {
+    case sim::SensorFaultInjector::Outcome::kDrop:
+      return;
+    case sim::SensorFaultInjector::Outcome::kStuck:
+      // A frozen sensor re-delivers the previous frame verbatim; the very
+      // first capture has nothing to freeze on and stays nominal.
+      if (last_frame_.has_value()) {
+        frame = *last_frame_;
+      }
+      break;
+    case sim::SensorFaultInjector::Outcome::kNoisy:
+      frame.content_hash ^= faults_.noise_word();
+      break;
+    case sim::SensorFaultInjector::Outcome::kNominal:
+      break;
+  }
+  last_frame_ = frame;
   someip::Writer writer;
   someip_serialize(writer, frame);
   network_.send(self_, adapter_, writer.take());

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 
 #include "brake/logic.hpp"
 #include "brake/types.hpp"
@@ -17,6 +18,7 @@
 #include "net/network.hpp"
 #include "sim/clock_model.hpp"
 #include "sim/exec_time_model.hpp"
+#include "sim/fault_injection.hpp"
 #include "sim/kernel.hpp"
 #include "sim/periodic_task.hpp"
 
@@ -35,7 +37,13 @@ class Camera {
     Duration phase{0};
     /// Per-capture release jitter.
     sim::ExecTimeModel jitter{sim::ExecTimeModel::uniform(0, 500 * kMicrosecond)};
-    std::uint64_t frame_limit{0};  // 0 = unlimited
+    /// Stops the camera after this many *captures* (0 = unlimited). With
+    /// fault injection, dropped captures count toward the limit but are
+    /// never sent, so frames_sent() can end up below the limit.
+    std::uint64_t frame_limit{0};
+    /// Sensor faults, decided per capture from the camera's own rng — part
+    /// of the input stream, not of the platform.
+    sim::SensorFaultModel faults{};
   };
 
   Camera(sim::Kernel& kernel, const sim::PlatformClock& clock, net::Network& network,
@@ -45,6 +53,10 @@ class Camera {
   void stop() { task_.stop(); }
 
   [[nodiscard]] std::uint64_t frames_sent() const noexcept { return frames_sent_; }
+  [[nodiscard]] std::uint64_t captures() const noexcept { return captures_; }
+  [[nodiscard]] const sim::SensorFaultInjector& fault_injector() const noexcept {
+    return faults_;
+  }
 
  private:
   void capture(std::uint64_t index, TimePoint release_time);
@@ -56,7 +68,10 @@ class Camera {
   net::Endpoint adapter_;
   Config config_;
   sim::PeriodicTask task_;
+  sim::SensorFaultInjector faults_;
+  std::optional<VideoFrame> last_frame_;
   std::uint64_t frames_sent_{0};
+  std::uint64_t captures_{0};
 };
 
 }  // namespace dear::brake

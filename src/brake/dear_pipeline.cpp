@@ -134,9 +134,13 @@ PipelineResult run_dear_pipeline(const DearScenarioConfig& config) {
 
   sim::Kernel kernel;
   // Camera on platform 1 with its own clock; platform 2 hosts the SWCs.
+  // The two draws are sequenced explicitly: as constructor arguments their
+  // evaluation order would be compiler-dependent, and every stream draw
+  // must be a pure function of (seed, draw index).
   auto drift_rng = platform_rng.stream("clock.drift");
-  const sim::PlatformClock clock1(drift_rng.uniform_duration(0, config.period),
-                                  drift_rng.uniform(-1000, 1000) * 0.03);
+  const Duration clock1_offset = drift_rng.uniform_duration(0, config.period);
+  const double clock1_drift = drift_rng.uniform(-1000, 1000) * 1e-3 * config.camera_drift_ppm;
+  const sim::PlatformClock clock1(clock1_offset, clock1_drift);
   // Platform 2 is the simulation reference clock (its SWCs are driven by
   // event arrival, not local timers, so its drift is immaterial here).
 
@@ -145,6 +149,15 @@ PipelineResult run_dear_pipeline(const DearScenarioConfig& config) {
   inter_link.latency =
       sim::ExecTimeModel::uniform(config.link_latency_min, config.link_latency_max);
   network.set_default_link(inter_link);
+  // The SWC-to-SWC SOME/IP traffic stays on platform 2 and runs over the
+  // loopback link — the surface the scenario engine's network fault knobs
+  // stress.
+  net::LinkParams svc_link;
+  svc_link.latency = sim::ExecTimeModel::uniform(config.svc_latency_min, config.svc_latency_max);
+  svc_link.drop_probability = config.net_drop_probability;
+  svc_link.duplicate_probability = config.net_duplicate_probability;
+  svc_link.enforce_in_order = config.net_in_order;
+  network.set_loopback_link(svc_link);
 
   someip::ServiceDiscovery discovery;
   sim::SimExecutor executor(kernel, platform_rng.stream("dispatch"));
@@ -281,22 +294,37 @@ PipelineResult run_dear_pipeline(const DearScenarioConfig& config) {
   // --- drivers + camera ---------------------------------------------------------------
   app.start();
 
+  // Let the service wiring settle before the sensor stream starts: event
+  // subscriptions are SOME/IP control messages that traverse the simulated
+  // service links, so with a slow link a frame published right away could
+  // reach a server binding that does not know its subscribers yet — and
+  // whether it does would depend on platform-side latency draws. Real
+  // deployments sequence this through service discovery; the DES
+  // equivalent is a short drain scaled to the link model.
+  const Duration settle = 5 * kMillisecond + 2 * config.svc_latency_max;
+  kernel.run_until(settle);
+
   auto camera_cfg_rng = camera_rng.stream("camera");
   Camera::Config camera_config;
   camera_config.period = config.period;
   camera_config.phase = camera_cfg_rng.uniform_duration(0, config.period - 1);
   camera_config.jitter = sim::ExecTimeModel::uniform(0, config.camera_jitter);
   camera_config.frame_limit = config.frames;
+  camera_config.faults = config.sensor_faults;
   Camera camera(kernel, clock1, network, kCameraEp, kAdapterRawEp, camera_config, camera_rng);
   camera.start();
 
-  const TimePoint horizon =
-      static_cast<TimePoint>(config.frames + 16) * config.period + 16 * config.period;
+  const TimePoint horizon = settle +
+                            static_cast<TimePoint>(config.frames + 16) * config.period +
+                            16 * config.period;
   kernel.run_until(horizon);
   camera.stop();
 
   // --- collect results -------------------------------------------------------------------
   result.frames_sent = camera.frames_sent();
+  result.sensor_dropped = camera.fault_injector().dropped_samples();
+  result.sensor_stuck = camera.fault_injector().stuck_samples();
+  result.sensor_noisy = camera.fault_injector().noisy_samples();
   result.errors.input_mismatches_cv = cv_logic.input_mismatches;
 
   result.deadline_violations = app.deadline_violations();

@@ -35,6 +35,10 @@ struct DearScenarioConfig {
   Duration camera_jitter{500 * kMicrosecond};
   Duration link_latency_min{200 * kMicrosecond};
   Duration link_latency_max{800 * kMicrosecond};
+  /// Camera platform clock drift bound (ppm); the actual drift is drawn
+  /// per platform seed. Immaterial to the logical results: sensor tags
+  /// follow physical reception.
+  double camera_drift_ppm{30.0};
 
   // Paper §IV.B deadlines and bounds.
   Duration adapter_deadline{5 * kMillisecond};
@@ -60,6 +64,24 @@ struct DearScenarioConfig {
   bool local_transport{false};
 
   transact::UntaggedPolicy untagged{transact::UntaggedPolicy::kFail};
+
+  // --- fault-campaign knobs (scenario engine) --------------------------------
+  /// Latency range of the intra-platform service links (SWC-to-SWC SOME/IP
+  /// traffic). As long as svc_latency_max stays below latency_bound, these
+  /// are semantics-preserving: DEAR digests do not change.
+  Duration svc_latency_min{5 * kMicrosecond};
+  Duration svc_latency_max{50 * kMicrosecond};
+  /// Per-message drop probability on the service links. Drops violate the
+  /// reliable-delivery assumption: frames are lost (observably), and which
+  /// ones depends on the platform seed.
+  double net_drop_probability{0.0};
+  /// Per-message duplication probability on the service links. Duplicates
+  /// carry the same wire tag and are absorbed deterministically.
+  double net_duplicate_probability{0.0};
+  /// Enforce in-order delivery on the service links (default: off).
+  bool net_in_order{false};
+  /// Camera sensor faults (input-side: decided from camera_seed).
+  sim::SensorFaultModel sensor_faults{};
 };
 
 /// Runs the DEAR pipeline; deadline violations, tardy messages and CV

@@ -77,6 +77,12 @@ struct PipelineResult {
   std::uint64_t tardy_messages{0};
   std::uint64_t untagged_messages{0};
 
+  // Injected sensor faults (input-side; identical across platform seeds
+  // for a fixed camera seed and fault model).
+  std::uint64_t sensor_dropped{0};
+  std::uint64_t sensor_stuck{0};
+  std::uint64_t sensor_noisy{0};
+
   [[nodiscard]] double error_prevalence_percent() const noexcept {
     return errors.prevalence_percent(frames_sent);
   }

@@ -118,11 +118,15 @@ PipelineResult run_nondet_pipeline(const ScenarioConfig& config) {
   Scenario s(config);
 
   // --- platform clocks (offset + drift, paper's two MinnowBoards) -----------
+  // Draws are sequenced explicitly: as constructor arguments their
+  // evaluation order would be compiler-dependent.
   auto drift_rng = s.platform_rng.stream("clock.drift");
-  s.clock1 = sim::PlatformClock(drift_rng.uniform_duration(0, config.period),
-                                draw_drift(drift_rng, config.max_drift_ppm));
-  s.clock2 = sim::PlatformClock(drift_rng.uniform_duration(0, config.period),
-                                draw_drift(drift_rng, config.max_drift_ppm));
+  const Duration clock1_offset = drift_rng.uniform_duration(0, config.period);
+  const double clock1_drift = draw_drift(drift_rng, config.max_drift_ppm);
+  s.clock1 = sim::PlatformClock(clock1_offset, clock1_drift);
+  const Duration clock2_offset = drift_rng.uniform_duration(0, config.period);
+  const double clock2_drift = draw_drift(drift_rng, config.max_drift_ppm);
+  s.clock2 = sim::PlatformClock(clock2_offset, clock2_drift);
 
   // --- network ----------------------------------------------------------------
   s.network = std::make_unique<net::SimNetwork>(s.kernel, s.platform_rng.stream("net"));
@@ -130,6 +134,14 @@ PipelineResult run_nondet_pipeline(const ScenarioConfig& config) {
   inter_link.latency =
       sim::ExecTimeModel::uniform(config.link_latency_min, config.link_latency_max);
   s.network->set_default_link(inter_link);
+  // SWC-to-SWC SOME/IP traffic stays on platform 2 (loopback link) — the
+  // surface the scenario engine's network fault knobs stress.
+  net::LinkParams svc_link;
+  svc_link.latency = sim::ExecTimeModel::uniform(config.svc_latency_min, config.svc_latency_max);
+  svc_link.drop_probability = config.net_drop_probability;
+  svc_link.duplicate_probability = config.net_duplicate_probability;
+  svc_link.enforce_in_order = config.net_in_order;
+  s.network->set_loopback_link(svc_link);
 
   s.executor = std::make_unique<sim::SimExecutor>(
       s.kernel, s.platform_rng.stream("dispatch"),
@@ -273,6 +285,7 @@ PipelineResult run_nondet_pipeline(const ScenarioConfig& config) {
   camera_config.phase = camera_cfg_rng.uniform_duration(0, config.period - 1);
   camera_config.jitter = sim::ExecTimeModel::uniform(0, config.camera_jitter);
   camera_config.frame_limit = config.frames;
+  camera_config.faults = config.sensor_faults;
   Camera camera(s.kernel, s.clock1, *s.network, kCameraEp, kAdapterRawEp, camera_config,
                 s.camera_rng);
 
@@ -294,6 +307,9 @@ PipelineResult run_nondet_pipeline(const ScenarioConfig& config) {
   eba_swc.stop();
 
   result.frames_sent = camera.frames_sent();
+  result.sensor_dropped = camera.fault_injector().dropped_samples();
+  result.sensor_stuck = camera.fault_injector().stuck_samples();
+  result.sensor_noisy = camera.fault_injector().noisy_samples();
   return result;
 }
 

@@ -16,6 +16,7 @@
 
 #include "brake/metrics.hpp"
 #include "common/time.hpp"
+#include "sim/fault_injection.hpp"
 
 namespace dear::brake {
 
@@ -53,6 +54,22 @@ struct ScenarioConfig {
   /// wins") semantics; larger values queue FIFO and evict the oldest.
   /// Ablated by bench_buffer_ablation.
   std::size_t input_queue_depth{1};
+
+  // --- fault-campaign knobs (scenario engine) --------------------------------
+  /// Latency range of the intra-platform service links (the SWC-to-SWC
+  /// SOME/IP traffic; the camera crosses platforms on the link above).
+  Duration svc_latency_min{5 * kMicrosecond};
+  Duration svc_latency_max{50 * kMicrosecond};
+  /// Per-message drop probability on the service links.
+  double net_drop_probability{0.0};
+  /// Per-message duplication probability on the service links.
+  double net_duplicate_probability{0.0};
+  /// Enforce in-order delivery on the service links (default: off — the
+  /// paper's nondeterminism source 3).
+  bool net_in_order{false};
+  /// Camera sensor faults. Decided from the camera seed, i.e. part of the
+  /// scenario's input stream, not of the platform.
+  sim::SensorFaultModel sensor_faults{};
 };
 
 /// Runs the scenario to completion and returns the instrumented outcome.

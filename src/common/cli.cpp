@@ -1,0 +1,174 @@
+#include "common/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace dear::common {
+
+void Cli::add_int(std::string name, std::int64_t fallback, std::string help) {
+  options_.push_back(
+      Option{std::move(name), Kind::kInt, std::to_string(fallback), std::move(help)});
+}
+
+void Cli::add_double(std::string name, double fallback, std::string help) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%g", fallback);
+  options_.push_back(Option{std::move(name), Kind::kDouble, buffer, std::move(help)});
+}
+
+void Cli::add_string(std::string name, std::string fallback, std::string help) {
+  options_.push_back(Option{std::move(name), Kind::kString, std::move(fallback), std::move(help)});
+}
+
+void Cli::add_flag(std::string name, std::string help) {
+  options_.push_back(Option{std::move(name), Kind::kBool, "false", std::move(help)});
+}
+
+const Cli::Option* Cli::find(std::string_view name) const noexcept {
+  for (const Option& option : options_) {
+    if (option.name == name) {
+      return &option;
+    }
+  }
+  return nullptr;
+}
+
+const Cli::Option& Cli::require(std::string_view name, Kind kind) const {
+  const Option* option = find(name);
+  if (option == nullptr || option->kind != kind) {
+    throw std::logic_error("Cli: option '" + std::string(name) +
+                           "' was not registered (with this type)");
+  }
+  return *option;
+}
+
+namespace {
+
+/// Whole-string numeric parses: "10O0" or "1.5x" are registration typos,
+/// not values, and must be rejected rather than silently truncated.
+[[nodiscard]] bool parses_as_int(const std::string& text) {
+  if (text.empty()) {
+    return false;
+  }
+  char* end = nullptr;
+  (void)std::strtoll(text.c_str(), &end, 10);
+  return end == text.c_str() + text.size();
+}
+
+[[nodiscard]] bool parses_as_double(const std::string& text) {
+  if (text.empty()) {
+    return false;
+  }
+  char* end = nullptr;
+  (void)std::strtod(text.c_str(), &end);
+  return end == text.c_str() + text.size();
+}
+
+[[nodiscard]] bool parses_as_bool(const std::string& text) {
+  return text == "true" || text == "false" || text == "1" || text == "0" || text == "yes" ||
+         text == "no";
+}
+
+}  // namespace
+
+bool Cli::parse(int argc, const char* const* argv) {
+  flags_ = Flags(argc, argv);
+  parsed_ = true;
+  if (flags_.has("help")) {
+    std::fputs(usage().c_str(), stdout);
+    exit_code_ = 0;
+    return false;
+  }
+  bool ok = true;
+  for (const std::string& name : flags_.names()) {
+    const Option* option = find(name);
+    if (option == nullptr) {
+      std::fprintf(stderr, "%s: unknown flag --%s\n", program_.c_str(), name.c_str());
+      ok = false;
+      continue;
+    }
+    const std::string value = flags_.get_string(name, option->fallback);
+    bool value_ok = true;
+    switch (option->kind) {
+      case Kind::kInt:
+        value_ok = parses_as_int(value);
+        break;
+      case Kind::kDouble:
+        value_ok = parses_as_double(value);
+        break;
+      case Kind::kBool:
+        value_ok = parses_as_bool(value);
+        break;
+      case Kind::kString:
+        break;
+    }
+    if (!value_ok) {
+      std::fprintf(stderr, "%s: invalid value '%s' for --%s\n", program_.c_str(), value.c_str(),
+                   name.c_str());
+      ok = false;
+    }
+  }
+  if (!ok) {
+    std::fputs(usage().c_str(), stderr);
+    exit_code_ = 1;
+    return false;
+  }
+  return true;
+}
+
+std::int64_t Cli::get_int(std::string_view name) const {
+  const Option& option = require(name, Kind::kInt);
+  return flags_.get_int(name, std::strtoll(option.fallback.c_str(), nullptr, 10));
+}
+
+double Cli::get_double(std::string_view name) const {
+  const Option& option = require(name, Kind::kDouble);
+  return flags_.get_double(name, std::strtod(option.fallback.c_str(), nullptr));
+}
+
+std::string Cli::get_string(std::string_view name) const {
+  const Option& option = require(name, Kind::kString);
+  return flags_.get_string(name, option.fallback);
+}
+
+bool Cli::get_flag(std::string_view name) const {
+  (void)require(name, Kind::kBool);
+  return flags_.get_bool(name, false);
+}
+
+bool Cli::was_set(std::string_view name) const { return flags_.has(name); }
+
+std::string Cli::usage() const {
+  std::string out = program_ + " — " + summary_ + "\n\nOptions:\n";
+  for (const Option& option : options_) {
+    std::string left = "  --" + option.name;
+    switch (option.kind) {
+      case Kind::kInt:
+        left += " N";
+        break;
+      case Kind::kDouble:
+        left += " F";
+        break;
+      case Kind::kString:
+        left += " S";
+        break;
+      case Kind::kBool:
+        break;
+    }
+    if (left.size() < 28) {
+      left.resize(28, ' ');
+    } else {
+      left += ' ';
+    }
+    out += left + option.help;
+    if (option.kind != Kind::kBool) {
+      out += " (default: " + option.fallback + ")";
+    }
+    out += '\n';
+  }
+  out += "  --help                    print this help\n";
+  return out;
+}
+
+}  // namespace dear::common

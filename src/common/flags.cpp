@@ -32,6 +32,15 @@ Flags::Flags(int argc, const char* const* argv) {
 
 bool Flags::has(std::string_view name) const { return values_.find(name) != values_.end(); }
 
+std::vector<std::string> Flags::names() const {
+  std::vector<std::string> out;
+  out.reserve(values_.size());
+  for (const auto& [name, value] : values_) {
+    out.push_back(name);
+  }
+  return out;
+}
+
 std::string Flags::get_string(std::string_view name, std::string_view fallback) const {
   const auto it = values_.find(name);
   return it == values_.end() ? std::string(fallback) : it->second;

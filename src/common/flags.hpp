@@ -27,6 +27,10 @@ class Flags {
   /// Positional (non-flag) arguments in order.
   [[nodiscard]] const std::vector<std::string>& positional() const noexcept { return positional_; }
 
+  /// Names of every flag that was passed, in sorted order (used by the
+  /// Cli layer to reject typos against its registry).
+  [[nodiscard]] std::vector<std::string> names() const;
+
   /// Program name (argv[0]).
   [[nodiscard]] const std::string& program() const noexcept { return program_; }
 

@@ -23,32 +23,16 @@ void SimNetwork::set_link(NodeId source, NodeId destination, LinkParams params) 
   links_[{source, destination}] = std::move(params);
 }
 
-void SimNetwork::send(Endpoint source, Endpoint destination, std::vector<std::uint8_t> payload) {
-  ++sent_;
-  const LinkParams& link = link_for(source.node, destination.node);
-  if (link.drop_probability > 0.0 && rng_.chance(link.drop_probability)) {
-    ++dropped_;
-    return;
-  }
-  const TimePoint send_time = kernel_.now();
-  TimePoint delivery = send_time + link.latency.sample(rng_);
-  auto& pair = pair_state_[{source.node, destination.node}];
+void SimNetwork::schedule_delivery(const LinkParams& link, PairState& pair, Packet packet) {
+  TimePoint delivery = packet.send_time + link.latency.sample(rng_);
   if (link.enforce_in_order && delivery < pair.last_scheduled_delivery) {
     delivery = pair.last_scheduled_delivery;
   }
-  const bool reordered = delivery < pair.last_scheduled_delivery;
-  if (reordered) {
+  if (delivery < pair.last_scheduled_delivery) {
     ++reordered_;
-  }
-  if (delivery > pair.last_scheduled_delivery) {
+  } else {
     pair.last_scheduled_delivery = delivery;
   }
-
-  Packet packet;
-  packet.source = source;
-  packet.destination = destination;
-  packet.payload = std::move(payload);
-  packet.send_time = send_time;
 
   kernel_.schedule_at(delivery, [this, packet = std::move(packet)]() mutable {
     const auto it = receivers_.find(packet.destination);
@@ -60,6 +44,30 @@ void SimNetwork::send(Endpoint source, Endpoint destination, std::vector<std::ui
     ++delivered_;
     it->second(packet);
   });
+}
+
+void SimNetwork::send(Endpoint source, Endpoint destination, std::vector<std::uint8_t> payload) {
+  ++sent_;
+  const LinkParams& link = link_for(source.node, destination.node);
+  if (link.drop_probability > 0.0 && rng_.chance(link.drop_probability)) {
+    ++dropped_;
+    return;
+  }
+  const bool duplicate =
+      link.duplicate_probability > 0.0 && rng_.chance(link.duplicate_probability);
+
+  Packet packet;
+  packet.source = source;
+  packet.destination = destination;
+  packet.payload = std::move(payload);
+  packet.send_time = kernel_.now();
+
+  auto& pair = pair_state_[{source.node, destination.node}];
+  if (duplicate) {
+    ++duplicated_;
+    schedule_delivery(link, pair, packet);
+  }
+  schedule_delivery(link, pair, std::move(packet));
 }
 
 }  // namespace dear::net

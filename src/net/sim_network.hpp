@@ -1,11 +1,13 @@
 // Simulated switched network over the DES kernel.
 //
 // Per node pair, a link is characterized by a latency model, a drop
-// probability, and an in-order flag. With in-order delivery disabled,
-// jitter can reorder packets — the paper's nondeterminism source 3
-// ("point-to-point in-order message delivery ... is not a formal
-// requirement in AUTOSAR AP"). Local (same-node) traffic uses a separate,
-// much faster loopback model.
+// probability, a duplication probability, and an in-order flag. With
+// in-order delivery disabled, jitter can reorder packets — the paper's
+// nondeterminism source 3 ("point-to-point in-order message delivery ...
+// is not a formal requirement in AUTOSAR AP"). Duplication models
+// datagram-level retransmit artifacts: the copy takes an independent
+// latency draw, so it can arrive before or after the original. Local
+// (same-node) traffic uses a separate, much faster loopback model.
 #pragma once
 
 #include <map>
@@ -23,6 +25,9 @@ struct LinkParams {
   sim::ExecTimeModel latency{sim::ExecTimeModel::uniform(200 * dear::kMicrosecond,
                                                          800 * dear::kMicrosecond)};
   double drop_probability{0.0};
+  /// Probability that a successfully sent packet is delivered twice. The
+  /// duplicate takes its own latency draw from the same model.
+  double duplicate_probability{0.0};
   /// When true, a packet is never delivered before a packet sent earlier on
   /// the same (source node, destination node) pair.
   bool enforce_in_order{false};
@@ -49,6 +54,8 @@ class SimNetwork final : public Network {
   [[nodiscard]] std::uint64_t packets_dropped() const override { return dropped_; }
   /// Packets delivered after a packet that was sent later on the same pair.
   [[nodiscard]] std::uint64_t packets_reordered() const noexcept { return reordered_; }
+  /// Extra copies scheduled by the duplication model.
+  [[nodiscard]] std::uint64_t packets_duplicated() const noexcept { return duplicated_; }
 
  private:
   struct PairState {
@@ -57,6 +64,8 @@ class SimNetwork final : public Network {
   };
 
   [[nodiscard]] const LinkParams& link_for(NodeId source, NodeId destination) const;
+
+  void schedule_delivery(const LinkParams& link, PairState& pair, Packet packet);
 
   sim::Kernel& kernel_;
   common::Rng rng_;
@@ -70,6 +79,7 @@ class SimNetwork final : public Network {
   std::uint64_t delivered_{0};
   std::uint64_t dropped_{0};
   std::uint64_t reordered_{0};
+  std::uint64_t duplicated_{0};
 };
 
 }  // namespace dear::net

@@ -1,0 +1,82 @@
+#include "scenario/campaign.hpp"
+
+namespace dear::scenario {
+
+namespace {
+
+/// Iterates an axis, falling back to the base value when the axis is
+/// empty. Keeps expand() readable as nine nested loops without
+/// special-casing empty axes in each.
+template <typename T, typename F>
+void for_axis(const std::vector<T>& axis, const T& base_value, F&& f) {
+  if (axis.empty()) {
+    f(base_value);
+    return;
+  }
+  for (const T& value : axis) {
+    f(value);
+  }
+}
+
+}  // namespace
+
+std::uint64_t CampaignSpec::grid_size() const noexcept {
+  const auto dim = [](std::size_t n) -> std::uint64_t { return n == 0 ? 1 : n; };
+  return dim(workloads.size()) * dim(transports.size()) * dim(net_drop_probabilities.size()) *
+         dim(net_duplicate_probabilities.size()) * dim(svc_latency_ranges.size()) *
+         dim(clock_drift_ppms.size()) * dim(deadline_scales.size()) *
+         dim(exec_time_scales.size()) * dim(sensor_fault_models.size()) *
+         (replicas == 0 ? 1 : replicas);
+}
+
+std::vector<ScenarioSpec> CampaignSpec::expand() const {
+  std::vector<ScenarioSpec> scenarios;
+  scenarios.reserve(grid_size());
+  const std::uint64_t replica_count = replicas == 0 ? 1 : replicas;
+  const std::uint64_t sensor_seed = derive_seed(campaign_seed, 0, "sensor");
+
+  for_axis(workloads, base.workload, [&](Workload workload) {
+    for_axis(transports, base.transport, [&](Transport transport) {
+      for_axis(net_drop_probabilities, base.net_drop_probability, [&](double drop) {
+        for_axis(net_duplicate_probabilities, base.net_duplicate_probability, [&](double dup) {
+          for_axis(svc_latency_ranges, {base.svc_latency_min, base.svc_latency_max},
+                   [&](const std::pair<Duration, Duration>& latency) {
+            for_axis(clock_drift_ppms, base.clock_drift_ppm, [&](double drift) {
+              for_axis(deadline_scales, base.deadline_scale, [&](double deadline_scale) {
+                for_axis(exec_time_scales, base.exec_time_scale, [&](double exec_scale) {
+                  for_axis(sensor_fault_models, base.sensor_faults,
+                           [&](const sim::SensorFaultModel& faults) {
+                    for (std::uint64_t replica = 0; replica < replica_count; ++replica) {
+                      ScenarioSpec spec = base;
+                      spec.index = scenarios.size();
+                      spec.workload = workload;
+                      spec.transport = transport;
+                      spec.net_drop_probability = drop;
+                      spec.net_duplicate_probability = dup;
+                      spec.svc_latency_min = latency.first;
+                      spec.svc_latency_max = latency.second;
+                      spec.clock_drift_ppm = drift;
+                      spec.deadline_scale = deadline_scale;
+                      spec.exec_time_scale = exec_scale;
+                      spec.sensor_faults = faults;
+                      // Platform timing is a pure function of (campaign
+                      // seed, scenario index); the sensor input stream is
+                      // shared campaign-wide.
+                      spec.platform_seed = derive_seed(campaign_seed, spec.index, "platform");
+                      spec.sensor_seed = sensor_seed;
+                      spec.name = spec.describe();
+                      scenarios.push_back(std::move(spec));
+                    }
+                  });
+                });
+              });
+            });
+          });
+        });
+      });
+    });
+  });
+  return scenarios;
+}
+
+}  // namespace dear::scenario

@@ -1,0 +1,53 @@
+// Campaign = parameter grid over ScenarioSpec knobs.
+//
+// A CampaignSpec holds a base scenario plus one value list per sweepable
+// axis; expand() takes the cartesian product and yields the scenario
+// matrix in a deterministic order. Empty axes keep the base value, so a
+// campaign that sweeps nothing is a single scenario, and every added axis
+// multiplies the matrix. `replicas` adds a platform-timing axis: each grid
+// point is run with that many distinct platform seeds, all derived from
+// (campaign seed, scenario index) — the axis along which the DEAR digests
+// must not move while the nondet error prevalence does.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "scenario/spec.hpp"
+
+namespace dear::scenario {
+
+struct CampaignSpec {
+  std::string name{"campaign"};
+  /// Root of every derived seed in the campaign.
+  std::uint64_t campaign_seed{1};
+  /// Template scenario; expansion overwrites index, name, platform_seed
+  /// and sensor_seed plus every swept knob.
+  ScenarioSpec base{};
+  /// Platform-timing replicas per grid point (>= 1).
+  std::uint64_t replicas{1};
+
+  // --- axes (empty = keep the base value) -----------------------------------
+  std::vector<Workload> workloads;
+  std::vector<Transport> transports;
+  std::vector<double> net_drop_probabilities;
+  std::vector<double> net_duplicate_probabilities;
+  /// (min, max) service-link latency ranges.
+  std::vector<std::pair<Duration, Duration>> svc_latency_ranges;
+  std::vector<double> clock_drift_ppms;
+  std::vector<double> deadline_scales;
+  std::vector<double> exec_time_scales;
+  std::vector<sim::SensorFaultModel> sensor_fault_models;
+
+  /// Number of scenarios expand() will produce.
+  [[nodiscard]] std::uint64_t grid_size() const noexcept;
+
+  /// Materializes the scenario matrix. Deterministic: scenario i of two
+  /// calls with equal specs is identical, platform seeds depend only on
+  /// (campaign_seed, i), and the sensor seed only on campaign_seed.
+  [[nodiscard]] std::vector<ScenarioSpec> expand() const;
+};
+
+}  // namespace dear::scenario

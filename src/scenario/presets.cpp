@@ -1,0 +1,46 @@
+#include "scenario/presets.hpp"
+
+namespace dear::scenario::presets {
+
+CampaignSpec smoke(std::uint64_t frames, std::uint64_t campaign_seed) {
+  CampaignSpec campaign;
+  campaign.name = "smoke";
+  campaign.campaign_seed = campaign_seed;
+  campaign.base.frames = frames;
+  campaign.workloads = {Workload::kBrakeDear, Workload::kBrakeNondet};
+  campaign.net_drop_probabilities = {0.0, 0.05};
+  campaign.net_duplicate_probabilities = {0.0, 0.1};
+  campaign.replicas = 2;
+  return campaign;  // 2 * 2 * 2 * 2 = 16 scenarios
+}
+
+CampaignSpec fault_sweep(std::uint64_t frames, std::uint64_t campaign_seed) {
+  CampaignSpec campaign;
+  campaign.name = "fault-sweep";
+  campaign.campaign_seed = campaign_seed;
+  campaign.base.frames = frames;
+  campaign.workloads = {Workload::kBrakeDear, Workload::kBrakeNondet, Workload::kAcc};
+  campaign.transports = {Transport::kSomeIp, Transport::kLocal};
+  campaign.net_drop_probabilities = {0.0, 0.02};
+  campaign.net_duplicate_probabilities = {0.0, 0.05};
+  sim::SensorFaultModel faulty;
+  faulty.drop_probability = 0.02;
+  faulty.stuck_probability = 0.02;
+  faulty.noise_probability = 0.01;
+  campaign.sensor_fault_models = {sim::SensorFaultModel{}, faulty};
+  campaign.replicas = 2;
+  return campaign;  // 3 * 2 * 2 * 2 * 2 * 2 = 96 scenarios
+}
+
+CampaignSpec throughput(std::uint64_t scenario_count, std::uint64_t frames,
+                        std::uint64_t campaign_seed) {
+  CampaignSpec campaign;
+  campaign.name = "throughput";
+  campaign.campaign_seed = campaign_seed;
+  campaign.base.frames = frames;
+  campaign.base.workload = Workload::kBrakeDear;
+  campaign.replicas = scenario_count;
+  return campaign;
+}
+
+}  // namespace dear::scenario::presets

@@ -1,0 +1,28 @@
+// Predefined campaign grids shared by the campaign runner example, the
+// CI smoke campaign, the throughput benchmark and the test suite — one
+// place to grow the standard evaluation matrices instead of re-declaring
+// them per harness.
+#pragma once
+
+#include <cstdint>
+
+#include "scenario/campaign.hpp"
+
+namespace dear::scenario::presets {
+
+/// 16-scenario smoke grid (CI): DEAR + nondet brake over drop/duplication
+/// corners, two platform-timing replicas each.
+[[nodiscard]] CampaignSpec smoke(std::uint64_t frames, std::uint64_t campaign_seed);
+
+/// 96-scenario fault sweep: all three workloads x both transports x
+/// drop/duplication corners x sensor-fault corner, two replicas.
+[[nodiscard]] CampaignSpec fault_sweep(std::uint64_t frames, std::uint64_t campaign_seed);
+
+/// Homogeneous DEAR grid of `scenario_count` platform-timing replicas —
+/// every run lands in one digest group, which makes it both the
+/// batch-throughput benchmark workload and the strongest digest-invariance
+/// check (N scenarios, N distinct platform seeds, one digest).
+[[nodiscard]] CampaignSpec throughput(std::uint64_t scenario_count, std::uint64_t frames,
+                                      std::uint64_t campaign_seed);
+
+}  // namespace dear::scenario::presets

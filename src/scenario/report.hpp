@@ -1,0 +1,66 @@
+// Aggregated outcome of a scenario campaign.
+//
+// The report keeps per-scenario rows in matrix order (independent of
+// which worker ran what), campaign-level aggregates, and the list of
+// determinism-invariant violations the runner detected. report_digest()
+// folds every row into one value — two campaigns executed with different
+// worker counts must produce the same digest, which is itself one of the
+// subsystem's tested invariants.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "scenario/spec.hpp"
+#include "scenario/workloads.hpp"
+
+namespace dear::scenario {
+
+struct ScenarioResult {
+  ScenarioSpec spec;
+  RunOutcome outcome;
+  /// Host wall-clock seconds this run took (not part of report_digest()).
+  double wall_seconds{0.0};
+  /// Whether the run participated in a digest-invariance group.
+  bool determinism_checked{false};
+};
+
+struct CampaignReport {
+  std::string name;
+  std::uint64_t campaign_seed{0};
+  std::size_t workers{1};
+  double wall_seconds{0.0};
+
+  /// Rows in scenario-matrix order.
+  std::vector<ScenarioResult> results;
+
+  /// Digest-invariance groups among expect_deterministic() scenarios.
+  std::size_t determinism_groups{0};
+  std::size_t determinism_checked_runs{0};
+  /// Human-readable invariant violations (empty = all invariants hold).
+  std::vector<std::string> violations;
+
+  [[nodiscard]] bool invariants_ok() const noexcept { return violations.empty(); }
+
+  /// Error-prevalence spread of the nondet runs (the Figure 5 contrast).
+  [[nodiscard]] common::RunningStats nondet_prevalence() const;
+
+  /// Campaign throughput in scenarios per second.
+  [[nodiscard]] double scenarios_per_second() const noexcept {
+    return wall_seconds > 0.0 ? static_cast<double>(results.size()) / wall_seconds : 0.0;
+  }
+
+  /// Order-sensitive digest over every scenario's outcome, in matrix
+  /// order. Identical across worker counts by construction.
+  [[nodiscard]] std::uint64_t report_digest() const;
+
+  /// Machine-readable report (stable schema, no external deps).
+  [[nodiscard]] std::string to_json() const;
+
+  /// Human-readable summary table for consoles and CI logs.
+  [[nodiscard]] std::string to_table() const;
+};
+
+}  // namespace dear::scenario

@@ -1,0 +1,132 @@
+#include "scenario/runner.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+#include <thread>
+#include <vector>
+
+namespace dear::scenario {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+[[nodiscard]] double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Evaluates the digest-invariance groups in place. Scenario order within
+/// `report.results` is matrix order, so the reference member of each
+/// group (its first row) is stable across worker counts.
+void check_invariants(CampaignReport& report) {
+  struct Group {
+    std::uint64_t reference_index{0};
+    std::uint64_t output_digest{0};
+    std::uint64_t tag_digest{0};
+    std::size_t members{0};
+  };
+  std::map<std::uint64_t, Group> groups;
+  for (ScenarioResult& row : report.results) {
+    if (!row.spec.expect_deterministic()) {
+      continue;
+    }
+    row.determinism_checked = true;
+    ++report.determinism_checked_runs;
+    const std::uint64_t key = row.spec.digest_group();
+    auto [it, inserted] = groups.try_emplace(key);
+    Group& group = it->second;
+    if (inserted) {
+      group.reference_index = row.spec.index;
+      group.output_digest = row.outcome.output_digest;
+      group.tag_digest = row.outcome.tag_digest;
+    }
+    ++group.members;
+    if (row.outcome.output_digest != group.output_digest ||
+        row.outcome.tag_digest != group.tag_digest) {
+      char buffer[256];
+      std::snprintf(buffer, sizeof(buffer),
+                    "scenario %" PRIu64 " (%s): digests %016" PRIx64 "/%016" PRIx64
+                    " differ from group reference scenario %" PRIu64 " (%016" PRIx64
+                    "/%016" PRIx64 ")",
+                    row.spec.index, row.spec.name.c_str(), row.outcome.output_digest,
+                    row.outcome.tag_digest, group.reference_index, group.output_digest,
+                    group.tag_digest);
+      report.violations.emplace_back(buffer);
+    }
+  }
+  report.determinism_groups = groups.size();
+}
+
+}  // namespace
+
+std::size_t CampaignRunner::worker_count() const noexcept {
+  if (options_.workers != 0) {
+    return options_.workers;
+  }
+  const unsigned hardware = std::thread::hardware_concurrency();
+  return hardware != 0 ? hardware : 1;
+}
+
+CampaignReport CampaignRunner::run(const CampaignSpec& campaign) const {
+  return run(campaign.name, campaign.expand(), campaign.campaign_seed);
+}
+
+CampaignReport CampaignRunner::run(std::string name, std::vector<ScenarioSpec> scenarios,
+                                   std::uint64_t campaign_seed) const {
+  CampaignReport report;
+  report.name = std::move(name);
+  report.campaign_seed = campaign_seed;
+  report.workers = worker_count();
+
+  report.results.resize(scenarios.size());
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    scenarios[i].index = i;
+    if (scenarios[i].name.empty()) {
+      scenarios[i].name = scenarios[i].describe();
+    }
+    report.results[i].spec = std::move(scenarios[i]);
+  }
+
+  const auto batch_start = Clock::now();
+  // Workers claim scenarios off a shared cursor and write into their
+  // matrix slot; no other cross-thread state exists, so the report is
+  // independent of claim order by construction.
+  std::atomic<std::size_t> cursor{0};
+  const std::size_t pool_size =
+      std::min(report.workers, std::max<std::size_t>(report.results.size(), 1));
+  auto work = [&]() {
+    while (true) {
+      const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= report.results.size()) {
+        return;
+      }
+      ScenarioResult& slot = report.results[i];
+      const auto start = Clock::now();
+      slot.outcome = run_scenario(slot.spec);
+      slot.wall_seconds = seconds_since(start);
+    }
+  };
+  if (pool_size <= 1) {
+    work();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(pool_size);
+    for (std::size_t w = 0; w < pool_size; ++w) {
+      pool.emplace_back(work);
+    }
+    for (std::thread& worker : pool) {
+      worker.join();
+    }
+  }
+  report.wall_seconds = seconds_since(batch_start);
+
+  if (options_.check_invariants) {
+    check_invariants(report);
+  }
+  return report;
+}
+
+}  // namespace dear::scenario

@@ -1,0 +1,55 @@
+// Parallel campaign execution.
+//
+// Every scenario is an independent single-threaded DES run (own kernel,
+// network, runtimes, rng streams — audited: no state is shared between
+// runs), so the runner is an embarrassingly-parallel batch executor: a
+// fixed pool of workers claims scenarios off an atomic cursor and writes
+// results into preallocated matrix slots. Result content is a pure
+// function of the campaign spec; worker count and claim order only affect
+// wall time, which the scenario tests pin down by comparing report
+// digests across worker counts.
+//
+// After the batch, the runner evaluates the subsystem's first-class
+// determinism invariants: scenarios for which the paper's assumptions
+// hold (ScenarioSpec::expect_deterministic) are grouped by digest_group(),
+// and every member of a group must carry bit-identical output and tag
+// digests — across platform seeds, fault knobs within bounds, transports
+// and worker counts. The nondet workload is exempt: its per-scenario
+// error spread is the paper's Figure 5 contrast, reported but never a
+// violation.
+#pragma once
+
+#include <cstddef>
+
+#include "scenario/campaign.hpp"
+#include "scenario/report.hpp"
+
+namespace dear::scenario {
+
+struct RunnerOptions {
+  /// Worker threads for the batch; 0 = std::thread::hardware_concurrency().
+  std::size_t workers{0};
+  /// Evaluate the determinism invariants after the batch (cheap; disable
+  /// only for raw throughput measurements).
+  bool check_invariants{true};
+};
+
+class CampaignRunner {
+ public:
+  explicit CampaignRunner(RunnerOptions options = {}) noexcept : options_(options) {}
+
+  /// Expands the campaign grid and executes the scenario matrix.
+  [[nodiscard]] CampaignReport run(const CampaignSpec& campaign) const;
+
+  /// Executes an explicit scenario list (indices are renumbered to match
+  /// matrix order so reports stay worker-count independent).
+  [[nodiscard]] CampaignReport run(std::string name, std::vector<ScenarioSpec> scenarios,
+                                   std::uint64_t campaign_seed) const;
+
+  [[nodiscard]] std::size_t worker_count() const noexcept;
+
+ private:
+  RunnerOptions options_;
+};
+
+}  // namespace dear::scenario

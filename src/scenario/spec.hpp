@@ -1,0 +1,141 @@
+// Declarative scenario descriptions for the campaign engine.
+//
+// A ScenarioSpec is one point in the evaluation space the paper's case
+// study samples by hand: a workload (one of the three case-study
+// pipelines), a transport deployment, and the full set of fault/stress
+// knobs — clock drift, service-link latency/drop/duplication/ordering,
+// execution-time and deadline scaling, and sensor faults. The scenario
+// engine expands grids of these specs (campaign.hpp) and executes them on
+// a worker pool (runner.hpp), turning the repo's hand-wired
+// configurations into the ROADMAP's "as many scenarios as you can
+// imagine" evaluation machine.
+//
+// Seeding contract (audited): every run derives its rng streams from the
+// spec's two seeds only. The campaign expansion fills platform_seed as a
+// pure function of (campaign seed, scenario index) and sensor_seed as a
+// pure function of the campaign seed alone, so results are independent of
+// worker count and thread scheduling, and scenarios that share a sensor
+// configuration share the exact same input stream.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/time.hpp"
+#include "sim/fault_injection.hpp"
+
+namespace dear::scenario {
+
+/// The case-study pipeline a scenario runs.
+enum class Workload : std::uint8_t {
+  /// DEAR brake assistant (paper §IV.B) — deterministic by construction.
+  kBrakeDear,
+  /// Stock APD brake assistant (paper §IV.A) — the Figure 5 baseline.
+  kBrakeNondet,
+  /// DEAR adaptive cruise-control chain (events + methods + field).
+  kAcc,
+};
+
+/// Transport deployment for the service traffic.
+enum class Transport : std::uint8_t { kSomeIp, kLocal };
+
+[[nodiscard]] std::string_view to_string(Workload workload) noexcept;
+[[nodiscard]] std::string_view to_string(Transport transport) noexcept;
+
+struct ScenarioSpec {
+  /// Position in the campaign's scenario matrix (filled by expansion).
+  std::uint64_t index{0};
+  /// Human-readable identity, derived from the knobs when empty.
+  std::string name;
+
+  Workload workload{Workload::kBrakeDear};
+  Transport transport{Transport::kSomeIp};
+  /// Sensor samples fed into the pipeline (frames resp. radar scans).
+  std::uint64_t frames{2000};
+
+  /// Seed for all platform-side streams (scheduling jitter, network
+  /// latency, execution-time draws, clock drift). Derived from
+  /// (campaign seed, scenario index) by the campaign expansion.
+  std::uint64_t platform_seed{1};
+  /// Seed for the sensor input stream (capture timing and fault
+  /// decisions). Shared by every scenario of a campaign so that digest
+  /// invariants compare like with like.
+  std::uint64_t sensor_seed{5000};
+
+  /// Sensor-platform clock drift bound (ppm).
+  double clock_drift_ppm{30.0};
+
+  // Service-link network model (the SWC-to-SWC SOME/IP traffic).
+  Duration svc_latency_min{5 * kMicrosecond};
+  Duration svc_latency_max{50 * kMicrosecond};
+  double net_drop_probability{0.0};
+  double net_duplicate_probability{0.0};
+  bool net_in_order{false};
+
+  /// Scale on the modeled SWC execution times (stress knob).
+  double exec_time_scale{1.0};
+  /// Scale on the transactor deadlines (latency/error trade-off knob).
+  double deadline_scale{1.0};
+
+  /// Sensor faults, applied at the camera/radar front-end (input-side).
+  sim::SensorFaultModel sensor_faults{};
+
+  // --- fluent builder -------------------------------------------------------
+  ScenarioSpec& with_workload(Workload value) { workload = value; return *this; }
+  ScenarioSpec& with_transport(Transport value) { transport = value; return *this; }
+  ScenarioSpec& with_frames(std::uint64_t value) { frames = value; return *this; }
+  ScenarioSpec& with_platform_seed(std::uint64_t value) { platform_seed = value; return *this; }
+  ScenarioSpec& with_sensor_seed(std::uint64_t value) { sensor_seed = value; return *this; }
+  ScenarioSpec& with_clock_drift_ppm(double value) { clock_drift_ppm = value; return *this; }
+  ScenarioSpec& with_svc_latency(Duration min, Duration max) {
+    svc_latency_min = min;
+    svc_latency_max = max;
+    return *this;
+  }
+  ScenarioSpec& with_net_drop(double probability) {
+    net_drop_probability = probability;
+    return *this;
+  }
+  ScenarioSpec& with_net_duplicate(double probability) {
+    net_duplicate_probability = probability;
+    return *this;
+  }
+  ScenarioSpec& with_net_in_order(bool value = true) { net_in_order = value; return *this; }
+  ScenarioSpec& with_exec_time_scale(double value) { exec_time_scale = value; return *this; }
+  ScenarioSpec& with_deadline_scale(double value) { deadline_scale = value; return *this; }
+  ScenarioSpec& with_sensor_faults(sim::SensorFaultModel value) {
+    sensor_faults = value;
+    return *this;
+  }
+
+  /// True when the DEAR determinism guarantee applies: a reactor-based
+  /// workload whose fault knobs stay within the paper's assumptions
+  /// (reliable delivery, latency within the safe-to-process bound L,
+  /// deadlines at or above WCET). Reordering, duplication, latency jitter
+  /// within L, clock drift and *sensor* faults are all allowed — they must
+  /// not change the logical results.
+  [[nodiscard]] bool expect_deterministic() const noexcept;
+
+  /// Scenarios with the same digest group must produce bit-identical
+  /// output and tag digests when expect_deterministic() holds — the
+  /// campaign engine's first-class invariant. The key covers exactly the
+  /// knobs that may legitimately change observable behavior: workload,
+  /// sample count, sensor input stream, and deadline scaling.
+  [[nodiscard]] std::uint64_t digest_group() const noexcept;
+
+  /// Derived name, e.g. "dear/someip/drop0.010/dup0.100/dl0.80/sf/s42".
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Worst-case service-link latency tolerated by the default transactor
+/// configuration (the paper's L bound; dear/config.hpp).
+inline constexpr Duration kSvcLatencyBound = 5 * kMillisecond;
+
+/// Pure derivation of a per-scenario sub-seed from the campaign seed, the
+/// scenario index and a stream label. Independent of execution order by
+/// construction.
+[[nodiscard]] std::uint64_t derive_seed(std::uint64_t campaign_seed, std::uint64_t scenario_index,
+                                        std::string_view stream) noexcept;
+
+}  // namespace dear::scenario

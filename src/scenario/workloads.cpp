@@ -1,0 +1,116 @@
+#include "scenario/workloads.hpp"
+
+#include <algorithm>
+
+#include "common/digest.hpp"
+
+namespace dear::scenario {
+
+namespace {
+
+[[nodiscard]] RunOutcome from_pipeline_result(const brake::PipelineResult& result) {
+  RunOutcome outcome;
+  outcome.samples_in = result.frames_sent;
+  outcome.samples_out = result.frames_processed_eba;
+  outcome.app_errors = result.errors.total();
+  outcome.protocol_errors =
+      result.deadline_violations + result.tardy_messages + result.untagged_messages;
+  outcome.wrong_outputs = result.wrong_decisions;
+  outcome.sensor_faults_injected =
+      result.sensor_dropped + result.sensor_stuck + result.sensor_noisy;
+  outcome.output_digest = result.output_digest;
+  outcome.tag_digest = result.tag_digest;
+  if (result.latency.count() > 0) {
+    outcome.latency_mean_ns = result.latency.mean();
+    outcome.latency_max_ns = result.latency.max();
+  }
+  return outcome;
+}
+
+[[nodiscard]] RunOutcome from_acc_result(const acc::AccResult& result) {
+  RunOutcome outcome;
+  outcome.samples_in = result.scans_sent;
+  outcome.samples_out = result.commands;
+  // The chain has no buffer-overwrite errors by construction; losses show
+  // up as protocol errors or missing commands.
+  outcome.app_errors = result.scans_sent - std::min(result.commands, result.scans_sent);
+  outcome.protocol_errors = result.deadline_violations + result.tardy_messages +
+                            result.untagged_messages + result.dropped_messages +
+                            result.remote_errors;
+  outcome.wrong_outputs = result.wrong_commands;
+  outcome.sensor_faults_injected =
+      result.sensor_dropped + result.sensor_stuck + result.sensor_noisy;
+  // Fold the console's field-traffic digest in: a scenario only counts as
+  // behaviorally identical when events, methods and field all agree.
+  outcome.output_digest = result.output_digest;
+  common::mix_digest(outcome.output_digest, result.console_digest);
+  outcome.tag_digest = result.tag_digest;
+  return outcome;
+}
+
+}  // namespace
+
+brake::DearScenarioConfig to_dear_config(const ScenarioSpec& spec) {
+  brake::DearScenarioConfig config;
+  config.frames = spec.frames;
+  config.platform_seed = spec.platform_seed;
+  config.camera_seed = spec.sensor_seed;
+  config.camera_drift_ppm = spec.clock_drift_ppm;
+  config.deadline_scale = spec.deadline_scale;
+  config.exec_time_scale = spec.exec_time_scale;
+  config.local_transport = spec.transport == Transport::kLocal;
+  config.svc_latency_min = spec.svc_latency_min;
+  config.svc_latency_max = spec.svc_latency_max;
+  config.net_drop_probability = spec.net_drop_probability;
+  config.net_duplicate_probability = spec.net_duplicate_probability;
+  config.net_in_order = spec.net_in_order;
+  config.sensor_faults = spec.sensor_faults;
+  return config;
+}
+
+brake::ScenarioConfig to_nondet_config(const ScenarioSpec& spec) {
+  brake::ScenarioConfig config;
+  config.frames = spec.frames;
+  config.platform_seed = spec.platform_seed;
+  config.camera_seed = spec.sensor_seed;
+  config.max_drift_ppm = spec.clock_drift_ppm;
+  config.svc_latency_min = spec.svc_latency_min;
+  config.svc_latency_max = spec.svc_latency_max;
+  config.net_drop_probability = spec.net_drop_probability;
+  config.net_duplicate_probability = spec.net_duplicate_probability;
+  config.net_in_order = spec.net_in_order;
+  config.sensor_faults = spec.sensor_faults;
+  return config;
+}
+
+acc::AccScenarioConfig to_acc_config(const ScenarioSpec& spec) {
+  acc::AccScenarioConfig config;
+  config.scans = spec.frames;
+  config.platform_seed = spec.platform_seed;
+  config.radar_seed = spec.sensor_seed;
+  config.radar_drift_ppm = spec.clock_drift_ppm;
+  config.deadline_scale = spec.deadline_scale;
+  config.exec_time_scale = spec.exec_time_scale;
+  config.local_transport = spec.transport == Transport::kLocal;
+  config.svc_latency_min = spec.svc_latency_min;
+  config.svc_latency_max = spec.svc_latency_max;
+  config.net_drop_probability = spec.net_drop_probability;
+  config.net_duplicate_probability = spec.net_duplicate_probability;
+  config.net_in_order = spec.net_in_order;
+  config.sensor_faults = spec.sensor_faults;
+  return config;
+}
+
+RunOutcome run_scenario(const ScenarioSpec& spec) {
+  switch (spec.workload) {
+    case Workload::kBrakeDear:
+      return from_pipeline_result(brake::run_dear_pipeline(to_dear_config(spec)));
+    case Workload::kBrakeNondet:
+      return from_pipeline_result(brake::run_nondet_pipeline(to_nondet_config(spec)));
+    case Workload::kAcc:
+      return from_acc_result(acc::run_acc_pipeline(to_acc_config(spec)));
+  }
+  return RunOutcome{};
+}
+
+}  // namespace dear::scenario

@@ -37,9 +37,17 @@ void PeriodicTask::stop() {
 
 void PeriodicTask::arm_next() {
   // Nominal release on the local clock grid, converted to global kernel time.
-  const TimePoint local_release =
-      phase_ + static_cast<TimePoint>(activation_) * period_;
-  TimePoint global_release = clock_.global_from_local(local_release);
+  TimePoint global_release =
+      clock_.global_from_local(phase_ + static_cast<TimePoint>(activation_) * period_);
+  // Grid points already in the global past (the local clock is ahead at
+  // start/restart time) are *missed* activations: firing them would
+  // compress several periods into a burst at now(), which no periodic OS
+  // callback does. Skip to the next future release instead.
+  while (global_release < kernel_.now()) {
+    ++activation_;
+    global_release =
+        clock_.global_from_local(phase_ + static_cast<TimePoint>(activation_) * period_);
+  }
   if (has_jitter_) {
     global_release += jitter_.sample(rng_);
   }

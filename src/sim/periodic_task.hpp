@@ -8,7 +8,10 @@
 //
 // Nominal activation k fires at phase + k*period on the platform's *local*
 // clock, plus a jitter draw. Jitter affects release time only; the nominal
-// grid does not accumulate error.
+// grid does not accumulate error. Grid points that are already in the
+// global past when the task is (re)armed — e.g. the local clock is ahead
+// of global time at startup — count as missed activations and are
+// skipped, never fired as a burst.
 #pragma once
 
 #include <cstdint>

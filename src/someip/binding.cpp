@@ -14,6 +14,8 @@ constexpr std::string_view kLogComponent = "someip.binding";
 Binding::Binding(net::Network& network, common::Executor& executor, net::Endpoint self,
                  ClientId client_id)
     : network_(network), executor_(executor), self_(self), client_id_(client_id) {
+  // Pre-size the dedup set: no rehash allocations on the receive path.
+  recent_request_keys_.reserve(kRecentRequestWindow + 1);
   network_.bind(self_, [this](const net::Packet& packet) { on_packet(packet); });
 }
 
@@ -227,10 +229,35 @@ void Binding::on_packet(const net::Packet& packet) {
   (void)receive_bypass_.collect();
 }
 
+bool Binding::record_request(ClientId client, SessionId session) {
+  const std::uint32_t key =
+      (static_cast<std::uint32_t>(client) << 16) | static_cast<std::uint32_t>(session);
+  if (!recent_request_keys_.insert(key).second) {
+    ++duplicate_requests_;
+    return false;
+  }
+  // Bound the window FIFO-style: duplicates arrive within one link latency
+  // of the original, so a small horizon is ample.
+  if (recent_request_count_ == kRecentRequestWindow) {
+    recent_request_keys_.erase(recent_request_ring_[recent_request_head_]);
+  } else {
+    ++recent_request_count_;
+  }
+  recent_request_ring_[recent_request_head_] = key;
+  recent_request_head_ = (recent_request_head_ + 1) % kRecentRequestWindow;
+  return true;
+}
+
 void Binding::handle_request(const Message& message, const net::Endpoint& from) {
   RequestHandler handler;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
+    // At-most-once delivery for sessioned requests: a network-duplicated
+    // datagram must not execute the method a second time.
+    if (message.type == MessageType::kRequest && message.session != 0 &&
+        !record_request(message.client, message.session)) {
+      return;
+    }
     const auto it = methods_.find({message.service, message.method});
     if (it != methods_.end()) {
       handler = it->second;

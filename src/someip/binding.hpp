@@ -13,10 +13,12 @@
 // pairing race-free.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <mutex>
+#include <unordered_set>
 #include <vector>
 
 #include "common/executor.hpp"
@@ -107,6 +109,9 @@ class Binding {
   [[nodiscard]] std::uint64_t tagged_received() const noexcept { return tagged_received_; }
   [[nodiscard]] std::uint64_t malformed_received() const noexcept { return malformed_received_; }
   [[nodiscard]] std::uint64_t timeouts() const noexcept { return timeouts_; }
+  /// Requests discarded by at-most-once delivery (same client and session
+  /// seen before, e.g. a network-duplicated datagram).
+  [[nodiscard]] std::uint64_t duplicate_requests() const noexcept { return duplicate_requests_; }
 
  private:
   void on_packet(const net::Packet& packet);
@@ -127,8 +132,23 @@ class Binding {
   mutable std::mutex mutex_;
   std::mutex receive_mutex_;
 
+  /// True (and recorded) the first time (client, session) is seen within
+  /// the recent-request window; false for a duplicate. Call under mutex_.
+  [[nodiscard]] bool record_request(ClientId client, SessionId session);
+
   SessionId next_session_{1};
   std::map<SessionId, ResponseHandler> pending_;
+  /// Recently seen (client << 16 | session) request keys, FIFO-bounded.
+  /// Method execution is not idempotent (each request gets its own
+  /// response and its own server-side call state), so a duplicated
+  /// request datagram must be dropped here — SOME/IP sessions exist
+  /// precisely to give requests at-most-once identity. O(1) per request:
+  /// this runs under mutex_ on the real-time receive path.
+  static constexpr std::size_t kRecentRequestWindow = 128;
+  std::unordered_set<std::uint32_t> recent_request_keys_;
+  std::array<std::uint32_t, kRecentRequestWindow> recent_request_ring_{};
+  std::size_t recent_request_head_{0};
+  std::size_t recent_request_count_{0};
   std::map<std::pair<ServiceId, MethodId>, RequestHandler> methods_;
   std::map<std::pair<ServiceId, EventId>, NotificationHandler> event_handlers_;
   std::map<std::pair<ServiceId, EventId>, std::vector<net::Endpoint>> subscribers_;
@@ -141,6 +161,7 @@ class Binding {
   std::uint64_t tagged_received_{0};
   std::uint64_t malformed_received_{0};
   std::uint64_t timeouts_{0};
+  std::uint64_t duplicate_requests_{0};
 };
 
 }  // namespace dear::someip

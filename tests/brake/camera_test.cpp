@@ -68,10 +68,12 @@ TEST_F(CameraFixture, CaptureTimeUsesCameraClock) {
   camera.start();
   kernel.run_until(100_ms);
   ASSERT_EQ(received.size(), 1u);
-  // The first local-grid release maps to global -3 ms, which the kernel
-  // clamps to 0; the capture timestamp is the camera's local reading at
-  // that instant: +3 ms.
-  EXPECT_EQ(received[0].capture_time, 3_ms);
+  // The local grid point 0 maps to global -3 ms — already missed at start,
+  // so the first capture is grid point 10 ms local = 7 ms global, stamped
+  // with the camera's local reading. The frame id stays 0: ids are capture
+  // ordinals, independent of where the clock offset lands the grid.
+  EXPECT_EQ(received[0].capture_time, 10_ms);
+  EXPECT_EQ(received[0].frame_id, 0u);
 }
 
 TEST_F(CameraFixture, FrameContentMatchesGenerator) {

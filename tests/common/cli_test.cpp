@@ -1,0 +1,108 @@
+#include "common/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dear::common {
+namespace {
+
+[[nodiscard]] Cli make_cli() {
+  Cli cli("harness", "Test harness.");
+  cli.add_int("frames", 100, "frames to run");
+  cli.add_double("scale", 1.5, "stress scale");
+  cli.add_string("out", "report.json", "output path");
+  cli.add_flag("verbose", "chatty output");
+  return cli;
+}
+
+TEST(Cli, DefaultsApplyWhenNothingIsPassed) {
+  Cli cli = make_cli();
+  const char* argv[] = {"harness"};
+  ASSERT_TRUE(cli.parse(1, argv));
+  EXPECT_EQ(cli.get_int("frames"), 100);
+  EXPECT_DOUBLE_EQ(cli.get_double("scale"), 1.5);
+  EXPECT_EQ(cli.get_string("out"), "report.json");
+  EXPECT_FALSE(cli.get_flag("verbose"));
+  EXPECT_FALSE(cli.was_set("frames"));
+}
+
+TEST(Cli, TypedValuesParseFromBothSyntaxes) {
+  Cli cli = make_cli();
+  const char* argv[] = {"harness", "--frames=250", "--scale", "0.5", "--verbose"};
+  ASSERT_TRUE(cli.parse(5, argv));
+  EXPECT_EQ(cli.get_int("frames"), 250);
+  EXPECT_DOUBLE_EQ(cli.get_double("scale"), 0.5);
+  EXPECT_TRUE(cli.get_flag("verbose"));
+  EXPECT_TRUE(cli.was_set("frames"));
+}
+
+TEST(Cli, HelpStopsTheRunWithExitCodeZero) {
+  Cli cli = make_cli();
+  const char* argv[] = {"harness", "--help"};
+  EXPECT_FALSE(cli.parse(2, argv));
+  EXPECT_EQ(cli.exit_code(), 0);
+}
+
+TEST(Cli, UnknownFlagIsRejectedWithExitCodeOne) {
+  Cli cli = make_cli();
+  const char* argv[] = {"harness", "--framez", "10"};
+  EXPECT_FALSE(cli.parse(3, argv));
+  EXPECT_EQ(cli.exit_code(), 1);
+}
+
+TEST(Cli, MalformedValuesAreRejectedNotTruncated) {
+  {
+    Cli cli = make_cli();
+    const char* argv[] = {"harness", "--frames", "10O0"};  // typo'd zero
+    EXPECT_FALSE(cli.parse(3, argv));
+    EXPECT_EQ(cli.exit_code(), 1);
+  }
+  {
+    Cli cli = make_cli();
+    const char* argv[] = {"harness", "--scale", "1.5x"};
+    EXPECT_FALSE(cli.parse(3, argv));
+  }
+  {
+    Cli cli = make_cli();
+    const char* argv[] = {"harness", "--verbose=maybe"};
+    EXPECT_FALSE(cli.parse(2, argv));
+  }
+  {
+    Cli cli = make_cli();
+    const char* argv[] = {"harness", "--frames", "-3", "--scale", "2e-1", "--verbose=yes"};
+    EXPECT_TRUE(cli.parse(6, argv));
+    EXPECT_EQ(cli.get_int("frames"), -3);
+    EXPECT_DOUBLE_EQ(cli.get_double("scale"), 0.2);
+    EXPECT_TRUE(cli.get_flag("verbose"));
+  }
+}
+
+TEST(Cli, UsageListsEveryOptionWithDefaults) {
+  const Cli cli = make_cli();
+  const std::string usage = cli.usage();
+  EXPECT_NE(usage.find("--frames"), std::string::npos);
+  EXPECT_NE(usage.find("frames to run"), std::string::npos);
+  EXPECT_NE(usage.find("default: 100"), std::string::npos);
+  EXPECT_NE(usage.find("--scale"), std::string::npos);
+  EXPECT_NE(usage.find("--verbose"), std::string::npos);
+  EXPECT_NE(usage.find("--help"), std::string::npos);
+}
+
+TEST(Cli, UnregisteredAccessThrows) {
+  Cli cli = make_cli();
+  const char* argv[] = {"harness"};
+  ASSERT_TRUE(cli.parse(1, argv));
+  EXPECT_THROW((void)cli.get_int("nope"), std::logic_error);
+  EXPECT_THROW((void)cli.get_int("scale"), std::logic_error) << "type mismatch must throw";
+}
+
+TEST(Flags, NamesReturnsPassedFlagsSorted) {
+  const char* argv[] = {"harness", "--beta", "--alpha=1"};
+  const Flags flags(3, argv);
+  const auto names = flags.names();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "alpha");
+  EXPECT_EQ(names[1], "beta");
+}
+
+}  // namespace
+}  // namespace dear::common

@@ -156,6 +156,150 @@ TEST_F(NetFixture, PerPairLinkOverride) {
   EXPECT_EQ(to_c, 10_ms);   // overridden link
 }
 
+// --- fault-scenario edge cases (scenario-engine knobs) ----------------------
+
+TEST_F(NetFixture, FullDropDeliversNothing) {
+  const Endpoint a{1, 10};
+  const Endpoint b{2, 20};
+  LinkParams link;
+  link.latency = sim::ExecTimeModel::constant(100_us);
+  link.drop_probability = 1.0;
+  network.set_default_link(link);
+  int delivered = 0;
+  network.bind(b, [&](const Packet&) { ++delivered; });
+  for (int i = 0; i < 500; ++i) {
+    network.send(a, b, bytes({1}));
+  }
+  kernel.run();
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(network.packets_sent(), 500u);
+  EXPECT_EQ(network.packets_dropped(), 500u);
+  EXPECT_EQ(network.packets_delivered(), 0u);
+}
+
+TEST_F(NetFixture, EqualTimestampsDeliverInSendOrder) {
+  // Constant latency gives every packet of a burst the same delivery
+  // timestamp; the kernel's (time, priority, insertion) ordering must keep
+  // send order — reordering requires unequal draws, never ties.
+  const Endpoint a{1, 10};
+  const Endpoint b{2, 20};
+  LinkParams link;
+  link.latency = sim::ExecTimeModel::constant(250_us);
+  link.enforce_in_order = false;
+  network.set_default_link(link);
+  std::vector<std::uint8_t> order;
+  network.bind(b, [&](const Packet& p) { order.push_back(p.payload[0]); });
+  for (std::uint8_t i = 0; i < 100; ++i) {
+    network.send(a, b, bytes({i}));
+  }
+  kernel.run();
+  ASSERT_EQ(order.size(), 100u);
+  EXPECT_TRUE(std::is_sorted(order.begin(), order.end()));
+  EXPECT_EQ(network.packets_reordered(), 0u);
+}
+
+TEST_F(NetFixture, ZeroLatencyLinkDeliversSameInstantInOrder) {
+  const Endpoint a{1, 10};
+  const Endpoint b{2, 20};
+  LinkParams link;
+  link.latency = sim::ExecTimeModel::constant(0);
+  network.set_default_link(link);
+  std::vector<std::uint8_t> order;
+  TimePoint receive_time = -1;
+  network.bind(b, [&](const Packet& p) {
+    order.push_back(p.payload[0]);
+    receive_time = p.receive_time;
+  });
+  kernel.schedule_at(3_ms, [&] {
+    for (std::uint8_t i = 0; i < 10; ++i) {
+      network.send(a, b, bytes({i}));
+    }
+  });
+  kernel.run();
+  ASSERT_EQ(order.size(), 10u);
+  EXPECT_TRUE(std::is_sorted(order.begin(), order.end()));
+  EXPECT_EQ(receive_time, 3_ms) << "zero latency must not advance time";
+  EXPECT_EQ(network.packets_reordered(), 0u);
+}
+
+TEST_F(NetFixture, DuplicationDeliversAnExtraCopyPerPacket) {
+  const Endpoint a{1, 10};
+  const Endpoint b{2, 20};
+  LinkParams link;
+  link.latency = sim::ExecTimeModel::constant(100_us);
+  link.duplicate_probability = 1.0;
+  network.set_default_link(link);
+  int delivered = 0;
+  network.bind(b, [&](const Packet&) { ++delivered; });
+  for (int i = 0; i < 200; ++i) {
+    network.send(a, b, bytes({7}));
+  }
+  kernel.run();
+  EXPECT_EQ(delivered, 400);
+  EXPECT_EQ(network.packets_duplicated(), 200u);
+  EXPECT_EQ(network.packets_delivered(), 400u);
+  EXPECT_EQ(network.packets_sent(), 200u);
+}
+
+TEST_F(NetFixture, DuplicationProbabilityRoughlyHolds) {
+  const Endpoint a{1, 10};
+  const Endpoint b{2, 20};
+  LinkParams link;
+  link.latency = sim::ExecTimeModel::uniform(0, 500_us);
+  link.duplicate_probability = 0.25;
+  network.set_default_link(link);
+  int delivered = 0;
+  network.bind(b, [&](const Packet&) { ++delivered; });
+  constexpr int kPackets = 10'000;
+  for (int i = 0; i < kPackets; ++i) {
+    network.send(a, b, bytes({0}));
+  }
+  kernel.run();
+  EXPECT_NEAR(static_cast<double>(delivered) / kPackets, 1.25, 0.02);
+}
+
+TEST_F(NetFixture, DuplicationCombinedWithDropKeepsTheBooksStraight) {
+  // A dropped packet must never be duplicated: deliveries come in pairs.
+  const Endpoint a{1, 10};
+  const Endpoint b{2, 20};
+  LinkParams link;
+  link.latency = sim::ExecTimeModel::constant(50_us);
+  link.drop_probability = 0.5;
+  link.duplicate_probability = 1.0;
+  network.set_default_link(link);
+  int delivered = 0;
+  network.bind(b, [&](const Packet&) { ++delivered; });
+  constexpr int kPackets = 2'000;
+  for (int i = 0; i < kPackets; ++i) {
+    network.send(a, b, bytes({0}));
+  }
+  kernel.run();
+  EXPECT_EQ(network.packets_sent(), static_cast<std::uint64_t>(kPackets));
+  const auto surviving = kPackets - network.packets_dropped();
+  EXPECT_EQ(network.packets_delivered(), 2 * surviving);
+  EXPECT_EQ(network.packets_duplicated(), surviving);
+  EXPECT_EQ(static_cast<std::uint64_t>(delivered), 2 * surviving);
+  EXPECT_NEAR(static_cast<double>(network.packets_dropped()) / kPackets, 0.5, 0.05);
+}
+
+TEST_F(NetFixture, DuplicationRespectsInOrderDelivery) {
+  const Endpoint a{1, 10};
+  const Endpoint b{2, 20};
+  LinkParams link;
+  link.latency = sim::ExecTimeModel::uniform(0, 1_ms);
+  link.duplicate_probability = 0.5;
+  link.enforce_in_order = true;
+  network.set_default_link(link);
+  std::vector<std::uint8_t> order;
+  network.bind(b, [&](const Packet& p) { order.push_back(p.payload[0]); });
+  for (std::uint8_t i = 0; i < 100; ++i) {
+    network.send(a, b, bytes({i}));
+  }
+  kernel.run();
+  EXPECT_TRUE(std::is_sorted(order.begin(), order.end()));
+  EXPECT_EQ(network.packets_reordered(), 0u);
+}
+
 TEST_F(NetFixture, SendRecordsSendTime) {
   const Endpoint b{2, 20};
   kernel.schedule_at(5_ms, [&] { network.send({1, 1}, b, bytes({1})); });

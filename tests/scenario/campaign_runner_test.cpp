@@ -1,0 +1,197 @@
+// Campaign-scale reproduction of the paper's core contrast: the DEAR
+// pipelines keep bit-identical logical digests across every bounded fault
+// scenario, transport and worker count, while the nondet pipeline's error
+// prevalence moves with the scenario knobs.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "scenario/presets.hpp"
+#include "scenario/runner.hpp"
+
+namespace dear::scenario {
+namespace {
+
+using namespace dear::literals;
+
+constexpr std::uint64_t kFrames = 300;
+
+[[nodiscard]] CampaignRunner runner_with(std::size_t workers) {
+  RunnerOptions options;
+  options.workers = workers;
+  return CampaignRunner(options);
+}
+
+TEST(CampaignRunner, DearDigestsIdenticalAcrossPlatformSeedsTransportsAndBoundedFaults) {
+  // One digest group spanning: 3 platform-timing replicas x 2 transports
+  // x duplication on/off x two latency ranges within L. 24 runs, one
+  // admissible digest.
+  CampaignSpec campaign;
+  campaign.name = "dear-invariance";
+  campaign.campaign_seed = 11;
+  campaign.base.frames = kFrames;
+  campaign.transports = {Transport::kSomeIp, Transport::kLocal};
+  campaign.net_duplicate_probabilities = {0.0, 0.2};
+  campaign.svc_latency_ranges = {{5_us, 50_us}, {100_us, 2_ms}};
+  campaign.replicas = 3;
+
+  const auto report = runner_with(2).run(campaign);
+  ASSERT_EQ(report.results.size(), 24u);
+  EXPECT_EQ(report.determinism_checked_runs, 24u);
+  EXPECT_EQ(report.determinism_groups, 1u);
+  EXPECT_TRUE(report.invariants_ok()) << report.to_table();
+
+  const std::uint64_t reference = report.results.front().outcome.output_digest;
+  for (const ScenarioResult& row : report.results) {
+    EXPECT_EQ(row.outcome.output_digest, reference) << row.spec.name;
+    EXPECT_EQ(row.outcome.samples_out, kFrames) << row.spec.name;
+    EXPECT_EQ(row.outcome.total_errors(), 0u) << row.spec.name;
+  }
+}
+
+TEST(CampaignRunner, AccChainJoinsTheSameInvariantMachinery) {
+  CampaignSpec campaign;
+  campaign.name = "acc-invariance";
+  campaign.campaign_seed = 5;
+  campaign.base.workload = Workload::kAcc;
+  campaign.base.frames = 200;
+  campaign.transports = {Transport::kSomeIp, Transport::kLocal};
+  campaign.replicas = 3;
+
+  const auto report = runner_with(2).run(campaign);
+  ASSERT_EQ(report.results.size(), 6u);
+  EXPECT_EQ(report.determinism_groups, 1u);
+  EXPECT_TRUE(report.invariants_ok()) << report.to_table();
+  for (const ScenarioResult& row : report.results) {
+    EXPECT_GT(row.outcome.samples_out, 0u);
+  }
+}
+
+TEST(CampaignRunner, NondetErrorPrevalenceVariesAcrossScenariosWhileDearStaysAtZero) {
+  // The paper's contrast at campaign scale, from one grid.
+  CampaignSpec campaign;
+  campaign.name = "contrast";
+  campaign.campaign_seed = 3;
+  campaign.base.frames = kFrames;
+  campaign.workloads = {Workload::kBrakeDear, Workload::kBrakeNondet};
+  campaign.net_drop_probabilities = {0.0, 0.05};
+  campaign.replicas = 4;
+
+  const auto report = runner_with(2).run(campaign);
+  EXPECT_TRUE(report.invariants_ok()) << report.to_table();
+
+  const auto nondet = report.nondet_prevalence();
+  ASSERT_EQ(nondet.count(), 8u);
+  EXPECT_GT(nondet.max(), nondet.min())
+      << "fault knobs must move the nondet pipeline's error prevalence";
+  EXPECT_GT(nondet.max(), 0.0);
+
+  for (const ScenarioResult& row : report.results) {
+    if (row.spec.workload == Workload::kBrakeDear && row.spec.expect_deterministic()) {
+      EXPECT_EQ(row.outcome.total_errors(), 0u) << row.spec.name;
+      EXPECT_EQ(row.outcome.error_prevalence_percent(), 0.0) << row.spec.name;
+    }
+  }
+}
+
+TEST(CampaignRunner, LossyDearScenariosShowObservableErrorsNotViolations) {
+  CampaignSpec campaign;
+  campaign.campaign_seed = 9;
+  campaign.base.frames = kFrames;
+  campaign.base.net_drop_probability = 0.05;
+  campaign.replicas = 4;
+
+  const auto report = runner_with(2).run(campaign);
+  // Drops violate the reliable-delivery assumption, so these runs carry no
+  // digest expectation — but the losses must be *observable*.
+  EXPECT_EQ(report.determinism_checked_runs, 0u);
+  EXPECT_TRUE(report.invariants_ok());
+  std::uint64_t observable = 0;
+  for (const ScenarioResult& row : report.results) {
+    observable += row.outcome.app_errors + row.outcome.protocol_errors;
+    EXPECT_LE(row.outcome.samples_out, kFrames);
+  }
+  EXPECT_GT(observable, 0u);
+}
+
+TEST(CampaignRunner, SensorFaultsShiftTheInputButKeepEachGroupDeterministic) {
+  sim::SensorFaultModel faulty;
+  faulty.drop_probability = 0.05;
+  faulty.stuck_probability = 0.05;
+  faulty.noise_probability = 0.05;
+
+  CampaignSpec campaign;
+  campaign.campaign_seed = 13;
+  campaign.base.frames = kFrames;
+  campaign.sensor_fault_models = {sim::SensorFaultModel{}, faulty};
+  campaign.replicas = 3;
+
+  const auto report = runner_with(2).run(campaign);
+  ASSERT_EQ(report.results.size(), 6u);
+  EXPECT_EQ(report.determinism_groups, 2u);
+  EXPECT_TRUE(report.invariants_ok()) << report.to_table();
+
+  std::set<std::uint64_t> digests;
+  for (const ScenarioResult& row : report.results) {
+    digests.insert(row.outcome.output_digest);
+    if (row.spec.sensor_faults.any()) {
+      EXPECT_GT(row.outcome.sensor_faults_injected, 0u);
+      // Input faults are shared by every platform seed of the group.
+      EXPECT_EQ(row.outcome.sensor_faults_injected,
+                report.results.back().outcome.sensor_faults_injected);
+    }
+  }
+  EXPECT_EQ(digests.size(), 2u) << "two input streams, two digests";
+}
+
+TEST(CampaignRunner, ReportIsIndependentOfWorkerCount) {
+  const auto campaign = presets::smoke(200, 17);
+  const auto serial = runner_with(1).run(campaign);
+  const auto parallel = runner_with(4).run(campaign);
+
+  ASSERT_EQ(serial.results.size(), parallel.results.size());
+  EXPECT_EQ(serial.report_digest(), parallel.report_digest());
+  for (std::size_t i = 0; i < serial.results.size(); ++i) {
+    EXPECT_EQ(serial.results[i].spec.name, parallel.results[i].spec.name);
+    EXPECT_EQ(serial.results[i].outcome.output_digest,
+              parallel.results[i].outcome.output_digest);
+    EXPECT_EQ(serial.results[i].outcome.app_errors, parallel.results[i].outcome.app_errors);
+  }
+  EXPECT_EQ(serial.violations.size(), parallel.violations.size());
+}
+
+TEST(CampaignRunner, SmokePresetExpandsTo16CheckedScenarios) {
+  const auto campaign = presets::smoke(100, 1);
+  EXPECT_EQ(campaign.grid_size(), 16u);
+  const auto report = runner_with(2).run(campaign);
+  EXPECT_EQ(report.results.size(), 16u);
+  EXPECT_TRUE(report.invariants_ok()) << report.to_table();
+  EXPECT_GT(report.determinism_checked_runs, 0u);
+}
+
+TEST(CampaignRunner, ReportSerializesToJsonAndTable) {
+  CampaignSpec campaign;
+  campaign.campaign_seed = 2;
+  campaign.base.frames = 100;
+  campaign.replicas = 2;
+  const auto report = runner_with(1).run(campaign);
+
+  const std::string json = report.to_json();
+  EXPECT_NE(json.find("\"campaign\""), std::string::npos);
+  EXPECT_NE(json.find("\"scenarios\""), std::string::npos);
+  EXPECT_NE(json.find("\"output_digest\""), std::string::npos);
+  EXPECT_NE(json.find("\"report_digest\""), std::string::npos);
+  // Every scenario row made it into the JSON.
+  std::size_t rows = 0;
+  for (std::size_t pos = 0; (pos = json.find("\"index\":", pos)) != std::string::npos; ++pos) {
+    ++rows;
+  }
+  EXPECT_EQ(rows, report.results.size());
+
+  const std::string table = report.to_table();
+  EXPECT_NE(table.find("report digest"), std::string::npos);
+  EXPECT_NE(table.find("determinism"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dear::scenario

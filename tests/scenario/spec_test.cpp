@@ -1,0 +1,165 @@
+#include "scenario/spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "scenario/campaign.hpp"
+
+namespace dear::scenario {
+namespace {
+
+using namespace dear::literals;
+
+TEST(ScenarioSpec, DefaultIsDeterministicDearScenario) {
+  const ScenarioSpec spec;
+  EXPECT_EQ(spec.workload, Workload::kBrakeDear);
+  EXPECT_TRUE(spec.expect_deterministic());
+}
+
+TEST(ScenarioSpec, NondetWorkloadNeverExpectsDeterminism) {
+  ScenarioSpec spec;
+  spec.workload = Workload::kBrakeNondet;
+  EXPECT_FALSE(spec.expect_deterministic());
+}
+
+TEST(ScenarioSpec, LossyKnobsBreakTheDeterminismExpectation) {
+  ScenarioSpec drops;
+  drops.net_drop_probability = 0.01;
+  EXPECT_FALSE(drops.expect_deterministic());
+
+  ScenarioSpec slow_links;
+  slow_links.svc_latency_max = kSvcLatencyBound + 1;
+  EXPECT_FALSE(slow_links.expect_deterministic());
+
+  ScenarioSpec tight_deadlines;
+  tight_deadlines.deadline_scale = 0.5;
+  EXPECT_FALSE(tight_deadlines.expect_deterministic());
+
+  ScenarioSpec overload;
+  overload.exec_time_scale = 2.0;
+  EXPECT_FALSE(overload.expect_deterministic());
+}
+
+TEST(ScenarioSpec, BoundedFaultsPreserveTheDeterminismExpectation) {
+  // Duplication, reordering, latency jitter within L, clock drift and
+  // sensor faults are all tolerated by the DEAR architecture — the
+  // campaign engine must keep checking digests for these scenarios.
+  ScenarioSpec spec;
+  spec.net_duplicate_probability = 0.5;
+  spec.net_in_order = false;
+  spec.svc_latency_min = 0;
+  spec.svc_latency_max = kSvcLatencyBound;
+  spec.clock_drift_ppm = 200.0;
+  spec.sensor_faults.drop_probability = 0.1;
+  spec.sensor_faults.stuck_probability = 0.1;
+  spec.sensor_faults.noise_probability = 0.1;
+  EXPECT_TRUE(spec.expect_deterministic());
+}
+
+TEST(ScenarioSpec, DigestGroupIgnoresPlatformOnlyKnobs) {
+  ScenarioSpec a;
+  ScenarioSpec b;
+  b.platform_seed = a.platform_seed + 99;
+  b.transport = Transport::kLocal;
+  b.net_duplicate_probability = 0.3;
+  b.svc_latency_max = 2_ms;
+  b.clock_drift_ppm = 120.0;
+  b.exec_time_scale = 0.5;
+  EXPECT_EQ(a.digest_group(), b.digest_group());
+}
+
+TEST(ScenarioSpec, DigestGroupTracksInputAffectingKnobs) {
+  const ScenarioSpec base;
+  ScenarioSpec frames = base;
+  frames.frames += 1;
+  EXPECT_NE(base.digest_group(), frames.digest_group());
+
+  ScenarioSpec sensor_seed = base;
+  sensor_seed.sensor_seed += 1;
+  EXPECT_NE(base.digest_group(), sensor_seed.digest_group());
+
+  ScenarioSpec faults = base;
+  faults.sensor_faults.noise_probability = 0.2;
+  EXPECT_NE(base.digest_group(), faults.digest_group());
+
+  ScenarioSpec deadlines = base;
+  deadlines.deadline_scale = 1.5;
+  EXPECT_NE(base.digest_group(), deadlines.digest_group());
+
+  ScenarioSpec workload = base;
+  workload.workload = Workload::kAcc;
+  EXPECT_NE(base.digest_group(), workload.digest_group());
+}
+
+TEST(ScenarioSpec, DeriveSeedIsPureAndSensitiveToAllInputs) {
+  EXPECT_EQ(derive_seed(1, 0, "platform"), derive_seed(1, 0, "platform"));
+  EXPECT_NE(derive_seed(1, 0, "platform"), derive_seed(2, 0, "platform"));
+  EXPECT_NE(derive_seed(1, 0, "platform"), derive_seed(1, 1, "platform"));
+  EXPECT_NE(derive_seed(1, 0, "platform"), derive_seed(1, 0, "sensor"));
+  EXPECT_NE(derive_seed(1, 0, "platform"), 0u);
+}
+
+TEST(ScenarioSpec, DescribeNamesTheKnobs) {
+  ScenarioSpec spec;
+  spec.workload = Workload::kAcc;
+  spec.transport = Transport::kLocal;
+  spec.net_drop_probability = 0.05;
+  spec.index = 12;
+  const std::string name = spec.describe();
+  EXPECT_NE(name.find("acc"), std::string::npos);
+  EXPECT_NE(name.find("local"), std::string::npos);
+  EXPECT_NE(name.find("drop0.050"), std::string::npos);
+  EXPECT_NE(name.find("i12"), std::string::npos);
+}
+
+TEST(CampaignSpec, GridSizeIsTheProductOfAxes) {
+  CampaignSpec campaign;
+  EXPECT_EQ(campaign.grid_size(), 1u);
+  campaign.workloads = {Workload::kBrakeDear, Workload::kBrakeNondet};
+  campaign.net_drop_probabilities = {0.0, 0.01, 0.05};
+  campaign.replicas = 4;
+  EXPECT_EQ(campaign.grid_size(), 2u * 3u * 4u);
+  EXPECT_EQ(campaign.expand().size(), campaign.grid_size());
+}
+
+TEST(CampaignSpec, ExpansionIsDeterministicAndIndexed) {
+  CampaignSpec campaign;
+  campaign.campaign_seed = 42;
+  campaign.transports = {Transport::kSomeIp, Transport::kLocal};
+  campaign.net_duplicate_probabilities = {0.0, 0.1};
+  campaign.replicas = 3;
+
+  const auto first = campaign.expand();
+  const auto second = campaign.expand();
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].index, i);
+    EXPECT_EQ(first[i].name, second[i].name);
+    EXPECT_EQ(first[i].platform_seed, second[i].platform_seed);
+    EXPECT_EQ(first[i].sensor_seed, second[i].sensor_seed);
+  }
+}
+
+TEST(CampaignSpec, PlatformSeedsAreDerivedFromCampaignSeedAndIndexOnly) {
+  CampaignSpec campaign;
+  campaign.campaign_seed = 7;
+  campaign.replicas = 8;
+  const auto scenarios = campaign.expand();
+  for (const ScenarioSpec& spec : scenarios) {
+    EXPECT_EQ(spec.platform_seed, derive_seed(7, spec.index, "platform"));
+    EXPECT_EQ(spec.sensor_seed, derive_seed(7, 0, "sensor"))
+        << "the sensor input stream must be shared campaign-wide";
+  }
+  // Distinct platform timing per scenario.
+  for (std::size_t i = 1; i < scenarios.size(); ++i) {
+    EXPECT_NE(scenarios[i].platform_seed, scenarios[0].platform_seed);
+  }
+
+  CampaignSpec reseeded = campaign;
+  reseeded.campaign_seed = 8;
+  const auto other = reseeded.expand();
+  EXPECT_NE(other[0].platform_seed, scenarios[0].platform_seed);
+  EXPECT_NE(other[0].sensor_seed, scenarios[0].sensor_seed);
+}
+
+}  // namespace
+}  // namespace dear::scenario

@@ -87,23 +87,46 @@ TEST(PeriodicTask, StopPreventsFurtherActivations) {
   EXPECT_FALSE(task.running());
 }
 
-TEST(PeriodicTask, RestartBeginsFromIndexZero) {
+TEST(PeriodicTask, RestartSkipsMissedGridPoints) {
   Kernel kernel;
   PlatformClock clock;
   std::vector<std::uint64_t> indices;
-  PeriodicTask task(kernel, clock, 10_ms, 0,
-                    [&](std::uint64_t index, TimePoint) { indices.push_back(index); });
+  std::vector<TimePoint> releases;
+  PeriodicTask task(kernel, clock, 10_ms, 0, [&](std::uint64_t index, TimePoint t) {
+    indices.push_back(index);
+    releases.push_back(t);
+  });
   task.start();
   kernel.run_until(15_ms);
   task.stop();
   task.start();
   kernel.run_until(35_ms);
   task.stop();
-  // First run: indices 0, 1. Restart re-anchors at local phase grid.
-  ASSERT_GE(indices.size(), 3u);
-  EXPECT_EQ(indices[0], 0u);
-  EXPECT_EQ(indices[1], 1u);
-  EXPECT_EQ(indices[2], 0u);
+  // First run: indices 0, 1 at t = 0, 10 ms. The restart at 15 ms stays on
+  // the same local grid; activations 0 and 1 are missed, never burst-fired.
+  ASSERT_EQ(indices.size(), 4u);
+  EXPECT_EQ(indices, (std::vector<std::uint64_t>{0, 1, 2, 3}));
+  EXPECT_EQ(releases, (std::vector<TimePoint>{0, 10_ms, 20_ms, 30_ms}));
+}
+
+TEST(PeriodicTask, PastPhaseOnAheadClockIsSkippedNotBurstFired) {
+  Kernel kernel;
+  // Local clock 45 ms ahead of global time: the local grid points 3, 13,
+  // 23, 33, 43 ms are already past at global t=0; the first *future* one
+  // is 53 ms local = 8 ms global.
+  PlatformClock ahead(45_ms, 0.0);
+  std::vector<TimePoint> releases;
+  std::vector<std::uint64_t> indices;
+  PeriodicTask task(kernel, ahead, 10_ms, 3_ms, [&](std::uint64_t index, TimePoint t) {
+    indices.push_back(index);
+    releases.push_back(t);
+  });
+  task.start();
+  kernel.run_until(30_ms);
+  task.stop();
+  ASSERT_EQ(releases.size(), 3u);
+  EXPECT_EQ(releases, (std::vector<TimePoint>{8_ms, 18_ms, 28_ms}));
+  EXPECT_EQ(indices, (std::vector<std::uint64_t>{5, 6, 7}));
 }
 
 }  // namespace

@@ -50,6 +50,42 @@ TEST_F(BindingFixture, SessionsMatchConcurrentCalls) {
   }
 }
 
+TEST_F(BindingFixture, DuplicatedRequestExecutesTheMethodOnce) {
+  // Network duplication (scenario-engine fault knob) delivers the same
+  // request datagram twice; SOME/IP sessions give it at-most-once
+  // identity, so the method must run once and the client still complete.
+  net::LinkParams duplicating;
+  duplicating.latency = sim::ExecTimeModel::constant(100_us);
+  duplicating.duplicate_probability = 1.0;
+  network.set_default_link(duplicating);
+
+  int executions = 0;
+  server.provide_method(0x10, 0x01, [&](const Message& request, const net::Endpoint& from) {
+    ++executions;
+    server.respond(request, from, {9});
+  });
+  int responses = 0;
+  client.call(server_ep, 0x10, 0x01, {1}, [&](const Message&) { ++responses; });
+  client.call(server_ep, 0x10, 0x01, {2}, [&](const Message&) { ++responses; });
+  kernel.run();
+  EXPECT_EQ(executions, 2) << "one execution per distinct call, not per datagram";
+  EXPECT_EQ(responses, 2);
+  EXPECT_EQ(server.duplicate_requests(), 2u);
+}
+
+TEST_F(BindingFixture, DistinctSessionsAreNotTreatedAsDuplicates) {
+  server.provide_method(0x10, 0x01, [&](const Message& request, const net::Endpoint& from) {
+    server.respond(request, from, request.payload);
+  });
+  int responses = 0;
+  for (int i = 0; i < 300; ++i) {  // exceeds the recent-request window
+    client.call(server_ep, 0x10, 0x01, {1}, [&](const Message&) { ++responses; });
+  }
+  kernel.run();
+  EXPECT_EQ(responses, 300);
+  EXPECT_EQ(server.duplicate_requests(), 0u);
+}
+
 TEST_F(BindingFixture, UnknownMethodGetsErrorResponse) {
   ReturnCode code = ReturnCode::kOk;
   client.call(server_ep, 0x99, 0x01, {},
