@@ -1,0 +1,99 @@
+// Hot-path trajectory driver: runs every hot-path suite plus the
+// determinism anchors in one process and writes BENCH_hotpath.json (the
+// committed, diffable perf record; see docs/performance.md for the
+// schema). Exit status reflects the sanity gates:
+//   * event_queue_speedup_2x       — pooled queue >= 2x the std::map queue
+//   * event_queue_pop_order_identical
+//   * someip_pooled_roundtrip_faster
+//   * dear_digest_someip/local     — DEAR pipeline output digest unchanged
+//   * fault_sweep_digest(_workers) — campaign report digest unchanged and
+//                                    identical across worker counts
+// so CI fails on a hot-path or determinism regression without parsing any
+// console output.
+#include <cstdio>
+
+#include "brake/dear_pipeline.hpp"
+#include "scenario/presets.hpp"
+#include "scenario/runner.hpp"
+#include "suites.hpp"
+
+namespace {
+
+// Golden digests for the fixed-seed anchor workloads below. Captured from
+// the std::map-queue implementation; every later change must reproduce
+// them bit-exactly.
+constexpr std::uint64_t kDearDigest300f7 = 0xe4eb73d5ff217bdeULL;      // 300 frames, seed 7
+constexpr std::uint64_t kFaultSweepDigest120f1 = 0x6b2d9413c9b8a160ULL;  // 96 scen., 120 frames
+
+std::uint64_t run_dear_digest(bool local_transport) {
+  dear::brake::DearScenarioConfig config;
+  config.frames = 300;
+  config.platform_seed = 7;
+  config.camera_seed = config.platform_seed + 1000;
+  config.local_transport = local_transport;
+  return dear::brake::run_dear_pipeline(config).output_digest;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  dear::bench::Harness harness(
+      "hotpath", "All hot-path suites + determinism anchors; writes BENCH_hotpath.json.");
+  harness.set_default_json_path("BENCH_hotpath.json");
+  if (!harness.parse(argc, argv)) {
+    return harness.exit_code();
+  }
+
+  dear::bench::run_reactor_suite(harness);
+  dear::bench::run_someip_suite(harness);
+
+  // --- determinism anchors ---------------------------------------------------
+  char detail[160];
+
+  std::uint64_t someip_digest = 0;
+  harness.measure("dear_pipeline/300f/someip", 300,
+                  [&] { someip_digest = run_dear_digest(false); });
+  std::snprintf(detail, sizeof(detail), "digest %016llx, expected %016llx",
+                static_cast<unsigned long long>(someip_digest),
+                static_cast<unsigned long long>(kDearDigest300f7));
+  harness.gate("dear_digest_someip", someip_digest == kDearDigest300f7, detail);
+
+  std::uint64_t local_digest = 0;
+  harness.measure("dear_pipeline/300f/local", 300,
+                  [&] { local_digest = run_dear_digest(true); });
+  std::snprintf(detail, sizeof(detail), "digest %016llx, expected %016llx",
+                static_cast<unsigned long long>(local_digest),
+                static_cast<unsigned long long>(kDearDigest300f7));
+  harness.gate("dear_digest_local", local_digest == kDearDigest300f7, detail);
+
+  // The 96-scenario fault sweep: wall clock is the tracked metric, the
+  // report digest (at both worker counts) is the gate.
+  const auto campaign = dear::scenario::presets::fault_sweep(120, 1);
+  std::uint64_t serial_digest = 0;
+  std::uint64_t parallel_digest = 0;
+  std::size_t violations = 0;
+  harness.measure("fault_sweep/96x120f/serial", 96, [&] {
+    dear::scenario::RunnerOptions options;
+    options.workers = 1;
+    const auto report = dear::scenario::CampaignRunner(options).run(campaign);
+    serial_digest = report.report_digest();
+    violations = report.violations.size();
+  });
+  harness.measure("fault_sweep/96x120f/2workers", 96, [&] {
+    dear::scenario::RunnerOptions options;
+    options.workers = 2;
+    const auto report = dear::scenario::CampaignRunner(options).run(campaign);
+    parallel_digest = report.report_digest();
+  });
+  std::snprintf(detail, sizeof(detail), "digest %016llx, expected %016llx, %zu violation(s)",
+                static_cast<unsigned long long>(serial_digest),
+                static_cast<unsigned long long>(kFaultSweepDigest120f1), violations);
+  harness.gate("fault_sweep_digest", serial_digest == kFaultSweepDigest120f1 && violations == 0,
+               detail);
+  std::snprintf(detail, sizeof(detail), "2-worker digest %016llx vs serial %016llx",
+                static_cast<unsigned long long>(parallel_digest),
+                static_cast<unsigned long long>(serial_digest));
+  harness.gate("fault_sweep_digest_workers", parallel_digest == serial_digest, detail);
+
+  return harness.finish();
+}

@@ -39,6 +39,7 @@
 #include "common/flags.hpp"
 #include "common/histogram.hpp"
 #include "common/thread_pool.hpp"
+#include "harness.hpp"
 #include "net/rt_network.hpp"
 
 namespace {
@@ -58,11 +59,7 @@ struct WorkloadResult {
   std::uint64_t notifies{0};
 };
 
-double now_ns() {
-  return static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(
-                                 std::chrono::steady_clock::now().time_since_epoch())
-                                 .count());
-}
+double now_ns() { return bench::now_ns(); }
 
 /// Shared measurement harness for every row of both tables. The rows
 /// differ only in how a call is issued and how the notify path is wired,
@@ -318,18 +315,40 @@ void print_row(const char* name, const WorkloadResult& result) {
               latency.mean, throughput);
 }
 
+/// Records a workload row on the shared harness (per-round-trip latency
+/// samples + notify throughput) for the JSON report.
+void record_row(bench::Harness& harness, const std::string& name,
+                const WorkloadResult& result) {
+  const double throughput =
+      static_cast<double>(result.notifies) / std::max(result.notify_seconds, 1e-9);
+  auto& row = harness.record(name, result.round_trip_ns, throughput);
+  bench::Harness::counter(row, "notify_msgs_per_s", throughput);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  const common::Flags flags(argc, argv);
-  const auto round_trips = static_cast<std::uint64_t>(std::max<std::int64_t>(
-      flags.get_int("round-trips", common::env_int("DEAR_BINDING_ROUND_TRIPS", 3000)), 1));
-  const auto notifies = static_cast<std::uint64_t>(std::max<std::int64_t>(
-      flags.get_int("notifies", common::env_int("DEAR_BINDING_NOTIFIES", 100'000)), 1));
+  bench::Harness harness(
+      "bench_binding_backends",
+      "Transport backend comparison: SOME/IP loopback vs zero-copy LocalBinding, raw and "
+      "typed.");
+  harness.cli().add_int("round-trips", common::env_int("DEAR_BINDING_ROUND_TRIPS", 3000),
+                        "echo round trips per backend");
+  harness.cli().add_int("notifies", common::env_int("DEAR_BINDING_NOTIFIES", 100'000),
+                        "event notifications per backend");
+  harness.cli().add_int("payload", 64, "payload bytes");
+  harness.cli().add_int("workers", 2, "executor worker threads");
+  if (!harness.parse(argc, argv)) {
+    return harness.exit_code();
+  }
+  const auto round_trips = static_cast<std::uint64_t>(
+      std::max<std::int64_t>(harness.cli().get_int("round-trips"), 1));
+  const auto notifies =
+      static_cast<std::uint64_t>(std::max<std::int64_t>(harness.cli().get_int("notifies"), 1));
   const auto payload =
-      static_cast<std::size_t>(std::max<std::int64_t>(flags.get_int("payload", 64), 0));
+      static_cast<std::size_t>(std::max<std::int64_t>(harness.cli().get_int("payload"), 0));
   const auto workers =
-      static_cast<std::size_t>(std::max<std::int64_t>(flags.get_int("workers", 2), 1));
+      static_cast<std::size_t>(std::max<std::int64_t>(harness.cli().get_int("workers"), 1));
 
   std::printf("=====================================================================\n");
   std::printf("Transport backend comparison (real threads, %zu workers)\n", workers);
@@ -342,8 +361,10 @@ int main(int argc, char** argv) {
 
   const WorkloadResult someip = run_someip(round_trips, notifies, payload, workers);
   print_row("someip", someip);
+  record_row(harness, "binding/someip", someip);
   const WorkloadResult local = run_local(round_trips, notifies, payload, workers);
   print_row("local", local);
+  record_row(harness, "binding/local", local);
 
   const double someip_p50 = summarize(someip.round_trip_ns).p50;
   const double local_p50 = summarize(local.round_trip_ns).p50;
@@ -359,8 +380,10 @@ int main(int argc, char** argv) {
   const WorkloadResult handwritten =
       run_typed_handwritten(round_trips, notifies, payload, workers);
   print_row("hand", handwritten);
+  record_row(harness, "typed/handwritten", handwritten);
   const WorkloadResult generated = run_typed_generated(round_trips, notifies, payload, workers);
   print_row("gen", generated);
+  record_row(harness, "typed/generated", generated);
 
   const double hand_p50 = summarize(handwritten.round_trip_ns).p50;
   const double gen_p50 = summarize(generated.round_trip_ns).p50;
@@ -369,5 +392,20 @@ int main(int argc, char** argv) {
   std::printf("  Proxy<I>/Skeleton<I> members resolve at compile time to the same\n");
   std::printf("  typed parts the handwritten classes declare; the descriptor API is\n");
   std::printf("  a zero-cost abstraction over them.\n");
-  return 0;
+
+  char detail[96];
+  // Smoke-size runs (the ctest bench group) have too few samples for a
+  // comparative-latency verdict under CI co-load; enforce only at
+  // representative sample counts.
+  if (round_trips >= 1000) {
+    std::snprintf(detail, sizeof(detail), "local p50 %.0fns vs someip p50 %.0fns", local_p50,
+                  someip_p50);
+    harness.gate("local_backend_lower_p50", local_p50 < someip_p50, detail);
+  } else {
+    std::snprintf(detail, sizeof(detail),
+                  "skipped: %llu round trips below the 1000-sample floor",
+                  static_cast<unsigned long long>(round_trips));
+    harness.gate("local_backend_lower_p50", true, detail);
+  }
+  return harness.finish();
 }

@@ -1,165 +1,17 @@
 // Reactor runtime microbenchmarks (viability of the DEAR substrate):
-// scheduler throughput across pipeline depths, fan-outs and worker
-// counts, plus action-scheduling and DES co-simulation costs.
-#include <benchmark/benchmark.h>
+// event-queue enqueue/dequeue throughput (pooled heap vs the previous
+// std::map queue, with the >= 2x floor enforced as a gate), scheduler
+// pipeline/fan-out runs, action scheduling and the raw DES kernel
+// baseline. `--json out.json` emits the shared dear-bench-v1 report.
+#include "suites.hpp"
 
-#include "reactor/runtime.hpp"
-#include "sim/kernel.hpp"
-
-namespace {
-
-using namespace dear;
-using namespace dear::literals;
-
-/// Source -> chain of relays -> sink, driven by a logical action loop.
-class Source final : public reactor::Reactor {
- public:
-  reactor::Output<std::int64_t> out{"out", this};
-
-  Source(reactor::Environment& env, std::int64_t limit)
-      : Reactor("source", env), limit_(limit) {
-    add_reaction("kick", [this] { action_.schedule(reactor::Empty{}); }).triggered_by(startup_);
-    add_reaction("emit",
-                 [this] {
-                   out.set(count_);
-                   if (++count_ < limit_) {
-                     action_.schedule(reactor::Empty{});
-                   } else {
-                     request_shutdown();
-                   }
-                 })
-        .triggered_by(action_)
-        .writes(out);
+int main(int argc, char** argv) {
+  dear::bench::Harness harness(
+      "bench_reactor_throughput",
+      "Reactor scheduler hot-path throughput (pooled event queue vs std::map).");
+  if (!harness.parse(argc, argv)) {
+    return harness.exit_code();
   }
-
- private:
-  reactor::StartupTrigger startup_{"startup", this};
-  reactor::LogicalAction<reactor::Empty> action_{"tick", this};
-  std::int64_t limit_;
-  std::int64_t count_{0};
-};
-
-class Relay final : public reactor::Reactor {
- public:
-  reactor::Input<std::int64_t> in{"in", this};
-  reactor::Output<std::int64_t> out{"out", this};
-
-  Relay(reactor::Environment& env, std::string name) : Reactor(std::move(name), env) {
-    add_reaction("relay", [this] { out.set(in.get() + 1); }).triggered_by(in).writes(out);
-  }
-};
-
-class Sink final : public reactor::Reactor {
- public:
-  reactor::Input<std::int64_t> in{"in", this};
-  std::int64_t sum{0};
-
-  explicit Sink(reactor::Environment& env, std::string name = "sink")
-      : Reactor(std::move(name), env) {
-    add_reaction("consume", [this] { sum += in.get(); }).triggered_by(in);
-  }
-};
-
-void BM_PipelineDepth(benchmark::State& state) {
-  const auto depth = static_cast<std::size_t>(state.range(0));
-  constexpr std::int64_t kEvents = 5'000;
-  for (auto _ : state) {
-    sim::Kernel kernel;
-    reactor::SimClock clock(kernel);
-    reactor::Environment env(clock);
-    Source source(env, kEvents);
-    std::vector<std::unique_ptr<Relay>> relays;
-    for (std::size_t i = 0; i < depth; ++i) {
-      relays.push_back(std::make_unique<Relay>(env, "relay" + std::to_string(i)));
-    }
-    Sink sink(env);
-    reactor::BasePort* previous = &source.out;
-    for (auto& relay : relays) {
-      env.connect(*static_cast<reactor::Output<std::int64_t>*>(previous), relay->in);
-      previous = &relay->out;
-    }
-    env.connect(*static_cast<reactor::Output<std::int64_t>*>(previous), sink.in);
-    reactor::SimDriver driver(env, kernel, common::Rng(1));
-    driver.start();
-    kernel.run();
-    benchmark::DoNotOptimize(sink.sum);
-  }
-  state.SetItemsProcessed(state.iterations() * kEvents * (static_cast<std::int64_t>(depth) + 2));
+  dear::bench::run_reactor_suite(harness);
+  return harness.finish();
 }
-BENCHMARK(BM_PipelineDepth)->Arg(1)->Arg(4)->Arg(16)->Unit(benchmark::kMillisecond);
-
-void BM_FanOut(benchmark::State& state) {
-  const auto sinks = static_cast<std::size_t>(state.range(0));
-  constexpr std::int64_t kEvents = 5'000;
-  for (auto _ : state) {
-    sim::Kernel kernel;
-    reactor::SimClock clock(kernel);
-    reactor::Environment env(clock);
-    Source source(env, kEvents);
-    std::vector<std::unique_ptr<Sink>> sink_list;
-    for (std::size_t i = 0; i < sinks; ++i) {
-      sink_list.push_back(std::make_unique<Sink>(env, "sink" + std::to_string(i)));
-      env.connect(source.out, sink_list.back()->in);
-    }
-    reactor::SimDriver driver(env, kernel, common::Rng(1));
-    driver.start();
-    kernel.run();
-    benchmark::DoNotOptimize(sink_list.front()->sum);
-  }
-  state.SetItemsProcessed(state.iterations() * kEvents * static_cast<std::int64_t>(sinks));
-}
-BENCHMARK(BM_FanOut)->Arg(2)->Arg(8)->Arg(32)->Unit(benchmark::kMillisecond);
-
-void BM_ThreadedWorkers(benchmark::State& state) {
-  // Threaded scheduler with N independent timer-driven reactors; measures
-  // the level-barrier coordination overhead as worker count grows.
-  const auto workers = static_cast<unsigned>(state.range(0));
-  for (auto _ : state) {
-    reactor::RealClock clock;
-    reactor::Environment::Config config;
-    config.workers = workers;
-    reactor::Environment env(clock, config);
-    Source source(env, 2'000);
-    Sink sink(env);
-    env.connect(source.out, sink.in);
-    env.run();
-    benchmark::DoNotOptimize(sink.sum);
-  }
-  state.SetItemsProcessed(state.iterations() * 2'000);
-}
-BENCHMARK(BM_ThreadedWorkers)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
-
-void BM_LogicalActionScheduling(benchmark::State& state) {
-  // Cost of one schedule -> dequeue -> execute cycle.
-  for (auto _ : state) {
-    sim::Kernel kernel;
-    reactor::SimClock clock(kernel);
-    reactor::Environment env(clock);
-    Source source(env, 10'000);
-    reactor::SimDriver driver(env, kernel, common::Rng(1));
-    driver.start();
-    kernel.run();
-  }
-  state.SetItemsProcessed(state.iterations() * 10'000);
-}
-BENCHMARK(BM_LogicalActionScheduling)->Unit(benchmark::kMillisecond);
-
-void BM_DesKernelRawEvents(benchmark::State& state) {
-  // Baseline: raw kernel event dispatch without the reactor layer.
-  for (auto _ : state) {
-    sim::Kernel kernel;
-    std::int64_t count = 0;
-    std::function<void()> chain = [&] {
-      if (++count < 100'000) {
-        kernel.schedule_after(1, chain);
-      }
-    };
-    kernel.schedule_at(0, chain);
-    kernel.run();
-    benchmark::DoNotOptimize(count);
-  }
-  state.SetItemsProcessed(state.iterations() * 100'000);
-}
-BENCHMARK(BM_DesKernelRawEvents)->Unit(benchmark::kMillisecond);
-
-}  // namespace

@@ -1,101 +1,16 @@
 // SOME/IP serialization microbenchmarks, including the overhead of the
-// DEAR tag extension (12-byte trailer + bypass handling) relative to
-// standard untagged messages.
-#include <benchmark/benchmark.h>
+// DEAR tag extension (12-byte trailer + bypass handling) and the pooled
+// buffer path relative to per-message allocation. `--json out.json` emits
+// the shared dear-bench-v1 report.
+#include "suites.hpp"
 
-#include "brake/types.hpp"
-#include "brake/logic.hpp"
-#include "someip/message.hpp"
-#include "someip/timestamp_bypass.hpp"
-
-namespace {
-
-using namespace dear;
-
-someip::Message make_message(std::size_t payload_size, bool tagged) {
-  someip::Message message;
-  message.service = 0x1234;
-  message.method = 0x8001;
-  message.client = 0x01;
-  message.session = 0x42;
-  message.type = someip::MessageType::kNotification;
-  message.payload.assign(payload_size, 0xAB);
-  if (tagged) {
-    message.tag = someip::WireTag{123'456'789, 2};
+int main(int argc, char** argv) {
+  dear::bench::Harness harness(
+      "bench_someip_serialization",
+      "SOME/IP wire encode/decode hot paths (pooled buffers vs fresh allocations).");
+  if (!harness.parse(argc, argv)) {
+    return harness.exit_code();
   }
-  return message;
+  dear::bench::run_someip_suite(harness);
+  return harness.finish();
 }
-
-void BM_EncodeUntagged(benchmark::State& state) {
-  const auto message = make_message(static_cast<std::size_t>(state.range(0)), false);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(message.encode());
-  }
-  state.SetBytesProcessed(state.iterations() *
-                          static_cast<std::int64_t>(state.range(0) + 16));
-}
-BENCHMARK(BM_EncodeUntagged)->Arg(16)->Arg(256)->Arg(4096);
-
-void BM_EncodeTagged(benchmark::State& state) {
-  const auto message = make_message(static_cast<std::size_t>(state.range(0)), true);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(message.encode());
-  }
-  state.SetBytesProcessed(state.iterations() *
-                          static_cast<std::int64_t>(state.range(0) + 28));
-}
-BENCHMARK(BM_EncodeTagged)->Arg(16)->Arg(256)->Arg(4096);
-
-void BM_DecodeUntagged(benchmark::State& state) {
-  const auto wire = make_message(static_cast<std::size_t>(state.range(0)), false).encode();
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(someip::Message::decode(wire));
-  }
-  state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(wire.size()));
-}
-BENCHMARK(BM_DecodeUntagged)->Arg(16)->Arg(256)->Arg(4096);
-
-void BM_DecodeTagged(benchmark::State& state) {
-  const auto wire = make_message(static_cast<std::size_t>(state.range(0)), true).encode();
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(someip::Message::decode(wire));
-  }
-  state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(wire.size()));
-}
-BENCHMARK(BM_DecodeTagged)->Arg(16)->Arg(256)->Arg(4096);
-
-void BM_TimestampBypass(benchmark::State& state) {
-  someip::TimestampBypass bypass;
-  for (auto _ : state) {
-    bypass.deposit(someip::WireTag{1, 0});
-    benchmark::DoNotOptimize(bypass.collect());
-  }
-  state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_TimestampBypass);
-
-void BM_BrakePayloadRoundTrip(benchmark::State& state) {
-  // The case study's heaviest payload: a vehicle list.
-  const brake::VideoFrame frame = brake::generate_frame(7, 1000);
-  const brake::LaneInfo lane = brake::detect_lane(frame);
-  const brake::VehicleList vehicles = brake::detect_vehicles(frame, lane);
-  for (auto _ : state) {
-    const auto payload = someip::encode_payload(vehicles);
-    brake::VehicleList decoded;
-    benchmark::DoNotOptimize(someip::decode_payload(payload, decoded));
-  }
-  state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_BrakePayloadRoundTrip);
-
-void BM_BrakeLogicPipeline(benchmark::State& state) {
-  // The pure component logic (no coordination): per-frame cost.
-  std::uint64_t id = 0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(brake::reference_decision(id++));
-  }
-  state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_BrakeLogicPipeline);
-
-}  // namespace

@@ -1,0 +1,296 @@
+// Reactor runtime hot-path cases.
+//
+// The headline pair is event_queue/map vs event_queue/pooled: the exact
+// std::map<Tag, std::vector<BaseAction*>> structure the scheduler used
+// before the pooled EventQueue, driven with an identical seeded
+// insert/pop workload. Both queues must produce the same pop sequence
+// (checksum gate) and the pooled queue must clear the 2x throughput floor
+// the overhaul targets.
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "reactor/event_queue.hpp"
+#include "reactor/runtime.hpp"
+#include "sim/kernel.hpp"
+#include "suites.hpp"
+
+namespace dear::bench {
+
+namespace {
+
+using namespace dear::reactor;
+
+/// The scheduler's previous event queue, verbatim semantics: ordered map
+/// of tag -> actions in insertion order, duplicate inserts coalesced.
+class MapEventQueue {
+ public:
+  bool insert(BaseAction* action, const Tag& tag) {
+    const bool was_earliest = queue_.empty() || tag < queue_.begin()->first;
+    auto& actions = queue_[tag];
+    bool found = false;
+    for (BaseAction* existing : actions) {
+      if (existing == action) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      actions.push_back(action);
+    }
+    return was_earliest;
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return queue_.empty(); }
+
+  [[nodiscard]] Tag earliest() const noexcept {
+    return queue_.empty() ? Tag::maximum() : queue_.begin()->first;
+  }
+
+  bool pop_at(const Tag& tag, std::vector<BaseAction*>& out) {
+    out.clear();
+    const auto it = queue_.find(tag);
+    if (it == queue_.end()) {
+      return false;
+    }
+    out = std::move(it->second);
+    queue_.erase(it);
+    return true;
+  }
+
+ private:
+  std::map<Tag, std::vector<BaseAction*>> queue_;
+};
+
+/// Pre-generated schedule deltas, so the timed region measures the queue
+/// and not the PRNG (both queues replay the identical sequence).
+struct QueuePlan {
+  std::vector<TimePoint> delta;       // per re-insert: time offset from the popped tag
+  std::vector<std::uint32_t> micro;   // per re-insert: microstep (exercises ties)
+};
+
+QueuePlan make_queue_plan(std::uint64_t steps, std::uint64_t fan_in, std::uint64_t seed) {
+  QueuePlan plan;
+  common::Rng rng(seed);
+  plan.delta.reserve(steps * fan_in);
+  plan.micro.reserve(steps * fan_in);
+  for (std::uint64_t i = 0; i < steps * fan_in; ++i) {
+    plan.delta.push_back(1 + static_cast<TimePoint>(rng.next_below(1000)));
+    plan.micro.push_back(static_cast<std::uint32_t>(rng.next_below(2)));
+  }
+  return plan;
+}
+
+/// Steady-state scheduler traffic: a window of pending tags; every step
+/// pops the earliest bucket and re-schedules each of its actions at the
+/// planned future tag. Returns a checksum over the pop sequence (feeds
+/// the equivalence gate and defeats dead-code elimination).
+template <typename Queue>
+std::uint64_t queue_workload(Queue& queue, std::uint64_t steps, const QueuePlan& plan) {
+  constexpr std::uint64_t kWindow = 32;  // pending tags of a busy pipeline
+  constexpr std::uint64_t kFanIn = 1;
+  // Opaque action identities; the queues store and compare the pointers
+  // but never dereference them.
+  std::uintptr_t next_action = 1;
+  for (std::uint64_t i = 0; i < kWindow; ++i) {
+    const Tag tag{static_cast<TimePoint>(1 + i * 37), 0};
+    for (std::uint64_t k = 0; k < kFanIn; ++k) {
+      // NOLINTNEXTLINE(performance-no-int-to-ptr)
+      queue.insert(reinterpret_cast<BaseAction*>(next_action++ << 4), tag);
+    }
+  }
+  std::uint64_t checksum = 0;
+  std::size_t cursor = 0;
+  const std::size_t plan_size = plan.delta.size();
+  std::vector<BaseAction*> popped;
+  for (std::uint64_t step = 0; step < steps; ++step) {
+    const Tag tag = queue.earliest();
+    if (!queue.pop_at(tag, popped)) {
+      break;
+    }
+    checksum = checksum * 1099511628211ULL + static_cast<std::uint64_t>(tag.time) + tag.microstep;
+    for (BaseAction* action : popped) {
+      checksum = checksum * 31 + reinterpret_cast<std::uintptr_t>(action);
+      const Tag next{tag.time + plan.delta[cursor], plan.micro[cursor]};
+      cursor = cursor + 1 == plan_size ? 0 : cursor + 1;
+      queue.insert(action, next);
+    }
+  }
+  return checksum;
+}
+
+/// Source -> chain of relays -> sink, driven by a logical action loop
+/// (same topology family as the original microbenchmarks).
+class Source final : public Reactor {
+ public:
+  Output<std::int64_t> out{"out", this};
+
+  Source(Environment& env, std::int64_t limit) : Reactor("source", env), limit_(limit) {
+    add_reaction("kick", [this] { action_.schedule(Empty{}); }).triggered_by(startup_);
+    add_reaction("emit",
+                 [this] {
+                   out.set(count_);
+                   if (++count_ < limit_) {
+                     action_.schedule(Empty{});
+                   } else {
+                     request_shutdown();
+                   }
+                 })
+        .triggered_by(action_)
+        .writes(out);
+  }
+
+ private:
+  StartupTrigger startup_{"startup", this};
+  LogicalAction<Empty> action_{"tick", this};
+  std::int64_t limit_;
+  std::int64_t count_{0};
+};
+
+class Relay final : public Reactor {
+ public:
+  Input<std::int64_t> in{"in", this};
+  Output<std::int64_t> out{"out", this};
+
+  Relay(Environment& env, std::string name) : Reactor(std::move(name), env) {
+    add_reaction("relay", [this] { out.set(in.get() + 1); }).triggered_by(in).writes(out);
+  }
+};
+
+class Sink final : public Reactor {
+ public:
+  Input<std::int64_t> in{"in", this};
+  std::int64_t sum{0};
+
+  explicit Sink(Environment& env, std::string name = "sink")
+      : Reactor(std::move(name), env) {
+    add_reaction("consume", [this] { sum += in.get(); }).triggered_by(in);
+  }
+};
+
+std::int64_t run_pipeline(std::size_t depth, std::int64_t events) {
+  sim::Kernel kernel;
+  SimClock clock(kernel);
+  Environment env(clock);
+  Source source(env, events);
+  std::vector<std::unique_ptr<Relay>> relays;
+  for (std::size_t i = 0; i < depth; ++i) {
+    relays.push_back(std::make_unique<Relay>(env, "relay" + std::to_string(i)));
+  }
+  Sink sink(env);
+  Output<std::int64_t>* previous = &source.out;
+  for (auto& relay : relays) {
+    env.connect(*previous, relay->in);
+    previous = &relay->out;
+  }
+  env.connect(*previous, sink.in);
+  SimDriver driver(env, kernel, common::Rng(1));
+  driver.start();
+  kernel.run();
+  return sink.sum;
+}
+
+std::int64_t run_fanout(std::size_t sinks, std::int64_t events) {
+  sim::Kernel kernel;
+  SimClock clock(kernel);
+  Environment env(clock);
+  Source source(env, events);
+  std::vector<std::unique_ptr<Sink>> sink_list;
+  for (std::size_t i = 0; i < sinks; ++i) {
+    sink_list.push_back(std::make_unique<Sink>(env, "sink" + std::to_string(i)));
+    env.connect(source.out, sink_list.back()->in);
+  }
+  SimDriver driver(env, kernel, common::Rng(1));
+  driver.start();
+  kernel.run();
+  return sink_list.front()->sum;
+}
+
+}  // namespace
+
+void run_reactor_suite(Harness& h) {
+  const std::uint64_t queue_steps = h.scale(100'000, 5'000);
+  constexpr std::uint64_t kQueueSeed = 42;
+  const QueuePlan plan = make_queue_plan(queue_steps, 1, kQueueSeed);
+  // Ops per step: one bucket pop + one re-insert (the dominant real
+  // pattern: one action per tag).
+  const std::uint64_t queue_ops = queue_steps * 2;
+
+  volatile std::uint64_t map_checksum = 0;
+  CaseResult& map_case = h.measure("event_queue/map", queue_ops, [&] {
+    MapEventQueue queue;
+    map_checksum = queue_workload(queue, queue_steps, plan);
+  });
+
+  volatile std::uint64_t pooled_checksum = 0;
+  CaseResult& pooled_case = h.measure("event_queue/pooled", queue_ops, [&] {
+    EventQueue queue;
+    pooled_checksum = queue_workload(queue, queue_steps, plan);
+  });
+
+  const double speedup = pooled_case.throughput_per_s /
+                         (map_case.throughput_per_s > 0.0 ? map_case.throughput_per_s : 1.0);
+  Harness::counter(pooled_case, "speedup_vs_map", speedup);
+  h.gate("event_queue_pop_order_identical", map_checksum == pooled_checksum,
+         "pooled queue must pop the exact sequence the std::map queue popped");
+  // Quick (smoke) runs share the host with the rest of a parallel ctest
+  // sweep, where preemption bursts can land on either side of the ratio;
+  // the dedicated Release bench job and the committed BENCH_hotpath.json
+  // enforce the real 2x floor.
+  const double floor = h.quick() ? 1.2 : 2.0;
+  char detail[128];
+  std::snprintf(detail, sizeof(detail),
+                "enqueue+dequeue throughput %.2fx vs std::map queue (floor %.1fx)", speedup,
+                floor);
+  h.gate("event_queue_speedup_2x", speedup >= floor, detail);
+
+  const std::int64_t pipeline_events = static_cast<std::int64_t>(h.scale(5'000, 500));
+  h.measure("pipeline_depth/16", static_cast<std::uint64_t>(pipeline_events) * 18,
+            [&] { run_pipeline(16, pipeline_events); });
+  h.measure("fanout/8", static_cast<std::uint64_t>(pipeline_events) * 8,
+            [&] { run_fanout(8, pipeline_events); });
+
+  const std::int64_t loop_events = static_cast<std::int64_t>(h.scale(10'000, 1'000));
+  h.measure("action_scheduling", static_cast<std::uint64_t>(loop_events), [&] {
+    sim::Kernel kernel;
+    SimClock clock(kernel);
+    Environment env(clock);
+    Source source(env, loop_events);
+    SimDriver driver(env, kernel, common::Rng(1));
+    driver.start();
+    kernel.run();
+  });
+
+  const std::int64_t kernel_events = static_cast<std::int64_t>(h.scale(100'000, 10'000));
+  h.measure("des_kernel_raw", static_cast<std::uint64_t>(kernel_events), [&] {
+    sim::Kernel kernel;
+    std::int64_t count = 0;
+    std::function<void()> chain = [&] {
+      if (++count < kernel_events) {
+        kernel.schedule_after(1, chain);
+      }
+    };
+    kernel.schedule_at(0, chain);
+    kernel.run();
+  });
+
+  // Threaded scheduler with a worker pool: measures the level-barrier
+  // coordination overhead (run_level_parallel / worker_loop), which the
+  // DES-driven cases above never exercise.
+  const std::int64_t threaded_events = static_cast<std::int64_t>(h.scale(2'000, 200));
+  h.measure("threaded_workers/2", static_cast<std::uint64_t>(threaded_events), [&] {
+    RealClock clock;
+    Environment::Config config;
+    config.workers = 2;
+    Environment env(clock, config);
+    Source source(env, threaded_events);
+    Sink sink(env);
+    env.connect(source.out, sink.in);
+    env.run();
+  });
+}
+
+}  // namespace dear::bench

@@ -1,0 +1,137 @@
+// SOME/IP hot-path cases: wire encode/decode with and without the pooled
+// buffer path, the DEAR tag-extension overhead, the timestamp bypass, and
+// the case study's heaviest payload round trip.
+#include <cstdint>
+#include <cstdio>
+#include <vector>
+
+#include "brake/logic.hpp"
+#include "brake/types.hpp"
+#include "someip/message.hpp"
+#include "someip/timestamp_bypass.hpp"
+#include "suites.hpp"
+
+namespace dear::bench {
+
+namespace {
+
+someip::Message make_message(std::size_t payload_size, bool tagged) {
+  someip::Message message;
+  message.service = 0x1234;
+  message.method = 0x8001;
+  message.client = 0x01;
+  message.session = 0x42;
+  message.type = someip::MessageType::kNotification;
+  message.payload.assign(payload_size, 0xAB);
+  if (tagged) {
+    message.tag = someip::WireTag{123'456'789, 2};
+  }
+  return message;
+}
+
+}  // namespace
+
+void run_someip_suite(Harness& h) {
+  const std::uint64_t ops = h.scale(50'000, 2'000);
+  constexpr std::size_t kPayload = 256;
+
+  const someip::Message untagged = make_message(kPayload, false);
+  const someip::Message tagged = make_message(kPayload, true);
+  const std::vector<std::uint8_t> wire_untagged = untagged.encode();
+  const std::vector<std::uint8_t> wire_tagged = tagged.encode();
+
+  // Round trip, fresh allocations per message (the pre-overhaul path:
+  // every encode grows a new vector, every decode a new payload).
+  CaseResult& fresh = h.measure("roundtrip/256/fresh", ops, [&] {
+    for (std::uint64_t i = 0; i < ops; ++i) {
+      const std::vector<std::uint8_t> wire = untagged.encode();
+      const auto decoded = someip::Message::decode(wire);
+      if (!decoded.has_value()) {
+        std::abort();
+      }
+    }
+  });
+
+  // Round trip over recycled buffers: one wire buffer + one scratch
+  // message, zero steady-state allocations.
+  CaseResult& pooled = h.measure("roundtrip/256/pooled", ops, [&] {
+    std::vector<std::uint8_t> wire;
+    someip::Message scratch;
+    for (std::uint64_t i = 0; i < ops; ++i) {
+      untagged.encode_into(wire);
+      if (!someip::Message::decode_into(wire.data(), wire.size(), scratch)) {
+        std::abort();
+      }
+    }
+  });
+
+  const double ratio = fresh.p50_ns > 0.0 ? pooled.p50_ns / fresh.p50_ns : 1.0;
+  Harness::counter(pooled, "p50_vs_fresh", ratio);
+  // Quick (smoke) runs tolerate co-scheduling noise; the Release bench
+  // job enforces strictly-lower p50.
+  const double ceiling = h.quick() ? 1.2 : 1.0;
+  char detail[128];
+  std::snprintf(detail, sizeof(detail), "pooled round-trip p50 %.2fx of fresh (must be < %.1f)",
+                ratio, ceiling);
+  h.gate("someip_pooled_roundtrip_faster", ratio < ceiling, detail);
+
+  h.measure("encode/256/untagged", ops, [&] {
+    std::vector<std::uint8_t> wire;
+    for (std::uint64_t i = 0; i < ops; ++i) {
+      untagged.encode_into(wire);
+    }
+  });
+  CaseResult& encode_tagged = h.measure("encode/256/tagged", ops, [&] {
+    std::vector<std::uint8_t> wire;
+    for (std::uint64_t i = 0; i < ops; ++i) {
+      tagged.encode_into(wire);
+    }
+  });
+  Harness::counter(encode_tagged, "trailer_bytes", someip::kTagTrailerSize);
+
+  h.measure("decode/256/untagged", ops, [&] {
+    someip::Message scratch;
+    for (std::uint64_t i = 0; i < ops; ++i) {
+      if (!someip::Message::decode_into(wire_untagged.data(), wire_untagged.size(), scratch)) {
+        std::abort();
+      }
+    }
+  });
+  h.measure("decode/256/tagged", ops, [&] {
+    someip::Message scratch;
+    for (std::uint64_t i = 0; i < ops; ++i) {
+      if (!someip::Message::decode_into(wire_tagged.data(), wire_tagged.size(), scratch)) {
+        std::abort();
+      }
+    }
+  });
+
+  h.measure("timestamp_bypass", ops, [&] {
+    someip::TimestampBypass bypass;
+    for (std::uint64_t i = 0; i < ops; ++i) {
+      bypass.deposit(someip::WireTag{static_cast<std::int64_t>(i), 0});
+      if (!bypass.collect().has_value()) {
+        std::abort();
+      }
+    }
+  });
+
+  // The heaviest application payload: a detected-vehicle list through the
+  // typed serializer, into a recycled buffer.
+  const brake::VideoFrame frame = brake::generate_frame(7, 1000);
+  const brake::LaneInfo lane = brake::detect_lane(frame);
+  const brake::VehicleList vehicles = brake::detect_vehicles(frame, lane);
+  const std::uint64_t payload_ops = h.scale(10'000, 500);
+  h.measure("brake_payload_roundtrip", payload_ops, [&] {
+    std::vector<std::uint8_t> payload;
+    brake::VehicleList decoded;
+    for (std::uint64_t i = 0; i < payload_ops; ++i) {
+      someip::encode_payload_into(payload, vehicles);
+      if (!someip::decode_payload(payload, decoded)) {
+        std::abort();
+      }
+    }
+  });
+}
+
+}  // namespace dear::bench

@@ -1,0 +1,21 @@
+// Hot-path benchmark suites, shared between the per-area bench binaries
+// and the bench_all driver (which aggregates every suite into one
+// BENCH_hotpath.json). Each function runs its cases on the given harness
+// and registers its sanity gates.
+#pragma once
+
+#include "harness.hpp"
+
+namespace dear::bench {
+
+/// Reactor scheduler hot paths: map-vs-pooled event queue (with the >= 2x
+/// throughput gate), end-to-end pipeline/fan-out/action-scheduling runs,
+/// and the raw DES kernel baseline.
+void run_reactor_suite(Harness& harness);
+
+/// SOME/IP hot paths: encode/decode fresh-vs-pooled (with the pooled p50
+/// gate), tag-extension overhead, timestamp bypass, and the case study's
+/// heaviest payload round trip.
+void run_someip_suite(Harness& harness);
+
+}  // namespace dear::bench

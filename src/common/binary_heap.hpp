@@ -1,0 +1,85 @@
+// Vector-backed binary min-heap shared by the scheduler's event queue and
+// the simulation kernel.
+//
+// Differences from std::priority_queue that matter on the hot paths:
+//   * min-heap under Less (no inverted comparator gymnastics),
+//   * pop_move() extracts the top element by move (priority_queue only
+//     exposes a const top(), forcing a const_cast to avoid copying
+//     handlers),
+//   * reserve()/clear() retain capacity, so a steady-state push/pop
+//     workload performs zero allocations.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace dear::common {
+
+template <typename T, typename Less = std::less<T>>
+class BinaryHeap {
+ public:
+  [[nodiscard]] bool empty() const noexcept { return items_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return items_.size(); }
+  void reserve(std::size_t n) { items_.reserve(n); }
+  void clear() noexcept { items_.clear(); }
+
+  [[nodiscard]] const T& top() const noexcept { return items_.front(); }
+
+  void push(T item) {
+    items_.push_back(std::move(item));
+    // Hole-based sift-up: one move per level instead of a three-move swap.
+    std::size_t index = items_.size() - 1;
+    T value = std::move(items_[index]);
+    while (index > 0) {
+      const std::size_t parent = (index - 1) / 2;
+      if (!less_(value, items_[parent])) {
+        break;
+      }
+      items_[index] = std::move(items_[parent]);
+      index = parent;
+    }
+    items_[index] = std::move(value);
+  }
+
+  void pop() {
+    T value = std::move(items_.back());
+    items_.pop_back();
+    if (items_.empty()) {
+      return;
+    }
+    // Hole-based sift-down of the displaced last element.
+    const std::size_t count = items_.size();
+    std::size_t index = 0;
+    for (;;) {
+      std::size_t child = 2 * index + 1;
+      if (child >= count) {
+        break;
+      }
+      if (child + 1 < count && less_(items_[child + 1], items_[child])) {
+        ++child;
+      }
+      if (!less_(items_[child], value)) {
+        break;
+      }
+      items_[index] = std::move(items_[child]);
+      index = child;
+    }
+    items_[index] = std::move(value);
+  }
+
+  /// Removes and returns the smallest element.
+  [[nodiscard]] T pop_move() {
+    T out = std::move(items_.front());
+    pop();
+    return out;
+  }
+
+ private:
+
+  std::vector<T> items_;
+  [[no_unique_address]] Less less_{};
+};
+
+}  // namespace dear::common

@@ -1,0 +1,80 @@
+// Recycled byte buffers for the wire paths.
+//
+// Every SOME/IP message used to allocate (at least) two fresh
+// std::vector<uint8_t>s: one in the Writer while encoding and one for the
+// decoded payload. BufferPool closes the loop: senders acquire() a buffer
+// with warm capacity, the network layers release() the packet payload back
+// once the receive handler returns, and a steady-state message stream
+// touches the system allocator zero times (asserted by the
+// allocation-count regression tests).
+//
+// Like SmallBlockPool the singleton is leaked so late releases from
+// static-storage objects are safe, and the retained set is capped.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace dear::common {
+
+class BufferPool {
+ public:
+  static BufferPool& instance() {
+    static BufferPool* pool = new BufferPool();
+    return *pool;
+  }
+
+  /// An empty buffer, with the capacity it retired with (plus a reserve
+  /// hint for cold starts).
+  [[nodiscard]] std::vector<std::uint8_t> acquire(std::size_t reserve_hint = 0) {
+    std::vector<std::uint8_t> buffer;
+    lock();
+    if (!free_.empty()) {
+      buffer = std::move(free_.back());
+      free_.pop_back();
+      unlock();
+      buffer.clear();
+    } else {
+      unlock();
+    }
+    if (buffer.capacity() < reserve_hint) {
+      buffer.reserve(reserve_hint);
+    }
+    return buffer;
+  }
+
+  void release(std::vector<std::uint8_t>&& buffer) noexcept {
+    // The capacity ceiling keeps one-off giants (a large frame payload)
+    // from pinning process memory for the pool's lifetime; together with
+    // kMaxRetained it bounds the retained set to ~16 MiB worst case.
+    if (buffer.capacity() == 0 || buffer.capacity() > kMaxRetainedCapacity) {
+      return;  // let the vector free its storage here
+    }
+    lock();
+    if (free_.size() < kMaxRetained) {
+      free_.push_back(std::move(buffer));
+      unlock();
+      return;
+    }
+    unlock();
+    // Over cap: let the vector free its storage here, outside the lock.
+  }
+
+ private:
+  static constexpr std::size_t kMaxRetained = 1024;
+  static constexpr std::size_t kMaxRetainedCapacity = 16 * 1024;
+
+  BufferPool() { free_.reserve(kMaxRetained); }
+
+  void lock() noexcept {
+    while (busy_.test_and_set(std::memory_order_acquire)) {
+    }
+  }
+  void unlock() noexcept { busy_.clear(std::memory_order_release); }
+
+  std::atomic_flag busy_ = ATOMIC_FLAG_INIT;
+  std::vector<std::vector<std::uint8_t>> free_;
+};
+
+}  // namespace dear::common

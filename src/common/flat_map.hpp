@@ -1,0 +1,97 @@
+// Cache-friendly sorted-vector map for the hot paths, replacing std::map
+// in per-message/per-event code.
+//
+// FlatMap keeps (key, value) pairs in a sorted std::vector. Lookup is a
+// binary search over contiguous memory; insertion and erasure shift the
+// tail but never allocate once capacity is reached. Iteration order is
+// key order, so it is a drop-in for the deterministic-iteration uses of
+// std::map (service-discovery watcher notification, subscriber lists).
+// Right shape for the small-to-medium, read-mostly dispatch tables of the
+// SOME/IP binding, service discovery and the per-action pending-value
+// maps.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace dear::common {
+
+template <typename Key, typename Value, typename Compare = std::less<Key>>
+class FlatMap {
+ public:
+  using value_type = std::pair<Key, Value>;
+  using iterator = typename std::vector<value_type>::iterator;
+  using const_iterator = typename std::vector<value_type>::const_iterator;
+
+  [[nodiscard]] iterator begin() noexcept { return entries_.begin(); }
+  [[nodiscard]] iterator end() noexcept { return entries_.end(); }
+  [[nodiscard]] const_iterator begin() const noexcept { return entries_.begin(); }
+  [[nodiscard]] const_iterator end() const noexcept { return entries_.end(); }
+
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
+  void clear() noexcept { entries_.clear(); }
+  void reserve(std::size_t n) { entries_.reserve(n); }
+
+  [[nodiscard]] iterator find(const Key& key) {
+    const iterator it = lower_bound(key);
+    return (it != entries_.end() && !compare_(key, it->first)) ? it : entries_.end();
+  }
+  [[nodiscard]] const_iterator find(const Key& key) const {
+    const const_iterator it = lower_bound(key);
+    return (it != entries_.end() && !compare_(key, it->first)) ? it : entries_.end();
+  }
+  [[nodiscard]] bool contains(const Key& key) const { return find(key) != entries_.end(); }
+
+  /// Inserts a default-constructed value when absent.
+  Value& operator[](const Key& key) {
+    const iterator it = lower_bound(key);
+    if (it != entries_.end() && !compare_(key, it->first)) {
+      return it->second;
+    }
+    return entries_.emplace(it, key, Value{})->second;
+  }
+
+  template <typename V>
+  std::pair<iterator, bool> insert_or_assign(const Key& key, V&& value) {
+    const iterator it = lower_bound(key);
+    if (it != entries_.end() && !compare_(key, it->first)) {
+      it->second = std::forward<V>(value);
+      return {it, false};
+    }
+    return {entries_.emplace(it, key, std::forward<V>(value)), true};
+  }
+
+  /// Returns the number of entries removed (0 or 1).
+  std::size_t erase(const Key& key) {
+    const iterator it = find(key);
+    if (it == entries_.end()) {
+      return 0;
+    }
+    entries_.erase(it);
+    return 1;
+  }
+  iterator erase(iterator it) { return entries_.erase(it); }
+
+  [[nodiscard]] iterator lower_bound(const Key& key) {
+    return std::lower_bound(entries_.begin(), entries_.end(), key,
+                            [this](const value_type& entry, const Key& k) {
+                              return compare_(entry.first, k);
+                            });
+  }
+  [[nodiscard]] const_iterator lower_bound(const Key& key) const {
+    return std::lower_bound(entries_.begin(), entries_.end(), key,
+                            [this](const value_type& entry, const Key& k) {
+                              return compare_(entry.first, k);
+                            });
+  }
+
+ private:
+  std::vector<value_type> entries_;
+  [[no_unique_address]] Compare compare_{};
+};
+
+}  // namespace dear::common

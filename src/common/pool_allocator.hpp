@@ -1,0 +1,143 @@
+// Size-classed free-list pool for small, high-churn heap blocks.
+//
+// The reactor runtime allocates one shared_ptr control block (+ inline
+// value) per scheduled event; the paper's pitch only holds if that cost is
+// amortized away. SmallBlockPool keeps freed blocks on per-size-class
+// free lists: after warmup the scheduler hot loop allocates nothing from
+// the system allocator (asserted by the allocation-count regression
+// tests). Blocks larger than the biggest size class fall through to
+// operator new untouched.
+//
+// Thread safety: each size class is guarded by a spinlock. Events may be
+// scheduled and released from different threads (physical actions,
+// executor workers), so the free lists must be shared — a thread-local
+// design would strand blocks on threads that only ever free.
+//
+// The singleton is intentionally leaked (never destroyed): values released
+// by static-storage objects after main() must not touch a dead pool. All
+// pooled memory stays reachable through the instance pointer, so leak
+// checkers stay quiet.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <new>
+
+namespace dear::common {
+
+class SmallBlockPool {
+ public:
+  static SmallBlockPool& instance() {
+    static SmallBlockPool* pool = new SmallBlockPool();
+    return *pool;
+  }
+
+  [[nodiscard]] void* allocate(std::size_t bytes) {
+    const int size_class = class_for(bytes);
+    if (size_class < 0) {
+      return ::operator new(bytes);
+    }
+    Shelf& shelf = shelves_[static_cast<std::size_t>(size_class)];
+    lock(shelf);
+    FreeNode* node = shelf.head;
+    if (node != nullptr) {
+      shelf.head = node->next;
+      --shelf.count;
+      unlock(shelf);
+      ++hits_;
+      return node;
+    }
+    unlock(shelf);
+    ++misses_;
+    return ::operator new(kClassBytes[static_cast<std::size_t>(size_class)]);
+  }
+
+  void deallocate(void* pointer, std::size_t bytes) noexcept {
+    const int size_class = class_for(bytes);
+    if (size_class < 0) {
+      ::operator delete(pointer);
+      return;
+    }
+    Shelf& shelf = shelves_[static_cast<std::size_t>(size_class)];
+    lock(shelf);
+    if (shelf.count >= kMaxBlocksPerClass) {
+      unlock(shelf);
+      ::operator delete(pointer);
+      return;
+    }
+    auto* node = static_cast<FreeNode*>(pointer);
+    node->next = shelf.head;
+    shelf.head = node;
+    ++shelf.count;
+    unlock(shelf);
+  }
+
+  /// Blocks served from a free list / from operator new (diagnostics).
+  [[nodiscard]] std::uint64_t hits() const noexcept { return hits_.load(); }
+  [[nodiscard]] std::uint64_t misses() const noexcept { return misses_.load(); }
+
+ private:
+  struct FreeNode {
+    FreeNode* next;
+  };
+
+  static constexpr std::size_t kClassBytes[] = {64, 128, 256, 512};
+  static constexpr std::size_t kClassCount = sizeof(kClassBytes) / sizeof(kClassBytes[0]);
+  /// Cap per class: bounds retained memory at ~4 MiB more than the peak
+  /// working set while covering every steady-state workload in the repo.
+  static constexpr std::size_t kMaxBlocksPerClass = 8192;
+
+  struct Shelf {
+    std::atomic_flag busy = ATOMIC_FLAG_INIT;
+    FreeNode* head{nullptr};
+    std::size_t count{0};
+  };
+
+  SmallBlockPool() = default;
+
+  [[nodiscard]] static constexpr int class_for(std::size_t bytes) noexcept {
+    for (std::size_t i = 0; i < kClassCount; ++i) {
+      if (bytes <= kClassBytes[i]) {
+        return static_cast<int>(i);
+      }
+    }
+    return -1;
+  }
+
+  static void lock(Shelf& shelf) noexcept {
+    while (shelf.busy.test_and_set(std::memory_order_acquire)) {
+    }
+  }
+  static void unlock(Shelf& shelf) noexcept { shelf.busy.clear(std::memory_order_release); }
+
+  Shelf shelves_[kClassCount];
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+};
+
+/// Standard allocator facade over SmallBlockPool, usable with
+/// std::allocate_shared to pool the control-block + value allocation of
+/// event payloads.
+template <typename T>
+struct PoolAllocator {
+  using value_type = T;
+
+  PoolAllocator() noexcept = default;
+  template <typename U>
+  PoolAllocator(const PoolAllocator<U>&) noexcept {}  // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    return static_cast<T*>(SmallBlockPool::instance().allocate(n * sizeof(T)));
+  }
+  void deallocate(T* pointer, std::size_t n) noexcept {
+    SmallBlockPool::instance().deallocate(pointer, n * sizeof(T));
+  }
+
+  template <typename U>
+  bool operator==(const PoolAllocator<U>&) const noexcept {
+    return true;
+  }
+};
+
+}  // namespace dear::common

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "common/buffer_pool.hpp"
+
 namespace dear::net {
 
 void RtNetwork::send(Endpoint source, Endpoint destination, std::vector<std::uint8_t> payload) {
@@ -22,6 +24,7 @@ void RtNetwork::send(Endpoint source, Endpoint destination, std::vector<std::uin
       const auto it = receivers_.find(packet.destination);
       if (it == receivers_.end()) {
         ++dropped_;
+        common::BufferPool::instance().release(std::move(packet.payload));
         return;
       }
       handler = it->second;
@@ -29,6 +32,9 @@ void RtNetwork::send(Endpoint source, Endpoint destination, std::vector<std::uin
     }
     packet.receive_time = executor_.now();
     handler(packet);
+    // The wire buffer came from the pool in the sending binding; hand it
+    // back now that the receive handler is done with it.
+    common::BufferPool::instance().release(std::move(packet.payload));
   });
 }
 

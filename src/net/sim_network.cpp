@@ -1,5 +1,7 @@
 #include "net/sim_network.hpp"
 
+#include "common/buffer_pool.hpp"
+
 namespace dear::net {
 
 SimNetwork::SimNetwork(sim::Kernel& kernel, common::Rng rng) : kernel_(kernel), rng_(rng) {}
@@ -38,11 +40,14 @@ void SimNetwork::schedule_delivery(const LinkParams& link, PairState& pair, Pack
     const auto it = receivers_.find(packet.destination);
     if (it == receivers_.end()) {
       ++dropped_;
+      common::BufferPool::instance().release(std::move(packet.payload));
       return;
     }
     packet.receive_time = kernel_.now();
     ++delivered_;
     it->second(packet);
+    // Recycle the wire buffer once the receive handler returns.
+    common::BufferPool::instance().release(std::move(packet.payload));
   });
 }
 
@@ -51,6 +56,7 @@ void SimNetwork::send(Endpoint source, Endpoint destination, std::vector<std::ui
   const LinkParams& link = link_for(source.node, destination.node);
   if (link.drop_probability > 0.0 && rng_.chance(link.drop_probability)) {
     ++dropped_;
+    common::BufferPool::instance().release(std::move(payload));
     return;
   }
   const bool duplicate =

@@ -13,10 +13,10 @@
 // safe-to-process rule (tag = t + D + L + E).
 #pragma once
 
-#include <map>
 #include <stdexcept>
 #include <vector>
 
+#include "common/flat_map.hpp"
 #include "reactor/element.hpp"
 #include "reactor/fwd.hpp"
 #include "reactor/tag.hpp"
@@ -83,8 +83,10 @@ class ValuedAction : public BaseAction {
     value_.reset();
   }
 
-  /// Guarded by the scheduler lock (see Scheduler::schedule_*).
-  std::map<Tag, ImmutableValuePtr<T>> pending_;
+  /// Guarded by the scheduler lock (see Scheduler::schedule_*). A sorted
+  /// flat map: the handful of in-flight tags per action make contiguous
+  /// storage (no per-schedule node allocation) the right trade.
+  common::FlatMap<Tag, ImmutableValuePtr<T>> pending_;
   ImmutableValuePtr<T> value_;
 };
 

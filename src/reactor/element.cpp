@@ -5,13 +5,10 @@
 namespace dear::reactor {
 
 Element::Element(std::string name, Reactor* container, Environment& environment)
-    : name_(std::move(name)), container_(container), environment_(environment) {}
-
-std::string Element::fqn() const {
-  if (container_ == nullptr) {
-    return name_;
-  }
-  return container_->fqn() + "." + name_;
+    : name_(std::move(name)), container_(container), environment_(environment) {
+  // The container's Element base is fully constructed before any of its
+  // members, so its cached fqn is ready here.
+  fqn_ = container_ == nullptr ? name_ : container_->fqn() + "." + name_;
 }
 
 }  // namespace dear::reactor

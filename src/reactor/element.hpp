@@ -20,13 +20,17 @@ class Element {
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
 
   /// Dotted path from the top-level reactor, e.g. "pipeline.cv.frame_in".
-  [[nodiscard]] std::string fqn() const;
+  /// The containment hierarchy is fixed at construction, so the path is
+  /// computed once then — per-call recomputation used to dominate the
+  /// tracing hot path (one string build per reaction execution).
+  [[nodiscard]] const std::string& fqn() const noexcept { return fqn_; }
 
   [[nodiscard]] Reactor* container() const noexcept { return container_; }
   [[nodiscard]] Environment& environment() const noexcept { return environment_; }
 
  private:
   std::string name_;
+  std::string fqn_;
   Reactor* container_;
   Environment& environment_;
 };

@@ -1,0 +1,110 @@
+// Pooled event queue (the scheduler's core data structure).
+//
+// Replaces the previous std::map<Tag, std::vector<BaseAction*>>: one
+// binary min-heap of (tag, sequence, action) entries over a flat vector.
+// Tag buckets are formed lazily at pop time — pop_at drains every entry
+// carrying the requested tag, coalescing duplicates — so the steady-state
+// schedule → pop cycle performs zero allocations and zero pointer chasing
+// (the std::map paid one tree-node allocation per tag plus a fresh bucket
+// vector, and walked red-black tree nodes on every operation).
+//
+// Ordering contract (asserted against a std::map reference implementation
+// in tests/reactor/event_queue_test.cpp): tags pop in ascending (time,
+// microstep) order, and actions within one tag pop in first-insertion
+// order with duplicate inserts of the same action coalesced — bit-exactly
+// the behavior of the map-based queue, so execution traces and digests
+// are unchanged. The per-entry sequence number makes heap ordering total;
+// no comparison ever falls back to pointer values.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "common/binary_heap.hpp"
+#include "reactor/fwd.hpp"
+#include "reactor/tag.hpp"
+
+namespace dear::reactor {
+
+class EventQueue {
+ public:
+  EventQueue() { heap_.reserve(kInitialCapacity); }
+
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  /// Schedules `action` at `tag`. Returns true when `tag` became the
+  /// earliest pending tag.
+  bool insert(BaseAction* action, const Tag& tag) {
+    const bool was_earliest = heap_.empty() || tag < heap_.top().tag;
+    heap_.push(Entry{tag, next_sequence_++, action});
+    return was_earliest;
+  }
+
+  /// Inserts `count` actions at one tag.
+  void insert_batch(BaseAction* const* actions, std::size_t count, const Tag& tag) {
+    for (std::size_t i = 0; i < count; ++i) {
+      heap_.push(Entry{tag, next_sequence_++, actions[i]});
+    }
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+
+  /// Pending entries (>= the number of distinct pending tags).
+  [[nodiscard]] std::size_t pending_events() const noexcept { return heap_.size(); }
+
+  /// Earliest pending tag, or Tag::maximum() when empty.
+  [[nodiscard]] Tag earliest() const noexcept {
+    return heap_.empty() ? Tag::maximum() : heap_.top().tag;
+  }
+
+  /// When events exist at exactly `tag` — which, by scheduler invariant,
+  /// can only be the earliest — drains them all into `out` (replacing
+  /// out's contents, retaining capacity) in first-insertion order with
+  /// duplicate actions coalesced. Returns false and leaves `out` empty
+  /// otherwise.
+  bool pop_at(const Tag& tag, std::vector<BaseAction*>& out) {
+    out.clear();
+    if (heap_.empty() || heap_.top().tag != tag) {
+      // The requested tag is <= the earliest pending tag, so "not at the
+      // top" means "not queued" (e.g. the stop tag).
+      assert(heap_.empty() || tag < heap_.top().tag);
+      return false;
+    }
+    do {
+      BaseAction* action = heap_.top().action;
+      heap_.pop();
+      // Duplicate inserts of one action at one tag coalesce (the action's
+      // pending value was overwritten); same linear scan the map queue
+      // did on insert — same-tag batches are small.
+      if (std::find(out.begin(), out.end(), action) == out.end()) {
+        out.push_back(action);
+      }
+    } while (!heap_.empty() && heap_.top().tag == tag);
+    return true;
+  }
+
+ private:
+  struct Entry {
+    Tag tag;
+    std::uint64_t sequence;  // insertion order within equal tags
+    BaseAction* action;
+  };
+  struct EntryLess {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      if (a.tag != b.tag) {
+        return a.tag < b.tag;
+      }
+      return a.sequence < b.sequence;
+    }
+  };
+
+  static constexpr std::size_t kInitialCapacity = 64;
+
+  common::BinaryHeap<Entry, EntryLess> heap_;
+  std::uint64_t next_sequence_{0};
+};
+
+}  // namespace dear::reactor

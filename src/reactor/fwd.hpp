@@ -1,6 +1,10 @@
 #pragma once
 
+#include <cstddef>
 #include <memory>
+#include <type_traits>
+
+#include "common/pool_allocator.hpp"
 
 namespace dear::reactor {
 
@@ -21,9 +25,21 @@ class SimDriver;
 template <typename T>
 using ImmutableValuePtr = std::shared_ptr<const T>;
 
+/// Event values are allocated through the small-block pool: the combined
+/// control-block + value allocation of a typical event (an Empty signal, a
+/// sensor sample, a frame id) fits a pooled size class, so the steady-state
+/// schedule → execute → release cycle never touches the system allocator.
+/// Oversized values fall through to operator new inside the pool;
+/// over-aligned types bypass it entirely (the pool serves fundamental
+/// alignment only).
 template <typename T, typename... Args>
 [[nodiscard]] ImmutableValuePtr<T> make_immutable_value(Args&&... args) {
-  return std::make_shared<const T>(std::forward<Args>(args)...);
+  if constexpr (alignof(T) > alignof(std::max_align_t)) {
+    return std::make_shared<const T>(std::forward<Args>(args)...);
+  } else {
+    return std::allocate_shared<const T>(common::PoolAllocator<std::remove_const_t<T>>{},
+                                         std::forward<Args>(args)...);
+  }
 }
 
 /// Payload type for pure signals (presence only).

@@ -33,17 +33,30 @@ void Scheduler::configure(int level_count, unsigned workers, bool keepalive, Dur
 
 void Scheduler::enqueue_locked(BaseAction* action, const Tag& tag) {
   assert(state_ != State::kFinished);
-  const bool was_earliest =
-      event_queue_.empty() || tag < event_queue_.begin()->first;
-  auto& actions = event_queue_[tag];
-  // Re-scheduling the same action at the same tag replaces the value (the
-  // action's pending map was overwritten); don't double-trigger.
-  if (std::find(actions.begin(), actions.end(), action) == actions.end()) {
-    actions.push_back(action);
-  }
-  if (was_earliest) {
+  if (event_queue_.insert(action, tag)) {
     wake_pending_.store(true, std::memory_order_release);
   }
+}
+
+void Scheduler::enqueue_batch_locked(BaseAction* const* actions, std::size_t count,
+                                     const Tag& tag) {
+  assert(state_ != State::kFinished);
+  const bool was_earliest = event_queue_.empty() || tag < event_queue_.earliest();
+  event_queue_.insert_batch(actions, count, tag);
+  if (was_earliest && count > 0) {
+    wake_pending_.store(true, std::memory_order_release);
+  }
+}
+
+void Scheduler::set_current_tag_locked(const Tag& tag) noexcept {
+  current_tag_ = tag;
+  // Seqlock write: odd sequence marks the snapshot in flux, the release
+  // fence orders the field stores before the closing (even) increment.
+  tag_seq_.fetch_add(1, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+  published_tag_time_.store(tag.time, std::memory_order_relaxed);
+  published_tag_microstep_.store(tag.microstep, std::memory_order_relaxed);
+  tag_seq_.fetch_add(1, std::memory_order_release);
 }
 
 void Scheduler::notify() {
@@ -77,13 +90,11 @@ void Scheduler::start_at(const Tag& start_tag) {
   }
   state_ = State::kRunning;
   start_tag_ = start_tag;
-  current_tag_ = start_tag;
+  set_current_tag_locked(start_tag);
   if (timeout_ >= 0) {
     stop_tag_ = Tag{start_tag.time + timeout_, 0};
   }
-  for (BaseAction* action : startup_actions_) {
-    event_queue_[start_tag].push_back(action);
-  }
+  enqueue_batch_locked(startup_actions_.data(), startup_actions_.size(), start_tag);
   for (Timer* timer : timers_) {
     timer->arm(start_tag);
   }
@@ -94,7 +105,7 @@ Tag Scheduler::next_tag() const {
   if (state_ != State::kRunning) {
     return Tag::maximum();
   }
-  Tag next = event_queue_.empty() ? Tag::maximum() : event_queue_.begin()->first;
+  Tag next = event_queue_.earliest();
   if (stop_tag_ < next) {
     next = stop_tag_;
   }
@@ -103,21 +114,19 @@ Tag Scheduler::next_tag() const {
 
 void Scheduler::prepare_tag_locked(const Tag& tag, bool is_stop) {
   assert(tag >= current_tag_);
-  current_tag_ = tag;
+  set_current_tag_locked(tag);
   ++tags_processed_;
   busy_offset_ = 0;
 
   const std::lock_guard<std::mutex> staging_lock(staging_mutex_);
-  const auto it = event_queue_.find(tag);
-  if (it != event_queue_.end()) {
-    for (BaseAction* action : it->second) {
+  if (event_queue_.pop_at(tag, popped_actions_)) {
+    for (BaseAction* action : popped_actions_) {
       action->setup(tag);  // Timer::setup re-arms via enqueue_locked
       active_actions_.push_back(action);
       for (Reaction* reaction : action->triggered_reactions()) {
         stage_locked(*reaction);
       }
     }
-    event_queue_.erase(it);
   }
   if (is_stop) {
     for (BaseAction* action : shutdown_actions_) {
@@ -174,25 +183,27 @@ void Scheduler::execute_reaction(Reaction& reaction) {
   }
 }
 
-void Scheduler::execute_staged(std::vector<Reaction*>& executed) {
+void Scheduler::execute_staged() {
   for (std::size_t level = 0; level < staged_.size(); ++level) {
-    std::vector<Reaction*> batch;
+    // Swap with the reused batch buffer: the two vectors' capacities
+    // rotate, so no level allocates in steady state.
+    level_batch_.clear();
     {
       const std::lock_guard<std::mutex> lock(staging_mutex_);
       current_level_ = static_cast<int>(level);
-      batch.swap(staged_[level]);
+      level_batch_.swap(staged_[level]);
     }
-    if (batch.empty()) {
+    if (level_batch_.empty()) {
       continue;
     }
-    if (workers_ <= 1 || batch.size() == 1) {
-      for (Reaction* reaction : batch) {
+    if (workers_ <= 1 || level_batch_.size() == 1) {
+      for (Reaction* reaction : level_batch_) {
         execute_reaction(*reaction);
       }
     } else {
-      run_level_parallel(batch);
+      run_level_parallel(level_batch_);
     }
-    executed.insert(executed.end(), batch.begin(), batch.end());
+    executed_buffer_.insert(executed_buffer_.end(), level_batch_.begin(), level_batch_.end());
   }
   {
     const std::lock_guard<std::mutex> lock(staging_mutex_);
@@ -266,7 +277,7 @@ std::optional<Scheduler::TagResult> Scheduler::process_next_tag(TimePoint horizo
   if (state_ != State::kRunning) {
     return std::nullopt;
   }
-  Tag next = event_queue_.empty() ? Tag::maximum() : event_queue_.begin()->first;
+  Tag next = event_queue_.earliest();
   if (stop_tag_ < next) {
     next = stop_tag_;
   }
@@ -277,9 +288,11 @@ std::optional<Scheduler::TagResult> Scheduler::process_next_tag(TimePoint horizo
   prepare_tag_locked(next, is_stop);
   lock.unlock();
 
+  executed_buffer_.clear();
+  execute_staged();
   TagResult result;
   result.tag = next;
-  execute_staged(result.executed);
+  result.executed = std::span<Reaction* const>(executed_buffer_);
 
   lock.lock();
   finalize_tag_locked();
@@ -311,7 +324,7 @@ void Scheduler::run_threaded() {
 
   std::unique_lock<std::mutex> lock(mutex_);
   while (state_ == State::kRunning) {
-    Tag next = event_queue_.empty() ? Tag::maximum() : event_queue_.begin()->first;
+    Tag next = event_queue_.earliest();
     if (stop_tag_ < next) {
       next = stop_tag_;
     }
@@ -335,8 +348,8 @@ void Scheduler::run_threaded() {
     const bool is_stop = next == stop_tag_;
     prepare_tag_locked(next, is_stop);
     lock.unlock();
-    std::vector<Reaction*> executed;
-    execute_staged(executed);
+    executed_buffer_.clear();
+    execute_staged();
     lock.lock();
     finalize_tag_locked();
     if (is_stop) {

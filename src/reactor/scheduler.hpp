@@ -19,12 +19,13 @@
 #include <atomic>
 #include <condition_variable>
 #include <functional>
-#include <map>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <thread>
 #include <vector>
 
+#include "reactor/event_queue.hpp"
 #include "reactor/physical_clock.hpp"
 #include "reactor/reaction.hpp"
 #include "reactor/tag.hpp"
@@ -67,14 +68,28 @@ class Scheduler {
   /// Inserts an event (requires the scheduler mutex held via with_lock).
   void enqueue_locked(BaseAction* action, const Tag& tag);
 
+  /// Inserts `count` events at one tag under a single bucket lookup — the
+  /// cheap path for callers that trigger several actions at the same tag
+  /// (startup, coalesced port batches). Requires the scheduler mutex.
+  void enqueue_batch_locked(BaseAction* const* actions, std::size_t count, const Tag& tag);
+
   /// Current logical tag (requires lock for exactness; used by actions
   /// inside with_lock).
   [[nodiscard]] const Tag& current_tag_locked() const noexcept { return current_tag_; }
 
-  /// Snapshot of the current logical tag.
-  [[nodiscard]] Tag current_tag() const {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    return current_tag_;
+  /// Lock-free snapshot of the current logical tag (seqlock over the
+  /// published copy). Callers hit this once per reaction, so it must not
+  /// contend with event insertion on the scheduler mutex.
+  [[nodiscard]] Tag current_tag() const noexcept {
+    for (;;) {
+      const std::uint32_t before = tag_seq_.load(std::memory_order_acquire);
+      const Tag tag{published_tag_time_.load(std::memory_order_relaxed),
+                    published_tag_microstep_.load(std::memory_order_relaxed)};
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if ((before & 1u) == 0 && tag_seq_.load(std::memory_order_relaxed) == before) {
+        return tag;
+      }
+    }
   }
 
   /// Called after with_lock insertion to wake a waiting driver.
@@ -125,7 +140,9 @@ class Scheduler {
   /// the stop tag finishes execution.
   struct TagResult {
     Tag tag;
-    std::vector<Reaction*> executed;
+    /// Executed reactions in execution order; views a scheduler-owned
+    /// buffer that is valid until the next process_next_tag call.
+    std::span<Reaction* const> executed;
   };
   [[nodiscard]] std::optional<TagResult> process_next_tag(TimePoint horizon);
 
@@ -164,9 +181,13 @@ class Scheduler {
   /// Requires the lock; `is_stop` additionally triggers shutdown actions.
   void prepare_tag_locked(const Tag& tag, bool is_stop);
 
+  /// Updates current_tag_ and publishes the seqlock snapshot. Requires the
+  /// lock.
+  void set_current_tag_locked(const Tag& tag) noexcept;
+
   /// Executes staged levels; the lock must NOT be held. Appends executed
-  /// reactions to `executed`.
-  void execute_staged(std::vector<Reaction*>& executed);
+  /// reactions to executed_buffer_.
+  void execute_staged();
 
   /// Stages one reaction at the current tag (staging mutex must be held).
   void stage_locked(Reaction& reaction);
@@ -186,12 +207,17 @@ class Scheduler {
   std::function<void()> wake_callback_;
   std::atomic<bool> wake_pending_{false};
 
-  std::map<Tag, std::vector<BaseAction*>> event_queue_;
+  EventQueue event_queue_;
   Tag current_tag_{};
   Tag start_tag_{};
   Tag stop_tag_{Tag::maximum()};
   bool stop_requested_{false};
   State state_{State::kIdle};
+
+  // Seqlock publication of current_tag_ for the lock-free current_tag().
+  mutable std::atomic<std::uint32_t> tag_seq_{0};
+  std::atomic<TimePoint> published_tag_time_{0};
+  std::atomic<std::uint32_t> published_tag_microstep_{0};
 
   // Staging of reactions for the tag being processed.
   std::mutex staging_mutex_;
@@ -199,6 +225,10 @@ class Scheduler {
   int current_level_{-1};
   std::vector<BasePort*> set_ports_;
   std::vector<BaseAction*> active_actions_;
+  // Reused per-tag scratch (zero steady-state allocations in the loop).
+  std::vector<BaseAction*> popped_actions_;
+  std::vector<Reaction*> level_batch_;
+  std::vector<Reaction*> executed_buffer_;
 
   // Configuration.
   unsigned workers_{1};

@@ -7,7 +7,9 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "reactor/tag.hpp"
@@ -16,7 +18,9 @@ namespace dear::reactor {
 
 struct TraceRecord {
   Tag tag;
-  std::string reaction;
+  /// Views a name interned by the owning Trace — valid for the Trace's
+  /// lifetime, even after the traced reactors are destroyed.
+  std::string_view reaction;
   bool deadline_violated{false};
 
   bool operator==(const TraceRecord&) const = default;
@@ -27,9 +31,12 @@ class Trace {
   void set_enabled(bool enabled) noexcept { enabled_ = enabled; }
   [[nodiscard]] bool enabled() const noexcept { return enabled_; }
 
-  void record(const Tag& tag, std::string reaction, bool deadline_violated) {
+  /// Records one reaction execution. The name is interned on first sight
+  /// (one allocation per distinct reaction, ever); every later record of
+  /// the same reaction is allocation-free.
+  void record(const Tag& tag, std::string_view reaction, bool deadline_violated) {
     if (enabled_) {
-      records_.push_back(TraceRecord{tag, std::move(reaction), deadline_violated});
+      records_.push_back(TraceRecord{tag, intern(reaction), deadline_violated});
     }
   }
 
@@ -41,8 +48,22 @@ class Trace {
   bool operator==(const Trace& other) const { return records_ == other.records_; }
 
  private:
+  [[nodiscard]] std::string_view intern(std::string_view name) {
+    // Linear scan: a program has few distinct reactions, and tracing is a
+    // test/diagnostic facility.
+    for (const auto& owned : names_) {
+      if (*owned == name) {
+        return *owned;
+      }
+    }
+    names_.push_back(std::make_unique<std::string>(name));
+    return *names_.back();
+  }
+
   bool enabled_{false};
   std::vector<TraceRecord> records_;
+  /// unique_ptr for stable string addresses across vector growth.
+  std::vector<std::unique_ptr<std::string>> names_;
 };
 
 }  // namespace dear::reactor

@@ -38,9 +38,9 @@ bool Kernel::step() {
   if (queue_.empty()) {
     return false;
   }
-  // Move the handler out before popping so it may schedule new events.
-  Event event = std::move(const_cast<Event&>(queue_.top()));
-  queue_.pop();
+  // Move the event out before running it so the handler may schedule new
+  // events.
+  Event event = queue_.pop_move();
   now_ = event.time;
   ++processed_;
   event.handler();

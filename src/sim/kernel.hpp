@@ -14,10 +14,10 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <unordered_set>
 #include <vector>
 
+#include "common/binary_heap.hpp"
 #include "common/time.hpp"
 
 namespace dear::sim {
@@ -81,18 +81,21 @@ class Kernel {
     Handler handler;
   };
 
-  struct Later {
+  struct Sooner {
     bool operator()(const Event& a, const Event& b) const noexcept {
-      if (a.time != b.time) return a.time > b.time;
-      if (a.priority != b.priority) return a.priority > b.priority;
-      return a.id > b.id;
+      if (a.time != b.time) return a.time < b.time;
+      if (a.priority != b.priority) return a.priority < b.priority;
+      return a.id < b.id;
     }
   };
 
   /// Pops cancelled events off the top of the queue.
   void skim();
 
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  /// Same pooled min-heap as the reactor event queue: capacity is retained
+  /// across pop/push cycles and the top event moves out without the
+  /// const_cast std::priority_queue forced on handler extraction.
+  common::BinaryHeap<Event, Sooner> queue_;
   std::unordered_set<EventId> cancelled_;
   TimePoint now_{0};
   EventId next_id_{0};

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/buffer_pool.hpp"
 #include "common/logging.hpp"
 
 namespace dear::someip {
@@ -31,7 +32,11 @@ void Binding::send_message(const net::Endpoint& destination, Message message) {
       ++tagged_sent_;
     }
   }
-  network_.send(self_, destination, message.encode());
+  // Encode into a recycled wire buffer; the network layer releases it back
+  // to the pool after delivery, closing the allocation-free send cycle.
+  std::vector<std::uint8_t> wire = common::BufferPool::instance().acquire(message.encoded_size());
+  message.encode_into(wire);
+  network_.send(self_, destination, std::move(wire));
 }
 
 SessionId Binding::call(const net::Endpoint& server, ServiceId service, MethodId method,
@@ -191,19 +196,18 @@ std::size_t Binding::subscriber_count(ServiceId service, EventId event) const {
 }
 
 void Binding::on_packet(const net::Packet& packet) {
-  std::optional<Message> decoded = Message::decode(packet.payload);
-  if (!decoded.has_value()) {
+  // Serialize the receive path: the deposit→handler pairing below must not
+  // interleave with another message's. Decoding into the scratch message
+  // (payload capacity recycled) rides the same serialization.
+  const std::lock_guard<std::mutex> receive_lock(receive_mutex_);
+  if (!Message::decode_into(packet.payload.data(), packet.payload.size(), rx_message_)) {
     const std::lock_guard<std::mutex> lock(mutex_);
     ++malformed_received_;
     DEAR_LOG_WARN(kLogComponent) << self_.to_string() << ": dropping malformed packet from "
                                  << packet.source.to_string();
     return;
   }
-  Message& message = *decoded;
-
-  // Serialize the receive path: the deposit→handler pairing below must not
-  // interleave with another message's.
-  const std::lock_guard<std::mutex> receive_lock(receive_mutex_);
+  Message& message = rx_message_;
   if (message.tag.has_value()) {
     {
       const std::lock_guard<std::mutex> lock(mutex_);

@@ -16,12 +16,12 @@
 #include <array>
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <mutex>
 #include <unordered_set>
 #include <vector>
 
 #include "common/executor.hpp"
+#include "common/flat_map.hpp"
 #include "common/time.hpp"
 #include "net/network.hpp"
 #include "someip/message.hpp"
@@ -137,7 +137,10 @@ class Binding {
   [[nodiscard]] bool record_request(ClientId client, SessionId session);
 
   SessionId next_session_{1};
-  std::map<SessionId, ResponseHandler> pending_;
+  /// All four dispatch tables are sorted flat maps: per-call lookup walks
+  /// contiguous memory instead of chasing tree nodes, and insert/erase
+  /// churn (pending responses) stops allocating once capacity is warm.
+  common::FlatMap<SessionId, ResponseHandler> pending_;
   /// Recently seen (client << 16 | session) request keys, FIFO-bounded.
   /// Method execution is not idempotent (each request gets its own
   /// response and its own server-side call state), so a duplicated
@@ -149,9 +152,13 @@ class Binding {
   std::array<std::uint32_t, kRecentRequestWindow> recent_request_ring_{};
   std::size_t recent_request_head_{0};
   std::size_t recent_request_count_{0};
-  std::map<std::pair<ServiceId, MethodId>, RequestHandler> methods_;
-  std::map<std::pair<ServiceId, EventId>, NotificationHandler> event_handlers_;
-  std::map<std::pair<ServiceId, EventId>, std::vector<net::Endpoint>> subscribers_;
+  common::FlatMap<std::pair<ServiceId, MethodId>, RequestHandler> methods_;
+  common::FlatMap<std::pair<ServiceId, EventId>, NotificationHandler> event_handlers_;
+  common::FlatMap<std::pair<ServiceId, EventId>, std::vector<net::Endpoint>> subscribers_;
+
+  /// Receive-path scratch message (guarded by receive_mutex_): payload
+  /// capacity is recycled across packets.
+  Message rx_message_;
 
   std::uint64_t requests_sent_{0};
   std::uint64_t responses_received_{0};

@@ -1,9 +1,12 @@
 #include "someip/message.hpp"
 
+#include <utility>
+
 namespace dear::someip {
 
-std::vector<std::uint8_t> Message::encode() const {
-  Writer writer;
+void Message::encode_into(std::vector<std::uint8_t>& out) const {
+  Writer writer(std::move(out));
+  writer.reserve(encoded_size());
   writer.write_u16(service);
   writer.write_u16(method);
   const std::size_t trailer = tag.has_value() ? kTagTrailerSize : 0;
@@ -20,48 +23,63 @@ std::vector<std::uint8_t> Message::encode() const {
     writer.write_i64(tag->time);
     writer.write_u32(tag->microstep);
   }
-  return writer.take();
+  out = writer.take();
 }
 
-std::optional<Message> Message::decode(const std::vector<std::uint8_t>& bytes) {
-  Reader reader(bytes);
-  Message message;
-  message.service = reader.read_u16();
-  message.method = reader.read_u16();
+std::vector<std::uint8_t> Message::encode() const {
+  std::vector<std::uint8_t> out;
+  encode_into(out);
+  return out;
+}
+
+bool Message::decode_into(const std::uint8_t* bytes, std::size_t size, Message& out) {
+  Reader reader(bytes, size);
+  out.service = reader.read_u16();
+  out.method = reader.read_u16();
   const std::uint32_t length = reader.read_u32();
-  message.client = reader.read_u16();
-  message.session = reader.read_u16();
+  out.client = reader.read_u16();
+  out.session = reader.read_u16();
   const std::uint8_t protocol_version = reader.read_u8();
-  message.interface_version = reader.read_u8();
-  message.type = static_cast<MessageType>(reader.read_u8());
-  message.return_code = static_cast<ReturnCode>(reader.read_u8());
+  out.interface_version = reader.read_u8();
+  out.type = static_cast<MessageType>(reader.read_u8());
+  out.return_code = static_cast<ReturnCode>(reader.read_u8());
   if (!reader.ok() || length < 8) {
-    return std::nullopt;
+    return false;
   }
   if (protocol_version != kProtocolVersion && protocol_version != kTaggedProtocolVersion) {
-    return std::nullopt;
+    return false;
   }
   const bool tagged = protocol_version == kTaggedProtocolVersion;
   const std::size_t body = length - 8;
   if (body != reader.remaining()) {
-    return std::nullopt;  // inconsistent length field
+    return false;  // inconsistent length field
   }
   if (tagged && body < kTagTrailerSize) {
-    return std::nullopt;
+    return false;
   }
   const std::size_t payload_size = body - (tagged ? kTagTrailerSize : 0);
-  message.payload.resize(payload_size);
-  if (payload_size > 0 && !reader.read_bytes(message.payload.data(), payload_size)) {
-    return std::nullopt;
+  out.payload.resize(payload_size);
+  if (payload_size > 0 && !reader.read_bytes(out.payload.data(), payload_size)) {
+    return false;
   }
   if (tagged) {
     WireTag tag;
     tag.time = reader.read_i64();
     tag.microstep = reader.read_u32();
     if (!reader.ok()) {
-      return std::nullopt;
+      return false;
     }
-    message.tag = tag;
+    out.tag = tag;
+  } else {
+    out.tag.reset();
+  }
+  return true;
+}
+
+std::optional<Message> Message::decode(const std::vector<std::uint8_t>& bytes) {
+  Message message;
+  if (!decode_into(bytes.data(), bytes.size(), message)) {
+    return std::nullopt;
   }
   return message;
 }

@@ -46,12 +46,27 @@ struct Message {
   /// Present on messages sent through the tagged (DEAR-extended) binding.
   std::optional<WireTag> tag;
 
+  /// Total bytes encode() will produce.
+  [[nodiscard]] std::size_t encoded_size() const noexcept {
+    return kHeaderSize + payload.size() + (tag.has_value() ? kTagTrailerSize : 0);
+  }
+
   /// Serializes header + payload (+ tag trailer when tag is set).
   [[nodiscard]] std::vector<std::uint8_t> encode() const;
+
+  /// Serializes into `out` (cleared, capacity retained) — the pooled path:
+  /// a warm buffer makes encoding allocation-free.
+  void encode_into(std::vector<std::uint8_t>& out) const;
 
   /// Parses a datagram. Returns nullopt on malformed input (short buffer,
   /// inconsistent length field, unknown protocol version).
   [[nodiscard]] static std::optional<Message> decode(const std::vector<std::uint8_t>& bytes);
+
+  /// Parses into `out`, reusing its payload capacity (the receive-path
+  /// variant: one scratch Message per binding, zero allocations per warm
+  /// message). Returns false on malformed input; `out` is unspecified then.
+  [[nodiscard]] static bool decode_into(const std::uint8_t* bytes, std::size_t size,
+                                        Message& out);
 
   [[nodiscard]] bool is_request() const noexcept {
     return type == MessageType::kRequest || type == MessageType::kRequestNoReturn;

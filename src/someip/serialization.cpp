@@ -66,9 +66,13 @@ std::uint64_t Reader::read_u64() noexcept {
   return (hi << 32) | lo;
 }
 
+// Bounds checks compare count against the remaining bytes (size_ -
+// position_) rather than position_ + count, which could wrap for a hostile
+// length field and authorize an out-of-range read.
+
 std::string Reader::read_string() {
   const std::uint32_t size = read_u32();
-  if (!ok_ || position_ + size > size_) {
+  if (!ok_ || size > size_ - position_) {
     ok_ = false;
     return {};
   }
@@ -77,8 +81,29 @@ std::string Reader::read_string() {
   return s;
 }
 
+std::string_view Reader::read_string_view() noexcept {
+  const std::uint32_t size = read_u32();
+  if (!ok_ || size > size_ - position_) {
+    ok_ = false;
+    return {};
+  }
+  const std::string_view view(reinterpret_cast<const char*>(data_ + position_), size);
+  position_ += size;
+  return view;
+}
+
+const std::uint8_t* Reader::view_bytes(std::size_t count) noexcept {
+  if (!ok_ || count > size_ - position_) {
+    ok_ = false;
+    return nullptr;
+  }
+  const std::uint8_t* view = data_ + position_;
+  position_ += count;
+  return view;
+}
+
 bool Reader::read_bytes(std::uint8_t* out, std::size_t count) noexcept {
-  if (!ok_ || position_ + count > size_) {
+  if (!ok_ || count > size_ - position_) {
     ok_ = false;
     return false;
   }

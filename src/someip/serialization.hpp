@@ -11,13 +11,25 @@
 #include <cstdint>
 #include <cstring>
 #include <string>
+#include <string_view>
 #include <type_traits>
+#include <utility>
 #include <vector>
 
 namespace dear::someip {
 
 class Writer {
  public:
+  Writer() = default;
+  /// Writes into `buffer` (cleared, capacity retained) — the pooled path:
+  /// callers recycle one buffer per stream and a warm encode allocates
+  /// nothing.
+  explicit Writer(std::vector<std::uint8_t> buffer) noexcept : bytes_(std::move(buffer)) {
+    bytes_.clear();
+  }
+
+  void reserve(std::size_t bytes) { bytes_.reserve(bytes); }
+
   void write_u8(std::uint8_t v) { bytes_.push_back(v); }
   void write_u16(std::uint16_t v);
   void write_u32(std::uint32_t v);
@@ -60,8 +72,15 @@ class Reader {
   [[nodiscard]] double read_f64() noexcept { return std::bit_cast<double>(read_u64()); }
   [[nodiscard]] bool read_bool() noexcept { return read_u8() != 0; }
   [[nodiscard]] std::string read_string();
+  /// Zero-copy string read: views the underlying buffer, valid for the
+  /// buffer's lifetime. Empty view (and ok() == false) on short input.
+  [[nodiscard]] std::string_view read_string_view() noexcept;
 
   bool read_bytes(std::uint8_t* out, std::size_t count) noexcept;
+  /// Zero-copy bulk read: advances the cursor and returns a pointer to
+  /// `count` bytes inside the buffer, or nullptr (failing the reader) when
+  /// fewer remain.
+  [[nodiscard]] const std::uint8_t* view_bytes(std::size_t count) noexcept;
 
   [[nodiscard]] bool ok() const noexcept { return ok_; }
   [[nodiscard]] std::size_t remaining() const noexcept { return size_ - position_; }
@@ -103,7 +122,13 @@ inline void someip_deserialize(Reader& r, std::int64_t& v) { v = r.read_i64(); }
 inline void someip_deserialize(Reader& r, float& v) { v = r.read_f32(); }
 inline void someip_deserialize(Reader& r, double& v) { v = r.read_f64(); }
 inline void someip_deserialize(Reader& r, bool& v) { v = r.read_bool(); }
-inline void someip_deserialize(Reader& r, std::string& v) { v = r.read_string(); }
+inline void someip_deserialize(Reader& r, std::string& v) {
+  // Zero-copy view, then assign into the caller's string: decoding into a
+  // reused struct reuses the string's capacity instead of constructing a
+  // fresh one per message.
+  const std::string_view view = r.read_string_view();
+  v.assign(view.begin(), view.end());
+}
 
 template <typename T>
 void someip_serialize(Writer& w, const std::vector<T>& v) {
@@ -131,6 +156,15 @@ template <typename... Ts>
   Writer writer;
   (someip_serialize(writer, values), ...);
   return writer.take();
+}
+
+/// Serializes a value pack into `out` (cleared, capacity retained) — the
+/// allocation-free variant for recycled payload buffers.
+template <typename... Ts>
+void encode_payload_into(std::vector<std::uint8_t>& out, const Ts&... values) {
+  Writer writer(std::move(out));
+  (someip_serialize(writer, values), ...);
+  out = writer.take();
 }
 
 /// Decodes a payload into a tuple; returns false on malformed input.

@@ -14,12 +14,12 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <mutex>
 #include <optional>
 #include <vector>
 
 #include "common/executor.hpp"
+#include "common/flat_map.hpp"
 #include "net/endpoint.hpp"
 #include "someip/types.hpp"
 
@@ -67,8 +67,10 @@ class ServiceDiscovery {
   void notify_locked(ServiceKey key, std::optional<net::Endpoint> endpoint);
 
   mutable std::mutex mutex_;
-  std::map<ServiceKey, net::Endpoint> offers_;
-  std::map<WatchId, WatchEntry> watchers_;
+  // Flat maps: SD tables are small and lookup-heavy, and watcher
+  // notification iterates in key order exactly as std::map did.
+  common::FlatMap<ServiceKey, net::Endpoint> offers_;
+  common::FlatMap<WatchId, WatchEntry> watchers_;
   WatchId next_watch_id_{1};
 };
 

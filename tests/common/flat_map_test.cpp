@@ -1,0 +1,128 @@
+// FlatMap / BinaryHeap — the hot-path container pair.
+#include "common/flat_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <random>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/binary_heap.hpp"
+
+namespace dear::common {
+namespace {
+
+TEST(FlatMap, InsertFindEraseBasics) {
+  FlatMap<int, std::string> map;
+  EXPECT_TRUE(map.empty());
+  map[3] = "three";
+  map[1] = "one";
+  map[2] = "two";
+  EXPECT_EQ(map.size(), 3u);
+  ASSERT_NE(map.find(2), map.end());
+  EXPECT_EQ(map.find(2)->second, "two");
+  EXPECT_EQ(map.find(9), map.end());
+  EXPECT_TRUE(map.contains(1));
+  EXPECT_EQ(map.erase(2), 1u);
+  EXPECT_EQ(map.erase(2), 0u);
+  EXPECT_FALSE(map.contains(2));
+  EXPECT_EQ(map.size(), 2u);
+}
+
+TEST(FlatMap, IteratesInKeyOrder) {
+  FlatMap<int, int> map;
+  for (const int key : {5, 1, 4, 2, 3}) {
+    map[key] = key * 10;
+  }
+  std::vector<int> keys;
+  for (const auto& [key, value] : map) {
+    keys.push_back(key);
+    EXPECT_EQ(value, key * 10);
+  }
+  EXPECT_EQ(keys, (std::vector<int>{1, 2, 3, 4, 5}));
+}
+
+TEST(FlatMap, InsertOrAssign) {
+  FlatMap<int, int> map;
+  EXPECT_TRUE(map.insert_or_assign(1, 10).second);
+  EXPECT_FALSE(map.insert_or_assign(1, 20).second);
+  EXPECT_EQ(map.find(1)->second, 20);
+}
+
+TEST(FlatMap, MatchesStdMapUnderRandomChurn) {
+  FlatMap<std::uint32_t, std::uint64_t> flat;
+  std::map<std::uint32_t, std::uint64_t> reference;
+  std::mt19937 rng(7);
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint32_t key = rng() % 64;
+    switch (rng() % 3) {
+      case 0:
+        flat[key] = i;
+        reference[key] = static_cast<std::uint64_t>(i);
+        break;
+      case 1:
+        EXPECT_EQ(flat.erase(key), reference.erase(key));
+        break;
+      default: {
+        const auto it = flat.find(key);
+        const auto ref = reference.find(key);
+        ASSERT_EQ(it == flat.end(), ref == reference.end());
+        if (ref != reference.end()) {
+          EXPECT_EQ(it->second, ref->second);
+        }
+      }
+    }
+  }
+  ASSERT_EQ(flat.size(), reference.size());
+  auto ref = reference.begin();
+  for (const auto& [key, value] : flat) {
+    EXPECT_EQ(key, ref->first);
+    EXPECT_EQ(value, ref->second);
+    ++ref;
+  }
+}
+
+TEST(BinaryHeap, PopsInSortedOrder) {
+  BinaryHeap<int> heap;
+  std::vector<int> values = {9, 1, 8, 2, 7, 3, 6, 4, 5, 5};
+  for (const int v : values) {
+    heap.push(v);
+  }
+  std::vector<int> popped;
+  while (!heap.empty()) {
+    popped.push_back(heap.pop_move());
+  }
+  std::vector<int> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(popped, sorted);
+}
+
+TEST(BinaryHeap, RandomChurnMatchesMultiset) {
+  BinaryHeap<std::uint64_t> heap;
+  std::multiset<std::uint64_t> reference;
+  std::mt19937_64 rng(3);
+  for (int i = 0; i < 20000; ++i) {
+    if (reference.empty() || rng() % 3 != 0) {
+      const std::uint64_t v = rng() % 1000;
+      heap.push(v);
+      reference.insert(v);
+    } else {
+      ASSERT_EQ(heap.top(), *reference.begin());
+      heap.pop();
+      reference.erase(reference.begin());
+    }
+  }
+  while (!heap.empty()) {
+    ASSERT_EQ(heap.top(), *reference.begin());
+    heap.pop();
+    reference.erase(reference.begin());
+  }
+  EXPECT_TRUE(reference.empty());
+}
+
+}  // namespace
+}  // namespace dear::common

@@ -1,0 +1,165 @@
+// Allocation-count regression tests for the hot paths.
+//
+// This binary replaces global operator new/delete with counting wrappers.
+// Each test warms a workload until its pools and retained capacities reach
+// steady state, then asserts that continuing the workload performs ZERO
+// system allocations: per scheduler event (pooled event queue + value pool
+// + reused staging buffers) and per SOME/IP message round trip (recycled
+// wire buffer + scratch message). These are the two guarantees the
+// hot-path overhaul makes; any future per-event allocation regresses them
+// loudly here rather than silently in a profile.
+//
+// All tests are single-threaded: the counter observes only the workload
+// between the snapshots.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "common/buffer_pool.hpp"
+#include "reactor/runtime.hpp"
+#include "someip/message.hpp"
+
+namespace {
+
+std::atomic<std::uint64_t> g_allocations{0};
+
+std::uint64_t allocation_count() {
+  return g_allocations.load(std::memory_order_relaxed);
+}
+
+void* counted_alloc(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  void* pointer = std::malloc(size == 0 ? 1 : size);
+  if (pointer == nullptr) {
+    throw std::bad_alloc();
+  }
+  return pointer;
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void operator delete(void* pointer) noexcept { std::free(pointer); }
+void operator delete[](void* pointer) noexcept { std::free(pointer); }
+void operator delete(void* pointer, std::size_t) noexcept { std::free(pointer); }
+void operator delete[](void* pointer, std::size_t) noexcept { std::free(pointer); }
+
+namespace dear {
+namespace {
+
+using namespace dear::reactor;
+
+/// Self-rescheduling logical-action loop — the distilled scheduler hot
+/// path (schedule -> enqueue -> pop -> setup -> execute -> cleanup).
+class Looper final : public Reactor {
+ public:
+  Looper(Environment& env) : Reactor("looper", env) {
+    add_reaction("kick", [this] { action_.schedule(Empty{}); }).triggered_by(startup_);
+    add_reaction("tick",
+                 [this] {
+                   ++ticks;
+                   action_.schedule(Empty{}, 1);
+                 })
+        .triggered_by(action_);
+  }
+
+  std::uint64_t ticks{0};
+
+ private:
+  StartupTrigger startup_{"startup", this};
+  LogicalAction<Empty> action_{"tick", this};
+};
+
+TEST(AllocCount, SchedulerSteadyStateIsAllocationFree) {
+  sim::Kernel kernel;
+  SimClock clock(kernel);
+  Environment env(clock);
+  Looper looper(env);
+  env.assemble();
+  env.scheduler().start_at(Tag{0, 0});
+
+  const auto process_tags = [&](std::uint64_t count) {
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const auto result = env.scheduler().process_next_tag(kTimeMax);
+      ASSERT_TRUE(result.has_value());
+    }
+  };
+
+  process_tags(2000);  // warm: pools, heap capacity, staging buffers
+  const std::uint64_t before_ticks = looper.ticks;
+  const std::uint64_t before = allocation_count();
+  process_tags(1000);
+  const std::uint64_t after = allocation_count();
+  EXPECT_EQ(after - before, 0u)
+      << "scheduler loop allocated " << (after - before) << " times over "
+      << (looper.ticks - before_ticks) << " events";
+  EXPECT_EQ(looper.ticks - before_ticks, 1000u);
+}
+
+TEST(AllocCount, SomeIpRoundTripIsAllocationFree) {
+  someip::Message message;
+  message.service = 0x1234;
+  message.method = 0x8001;
+  message.client = 0x01;
+  message.session = 0x42;
+  message.type = someip::MessageType::kNotification;
+  message.payload.assign(256, 0xAB);
+  message.tag = someip::WireTag{123'456'789, 2};
+
+  std::vector<std::uint8_t> wire;
+  someip::Message scratch;
+  const auto round_trip = [&] {
+    message.encode_into(wire);
+    ASSERT_TRUE(someip::Message::decode_into(wire.data(), wire.size(), scratch));
+    ASSERT_EQ(scratch.payload.size(), message.payload.size());
+  };
+
+  for (int i = 0; i < 16; ++i) {
+    round_trip();  // warm: wire buffer + scratch payload capacity
+  }
+  const std::uint64_t before = allocation_count();
+  for (int i = 0; i < 1000; ++i) {
+    round_trip();
+  }
+  const std::uint64_t after = allocation_count();
+  EXPECT_EQ(after - before, 0u)
+      << "SOME/IP round trip allocated " << (after - before) << " times over 1000 messages";
+}
+
+TEST(AllocCount, ValuePoolRecyclesEventValues) {
+  // One warm allocate/release primes the size class...
+  make_immutable_value<std::int64_t>(0).reset();
+  const std::uint64_t before = allocation_count();
+  for (std::int64_t i = 0; i < 1000; ++i) {
+    // ...then every schedule-shaped allocate/release pair hits the free
+    // list instead of the system allocator.
+    ImmutableValuePtr<std::int64_t> value = make_immutable_value<std::int64_t>(i);
+    ASSERT_EQ(*value, i);
+    value.reset();
+  }
+  EXPECT_EQ(allocation_count() - before, 0u);
+}
+
+TEST(AllocCount, BufferPoolRecyclesWireBuffers) {
+  {
+    std::vector<std::uint8_t> warm = common::BufferPool::instance().acquire(4096);
+    warm.resize(4096);
+    common::BufferPool::instance().release(std::move(warm));
+  }
+  const std::uint64_t before = allocation_count();
+  for (int i = 0; i < 1000; ++i) {
+    std::vector<std::uint8_t> buffer = common::BufferPool::instance().acquire(1024);
+    EXPECT_GE(buffer.capacity(), 1024u);
+    buffer.resize(512);
+    common::BufferPool::instance().release(std::move(buffer));
+  }
+  EXPECT_EQ(allocation_count() - before, 0u);
+}
+
+}  // namespace
+}  // namespace dear

@@ -246,5 +246,34 @@ TEST_F(ActionTest, ShutdownTriggerRunsAtStop) {
   EXPECT_EQ(reactor.shutdown_tag, (Tag{0, 1}));  // one microstep after the request
 }
 
+TEST_F(ActionTest, BatchEnqueueTriggersEveryActionAtOneTag) {
+  // enqueue_batch_locked: several presence-only actions inserted at one
+  // tag under a single lock acquisition; each fires at that tag, and
+  // same-level staging follows batch order.
+  class One final : public Reactor {
+   public:
+    PhysicalAction<Empty> go{"go", this};
+
+    One(Environment& env, std::string name, int id, std::vector<int>& fired)
+        : Reactor(std::move(name), env) {
+      add_reaction("on_go", [&fired, id] { fired.push_back(id); }).triggered_by(go);
+    }
+  };
+  Environment env(clock);
+  std::vector<int> fired;
+  One first(env, "first", 0, fired);
+  One second(env, "second", 1, fired);
+  One third(env, "third", 2, fired);
+  env.assemble();
+  Scheduler& scheduler = env.scheduler();
+  scheduler.start_at(Tag{0, 0});
+  BaseAction* batch[] = {&third.go, &first.go, &second.go};
+  scheduler.with_lock([&] { scheduler.enqueue_batch_locked(batch, 3, Tag{10, 0}); });
+  scheduler.notify();
+  while (scheduler.process_next_tag(kTimeMax).has_value() && fired.size() < 3) {
+  }
+  EXPECT_EQ(fired, (std::vector<int>{2, 0, 1}));  // batch order, not construction order
+}
+
 }  // namespace
 }  // namespace dear::reactor

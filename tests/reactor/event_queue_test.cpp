@@ -1,0 +1,185 @@
+// Deterministic-order conformance for the pooled EventQueue.
+//
+// The golden behavior is the std::map<Tag, std::vector<BaseAction*>>
+// queue the scheduler used before the swap, reproduced here verbatim as
+// MapReferenceQueue: tags pop in ascending order; actions within a tag
+// pop in first-insertion order; duplicate inserts of one action at one
+// tag coalesce. Every test drives both queues with the same sequence and
+// requires identical pops — equal tags across actions, microstep ties,
+// min-delay coalescing (re-insert at the same tag) and interleaved
+// schedule_at patterns included.
+#include "reactor/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <random>
+#include <vector>
+
+namespace dear::reactor {
+namespace {
+
+/// Opaque, never-dereferenced action identities.
+BaseAction* action_id(std::uintptr_t n) {
+  // NOLINTNEXTLINE(performance-no-int-to-ptr)
+  return reinterpret_cast<BaseAction*>(n << 4);
+}
+
+/// The previous scheduler queue, exact semantics.
+class MapReferenceQueue {
+ public:
+  bool insert(BaseAction* action, const Tag& tag) {
+    const bool was_earliest = queue_.empty() || tag < queue_.begin()->first;
+    auto& actions = queue_[tag];
+    if (std::find(actions.begin(), actions.end(), action) == actions.end()) {
+      actions.push_back(action);
+    }
+    return was_earliest;
+  }
+
+  [[nodiscard]] bool empty() const { return queue_.empty(); }
+
+  [[nodiscard]] Tag earliest() const {
+    return queue_.empty() ? Tag::maximum() : queue_.begin()->first;
+  }
+
+  bool pop_at(const Tag& tag, std::vector<BaseAction*>& out) {
+    out.clear();
+    const auto it = queue_.find(tag);
+    if (it == queue_.end()) {
+      return false;
+    }
+    out = std::move(it->second);
+    queue_.erase(it);
+    return true;
+  }
+
+ private:
+  std::map<Tag, std::vector<BaseAction*>> queue_;
+};
+
+/// Drains both queues completely, asserting identical pop sequences.
+void expect_identical_drain(MapReferenceQueue& reference, EventQueue& queue) {
+  std::vector<BaseAction*> expected;
+  std::vector<BaseAction*> actual;
+  while (!reference.empty()) {
+    ASSERT_FALSE(queue.empty());
+    const Tag tag = reference.earliest();
+    ASSERT_EQ(queue.earliest(), tag);
+    ASSERT_TRUE(reference.pop_at(tag, expected));
+    ASSERT_TRUE(queue.pop_at(tag, actual));
+    ASSERT_EQ(actual, expected) << "bucket order diverged at tag " << tag.to_string();
+  }
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(EventQueue, EqualTagsAcrossActionsPopInInsertionOrder) {
+  MapReferenceQueue reference;
+  EventQueue queue;
+  const Tag tag{100, 0};
+  for (std::uintptr_t i = 5; i > 0; --i) {  // descending ids: order is insertion, not value
+    reference.insert(action_id(i), tag);
+    queue.insert(action_id(i), tag);
+  }
+  expect_identical_drain(reference, queue);
+}
+
+TEST(EventQueue, MicrostepTiesOrderBeforeLaterMicrosteps) {
+  MapReferenceQueue reference;
+  EventQueue queue;
+  const std::vector<Tag> tags = {{50, 2}, {50, 0}, {50, 1}, {50, 0}, {49, 3}};
+  std::uintptr_t id = 1;
+  for (const Tag& tag : tags) {
+    reference.insert(action_id(id), tag);
+    queue.insert(action_id(id), tag);
+    ++id;
+  }
+  EXPECT_EQ(queue.earliest(), (Tag{49, 3}));
+  expect_identical_drain(reference, queue);
+}
+
+TEST(EventQueue, DuplicateInsertCoalescesAtFirstPosition) {
+  // Min-delay coalescing: re-scheduling one action at the same tag (its
+  // pending value replaced) must not double-trigger and must keep the
+  // action's first-insertion position.
+  MapReferenceQueue reference;
+  EventQueue queue;
+  const Tag tag{10, 1};
+  for (const std::uintptr_t id : {1, 2, 1, 3, 2, 1}) {
+    reference.insert(action_id(id), tag);
+    queue.insert(action_id(id), tag);
+  }
+  std::vector<BaseAction*> expected;
+  std::vector<BaseAction*> actual;
+  ASSERT_TRUE(reference.pop_at(tag, expected));
+  ASSERT_TRUE(queue.pop_at(tag, actual));
+  EXPECT_EQ(actual, expected);
+  EXPECT_EQ(actual, (std::vector<BaseAction*>{action_id(1), action_id(2), action_id(3)}));
+}
+
+TEST(EventQueue, PopAtMissingTagReturnsFalseAndClearsOut) {
+  EventQueue queue;
+  queue.insert(action_id(1), Tag{20, 0});
+  std::vector<BaseAction*> out = {action_id(9)};
+  EXPECT_FALSE(queue.pop_at(Tag{5, 0}, out));  // stop tag before any event
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(queue.earliest(), (Tag{20, 0}));
+}
+
+TEST(EventQueue, InsertReportsNewEarliest) {
+  EventQueue queue;
+  EXPECT_TRUE(queue.insert(action_id(1), Tag{100, 0}));
+  EXPECT_FALSE(queue.insert(action_id(2), Tag{200, 0}));
+  EXPECT_TRUE(queue.insert(action_id(3), Tag{50, 0}));
+  EXPECT_FALSE(queue.insert(action_id(4), Tag{50, 0}));   // ties are not "earlier"
+  EXPECT_TRUE(queue.insert(action_id(5), Tag{49, 9}));
+}
+
+TEST(EventQueue, BatchInsertMatchesSequentialInserts) {
+  MapReferenceQueue reference;
+  EventQueue queue;
+  std::vector<BaseAction*> batch;
+  for (std::uintptr_t i = 1; i <= 6; ++i) {
+    batch.push_back(action_id(i));
+    reference.insert(action_id(i), Tag{7, 0});
+  }
+  queue.insert_batch(batch.data(), batch.size(), Tag{7, 0});
+  expect_identical_drain(reference, queue);
+}
+
+TEST(EventQueue, InterleavedScheduleAtMatchesMapQueue) {
+  // schedule_at-style traffic: out-of-order future tags interleaved with
+  // pops of the earliest tag, as the DEAR transactors produce under
+  // network jitter.
+  MapReferenceQueue reference;
+  EventQueue queue;
+  std::mt19937_64 rng(20260726);
+  std::vector<BaseAction*> expected;
+  std::vector<BaseAction*> actual;
+  TimePoint base = 0;
+  for (int round = 0; round < 2000; ++round) {
+    const int inserts = static_cast<int>(rng() % 4);
+    for (int i = 0; i < inserts; ++i) {
+      // Small tag space on purpose: plenty of equal-tag and equal-time /
+      // different-microstep collisions.
+      const Tag tag{base + static_cast<TimePoint>(rng() % 16),
+                    static_cast<std::uint32_t>(rng() % 3)};
+      BaseAction* action = action_id(1 + rng() % 8);
+      EXPECT_EQ(queue.insert(action, tag), reference.insert(action, tag));
+    }
+    if (!reference.empty() && rng() % 2 == 0) {
+      const Tag tag = reference.earliest();
+      ASSERT_EQ(queue.earliest(), tag);
+      ASSERT_TRUE(reference.pop_at(tag, expected));
+      ASSERT_TRUE(queue.pop_at(tag, actual));
+      ASSERT_EQ(actual, expected) << "diverged in round " << round;
+      base = tag.time;  // future inserts stay >= the processed tag
+    }
+  }
+  expect_identical_drain(reference, queue);
+}
+
+}  // namespace
+}  // namespace dear::reactor

@@ -136,5 +136,49 @@ TEST(Types, EventIdPredicate) {
   EXPECT_FALSE(is_event_id(0x0001));
 }
 
+TEST(Message, EncodeIntoMatchesEncodeAndReusesCapacity) {
+  Message tagged = sample_message();
+  tagged.tag = WireTag{987654321, 7};
+  const auto fresh = tagged.encode();
+
+  std::vector<std::uint8_t> reused;
+  reused.reserve(256);
+  const std::uint8_t* storage = reused.data();
+  tagged.encode_into(reused);
+  EXPECT_EQ(reused, fresh);
+  EXPECT_EQ(reused.data(), storage);  // warm buffer: no reallocation
+
+  // Re-encoding an untagged message into the same buffer replaces it.
+  const Message untagged = sample_message();
+  tagged.encode_into(reused);
+  const auto fresh_again = tagged.encode();
+  EXPECT_EQ(reused, fresh_again);
+  untagged.encode_into(reused);
+  EXPECT_EQ(reused, untagged.encode());
+}
+
+TEST(Message, DecodeIntoReusesScratchAndClearsStaleTag) {
+  Message tagged = sample_message();
+  tagged.tag = WireTag{123, 4};
+  const auto tagged_wire = tagged.encode();
+  const auto untagged_wire = sample_message().encode();
+
+  Message scratch;
+  ASSERT_TRUE(Message::decode_into(tagged_wire.data(), tagged_wire.size(), scratch));
+  ASSERT_TRUE(scratch.tag.has_value());
+  EXPECT_EQ(scratch.tag->time, 123);
+  // An untagged message through the same scratch must not inherit the tag.
+  ASSERT_TRUE(Message::decode_into(untagged_wire.data(), untagged_wire.size(), scratch));
+  EXPECT_FALSE(scratch.tag.has_value());
+  EXPECT_EQ(scratch.payload, sample_message().payload);
+}
+
+TEST(Message, EncodedSizeMatchesWireSize) {
+  Message m = sample_message();
+  EXPECT_EQ(m.encoded_size(), m.encode().size());
+  m.tag = WireTag{1, 1};
+  EXPECT_EQ(m.encoded_size(), m.encode().size());
+}
+
 }  // namespace
 }  // namespace dear::someip

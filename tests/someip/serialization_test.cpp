@@ -234,5 +234,66 @@ TEST_P(SerializationFuzzTest, RandomPayloadRoundTrip) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SerializationFuzzTest, ::testing::Range<std::uint64_t>(1, 17));
 
+TEST(Writer, ReusedBufferRetainsCapacityAndClearsContent) {
+  Writer first;
+  first.write_u32(0xAABBCCDD);
+  std::vector<std::uint8_t> buffer = first.take();
+  buffer.reserve(128);
+  const std::uint8_t* storage = buffer.data();
+
+  Writer reused(std::move(buffer));
+  reused.write_u16(0x1234);
+  EXPECT_EQ(reused.size(), 2u);  // cleared, not appended
+  const auto& bytes = reused.bytes();
+  EXPECT_EQ(bytes.data(), storage);  // same storage, no reallocation
+  EXPECT_EQ(bytes[0], 0x12);
+  EXPECT_EQ(bytes[1], 0x34);
+}
+
+TEST(Serialization, EncodePayloadIntoMatchesEncodePayload) {
+  const std::vector<std::uint32_t> values = {1, 2, 3, 0xFFFFFFFF};
+  const auto fresh = encode_payload(values, std::string("abc"), true);
+  std::vector<std::uint8_t> reused(64, 0xEE);
+  encode_payload_into(reused, values, std::string("abc"), true);
+  EXPECT_EQ(reused, fresh);
+}
+
+TEST(Reader, ReadStringViewIsZeroCopy) {
+  Writer w;
+  w.write_string("hello view");
+  const auto wire = w.take();
+  Reader r(wire);
+  const std::string_view view = r.read_string_view();
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(view, "hello view");
+  EXPECT_EQ(static_cast<const void*>(view.data()), wire.data() + 4);  // after the length field
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(Reader, ReadStringViewFailsOnShortBuffer) {
+  Writer w;
+  w.write_u32(100);  // length field promises more than the buffer holds
+  w.write_u8('x');
+  const auto wire = w.take();
+  Reader r(wire);
+  EXPECT_TRUE(r.read_string_view().empty());
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Reader, ViewBytesAdvancesCursor) {
+  Writer w;
+  w.write_u32(0x01020304);
+  w.write_u16(0xAABB);
+  const auto wire = w.take();
+  Reader r(wire);
+  const std::uint8_t* view = r.view_bytes(4);
+  ASSERT_NE(view, nullptr);
+  EXPECT_EQ(view[0], 0x01);
+  EXPECT_EQ(r.read_u16(), 0xAABB);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.view_bytes(1), nullptr);
+  EXPECT_FALSE(r.ok());
+}
+
 }  // namespace
 }  // namespace dear::someip
