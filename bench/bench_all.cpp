@@ -7,14 +7,18 @@
 //   * someip_pooled_roundtrip_faster
 //   * dear_digest_someip/local     — DEAR pipeline output digest unchanged
 //   * fault_sweep_digest(_workers) — campaign report digest unchanged and
-//                                    identical across worker counts
-// so CI fails on a hot-path or determinism regression without parsing any
-// console output.
+//                                    identical across 1/2/4 workers
+//   * campaign_speedup_2w          — fault sweep >= 1.6x serial at 2
+//                                    workers (hosts with >= 2 cores)
+//   * threaded_overhead_3x         — threaded scheduler per-event p50 at 2
+//                                    workers <= 3x single-threaded
+//   * threaded_digest_workers      — trace/tag digests identical at 1/2/4
+//                                    workers
+// so CI fails on a hot-path, scaling or determinism regression without
+// parsing any console output.
 #include <cstdio>
 
 #include "brake/dear_pipeline.hpp"
-#include "scenario/presets.hpp"
-#include "scenario/runner.hpp"
 #include "suites.hpp"
 
 namespace {
@@ -66,34 +70,15 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(kDearDigest300f7));
   harness.gate("dear_digest_local", local_digest == kDearDigest300f7, detail);
 
-  // The 96-scenario fault sweep: wall clock is the tracked metric, the
-  // report digest (at both worker counts) is the gate.
-  const auto campaign = dear::scenario::presets::fault_sweep(120, 1);
-  std::uint64_t serial_digest = 0;
-  std::uint64_t parallel_digest = 0;
-  std::size_t violations = 0;
-  harness.measure("fault_sweep/96x120f/serial", 96, [&] {
-    dear::scenario::RunnerOptions options;
-    options.workers = 1;
-    const auto report = dear::scenario::CampaignRunner(options).run(campaign);
-    serial_digest = report.report_digest();
-    violations = report.violations.size();
-  });
-  harness.measure("fault_sweep/96x120f/2workers", 96, [&] {
-    dear::scenario::RunnerOptions options;
-    options.workers = 2;
-    const auto report = dear::scenario::CampaignRunner(options).run(campaign);
-    parallel_digest = report.report_digest();
-  });
-  std::snprintf(detail, sizeof(detail), "digest %016llx, expected %016llx, %zu violation(s)",
-                static_cast<unsigned long long>(serial_digest),
-                static_cast<unsigned long long>(kFaultSweepDigest120f1), violations);
-  harness.gate("fault_sweep_digest", serial_digest == kFaultSweepDigest120f1 && violations == 0,
-               detail);
-  std::snprintf(detail, sizeof(detail), "2-worker digest %016llx vs serial %016llx",
-                static_cast<unsigned long long>(parallel_digest),
-                static_cast<unsigned long long>(serial_digest));
-  harness.gate("fault_sweep_digest_workers", parallel_digest == serial_digest, detail);
+  // --- parallel scaling ------------------------------------------------------
+  // The 96-scenario fault sweep at 1/2/4 workers (report digest anchored
+  // to the golden value above and gated identical across worker counts)
+  // plus the threaded-scheduler worker sweep.
+  dear::bench::ParallelScalingOptions scaling;
+  scaling.campaign_frames = 120;
+  scaling.campaign_seed = 1;
+  scaling.golden_campaign_digest = kFaultSweepDigest120f1;
+  dear::bench::run_parallel_scaling_suite(harness, scaling);
 
   return harness.finish();
 }

@@ -5,18 +5,18 @@
 // before the pooled EventQueue, driven with an identical seeded
 // insert/pop workload. Both queues must produce the same pop sequence
 // (checksum gate) and the pooled queue must clear the 2x throughput floor
-// the overhaul targets.
+// the overhaul targets. Threaded worker-pool scaling lives in
+// suite_parallel.cpp.
 #include <cstdint>
+#include <cstdio>
+#include <functional>
 #include <map>
-#include <memory>
-#include <string>
 #include <vector>
 
 #include "common/rng.hpp"
 #include "reactor/event_queue.hpp"
-#include "reactor/runtime.hpp"
-#include "sim/kernel.hpp"
 #include "suites.hpp"
+#include "topologies.hpp"
 
 namespace dear::bench {
 
@@ -122,93 +122,6 @@ std::uint64_t queue_workload(Queue& queue, std::uint64_t steps, const QueuePlan&
   return checksum;
 }
 
-/// Source -> chain of relays -> sink, driven by a logical action loop
-/// (same topology family as the original microbenchmarks).
-class Source final : public Reactor {
- public:
-  Output<std::int64_t> out{"out", this};
-
-  Source(Environment& env, std::int64_t limit) : Reactor("source", env), limit_(limit) {
-    add_reaction("kick", [this] { action_.schedule(Empty{}); }).triggered_by(startup_);
-    add_reaction("emit",
-                 [this] {
-                   out.set(count_);
-                   if (++count_ < limit_) {
-                     action_.schedule(Empty{});
-                   } else {
-                     request_shutdown();
-                   }
-                 })
-        .triggered_by(action_)
-        .writes(out);
-  }
-
- private:
-  StartupTrigger startup_{"startup", this};
-  LogicalAction<Empty> action_{"tick", this};
-  std::int64_t limit_;
-  std::int64_t count_{0};
-};
-
-class Relay final : public Reactor {
- public:
-  Input<std::int64_t> in{"in", this};
-  Output<std::int64_t> out{"out", this};
-
-  Relay(Environment& env, std::string name) : Reactor(std::move(name), env) {
-    add_reaction("relay", [this] { out.set(in.get() + 1); }).triggered_by(in).writes(out);
-  }
-};
-
-class Sink final : public Reactor {
- public:
-  Input<std::int64_t> in{"in", this};
-  std::int64_t sum{0};
-
-  explicit Sink(Environment& env, std::string name = "sink")
-      : Reactor(std::move(name), env) {
-    add_reaction("consume", [this] { sum += in.get(); }).triggered_by(in);
-  }
-};
-
-std::int64_t run_pipeline(std::size_t depth, std::int64_t events) {
-  sim::Kernel kernel;
-  SimClock clock(kernel);
-  Environment env(clock);
-  Source source(env, events);
-  std::vector<std::unique_ptr<Relay>> relays;
-  for (std::size_t i = 0; i < depth; ++i) {
-    relays.push_back(std::make_unique<Relay>(env, "relay" + std::to_string(i)));
-  }
-  Sink sink(env);
-  Output<std::int64_t>* previous = &source.out;
-  for (auto& relay : relays) {
-    env.connect(*previous, relay->in);
-    previous = &relay->out;
-  }
-  env.connect(*previous, sink.in);
-  SimDriver driver(env, kernel, common::Rng(1));
-  driver.start();
-  kernel.run();
-  return sink.sum;
-}
-
-std::int64_t run_fanout(std::size_t sinks, std::int64_t events) {
-  sim::Kernel kernel;
-  SimClock clock(kernel);
-  Environment env(clock);
-  Source source(env, events);
-  std::vector<std::unique_ptr<Sink>> sink_list;
-  for (std::size_t i = 0; i < sinks; ++i) {
-    sink_list.push_back(std::make_unique<Sink>(env, "sink" + std::to_string(i)));
-    env.connect(source.out, sink_list.back()->in);
-  }
-  SimDriver driver(env, kernel, common::Rng(1));
-  driver.start();
-  kernel.run();
-  return sink_list.front()->sum;
-}
-
 }  // namespace
 
 void run_reactor_suite(Harness& h) {
@@ -275,21 +188,6 @@ void run_reactor_suite(Harness& h) {
     };
     kernel.schedule_at(0, chain);
     kernel.run();
-  });
-
-  // Threaded scheduler with a worker pool: measures the level-barrier
-  // coordination overhead (run_level_parallel / worker_loop), which the
-  // DES-driven cases above never exercise.
-  const std::int64_t threaded_events = static_cast<std::int64_t>(h.scale(2'000, 200));
-  h.measure("threaded_workers/2", static_cast<std::uint64_t>(threaded_events), [&] {
-    RealClock clock;
-    Environment::Config config;
-    config.workers = 2;
-    Environment env(clock, config);
-    Source source(env, threaded_events);
-    Sink sink(env);
-    env.connect(source.out, sink.in);
-    env.run();
   });
 }
 

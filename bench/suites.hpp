@@ -4,6 +4,8 @@
 // and registers its sanity gates.
 #pragma once
 
+#include <cstdint>
+
 #include "harness.hpp"
 
 namespace dear::bench {
@@ -17,5 +19,23 @@ void run_reactor_suite(Harness& harness);
 /// gate), tag-extension overhead, timestamp bypass, and the case study's
 /// heaviest payload round trip.
 void run_someip_suite(Harness& harness);
+
+struct ParallelScalingOptions {
+  /// Events per threaded-scheduler fan-out run.
+  std::uint64_t threaded_events{2'000};
+  /// Frames per fault-sweep scenario (the preset is a fixed 96-scenario
+  /// grid; case names carry "96x<frames>f").
+  std::uint64_t campaign_frames{120};
+  std::uint64_t campaign_seed{1};
+  /// Golden anchor for the serial campaign report digest; 0 skips the
+  /// anchor gate (standalone runs with non-default frames).
+  std::uint64_t golden_campaign_digest{0};
+};
+
+/// Worker-count scaling: threaded scheduler (per-event overhead ceiling +
+/// trace/tag digest equality at 1/2/4 workers) and the fault-sweep
+/// campaign (>= 1.6x at 2 workers when the host has >= 2 cores, report
+/// digest equality always).
+void run_parallel_scaling_suite(Harness& harness, const ParallelScalingOptions& options);
 
 }  // namespace dear::bench

@@ -1,0 +1,158 @@
+// Reactor topologies shared by the benchmark suites.
+//
+// Source -> relays -> sink(s), driven by a logical-action loop — the same
+// topology family as the original microbenchmarks. suite_reactor uses the
+// DES-driven pipeline/fanout runs; suite_parallel drives the fanout under
+// the threaded scheduler at several worker counts (wide same-level batches
+// are what exercise the level claim cursor and completion barrier).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/digest.hpp"
+#include "reactor/runtime.hpp"
+#include "sim/kernel.hpp"
+
+namespace dear::bench {
+
+class Source final : public reactor::Reactor {
+ public:
+  reactor::Output<std::int64_t> out{"out", this};
+
+  Source(reactor::Environment& env, std::int64_t limit)
+      : reactor::Reactor("source", env), limit_(limit) {
+    add_reaction("kick", [this] { action_.schedule(reactor::Empty{}); }).triggered_by(startup_);
+    add_reaction("emit",
+                 [this] {
+                   out.set(count_);
+                   if (++count_ < limit_) {
+                     action_.schedule(reactor::Empty{});
+                   } else {
+                     request_shutdown();
+                   }
+                 })
+        .triggered_by(action_)
+        .writes(out);
+  }
+
+ private:
+  reactor::StartupTrigger startup_{"startup", this};
+  reactor::LogicalAction<reactor::Empty> action_{"tick", this};
+  std::int64_t limit_;
+  std::int64_t count_{0};
+};
+
+class Relay final : public reactor::Reactor {
+ public:
+  reactor::Input<std::int64_t> in{"in", this};
+  reactor::Output<std::int64_t> out{"out", this};
+
+  Relay(reactor::Environment& env, std::string name) : reactor::Reactor(std::move(name), env) {
+    add_reaction("relay", [this] { out.set(in.get() + 1); }).triggered_by(in).writes(out);
+  }
+};
+
+class Sink final : public reactor::Reactor {
+ public:
+  reactor::Input<std::int64_t> in{"in", this};
+  std::int64_t sum{0};
+
+  explicit Sink(reactor::Environment& env, std::string name = "sink")
+      : reactor::Reactor(std::move(name), env) {
+    add_reaction("consume", [this] { sum += in.get(); }).triggered_by(in);
+  }
+};
+
+/// DES-driven chain of `depth` relays; returns the sink checksum.
+inline std::int64_t run_pipeline(std::size_t depth, std::int64_t events) {
+  sim::Kernel kernel;
+  reactor::SimClock clock(kernel);
+  reactor::Environment env(clock);
+  Source source(env, events);
+  std::vector<std::unique_ptr<Relay>> relays;
+  for (std::size_t i = 0; i < depth; ++i) {
+    relays.push_back(std::make_unique<Relay>(env, "relay" + std::to_string(i)));
+  }
+  Sink sink(env);
+  reactor::Output<std::int64_t>* previous = &source.out;
+  for (auto& relay : relays) {
+    env.connect(*previous, relay->in);
+    previous = &relay->out;
+  }
+  env.connect(*previous, sink.in);
+  reactor::SimDriver driver(env, kernel, common::Rng(1));
+  driver.start();
+  kernel.run();
+  return sink.sum;
+}
+
+/// DES-driven one-to-many fan-out; returns the first sink's checksum.
+inline std::int64_t run_fanout(std::size_t sinks, std::int64_t events) {
+  sim::Kernel kernel;
+  reactor::SimClock clock(kernel);
+  reactor::Environment env(clock);
+  Source source(env, events);
+  std::vector<std::unique_ptr<Sink>> sink_list;
+  for (std::size_t i = 0; i < sinks; ++i) {
+    sink_list.push_back(std::make_unique<Sink>(env, "sink" + std::to_string(i)));
+    env.connect(source.out, sink_list.back()->in);
+  }
+  reactor::SimDriver driver(env, kernel, common::Rng(1));
+  driver.start();
+  kernel.run();
+  return sink_list.front()->sum;
+}
+
+struct ThreadedFanoutResult {
+  std::int64_t sum{0};
+  /// Digest over the raw execution trace, tags relative to the start tag
+  /// (empty runs without tracing leave it 0).
+  std::uint64_t trace_digest{0};
+  /// Digest over the processed (relative) tag sequence of the trace.
+  std::uint64_t tag_digest{0};
+};
+
+/// Threaded-scheduler fan-out with a worker pool: every event stages one
+/// `sinks`-wide level, so the per-level coordination cost dominates.
+inline ThreadedFanoutResult run_fanout_threaded(unsigned workers, std::size_t sinks,
+                                                std::int64_t events, bool tracing = false) {
+  reactor::RealClock clock;
+  reactor::Environment::Config config;
+  config.workers = workers;
+  config.tracing = tracing;
+  reactor::Environment env(clock, config);
+  Source source(env, events);
+  std::vector<std::unique_ptr<Sink>> sink_list;
+  for (std::size_t i = 0; i < sinks; ++i) {
+    sink_list.push_back(std::make_unique<Sink>(env, "sink" + std::to_string(i)));
+    env.connect(source.out, sink_list.back()->in);
+  }
+  env.run();
+  ThreadedFanoutResult result;
+  result.sum = sink_list.front()->sum;
+  if (tracing) {
+    const TimePoint start = env.start_time();
+    reactor::Tag previous = reactor::Tag::maximum();
+    for (const reactor::TraceRecord& record : env.trace().records()) {
+      common::mix_digest(result.trace_digest,
+                         static_cast<std::uint64_t>(record.tag.time - start));
+      common::mix_digest(result.trace_digest, record.tag.microstep);
+      for (const char c : record.reaction) {
+        common::mix_digest(result.trace_digest, static_cast<std::uint64_t>(c));
+      }
+      common::mix_digest(result.trace_digest, record.deadline_violated ? 1 : 0);
+      if (!(record.tag == previous)) {
+        previous = record.tag;
+        common::mix_digest(result.tag_digest,
+                           static_cast<std::uint64_t>(record.tag.time - start));
+        common::mix_digest(result.tag_digest, record.tag.microstep);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace dear::bench

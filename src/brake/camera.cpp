@@ -1,5 +1,6 @@
 #include "brake/camera.hpp"
 
+#include "common/buffer_pool.hpp"
 #include "someip/serialization.hpp"
 
 namespace dear::brake {
@@ -48,7 +49,11 @@ void Camera::capture(std::uint64_t /*activation*/, TimePoint release_time) {
       break;
   }
   last_frame_ = frame;
-  someip::Writer writer;
+  // Pooled wire buffer: the network layer releases it back after delivery,
+  // so the frame stream's acquire/release traffic balances — a sender that
+  // pushed fresh vectors into the pool would force a cache flush per
+  // scenario (caught by the alloc-count shelf-lock tests).
+  someip::Writer writer(common::BufferPool::instance().acquire());
   someip_serialize(writer, frame);
   network_.send(self_, adapter_, writer.take());
   ++frames_sent_;

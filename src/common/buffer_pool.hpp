@@ -1,4 +1,4 @@
-// Recycled byte buffers for the wire paths.
+// Recycled byte buffers for the wire paths, with per-thread caches.
 //
 // Every SOME/IP message used to allocate (at least) two fresh
 // std::vector<uint8_t>s: one in the Writer while encoding and one for the
@@ -8,6 +8,13 @@
 // touches the system allocator zero times (asserted by the
 // allocation-count regression tests).
 //
+// acquire/release first hit a small thread-local stash (no atomics): a
+// campaign worker's scenarios recycle wire buffers entirely within the
+// worker thread, so concurrent scenarios share no cache lines. The stash
+// refills from / flushes to the global spinlocked pool in batches, and a
+// registered drain returns it when the thread exits. shelf_lock_count()
+// counts global-pool lock acquisitions for the regression tests.
+//
 // Like SmallBlockPool the singleton is leaked so late releases from
 // static-storage objects are safe, and the retained set is capped.
 #pragma once
@@ -15,6 +22,8 @@
 #include <atomic>
 #include <cstdint>
 #include <vector>
+
+#include "common/thread_cache.hpp"
 
 namespace dear::common {
 
@@ -29,14 +38,17 @@ class BufferPool {
   /// hint for cold starts).
   [[nodiscard]] std::vector<std::uint8_t> acquire(std::size_t reserve_hint = 0) {
     std::vector<std::uint8_t> buffer;
-    lock();
-    if (!free_.empty()) {
-      buffer = std::move(free_.back());
-      free_.pop_back();
-      unlock();
-      buffer.clear();
+    if (ThreadCache* cache = ThreadCacheSlot<BufferPool>::get()) {
+      if (cache->buffers.empty()) {
+        refill(*cache);
+      }
+      if (!cache->buffers.empty()) {
+        buffer = std::move(cache->buffers.back());
+        cache->buffers.pop_back();
+        buffer.clear();
+      }
     } else {
-      unlock();
+      buffer = acquire_global();
     }
     if (buffer.capacity() < reserve_hint) {
       buffer.reserve(reserve_hint);
@@ -51,6 +63,90 @@ class BufferPool {
     if (buffer.capacity() == 0 || buffer.capacity() > kMaxRetainedCapacity) {
       return;  // let the vector free its storage here
     }
+    if (ThreadCache* cache = ThreadCacheSlot<BufferPool>::get()) {
+      if (cache->buffers.size() >= kThreadCacheBuffers) {
+        flush(*cache, kThreadCacheBuffers / 2);
+      }
+      cache->buffers.push_back(std::move(buffer));
+      return;
+    }
+    release_global(std::move(buffer));
+  }
+
+  /// Global-pool lock acquisitions since process start (slow path only).
+  [[nodiscard]] std::uint64_t shelf_lock_count() const noexcept {
+    return shelf_locks_.load(std::memory_order_relaxed);
+  }
+
+  // --- thread-cache plumbing (ThreadCacheSlot owner contract) ------------------
+
+  struct ThreadCache {
+    ThreadCache() { buffers.reserve(kThreadCacheBuffers); }
+    std::vector<std::vector<std::uint8_t>> buffers;
+  };
+
+  static void drain_thread_cache(ThreadCache& cache) noexcept {
+    instance().flush(cache, 0);
+  }
+
+ private:
+  static constexpr std::size_t kMaxRetained = 1024;
+  static constexpr std::size_t kMaxRetainedCapacity = 16 * 1024;
+  /// Buffers stashed per thread — sized for the peak in-flight packet set
+  /// of one DES scenario (sim-network queues hold dozens of undelivered
+  /// payloads), so a campaign worker's steady state never reaches the
+  /// global pool (asserted by the alloc-count shelf-lock tests).
+  static constexpr std::size_t kThreadCacheBuffers = 128;
+  /// Buffers moved per global-pool interaction.
+  static constexpr std::size_t kRefillBatch = 32;
+
+  BufferPool() { free_.reserve(kMaxRetained); }
+
+  void lock() noexcept {
+    shelf_locks_.fetch_add(1, std::memory_order_relaxed);
+    while (busy_.test_and_set(std::memory_order_acquire)) {
+    }
+  }
+  void unlock() noexcept { busy_.clear(std::memory_order_release); }
+
+  void refill(ThreadCache& cache) noexcept {
+    lock();
+    for (std::size_t i = 0; i < kRefillBatch && !free_.empty(); ++i) {
+      cache.buffers.push_back(std::move(free_.back()));
+      free_.pop_back();
+    }
+    unlock();
+  }
+
+  /// Flushes the stash down to `keep` buffers (one lock); buffers over the
+  /// global cap are freed outside the lock.
+  void flush(ThreadCache& cache, std::size_t keep) noexcept {
+    lock();
+    while (cache.buffers.size() > keep && free_.size() < kMaxRetained) {
+      free_.push_back(std::move(cache.buffers.back()));
+      cache.buffers.pop_back();
+    }
+    unlock();
+    while (cache.buffers.size() > keep) {
+      cache.buffers.pop_back();  // over cap: storage freed here
+    }
+  }
+
+  [[nodiscard]] std::vector<std::uint8_t> acquire_global() noexcept {
+    std::vector<std::uint8_t> buffer;
+    lock();
+    if (!free_.empty()) {
+      buffer = std::move(free_.back());
+      free_.pop_back();
+      unlock();
+      buffer.clear();
+      return buffer;
+    }
+    unlock();
+    return buffer;
+  }
+
+  void release_global(std::vector<std::uint8_t>&& buffer) noexcept {
     lock();
     if (free_.size() < kMaxRetained) {
       free_.push_back(std::move(buffer));
@@ -61,20 +157,45 @@ class BufferPool {
     // Over cap: let the vector free its storage here, outside the lock.
   }
 
- private:
-  static constexpr std::size_t kMaxRetained = 1024;
-  static constexpr std::size_t kMaxRetainedCapacity = 16 * 1024;
+  std::atomic_flag busy_ = ATOMIC_FLAG_INIT;
+  std::atomic<std::uint64_t> shelf_locks_{0};
+  std::vector<std::vector<std::uint8_t>> free_;
+};
 
-  BufferPool() { free_.reserve(kMaxRetained); }
-
-  void lock() noexcept {
-    while (busy_.test_and_set(std::memory_order_acquire)) {
+/// RAII custody of an in-flight pooled buffer: releases the payload back
+/// to the BufferPool when destroyed still armed, so a delivery event that
+/// dies unrun (kernel or executor torn down mid-flight at scenario end)
+/// cannot bleed buffers out of the pool's steady state. take() hands the
+/// payload to the receive path and stands the keeper down.
+///
+/// Copyable only because std::function demands it of its captures; a copy
+/// duplicates the bytes and owns its own release (no copy happens on the
+/// send paths — handlers are constructed from rvalues).
+class PooledBuffer {
+ public:
+  explicit PooledBuffer(std::vector<std::uint8_t>&& payload) noexcept
+      : payload_(std::move(payload)) {}
+  PooledBuffer(PooledBuffer&& other) noexcept
+      : payload_(std::move(other.payload_)), armed_(other.armed_) {
+    other.armed_ = false;
+  }
+  PooledBuffer(const PooledBuffer& other) : payload_(other.payload_), armed_(other.armed_) {}
+  PooledBuffer& operator=(PooledBuffer&&) = delete;
+  PooledBuffer& operator=(const PooledBuffer&) = delete;
+  ~PooledBuffer() {
+    if (armed_) {
+      BufferPool::instance().release(std::move(payload_));
     }
   }
-  void unlock() noexcept { busy_.clear(std::memory_order_release); }
 
-  std::atomic_flag busy_ = ATOMIC_FLAG_INIT;
-  std::vector<std::vector<std::uint8_t>> free_;
+  [[nodiscard]] std::vector<std::uint8_t> take() noexcept {
+    armed_ = false;
+    return std::move(payload_);
+  }
+
+ private:
+  std::vector<std::uint8_t> payload_;
+  bool armed_{true};
 };
 
 }  // namespace dear::common

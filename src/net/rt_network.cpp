@@ -17,19 +17,22 @@ void RtNetwork::send(Endpoint source, Endpoint destination, std::vector<std::uin
   packet.payload = std::move(payload);
   packet.send_time = executor_.now();
 
-  executor_.post([this, packet = std::move(packet)]() mutable {
+  // The keeper returns the payload to the pool even when the delivery
+  // task dies unrun (executor torn down with posts still queued).
+  common::PooledBuffer keeper(std::move(packet.payload));
+  executor_.post([this, packet = std::move(packet), keeper = std::move(keeper)]() mutable {
     ReceiveHandler handler;
     {
       const std::lock_guard<std::mutex> lock(mutex_);
       const auto it = receivers_.find(packet.destination);
       if (it == receivers_.end()) {
         ++dropped_;
-        common::BufferPool::instance().release(std::move(packet.payload));
-        return;
+        return;  // keeper recycles the buffer
       }
       handler = it->second;
       ++delivered_;
     }
+    packet.payload = keeper.take();
     packet.receive_time = executor_.now();
     handler(packet);
     // The wire buffer came from the pool in the sending binding; hand it

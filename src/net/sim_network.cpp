@@ -36,13 +36,17 @@ void SimNetwork::schedule_delivery(const LinkParams& link, PairState& pair, Pack
     pair.last_scheduled_delivery = delivery;
   }
 
-  kernel_.schedule_at(delivery, [this, packet = std::move(packet)]() mutable {
+  // The keeper returns the payload to the pool even when the delivery
+  // event dies unrun (kernel torn down mid-flight at scenario end).
+  common::PooledBuffer keeper(std::move(packet.payload));
+  kernel_.schedule_at(delivery,
+                      [this, packet = std::move(packet), keeper = std::move(keeper)]() mutable {
     const auto it = receivers_.find(packet.destination);
     if (it == receivers_.end()) {
       ++dropped_;
-      common::BufferPool::instance().release(std::move(packet.payload));
-      return;
+      return;  // keeper recycles the buffer
     }
+    packet.payload = keeper.take();
     packet.receive_time = kernel_.now();
     ++delivered_;
     it->second(packet);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <stdexcept>
 
 #include "reactor/action.hpp"
@@ -10,15 +11,42 @@
 
 namespace dear::reactor {
 
+namespace {
+
+inline void cpu_pause() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield");
+#endif
+}
+
+/// Spins before a worker parks resp. the orchestrator starts yielding:
+/// long enough to bridge the gap between consecutive levels of a busy
+/// stream, short enough not to burn a timeslice on a small host.
+constexpr int kSpinsBeforePark = 2048;
+/// Parked workers re-probe for work on this period instead of relying on
+/// a publisher wakeup — publishing a level is then syscall-free, and an
+/// orchestrator on a 1-core host never pays futex wakes for workers that
+/// cannot help anyway.
+constexpr std::chrono::milliseconds kParkPoll{1};
+/// Level width from which publishing additionally notifies parked workers:
+/// for wide batches the wakeup latency is worth the syscall.
+constexpr std::uint32_t kParkedNotifyFloor = 32;
+
+}  // namespace
+
+thread_local Scheduler::WorkerSlot* Scheduler::active_slot_ = nullptr;
+thread_local std::uint32_t Scheduler::active_batch_index_ = 0;
+
 Scheduler::Scheduler(Environment& environment, PhysicalClock& clock)
-    : environment_(environment), clock_(clock) {}
+    : environment_(environment), clock_(clock),
+      worker_slots_(std::make_unique<WorkerSlot[]>(1)) {}
 
 Scheduler::~Scheduler() {
-  {
-    const std::lock_guard<std::mutex> lock(pool_mutex_);
-    pool_shutdown_ = true;
-  }
-  pool_cv_.notify_all();
+  pool_shutdown_.store(true, std::memory_order_seq_cst);
+  { const std::lock_guard<std::mutex> lock(park_mutex_); }
+  park_cv_.notify_all();
   for (auto& thread : worker_threads_) {
     thread.join();
   }
@@ -29,6 +57,9 @@ void Scheduler::configure(int level_count, unsigned workers, bool keepalive, Dur
   workers_ = workers == 0 ? 1 : workers;
   keepalive_ = keepalive;
   timeout_ = timeout;
+  // Slot 0 is the orchestrating thread; 1..workers-1 the pool workers.
+  worker_slot_count_ = workers_;
+  worker_slots_ = std::make_unique<WorkerSlot[]>(worker_slot_count_);
 }
 
 void Scheduler::enqueue_locked(BaseAction* action, const Tag& tag) {
@@ -150,6 +181,12 @@ void Scheduler::stage_locked(Reaction& reaction) {
 }
 
 void Scheduler::stage_port_triggers(BasePort& port) {
+  if (WorkerSlot* slot = active_slot_) {
+    // Parallel level in flight on this thread: record privately, merge in
+    // deterministic batch-index order at the level barrier.
+    slot->records.push_back(StagedRecord{active_batch_index_, false, &port});
+    return;
+  }
   const std::lock_guard<std::mutex> lock(staging_mutex_);
   assert(port.triggered_closure().empty() ||
          port.triggered_closure().front()->level() > current_level_);
@@ -159,6 +196,10 @@ void Scheduler::stage_port_triggers(BasePort& port) {
 }
 
 void Scheduler::register_set_port(BasePort& port) {
+  if (WorkerSlot* slot = active_slot_) {
+    slot->records.push_back(StagedRecord{active_batch_index_, true, &port});
+    return;
+  }
   const std::lock_guard<std::mutex> lock(staging_mutex_);
   set_ports_.push_back(&port);
 }
@@ -177,33 +218,55 @@ void Scheduler::execute_reaction(Reaction& reaction) {
     trace_.record(current_tag_, reaction.fqn(), violated);
   }
   reaction.execute(current_tag_, physical_now);
-  reactions_executed_.fetch_add(1, std::memory_order_relaxed);
+  worker_slots_[0].reactions_executed.fetch_add(1, std::memory_order_relaxed);
   if (exec_cost_hook_) {
     busy_offset_ += exec_cost_hook_(reaction);
   }
+}
+
+void Scheduler::execute_reaction_parallel(Reaction& reaction, WorkerSlot& slot,
+                                          std::uint32_t batch_index) {
+  // current_tag_ is stable for the whole level (the publish of the level
+  // cursor ordered the tag write before any claim).
+  active_batch_index_ = batch_index;
+  const TimePoint physical_now = clock_.now();
+  const bool violated =
+      reaction.has_deadline() && physical_now > current_tag_.time + reaction.deadline();
+  if (violated) {
+    deadline_violations_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (trace_.enabled()) {
+    slot.trace.push_back(LocalTraceRecord{batch_index, violated});
+  }
+  reaction.execute(current_tag_, physical_now);
+  slot.reactions_executed.fetch_add(1, std::memory_order_relaxed);
 }
 
 void Scheduler::execute_staged() {
   for (std::size_t level = 0; level < staged_.size(); ++level) {
     // Swap with the reused batch buffer: the two vectors' capacities
     // rotate, so no level allocates in steady state.
-    level_batch_.clear();
+    level_batch_buffer_.clear();
     {
       const std::lock_guard<std::mutex> lock(staging_mutex_);
       current_level_ = static_cast<int>(level);
-      level_batch_.swap(staged_[level]);
+      level_batch_buffer_.swap(staged_[level]);
     }
-    if (level_batch_.empty()) {
+    if (level_batch_buffer_.empty()) {
       continue;
     }
-    if (workers_ <= 1 || level_batch_.size() == 1) {
-      for (Reaction* reaction : level_batch_) {
+    // Serial fast path: single worker, single reaction, or modeled
+    // execution cost (sequential by definition — the DES driver).
+    if (workers_ <= 1 || level_batch_buffer_.size() == 1 || exec_cost_hook_ ||
+        level_batch_buffer_.size() > kMaxLevelWidth) {
+      for (Reaction* reaction : level_batch_buffer_) {
         execute_reaction(*reaction);
       }
     } else {
-      run_level_parallel(level_batch_);
+      run_level_parallel(level_batch_buffer_);
     }
-    executed_buffer_.insert(executed_buffer_.end(), level_batch_.begin(), level_batch_.end());
+    executed_buffer_.insert(executed_buffer_.end(), level_batch_buffer_.begin(),
+                            level_batch_buffer_.end());
   }
   {
     const std::lock_guard<std::mutex> lock(staging_mutex_);
@@ -212,50 +275,176 @@ void Scheduler::execute_staged() {
 }
 
 void Scheduler::run_level_parallel(const std::vector<Reaction*>& level_reactions) {
-  {
-    const std::lock_guard<std::mutex> lock(pool_mutex_);
-    pool_buffer_ = level_reactions;
-    pool_work_ = &pool_buffer_;
-    pool_index_.store(0, std::memory_order_relaxed);
-    ++pool_generation_;
+  const auto size = static_cast<std::uint32_t>(level_reactions.size());
+  // Chunked claims amortize the cursor CAS; / 4 keeps the tail balanced
+  // when reaction costs are skewed.
+  const std::uint32_t chunk =
+      std::max<std::uint32_t>(1, size / (static_cast<std::uint32_t>(workers_) * 4));
+  level_completed_.store(0, std::memory_order_relaxed);
+  level_batch_.store(level_reactions.data(), std::memory_order_relaxed);
+  level_size_.store(size, std::memory_order_relaxed);
+  level_chunk_.store(chunk, std::memory_order_relaxed);
+  // Truncate to the cursor's 40 generation bits on the publish side too,
+  // so the orchestrator's equality checks in work_on_level keep matching
+  // after the counter wraps.
+  const std::uint64_t generation = ++level_generation_ & kGenMask;
+  // seq_cst publish: orders the store against the parked_workers_ read
+  // below, closing the park/publish race without a lock.
+  level_cursor_.store(generation << kGenShift, std::memory_order_seq_cst);
+  if (size >= kParkedNotifyFloor && parked_workers_.load(std::memory_order_seq_cst) > 0) {
+    { const std::lock_guard<std::mutex> lock(park_mutex_); }
+    park_cv_.notify_all();
   }
-  pool_cv_.notify_all();
-  // The orchestrating thread participates too.
-  for (;;) {
-    const std::size_t index = pool_index_.fetch_add(1, std::memory_order_relaxed);
-    if (index >= pool_buffer_.size()) {
-      break;
+
+  // The orchestrating thread claims chunks too.
+  work_on_level(generation, worker_slots_[0]);
+
+  // Completion barrier: wait for every *claimed* reaction, never for idle
+  // workers — a parked worker that claimed nothing costs nothing here.
+  int spins = 0;
+  while (level_completed_.load(std::memory_order_acquire) != size) {
+    if (++spins >= kSpinsBeforePark) {
+      std::this_thread::yield();  // claimant likely descheduled (small host)
+      spins = 0;
+    } else {
+      cpu_pause();
     }
-    execute_reaction(*pool_buffer_[index]);
   }
-  std::unique_lock<std::mutex> lock(pool_mutex_);
-  pool_done_cv_.wait(lock, [this] { return pool_active_ == 0; });
+  merge_level_effects(level_reactions);
 }
 
-void Scheduler::worker_loop() {
-  std::unique_lock<std::mutex> lock(pool_mutex_);
+void Scheduler::work_on_level(std::uint64_t generation, WorkerSlot& slot) {
+  WorkerSlot* const previous_slot = active_slot_;
+  active_slot_ = &slot;
+  for (;;) {
+    std::uint64_t cursor = level_cursor_.load(std::memory_order_acquire);
+    if ((cursor >> kGenShift) != generation) {
+      break;  // level finished and superseded while we were away
+    }
+    const std::uint32_t size = level_size_.load(std::memory_order_relaxed);
+    const std::uint32_t chunk = level_chunk_.load(std::memory_order_relaxed);
+    const auto index = static_cast<std::uint32_t>(cursor & kIndexMask);
+    if (index >= size) {
+      break;  // every reaction claimed
+    }
+    const std::uint32_t next = std::min(index + chunk, size);
+    if (!level_cursor_.compare_exchange_weak(cursor, (generation << kGenShift) | next,
+                                             std::memory_order_acq_rel,
+                                             std::memory_order_relaxed)) {
+      continue;  // lost the race (or the level changed) — re-evaluate
+    }
+    // The successful CAS proves the level was current and incomplete, so
+    // the published batch pointer cannot have been republished since.
+    Reaction* const* batch = level_batch_.load(std::memory_order_relaxed);
+    for (std::uint32_t i = index; i < next; ++i) {
+      execute_reaction_parallel(*batch[i], slot, i);
+    }
+    level_completed_.fetch_add(next - index, std::memory_order_acq_rel);
+  }
+  active_slot_ = previous_slot;
+}
+
+void Scheduler::worker_loop(std::size_t worker_index) {
+  WorkerSlot& slot = worker_slots_[worker_index];
   std::uint64_t seen_generation = 0;
   for (;;) {
-    pool_cv_.wait(lock,
-                  [&] { return pool_shutdown_ || pool_generation_ != seen_generation; });
-    if (pool_shutdown_) {
+    std::uint64_t cursor = level_cursor_.load(std::memory_order_acquire);
+    if (pool_shutdown_.load(std::memory_order_acquire)) {
       return;
     }
-    seen_generation = pool_generation_;
-    const std::vector<Reaction*>* work = pool_work_;
-    ++pool_active_;
-    lock.unlock();
+    if ((cursor >> kGenShift) == seen_generation) {
+      // Spin briefly (bridges the inter-level gap of a busy stream), then
+      // park with a timed re-probe.
+      int spins = 0;
+      for (;;) {
+        cpu_pause();
+        cursor = level_cursor_.load(std::memory_order_acquire);
+        if (pool_shutdown_.load(std::memory_order_acquire)) {
+          return;
+        }
+        if ((cursor >> kGenShift) != seen_generation) {
+          break;
+        }
+        if (++spins >= kSpinsBeforePark) {
+          std::unique_lock<std::mutex> lock(park_mutex_);
+          parked_workers_.fetch_add(1, std::memory_order_seq_cst);
+          park_cv_.wait_for(lock, kParkPoll, [&] {
+            return pool_shutdown_.load(std::memory_order_acquire) ||
+                   (level_cursor_.load(std::memory_order_acquire) >> kGenShift) !=
+                       seen_generation;
+          });
+          parked_workers_.fetch_sub(1, std::memory_order_relaxed);
+          spins = 0;
+        }
+      }
+    }
+    seen_generation = cursor >> kGenShift;
+    work_on_level(seen_generation, slot);
+  }
+}
+
+void Scheduler::merge_level_effects(const std::vector<Reaction*>& level_reactions) {
+  const std::lock_guard<std::mutex> lock(staging_mutex_);
+  // K-way merge of the per-worker effect buffers in batch-index order:
+  // each worker's buffer is already sorted (claims are monotonic), and an
+  // index executes on exactly one worker, so the merged stream replays the
+  // exact staging/cleanup sequence of a serial execution.
+  for (std::size_t w = 0; w < worker_slot_count_; ++w) {
+    worker_slots_[w].merge_cursor = 0;
+  }
+  for (;;) {
+    WorkerSlot* best = nullptr;
+    for (std::size_t w = 0; w < worker_slot_count_; ++w) {
+      WorkerSlot& slot = worker_slots_[w];
+      if (slot.merge_cursor >= slot.records.size()) {
+        continue;
+      }
+      if (best == nullptr || slot.records[slot.merge_cursor].batch_index <
+                                 best->records[best->merge_cursor].batch_index) {
+        best = &slot;
+      }
+    }
+    if (best == nullptr) {
+      break;
+    }
+    const StagedRecord& record = best->records[best->merge_cursor++];
+    if (record.set_port) {
+      set_ports_.push_back(record.port);
+    } else {
+      assert(record.port->triggered_closure().empty() ||
+             record.port->triggered_closure().front()->level() > current_level_);
+      for (Reaction* reaction : record.port->triggered_closure()) {
+        stage_locked(*reaction);
+      }
+    }
+  }
+  for (std::size_t w = 0; w < worker_slot_count_; ++w) {
+    worker_slots_[w].records.clear();
+  }
+  if (trace_.enabled()) {
+    for (std::size_t w = 0; w < worker_slot_count_; ++w) {
+      worker_slots_[w].merge_cursor = 0;
+    }
     for (;;) {
-      const std::size_t index = pool_index_.fetch_add(1, std::memory_order_relaxed);
-      if (index >= work->size()) {
+      WorkerSlot* best = nullptr;
+      for (std::size_t w = 0; w < worker_slot_count_; ++w) {
+        WorkerSlot& slot = worker_slots_[w];
+        if (slot.merge_cursor >= slot.trace.size()) {
+          continue;
+        }
+        if (best == nullptr || slot.trace[slot.merge_cursor].batch_index <
+                                   best->trace[best->merge_cursor].batch_index) {
+          best = &slot;
+        }
+      }
+      if (best == nullptr) {
         break;
       }
-      execute_reaction(*(*work)[index]);
+      const LocalTraceRecord& record = best->trace[best->merge_cursor++];
+      trace_.record(current_tag_, level_reactions[record.batch_index]->fqn(), record.violated);
     }
-    lock.lock();
-    --pool_active_;
-    if (pool_active_ == 0) {
-      pool_done_cv_.notify_all();
+    for (std::size_t w = 0; w < worker_slot_count_; ++w) {
+      worker_slots_[w].trace.clear();
     }
   }
 }
@@ -317,7 +506,7 @@ void Scheduler::run_threaded() {
   }
   // Spawn the worker pool (the orchestrating thread is worker 0).
   for (unsigned i = 1; i < workers_; ++i) {
-    worker_threads_.emplace_back([this] { worker_loop(); });
+    worker_threads_.emplace_back([this, i] { worker_loop(i); });
   }
 
   start_at(Tag{clock_.now(), 0});

@@ -14,11 +14,24 @@
 // (design decision documented in DESIGN.md §5). Events are never handled
 // before physical time exceeds their tag, which is what makes externally
 // tagged events (PTIDES safe-to-process) safe.
+//
+// Level execution is contention-free: the orchestrator publishes each
+// level batch through a generation-stamped atomic cursor, workers CAS-claim
+// chunks of it, and a completion counter replaces the old mutex+cv barrier
+// — the orchestrator never waits for a worker that claimed nothing, so a
+// worker pool on an oversubscribed host costs (almost) nothing. Reactions
+// executing in parallel stage their downstream triggers into private
+// per-worker buffers that are merged back in deterministic (level,
+// batch-index) order, so staging, port cleanup and the execution trace are
+// bit-identical to a serial run at every worker count (asserted by
+// tests/reactor/parallel_conformance_test.cpp).
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <span>
@@ -162,7 +175,11 @@ class Scheduler {
   [[nodiscard]] const Tag& start_tag() const noexcept { return start_tag_; }
   [[nodiscard]] std::uint64_t tags_processed() const noexcept { return tags_processed_; }
   [[nodiscard]] std::uint64_t reactions_executed() const noexcept {
-    return reactions_executed_.load(std::memory_order_relaxed);
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < worker_slot_count_; ++i) {
+      total += worker_slots_[i].reactions_executed.load(std::memory_order_relaxed);
+    }
+    return total;
   }
   [[nodiscard]] std::uint64_t deadline_violations() const noexcept {
     return deadline_violations_.load(std::memory_order_relaxed);
@@ -176,6 +193,42 @@ class Scheduler {
 
  private:
   enum class State : std::uint8_t { kIdle, kRunning, kFinished };
+
+  // --- contention-free level pool types ----------------------------------------
+
+  /// One effect recorded by a reaction executing on a worker: either a set
+  /// port whose trigger closure must be staged, or a port registered for
+  /// end-of-tag cleanup. batch_index (the producing reaction's position in
+  /// the level batch) keys the deterministic merge.
+  struct StagedRecord {
+    std::uint32_t batch_index;
+    bool set_port;
+    BasePort* port;
+  };
+  struct LocalTraceRecord {
+    std::uint32_t batch_index;
+    bool violated;
+  };
+  /// Per-worker state, cache-line aligned: the execution counter and the
+  /// private staging/trace buffers are written by exactly one worker, and
+  /// padding keeps neighbouring workers' writes off each other's lines.
+  struct alignas(64) WorkerSlot {
+    std::atomic<std::uint64_t> reactions_executed{0};
+    std::vector<StagedRecord> records;
+    std::vector<LocalTraceRecord> trace;
+    std::size_t merge_cursor{0};
+  };
+
+  /// level_cursor_ layout: generation << kGenShift | next unclaimed index.
+  /// The generation stamp makes stale CAS attempts fail instead of
+  /// claiming into a republished batch. Both sides truncate to 40 bits, so
+  /// wrap is harmless for the protocol itself; an ABA claim would need a
+  /// worker to stall across exactly a multiple of 2^40 published levels
+  /// (days of continuous level turnover) between two loads.
+  static constexpr std::uint64_t kGenShift = 24;
+  static constexpr std::uint64_t kIndexMask = (std::uint64_t{1} << kGenShift) - 1;
+  static constexpr std::uint64_t kGenMask = (std::uint64_t{1} << 40) - 1;
+  static constexpr std::uint32_t kMaxLevelWidth = static_cast<std::uint32_t>(kIndexMask);
 
   /// Pops all actions at `tag`, runs setup, stages triggered reactions.
   /// Requires the lock; `is_stop` additionally triggers shutdown actions.
@@ -196,8 +249,16 @@ class Scheduler {
   void finalize_tag_locked();
 
   void run_level_parallel(const std::vector<Reaction*>& level_reactions);
-  void worker_loop();
+  /// CAS-claims chunks of the published level until none remain (workers
+  /// and the orchestrator both run this).
+  void work_on_level(std::uint64_t generation, WorkerSlot& slot);
+  void worker_loop(std::size_t worker_index);
+  /// Replays the workers' private effect/trace buffers in batch-index
+  /// order — the exact order a serial execution would have produced.
+  void merge_level_effects(const std::vector<Reaction*>& level_reactions);
   void execute_reaction(Reaction& reaction);
+  void execute_reaction_parallel(Reaction& reaction, WorkerSlot& slot,
+                                 std::uint32_t batch_index);
 
   Environment& environment_;
   PhysicalClock& clock_;
@@ -227,7 +288,7 @@ class Scheduler {
   std::vector<BaseAction*> active_actions_;
   // Reused per-tag scratch (zero steady-state allocations in the loop).
   std::vector<BaseAction*> popped_actions_;
-  std::vector<Reaction*> level_batch_;
+  std::vector<Reaction*> level_batch_buffer_;
   std::vector<Reaction*> executed_buffer_;
 
   // Configuration.
@@ -235,17 +296,26 @@ class Scheduler {
   bool keepalive_{false};
   Duration timeout_{-1};
 
-  // Worker pool (threaded driver only).
+  // Worker pool (threaded driver only). The orchestrator owns slot 0.
   std::vector<std::thread> worker_threads_;
-  std::mutex pool_mutex_;
-  std::condition_variable pool_cv_;
-  std::condition_variable pool_done_cv_;
-  const std::vector<Reaction*>* pool_work_{nullptr};
-  std::vector<Reaction*> pool_buffer_;
-  std::atomic<std::size_t> pool_index_{0};
-  std::size_t pool_active_{0};
-  std::uint64_t pool_generation_{0};
-  bool pool_shutdown_{false};
+  std::unique_ptr<WorkerSlot[]> worker_slots_;
+  std::size_t worker_slot_count_{1};
+  std::atomic<std::uint64_t> level_cursor_{0};
+  std::atomic<std::uint32_t> level_size_{0};
+  std::atomic<std::uint32_t> level_chunk_{1};
+  std::atomic<std::uint32_t> level_completed_{0};
+  std::atomic<Reaction* const*> level_batch_{nullptr};
+  std::uint64_t level_generation_{0};  // orchestrator-only
+  std::atomic<bool> pool_shutdown_{false};
+  std::atomic<int> parked_workers_{0};
+  std::mutex park_mutex_;
+  std::condition_variable park_cv_;
+
+  /// The executing worker's slot while a parallel level is in flight on
+  /// this thread (null otherwise → reaction effects take the locked path).
+  static thread_local WorkerSlot* active_slot_;
+  /// Batch index of the reaction currently executing on this thread.
+  static thread_local std::uint32_t active_batch_index_;
 
   std::function<Duration(const Reaction&)> exec_cost_hook_;
   Duration busy_offset_{0};
@@ -255,7 +325,6 @@ class Scheduler {
   std::vector<Timer*> timers_;
 
   std::uint64_t tags_processed_{0};
-  std::atomic<std::uint64_t> reactions_executed_{0};
   std::atomic<std::uint64_t> deadline_violations_{0};
   Trace trace_;
 };

@@ -18,7 +18,11 @@
 
 namespace dear::scenario {
 
-struct ScenarioResult {
+/// Cache-line aligned: campaign workers write neighbouring slots of the
+/// preallocated result matrix concurrently, and without the alignment two
+/// workers' outcome stores false-share one line around every slot
+/// boundary (measured against the batch runner's claim cursor).
+struct alignas(64) ScenarioResult {
   ScenarioSpec spec;
   RunOutcome outcome;
   /// Host wall-clock seconds this run took (not part of report_digest()).

@@ -1,5 +1,6 @@
 #include "scenario/runner.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cinttypes>
@@ -91,22 +92,43 @@ CampaignReport CampaignRunner::run(std::string name, std::vector<ScenarioSpec> s
   }
 
   const auto batch_start = Clock::now();
-  // Workers claim scenarios off a shared cursor and write into their
-  // matrix slot; no other cross-thread state exists, so the report is
-  // independent of claim order by construction.
+  // Workers claim scenarios off a shared cursor in small batches and write
+  // into their (cache-line aligned) matrix slots; no other cross-thread
+  // state exists, so the report is independent of claim order by
+  // construction. Each worker's memory traffic stays in its own
+  // thread-local pool magazines (SmallBlockPool/BufferPool): the first
+  // scenario warms them, every later scenario reuses them as a per-worker
+  // scratch arena, and the registered drain returns them to the global
+  // shelves when the worker exits — steady state touches no shared
+  // allocator state at all (asserted by tests/perf/alloc_count_test.cpp).
+  const std::size_t total = report.results.size();
   std::atomic<std::size_t> cursor{0};
+  // Never oversubscribe the machine: scenarios are CPU-bound, so a pool
+  // beyond the core count only adds context-switch and cache-thrash
+  // overhead (the old 2-worker-slower-than-serial row on a 1-core host).
+  // report.workers keeps the *requested* count — results are worker-count
+  // independent by construction, so the effective pool size is purely a
+  // wall-time decision.
+  const unsigned hardware = std::thread::hardware_concurrency();
   const std::size_t pool_size =
-      std::min(report.workers, std::max<std::size_t>(report.results.size(), 1));
+      std::min({report.workers, std::max<std::size_t>(total, 1),
+                static_cast<std::size_t>(hardware != 0 ? hardware : 1)});
+  // Batched claims amortize the cursor; capped so the tail stays balanced.
+  const std::size_t claim =
+      std::clamp<std::size_t>(total / (std::max<std::size_t>(pool_size, 1) * 16), 1, 8);
   auto work = [&]() {
     while (true) {
-      const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
-      if (i >= report.results.size()) {
+      const std::size_t begin = cursor.fetch_add(claim, std::memory_order_relaxed);
+      if (begin >= total) {
         return;
       }
-      ScenarioResult& slot = report.results[i];
-      const auto start = Clock::now();
-      slot.outcome = run_scenario(slot.spec);
-      slot.wall_seconds = seconds_since(start);
+      const std::size_t end = std::min(begin + claim, total);
+      for (std::size_t i = begin; i < end; ++i) {
+        ScenarioResult& slot = report.results[i];
+        const auto start = Clock::now();
+        slot.outcome = run_scenario(slot.spec);
+        slot.wall_seconds = seconds_since(start);
+      }
     }
   };
   if (pool_size <= 1) {

@@ -3,11 +3,15 @@
 // Every scenario is an independent single-threaded DES run (own kernel,
 // network, runtimes, rng streams — audited: no state is shared between
 // runs), so the runner is an embarrassingly-parallel batch executor: a
-// fixed pool of workers claims scenarios off an atomic cursor and writes
-// results into preallocated matrix slots. Result content is a pure
-// function of the campaign spec; worker count and claim order only affect
-// wall time, which the scenario tests pin down by comparing report
-// digests across worker counts.
+// fixed pool of workers claims scenario batches off an atomic cursor and
+// writes results into preallocated, cache-line aligned matrix slots.
+// Between the thread-local pool magazines (each worker's scratch arena,
+// reused across its scenarios and drained back on exit) and the aligned
+// slots, a steady-state worker shares no allocator state and no cache
+// lines with its peers. Result content is a pure function of the campaign
+// spec; worker count and claim order only affect wall time, which the
+// scenario tests pin down by comparing report digests across worker
+// counts.
 //
 // After the batch, the runner evaluates the subsystem's first-class
 // determinism invariants: scenarios for which the paper's assumptions

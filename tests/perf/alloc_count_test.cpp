@@ -9,18 +9,32 @@
 // hot-path overhaul makes; any future per-event allocation regresses them
 // loudly here rather than silently in a profile.
 //
-// All tests are single-threaded: the counter observes only the workload
-// between the snapshots.
+// The ShelfLock tests guard the concurrency half of the pooling story:
+// SmallBlockPool and BufferPool serve their steady state entirely from
+// per-thread magazines, so the global-shelf spinlocks (counted by
+// shelf_lock_count()) are touched only while a thread warms up or drains —
+// never per allocation. A campaign worker's scenarios and the threaded
+// scheduler's event stream must both show ZERO marginal shelf locks.
+//
+// The allocation-count tests are single-threaded: the counter observes
+// only the workload between the snapshots.
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <cstdint>
 #include <cstdlib>
+#include <memory>
 #include <new>
+#include <thread>
 #include <vector>
 
 #include "common/buffer_pool.hpp"
+#include "common/pool_allocator.hpp"
 #include "reactor/runtime.hpp"
+#include "../reactor/reactor_fixture.hpp"
+#include "scenario/presets.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/workloads.hpp"
 #include "someip/message.hpp"
 
 namespace {
@@ -143,6 +157,99 @@ TEST(AllocCount, ValuePoolRecyclesEventValues) {
     value.reset();
   }
   EXPECT_EQ(allocation_count() - before, 0u);
+}
+
+std::uint64_t shelf_locks() {
+  return common::SmallBlockPool::instance().shelf_lock_count() +
+         common::BufferPool::instance().shelf_lock_count();
+}
+
+TEST(ShelfLocks, CampaignWorkerSteadyStateTakesNoShelfLocks) {
+  // A campaign worker is a thread running independent DES scenarios back
+  // to back. Its first scenario warms the thread-local magazines; every
+  // later one must recycle through them without a single global-shelf
+  // lock — the per-worker scratch arena the batch runner relies on.
+  const auto campaign = scenario::presets::throughput(12, 60, 1);
+  const std::vector<scenario::ScenarioSpec> scenarios = campaign.expand();
+  std::uint64_t steady_locks = 0;
+  std::thread worker([&] {
+    (void)scenario::run_scenario(scenarios[0]);  // warm this thread's magazines
+    (void)scenario::run_scenario(scenarios[1]);
+    const std::uint64_t before = shelf_locks();
+    for (std::size_t i = 2; i < scenarios.size(); ++i) {
+      (void)scenario::run_scenario(scenarios[i]);
+    }
+    steady_locks = shelf_locks() - before;
+  });
+  worker.join();
+  EXPECT_EQ(steady_locks, 0u) << "steady-state scenarios reached the global shelves "
+                              << steady_locks << " times";
+}
+
+TEST(ShelfLocks, TwoWorkerCampaignShelfLocksStayFlat) {
+  // Whole 2-worker campaigns: total shelf traffic is a constant per worker
+  // (magazine warmup + exit drain), independent of how many scenarios the
+  // campaign runs. 24 extra scenarios — millions of pooled allocations —
+  // must not add a single marginal lock beyond that per-thread budget.
+  const auto run_campaign = [](std::uint64_t scenario_count) {
+    scenario::RunnerOptions options;
+    options.workers = 2;
+    const auto report =
+        scenario::CampaignRunner(options).run(scenario::presets::throughput(scenario_count, 60, 1));
+    ASSERT_TRUE(report.invariants_ok());
+  };
+  run_campaign(8);  // warm the global shelves themselves
+  const std::uint64_t before_small = shelf_locks();
+  run_campaign(8);
+  const std::uint64_t small_delta = shelf_locks() - before_small;
+  const std::uint64_t before_large = shelf_locks();
+  run_campaign(32);
+  const std::uint64_t large_delta = shelf_locks() - before_large;
+  // Equal thread count -> equal warm/drain budget; allow one worker's
+  // warm+drain of slack for scheduling skew (a worker that never claimed
+  // a scenario in the small run touches nothing).
+  constexpr std::uint64_t kPerWorkerBudget = 24;
+  EXPECT_LE(large_delta, small_delta + kPerWorkerBudget)
+      << "shelf locks grew with scenario count: " << small_delta << " -> " << large_delta;
+  EXPECT_LE(large_delta, 2 * kPerWorkerBudget + 8)
+      << "2-worker campaign took " << large_delta << " shelf locks";
+}
+
+TEST(ShelfLocks, ThreadedSchedulerSteadyStateTakesNoShelfLocks) {
+  // Threaded fan-out with a 2-worker pool: all pooled traffic (action
+  // values, port values) allocates and frees on the orchestrating thread,
+  // whose magazines reach steady state during the warm run; the pool
+  // workers execute sink reactions that allocate nothing. Quadrupling the
+  // event count must add zero shelf locks.
+  using namespace dear::reactor;
+  const auto run_fanout = [](std::int64_t events) {
+    RealClock clock;
+    Environment::Config config;
+    config.workers = 2;
+    Environment env(clock, config);
+    // delay 1: distinct tag times per event (the conformance tests cover
+    // the microstep-packed delay-0 loop).
+    reactor::testing::LoopSource source(env, events, 1);
+    std::vector<std::unique_ptr<reactor::testing::LoopSink>> sinks;
+    for (int i = 0; i < 8; ++i) {
+      sinks.push_back(
+          std::make_unique<reactor::testing::LoopSink>(env, "sink" + std::to_string(i)));
+      env.connect(source.out, sinks.back()->in);
+    }
+    env.run();
+  };
+  run_fanout(400);  // warm the orchestrator's magazines
+  const std::uint64_t before_small = shelf_locks();
+  run_fanout(400);
+  const std::uint64_t small_delta = shelf_locks() - before_small;
+  const std::uint64_t before_large = shelf_locks();
+  run_fanout(1600);
+  const std::uint64_t large_delta = shelf_locks() - before_large;
+  EXPECT_EQ(large_delta, small_delta)
+      << "threaded scheduler shelf locks grew with event count: " << small_delta << " -> "
+      << large_delta;
+  EXPECT_EQ(small_delta, 0u) << "warm threaded run still took " << small_delta
+                             << " shelf locks";
 }
 
 TEST(AllocCount, BufferPoolRecyclesWireBuffers) {

@@ -1,0 +1,198 @@
+// Parallel conformance: the threaded scheduler at 1/2/4 workers produces
+// bit-identical raw execution traces — not just sorted-within-tag equal —
+// and identical tag sequences on the pipeline, fan-out and microstep
+// topologies (the same families the event-queue conformance suite pins
+// down on the queue itself).
+//
+// This is the end-to-end guarantee behind the contention-free level pool:
+// reactions executing concurrently stage their effects into per-worker
+// buffers that are merged in (level, batch-index) order, so staging order,
+// port cleanup order and the trace are exactly what a serial execution
+// produces. Any scheduling leak into observable order shows up here as a
+// digest mismatch.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/digest.hpp"
+#include "reactor_fixture.hpp"
+
+namespace dear::reactor {
+namespace {
+
+using testing::LoopRelay;
+using testing::LoopSink;
+using testing::LoopSource;
+
+struct RunDigests {
+  std::uint64_t trace{0};     // raw (tag, fqn, violated) sequence, relative tags
+  std::uint64_t tags{0};      // processed tag sequence, relative
+  std::int64_t checksum{0};   // functional output (sink sums)
+  std::uint64_t reactions{0};
+
+  bool operator==(const RunDigests&) const = default;
+};
+
+/// Digests the raw trace in recording order — tags relative to the start
+/// tag so real-clock runs compare across processes.
+RunDigests digest_run(Environment& env, std::int64_t checksum) {
+  RunDigests digests;
+  digests.checksum = checksum;
+  digests.reactions = env.scheduler().reactions_executed();
+  const TimePoint start = env.start_time();
+  Tag previous = Tag::maximum();
+  for (const TraceRecord& record : env.trace().records()) {
+    common::mix_digest(digests.trace, static_cast<std::uint64_t>(record.tag.time - start));
+    common::mix_digest(digests.trace, record.tag.microstep);
+    for (const char c : record.reaction) {
+      common::mix_digest(digests.trace, static_cast<std::uint64_t>(c));
+    }
+    common::mix_digest(digests.trace, record.deadline_violated ? 1 : 0);
+    if (!(record.tag == previous)) {
+      previous = record.tag;
+      common::mix_digest(digests.tags, static_cast<std::uint64_t>(record.tag.time - start));
+      common::mix_digest(digests.tags, record.tag.microstep);
+    }
+  }
+  return digests;
+}
+
+Environment::Config traced_config(unsigned workers) {
+  Environment::Config config;
+  config.workers = workers;
+  config.tracing = true;
+  return config;
+}
+
+/// source -> relay x4 -> sink: deep levels, one reaction each (the serial
+/// fast path must interleave identically with the parallel one).
+RunDigests run_pipeline(unsigned workers, std::int64_t events) {
+  RealClock clock;
+  Environment env(clock, traced_config(workers));
+  LoopSource source(env, events);
+  std::vector<std::unique_ptr<LoopRelay>> relays;
+  for (int i = 0; i < 4; ++i) {
+    relays.push_back(std::make_unique<LoopRelay>(env, "relay" + std::to_string(i)));
+  }
+  LoopSink sink(env, "sink");
+  Output<std::int64_t>* previous = &source.out;
+  for (auto& relay : relays) {
+    env.connect(*previous, relay->in);
+    previous = &relay->out;
+  }
+  env.connect(*previous, sink.in);
+  env.run();
+  return digest_run(env, sink.sum);
+}
+
+/// source -> 8 sinks: one 8-wide level per event, the parallel claim path.
+RunDigests run_fanout(unsigned workers, std::int64_t events) {
+  RealClock clock;
+  Environment env(clock, traced_config(workers));
+  LoopSource source(env, events);
+  std::vector<std::unique_ptr<LoopSink>> sinks;
+  std::int64_t checksum = 0;
+  for (int i = 0; i < 8; ++i) {
+    sinks.push_back(std::make_unique<LoopSink>(env, "sink" + std::to_string(i)));
+    env.connect(source.out, sinks.back()->in);
+  }
+  env.run();
+  for (std::size_t i = 0; i < sinks.size(); ++i) {
+    checksum += sinks[i]->sum * static_cast<std::int64_t>(i + 1);
+  }
+  return digest_run(env, checksum);
+}
+
+/// Two chained zero-delay actions per frame: every frame walks microsteps
+/// (t, m) -> (t, m+1), each microstep fanning out to its own sinks.
+class MicrostepSource final : public Reactor {
+ public:
+  Output<std::int64_t> out_a{"out_a", this};
+  Output<std::int64_t> out_b{"out_b", this};
+
+  MicrostepSource(Environment& env, std::int64_t limit)
+      : Reactor("microstep_source", env), limit_(limit) {
+    add_reaction("kick", [this] { a_.schedule(Empty{}); }).triggered_by(startup_);
+    add_reaction("on_a",
+                 [this] {
+                   out_a.set(count_);
+                   b_.schedule(Empty{});  // same time, next microstep
+                 })
+        .triggered_by(a_)
+        .writes(out_a);
+    add_reaction("on_b",
+                 [this] {
+                   out_b.set(count_ * 3);
+                   if (++count_ < limit_) {
+                     a_.schedule(Empty{}, 1);
+                   } else {
+                     request_shutdown();
+                   }
+                 })
+        .triggered_by(b_)
+        .writes(out_b);
+  }
+
+ private:
+  StartupTrigger startup_{"startup", this};
+  LogicalAction<Empty> a_{"a", this};
+  LogicalAction<Empty> b_{"b", this};
+  std::int64_t limit_;
+  std::int64_t count_{0};
+};
+
+RunDigests run_microstep(unsigned workers, std::int64_t events) {
+  RealClock clock;
+  Environment env(clock, traced_config(workers));
+  MicrostepSource source(env, events);
+  std::vector<std::unique_ptr<LoopSink>> sinks;
+  std::int64_t checksum = 0;
+  for (int i = 0; i < 3; ++i) {
+    sinks.push_back(std::make_unique<LoopSink>(env, "sink_a" + std::to_string(i)));
+    env.connect(source.out_a, sinks.back()->in);
+    sinks.push_back(std::make_unique<LoopSink>(env, "sink_b" + std::to_string(i)));
+    env.connect(source.out_b, sinks.back()->in);
+  }
+  env.run();
+  for (std::size_t i = 0; i < sinks.size(); ++i) {
+    checksum += sinks[i]->sum * static_cast<std::int64_t>(i + 1);
+  }
+  return digest_run(env, checksum);
+}
+
+constexpr std::int64_t kEvents = 300;
+
+class ParallelConformanceTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ParallelConformanceTest, PipelineTraceBitIdenticalToSerial) {
+  const RunDigests reference = run_pipeline(1, kEvents);
+  const RunDigests parallel = run_pipeline(GetParam(), kEvents);
+  EXPECT_EQ(parallel, reference);
+}
+
+TEST_P(ParallelConformanceTest, FanoutTraceBitIdenticalToSerial) {
+  const RunDigests reference = run_fanout(1, kEvents);
+  const RunDigests parallel = run_fanout(GetParam(), kEvents);
+  EXPECT_EQ(parallel, reference);
+}
+
+TEST_P(ParallelConformanceTest, MicrostepTraceBitIdenticalToSerial) {
+  const RunDigests reference = run_microstep(1, kEvents);
+  const RunDigests parallel = run_microstep(GetParam(), kEvents);
+  EXPECT_EQ(parallel, reference);
+}
+
+INSTANTIATE_TEST_SUITE_P(Workers, ParallelConformanceTest, ::testing::Values(2u, 4u));
+
+TEST(ParallelConformance, RepeatedParallelRunsIdentical) {
+  const RunDigests first = run_fanout(4, kEvents);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(run_fanout(4, kEvents), first);
+  }
+}
+
+}  // namespace
+}  // namespace dear::reactor

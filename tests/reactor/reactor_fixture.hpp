@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <string>
 #include <vector>
 
 #include "reactor/runtime.hpp"
@@ -79,5 +81,62 @@ inline void run_sim(Environment& env, sim::Kernel& kernel, Duration horizon,
   driver.start();
   kernel.run_until(horizon);
 }
+
+// --- logical-action-loop topology blocks (pipeline / fan-out tests) --------
+// The benches keep their own equivalents in bench/topologies.hpp — the test
+// tree must not depend on bench sources.
+
+/// Emits 0..limit-1 through a self-rescheduling logical action (`delay`
+/// selects back-to-back microsteps (0) or distinct tag times (>0)), then
+/// requests shutdown.
+class LoopSource final : public Reactor {
+ public:
+  Output<std::int64_t> out{"out", this};
+
+  LoopSource(Environment& env, std::int64_t limit, Duration delay = 0)
+      : Reactor("source", env), limit_(limit), delay_(delay) {
+    add_reaction("kick", [this] { action_.schedule(Empty{}); }).triggered_by(startup_);
+    add_reaction("emit",
+                 [this] {
+                   out.set(count_);
+                   if (++count_ < limit_) {
+                     action_.schedule(Empty{}, delay_);
+                   } else {
+                     request_shutdown();
+                   }
+                 })
+        .triggered_by(action_)
+        .writes(out);
+  }
+
+ private:
+  StartupTrigger startup_{"startup", this};
+  LogicalAction<Empty> action_{"tick", this};
+  std::int64_t limit_;
+  Duration delay_;
+  std::int64_t count_{0};
+};
+
+/// Forwards in + 1.
+class LoopRelay final : public Reactor {
+ public:
+  Input<std::int64_t> in{"in", this};
+  Output<std::int64_t> out{"out", this};
+
+  LoopRelay(Environment& env, std::string name) : Reactor(std::move(name), env) {
+    add_reaction("relay", [this] { out.set(in.get() + 1); }).triggered_by(in).writes(out);
+  }
+};
+
+/// Accumulates every received value.
+class LoopSink final : public Reactor {
+ public:
+  Input<std::int64_t> in{"in", this};
+  std::int64_t sum{0};
+
+  explicit LoopSink(Environment& env, std::string name) : Reactor(std::move(name), env) {
+    add_reaction("consume", [this] { sum += in.get(); }).triggered_by(in);
+  }
+};
 
 }  // namespace dear::reactor::testing
