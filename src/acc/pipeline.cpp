@@ -7,6 +7,8 @@
 
 #include "acc/logic.hpp"
 #include "acc/services.hpp"
+#include "analysis/report.hpp"
+#include "analysis/rules.hpp"
 #include "ara/com/local_binding.hpp"
 #include "common/digest.hpp"
 #include "common/rng.hpp"
@@ -91,14 +93,17 @@ class AccLogic final : public reactor::Reactor {
                  })
         .triggered_by(set_request)
         .writes(set_response)
-        .writes(notify_out);
+        .writes(notify_out)
+        .writes_state("acc.target_speed");
     add_reaction("on_get", [this] { get_response.set(target_); })
         .triggered_by(get_request)
-        .writes(get_response);
+        .writes(get_response)
+        .reads_state("acc.target_speed");
     add_reaction("on_tracks",
                  [this] { command_out.set(decide_accel(tracks_in.get(), target_)); })
         .triggered_by(tracks_in)
         .writes(command_out)
+        .reads_state("acc.target_speed")
         .set_modeled_cost(cost);
   }
 
@@ -357,6 +362,19 @@ AccResult run_acc_pipeline(const AccScenarioConfig& config) {
       });
   radar_task.set_jitter(sim::ExecTimeModel::uniform(0, config.radar_jitter),
                         radar_rng.stream("radar.jitter"));
+
+  // --- static pre-flight --------------------------------------------------------
+  if (config.preflight) {
+    config.preflight(app);
+  }
+  if (config.build_only) {
+    return result;
+  }
+  // Fail fast on structural determinism violations before any event runs.
+  // The structural gate lets deliberately tightened deadline budgets through:
+  // those runs are out-of-envelope experiments whose misses the error
+  // counters must observe.
+  app.validate(analysis::Gate::kStructural);
 
   app.start();
 

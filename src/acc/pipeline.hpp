@@ -19,10 +19,15 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 
 #include "common/time.hpp"
 #include "dear/config.hpp"
 #include "sim/fault_injection.hpp"
+
+namespace dear {
+class AppBuilder;
+}
 
 namespace dear::acc {
 
@@ -81,6 +86,13 @@ struct AccScenarioConfig {
   bool net_in_order{false};
   /// Radar sensor faults (input-side: decided from radar_seed).
   sim::SensorFaultModel sensor_faults{};
+
+  // --- static-analysis hooks (src/analysis/) ---------------------------------
+  /// Invoked after the app is fully wired, before validate()/start().
+  std::function<void(AppBuilder&)> preflight{};
+  /// Construct and wire the application, run preflight, and return
+  /// without starting drivers or the radar (no event executes).
+  bool build_only{false};
 };
 
 struct AccResult {

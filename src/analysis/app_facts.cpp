@@ -1,0 +1,62 @@
+#include "analysis/app_facts.hpp"
+
+#include <string>
+
+#include "analysis/extract.hpp"
+#include "dear/app_builder.hpp"
+
+namespace dear::analysis {
+
+namespace {
+
+/// Strips the hosting node's name prefix from a transactor name
+/// ("preproc.VideoAdapter.frame" → "VideoAdapter.frame").
+[[nodiscard]] std::string member_suffix(const AppBuilder::TransactorRecord& record) {
+  const std::string& name = record.transactor->name();
+  const std::string prefix = record.node->name() + ".";
+  if (name.rfind(prefix, 0) == 0) {
+    return name.substr(prefix.size());
+  }
+  return name;
+}
+
+}  // namespace
+
+Facts extract_app(const AppBuilder& app) {
+  std::vector<NodeContext> contexts;
+  contexts.reserve(app.nodes().size());
+  for (const auto& node : app.nodes()) {
+    contexts.push_back(NodeContext{node->name(), &node->environment()});
+  }
+  Facts facts = extract(contexts);
+  facts.workload = "app";
+
+  // Cross-binding channels: every client-side member transactor pairs
+  // with the server-side transactor of the same <Interface>.<member>.
+  // Declaration order (servers first, per the AppBuilder contract) keeps
+  // the table deterministic.
+  const auto& records = app.transactor_records();
+  for (const auto& client : records) {
+    if (client.server) {
+      continue;
+    }
+    const std::string suffix = member_suffix(client);
+    for (const auto& server : records) {
+      if (!server.server || member_suffix(server) != suffix) {
+        continue;
+      }
+      ChannelFact channel;
+      channel.member = suffix;
+      channel.server_node = server.node->name();
+      channel.client_node = client.node->name();
+      channel.latency_bound = client.transactor->config().latency_bound;
+      channel.deadline = server.transactor->config().deadline;
+      channel.tagged = true;
+      facts.channels.push_back(std::move(channel));
+      break;
+    }
+  }
+  return facts;
+}
+
+}  // namespace dear::analysis

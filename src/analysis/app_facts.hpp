@@ -1,0 +1,16 @@
+// Extraction over a constructed dear::AppBuilder application: per-node
+// reactor facts (extract.hpp) plus the cross-binding service channels
+// recovered from the declared transactor bundles.
+#pragma once
+
+#include "analysis/facts.hpp"
+
+namespace dear {
+class AppBuilder;
+}
+
+namespace dear::analysis {
+
+[[nodiscard]] Facts extract_app(const AppBuilder& app);
+
+}  // namespace dear::analysis

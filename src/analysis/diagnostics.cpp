@@ -1,0 +1,91 @@
+#include "analysis/diagnostics.hpp"
+
+namespace dear::analysis {
+
+std::string_view rule_id(Rule rule) noexcept {
+  switch (rule) {
+    case Rule::kInstantaneousCycle:
+      return "DEAR-GRAPH-001";
+    case Rule::kMultiWriterPort:
+      return "DEAR-GRAPH-002";
+    case Rule::kUnorderedSharedState:
+      return "DEAR-GRAPH-003";
+    case Rule::kDeadReaction:
+      return "DEAR-GRAPH-004";
+    case Rule::kOrderedMultiWriterPort:
+      return "DEAR-GRAPH-005";
+    case Rule::kDeadlineBelowWcet:
+      return "DEAR-TIME-001";
+    case Rule::kUntaggedChannel:
+      return "DEAR-TAG-001";
+    case Rule::kEnvelopeLatency:
+      return "DEAR-ENV-001";
+    case Rule::kEnvelopeLossyLink:
+      return "DEAR-ENV-002";
+    case Rule::kEnvelopeDeadlineScale:
+      return "DEAR-ENV-003";
+    case Rule::kEnvelopeExecScale:
+      return "DEAR-ENV-004";
+  }
+  return "DEAR-UNKNOWN";
+}
+
+std::string_view rule_summary(Rule rule) noexcept {
+  switch (rule) {
+    case Rule::kInstantaneousCycle:
+      return "instantaneous causality cycle in the precedence graph";
+    case Rule::kMultiWriterPort:
+      return "port written by multiple unordered reactions";
+    case Rule::kUnorderedSharedState:
+      return "mutable state shared by reactions without an ordering edge";
+    case Rule::kDeadReaction:
+      return "reaction unreachable from any timer, startup or sensor trigger";
+    case Rule::kOrderedMultiWriterPort:
+      return "port with multiple totally ordered writers (last write wins)";
+    case Rule::kDeadlineBelowWcet:
+      return "sending deadline below the modeled worst-case execution time";
+    case Rule::kUntaggedChannel:
+      return "service channel carries no logical tags";
+    case Rule::kEnvelopeLatency:
+      return "service-link latency exceeds the safe-to-process bound L";
+    case Rule::kEnvelopeLossyLink:
+      return "lossy service link violates the reliable-delivery assumption";
+    case Rule::kEnvelopeDeadlineScale:
+      return "deadlines scaled below the budgeted WCETs";
+    case Rule::kEnvelopeExecScale:
+      return "execution times scaled beyond the budgeted WCETs";
+  }
+  return "unknown rule";
+}
+
+Severity rule_severity(Rule rule) noexcept {
+  switch (rule) {
+    case Rule::kDeadReaction:
+      return Severity::kWarning;
+    case Rule::kOrderedMultiWriterPort:
+      return Severity::kNote;
+    default:
+      return Severity::kError;
+  }
+}
+
+std::string_view to_string(Severity severity) noexcept {
+  switch (severity) {
+    case Severity::kNote:
+      return "note";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+Diagnostic make_diagnostic(Rule rule, std::string subject, std::string message) {
+  return Diagnostic{rule, rule_severity(rule), std::move(subject), std::move(message)};
+}
+
+AnalysisError::AnalysisError(const std::string& what, std::vector<Diagnostic> diagnostics)
+    : std::runtime_error(what), diagnostics_(std::move(diagnostics)) {}
+
+}  // namespace dear::analysis

@@ -1,0 +1,183 @@
+#include "analysis/extract.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "reactor/action.hpp"
+#include "reactor/environment.hpp"
+#include "reactor/graph.hpp"
+#include "reactor/port.hpp"
+#include "reactor/reaction.hpp"
+
+namespace dear::analysis {
+
+namespace {
+
+[[nodiscard]] const reactor::BasePort* source_of(const reactor::BasePort* port) {
+  while (port->inward_binding() != nullptr) {
+    port = port->inward_binding();
+  }
+  return port;
+}
+
+/// Iterative Tarjan SCC over the adjacency; returns nontrivial components
+/// (size > 1, or a self-loop) as sorted index lists, in discovery order.
+[[nodiscard]] std::vector<std::vector<std::size_t>> nontrivial_sccs(
+    const std::vector<std::vector<std::size_t>>& adjacency) {
+  const std::size_t n = adjacency.size();
+  constexpr std::size_t kUnvisited = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> index(n, kUnvisited);
+  std::vector<std::size_t> lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<std::size_t> stack;
+  std::vector<std::vector<std::size_t>> components;
+  std::size_t counter = 0;
+
+  struct Frame {
+    std::size_t vertex;
+    std::size_t edge;
+  };
+  for (std::size_t root = 0; root < n; ++root) {
+    if (index[root] != kUnvisited) {
+      continue;
+    }
+    std::vector<Frame> frames{{root, 0}};
+    index[root] = lowlink[root] = counter++;
+    stack.push_back(root);
+    on_stack[root] = true;
+    while (!frames.empty()) {
+      Frame& frame = frames.back();
+      const std::size_t v = frame.vertex;
+      if (frame.edge < adjacency[v].size()) {
+        const std::size_t w = adjacency[v][frame.edge++];
+        if (index[w] == kUnvisited) {
+          index[w] = lowlink[w] = counter++;
+          stack.push_back(w);
+          on_stack[w] = true;
+          frames.push_back({w, 0});
+        } else if (on_stack[w]) {
+          lowlink[v] = std::min(lowlink[v], index[w]);
+        }
+        continue;
+      }
+      if (lowlink[v] == index[v]) {
+        std::vector<std::size_t> component;
+        while (true) {
+          const std::size_t w = stack.back();
+          stack.pop_back();
+          on_stack[w] = false;
+          component.push_back(w);
+          if (w == v) {
+            break;
+          }
+        }
+        const bool self_loop =
+            component.size() == 1 &&
+            std::find(adjacency[v].begin(), adjacency[v].end(), v) != adjacency[v].end();
+        if (component.size() > 1 || self_loop) {
+          std::sort(component.begin(), component.end());
+          components.push_back(std::move(component));
+        }
+      }
+      frames.pop_back();
+      if (!frames.empty()) {
+        const std::size_t parent = frames.back().vertex;
+        lowlink[parent] = std::min(lowlink[parent], lowlink[v]);
+      }
+    }
+  }
+  return components;
+}
+
+}  // namespace
+
+void extract_node(Facts& facts, const NodeContext& node) {
+  reactor::DependencyGraph graph(node.environment->top_level());
+  const auto& analysis = graph.analyze();
+  const auto& reactions = graph.reactions();
+  const std::size_t base = facts.reactions.size();
+
+  std::unordered_map<const reactor::BasePort*, std::size_t> port_index;
+  const auto ensure_port = [&](const reactor::BasePort* port) {
+    const reactor::BasePort* source = source_of(port);
+    const auto [it, inserted] = port_index.try_emplace(source, facts.ports.size());
+    if (inserted) {
+      PortFact fact;
+      fact.fqn = source->fqn();
+      fact.node = node.name;
+      for (const reactor::Reaction* writer : reactor::DependencyGraph::writers_of(*source)) {
+        fact.writers.push_back(base + graph.index_of(*writer));
+      }
+      facts.ports.push_back(std::move(fact));
+    }
+    return it->second;
+  };
+
+  for (std::size_t i = 0; i < reactions.size(); ++i) {
+    const reactor::Reaction* reaction = reactions[i];
+    ReactionFact fact;
+    fact.node = node.name;
+    fact.fqn = reaction->fqn();
+    const bool cyclic = std::find(analysis.cyclic.begin(), analysis.cyclic.end(), i) !=
+                        analysis.cyclic.end();
+    fact.level = cyclic ? -1 : graph.level_of(i);
+    fact.entry = !reaction->trigger_actions().empty();
+    fact.deadline = reaction->deadline();
+    fact.wcet = reaction->has_modeled_cost() ? reaction->modeled_cost().upper_bound() : 0;
+    for (const reactor::BaseAction* action : reaction->trigger_actions()) {
+      fact.trigger_actions.push_back(action->name());
+    }
+    for (const reactor::BasePort* port : reaction->dependency_ports()) {
+      const std::size_t pi = ensure_port(port);
+      facts.ports[pi].readers.push_back(base + i);
+      // triggered_by registers on the exact port object the reaction was
+      // declared with; reads() does not.
+      const auto& triggered = port->triggered_reactions();
+      const bool is_trigger =
+          std::find(triggered.begin(), triggered.end(), reaction) != triggered.end();
+      auto& list = is_trigger ? fact.triggers : fact.reads;
+      if (std::find(list.begin(), list.end(), pi) == list.end()) {
+        list.push_back(pi);
+      }
+    }
+    for (const reactor::BasePort* port : reaction->effect_ports()) {
+      const std::size_t pi = ensure_port(port);
+      if (std::find(fact.effects.begin(), fact.effects.end(), pi) == fact.effects.end()) {
+        fact.effects.push_back(pi);
+      }
+    }
+    for (const reactor::Reaction* dep : graph.dependencies_of(*reaction)) {
+      fact.depends_on.push_back(base + graph.index_of(*dep));
+    }
+    std::sort(fact.depends_on.begin(), fact.depends_on.end());
+    fact.state_reads = reaction->state_reads();
+    fact.state_writes = reaction->state_writes();
+    facts.reactions.push_back(std::move(fact));
+  }
+
+  // Dedupe the adjacency before the SCC pass (a port that both triggers
+  // and is read contributes two parallel edges).
+  std::vector<std::vector<std::size_t>> adjacency = graph.edges();
+  for (auto& row : adjacency) {
+    std::sort(row.begin(), row.end());
+    row.erase(std::unique(row.begin(), row.end()), row.end());
+  }
+  for (std::vector<std::size_t>& component : nontrivial_sccs(adjacency)) {
+    for (std::size_t& member : component) {
+      member += base;
+    }
+    facts.cycles.push_back(std::move(component));
+  }
+
+  facts.level_count = std::max(facts.level_count, analysis.level_count);
+}
+
+Facts extract(const std::vector<NodeContext>& nodes) {
+  Facts facts;
+  for (const NodeContext& node : nodes) {
+    extract_node(facts, node);
+  }
+  return facts;
+}
+
+}  // namespace dear::analysis

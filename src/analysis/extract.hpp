@@ -1,0 +1,33 @@
+// Extraction: reactor topologies → analysis facts.
+//
+// Works on *constructed* (wired, not necessarily assembled) environments:
+// a local DependencyGraph is analyzed without mutating any reaction, so
+// extraction is safe to run before AppBuilder::start() and never draws
+// from an rng stream — validate() cannot move a determinism digest.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/facts.hpp"
+
+namespace dear::reactor {
+class Environment;
+}
+
+namespace dear::analysis {
+
+struct NodeContext {
+  std::string name;
+  const reactor::Environment* environment{nullptr};
+};
+
+/// Appends one node's reactions, ports and cycles to `facts`. Reaction
+/// and port indices are global across calls (offset by what is already
+/// in the table).
+void extract_node(Facts& facts, const NodeContext& node);
+
+/// Extracts every node in order.
+[[nodiscard]] Facts extract(const std::vector<NodeContext>& nodes);
+
+}  // namespace dear::analysis

@@ -1,0 +1,221 @@
+#include "analysis/facts.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <map>
+
+namespace dear::analysis {
+
+namespace {
+
+#if defined(__GNUC__)
+__attribute__((format(printf, 2, 3)))
+#endif
+void append_format(std::string& out, const char* format, ...) {
+  char buffer[512];
+  va_list args;
+  va_start(args, format);
+  const int written = std::vsnprintf(buffer, sizeof(buffer), format, args);
+  va_end(args);
+  if (written > 0) {
+    out.append(buffer, std::min(static_cast<std::size_t>(written), sizeof(buffer) - 1));
+  }
+}
+
+[[nodiscard]] std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+        break;
+    }
+  }
+  return out;
+}
+
+void append_index_list(std::string& out, const std::vector<std::size_t>& values) {
+  out += '[';
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    append_format(out, "%s%zu", i == 0 ? "" : ",", values[i]);
+  }
+  out += ']';
+}
+
+void append_string_list(std::string& out, const std::vector<std::string>& values) {
+  out += '[';
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    append_format(out, "%s\"%s\"", i == 0 ? "" : ",", json_escape(values[i]).c_str());
+  }
+  out += ']';
+}
+
+}  // namespace
+
+std::vector<StateFact> Facts::states() const {
+  // std::map: state cells sorted by name so the derived table is
+  // independent of declaration order.
+  std::map<std::string, StateFact> cells;
+  for (std::size_t i = 0; i < reactions.size(); ++i) {
+    for (const std::string& name : reactions[i].state_reads) {
+      auto& cell = cells[name];
+      cell.name = name;
+      cell.readers.push_back(i);
+    }
+    for (const std::string& name : reactions[i].state_writes) {
+      auto& cell = cells[name];
+      cell.name = name;
+      cell.writers.push_back(i);
+    }
+  }
+  std::vector<StateFact> out;
+  out.reserve(cells.size());
+  for (auto& [name, cell] : cells) {
+    out.push_back(std::move(cell));
+  }
+  return out;
+}
+
+std::string Facts::level_table() const {
+  // Node order follows first appearance in the reaction table; levels are
+  // per-node.
+  std::string out;
+  std::vector<std::string> node_order;
+  for (const ReactionFact& reaction : reactions) {
+    if (std::find(node_order.begin(), node_order.end(), reaction.node) == node_order.end()) {
+      node_order.push_back(reaction.node);
+    }
+  }
+  for (const std::string& node : node_order) {
+    int max_level = -1;
+    for (const ReactionFact& reaction : reactions) {
+      if (reaction.node == node) {
+        max_level = std::max(max_level, reaction.level);
+      }
+    }
+    for (int level = 0; level <= max_level; ++level) {
+      std::string line;
+      for (const ReactionFact& reaction : reactions) {
+        if (reaction.node == node && reaction.level == level) {
+          line += ' ';
+          line += reaction.fqn;
+        }
+      }
+      if (!line.empty()) {
+        append_format(out, "%s/L%d:", node.c_str(), level);
+        out += line;
+        out += '\n';
+      }
+    }
+  }
+  return out;
+}
+
+std::string Facts::to_json(int indent) const {
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  std::string out;
+  out += pad + "{\n";
+  append_format(out, "%s  \"workload\": \"%s\",\n", pad.c_str(), json_escape(workload).c_str());
+  append_format(out, "%s  \"level_count\": %d,\n", pad.c_str(), level_count);
+
+  out += pad + "  \"reactions\": [\n";
+  for (std::size_t i = 0; i < reactions.size(); ++i) {
+    const ReactionFact& r = reactions[i];
+    append_format(out, "%s    {\"node\": \"%s\", \"fqn\": \"%s\", \"level\": %d, ",
+                  pad.c_str(), json_escape(r.node).c_str(), json_escape(r.fqn).c_str(), r.level);
+    append_format(out, "\"entry\": %s, \"deadline_ns\": %" PRId64 ", \"wcet_ns\": %" PRId64 ", ",
+                  r.entry ? "true" : "false", static_cast<std::int64_t>(r.deadline),
+                  static_cast<std::int64_t>(r.wcet));
+    out += "\"triggers\": ";
+    append_index_list(out, r.triggers);
+    out += ", \"reads\": ";
+    append_index_list(out, r.reads);
+    out += ", \"effects\": ";
+    append_index_list(out, r.effects);
+    out += ", \"trigger_actions\": ";
+    append_string_list(out, r.trigger_actions);
+    out += ", \"depends_on\": ";
+    append_index_list(out, r.depends_on);
+    out += ", \"state_reads\": ";
+    append_string_list(out, r.state_reads);
+    out += ", \"state_writes\": ";
+    append_string_list(out, r.state_writes);
+    append_format(out, "}%s\n", i + 1 < reactions.size() ? "," : "");
+  }
+  out += pad + "  ],\n";
+
+  out += pad + "  \"ports\": [\n";
+  for (std::size_t i = 0; i < ports.size(); ++i) {
+    const PortFact& p = ports[i];
+    append_format(out, "%s    {\"node\": \"%s\", \"fqn\": \"%s\", \"writers\": ", pad.c_str(),
+                  json_escape(p.node).c_str(), json_escape(p.fqn).c_str());
+    append_index_list(out, p.writers);
+    out += ", \"readers\": ";
+    append_index_list(out, p.readers);
+    append_format(out, "}%s\n", i + 1 < ports.size() ? "," : "");
+  }
+  out += pad + "  ],\n";
+
+  out += pad + "  \"channels\": [\n";
+  for (std::size_t i = 0; i < channels.size(); ++i) {
+    const ChannelFact& c = channels[i];
+    append_format(out,
+                  "%s    {\"member\": \"%s\", \"server\": \"%s\", \"client\": \"%s\", "
+                  "\"latency_bound_ns\": %" PRId64 ", \"deadline_ns\": %" PRId64
+                  ", \"tagged\": %s}%s\n",
+                  pad.c_str(), json_escape(c.member).c_str(), json_escape(c.server_node).c_str(),
+                  json_escape(c.client_node).c_str(), static_cast<std::int64_t>(c.latency_bound),
+                  static_cast<std::int64_t>(c.deadline), c.tagged ? "true" : "false",
+                  i + 1 < channels.size() ? "," : "");
+  }
+  out += pad + "  ],\n";
+
+  out += pad + "  \"states\": [\n";
+  const std::vector<StateFact> cells = states();
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    append_format(out, "%s    {\"name\": \"%s\", \"readers\": ", pad.c_str(),
+                  json_escape(cells[i].name).c_str());
+    append_index_list(out, cells[i].readers);
+    out += ", \"writers\": ";
+    append_index_list(out, cells[i].writers);
+    append_format(out, "}%s\n", i + 1 < cells.size() ? "," : "");
+  }
+  out += pad + "  ],\n";
+
+  out += pad + "  \"cycles\": [\n";
+  for (std::size_t i = 0; i < cycles.size(); ++i) {
+    out += pad + "    ";
+    append_index_list(out, cycles[i]);
+    append_format(out, "%s\n", i + 1 < cycles.size() ? "," : "");
+  }
+  out += pad + "  ],\n";
+
+  out += pad + "  \"level_table\": \"" + json_escape(level_table()) + "\"\n";
+  out += pad + "}";
+  return out;
+}
+
+std::uint64_t Facts::digest() const { return fnv1a64(to_json()); }
+
+std::uint64_t fnv1a64(std::string_view bytes) noexcept {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+}  // namespace dear::analysis

@@ -1,0 +1,111 @@
+// The fact table produced by the static verifier's extraction pass.
+//
+// Facts are a workload-neutral intermediate representation: the reactor
+// extraction (extract.hpp) fills it from real DependencyGraphs, the
+// AppBuilder extraction (app_facts.hpp) adds the cross-binding service
+// channels, and the stock-APD model (workload_models.cpp) declares the
+// same structures for the non-reactor baseline. Rules (rules.hpp) only
+// ever see this table, so every workload is judged by the same criteria.
+//
+// Serialization is canonical: to_json() emits the tables in extraction
+// order (node declaration order, then reactor registration order), so the
+// digest over it is stable across platforms and runs — the level table
+// digest is one of the repo's golden-test anchors.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace dear::analysis {
+
+/// One reaction (or, for the stock-APD model, one callback/handler
+/// context). Port/reaction references are indices into Facts::ports resp.
+/// Facts::reactions.
+struct ReactionFact {
+  std::string node;
+  std::string fqn;
+  /// APG level; -1 when the reaction sits on an instantaneous cycle (or
+  /// the workload has no precedence graph at all).
+  int level{-1};
+  /// Triggered by an action (timer, startup, physical/sensor action):
+  /// an entry point of the reachability analysis.
+  bool entry{false};
+  Duration deadline{0};
+  /// Modeled execution-time upper bound; 0 when the reaction carries no
+  /// cost model.
+  Duration wcet{0};
+  std::vector<std::size_t> triggers;            // port indices
+  std::vector<std::size_t> reads;               // port indices (non-triggering)
+  std::vector<std::size_t> effects;             // port indices
+  std::vector<std::string> trigger_actions;     // action names
+  std::vector<std::size_t> depends_on;          // APG predecessors (reaction indices)
+  std::vector<std::string> state_reads;
+  std::vector<std::string> state_writes;
+};
+
+/// One source port (binding chains are resolved to their source) or, for
+/// the stock-APD model, one one-slot input buffer.
+struct PortFact {
+  std::string fqn;
+  std::string node;
+  std::vector<std::size_t> writers;  // reaction indices
+  std::vector<std::size_t> readers;  // reaction indices (triggered + reads)
+};
+
+/// One cross-binding service connection (server transactor → client
+/// transactor), carrying the timing assumptions both sides were
+/// configured with.
+struct ChannelFact {
+  std::string member;  // "<Interface>.<member>"
+  std::string server_node;
+  std::string client_node;
+  /// Safe-to-process latency bound L assumed by the receiving transactor.
+  Duration latency_bound{0};
+  /// Sending deadline D folded into the wire tag by the server side.
+  Duration deadline{0};
+  /// False when the channel carries no logical tags (stock APD).
+  bool tagged{true};
+};
+
+/// Derived view: one named mutable state cell and its accessors.
+struct StateFact {
+  std::string name;
+  std::vector<std::size_t> readers;
+  std::vector<std::size_t> writers;
+};
+
+struct Facts {
+  std::string workload;
+  std::vector<ReactionFact> reactions;
+  std::vector<PortFact> ports;
+  std::vector<ChannelFact> channels;
+  /// Nontrivial strongly-connected components of the reaction graph
+  /// (instantaneous cycles), as sorted reaction-index lists.
+  std::vector<std::vector<std::size_t>> cycles;
+  /// Max level count over all nodes (levels are per-node).
+  int level_count{0};
+
+  /// Collects the state-cell table from the reactions' declarations.
+  [[nodiscard]] std::vector<StateFact> states() const;
+
+  /// The level/partition table: per node, reactions grouped by level.
+  /// Canonical text form, one line per "node/level: fqn fqn ...".
+  [[nodiscard]] std::string level_table() const;
+
+  /// Canonical JSON serialization of every table (deterministic: pure
+  /// function of the extraction order).
+  [[nodiscard]] std::string to_json(int indent = 0) const;
+
+  /// FNV-1a digest over to_json(): the golden-test anchor for "the
+  /// analyzer still sees the same program".
+  [[nodiscard]] std::uint64_t digest() const;
+};
+
+/// FNV-1a 64-bit over a byte string (shared by Facts::digest and tests).
+[[nodiscard]] std::uint64_t fnv1a64(std::string_view bytes) noexcept;
+
+}  // namespace dear::analysis

@@ -1,0 +1,106 @@
+#include "analysis/report.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "analysis/rules.hpp"
+
+namespace dear::analysis {
+
+namespace {
+
+[[nodiscard]] std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::size_t Report::error_count() const noexcept {
+  return count_severity(diagnostics, Severity::kError);
+}
+
+std::size_t Report::warning_count() const noexcept {
+  return count_severity(diagnostics, Severity::kWarning);
+}
+
+std::string Report::to_json(int indent) const {
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  std::string out;
+  out += pad + "{\n";
+  out += pad + "  \"workload\": \"" + json_escape(workload) + "\",\n";
+  out += pad + "  \"scenario\": \"" + json_escape(scenario) + "\",\n";
+  out += pad + "  \"deterministic\": " + (deterministic() ? "true" : "false") + ",\n";
+  out += pad + "  \"expected_deterministic\": " +
+         (expected_deterministic ? "true" : "false") + ",\n";
+  out += pad + "  \"verdict_matches\": " + (verdict_matches() ? "true" : "false") + ",\n";
+  char counts[96];
+  std::snprintf(counts, sizeof(counts), "  \"errors\": %zu,\n  \"warnings\": %zu,\n",
+                error_count(), warning_count());
+  out += pad + counts;
+  char digest_line[64];
+  std::snprintf(digest_line, sizeof(digest_line), "  \"facts_digest\": \"%016" PRIx64 "\",\n",
+                facts.digest());
+  out += pad + digest_line;
+  out += pad + "  \"diagnostics\": [\n";
+  for (std::size_t i = 0; i < diagnostics.size(); ++i) {
+    const Diagnostic& d = diagnostics[i];
+    out += pad + "    {\"rule\": \"" + std::string(rule_id(d.rule)) + "\", \"severity\": \"" +
+           std::string(to_string(d.severity)) + "\", \"subject\": \"" + json_escape(d.subject) +
+           "\", \"message\": \"" + json_escape(d.message) + "\"}" +
+           (i + 1 < diagnostics.size() ? "," : "") + "\n";
+  }
+  out += pad + "  ],\n";
+  out += pad + "  \"facts\":\n" + facts.to_json(indent + 2) + "\n";
+  out += pad + "}";
+  return out;
+}
+
+std::string report_collection_json(const std::vector<Report>& reports) {
+  std::size_t errors = 0;
+  std::size_t warnings = 0;
+  std::size_t mismatches = 0;
+  for (const Report& report : reports) {
+    errors += report.error_count();
+    warnings += report.warning_count();
+    if (!report.verdict_matches()) {
+      ++mismatches;
+    }
+  }
+  std::string out;
+  out += "{\n";
+  out += "  \"schema\": \"analysis-report-v1\",\n";
+  char summary[160];
+  std::snprintf(summary, sizeof(summary),
+                "  \"runs\": %zu,\n  \"errors\": %zu,\n  \"warnings\": %zu,\n"
+                "  \"oracle_mismatches\": %zu,\n",
+                reports.size(), errors, warnings, mismatches);
+  out += summary;
+  out += "  \"reports\": [\n";
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    out += reports[i].to_json(4);
+    out += (i + 1 < reports.size() ? ",\n" : "\n");
+  }
+  out += "  ]\n";
+  out += "}\n";
+  return out;
+}
+
+}  // namespace dear::analysis

@@ -1,0 +1,45 @@
+// The analysis report: facts + diagnostics for one analyzed scenario, and
+// the machine-readable "analysis-report-v1" JSON schema emitted by
+// dear_lint and consumed by the CI gate (docs/static_analysis.md
+// documents the schema).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostics.hpp"
+#include "analysis/facts.hpp"
+
+namespace dear::analysis {
+
+struct Report {
+  /// Workload identity ("dear", "nondet", "acc", or "app" for ad-hoc
+  /// AppBuilder::validate() runs).
+  std::string workload;
+  /// Scenario identity (ScenarioSpec::describe(); empty for plain
+  /// structural validation).
+  std::string scenario;
+  Facts facts;
+  std::vector<Diagnostic> diagnostics;
+  /// The runtime oracle's verdict for the same scenario
+  /// (ScenarioSpec::expect_deterministic()); meaningful only when the
+  /// report was produced from a spec.
+  bool expected_deterministic{true};
+
+  [[nodiscard]] std::size_t error_count() const noexcept;
+  [[nodiscard]] std::size_t warning_count() const noexcept;
+  /// The static verdict: no error-severity finding.
+  [[nodiscard]] bool deterministic() const noexcept { return error_count() == 0; }
+  /// True when the static verdict agrees with the runtime oracle.
+  [[nodiscard]] bool verdict_matches() const noexcept {
+    return deterministic() == expected_deterministic;
+  }
+
+  /// One report as a JSON object (part of the collection schema).
+  [[nodiscard]] std::string to_json(int indent = 0) const;
+};
+
+/// The top-level "analysis-report-v1" document over a set of reports.
+[[nodiscard]] std::string report_collection_json(const std::vector<Report>& reports);
+
+}  // namespace dear::analysis

@@ -1,0 +1,314 @@
+#include "analysis/rules.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+
+namespace dear::analysis {
+
+namespace {
+
+/// Reachability over the APG successor relation, derived from the
+/// depends_on (predecessor) lists. closure[a][b] == true when a precedes
+/// b transitively — i.e. the runtime is guaranteed to run a before b at
+/// any shared tag.
+class Ordering {
+ public:
+  explicit Ordering(const Facts& facts) {
+    const std::size_t n = facts.reactions.size();
+    std::vector<std::vector<std::size_t>> successors(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (const std::size_t dep : facts.reactions[i].depends_on) {
+        successors[dep].push_back(i);
+      }
+    }
+    closure_.assign(n, std::vector<bool>(n, false));
+    std::vector<std::size_t> worklist;
+    for (std::size_t start = 0; start < n; ++start) {
+      worklist.assign(1, start);
+      while (!worklist.empty()) {
+        const std::size_t v = worklist.back();
+        worklist.pop_back();
+        for (const std::size_t w : successors[v]) {
+          if (!closure_[start][w]) {
+            closure_[start][w] = true;
+            worklist.push_back(w);
+          }
+        }
+      }
+    }
+  }
+
+  [[nodiscard]] bool ordered(std::size_t a, std::size_t b) const {
+    return closure_[a][b] || closure_[b][a];
+  }
+
+ private:
+  std::vector<std::vector<bool>> closure_;
+};
+
+[[nodiscard]] std::string join_fqns(const Facts& facts, const std::vector<std::size_t>& members) {
+  std::string out;
+  for (const std::size_t member : members) {
+    if (!out.empty()) {
+      out += ", ";
+    }
+    out += facts.reactions[member].fqn;
+  }
+  return out;
+}
+
+void check_cycles(const Facts& facts, std::vector<Diagnostic>& out) {
+  for (const std::vector<std::size_t>& cycle : facts.cycles) {
+    out.push_back(make_diagnostic(
+        Rule::kInstantaneousCycle, facts.reactions[cycle.front()].fqn,
+        "instantaneous causality cycle through: " + join_fqns(facts, cycle)));
+  }
+}
+
+void check_multi_writer(const Facts& facts, const Ordering& ordering,
+                        std::vector<Diagnostic>& out) {
+  for (const PortFact& port : facts.ports) {
+    if (port.writers.size() < 2) {
+      continue;
+    }
+    bool unordered = false;
+    std::pair<std::size_t, std::size_t> witness{0, 0};
+    for (std::size_t a = 0; a < port.writers.size() && !unordered; ++a) {
+      for (std::size_t b = a + 1; b < port.writers.size(); ++b) {
+        if (!ordering.ordered(port.writers[a], port.writers[b])) {
+          unordered = true;
+          witness = {port.writers[a], port.writers[b]};
+          break;
+        }
+      }
+    }
+    if (unordered) {
+      out.push_back(make_diagnostic(
+          Rule::kMultiWriterPort, port.fqn,
+          "port has unordered writers " + facts.reactions[witness.first].fqn + " and " +
+              facts.reactions[witness.second].fqn + ": the surviving value depends on " +
+              "execution order"));
+    } else {
+      out.push_back(make_diagnostic(
+          Rule::kOrderedMultiWriterPort, port.fqn,
+          "port written by " + join_fqns(facts, port.writers) +
+              " (totally ordered: last write wins deterministically)"));
+    }
+  }
+}
+
+void check_shared_state(const Facts& facts, const Ordering& ordering,
+                        std::vector<Diagnostic>& out) {
+  for (const StateFact& cell : facts.states()) {
+    if (cell.writers.empty()) {
+      continue;
+    }
+    // Every accessor pair with at least one writer needs an ordering edge.
+    std::vector<std::size_t> accessors = cell.writers;
+    accessors.insert(accessors.end(), cell.readers.begin(), cell.readers.end());
+    std::sort(accessors.begin(), accessors.end());
+    accessors.erase(std::unique(accessors.begin(), accessors.end()), accessors.end());
+    for (std::size_t a = 0; a < accessors.size(); ++a) {
+      bool reported = false;
+      for (std::size_t b = a + 1; b < accessors.size(); ++b) {
+        const bool involves_writer =
+            std::find(cell.writers.begin(), cell.writers.end(), accessors[a]) !=
+                cell.writers.end() ||
+            std::find(cell.writers.begin(), cell.writers.end(), accessors[b]) !=
+                cell.writers.end();
+        if (involves_writer && !ordering.ordered(accessors[a], accessors[b])) {
+          out.push_back(make_diagnostic(
+              Rule::kUnorderedSharedState, cell.name,
+              "state '" + cell.name + "' is accessed by " + facts.reactions[accessors[a]].fqn +
+                  " and " + facts.reactions[accessors[b]].fqn +
+                  " (at least one a writer) with no ordering edge between them"));
+          reported = true;
+          break;
+        }
+      }
+      if (reported) {
+        break;  // one witness pair per state cell keeps reports readable
+      }
+    }
+  }
+}
+
+void check_dead_reactions(const Facts& facts, std::vector<Diagnostic>& out) {
+  // Fixpoint: a reaction is reachable when an action triggers it (timer,
+  // startup/shutdown, physical action) or when any triggering port has a
+  // reachable writer.
+  const std::size_t n = facts.reactions.size();
+  std::vector<bool> reachable(n, false);
+  for (std::size_t i = 0; i < n; ++i) {
+    reachable[i] = facts.reactions[i].entry;
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (reachable[i]) {
+        continue;
+      }
+      for (const std::size_t port : facts.reactions[i].triggers) {
+        for (const std::size_t writer : facts.ports[port].writers) {
+          if (reachable[writer]) {
+            reachable[i] = true;
+            changed = true;
+            break;
+          }
+        }
+        if (reachable[i]) {
+          break;
+        }
+      }
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!reachable[i]) {
+      out.push_back(make_diagnostic(
+          Rule::kDeadReaction, facts.reactions[i].fqn,
+          "no timer, startup trigger or sensor action can ever trigger this reaction"));
+    }
+  }
+}
+
+void check_deadline_budgets(const Facts& facts, std::vector<Diagnostic>& out) {
+  // Per node: the tightest sending deadline must cover the largest
+  // modeled execution-time upper bound on that node. Conservative (max,
+  // not chain sum): fires only on certain violations, so clean configs
+  // never see a false positive.
+  std::vector<std::string> nodes;
+  for (const ReactionFact& reaction : facts.reactions) {
+    if (std::find(nodes.begin(), nodes.end(), reaction.node) == nodes.end()) {
+      nodes.push_back(reaction.node);
+    }
+  }
+  for (const std::string& node : nodes) {
+    Duration deadline_min = 0;
+    Duration wcet_max = 0;
+    for (const ReactionFact& reaction : facts.reactions) {
+      if (reaction.node != node) {
+        continue;
+      }
+      if (reaction.deadline > 0 && (deadline_min == 0 || reaction.deadline < deadline_min)) {
+        deadline_min = reaction.deadline;
+      }
+      wcet_max = std::max(wcet_max, reaction.wcet);
+    }
+    if (deadline_min > 0 && wcet_max > 0 && deadline_min < wcet_max) {
+      char buffer[192];
+      std::snprintf(buffer, sizeof(buffer),
+                    "tightest sending deadline %" PRId64 " ns sits below the largest modeled "
+                    "WCET %" PRId64 " ns on this node: deadline misses are guaranteed reachable",
+                    static_cast<std::int64_t>(deadline_min),
+                    static_cast<std::int64_t>(wcet_max));
+      out.push_back(make_diagnostic(Rule::kDeadlineBelowWcet, node, buffer));
+    }
+  }
+}
+
+void check_channels(const Facts& facts, std::vector<Diagnostic>& out) {
+  for (const ChannelFact& channel : facts.channels) {
+    if (!channel.tagged) {
+      out.push_back(make_diagnostic(
+          Rule::kUntaggedChannel, channel.member,
+          "channel " + channel.server_node + " -> " + channel.client_node +
+              " carries no logical tags: the receiver processes messages in physical " +
+              "arrival order"));
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Diagnostic> check_structure(const Facts& facts) {
+  std::vector<Diagnostic> out;
+  const Ordering ordering(facts);
+  check_cycles(facts, out);
+  check_multi_writer(facts, ordering, out);
+  check_shared_state(facts, ordering, out);
+  check_dead_reactions(facts, out);
+  check_deadline_budgets(facts, out);
+  check_channels(facts, out);
+  return out;
+}
+
+std::vector<Diagnostic> check_envelope(const scenario::ScenarioSpec& spec, const Facts& facts) {
+  std::vector<Diagnostic> out;
+
+  // The latency bound the deployment actually assumes: the tightest L of
+  // any tagged channel, falling back to the repo-wide default bound.
+  Duration bound = 0;
+  for (const ChannelFact& channel : facts.channels) {
+    if (channel.tagged && channel.latency_bound > 0 &&
+        (bound == 0 || channel.latency_bound < bound)) {
+      bound = channel.latency_bound;
+    }
+  }
+  if (bound == 0) {
+    bound = scenario::kSvcLatencyBound;
+  }
+  if (spec.svc_latency_max > bound) {
+    char buffer[192];
+    std::snprintf(buffer, sizeof(buffer),
+                  "service-link latency max %" PRId64 " ns exceeds the safe-to-process bound "
+                  "L = %" PRId64 " ns: messages may arrive after their release tag passed",
+                  static_cast<std::int64_t>(spec.svc_latency_max),
+                  static_cast<std::int64_t>(bound));
+    out.push_back(make_diagnostic(Rule::kEnvelopeLatency, "svc_latency_max", buffer));
+  }
+  if (spec.net_drop_probability > 0.0) {
+    char buffer[128];
+    std::snprintf(buffer, sizeof(buffer),
+                  "drop probability %.3f violates the reliable-delivery assumption",
+                  spec.net_drop_probability);
+    out.push_back(make_diagnostic(Rule::kEnvelopeLossyLink, "net_drop_probability", buffer));
+  }
+  if (spec.deadline_scale < 1.0) {
+    char buffer[128];
+    std::snprintf(buffer, sizeof(buffer),
+                  "deadline_scale %.2f pushes deadlines below the budgeted WCETs",
+                  spec.deadline_scale);
+    out.push_back(make_diagnostic(Rule::kEnvelopeDeadlineScale, "deadline_scale", buffer));
+  }
+  if (spec.exec_time_scale > 1.0) {
+    char buffer[128];
+    std::snprintf(buffer, sizeof(buffer),
+                  "exec_time_scale %.2f pushes execution times beyond the budgeted WCETs",
+                  spec.exec_time_scale);
+    out.push_back(make_diagnostic(Rule::kEnvelopeExecScale, "exec_time_scale", buffer));
+  }
+  return out;
+}
+
+bool has_errors(const std::vector<Diagnostic>& diagnostics) noexcept {
+  return count_severity(diagnostics, Severity::kError) > 0;
+}
+
+bool has_gating_errors(const std::vector<Diagnostic>& diagnostics, Gate gate) noexcept {
+  for (const Diagnostic& diagnostic : diagnostics) {
+    if (diagnostic.severity != Severity::kError) {
+      continue;
+    }
+    if (gate == Gate::kStructural && diagnostic.rule == Rule::kDeadlineBelowWcet) {
+      continue;
+    }
+    return true;
+  }
+  return false;
+}
+
+std::size_t count_severity(const std::vector<Diagnostic>& diagnostics,
+                           Severity severity) noexcept {
+  std::size_t count = 0;
+  for (const Diagnostic& diagnostic : diagnostics) {
+    if (diagnostic.severity == severity) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace dear::analysis

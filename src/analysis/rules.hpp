@@ -1,0 +1,47 @@
+// The static determinism rules, evaluated over an extracted fact table.
+//
+// Two rule families:
+//   * structural rules (check_structure) judge the program graph itself —
+//     cycles, write conflicts, unordered shared state, dead reactions,
+//     deadline budgets, untagged channels;
+//   * envelope rules (check_envelope) judge a ScenarioSpec against the
+//     paper's assumption envelope (reliable delivery, latency within L,
+//     deadlines at or above the budgeted WCETs).
+//
+// Contract (asserted by the campaign-oracle tests): a scenario produces
+// no error-severity diagnostic if and only if ScenarioSpec::
+// expect_deterministic() holds — the static verdict and the runtime
+// determinism checker agree on every point of the evaluation space.
+#pragma once
+
+#include <vector>
+
+#include "analysis/diagnostics.hpp"
+#include "analysis/facts.hpp"
+#include "scenario/spec.hpp"
+
+namespace dear::analysis {
+
+[[nodiscard]] std::vector<Diagnostic> check_structure(const Facts& facts);
+
+[[nodiscard]] std::vector<Diagnostic> check_envelope(const scenario::ScenarioSpec& spec,
+                                                     const Facts& facts);
+
+[[nodiscard]] bool has_errors(const std::vector<Diagnostic>& diagnostics) noexcept;
+
+// Which error findings abort execution in AppBuilder::validate():
+//   * kAll        — any error-severity diagnostic (the lint gate);
+//   * kStructural — only graph/tag errors. Timing-budget findings
+//     (DEAR-TIME-001) are still reported but do not throw: a pipeline
+//     configured with deadlines below the modeled WCETs is a legal
+//     out-of-envelope experiment whose deadline misses the runtime
+//     counts as observable errors (the paper's error-tradeoff runs).
+enum class Gate : std::uint8_t { kAll, kStructural };
+
+[[nodiscard]] bool has_gating_errors(const std::vector<Diagnostic>& diagnostics,
+                                     Gate gate) noexcept;
+
+[[nodiscard]] std::size_t count_severity(const std::vector<Diagnostic>& diagnostics,
+                                         Severity severity) noexcept;
+
+}  // namespace dear::analysis

@@ -1,0 +1,18 @@
+// Declared component model of the stock-APD brake assistant.
+//
+// The nondet baseline (brake/nondet_pipeline.cpp) is not reactor-based —
+// there is no graph to extract — so the analyzer carries a declared model
+// mirroring its structure: periodic SWC callbacks, receive handlers, the
+// five one-slot input buffers they race on, the shared counters, and the
+// untagged SOME/IP channels between the SWCs. The model is judged by the
+// exact same rules as the reactor workloads; keeping it in sync with
+// nondet_pipeline.cpp is asserted by the analyzer rule tests.
+#pragma once
+
+#include "analysis/facts.hpp"
+
+namespace dear::analysis {
+
+[[nodiscard]] Facts nondet_brake_model();
+
+}  // namespace dear::analysis

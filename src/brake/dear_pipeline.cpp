@@ -2,6 +2,8 @@
 
 #include <unordered_map>
 
+#include "analysis/report.hpp"
+#include "analysis/rules.hpp"
 #include "ara/com/local_binding.hpp"
 #include "brake/camera.hpp"
 #include "brake/logic.hpp"
@@ -290,6 +292,19 @@ PipelineResult run_dear_pipeline(const DearScenarioConfig& config) {
     arrival_time.emplace(frame.frame_id, kernel.now());
     adapter_logic.frame_arrival.schedule(frame);
   });
+
+  // --- static pre-flight --------------------------------------------------------------
+  if (config.preflight) {
+    config.preflight(app);
+  }
+  if (config.build_only) {
+    return result;
+  }
+  // Fail fast on structural determinism violations before any event runs.
+  // The structural gate lets deliberately tightened deadline budgets through:
+  // those runs are out-of-envelope experiments whose misses the error
+  // counters must observe.
+  app.validate(analysis::Gate::kStructural);
 
   // --- drivers + camera ---------------------------------------------------------------
   app.start();

@@ -18,10 +18,15 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 
 #include "brake/metrics.hpp"
 #include "brake/nondet_pipeline.hpp"
 #include "dear/config.hpp"
+
+namespace dear {
+class AppBuilder;
+}
 
 namespace dear::brake {
 
@@ -82,6 +87,15 @@ struct DearScenarioConfig {
   bool net_in_order{false};
   /// Camera sensor faults (input-side: decided from camera_seed).
   sim::SensorFaultModel sensor_faults{};
+
+  // --- static-analysis hooks (src/analysis/) ---------------------------------
+  /// Invoked after the app is fully wired, before validate()/start().
+  /// The static verifier uses it to extract the fact table from the
+  /// genuine reactor graphs without executing anything.
+  std::function<void(AppBuilder&)> preflight{};
+  /// Construct and wire the application, run preflight, and return
+  /// without starting drivers or the camera (no event executes).
+  bool build_only{false};
 };
 
 /// Runs the DEAR pipeline; deadline violations, tardy messages and CV

@@ -26,6 +26,7 @@
 // determinism makes the two deployments observably identical.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <stdexcept>
 #include <string>
@@ -43,6 +44,11 @@
 
 namespace dear {
 
+namespace analysis {
+struct Report;
+enum class Gate : std::uint8_t;
+}
+
 class AppBuilder : public transact::TransactorStats<AppBuilder> {
  public:
   struct Config {
@@ -56,6 +62,17 @@ class AppBuilder : public transact::TransactorStats<AppBuilder> {
     /// Per-node reactor environment configuration. keepalive is forced on:
     /// transactors schedule physical actions from the receive path.
     reactor::Environment::Config environment{};
+  };
+
+  class Node;
+
+  /// One transactor as declared through a node, with the context the
+  /// static verifier needs: which node hosts it and which side of the
+  /// service it plays.
+  struct TransactorRecord {
+    const transact::Transactor* transactor{nullptr};
+    const Node* node{nullptr};
+    bool server{false};
   };
 
   AppBuilder(sim::Kernel& kernel, net::Network& network, someip::ServiceDiscovery& discovery,
@@ -117,7 +134,7 @@ class AppBuilder : public transact::TransactorStats<AppBuilder> {
       deploy<I>(instance);
       auto& bundle = own<transact::ServerSide<I>>(bundle_name<I>(), environment_, runtime_,
                                                   instance, config);
-      register_transactors(bundle);
+      register_transactors(bundle, /*server=*/true);
       return bundle;
     }
 
@@ -133,7 +150,7 @@ class AppBuilder : public transact::TransactorStats<AppBuilder> {
       deploy<I>(instance);
       auto& bundle = own<transact::ClientSide<I>>(bundle_name<I>(), environment_, runtime_,
                                                   instance, config);
-      register_transactors(bundle);
+      register_transactors(bundle, /*server=*/false);
       return bundle;
     }
 
@@ -159,6 +176,9 @@ class AppBuilder : public transact::TransactorStats<AppBuilder> {
     [[nodiscard]] const std::string& name() const noexcept { return name_; }
     [[nodiscard]] ara::Runtime& runtime() noexcept { return runtime_; }
     [[nodiscard]] reactor::Environment& environment() noexcept { return environment_; }
+    [[nodiscard]] const reactor::Environment& environment() const noexcept {
+      return environment_;
+    }
     [[nodiscard]] reactor::SimDriver& driver() noexcept { return driver_; }
 
    private:
@@ -195,9 +215,10 @@ class AppBuilder : public transact::TransactorStats<AppBuilder> {
     }
 
     template <typename Bundle>
-    void register_transactors(const Bundle& bundle) {
-      bundle.for_each_transactor(
-          [this](const transact::Transactor& t) { app_.transactors_.push_back(&t); });
+    void register_transactors(const Bundle& bundle, bool server) {
+      bundle.for_each_transactor([this, server](const transact::Transactor& t) {
+        app_.transactors_.push_back(TransactorRecord{&t, this, server});
+      });
     }
 
     AppBuilder& app_;
@@ -230,9 +251,28 @@ class AppBuilder : public transact::TransactorStats<AppBuilder> {
   /// through any node, in declaration order.
   template <typename F>
   void for_each_transactor(F&& f) const {
-    for (const transact::Transactor* t : transactors_) {
-      f(*t);
+    for (const TransactorRecord& record : transactors_) {
+      f(*record.transactor);
     }
+  }
+
+  /// Runs the static determinism verifier (src/analysis/) over the
+  /// constructed application: extracts the fact table from every node's
+  /// reactor graph plus the cross-binding channels, evaluates the
+  /// structural rules, and throws analysis::AnalysisError when a finding
+  /// passes the gate (kAll: any error; kStructural: graph/tag errors
+  /// only — timing-budget findings stay in the report so deliberately
+  /// out-of-envelope experiment runs can proceed). Call after wiring,
+  /// before start(). Draws no rng stream and executes no event —
+  /// digests cannot move.
+  analysis::Report validate() const;  // gates on Gate::kAll
+  analysis::Report validate(analysis::Gate gate) const;
+
+  [[nodiscard]] const std::vector<std::unique_ptr<Node>>& nodes() const noexcept {
+    return nodes_;
+  }
+  [[nodiscard]] const std::vector<TransactorRecord>& transactor_records() const noexcept {
+    return transactors_;
   }
 
   [[nodiscard]] const Config& config() const noexcept { return config_; }
@@ -247,7 +287,7 @@ class AppBuilder : public transact::TransactorStats<AppBuilder> {
   Config config_;
   reactor::SimClock sim_clock_;
   std::vector<std::unique_ptr<Node>> nodes_;
-  std::vector<const transact::Transactor*> transactors_;
+  std::vector<TransactorRecord> transactors_;
 };
 
 }  // namespace dear

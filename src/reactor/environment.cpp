@@ -33,8 +33,8 @@ void Environment::assemble() {
   if (assembled_) {
     return;
   }
-  DependencyGraph graph(top_level_);
-  level_count_ = graph.assign_levels();
+  graph_ = std::make_unique<DependencyGraph>(top_level_);
+  level_count_ = graph_->assign_levels();
   for (Reactor* reactor : top_level_) {
     register_special_actions(reactor);
   }

@@ -77,6 +77,12 @@ class Environment {
   [[nodiscard]] int level_count() const noexcept { return level_count_; }
   [[nodiscard]] Trace& trace() noexcept { return scheduler_.trace(); }
 
+  /// The acyclic precedence graph computed by assemble(); nullptr before
+  /// assembly. The level/writer/dependency tables it exposes are the
+  /// contract consumed by the static verifier and (eventually) the static
+  /// schedule specialization.
+  [[nodiscard]] const DependencyGraph* graph() const noexcept { return graph_.get(); }
+
   [[nodiscard]] const std::vector<Reactor*>& top_level() const noexcept { return top_level_; }
   void register_top_level(Reactor* reactor) { top_level_.push_back(reactor); }
 
@@ -86,6 +92,7 @@ class Environment {
   PhysicalClock& clock_;
   Config config_;
   Scheduler scheduler_;
+  std::unique_ptr<DependencyGraph> graph_;
   std::vector<Reactor*> top_level_;
   std::vector<std::unique_ptr<Reactor>> owned_relays_;
   int relay_counter_{0};

@@ -15,6 +15,7 @@ template <typename T>
 class Port;
 class BaseAction;
 class Reaction;
+class DependencyGraph;
 class Scheduler;
 class Environment;
 class SimDriver;

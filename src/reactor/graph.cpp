@@ -1,9 +1,9 @@
 #include "reactor/graph.hpp"
 
+#include <algorithm>
 #include <deque>
 #include <stdexcept>
 #include <unordered_map>
-#include <unordered_set>
 
 #include "reactor/port.hpp"
 #include "reactor/reaction.hpp"
@@ -84,7 +84,10 @@ void DependencyGraph::build_edges() {
   }
 }
 
-int DependencyGraph::assign_levels() {
+const DependencyGraph::LevelAnalysis& DependencyGraph::analyze() {
+  if (analyzed_) {
+    return analysis_;
+  }
   const std::size_t n = reactions_.size();
   std::vector<int> indegree(n, 0);
   for (const auto& targets : edges_) {
@@ -93,7 +96,7 @@ int DependencyGraph::assign_levels() {
     }
   }
   std::deque<std::size_t> ready;
-  std::vector<int> level(n, 0);
+  level_.assign(n, 0);
   for (std::size_t i = 0; i < n; ++i) {
     if (indegree[i] == 0) {
       ready.push_back(i);
@@ -105,32 +108,81 @@ int DependencyGraph::assign_levels() {
     const std::size_t node = ready.front();
     ready.pop_front();
     ++visited;
-    max_level = std::max(max_level, level[node]);
+    max_level = std::max(max_level, level_[node]);
     for (const std::size_t target : edges_[node]) {
-      level[target] = std::max(level[target], level[node] + 1);
+      level_[target] = std::max(level_[target], level_[node] + 1);
       if (--indegree[target] == 0) {
         ready.push_back(target);
       }
     }
   }
-  if (visited != n) {
+  analysis_.acyclic = visited == n;
+  analysis_.level_count = max_level + 1;
+  analysis_.cyclic.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (indegree[i] > 0) {
+      analysis_.cyclic.push_back(i);
+    }
+  }
+  by_level_.assign(analysis_.acyclic ? static_cast<std::size_t>(analysis_.level_count) : 0, {});
+  if (analysis_.acyclic) {
+    for (std::size_t i = 0; i < n; ++i) {
+      by_level_[static_cast<std::size_t>(level_[i])].push_back(reactions_[i]);
+    }
+  }
+  analyzed_ = true;
+  return analysis_;
+}
+
+int DependencyGraph::assign_levels() {
+  const LevelAnalysis& analysis = analyze();
+  if (!analysis.acyclic) {
     // Collect the reactions on cycles for the error message.
     std::string names;
-    for (std::size_t i = 0; i < n; ++i) {
-      if (indegree[i] > 0) {
-        if (!names.empty()) {
-          names += ", ";
-        }
-        names += reactions_[i]->fqn();
+    for (const std::size_t i : analysis.cyclic) {
+      if (!names.empty()) {
+        names += ", ";
       }
+      names += reactions_[i]->fqn();
     }
     throw std::logic_error("reactor program has a dependency cycle involving: " + names);
   }
-  for (std::size_t i = 0; i < n; ++i) {
-    reactions_[i]->set_level(level[i]);
+  for (std::size_t i = 0; i < reactions_.size(); ++i) {
+    reactions_[i]->set_level(level_[i]);
   }
-  level_count_ = max_level + 1;
+  level_count_ = analysis.level_count;
   return level_count_ < 1 ? 1 : level_count_;
+}
+
+const std::vector<Reaction*>& DependencyGraph::writers_of(const BasePort& port) noexcept {
+  const BasePort* source = &port;
+  while (source->inward_binding() != nullptr) {
+    source = source->inward_binding();
+  }
+  return source->writers();
+}
+
+std::vector<const Reaction*> DependencyGraph::dependencies_of(const Reaction& reaction) const {
+  std::vector<const Reaction*> deps;
+  const std::size_t target = index_of(reaction);
+  if (target == reactions_.size()) {
+    return deps;
+  }
+  for (std::size_t i = 0; i < reactions_.size(); ++i) {
+    if (std::find(edges_[i].begin(), edges_[i].end(), target) != edges_[i].end()) {
+      deps.push_back(reactions_[i]);
+    }
+  }
+  return deps;
+}
+
+std::size_t DependencyGraph::index_of(const Reaction& reaction) const noexcept {
+  for (std::size_t i = 0; i < reactions_.size(); ++i) {
+    if (reactions_[i] == &reaction) {
+      return i;
+    }
+  }
+  return reactions_.size();
 }
 
 }  // namespace dear::reactor

@@ -9,8 +9,14 @@
 // A topological sort assigns each reaction a level; reactions on the same
 // level are independent and may execute in parallel. Cycles are reported
 // with the full path.
+//
+// Beyond driving execution, the graph is introspectable: analyze() exposes
+// the adjacency, per-reaction levels, writer sets and dependency sets that
+// the static verifier (src/analysis/) and the future static-schedule
+// specialization consume — without executing a single event.
 #pragma once
 
+#include <cstddef>
 #include <string>
 #include <vector>
 
@@ -20,15 +26,60 @@ namespace dear::reactor {
 
 class DependencyGraph {
  public:
+  /// Outcome of the non-throwing level analysis. When the graph is cyclic,
+  /// `cyclic` lists the indices (into reactions()) of every reaction stuck
+  /// on an instantaneous cycle; levels of acyclic reactions stay valid.
+  struct LevelAnalysis {
+    bool acyclic{true};
+    int level_count{0};
+    std::vector<std::size_t> cyclic;
+  };
+
   /// Collects all reactions reachable from the given top-level reactors.
   explicit DependencyGraph(const std::vector<Reactor*>& top_level);
 
-  /// Assigns levels; throws std::logic_error naming the cycle if the graph
-  /// is cyclic. Returns the number of levels.
+  /// Computes levels without mutating the reactions and without throwing;
+  /// idempotent (cached). The entry point for static analysis, which wants
+  /// cycles as diagnostics rather than exceptions.
+  const LevelAnalysis& analyze();
+
+  /// Assigns levels onto the reactions; throws std::logic_error naming the
+  /// cycle if the graph is cyclic. Returns the number of levels.
   int assign_levels();
 
   [[nodiscard]] const std::vector<Reaction*>& reactions() const noexcept { return reactions_; }
   [[nodiscard]] int level_count() const noexcept { return level_count_; }
+
+  // --- const introspection (valid after analyze()/assign_levels()) -----------
+
+  /// Adjacency: edges()[i] lists indices of reactions that must run after
+  /// reaction i. May contain duplicates (a port that both triggers and is
+  /// read contributes one edge each).
+  [[nodiscard]] const std::vector<std::vector<std::size_t>>& edges() const noexcept {
+    return edges_;
+  }
+
+  /// Level computed for reactions()[index] (0-based; meaningless for
+  /// reactions listed in LevelAnalysis::cyclic).
+  [[nodiscard]] int level_of(std::size_t index) const { return level_.at(index); }
+
+  /// Reactions grouped by level: levels()[l] lists every reaction at level
+  /// l, in graph order. Reactions on a cycle appear in no group.
+  [[nodiscard]] const std::vector<std::vector<Reaction*>>& levels() const noexcept {
+    return by_level_;
+  }
+
+  /// Reactions that may write `port`, resolved through the binding chain
+  /// to the source port (writers always register on the source).
+  [[nodiscard]] static const std::vector<Reaction*>& writers_of(const BasePort& port) noexcept;
+
+  /// Direct predecessors of `reaction` in the APG (deduplicated): every
+  /// reaction that must run before it at the same tag.
+  [[nodiscard]] std::vector<const Reaction*> dependencies_of(const Reaction& reaction) const;
+
+  /// Index of `reaction` in reactions(), or reactions().size() when the
+  /// reaction is not part of this graph.
+  [[nodiscard]] std::size_t index_of(const Reaction& reaction) const noexcept;
 
  private:
   void collect(Reactor* reactor);
@@ -38,6 +89,10 @@ class DependencyGraph {
   std::vector<Reaction*> reactions_;
   // adjacency: edges_[i] lists indices of reactions that must run after i.
   std::vector<std::vector<std::size_t>> edges_;
+  std::vector<int> level_;
+  std::vector<std::vector<Reaction*>> by_level_;
+  LevelAnalysis analysis_;
+  bool analyzed_{false};
   int level_count_{0};
 };
 

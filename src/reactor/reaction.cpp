@@ -39,6 +39,16 @@ Reaction& Reaction::with_deadline(Duration deadline, Body handler) {
   return *this;
 }
 
+Reaction& Reaction::reads_state(std::string name) {
+  state_reads_.push_back(std::move(name));
+  return *this;
+}
+
+Reaction& Reaction::writes_state(std::string name) {
+  state_writes_.push_back(std::move(name));
+  return *this;
+}
+
 void Reaction::execute(const Tag& tag, TimePoint physical_now) {
   ++executions_;
   if (has_deadline() && physical_now > tag.time + deadline_) {

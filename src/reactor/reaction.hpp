@@ -40,6 +40,14 @@ class Reaction final : public Element {
   /// Attaches a deadline; `handler` runs instead of the body on violation.
   Reaction& with_deadline(Duration deadline, Body handler);
 
+  /// Declares that the body reads resp. mutates a named state cell. The
+  /// name is a global identity: two reactions declaring the same name
+  /// share that state, whether or not they live in the same reactor. The
+  /// static verifier (src/analysis/) requires an APG ordering edge between
+  /// any two reactions where at least one mutates a shared cell.
+  Reaction& reads_state(std::string name);
+  Reaction& writes_state(std::string name);
+
   // --- introspection -----------------------------------------------------------
 
   [[nodiscard]] int priority() const noexcept { return priority_; }
@@ -51,6 +59,15 @@ class Reaction final : public Element {
     return dependencies_;
   }
   [[nodiscard]] const std::vector<BasePort*>& effect_ports() const noexcept { return effects_; }
+  [[nodiscard]] const std::vector<BaseAction*>& trigger_actions() const noexcept {
+    return action_triggers_;
+  }
+  [[nodiscard]] const std::vector<std::string>& state_reads() const noexcept {
+    return state_reads_;
+  }
+  [[nodiscard]] const std::vector<std::string>& state_writes() const noexcept {
+    return state_writes_;
+  }
 
   [[nodiscard]] std::uint64_t executions() const noexcept { return executions_; }
   [[nodiscard]] std::uint64_t deadline_violations() const noexcept {
@@ -81,6 +98,8 @@ class Reaction final : public Element {
   std::vector<BasePort*> dependencies_;  // triggers + reads
   std::vector<BasePort*> effects_;
   std::vector<BaseAction*> action_triggers_;
+  std::vector<std::string> state_reads_;
+  std::vector<std::string> state_writes_;
 
   // Scheduler staging state: the tag this reaction is already staged for
   // (guarded by the scheduler's staging mutex).

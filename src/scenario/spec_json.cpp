@@ -1,0 +1,265 @@
+#include "scenario/spec_json.hpp"
+
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+
+namespace dear::scenario {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  [[nodiscard]] bool failed() const noexcept { return failed_; }
+  [[nodiscard]] const std::string& error() const noexcept { return error_; }
+
+  void fail(const std::string& message) {
+    if (!failed_) {
+      failed_ = true;
+      error_ = message + " (at offset " + std::to_string(pos_) + ")";
+    }
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] bool consume(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  void expect(char c) {
+    if (!consume(c)) {
+      fail(std::string("expected '") + c + "'");
+    }
+  }
+
+  [[nodiscard]] std::string parse_string() {
+    skip_ws();
+    if (pos_ >= text_.size() || text_[pos_] != '"') {
+      fail("expected string");
+      return {};
+    }
+    ++pos_;
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\' && pos_ < text_.size()) {
+        const char escaped = text_[pos_++];
+        switch (escaped) {
+          case 'n':
+            c = '\n';
+            break;
+          case 't':
+            c = '\t';
+            break;
+          default:
+            c = escaped;
+            break;
+        }
+      }
+      out += c;
+    }
+    if (pos_ >= text_.size()) {
+      fail("unterminated string");
+      return {};
+    }
+    ++pos_;  // closing quote
+    return out;
+  }
+
+  [[nodiscard]] double parse_number() {
+    skip_ws();
+    const char* begin = text_.data() + pos_;
+    char* end = nullptr;
+    const double value = std::strtod(begin, &end);
+    if (end == begin) {
+      fail("expected number");
+      return 0.0;
+    }
+    pos_ += static_cast<std::size_t>(end - begin);
+    return value;
+  }
+
+  [[nodiscard]] bool parse_bool() {
+    skip_ws();
+    if (text_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      return true;
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      return false;
+    }
+    fail("expected boolean");
+    return false;
+  }
+
+  [[nodiscard]] bool at_end() {
+    skip_ws();
+    return pos_ >= text_.size();
+  }
+
+ private:
+  std::string_view text_;
+  std::size_t pos_{0};
+  bool failed_{false};
+  std::string error_;
+};
+
+void parse_sensor_faults(Parser& parser, sim::SensorFaultModel& faults) {
+  parser.expect('{');
+  if (parser.consume('}')) {
+    return;
+  }
+  do {
+    const std::string key = parser.parse_string();
+    parser.expect(':');
+    if (key == "drop_probability") {
+      faults.drop_probability = parser.parse_number();
+    } else if (key == "stuck_probability") {
+      faults.stuck_probability = parser.parse_number();
+    } else if (key == "noise_probability") {
+      faults.noise_probability = parser.parse_number();
+    } else {
+      parser.fail("unknown sensor_faults key '" + key + "'");
+      return;
+    }
+  } while (parser.consume(','));
+  parser.expect('}');
+}
+
+}  // namespace
+
+std::string spec_to_json(const ScenarioSpec& spec) {
+  char buffer[256];
+  std::string out = "{\n";
+  out += "  \"name\": \"" + spec.name + "\",\n";
+  std::snprintf(buffer, sizeof(buffer), "  \"index\": %" PRIu64 ",\n", spec.index);
+  out += buffer;
+  out += "  \"workload\": \"" + std::string(to_string(spec.workload)) + "\",\n";
+  out += "  \"transport\": \"" + std::string(to_string(spec.transport)) + "\",\n";
+  std::snprintf(buffer, sizeof(buffer),
+                "  \"frames\": %" PRIu64 ",\n  \"platform_seed\": %" PRIu64
+                ",\n  \"sensor_seed\": %" PRIu64 ",\n",
+                spec.frames, spec.platform_seed, spec.sensor_seed);
+  out += buffer;
+  std::snprintf(buffer, sizeof(buffer), "  \"clock_drift_ppm\": %.6g,\n", spec.clock_drift_ppm);
+  out += buffer;
+  std::snprintf(buffer, sizeof(buffer),
+                "  \"svc_latency_min_ns\": %" PRId64 ",\n  \"svc_latency_max_ns\": %" PRId64
+                ",\n",
+                static_cast<std::int64_t>(spec.svc_latency_min),
+                static_cast<std::int64_t>(spec.svc_latency_max));
+  out += buffer;
+  std::snprintf(buffer, sizeof(buffer),
+                "  \"net_drop_probability\": %.6g,\n  \"net_duplicate_probability\": %.6g,\n",
+                spec.net_drop_probability, spec.net_duplicate_probability);
+  out += buffer;
+  out += std::string("  \"net_in_order\": ") + (spec.net_in_order ? "true" : "false") + ",\n";
+  std::snprintf(buffer, sizeof(buffer),
+                "  \"exec_time_scale\": %.6g,\n  \"deadline_scale\": %.6g,\n",
+                spec.exec_time_scale, spec.deadline_scale);
+  out += buffer;
+  std::snprintf(buffer, sizeof(buffer),
+                "  \"sensor_faults\": {\"drop_probability\": %.6g, \"stuck_probability\": %.6g, "
+                "\"noise_probability\": %.6g}\n",
+                spec.sensor_faults.drop_probability, spec.sensor_faults.stuck_probability,
+                spec.sensor_faults.noise_probability);
+  out += buffer;
+  out += "}\n";
+  return out;
+}
+
+std::optional<ScenarioSpec> spec_from_json(std::string_view text, std::string* error) {
+  Parser parser(text);
+  ScenarioSpec spec;
+  parser.expect('{');
+  const bool empty = parser.consume('}');
+  if (!empty) {
+    do {
+      const std::string key = parser.parse_string();
+      parser.expect(':');
+      if (parser.failed()) {
+        break;
+      }
+      if (key == "name") {
+        spec.name = parser.parse_string();
+      } else if (key == "index") {
+        spec.index = static_cast<std::uint64_t>(parser.parse_number());
+      } else if (key == "workload") {
+        const std::string value = parser.parse_string();
+        if (value == "dear") {
+          spec.workload = Workload::kBrakeDear;
+        } else if (value == "nondet") {
+          spec.workload = Workload::kBrakeNondet;
+        } else if (value == "acc") {
+          spec.workload = Workload::kAcc;
+        } else {
+          parser.fail("unknown workload '" + value + "'");
+        }
+      } else if (key == "transport") {
+        const std::string value = parser.parse_string();
+        if (value == "someip") {
+          spec.transport = Transport::kSomeIp;
+        } else if (value == "local") {
+          spec.transport = Transport::kLocal;
+        } else {
+          parser.fail("unknown transport '" + value + "'");
+        }
+      } else if (key == "frames") {
+        spec.frames = static_cast<std::uint64_t>(parser.parse_number());
+      } else if (key == "platform_seed") {
+        spec.platform_seed = static_cast<std::uint64_t>(parser.parse_number());
+      } else if (key == "sensor_seed") {
+        spec.sensor_seed = static_cast<std::uint64_t>(parser.parse_number());
+      } else if (key == "clock_drift_ppm") {
+        spec.clock_drift_ppm = parser.parse_number();
+      } else if (key == "svc_latency_min_ns") {
+        spec.svc_latency_min = static_cast<Duration>(parser.parse_number());
+      } else if (key == "svc_latency_max_ns") {
+        spec.svc_latency_max = static_cast<Duration>(parser.parse_number());
+      } else if (key == "net_drop_probability") {
+        spec.net_drop_probability = parser.parse_number();
+      } else if (key == "net_duplicate_probability") {
+        spec.net_duplicate_probability = parser.parse_number();
+      } else if (key == "net_in_order") {
+        spec.net_in_order = parser.parse_bool();
+      } else if (key == "exec_time_scale") {
+        spec.exec_time_scale = parser.parse_number();
+      } else if (key == "deadline_scale") {
+        spec.deadline_scale = parser.parse_number();
+      } else if (key == "sensor_faults") {
+        parse_sensor_faults(parser, spec.sensor_faults);
+      } else {
+        parser.fail("unknown key '" + key + "'");
+      }
+    } while (!parser.failed() && parser.consume(','));
+    if (!parser.failed()) {
+      parser.expect('}');
+    }
+  }
+  if (!parser.failed() && !parser.at_end()) {
+    parser.fail("trailing content after the scenario object");
+  }
+  if (parser.failed()) {
+    if (error != nullptr) {
+      *error = parser.error();
+    }
+    return std::nullopt;
+  }
+  return spec;
+}
+
+}  // namespace dear::scenario

@@ -1,0 +1,28 @@
+// Flat JSON (de)serialization of ScenarioSpec — the file format consumed
+// by `dear_lint --scenario` and emitted for reproducibility alongside
+// analysis reports. No external JSON dependency: the format is a single
+// flat object (one nested "sensor_faults" object), parsed by a small
+// recursive-descent reader. Unknown keys are rejected so a typo in a
+// scenario file fails loudly instead of silently linting the defaults.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "scenario/spec.hpp"
+
+namespace dear::scenario {
+
+/// Serializes every knob (durations in ns). Round-trips through
+/// spec_from_json bit-exactly for the integer fields and through the
+/// shortest-representation printf for the doubles.
+[[nodiscard]] std::string spec_to_json(const ScenarioSpec& spec);
+
+/// Parses a scenario file: fields default to ScenarioSpec{} values and
+/// may be overridden individually. Returns std::nullopt and fills
+/// `error` on malformed input or unknown keys.
+[[nodiscard]] std::optional<ScenarioSpec> spec_from_json(std::string_view text,
+                                                         std::string* error = nullptr);
+
+}  // namespace dear::scenario

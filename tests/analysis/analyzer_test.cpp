@@ -1,0 +1,154 @@
+// Workload-level analyzer tests: the three case-study pipelines as the
+// verifier's regression oracle. The DEAR pipelines must lint clean, the
+// stock-APD baseline must be flagged for exactly the defects the paper
+// attributes to it, and the static verdict must agree with the runtime
+// oracle (expect_deterministic()) across the campaign grids — plus the
+// golden fact digests that pin "the analyzer still sees the same program".
+#include "analysis/analyzer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+
+#include "analysis/rules.hpp"
+#include "scenario/presets.hpp"
+#include "scenario/spec.hpp"
+
+namespace dear::analysis {
+namespace {
+
+using namespace dear::literals;
+using scenario::ScenarioSpec;
+using scenario::Workload;
+
+bool has_rule(const Report& report, Rule rule) {
+  return std::any_of(report.diagnostics.begin(), report.diagnostics.end(),
+                     [rule](const Diagnostic& d) { return d.rule == rule; });
+}
+
+std::string digest_hex(const Facts& facts) {
+  char buffer[17];
+  std::snprintf(buffer, sizeof(buffer), "%016" PRIx64, facts.digest());
+  return buffer;
+}
+
+ScenarioSpec spec_for(Workload workload) {
+  ScenarioSpec spec;
+  spec.workload = workload;
+  return spec;
+}
+
+TEST(Analyzer, DearBrakeLintsClean) {
+  const Report report = analyze_spec(spec_for(Workload::kBrakeDear));
+  EXPECT_EQ(report.workload, "dear");
+  EXPECT_EQ(report.error_count(), 0U);
+  EXPECT_TRUE(report.deterministic());
+  EXPECT_TRUE(report.expected_deterministic);
+  EXPECT_TRUE(report.verdict_matches());
+  // The real pipeline graph was extracted: four SWC nodes, transactor
+  // levels, tagged channels.
+  EXPECT_GT(report.facts.reactions.size(), 10U);
+  EXPECT_GE(report.facts.channels.size(), 4U);
+  for (const ChannelFact& channel : report.facts.channels) {
+    EXPECT_TRUE(channel.tagged) << channel.member;
+    EXPECT_EQ(channel.latency_bound, 5_ms) << channel.member;
+  }
+}
+
+TEST(Analyzer, AccLintsClean) {
+  const Report report = analyze_spec(spec_for(Workload::kAcc));
+  EXPECT_EQ(report.workload, "acc");
+  EXPECT_EQ(report.error_count(), 0U);
+  EXPECT_TRUE(report.verdict_matches());
+  // The actuator's unused field-client reactions are known dead weight —
+  // flagged as warnings, not errors.
+  EXPECT_TRUE(has_rule(report, Rule::kDeadReaction));
+}
+
+TEST(Analyzer, NondetBaselineIsFlagged) {
+  const Report report = analyze_spec(spec_for(Workload::kBrakeNondet));
+  EXPECT_EQ(report.workload, "nondet");
+  EXPECT_FALSE(report.deterministic());
+  EXPECT_FALSE(report.expected_deterministic);
+  EXPECT_TRUE(report.verdict_matches());
+  // The paper's three defect classes, all present: racy one-slot buffers
+  // (store vs. take), unsynchronized counters, untagged service channels.
+  EXPECT_TRUE(has_rule(report, Rule::kMultiWriterPort));
+  EXPECT_TRUE(has_rule(report, Rule::kUnorderedSharedState));
+  EXPECT_TRUE(has_rule(report, Rule::kUntaggedChannel));
+  EXPECT_GE(report.error_count(), 13U);
+}
+
+// --- golden digests ----------------------------------------------------------
+// Pinned values: a change means the analyzer sees a different program —
+// either the workload wiring changed (update the anchors deliberately) or
+// the extraction regressed (fix it).
+
+TEST(Analyzer, GoldenFactDigests) {
+  EXPECT_EQ(digest_hex(analyze_spec(spec_for(Workload::kBrakeDear)).facts),
+            "507e74e4db742317");
+  EXPECT_EQ(digest_hex(analyze_spec(spec_for(Workload::kBrakeNondet)).facts),
+            "c3df8c15b2237394");
+  EXPECT_EQ(digest_hex(analyze_spec(spec_for(Workload::kAcc)).facts),
+            "32cf6d630f4a2c9a");
+}
+
+TEST(Analyzer, ExtractionIsDeterministic) {
+  const ScenarioSpec spec = spec_for(Workload::kBrakeDear);
+  const Report first = analyze_spec(spec);
+  const Report second = analyze_spec(spec);
+  EXPECT_EQ(first.facts.digest(), second.facts.digest());
+  EXPECT_EQ(first.facts.to_json(), second.facts.to_json());
+  EXPECT_EQ(first.facts.level_table(), second.facts.level_table());
+  EXPECT_FALSE(first.facts.level_table().empty());
+}
+
+// --- envelope rules through the full analyzer --------------------------------
+
+TEST(Analyzer, LateScenarioIsRejectedStatically) {
+  ScenarioSpec spec = spec_for(Workload::kBrakeDear);
+  spec.svc_latency_max = 8_ms;  // beyond the transactors' L = 5ms
+  const Report report = analyze_spec(spec);
+  EXPECT_TRUE(has_rule(report, Rule::kEnvelopeLatency));
+  EXPECT_FALSE(report.deterministic());
+  EXPECT_TRUE(report.verdict_matches());
+}
+
+TEST(Analyzer, TightenedDeadlinesAreRejectedStatically) {
+  ScenarioSpec spec = spec_for(Workload::kBrakeDear);
+  spec.deadline_scale = 0.5;
+  const Report report = analyze_spec(spec);
+  // Both views of the same violation: the envelope knob and the concrete
+  // per-node deadline-vs-WCET budgets of the scaled configuration.
+  EXPECT_TRUE(has_rule(report, Rule::kEnvelopeDeadlineScale));
+  EXPECT_TRUE(has_rule(report, Rule::kDeadlineBelowWcet));
+  EXPECT_FALSE(report.deterministic());
+  EXPECT_TRUE(report.verdict_matches());
+}
+
+// --- campaign oracle ---------------------------------------------------------
+
+TEST(Analyzer, SmokeGridAgreesWithRuntimeOracle) {
+  const auto specs = scenario::presets::smoke(/*frames=*/100, /*campaign_seed=*/1).expand();
+  const auto reports = analyze_scenarios(specs);
+  ASSERT_EQ(reports.size(), specs.size());
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    EXPECT_TRUE(reports[i].verdict_matches())
+        << specs[i].describe() << ": static deterministic=" << reports[i].deterministic()
+        << " oracle=" << specs[i].expect_deterministic();
+  }
+}
+
+TEST(Analyzer, ReportCollectionCarriesTheSchema) {
+  const auto reports = analyze_scenarios({spec_for(Workload::kBrakeDear)});
+  const std::string json = report_collection_json(reports);
+  EXPECT_NE(json.find("\"schema\": \"analysis-report-v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"facts_digest\""), std::string::npos);
+  EXPECT_NE(json.find("\"level_table\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dear::analysis

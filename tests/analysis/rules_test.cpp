@@ -1,0 +1,375 @@
+// One fixture per rule ID of the static determinism verifier
+// (docs/static_analysis.md): each test constructs the smallest reactor
+// program (or fact table) that trips exactly the rule under test, plus a
+// minimally different clean variant proving the rule does not overfire.
+#include "analysis/rules.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "analysis/extract.hpp"
+#include "reactor/runtime.hpp"
+#include "sim/kernel.hpp"
+
+namespace dear::analysis {
+namespace {
+
+using namespace dear::literals;
+using reactor::Environment;
+using reactor::Input;
+using reactor::Output;
+using reactor::Reactor;
+using reactor::Timer;
+
+std::size_t count_rule(const std::vector<Diagnostic>& diagnostics, Rule rule) {
+  return static_cast<std::size_t>(
+      std::count_if(diagnostics.begin(), diagnostics.end(),
+                    [rule](const Diagnostic& d) { return d.rule == rule; }));
+}
+
+/// Timer-triggered reaction; optionally writes a foreign port and/or a
+/// named state cell — the building block for the conflict fixtures.
+class Driver final : public Reactor {
+ public:
+  Driver(Environment& env, std::string name, reactor::BasePort* writes_port = nullptr,
+         const std::string& writes_cell = {})
+      : Reactor(std::move(name), env), timer_("timer", this, 10_ms) {
+    auto& reaction = add_reaction("drive", [] {}).triggered_by(timer_);
+    if (writes_port != nullptr) {
+      reaction.writes(*writes_port);
+    }
+    if (!writes_cell.empty()) {
+      reaction.writes_state(writes_cell);
+    }
+  }
+
+ private:
+  Timer timer_;
+};
+
+class Sink final : public Reactor {
+ public:
+  Input<int> in{"in", this};
+
+  explicit Sink(Environment& env, std::string name = "sink") : Reactor(std::move(name), env) {
+    add_reaction("consume", [] {}).triggered_by(in);
+  }
+};
+
+struct RulesTest : ::testing::Test {
+  sim::Kernel kernel;
+  reactor::SimClock clock{kernel};
+
+  [[nodiscard]] Facts facts_of(Environment& env) {
+    return extract({NodeContext{"node", &env}});
+  }
+};
+
+// --- DEAR-GRAPH-001: instantaneous cycle ------------------------------------
+
+class Loop final : public Reactor {
+ public:
+  Input<int> in{"in", this};
+  Output<int> out{"out", this};
+
+  Loop(Environment& env, std::string name) : Reactor(std::move(name), env) {
+    add_reaction("loop", [] {}).triggered_by(in).writes(out);
+  }
+};
+
+TEST_F(RulesTest, InstantaneousCycleReported) {
+  Environment env(clock);
+  Loop a(env, "loop_a");
+  Loop b(env, "loop_b");
+  env.connect(a.out, b.in);
+  env.connect(b.out, a.in);
+  // No assemble(): extraction analyzes the unassembled graph, exactly how
+  // the analyzer sees a cyclic program that could never start.
+  const Facts facts = facts_of(env);
+  ASSERT_EQ(facts.cycles.size(), 1U);
+  EXPECT_EQ(facts.cycles[0].size(), 2U);
+  for (const std::size_t member : facts.cycles[0]) {
+    EXPECT_EQ(facts.reactions[member].level, -1);
+  }
+  const auto diagnostics = check_structure(facts);
+  EXPECT_EQ(count_rule(diagnostics, Rule::kInstantaneousCycle), 1U);
+  EXPECT_TRUE(has_errors(diagnostics));
+}
+
+TEST_F(RulesTest, AcyclicChainIsClean) {
+  Environment env(clock);
+  Sink sink(env);
+  Driver driver(env, "driver", &sink.in);
+  const Facts facts = facts_of(env);
+  EXPECT_TRUE(facts.cycles.empty());
+  const auto diagnostics = check_structure(facts);
+  EXPECT_EQ(count_rule(diagnostics, Rule::kInstantaneousCycle), 0U);
+  EXPECT_FALSE(has_errors(diagnostics));
+}
+
+// --- DEAR-GRAPH-002 / 005: multi-writer ports --------------------------------
+
+TEST_F(RulesTest, UnorderedMultiWriterIsAnError) {
+  Environment env(clock);
+  Sink sink(env);
+  Driver first(env, "first", &sink.in);
+  Driver second(env, "second", &sink.in);
+  const auto diagnostics = check_structure(facts_of(env));
+  EXPECT_EQ(count_rule(diagnostics, Rule::kMultiWriterPort), 1U);
+  EXPECT_EQ(count_rule(diagnostics, Rule::kOrderedMultiWriterPort), 0U);
+  EXPECT_TRUE(has_errors(diagnostics));
+}
+
+TEST_F(RulesTest, OrderedMultiWriterIsANote) {
+  // Two reactions of the SAME reactor: declaration priority gives them an
+  // ordering edge, so last-write-wins is deterministic.
+  class TwoWriters final : public Reactor {
+   public:
+    Output<int> out{"out", this};
+    explicit TwoWriters(Environment& env) : Reactor("two", env), timer_("timer", this, 10_ms) {
+      add_reaction("w1", [] {}).triggered_by(timer_).writes(out);
+      add_reaction("w2", [] {}).triggered_by(timer_).writes(out);
+    }
+
+   private:
+    Timer timer_;
+  };
+  Environment env(clock);
+  TwoWriters two(env);
+  const auto diagnostics = check_structure(facts_of(env));
+  EXPECT_EQ(count_rule(diagnostics, Rule::kMultiWriterPort), 0U);
+  EXPECT_EQ(count_rule(diagnostics, Rule::kOrderedMultiWriterPort), 1U);
+  EXPECT_FALSE(has_errors(diagnostics));
+}
+
+// --- DEAR-GRAPH-003: unordered shared state ----------------------------------
+
+TEST_F(RulesTest, UnorderedSharedStateIsAnError) {
+  Environment env(clock);
+  Driver first(env, "first", nullptr, "shared.cell");
+  Driver second(env, "second", nullptr, "shared.cell");
+  const Facts facts = facts_of(env);
+  ASSERT_EQ(facts.states().size(), 1U);
+  EXPECT_EQ(facts.states()[0].name, "shared.cell");
+  const auto diagnostics = check_structure(facts);
+  EXPECT_EQ(count_rule(diagnostics, Rule::kUnorderedSharedState), 1U);
+  EXPECT_TRUE(has_errors(diagnostics));
+}
+
+TEST_F(RulesTest, OrderedSharedStateIsClean) {
+  // writer -> reader connected through a port: the APG edge orders the
+  // two accessors, so the shared cell is race-free by construction.
+  class StatefulSink final : public Reactor {
+   public:
+    Input<int> in{"in", this};
+    explicit StatefulSink(Environment& env) : Reactor("stateful_sink", env) {
+      add_reaction("consume", [] {}).triggered_by(in).reads_state("shared.cell");
+    }
+  };
+  class StatefulDriver final : public Reactor {
+   public:
+    Output<int> out{"out", this};
+    explicit StatefulDriver(Environment& env)
+        : Reactor("stateful_driver", env), timer_("timer", this, 10_ms) {
+      add_reaction("drive", [] {}).triggered_by(timer_).writes(out).writes_state("shared.cell");
+    }
+
+   private:
+    Timer timer_;
+  };
+  Environment env(clock);
+  StatefulDriver driver(env);
+  StatefulSink sink(env);
+  env.connect(driver.out, sink.in);
+  const auto diagnostics = check_structure(facts_of(env));
+  EXPECT_EQ(count_rule(diagnostics, Rule::kUnorderedSharedState), 0U);
+  EXPECT_FALSE(has_errors(diagnostics));
+}
+
+TEST_F(RulesTest, ReadOnlySharedStateIsClean) {
+  Environment env(clock);
+  class Reader final : public Reactor {
+   public:
+    Reader(Environment& env, std::string name)
+        : Reactor(std::move(name), env), timer_("timer", this, 10_ms) {
+      add_reaction("read", [] {}).triggered_by(timer_).reads_state("config.cell");
+    }
+
+   private:
+    Timer timer_;
+  };
+  Reader a(env, "a");
+  Reader b(env, "b");
+  const auto diagnostics = check_structure(facts_of(env));
+  EXPECT_EQ(count_rule(diagnostics, Rule::kUnorderedSharedState), 0U);
+}
+
+// --- DEAR-GRAPH-004: dead reactions ------------------------------------------
+
+TEST_F(RulesTest, UnreachableReactionIsAWarning) {
+  Environment env(clock);
+  Sink sink(env);  // nothing ever writes sink.in
+  const auto diagnostics = check_structure(facts_of(env));
+  ASSERT_EQ(count_rule(diagnostics, Rule::kDeadReaction), 1U);
+  EXPECT_FALSE(has_errors(diagnostics));  // warning severity
+  for (const Diagnostic& d : diagnostics) {
+    if (d.rule == Rule::kDeadReaction) {
+      EXPECT_EQ(d.severity, Severity::kWarning);
+      EXPECT_EQ(d.subject, "sink.consume");
+    }
+  }
+}
+
+TEST_F(RulesTest, TransitivelyReachableReactionIsLive) {
+  // driver -> relay -> sink: the sink is reachable only through the relay,
+  // which the fixpoint must discover.
+  class Relay final : public Reactor {
+   public:
+    Input<int> in{"in", this};
+    Output<int> out{"out", this};
+    explicit Relay(Environment& env) : Reactor("relay", env) {
+      add_reaction("forward", [] {}).triggered_by(in).writes(out);
+    }
+  };
+  Environment env(clock);
+  Sink sink(env);
+  Relay relay(env);
+  Driver driver(env, "driver", &relay.in);
+  env.connect(relay.out, sink.in);
+  const auto diagnostics = check_structure(facts_of(env));
+  EXPECT_EQ(count_rule(diagnostics, Rule::kDeadReaction), 0U);
+}
+
+// --- DEAR-TIME-001: deadline below WCET --------------------------------------
+
+class Budgeted final : public Reactor {
+ public:
+  Budgeted(Environment& env, Duration deadline, Duration wcet)
+      : Reactor("budgeted", env), timer_("timer", this, 10_ms) {
+    auto& reaction =
+        add_reaction("work", [] {}).triggered_by(timer_).with_deadline(deadline, [] {});
+    reaction.set_modeled_cost(sim::ExecTimeModel::constant(wcet));
+  }
+
+ private:
+  Timer timer_;
+};
+
+TEST_F(RulesTest, DeadlineBelowWcetIsAnError) {
+  Environment env(clock);
+  Budgeted reactor(env, /*deadline=*/5_ms, /*wcet=*/10_ms);
+  const auto diagnostics = check_structure(facts_of(env));
+  ASSERT_EQ(count_rule(diagnostics, Rule::kDeadlineBelowWcet), 1U);
+  EXPECT_TRUE(has_errors(diagnostics));
+}
+
+TEST_F(RulesTest, DeadlineCoveringWcetIsClean) {
+  Environment env(clock);
+  Budgeted reactor(env, /*deadline=*/10_ms, /*wcet=*/10_ms);
+  const auto diagnostics = check_structure(facts_of(env));
+  EXPECT_EQ(count_rule(diagnostics, Rule::kDeadlineBelowWcet), 0U);
+}
+
+// --- DEAR-TAG-001: untagged channels -----------------------------------------
+
+TEST_F(RulesTest, UntaggedChannelIsAnError) {
+  Facts facts;
+  facts.channels.push_back(ChannelFact{"Interface.member", "server", "client",
+                                       /*latency_bound=*/0, /*deadline=*/0, /*tagged=*/false});
+  const auto diagnostics = check_structure(facts);
+  ASSERT_EQ(count_rule(diagnostics, Rule::kUntaggedChannel), 1U);
+  EXPECT_TRUE(has_errors(diagnostics));
+}
+
+TEST_F(RulesTest, TaggedChannelIsClean) {
+  Facts facts;
+  facts.channels.push_back(ChannelFact{"Interface.member", "server", "client",
+                                       /*latency_bound=*/5_ms, /*deadline=*/5_ms,
+                                       /*tagged=*/true});
+  EXPECT_EQ(count_rule(check_structure(facts), Rule::kUntaggedChannel), 0U);
+}
+
+// --- DEAR-ENV-001..004: the assumption envelope ------------------------------
+
+struct EnvelopeTest : ::testing::Test {
+  Facts facts;
+  scenario::ScenarioSpec spec;
+
+  EnvelopeTest() {
+    facts.channels.push_back(ChannelFact{"Interface.member", "server", "client",
+                                         /*latency_bound=*/5_ms, /*deadline=*/5_ms,
+                                         /*tagged=*/true});
+  }
+};
+
+TEST_F(EnvelopeTest, DefaultSpecIsInsideTheEnvelope) {
+  EXPECT_TRUE(check_envelope(spec, facts).empty());
+}
+
+TEST_F(EnvelopeTest, LatencyBeyondBoundIsAnError) {
+  spec.svc_latency_max = 8_ms;  // channel assumes L = 5ms
+  const auto diagnostics = check_envelope(spec, facts);
+  ASSERT_EQ(count_rule(diagnostics, Rule::kEnvelopeLatency), 1U);
+  EXPECT_TRUE(has_errors(diagnostics));
+}
+
+TEST_F(EnvelopeTest, LatencyWithinBoundIsClean) {
+  spec.svc_latency_max = 5_ms;
+  EXPECT_EQ(count_rule(check_envelope(spec, facts), Rule::kEnvelopeLatency), 0U);
+}
+
+TEST_F(EnvelopeTest, FallsBackToRepoBoundWithoutChannels) {
+  const Facts no_channels;
+  spec.svc_latency_max = scenario::kSvcLatencyBound + 1;
+  EXPECT_EQ(count_rule(check_envelope(spec, no_channels), Rule::kEnvelopeLatency), 1U);
+}
+
+TEST_F(EnvelopeTest, LossyLinkIsAnError) {
+  spec.net_drop_probability = 0.01;
+  EXPECT_EQ(count_rule(check_envelope(spec, facts), Rule::kEnvelopeLossyLink), 1U);
+}
+
+TEST_F(EnvelopeTest, DuplicationAndReorderingAreAllowed) {
+  // The paper's guarantee tolerates duplicated and reordered delivery —
+  // only loss and late delivery break it.
+  spec.net_duplicate_probability = 0.5;
+  spec.net_in_order = false;
+  spec.clock_drift_ppm = 200.0;
+  EXPECT_TRUE(check_envelope(spec, facts).empty());
+}
+
+TEST_F(EnvelopeTest, DeadlineScaleBelowOneIsAnError) {
+  spec.deadline_scale = 0.99;
+  EXPECT_EQ(count_rule(check_envelope(spec, facts), Rule::kEnvelopeDeadlineScale), 1U);
+}
+
+TEST_F(EnvelopeTest, ExecScaleAboveOneIsAnError) {
+  spec.exec_time_scale = 1.01;
+  EXPECT_EQ(count_rule(check_envelope(spec, facts), Rule::kEnvelopeExecScale), 1U);
+}
+
+// --- rule metadata -----------------------------------------------------------
+
+TEST(RuleCatalog, IdsAreStableAndSeveritiesMatch) {
+  EXPECT_EQ(rule_id(Rule::kInstantaneousCycle), "DEAR-GRAPH-001");
+  EXPECT_EQ(rule_id(Rule::kMultiWriterPort), "DEAR-GRAPH-002");
+  EXPECT_EQ(rule_id(Rule::kUnorderedSharedState), "DEAR-GRAPH-003");
+  EXPECT_EQ(rule_id(Rule::kDeadReaction), "DEAR-GRAPH-004");
+  EXPECT_EQ(rule_id(Rule::kOrderedMultiWriterPort), "DEAR-GRAPH-005");
+  EXPECT_EQ(rule_id(Rule::kDeadlineBelowWcet), "DEAR-TIME-001");
+  EXPECT_EQ(rule_id(Rule::kUntaggedChannel), "DEAR-TAG-001");
+  EXPECT_EQ(rule_id(Rule::kEnvelopeLatency), "DEAR-ENV-001");
+  EXPECT_EQ(rule_id(Rule::kEnvelopeLossyLink), "DEAR-ENV-002");
+  EXPECT_EQ(rule_id(Rule::kEnvelopeDeadlineScale), "DEAR-ENV-003");
+  EXPECT_EQ(rule_id(Rule::kEnvelopeExecScale), "DEAR-ENV-004");
+
+  EXPECT_EQ(rule_severity(Rule::kDeadReaction), Severity::kWarning);
+  EXPECT_EQ(rule_severity(Rule::kOrderedMultiWriterPort), Severity::kNote);
+  EXPECT_EQ(rule_severity(Rule::kMultiWriterPort), Severity::kError);
+  EXPECT_EQ(rule_severity(Rule::kEnvelopeLatency), Severity::kError);
+}
+
+}  // namespace
+}  // namespace dear::analysis

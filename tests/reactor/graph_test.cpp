@@ -164,5 +164,91 @@ TEST_F(GraphTest, NestedReactorsCollected) {
   EXPECT_EQ(outer.inner.fqn(), "outer.inner");
 }
 
+// --- const introspection (the static verifier's view) ------------------------
+
+TEST_F(GraphTest, AnalyzeReportsCycleWithoutThrowing) {
+  class Loop final : public Reactor {
+   public:
+    Input<int> in{"in", this};
+    Output<int> out{"out", this};
+    explicit Loop(Environment& env, std::string name) : Reactor(std::move(name), env) {
+      add_reaction("loop", [] {}).triggered_by(in).writes(out);
+    }
+  };
+  Environment env(clock);
+  Loop a(env, "loop_a");
+  Loop b(env, "loop_b");
+  Counter independent(env, 10_ms, 1);
+  env.connect(a.out, b.in);
+  env.connect(b.out, a.in);
+  DependencyGraph graph(env.top_level());
+  const auto& analysis = graph.analyze();
+  EXPECT_FALSE(analysis.acyclic);
+  EXPECT_EQ(analysis.cyclic.size(), 2U);
+  // Levels of reactions off the cycle stay valid.
+  EXPECT_EQ(graph.level_of(graph.index_of(*independent.reactions()[0])), 0);
+  // analyze() is cached and idempotent.
+  EXPECT_EQ(&graph.analyze(), &analysis);
+}
+
+TEST_F(GraphTest, LevelsGroupReactionsByLevel) {
+  Environment env(clock);
+  Counter counter(env, 10_ms, 1);
+  Doubler d1(env, "d1");
+  Doubler d2(env, "d2");
+  env.connect(counter.out, d1.in);
+  env.connect(d1.out, d2.in);
+  env.assemble();
+  const DependencyGraph& graph = *env.graph();
+  ASSERT_EQ(graph.levels().size(), 3U);
+  ASSERT_EQ(graph.levels()[0].size(), 1U);
+  EXPECT_EQ(graph.levels()[0][0], counter.reactions()[0].get());
+  EXPECT_EQ(graph.levels()[1][0], d1.reactions()[0].get());
+  EXPECT_EQ(graph.levels()[2][0], d2.reactions()[0].get());
+}
+
+TEST_F(GraphTest, WritersOfResolvesThroughBindings) {
+  Environment env(clock);
+  Counter counter(env, 10_ms, 1);
+  Doubler doubler(env, "d");
+  Recorder<int> recorder(env);
+  env.connect(counter.out, doubler.in);
+  env.connect(doubler.out, recorder.in);
+  env.assemble();
+  // The writer of a *bound input* is the writer of its source port.
+  const auto& writers = DependencyGraph::writers_of(doubler.in);
+  ASSERT_EQ(writers.size(), 1U);
+  EXPECT_EQ(writers[0], counter.reactions()[0].get());
+  const auto& sink_writers = DependencyGraph::writers_of(recorder.in);
+  ASSERT_EQ(sink_writers.size(), 1U);
+  EXPECT_EQ(sink_writers[0], doubler.reactions()[0].get());
+}
+
+TEST_F(GraphTest, DependenciesOfListsDirectPredecessors) {
+  Environment env(clock);
+  Counter counter(env, 10_ms, 1);
+  Doubler d1(env, "d1");
+  Doubler d2(env, "d2");
+  env.connect(counter.out, d1.in);
+  env.connect(d1.out, d2.in);
+  env.assemble();
+  const DependencyGraph& graph = *env.graph();
+  EXPECT_TRUE(graph.dependencies_of(*counter.reactions()[0]).empty());
+  const auto d2_deps = graph.dependencies_of(*d2.reactions()[0]);
+  ASSERT_EQ(d2_deps.size(), 1U);  // direct only — not the transitive counter
+  EXPECT_EQ(d2_deps[0], d1.reactions()[0].get());
+}
+
+TEST_F(GraphTest, IndexOfUnknownReactionIsSize) {
+  Environment env(clock);
+  Counter inside(env, 10_ms, 1);
+  env.assemble();
+  Environment other(clock);
+  Counter outside(other, 10_ms, 1);
+  const DependencyGraph& graph = *env.graph();
+  EXPECT_EQ(graph.index_of(*inside.reactions()[0]), 0U);
+  EXPECT_EQ(graph.index_of(*outside.reactions()[0]), graph.reactions().size());
+}
+
 }  // namespace
 }  // namespace dear::reactor

@@ -1,0 +1,105 @@
+// ScenarioSpec JSON round-trip — the dear_lint --scenario file format.
+#include "scenario/spec_json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace dear::scenario {
+namespace {
+
+using namespace dear::literals;
+
+TEST(SpecJson, RoundTripsEveryKnob) {
+  ScenarioSpec spec;
+  spec.index = 42;
+  spec.name = "round-trip";
+  spec.workload = Workload::kAcc;
+  spec.transport = Transport::kLocal;
+  spec.frames = 1234;
+  spec.platform_seed = 77;
+  spec.sensor_seed = 88;
+  spec.clock_drift_ppm = 12.5;
+  spec.svc_latency_min = 10_us;
+  spec.svc_latency_max = 3_ms;
+  spec.net_drop_probability = 0.125;
+  spec.net_duplicate_probability = 0.25;
+  spec.net_in_order = true;
+  spec.exec_time_scale = 1.5;
+  spec.deadline_scale = 0.75;
+  spec.sensor_faults.drop_probability = 0.01;
+  spec.sensor_faults.stuck_probability = 0.02;
+  spec.sensor_faults.noise_probability = 0.03;
+
+  std::string error;
+  const auto parsed = spec_from_json(spec_to_json(spec), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->index, spec.index);
+  EXPECT_EQ(parsed->name, spec.name);
+  EXPECT_EQ(parsed->workload, spec.workload);
+  EXPECT_EQ(parsed->transport, spec.transport);
+  EXPECT_EQ(parsed->frames, spec.frames);
+  EXPECT_EQ(parsed->platform_seed, spec.platform_seed);
+  EXPECT_EQ(parsed->sensor_seed, spec.sensor_seed);
+  EXPECT_DOUBLE_EQ(parsed->clock_drift_ppm, spec.clock_drift_ppm);
+  EXPECT_EQ(parsed->svc_latency_min, spec.svc_latency_min);
+  EXPECT_EQ(parsed->svc_latency_max, spec.svc_latency_max);
+  EXPECT_DOUBLE_EQ(parsed->net_drop_probability, spec.net_drop_probability);
+  EXPECT_DOUBLE_EQ(parsed->net_duplicate_probability, spec.net_duplicate_probability);
+  EXPECT_EQ(parsed->net_in_order, spec.net_in_order);
+  EXPECT_DOUBLE_EQ(parsed->exec_time_scale, spec.exec_time_scale);
+  EXPECT_DOUBLE_EQ(parsed->deadline_scale, spec.deadline_scale);
+  EXPECT_DOUBLE_EQ(parsed->sensor_faults.drop_probability, spec.sensor_faults.drop_probability);
+  EXPECT_DOUBLE_EQ(parsed->sensor_faults.stuck_probability, spec.sensor_faults.stuck_probability);
+  EXPECT_DOUBLE_EQ(parsed->sensor_faults.noise_probability, spec.sensor_faults.noise_probability);
+}
+
+TEST(SpecJson, OmittedFieldsKeepDefaults) {
+  const auto parsed = spec_from_json(R"({"workload": "nondet", "frames": 10})");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->workload, Workload::kBrakeNondet);
+  EXPECT_EQ(parsed->frames, 10U);
+  const ScenarioSpec defaults;
+  EXPECT_EQ(parsed->transport, defaults.transport);
+  EXPECT_EQ(parsed->platform_seed, defaults.platform_seed);
+  EXPECT_DOUBLE_EQ(parsed->deadline_scale, defaults.deadline_scale);
+}
+
+TEST(SpecJson, EmptyObjectIsTheDefaultSpec) {
+  const auto parsed = spec_from_json("{}");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->workload, ScenarioSpec{}.workload);
+}
+
+TEST(SpecJson, UnknownKeyIsRejected) {
+  std::string error;
+  EXPECT_FALSE(spec_from_json(R"({"frmes": 10})", &error).has_value());
+  EXPECT_NE(error.find("frmes"), std::string::npos);
+}
+
+TEST(SpecJson, UnknownEnumValueIsRejected) {
+  std::string error;
+  EXPECT_FALSE(spec_from_json(R"({"workload": "bogus"})", &error).has_value());
+  EXPECT_NE(error.find("bogus"), std::string::npos);
+  EXPECT_FALSE(spec_from_json(R"({"transport": "carrier-pigeon"})").has_value());
+}
+
+TEST(SpecJson, MalformedInputIsRejected) {
+  EXPECT_FALSE(spec_from_json("").has_value());
+  EXPECT_FALSE(spec_from_json("{").has_value());
+  EXPECT_FALSE(spec_from_json(R"({"frames": })").has_value());
+  EXPECT_FALSE(spec_from_json(R"({"frames": 1} trailing)").has_value());
+  EXPECT_FALSE(spec_from_json(R"({"name": "unterminated)").has_value());
+}
+
+TEST(SpecJson, NestedSensorFaultsParse) {
+  const auto parsed = spec_from_json(
+      R"({"sensor_faults": {"drop_probability": 0.5, "noise_probability": 0.25}})");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_DOUBLE_EQ(parsed->sensor_faults.drop_probability, 0.5);
+  EXPECT_DOUBLE_EQ(parsed->sensor_faults.stuck_probability, 0.0);
+  EXPECT_DOUBLE_EQ(parsed->sensor_faults.noise_probability, 0.25);
+}
+
+}  // namespace
+}  // namespace dear::scenario
