@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
   cli.add_int("workers", 0, "worker threads (0 = hardware concurrency)");
   cli.add_int("scenarios", 64, "grid size for the throughput preset");
   cli.add_string("json", "", "write the CampaignReport JSON to this file");
+  cli.add_flag("timing", "annotate every row with the static timing verdict");
   cli.add_flag("quiet", "suppress the per-scenario table");
   if (!cli.parse(argc, argv)) {
     return cli.exit_code();
@@ -47,6 +48,7 @@ int main(int argc, char** argv) {
 
   dear::scenario::RunnerOptions options;
   options.workers = static_cast<std::size_t>(cli.get_int("workers"));
+  options.annotate_timing = cli.get_flag("timing");
   const dear::scenario::CampaignRunner runner(options);
 
   std::printf("expanding campaign '%s': %llu scenarios, seed %llu, %zu workers\n",

@@ -370,6 +370,11 @@ AccResult run_acc_pipeline(const AccScenarioConfig& config) {
   if (config.build_only) {
     return result;
   }
+  // Consume the compiled level tables (when a plan is supplied) before the
+  // environments assemble; a stale plan throws here, before any event runs.
+  if (config.schedule_plan != nullptr) {
+    app.apply_schedule_plans(*config.schedule_plan);
+  }
   // Fail fast on structural determinism violations before any event runs.
   // The structural gate lets deliberately tightened deadline budgets through:
   // those runs are out-of-envelope experiments whose misses the error

@@ -27,6 +27,9 @@
 
 namespace dear {
 class AppBuilder;
+namespace analysis {
+struct StaticPlan;
+}
 }
 
 namespace dear::acc {
@@ -93,6 +96,11 @@ struct AccScenarioConfig {
   /// Construct and wire the application, run preflight, and return
   /// without starting drivers or the radar (no event executes).
   bool build_only{false};
+  /// When set, every node consumes its level table from this compiled
+  /// plan (analysis::build_plan) instead of re-deriving it at assembly;
+  /// traces and digests are bit-identical either way. The plan must match
+  /// the constructed topology (stale plans throw).
+  const analysis::StaticPlan* schedule_plan{nullptr};
 };
 
 struct AccResult {

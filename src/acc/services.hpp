@@ -9,6 +9,8 @@
 // (event + field, the field expanding to two methods and one event).
 #pragma once
 
+#include <array>
+
 #include "acc/types.hpp"
 #include "ara/meta/service_interface.hpp"
 
@@ -41,6 +43,11 @@ struct AccController {
   static constexpr ara::meta::Field<double, 0x0001, 0x0002, 0x8002> target_speed{"target_speed"};
   static constexpr auto kInterface =
       ara::meta::service_interface("AccController", kAccService, {1, 0}, command, target_speed);
+  /// Radar→actuator end-to-end budget: the chain's logical latency at the
+  /// default deadlines is (5+5)+(20+5)+(10+5) = 50 ms; 60 ms leaves
+  /// headroom without hiding a regression (DEAR-LAT-001 checks it).
+  static constexpr std::array kEndToEndBudgets{
+      ara::meta::EndToEndBudget{"command", 60'000'000}};
 };
 
 }  // namespace dear::acc

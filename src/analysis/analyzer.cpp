@@ -4,7 +4,9 @@
 #include <utility>
 
 #include "analysis/app_facts.hpp"
+#include "analysis/plan.hpp"
 #include "analysis/rules.hpp"
+#include "analysis/timing.hpp"
 #include "analysis/workload_models.hpp"
 #include "dear/app_builder.hpp"
 #include "scenario/workloads.hpp"
@@ -42,6 +44,10 @@ namespace {
 }  // namespace
 
 Report analyze_spec(const scenario::ScenarioSpec& spec) {
+  return analyze_spec(spec, AnalyzeOptions{});
+}
+
+Report analyze_spec(const scenario::ScenarioSpec& spec, const AnalyzeOptions& options) {
   Report report;
   report.workload = std::string(scenario::to_string(spec.workload));
   report.scenario = spec.name.empty() ? spec.describe() : spec.name;
@@ -52,14 +58,25 @@ Report analyze_spec(const scenario::ScenarioSpec& spec) {
   report.diagnostics.insert(report.diagnostics.end(),
                             std::make_move_iterator(envelope.begin()),
                             std::make_move_iterator(envelope.end()));
+  if (options.timing) {
+    report.timing = analyze_timing(report.facts);
+    check_timing(report.facts, report.timing, options.workers, report.diagnostics);
+    report.plan = build_plan(report.facts);
+    report.timing_evaluated = true;
+  }
   return report;
 }
 
 std::vector<Report> analyze_scenarios(const std::vector<scenario::ScenarioSpec>& specs) {
+  return analyze_scenarios(specs, AnalyzeOptions{});
+}
+
+std::vector<Report> analyze_scenarios(const std::vector<scenario::ScenarioSpec>& specs,
+                                      const AnalyzeOptions& options) {
   std::vector<Report> reports;
   reports.reserve(specs.size());
   for (const scenario::ScenarioSpec& spec : specs) {
-    reports.push_back(analyze_spec(spec));
+    reports.push_back(analyze_spec(spec, options));
   }
   return reports;
 }

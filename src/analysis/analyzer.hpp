@@ -16,12 +16,26 @@
 
 namespace dear::analysis {
 
+struct AnalyzeOptions {
+  /// Run the timing pass (analysis/timing.hpp): chain extraction,
+  /// DEAR-LAT-001..004, and the compiled StaticPlan, all attached to the
+  /// report. Off by default — the structural report stays byte-identical
+  /// to PR 6's.
+  bool timing{false};
+  /// Worker count the level-width note (DEAR-LAT-003) checks against.
+  unsigned workers{1};
+};
+
 /// Analyzes one scenario: extracts facts for the spec's workload and
 /// evaluates the structural and envelope rules.
 [[nodiscard]] Report analyze_spec(const scenario::ScenarioSpec& spec);
+[[nodiscard]] Report analyze_spec(const scenario::ScenarioSpec& spec,
+                                  const AnalyzeOptions& options);
 
 /// Analyzes every scenario of an expanded campaign matrix.
 [[nodiscard]] std::vector<Report> analyze_scenarios(
     const std::vector<scenario::ScenarioSpec>& specs);
+[[nodiscard]] std::vector<Report> analyze_scenarios(
+    const std::vector<scenario::ScenarioSpec>& specs, const AnalyzeOptions& options);
 
 }  // namespace dear::analysis

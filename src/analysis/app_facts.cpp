@@ -51,10 +51,16 @@ Facts extract_app(const AppBuilder& app) {
       channel.client_node = client.node->name();
       channel.latency_bound = client.transactor->config().latency_bound;
       channel.deadline = server.transactor->config().deadline;
+      channel.clock_error = client.transactor->config().clock_error_bound;
       channel.tagged = true;
       facts.channels.push_back(std::move(channel));
       break;
     }
+  }
+
+  // End-to-end budgets declared on served descriptors (declaration order).
+  for (const auto& budget : app.budget_records()) {
+    facts.budgets.push_back(BudgetFact{budget.member, budget.node->name(), budget.budget});
   }
   return facts;
 }

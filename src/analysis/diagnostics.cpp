@@ -26,6 +26,14 @@ std::string_view rule_id(Rule rule) noexcept {
       return "DEAR-ENV-003";
     case Rule::kEnvelopeExecScale:
       return "DEAR-ENV-004";
+    case Rule::kChainBudgetExceeded:
+      return "DEAR-LAT-001";
+    case Rule::kChainWcetExceedsDeadline:
+      return "DEAR-LAT-002";
+    case Rule::kLevelWidthOverWorkers:
+      return "DEAR-LAT-003";
+    case Rule::kUnreachableBudgetSink:
+      return "DEAR-LAT-004";
   }
   return "DEAR-UNKNOWN";
 }
@@ -54,6 +62,14 @@ std::string_view rule_summary(Rule rule) noexcept {
       return "deadlines scaled below the budgeted WCETs";
     case Rule::kEnvelopeExecScale:
       return "execution times scaled beyond the budgeted WCETs";
+    case Rule::kChainBudgetExceeded:
+      return "chain logical latency exceeds the declared end-to-end budget";
+    case Rule::kChainWcetExceedsDeadline:
+      return "critical-path WCET exceeds the tightest deadline on the chain";
+    case Rule::kLevelWidthOverWorkers:
+      return "precedence-graph level wider than the configured worker count";
+    case Rule::kUnreachableBudgetSink:
+      return "end-to-end budget whose sink no tagged chain reaches";
   }
   return "unknown rule";
 }
@@ -61,8 +77,11 @@ std::string_view rule_summary(Rule rule) noexcept {
 Severity rule_severity(Rule rule) noexcept {
   switch (rule) {
     case Rule::kDeadReaction:
+    case Rule::kChainBudgetExceeded:
+    case Rule::kUnreachableBudgetSink:
       return Severity::kWarning;
     case Rule::kOrderedMultiWriterPort:
+    case Rule::kLevelWidthOverWorkers:
       return Severity::kNote;
     default:
       return Severity::kError;

@@ -55,6 +55,32 @@ enum class Rule : std::uint8_t {
   /// DEAR-ENV-004: scenario scales execution times beyond the budgeted
   /// WCETs (exec_time_scale > 1).
   kEnvelopeExecScale,
+  /// DEAR-LAT-001: a source→sink chain whose accumulated logical latency
+  /// (Σ per-hop D + L + E) exceeds the declared end-to-end budget.
+  kChainBudgetExceeded,
+  /// DEAR-LAT-002: a chain node whose critical-path WCET exceeds its
+  /// tightest sending deadline — deadline misses are statically certain
+  /// under the scenario's timing scales.
+  kChainWcetExceedsDeadline,
+  /// DEAR-LAT-003: a level of the precedence graph wider than the
+  /// configured worker count (legal; sequentialized by the scheduler).
+  kLevelWidthOverWorkers,
+  /// DEAR-LAT-004: an end-to-end budget whose sink no tagged source→sink
+  /// chain reaches (unreachable sink / dead budget).
+  kUnreachableBudgetSink,
+};
+
+/// Every rule, in catalog (= declaration) order. dear_lint --list-rules
+/// and the docs-catalog test iterate this.
+inline constexpr Rule kAllRules[] = {
+    Rule::kInstantaneousCycle,    Rule::kMultiWriterPort,
+    Rule::kUnorderedSharedState,  Rule::kDeadReaction,
+    Rule::kOrderedMultiWriterPort, Rule::kDeadlineBelowWcet,
+    Rule::kUntaggedChannel,       Rule::kEnvelopeLatency,
+    Rule::kEnvelopeLossyLink,     Rule::kEnvelopeDeadlineScale,
+    Rule::kEnvelopeExecScale,     Rule::kChainBudgetExceeded,
+    Rule::kChainWcetExceedsDeadline, Rule::kLevelWidthOverWorkers,
+    Rule::kUnreachableBudgetSink,
 };
 
 [[nodiscard]] std::string_view rule_id(Rule rule) noexcept;

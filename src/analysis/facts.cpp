@@ -174,11 +174,21 @@ std::string Facts::to_json(int indent) const {
     append_format(out,
                   "%s    {\"member\": \"%s\", \"server\": \"%s\", \"client\": \"%s\", "
                   "\"latency_bound_ns\": %" PRId64 ", \"deadline_ns\": %" PRId64
-                  ", \"tagged\": %s}%s\n",
+                  ", \"clock_error_ns\": %" PRId64 ", \"tagged\": %s}%s\n",
                   pad.c_str(), json_escape(c.member).c_str(), json_escape(c.server_node).c_str(),
                   json_escape(c.client_node).c_str(), static_cast<std::int64_t>(c.latency_bound),
-                  static_cast<std::int64_t>(c.deadline), c.tagged ? "true" : "false",
-                  i + 1 < channels.size() ? "," : "");
+                  static_cast<std::int64_t>(c.deadline), static_cast<std::int64_t>(c.clock_error),
+                  c.tagged ? "true" : "false", i + 1 < channels.size() ? "," : "");
+  }
+  out += pad + "  ],\n";
+
+  out += pad + "  \"budgets\": [\n";
+  for (std::size_t i = 0; i < budgets.size(); ++i) {
+    const BudgetFact& b = budgets[i];
+    append_format(out,
+                  "%s    {\"member\": \"%s\", \"node\": \"%s\", \"budget_ns\": %" PRId64 "}%s\n",
+                  pad.c_str(), json_escape(b.member).c_str(), json_escape(b.node).c_str(),
+                  static_cast<std::int64_t>(b.budget), i + 1 < budgets.size() ? "," : "");
   }
   out += pad + "  ],\n";
 

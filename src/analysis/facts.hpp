@@ -67,8 +67,26 @@ struct ChannelFact {
   Duration latency_bound{0};
   /// Sending deadline D folded into the wire tag by the server side.
   Duration deadline{0};
+  /// Clock synchronization error bound E assumed by the receiving
+  /// transactor (0 when both SWCs share a platform).
+  Duration clock_error{0};
   /// False when the channel carries no logical tags (stock APD).
   bool tagged{true};
+
+  /// Logical latency one hop adds to a chain: the sender folds D into the
+  /// wire tag and the receiver releases at wire + L + E (paper §III.B).
+  [[nodiscard]] Duration hop_latency() const noexcept {
+    return deadline + latency_bound + clock_error;
+  }
+};
+
+/// One declared end-to-end latency budget (ara::meta::EndToEndBudget on a
+/// served descriptor): samples emitted on `member` must arrive within
+/// `budget` of the chain's sensor tag.
+struct BudgetFact {
+  std::string member;  // "<Interface>.<member>"
+  std::string node;    // serving node
+  Duration budget{0};
 };
 
 /// Derived view: one named mutable state cell and its accessors.
@@ -83,6 +101,7 @@ struct Facts {
   std::vector<ReactionFact> reactions;
   std::vector<PortFact> ports;
   std::vector<ChannelFact> channels;
+  std::vector<BudgetFact> budgets;
   /// Nontrivial strongly-connected components of the reaction graph
   /// (instantaneous cycles), as sorted reaction-index lists.
   std::vector<std::vector<std::size_t>> cycles;

@@ -68,6 +68,14 @@ std::string Report::to_json(int indent) const {
            (i + 1 < diagnostics.size() ? "," : "") + "\n";
   }
   out += pad + "  ],\n";
+  if (timing_evaluated) {
+    out += pad + "  \"timing\":\n" + timing.to_json(indent + 2) + ",\n";
+    char plan_digest[64];
+    std::snprintf(plan_digest, sizeof(plan_digest), "  \"plan_digest\": \"%016" PRIx64 "\",\n",
+                  plan.digest());
+    out += pad + plan_digest;
+    out += pad + "  \"plan\":\n" + plan.to_json(indent + 2) + ",\n";
+  }
   out += pad + "  \"facts\":\n" + facts.to_json(indent + 2) + "\n";
   out += pad + "}";
   return out;

@@ -9,6 +9,8 @@
 
 #include "analysis/diagnostics.hpp"
 #include "analysis/facts.hpp"
+#include "analysis/plan.hpp"
+#include "analysis/timing.hpp"
 
 namespace dear::analysis {
 
@@ -25,6 +27,14 @@ struct Report {
   /// (ScenarioSpec::expect_deterministic()); meaningful only when the
   /// report was produced from a spec.
   bool expected_deterministic{true};
+
+  /// Filled when the timing pass ran (AnalyzeOptions::timing /
+  /// `dear_lint --timing`): chain bounds, per-node critical paths, and
+  /// the compiled schedule plan. The plan is empty for workloads without
+  /// a precedence graph (stock APD).
+  bool timing_evaluated{false};
+  TimingAnalysis timing;
+  StaticPlan plan;
 
   [[nodiscard]] std::size_t error_count() const noexcept;
   [[nodiscard]] std::size_t warning_count() const noexcept;

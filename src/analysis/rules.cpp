@@ -292,7 +292,8 @@ bool has_gating_errors(const std::vector<Diagnostic>& diagnostics, Gate gate) no
     if (diagnostic.severity != Severity::kError) {
       continue;
     }
-    if (gate == Gate::kStructural && diagnostic.rule == Rule::kDeadlineBelowWcet) {
+    if (gate == Gate::kStructural && (diagnostic.rule == Rule::kDeadlineBelowWcet ||
+                                      diagnostic.rule == Rule::kChainWcetExceedsDeadline)) {
       continue;
     }
     return true;

@@ -190,6 +190,33 @@ template <typename... Members>
                                       std::tuple<Members...>{members...}};
 }
 
+// --- end-to-end latency budgets -------------------------------------------------
+//
+// A service may declare how long a sample is allowed to take from the
+// chain's sensor boundary to the member that emits it — the paper's
+// end-to-end latency requirement, attached to the interface description
+// the way a generator would carry it as meta-data. The static timing
+// analyzer (src/analysis/timing.hpp) sums the per-hop logical latencies
+// (D + L + E) along every source→sink chain and checks them against this
+// budget (rule DEAR-LAT-001). Budgets are nanosecond counts so this
+// header stays free of the runtime time library.
+
+/// One declared budget: "samples emitted on `member` arrive within
+/// `budget_ns` of the chain's sensor tag".
+struct EndToEndBudget {
+  const char* member;
+  std::int64_t budget_ns;
+};
+
+/// Detects `static constexpr auto kEndToEndBudgets = std::array{...}` on a
+/// descriptor type. Budgets are optional; interfaces without them simply
+/// produce no DEAR-LAT-001 findings.
+template <typename I, typename = void>
+inline constexpr bool has_end_to_end_budgets = false;
+template <typename I>
+inline constexpr bool has_end_to_end_budgets<I, std::void_t<decltype(I::kEndToEndBudgets)>> =
+    true;
+
 // --- descriptor concept + member lookup -----------------------------------------
 
 template <typename T>

@@ -16,6 +16,8 @@
 // handwritten classes; tests/ara/descriptor_test.cpp pins them.
 #pragma once
 
+#include <array>
+
 #include "ara/meta/service_interface.hpp"
 #include "brake/types.hpp"
 
@@ -66,6 +68,11 @@ struct Eba {
   static constexpr ara::meta::Event<BrakeCommand, kBrakeEvent> brake{"brake"};
   static constexpr auto kInterface =
       ara::meta::service_interface("Eba", kEbaService, {1, 0}, brake);
+  /// Camera→brake end-to-end budget: the logical latency of the chain at
+  /// the paper's deadlines is (5+5)+(25+5)+(25+5) = 70 ms; 80 ms leaves
+  /// headroom without hiding a regression (DEAR-LAT-001 checks it).
+  static constexpr std::array kEndToEndBudgets{
+      ara::meta::EndToEndBudget{"brake", 80'000'000}};
 };
 
 }  // namespace dear::brake

@@ -46,6 +46,7 @@ namespace dear {
 
 namespace analysis {
 struct Report;
+struct StaticPlan;
 enum class Gate : std::uint8_t;
 }
 
@@ -73,6 +74,15 @@ class AppBuilder : public transact::TransactorStats<AppBuilder> {
     const transact::Transactor* transactor{nullptr};
     const Node* node{nullptr};
     bool server{false};
+  };
+
+  /// One end-to-end latency budget declared on a served descriptor
+  /// (ara::meta::EndToEndBudget), resolved to the serving node. Consumed
+  /// by the static timing analyzer (analysis/timing.hpp, DEAR-LAT-001).
+  struct BudgetRecord {
+    std::string member;  // "<Interface>.<member>"
+    const Node* node{nullptr};
+    Duration budget{0};
   };
 
   AppBuilder(sim::Kernel& kernel, net::Network& network, someip::ServiceDiscovery& discovery,
@@ -135,6 +145,7 @@ class AppBuilder : public transact::TransactorStats<AppBuilder> {
       auto& bundle = own<transact::ServerSide<I>>(bundle_name<I>(), environment_, runtime_,
                                                   instance, config);
       register_transactors(bundle, /*server=*/true);
+      register_budgets<I>();
       return bundle;
     }
 
@@ -221,6 +232,19 @@ class AppBuilder : public transact::TransactorStats<AppBuilder> {
       });
     }
 
+    /// Records every ara::meta::EndToEndBudget declared on I against this
+    /// (serving) node. Descriptors without budgets contribute nothing.
+    template <typename I>
+    void register_budgets() {
+      if constexpr (ara::meta::has_end_to_end_budgets<I>) {
+        for (const ara::meta::EndToEndBudget& budget : I::kEndToEndBudgets) {
+          app_.budgets_.push_back(BudgetRecord{
+              std::string(I::kInterface.name) + "." + budget.member, this,
+              static_cast<Duration>(budget.budget_ns)});
+        }
+      }
+    }
+
     AppBuilder& app_;
     std::string name_;
     ara::Runtime runtime_;
@@ -268,11 +292,21 @@ class AppBuilder : public transact::TransactorStats<AppBuilder> {
   analysis::Report validate() const;  // gates on Gate::kAll
   analysis::Report validate(analysis::Gate gate) const;
 
+  /// Installs the per-node level tables of a compiled StaticPlan
+  /// (analysis/plan.hpp) into every node's reactor environment, so
+  /// assemble() skips the runtime level derivation. Call after wiring,
+  /// before start(); throws std::logic_error when the plan does not match
+  /// this app's topology (stale plan).
+  void apply_schedule_plans(const analysis::StaticPlan& plan);
+
   [[nodiscard]] const std::vector<std::unique_ptr<Node>>& nodes() const noexcept {
     return nodes_;
   }
   [[nodiscard]] const std::vector<TransactorRecord>& transactor_records() const noexcept {
     return transactors_;
+  }
+  [[nodiscard]] const std::vector<BudgetRecord>& budget_records() const noexcept {
+    return budgets_;
   }
 
   [[nodiscard]] const Config& config() const noexcept { return config_; }
@@ -288,6 +322,7 @@ class AppBuilder : public transact::TransactorStats<AppBuilder> {
   reactor::SimClock sim_clock_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<TransactorRecord> transactors_;
+  std::vector<BudgetRecord> budgets_;
 };
 
 }  // namespace dear

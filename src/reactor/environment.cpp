@@ -29,12 +29,19 @@ void Environment::register_special_actions(Reactor* reactor) {
   }
 }
 
+void Environment::set_schedule_plan(SchedulePlan plan) {
+  if (assembled_) {
+    throw std::logic_error("set_schedule_plan after assemble");
+  }
+  plan_ = std::make_unique<SchedulePlan>(std::move(plan));
+}
+
 void Environment::assemble() {
   if (assembled_) {
     return;
   }
   graph_ = std::make_unique<DependencyGraph>(top_level_);
-  level_count_ = graph_->assign_levels();
+  level_count_ = plan_ != nullptr ? graph_->apply_plan(*plan_) : graph_->assign_levels();
   for (Reactor* reactor : top_level_) {
     register_special_actions(reactor);
   }

@@ -16,6 +16,8 @@
 
 namespace dear::reactor {
 
+struct SchedulePlan;
+
 class Environment {
  public:
   struct Config {
@@ -58,6 +60,12 @@ class Environment {
   /// startup/shutdown triggers. Idempotent.
   void assemble();
 
+  /// Installs a precomputed level assignment: the next assemble() applies
+  /// it (validated against the live topology) instead of running the
+  /// topological sort. Must be called before assemble(); throws
+  /// std::logic_error afterwards.
+  void set_schedule_plan(SchedulePlan plan);
+
   /// Blocking threaded execution (assembles if needed). Returns after
   /// shutdown completes.
   void run();
@@ -93,6 +101,7 @@ class Environment {
   Config config_;
   Scheduler scheduler_;
   std::unique_ptr<DependencyGraph> graph_;
+  std::unique_ptr<SchedulePlan> plan_;
   std::vector<Reactor*> top_level_;
   std::vector<std::unique_ptr<Reactor>> owned_relays_;
   int relay_counter_{0};

@@ -154,6 +154,78 @@ int DependencyGraph::assign_levels() {
   return level_count_ < 1 ? 1 : level_count_;
 }
 
+SchedulePlan DependencyGraph::export_plan() {
+  const LevelAnalysis& analysis = analyze();
+  if (!analysis.acyclic) {
+    throw std::logic_error("cannot export a schedule plan from a cyclic reactor program");
+  }
+  SchedulePlan plan;
+  plan.entries.reserve(reactions_.size());
+  for (std::size_t i = 0; i < reactions_.size(); ++i) {
+    plan.entries.push_back(SchedulePlan::Entry{reactions_[i]->fqn(), level_[i]});
+  }
+  plan.level_count = analysis.level_count;
+  return plan;
+}
+
+int DependencyGraph::apply_plan(const SchedulePlan& plan) {
+  if (plan.entries.size() != reactions_.size()) {
+    throw std::logic_error("schedule plan is stale: plan lists " +
+                           std::to_string(plan.entries.size()) + " reactions, graph has " +
+                           std::to_string(reactions_.size()));
+  }
+  // Match plan entries to live reactions by fqn; fqns are unique within an
+  // environment, so a bijection exists iff every lookup succeeds.
+  std::unordered_map<std::string, int> planned;
+  planned.reserve(plan.entries.size());
+  for (const SchedulePlan::Entry& entry : plan.entries) {
+    if (entry.level < 0 || entry.level >= plan.level_count) {
+      throw std::logic_error("schedule plan is invalid: level " + std::to_string(entry.level) +
+                             " of '" + entry.fqn + "' is out of range");
+    }
+    if (!planned.emplace(entry.fqn, entry.level).second) {
+      throw std::logic_error("schedule plan is invalid: duplicate entry for '" + entry.fqn + "'");
+    }
+  }
+  std::vector<int> levels(reactions_.size(), 0);
+  int max_level = -1;
+  for (std::size_t i = 0; i < reactions_.size(); ++i) {
+    const auto it = planned.find(reactions_[i]->fqn());
+    if (it == planned.end()) {
+      throw std::logic_error("schedule plan is stale: no entry for reaction '" +
+                             reactions_[i]->fqn() + "'");
+    }
+    levels[i] = it->second;
+    max_level = std::max(max_level, it->second);
+  }
+  // Every edge must stay level-monotone, or the scheduler would release a
+  // reaction before its predecessors — the plan no longer fits the graph.
+  for (std::size_t i = 0; i < reactions_.size(); ++i) {
+    for (const std::size_t target : edges_[i]) {
+      if (levels[i] >= levels[target]) {
+        throw std::logic_error("schedule plan is stale: edge '" + reactions_[i]->fqn() +
+                               "' -> '" + reactions_[target]->fqn() +
+                               "' is not level-monotone under the plan");
+      }
+    }
+  }
+
+  // Commit: fill the cached analysis state exactly as analyze() would, so
+  // levels()/level_of() behave identically with or without a plan.
+  level_ = std::move(levels);
+  analysis_.acyclic = true;
+  analysis_.level_count = max_level + 1;
+  analysis_.cyclic.clear();
+  by_level_.assign(static_cast<std::size_t>(analysis_.level_count), {});
+  for (std::size_t i = 0; i < reactions_.size(); ++i) {
+    by_level_[static_cast<std::size_t>(level_[i])].push_back(reactions_[i]);
+    reactions_[i]->set_level(level_[i]);
+  }
+  analyzed_ = true;
+  level_count_ = analysis_.level_count;
+  return level_count_ < 1 ? 1 : level_count_;
+}
+
 const std::vector<Reaction*>& DependencyGraph::writers_of(const BasePort& port) noexcept {
   const BasePort* source = &port;
   while (source->inward_binding() != nullptr) {

@@ -24,6 +24,20 @@
 
 namespace dear::reactor {
 
+/// A compiled level assignment for one reactor environment: the product of
+/// a topological sort, detached from the graph that produced it. Produced
+/// by DependencyGraph::export_plan() (or the static analyzer's StaticPlan,
+/// analysis/plan.hpp) and consumed by DependencyGraph::apply_plan(), which
+/// validates it against the live topology before trusting it.
+struct SchedulePlan {
+  struct Entry {
+    std::string fqn;
+    int level{0};
+  };
+  std::vector<Entry> entries;
+  int level_count{0};
+};
+
 class DependencyGraph {
  public:
   /// Outcome of the non-throwing level analysis. When the graph is cyclic,
@@ -46,6 +60,20 @@ class DependencyGraph {
   /// Assigns levels onto the reactions; throws std::logic_error naming the
   /// cycle if the graph is cyclic. Returns the number of levels.
   int assign_levels();
+
+  /// Snapshots the level assignment as a detached plan (fqn → level, in
+  /// graph order). Requires a prior successful assign_levels()/analyze()
+  /// on an acyclic graph; throws std::logic_error otherwise.
+  [[nodiscard]] SchedulePlan export_plan();
+
+  /// Installs a precomputed plan instead of running the topological sort:
+  /// validates that the plan covers exactly this graph's reactions (by
+  /// fqn), that every edge is level-monotone (level[i] < level[j] for each
+  /// edge i→j) and that levels are in range, then assigns the levels onto
+  /// the reactions. Throws std::logic_error naming the first mismatch when
+  /// the plan is stale. Returns the number of levels (min 1), like
+  /// assign_levels().
+  int apply_plan(const SchedulePlan& plan);
 
   [[nodiscard]] const std::vector<Reaction*>& reactions() const noexcept { return reactions_; }
   [[nodiscard]] int level_count() const noexcept { return level_count_; }

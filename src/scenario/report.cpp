@@ -126,8 +126,18 @@ std::string CampaignReport::to_json() const {
     append_format(out, "\"output_digest\": \"%016" PRIx64 "\", ", o.output_digest);
     append_format(out, "\"tag_digest\": \"%016" PRIx64 "\", ", o.tag_digest);
     append_format(out, "\"latency_mean_ns\": %.0f, ", o.latency_mean_ns);
+    append_format(out, "\"deadline_violations\": %" PRIu64 ", ", o.deadline_violations);
     append_format(out, "\"deterministic_group\": %s, ",
                   row.determinism_checked ? "true" : "false");
+    if (row.timing.evaluated) {
+      append_format(out, "\"predicted_deadline_miss\": %s, ",
+                    row.timing.predicted_deadline_miss ? "true" : "false");
+      append_format(out, "\"chain_latency_max_ns\": %" PRId64 ", ",
+                    row.timing.chain_latency_max_ns);
+      append_format(out, "\"chain_budget_ns\": %" PRId64 ", ", row.timing.chain_budget_ns);
+      append_format(out, "\"budget_exceeded\": %s, ",
+                    row.timing.budget_exceeded ? "true" : "false");
+    }
     append_format(out, "\"wall_seconds\": %.4f", row.wall_seconds);
     out += i + 1 < results.size() ? "},\n" : "}\n";
   }

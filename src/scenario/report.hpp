@@ -18,6 +18,24 @@
 
 namespace dear::scenario {
 
+/// The static timing analyzer's verdict for one scenario, attached to the
+/// row when the runner annotates timing (RunnerOptions::annotate_timing).
+/// Not part of report_digest(): the prediction is a bound derived before
+/// the run, not an observation of it.
+struct TimingVerdict {
+  /// False when the timing pass did not run for this row.
+  bool evaluated{false};
+  /// A DEAR-TIME-001 or DEAR-LAT-002 finding fired: deadline misses are
+  /// statically certain for this scenario's timing scales.
+  bool predicted_deadline_miss{false};
+  /// Worst chain logical latency and the budget it was checked against
+  /// (0 when the workload declares no end-to-end budget).
+  std::int64_t chain_latency_max_ns{0};
+  std::int64_t chain_budget_ns{0};
+  /// A DEAR-LAT-001 finding fired: the bound exceeds the budget.
+  bool budget_exceeded{false};
+};
+
 /// Cache-line aligned: campaign workers write neighbouring slots of the
 /// preallocated result matrix concurrently, and without the alignment two
 /// workers' outcome stores false-share one line around every slot
@@ -29,6 +47,7 @@ struct alignas(64) ScenarioResult {
   double wall_seconds{0.0};
   /// Whether the run participated in a digest-invariance group.
   bool determinism_checked{false};
+  TimingVerdict timing;
 };
 
 struct CampaignReport {

@@ -6,8 +6,11 @@
 #include <cinttypes>
 #include <cstdio>
 #include <map>
+#include <string>
 #include <thread>
 #include <vector>
+
+#include "analysis/analyzer.hpp"
 
 namespace dear::scenario {
 
@@ -59,6 +62,48 @@ void check_invariants(CampaignReport& report) {
     }
   }
   report.determinism_groups = groups.size();
+}
+
+/// Derives one TimingVerdict from a static analysis report.
+[[nodiscard]] TimingVerdict to_verdict(const analysis::Report& analyzed) {
+  TimingVerdict verdict;
+  verdict.evaluated = true;
+  for (const analysis::Diagnostic& diagnostic : analyzed.diagnostics) {
+    if (diagnostic.rule == analysis::Rule::kDeadlineBelowWcet ||
+        diagnostic.rule == analysis::Rule::kChainWcetExceedsDeadline) {
+      verdict.predicted_deadline_miss = true;
+    }
+    if (diagnostic.rule == analysis::Rule::kChainBudgetExceeded) {
+      verdict.budget_exceeded = true;
+    }
+  }
+  for (const analysis::ChainBound& chain : analyzed.timing.chains) {
+    if (chain.logical_latency > verdict.chain_latency_max_ns) {
+      verdict.chain_latency_max_ns = chain.logical_latency;
+      verdict.chain_budget_ns = chain.budget;
+    }
+  }
+  return verdict;
+}
+
+/// Annotates every row with the static timing verdict. The fact table
+/// only depends on the workload and the two timing scales, so the
+/// (build-only) app construction is memoized on that key.
+void annotate_timing(CampaignReport& report) {
+  std::map<std::string, TimingVerdict> memo;
+  for (ScenarioResult& row : report.results) {
+    char key[96];
+    std::snprintf(key, sizeof(key), "%s|%.6f|%.6f",
+                  std::string(to_string(row.spec.workload)).c_str(), row.spec.deadline_scale,
+                  row.spec.exec_time_scale);
+    auto [it, inserted] = memo.try_emplace(key);
+    if (inserted) {
+      analysis::AnalyzeOptions options;
+      options.timing = true;
+      it->second = to_verdict(analysis::analyze_spec(row.spec, options));
+    }
+    row.timing = it->second;
+  }
 }
 
 }  // namespace
@@ -147,6 +192,9 @@ CampaignReport CampaignRunner::run(std::string name, std::vector<ScenarioSpec> s
 
   if (options_.check_invariants) {
     check_invariants(report);
+  }
+  if (options_.annotate_timing) {
+    annotate_timing(report);
   }
   return report;
 }

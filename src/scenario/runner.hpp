@@ -36,6 +36,12 @@ struct RunnerOptions {
   /// Evaluate the determinism invariants after the batch (cheap; disable
   /// only for raw throughput measurements).
   bool check_invariants{true};
+  /// Annotate every row with the static timing analyzer's verdict
+  /// (ScenarioResult::timing): the app is rebuilt in build-only mode per
+  /// distinct (workload, deadline_scale, exec_time_scale) combination and
+  /// the DEAR-TIME/LAT findings become the predicted-deadline-miss bit.
+  /// Off by default — annotation allocates outside the run loop's pools.
+  bool annotate_timing{false};
 };
 
 class CampaignRunner {

@@ -1,9 +1,11 @@
 #include "scenario/spec_json.hpp"
 
+#include <algorithm>
 #include <cctype>
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
+#include <vector>
 
 namespace dear::scenario {
 
@@ -16,10 +18,15 @@ class Parser {
   [[nodiscard]] bool failed() const noexcept { return failed_; }
   [[nodiscard]] const std::string& error() const noexcept { return error_; }
 
+  /// Names the key whose value is being parsed, so type errors point at
+  /// the offending field ("key 'frames': expected number ...").
+  void set_context(std::string context) { context_ = std::move(context); }
+
   void fail(const std::string& message) {
     if (!failed_) {
       failed_ = true;
-      error_ = message + " (at offset " + std::to_string(pos_) + ")";
+      error_ = (context_.empty() ? std::string() : "key '" + context_ + "': ") + message +
+               " (at offset " + std::to_string(pos_) + ")";
     }
   }
 
@@ -116,6 +123,7 @@ class Parser {
   std::size_t pos_{0};
   bool failed_{false};
   std::string error_;
+  std::string context_;
 };
 
 void parse_sensor_faults(Parser& parser, sim::SensorFaultModel& faults) {
@@ -123,9 +131,20 @@ void parse_sensor_faults(Parser& parser, sim::SensorFaultModel& faults) {
   if (parser.consume('}')) {
     return;
   }
+  std::vector<std::string> seen;
   do {
+    parser.set_context({});
     const std::string key = parser.parse_string();
     parser.expect(':');
+    if (parser.failed()) {
+      return;
+    }
+    if (std::find(seen.begin(), seen.end(), key) != seen.end()) {
+      parser.fail("duplicate sensor_faults key '" + key + "'");
+      return;
+    }
+    seen.push_back(key);
+    parser.set_context("sensor_faults." + key);
     if (key == "drop_probability") {
       faults.drop_probability = parser.parse_number();
     } else if (key == "stuck_probability") {
@@ -133,10 +152,12 @@ void parse_sensor_faults(Parser& parser, sim::SensorFaultModel& faults) {
     } else if (key == "noise_probability") {
       faults.noise_probability = parser.parse_number();
     } else {
+      parser.set_context({});
       parser.fail("unknown sensor_faults key '" + key + "'");
       return;
     }
   } while (parser.consume(','));
+  parser.set_context({});
   parser.expect('}');
 }
 
@@ -188,12 +209,20 @@ std::optional<ScenarioSpec> spec_from_json(std::string_view text, std::string* e
   parser.expect('{');
   const bool empty = parser.consume('}');
   if (!empty) {
+    std::vector<std::string> seen;
     do {
+      parser.set_context({});
       const std::string key = parser.parse_string();
       parser.expect(':');
       if (parser.failed()) {
         break;
       }
+      if (std::find(seen.begin(), seen.end(), key) != seen.end()) {
+        parser.fail("duplicate key '" + key + "'");
+        break;
+      }
+      seen.push_back(key);
+      parser.set_context(key);
       if (key == "name") {
         spec.name = parser.parse_string();
       } else if (key == "index") {
@@ -243,13 +272,16 @@ std::optional<ScenarioSpec> spec_from_json(std::string_view text, std::string* e
       } else if (key == "sensor_faults") {
         parse_sensor_faults(parser, spec.sensor_faults);
       } else {
+        parser.set_context({});
         parser.fail("unknown key '" + key + "'");
       }
     } while (!parser.failed() && parser.consume(','));
     if (!parser.failed()) {
+      parser.set_context({});
       parser.expect('}');
     }
   }
+  parser.set_context({});
   if (!parser.failed() && !parser.at_end()) {
     parser.fail("trailing content after the scenario object");
   }

@@ -18,6 +18,7 @@ namespace {
   outcome.wrong_outputs = result.wrong_decisions;
   outcome.sensor_faults_injected =
       result.sensor_dropped + result.sensor_stuck + result.sensor_noisy;
+  outcome.deadline_violations = result.deadline_violations;
   outcome.output_digest = result.output_digest;
   outcome.tag_digest = result.tag_digest;
   if (result.latency.count() > 0) {
@@ -40,6 +41,7 @@ namespace {
   outcome.wrong_outputs = result.wrong_commands;
   outcome.sensor_faults_injected =
       result.sensor_dropped + result.sensor_stuck + result.sensor_noisy;
+  outcome.deadline_violations = result.deadline_violations;
   // Fold the console's field-traffic digest in: a scenario only counts as
   // behaviorally identical when events, methods and field all agree.
   outcome.output_digest = result.output_digest;

@@ -31,6 +31,11 @@ struct RunOutcome {
   std::uint64_t wrong_outputs{0};
   /// Injected sensor faults (dropped + stuck + noisy samples).
   std::uint64_t sensor_faults_injected{0};
+  /// Deadline violations alone (also counted in protocol_errors): the
+  /// runtime side of the static deadline-miss oracle (DEAR-TIME-001 /
+  /// DEAR-LAT-002). Deliberately NOT folded into the campaign report
+  /// digest — the digest's input set is pinned.
+  std::uint64_t deadline_violations{0};
   /// Order-sensitive digest over the sink outputs.
   std::uint64_t output_digest{0};
   /// Digest over sink tags relative to sensor tags (reactor workloads).

@@ -89,11 +89,11 @@ TEST(Analyzer, NondetBaselineIsFlagged) {
 
 TEST(Analyzer, GoldenFactDigests) {
   EXPECT_EQ(digest_hex(analyze_spec(spec_for(Workload::kBrakeDear)).facts),
-            "507e74e4db742317");
+            "c2832cdc130179f5");
   EXPECT_EQ(digest_hex(analyze_spec(spec_for(Workload::kBrakeNondet)).facts),
-            "c3df8c15b2237394");
+            "b81a7e08ee396175");
   EXPECT_EQ(digest_hex(analyze_spec(spec_for(Workload::kAcc)).facts),
-            "32cf6d630f4a2c9a");
+            "171ab1b07ae62d72");
 }
 
 TEST(Analyzer, ExtractionIsDeterministic) {

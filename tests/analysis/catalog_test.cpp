@@ -1,0 +1,81 @@
+// The rule catalog has three authoritative surfaces: the Rule enum (via
+// kAllRules), `dear_lint --list-rules`, and the table in
+// docs/static_analysis.md. The CLI iterates kAllRules directly, so this
+// test pins the remaining pair: every documented rule exists with the
+// documented severity, and every implemented rule is documented.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <fstream>
+#include <iterator>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "analysis/diagnostics.hpp"
+
+namespace dear::analysis {
+namespace {
+
+/// Parses the "| `DEAR-XXX-NNN` | severity | ..." rows of the rule
+/// catalog table in docs/static_analysis.md.
+std::map<std::string, std::string> documented_rules() {
+  std::ifstream in(DEAR_DOCS_DIR "/static_analysis.md");
+  EXPECT_TRUE(in.is_open()) << "cannot read " DEAR_DOCS_DIR "/static_analysis.md";
+  std::map<std::string, std::string> rules;
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::string prefix = "| `DEAR-";
+    if (line.compare(0, prefix.size(), prefix) != 0) {
+      continue;
+    }
+    const std::size_t id_end = line.find('`', prefix.size());
+    if (id_end == std::string::npos) {
+      continue;
+    }
+    const std::string id = line.substr(3, id_end - 3);
+    std::size_t severity_begin = line.find('|', id_end);
+    if (severity_begin == std::string::npos) {
+      continue;
+    }
+    severity_begin += 2;  // "| "
+    const std::size_t severity_end = line.find(' ', severity_begin);
+    rules[id] = line.substr(severity_begin, severity_end - severity_begin);
+  }
+  return rules;
+}
+
+TEST(Catalog, DocsTableMatchesTheImplementedCatalog) {
+  const auto documented = documented_rules();
+  ASSERT_EQ(documented.size(), std::size(kAllRules))
+      << "docs/static_analysis.md documents a different number of rules than "
+         "kAllRules implements";
+  for (const Rule rule : kAllRules) {
+    const std::string id(rule_id(rule));
+    const auto it = documented.find(id);
+    ASSERT_NE(it, documented.end()) << id << " is implemented but not documented";
+    EXPECT_EQ(it->second, std::string(to_string(rule_severity(rule))))
+        << id << " severity drifted between code and docs";
+  }
+}
+
+TEST(Catalog, EveryRuleHasIdSeverityAndSummary) {
+  for (const Rule rule : kAllRules) {
+    EXPECT_FALSE(rule_id(rule).empty());
+    EXPECT_FALSE(rule_summary(rule).empty());
+    EXPECT_FALSE(to_string(rule_severity(rule)).empty());
+    // IDs follow the DEAR-<CLASS>-<NNN> convention.
+    EXPECT_EQ(rule_id(rule).substr(0, 5), "DEAR-");
+  }
+}
+
+TEST(Catalog, RuleIdsAreUnique) {
+  for (std::size_t i = 0; i < std::size(kAllRules); ++i) {
+    for (std::size_t k = i + 1; k < std::size(kAllRules); ++k) {
+      EXPECT_NE(rule_id(kAllRules[i]), rule_id(kAllRules[k]));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dear::analysis

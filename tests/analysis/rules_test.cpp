@@ -277,7 +277,8 @@ TEST_F(RulesTest, DeadlineCoveringWcetIsClean) {
 TEST_F(RulesTest, UntaggedChannelIsAnError) {
   Facts facts;
   facts.channels.push_back(ChannelFact{"Interface.member", "server", "client",
-                                       /*latency_bound=*/0, /*deadline=*/0, /*tagged=*/false});
+                                       /*latency_bound=*/0, /*deadline=*/0,
+                                       /*clock_error=*/0, /*tagged=*/false});
   const auto diagnostics = check_structure(facts);
   ASSERT_EQ(count_rule(diagnostics, Rule::kUntaggedChannel), 1U);
   EXPECT_TRUE(has_errors(diagnostics));
@@ -287,7 +288,7 @@ TEST_F(RulesTest, TaggedChannelIsClean) {
   Facts facts;
   facts.channels.push_back(ChannelFact{"Interface.member", "server", "client",
                                        /*latency_bound=*/5_ms, /*deadline=*/5_ms,
-                                       /*tagged=*/true});
+                                       /*clock_error=*/0, /*tagged=*/true});
   EXPECT_EQ(count_rule(check_structure(facts), Rule::kUntaggedChannel), 0U);
 }
 
@@ -300,7 +301,7 @@ struct EnvelopeTest : ::testing::Test {
   EnvelopeTest() {
     facts.channels.push_back(ChannelFact{"Interface.member", "server", "client",
                                          /*latency_bound=*/5_ms, /*deadline=*/5_ms,
-                                         /*tagged=*/true});
+                                         /*clock_error=*/0, /*tagged=*/true});
   }
 };
 

@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
 #include "reactor_fixture.hpp"
 
 namespace dear::reactor {
@@ -237,6 +242,144 @@ TEST_F(GraphTest, DependenciesOfListsDirectPredecessors) {
   const auto d2_deps = graph.dependencies_of(*d2.reactions()[0]);
   ASSERT_EQ(d2_deps.size(), 1U);  // direct only — not the transitive counter
   EXPECT_EQ(d2_deps[0], d1.reactions()[0].get());
+}
+
+TEST_F(GraphTest, EmptyGraphAnalyzesAcyclicWithNoLevels) {
+  // A reactor without reactions is a legal (if pointless) program.
+  class Empty final : public Reactor {
+   public:
+    explicit Empty(Environment& env) : Reactor("empty", env) {}
+  };
+  Environment env(clock);
+  Empty empty(env);
+  DependencyGraph graph(env.top_level());
+  const auto& analysis = graph.analyze();
+  EXPECT_TRUE(analysis.acyclic);
+  EXPECT_EQ(analysis.level_count, 0);
+  EXPECT_TRUE(analysis.cyclic.empty());
+  EXPECT_TRUE(graph.reactions().empty());
+  // assign_levels still reports the scheduler's 1-level minimum.
+  EXPECT_EQ(graph.assign_levels(), 1);
+}
+
+TEST_F(GraphTest, SingleReactionSelfLoopIsItsOwnCycle) {
+  class SelfLoop final : public Reactor {
+   public:
+    Input<int> in{"in", this};
+    Output<int> out{"out", this};
+    explicit SelfLoop(Environment& env) : Reactor("self", env) {
+      add_reaction("echo", [] {}).triggered_by(in).writes(out);
+    }
+  };
+  Environment env(clock);
+  SelfLoop self(env);
+  env.connect(self.out, self.in);
+  DependencyGraph graph(env.top_level());
+  const auto& analysis = graph.analyze();
+  EXPECT_FALSE(analysis.acyclic);
+  ASSERT_EQ(analysis.cyclic.size(), 1U);
+  EXPECT_EQ(graph.reactions()[analysis.cyclic[0]], self.reactions()[0].get());
+  EXPECT_THROW((void)graph.export_plan(), std::logic_error);
+}
+
+TEST_F(GraphTest, RepeatedAnalyzeKeepsLevelsStable) {
+  Environment env(clock);
+  Counter counter(env, 10_ms, 1);
+  Doubler d1(env, "d1");
+  Doubler d2(env, "d2");
+  env.connect(counter.out, d1.in);
+  env.connect(d1.out, d2.in);
+  DependencyGraph graph(env.top_level());
+  const auto& first = graph.analyze();
+  std::vector<int> levels;
+  for (std::size_t i = 0; i < graph.reactions().size(); ++i) {
+    levels.push_back(graph.level_of(i));
+  }
+  for (int round = 0; round < 3; ++round) {
+    const auto& again = graph.analyze();
+    EXPECT_EQ(&again, &first) << "analyze() must be cached";
+    for (std::size_t i = 0; i < graph.reactions().size(); ++i) {
+      EXPECT_EQ(graph.level_of(i), levels[i]);
+    }
+  }
+}
+
+// --- compiled schedule plans -------------------------------------------------
+
+TEST_F(GraphTest, ExportedPlanAppliesToAnIdenticalTopology) {
+  const auto build = [this](Environment& env, std::vector<std::unique_ptr<Reactor>>& owned) {
+    auto counter = std::make_unique<Counter>(env, 10_ms, 1);
+    auto d1 = std::make_unique<Doubler>(env, "d1");
+    auto d2 = std::make_unique<Doubler>(env, "d2");
+    env.connect(counter->out, d1->in);
+    env.connect(d1->out, d2->in);
+    owned.push_back(std::move(counter));
+    owned.push_back(std::move(d1));
+    owned.push_back(std::move(d2));
+  };
+  Environment reference(clock);
+  std::vector<std::unique_ptr<Reactor>> reference_reactors;
+  build(reference, reference_reactors);
+  DependencyGraph probe(reference.top_level());
+  const SchedulePlan plan = probe.export_plan();
+  ASSERT_EQ(plan.entries.size(), 3U);
+  EXPECT_EQ(plan.level_count, 3);
+
+  Environment consumer(clock);
+  std::vector<std::unique_ptr<Reactor>> consumer_reactors;
+  build(consumer, consumer_reactors);
+  consumer.set_schedule_plan(plan);
+  consumer.assemble();
+  EXPECT_EQ(consumer.level_count(), 3);
+  for (std::size_t i = 0; i < consumer_reactors.size(); ++i) {
+    EXPECT_EQ(consumer_reactors[i]->reactions()[0]->level(), static_cast<int>(i));
+  }
+}
+
+TEST_F(GraphTest, StaleOrTamperedPlansAreRejected) {
+  Environment env(clock);
+  Counter counter(env, 10_ms, 1);
+  Doubler doubler(env, "d");
+  env.connect(counter.out, doubler.in);
+  DependencyGraph probe(env.top_level());
+  const SchedulePlan good = probe.export_plan();
+
+  {
+    SchedulePlan missing = good;
+    missing.entries.pop_back();
+    DependencyGraph graph(env.top_level());
+    EXPECT_THROW((void)graph.apply_plan(missing), std::logic_error);
+  }
+  {
+    SchedulePlan renamed = good;
+    renamed.entries[0].fqn = "ghost/reaction";
+    DependencyGraph graph(env.top_level());
+    EXPECT_THROW((void)graph.apply_plan(renamed), std::logic_error);
+  }
+  {
+    // Swapped levels break edge monotonicity: counter must precede doubler.
+    SchedulePlan swapped = good;
+    std::swap(swapped.entries[0].level, swapped.entries[1].level);
+    DependencyGraph graph(env.top_level());
+    EXPECT_THROW((void)graph.apply_plan(swapped), std::logic_error);
+  }
+  {
+    SchedulePlan out_of_range = good;
+    out_of_range.entries[0].level = good.level_count;
+    DependencyGraph graph(env.top_level());
+    EXPECT_THROW((void)graph.apply_plan(out_of_range), std::logic_error);
+  }
+  // A valid plan still applies after all the rejected attempts.
+  DependencyGraph graph(env.top_level());
+  EXPECT_EQ(graph.apply_plan(good), good.level_count);
+}
+
+TEST_F(GraphTest, SetSchedulePlanAfterAssembleThrows) {
+  Environment env(clock);
+  Counter counter(env, 10_ms, 1);
+  env.assemble();
+  DependencyGraph probe(env.top_level());
+  EXPECT_THROW(env.set_schedule_plan(probe.export_plan()), std::logic_error);
 }
 
 TEST_F(GraphTest, IndexOfUnknownReactionIsSize) {

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/digest.hpp"
+#include "reactor/graph.hpp"
 #include "reactor_fixture.hpp"
 
 namespace dear::reactor {
@@ -68,8 +69,11 @@ Environment::Config traced_config(unsigned workers) {
 }
 
 /// source -> relay x4 -> sink: deep levels, one reaction each (the serial
-/// fast path must interleave identically with the parallel one).
-RunDigests run_pipeline(unsigned workers, std::int64_t events) {
+/// fast path must interleave identically with the parallel one). With
+/// `consume_plan`, the environment installs a precompiled schedule plan
+/// (DependencyGraph::export_plan of an identical probe graph) instead of
+/// deriving levels at assembly — observably identical by contract.
+RunDigests run_pipeline(unsigned workers, std::int64_t events, bool consume_plan = false) {
   RealClock clock;
   Environment env(clock, traced_config(workers));
   LoopSource source(env, events);
@@ -84,6 +88,10 @@ RunDigests run_pipeline(unsigned workers, std::int64_t events) {
     previous = &relay->out;
   }
   env.connect(*previous, sink.in);
+  if (consume_plan) {
+    DependencyGraph probe(env.top_level());
+    env.set_schedule_plan(probe.export_plan());
+  }
   env.run();
   return digest_run(env, sink.sum);
 }
@@ -183,6 +191,12 @@ TEST_P(ParallelConformanceTest, MicrostepTraceBitIdenticalToSerial) {
   const RunDigests reference = run_microstep(1, kEvents);
   const RunDigests parallel = run_microstep(GetParam(), kEvents);
   EXPECT_EQ(parallel, reference);
+}
+
+TEST_P(ParallelConformanceTest, PlanConsumingRunBitIdenticalToDerivedRun) {
+  const RunDigests reference = run_pipeline(1, kEvents);
+  EXPECT_EQ(run_pipeline(1, kEvents, /*consume_plan=*/true), reference);
+  EXPECT_EQ(run_pipeline(GetParam(), kEvents, /*consume_plan=*/true), reference);
 }
 
 INSTANTIATE_TEST_SUITE_P(Workers, ParallelConformanceTest, ::testing::Values(2u, 4u));

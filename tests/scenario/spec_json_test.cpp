@@ -92,6 +92,52 @@ TEST(SpecJson, MalformedInputIsRejected) {
   EXPECT_FALSE(spec_from_json(R"({"name": "unterminated)").has_value());
 }
 
+// --- error paths: the message must name the offending key ------------------
+
+TEST(SpecJson, WrongTypedFieldNamesTheKey) {
+  std::string error;
+  EXPECT_FALSE(spec_from_json(R"({"frames": "ten"})", &error).has_value());
+  EXPECT_NE(error.find("key 'frames'"), std::string::npos) << error;
+  EXPECT_NE(error.find("expected number"), std::string::npos) << error;
+
+  EXPECT_FALSE(spec_from_json(R"({"name": 5})", &error).has_value());
+  EXPECT_NE(error.find("key 'name'"), std::string::npos) << error;
+  EXPECT_NE(error.find("expected string"), std::string::npos) << error;
+
+  EXPECT_FALSE(spec_from_json(R"({"net_in_order": 1})", &error).has_value());
+  EXPECT_NE(error.find("key 'net_in_order'"), std::string::npos) << error;
+  EXPECT_NE(error.find("expected boolean"), std::string::npos) << error;
+}
+
+TEST(SpecJson, WrongTypedNestedFieldNamesThePath) {
+  std::string error;
+  EXPECT_FALSE(
+      spec_from_json(R"({"sensor_faults": {"drop_probability": "lots"}})", &error).has_value());
+  EXPECT_NE(error.find("sensor_faults.drop_probability"), std::string::npos) << error;
+}
+
+TEST(SpecJson, DuplicateKeyIsRejected) {
+  std::string error;
+  EXPECT_FALSE(spec_from_json(R"({"frames": 1, "frames": 2})", &error).has_value());
+  EXPECT_NE(error.find("duplicate key 'frames'"), std::string::npos) << error;
+}
+
+TEST(SpecJson, DuplicateSensorFaultsKeyIsRejected) {
+  std::string error;
+  EXPECT_FALSE(spec_from_json(
+                   R"({"sensor_faults": {"drop_probability": 0.1, "drop_probability": 0.2}})",
+                   &error)
+                   .has_value());
+  EXPECT_NE(error.find("duplicate sensor_faults key 'drop_probability'"), std::string::npos)
+      << error;
+}
+
+TEST(SpecJson, ErrorsReportTheOffset) {
+  std::string error;
+  EXPECT_FALSE(spec_from_json(R"({"frames": })", &error).has_value());
+  EXPECT_NE(error.find("at offset"), std::string::npos) << error;
+}
+
 TEST(SpecJson, NestedSensorFaultsParse) {
   const auto parsed = spec_from_json(
       R"({"sensor_faults": {"drop_probability": 0.5, "noise_probability": 0.25}})");

@@ -1,0 +1,89 @@
+// The static timing verdict against the runtime deadline-miss oracle:
+// across the full 96-scenario fault sweep the analyzer's
+// predicted_deadline_miss bit must equal "the run observed deadline
+// violations" on every row — and on deliberately out-of-envelope
+// scenarios (deadlines crushed, execution inflated) both sides must say
+// "miss". Mirrors PR 6's determinism-verdict contract for the timing
+// dimension.
+#include <gtest/gtest.h>
+
+#include "scenario/presets.hpp"
+#include "scenario/runner.hpp"
+
+namespace dear::scenario {
+namespace {
+
+using namespace dear::literals;
+
+[[nodiscard]] CampaignRunner annotating_runner() {
+  RunnerOptions options;
+  options.workers = 2;
+  options.annotate_timing = true;
+  return CampaignRunner(options);
+}
+
+TEST(TimingOracle, FaultSweepPredictionMatchesRuntimeOnEveryRow) {
+  const auto campaign = presets::fault_sweep(/*frames=*/60, /*campaign_seed=*/1);
+  const auto report = annotating_runner().run(campaign);
+  ASSERT_EQ(report.results.size(), 96U);
+  for (const ScenarioResult& row : report.results) {
+    ASSERT_TRUE(row.timing.evaluated) << row.spec.name;
+    EXPECT_EQ(row.timing.predicted_deadline_miss, row.outcome.deadline_violations > 0)
+        << row.spec.name << ": static says " << row.timing.predicted_deadline_miss
+        << ", runtime observed " << row.outcome.deadline_violations << " violation(s)";
+    EXPECT_FALSE(row.timing.budget_exceeded) << row.spec.name;
+  }
+}
+
+TEST(TimingOracle, OutOfEnvelopeScenariosAreMissesOnBothSides) {
+  std::vector<ScenarioSpec> specs(3);
+  specs[0].name = "dear-deadlines-crushed";
+  specs[0].frames = 200;
+  specs[0].deadline_scale = 0.1;
+  specs[1].name = "dear-execution-inflated";
+  specs[1].frames = 200;
+  specs[1].exec_time_scale = 3.0;
+  specs[2].name = "acc-deadlines-crushed";
+  specs[2].workload = Workload::kAcc;
+  specs[2].frames = 200;
+  specs[2].deadline_scale = 0.1;
+
+  const auto report = annotating_runner().run("out-of-envelope", std::move(specs), 1);
+  ASSERT_EQ(report.results.size(), 3U);
+  for (const ScenarioResult& row : report.results) {
+    ASSERT_TRUE(row.timing.evaluated) << row.spec.name;
+    EXPECT_TRUE(row.timing.predicted_deadline_miss)
+        << row.spec.name << ": the analyzer must reject this envelope";
+    EXPECT_GT(row.outcome.deadline_violations, 0U)
+        << row.spec.name << ": the runtime must observe the predicted misses";
+  }
+}
+
+TEST(TimingOracle, VerdictCarriesTheChainNumbers) {
+  std::vector<ScenarioSpec> specs(1);
+  specs[0].frames = 50;
+  const auto report = annotating_runner().run("chain-numbers", std::move(specs), 1);
+  ASSERT_EQ(report.results.size(), 1U);
+  const TimingVerdict& verdict = report.results.front().timing;
+  ASSERT_TRUE(verdict.evaluated);
+  EXPECT_EQ(verdict.chain_latency_max_ns, static_cast<std::int64_t>(70_ms));
+  EXPECT_EQ(verdict.chain_budget_ns, static_cast<std::int64_t>(80_ms));
+  EXPECT_FALSE(verdict.budget_exceeded);
+  EXPECT_FALSE(verdict.predicted_deadline_miss);
+  // The verdict lands in the JSON rows; the pinned report digest ignores it.
+  const std::string json = report.to_json();
+  EXPECT_NE(json.find("\"predicted_deadline_miss\""), std::string::npos);
+  EXPECT_NE(json.find("\"deadline_violations\""), std::string::npos);
+}
+
+TEST(TimingOracle, AnnotationDoesNotPerturbTheReportDigest) {
+  const auto campaign = presets::smoke(/*frames=*/100, /*campaign_seed=*/7);
+  RunnerOptions plain_options;
+  plain_options.workers = 2;
+  const auto plain = CampaignRunner(plain_options).run(campaign);
+  const auto annotated = annotating_runner().run(campaign);
+  EXPECT_EQ(plain.report_digest(), annotated.report_digest());
+}
+
+}  // namespace
+}  // namespace dear::scenario

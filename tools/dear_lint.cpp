@@ -14,10 +14,13 @@
 //   2  usage / input error (unreadable file, malformed scenario JSON)
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <iterator>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "analysis/analyzer.hpp"
@@ -41,6 +44,14 @@ void print_usage(std::FILE* stream) {
       "  --campaign smoke|fault-sweep|throughput\n"
       "                               lint every scenario of a preset campaign grid\n"
       "  --out FILE                   write the analysis-report-v1 JSON document\n"
+      "  --timing                     run the end-to-end timing pass: chain latency\n"
+      "                               bounds, DEAR-LAT rules and the compiled\n"
+      "                               schedule plan (attached to the report)\n"
+      "  --workers N                  worker count the level-width note\n"
+      "                               (DEAR-LAT-003) checks against (default 1)\n"
+      "  --list-rules                 print the rule catalog (id, severity, summary)\n"
+      "                               and exit; with --json as a JSON array\n"
+      "  --json                       JSON output for --list-rules\n"
       "  --deny-errors                exit 1 if any error diagnostic is reported\n"
       "  --expect-errors              exit 1 if NO error diagnostic is reported\n"
       "                               (regression oracle for known-nondet inputs)\n"
@@ -95,6 +106,39 @@ std::optional<std::string> read_file(const std::string& path) {
   return buffer.str();
 }
 
+int list_rules(bool as_json) {
+  using dear::analysis::kAllRules;
+  using dear::analysis::rule_id;
+  using dear::analysis::rule_severity;
+  using dear::analysis::rule_summary;
+  using dear::analysis::to_string;
+  if (as_json) {
+    std::printf("[\n");
+    const std::size_t count = std::size(kAllRules);
+    for (std::size_t i = 0; i < count; ++i) {
+      const auto rule = kAllRules[i];
+      const std::string_view id = rule_id(rule);
+      const std::string_view severity = to_string(rule_severity(rule));
+      const std::string_view summary = rule_summary(rule);
+      std::printf("  {\"id\": \"%.*s\", \"severity\": \"%.*s\", \"summary\": \"%.*s\"}%s\n",
+                  static_cast<int>(id.size()), id.data(), static_cast<int>(severity.size()),
+                  severity.data(), static_cast<int>(summary.size()), summary.data(),
+                  i + 1 < count ? "," : "");
+    }
+    std::printf("]\n");
+  } else {
+    for (const auto rule : kAllRules) {
+      const std::string_view id = rule_id(rule);
+      const std::string_view severity = to_string(rule_severity(rule));
+      const std::string_view summary = rule_summary(rule);
+      std::printf("%-14.*s %-8.*s %.*s\n", static_cast<int>(id.size()), id.data(),
+                  static_cast<int>(severity.size()), severity.data(),
+                  static_cast<int>(summary.size()), summary.data());
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -103,6 +147,9 @@ int main(int argc, char** argv) {
   bool deny_errors = false;
   bool expect_errors = false;
   bool quiet = false;
+  bool want_list_rules = false;
+  bool json_output = false;
+  dear::analysis::AnalyzeOptions analyze_options;
 
   auto next_value = [&](int& i, const char* flag) -> const char* {
     if (i + 1 >= argc) {
@@ -120,6 +167,24 @@ int main(int argc, char** argv) {
     }
     if (arg == "--deny-errors") {
       deny_errors = true;
+    } else if (arg == "--list-rules") {
+      want_list_rules = true;
+    } else if (arg == "--json") {
+      json_output = true;
+    } else if (arg == "--timing") {
+      analyze_options.timing = true;
+    } else if (arg == "--workers") {
+      const char* value = next_value(i, "--workers");
+      if (value == nullptr) {
+        return 2;
+      }
+      const long parsed = std::strtol(value, nullptr, 10);
+      if (parsed < 1) {
+        std::fprintf(stderr, "dear_lint: --workers requires a positive integer, got '%s'\n",
+                     value);
+        return 2;
+      }
+      analyze_options.workers = static_cast<unsigned>(parsed);
     } else if (arg == "--expect-errors") {
       expect_errors = true;
     } else if (arg == "--quiet") {
@@ -177,6 +242,10 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (want_list_rules) {
+    return list_rules(json_output);
+  }
+
   if (specs.empty()) {
     std::fputs("dear_lint: nothing to lint (pass --workload, --scenario or --campaign)\n",
                stderr);
@@ -184,7 +253,8 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  const std::vector<dear::analysis::Report> reports = dear::analysis::analyze_scenarios(specs);
+  const std::vector<dear::analysis::Report> reports =
+      dear::analysis::analyze_scenarios(specs, analyze_options);
 
   std::size_t errors = 0;
   std::size_t warnings = 0;
