@@ -80,5 +80,13 @@ int main(int argc, char** argv) {
   scaling.golden_campaign_digest = kFaultSweepDigest120f1;
   dear::bench::run_parallel_scaling_suite(harness, scaling);
 
+  // --- observability overhead ------------------------------------------------
+  // Enabled-vs-disabled triples on the event-queue and DEAR pipeline hot
+  // paths (<= 5% gate) plus the digest-invariance contract with obs live.
+  dear::bench::ObsOverheadOptions obs_options;
+  obs_options.pipeline_frames = 300;
+  obs_options.golden_digest = kDearDigest300f7;
+  dear::bench::run_obs_suite(harness, obs_options);
+
   return harness.finish();
 }

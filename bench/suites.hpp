@@ -38,4 +38,19 @@ struct ParallelScalingOptions {
 /// digest equality always).
 void run_parallel_scaling_suite(Harness& harness, const ParallelScalingOptions& options);
 
+struct ObsOverheadOptions {
+  /// Frames for the DEAR pipeline overhead pair (the 300-frame anchor
+  /// workload; smaller standalone values skip the golden gate).
+  std::uint64_t pipeline_frames{300};
+  /// Golden output digest the obs-enabled pipeline run must reproduce;
+  /// 0 skips the anchor gate.
+  std::uint64_t golden_digest{0};
+};
+
+/// Observability overhead: disabled -> enabled -> disabled triples on the
+/// DES event-queue pump and the DEAR pipeline, gating the enabled p50
+/// within 5% of the slower disabled run, plus the digest-invariance gates
+/// (obs on == obs off == golden anchor).
+void run_obs_suite(Harness& harness, const ObsOverheadOptions& options);
+
 }  // namespace dear::bench

@@ -8,6 +8,7 @@
 
 #include "acc/pipeline.hpp"
 #include "common/cli.hpp"
+#include "obs/obs_cli.hpp"
 
 int main(int argc, char** argv) {
   dear::common::Cli cli("acc_demo", "Runs the DEAR adaptive cruise-control chain.");
@@ -16,8 +17,12 @@ int main(int argc, char** argv) {
   cli.add_double("deadline-scale", 1.0, "global scale on the transactor deadlines");
   cli.add_flag("local-transport",
                "deploy over the zero-copy in-process binding instead of SOME/IP");
+  dear::obs::register_cli_options(cli);
   if (!cli.parse(argc, argv)) {
     return cli.exit_code();
+  }
+  if (!dear::obs::configure_from_cli(cli)) {
+    return 1;
   }
 
   dear::acc::AccScenarioConfig config;
@@ -58,5 +63,8 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(result.tag_digest));
   std::printf("console digest:              %016llx\n",
               static_cast<unsigned long long>(result.console_digest));
+  if (!dear::obs::export_from_cli(cli)) {
+    return 1;
+  }
   return result.total_errors() == 0 ? 0 : 1;
 }

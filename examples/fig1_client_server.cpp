@@ -12,6 +12,7 @@
 #include "common/cli.hpp"
 #include "common/histogram.hpp"
 #include "demo/fig1.hpp"
+#include "obs/obs_cli.hpp"
 
 int main(int argc, char** argv) {
   dear::common::Cli cli("fig1_client_server",
@@ -19,8 +20,12 @@ int main(int argc, char** argv) {
   cli.add_int("trials", 2000, "stock client/server trials over real threads");
   cli.add_int("workers", 4, "thread-pool workers for both parts");
   cli.add_int("dear-trials", 10, "trials of the same program over DEAR");
+  dear::obs::register_cli_options(cli);
   if (!cli.parse(argc, argv)) {
     return cli.exit_code();
+  }
+  if (!dear::obs::configure_from_cli(cli)) {
+    return 1;
   }
   const auto trials = static_cast<std::uint64_t>(cli.get_int("trials"));
   const auto workers = static_cast<std::size_t>(cli.get_int("workers"));
@@ -53,5 +58,8 @@ int main(int argc, char** argv) {
     all_three = all_three && outcome.printed == 3;
   }
   std::printf("\nDEAR printed 3 in every trial: %s\n", all_three ? "yes" : "NO");
+  if (!dear::obs::export_from_cli(cli)) {
+    return 1;
+  }
   return all_three ? 0 : 1;
 }

@@ -10,6 +10,7 @@
 #include <fstream>
 
 #include "common/cli.hpp"
+#include "obs/obs_cli.hpp"
 #include "scenario/presets.hpp"
 #include "scenario/runner.hpp"
 
@@ -24,8 +25,12 @@ int main(int argc, char** argv) {
   cli.add_string("json", "", "write the CampaignReport JSON to this file");
   cli.add_flag("timing", "annotate every row with the static timing verdict");
   cli.add_flag("quiet", "suppress the per-scenario table");
+  dear::obs::register_cli_options(cli);
   if (!cli.parse(argc, argv)) {
     return cli.exit_code();
+  }
+  if (!dear::obs::configure_from_cli(cli)) {
+    return 1;
   }
 
   const auto frames = static_cast<std::uint64_t>(cli.get_int("frames"));
@@ -74,6 +79,9 @@ int main(int argc, char** argv) {
     }
     out << report.to_json();
     std::printf("report written to %s\n", json_path.c_str());
+  }
+  if (!dear::obs::export_from_cli(cli)) {
+    return 1;
   }
 
   return report.invariants_ok() ? 0 : 1;

@@ -52,15 +52,27 @@ LocalBinding::LocalBinding(LocalHub& hub, common::Executor& executor, net::Endpo
   hub_.attach(this);
 }
 
-LocalBinding::~LocalBinding() { hub_.detach(self_); }
+LocalBinding::~LocalBinding() {
+  hub_.detach(self_);
+  // Lifetime totals flush into the metrics registry; the hot paths keep
+  // their plain member counters under the locks they already take.
+  obs::count(obs::Counter::kLocalMsgsSent, msgs_sent_);
+  obs::count(obs::Counter::kLocalMsgsReceived, msgs_received_);
+  obs::count(obs::Counter::kLocalTaggedSent, tagged_sent_);
+  obs::count(obs::Counter::kLocalTaggedReceived, tagged_received_);
+  obs::count(obs::Counter::kLocalTimeouts, timeouts_);
+}
 
 void LocalBinding::send_frame(const net::Endpoint& destination, someip::Message message) {
   // Same contract as the wire path: pick up a pending tag from the bypass
   // and carry it — here in-band on the message, no trailer codec.
   message.tag = send_bypass_.collect();
-  if (message.tag.has_value()) {
+  {
     const std::lock_guard<std::mutex> lock(mutex_);
-    ++tagged_sent_;
+    ++msgs_sent_;
+    if (message.tag.has_value()) {
+      ++tagged_sent_;
+    }
   }
   LocalBinding* peer = hub_.find(destination);
   if (peer == nullptr) {
@@ -287,11 +299,14 @@ void LocalBinding::drain_locked() {
 
 void LocalBinding::process(Frame& frame) {
   someip::Message& message = frame.message;
-  if (message.tag.has_value()) {
-    {
-      const std::lock_guard<std::mutex> lock(mutex_);
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++msgs_received_;
+    if (message.tag.has_value()) {
       ++tagged_received_;
     }
+  }
+  if (message.tag.has_value()) {
     // Same pairing as the wire path: deposit before invoking the handler.
     receive_bypass_.deposit(*message.tag);
   }

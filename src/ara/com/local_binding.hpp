@@ -32,6 +32,7 @@
 #include "ara/com/transport_binding.hpp"
 #include "common/executor.hpp"
 #include "common/mpsc_queue.hpp"
+#include "obs/obs.hpp"
 #include "someip/timestamp_bypass.hpp"
 
 namespace dear::ara::com {
@@ -46,6 +47,10 @@ class LocalHub {
   LocalHub() = default;
   LocalHub(const LocalHub&) = delete;
   LocalHub& operator=(const LocalHub&) = delete;
+
+  /// Lifetime total flushes into the metrics registry at teardown (the
+  /// hub outlives every binding, so this lands after their flushes).
+  ~LocalHub() { obs::count(obs::Counter::kLocalUndeliverable, undeliverable_); }
 
   [[nodiscard]] LocalBinding* find(const net::Endpoint& endpoint) const;
 
@@ -158,6 +163,8 @@ class LocalBinding final : public TransportBinding {
   std::map<std::pair<someip::ServiceId, someip::EventId>, NotificationHandler> event_handlers_;
   std::map<std::pair<someip::ServiceId, someip::EventId>, std::vector<net::Endpoint>> subscribers_;
 
+  std::uint64_t msgs_sent_{0};
+  std::uint64_t msgs_received_{0};
   std::uint64_t requests_sent_{0};
   std::uint64_t responses_received_{0};
   std::uint64_t notifications_sent_{0};

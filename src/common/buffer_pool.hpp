@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "common/thread_cache.hpp"
+#include "obs/obs.hpp"
 
 namespace dear::common {
 
@@ -74,8 +75,10 @@ class BufferPool {
   }
 
   /// Global-pool lock acquisitions since process start (slow path only).
-  [[nodiscard]] std::uint64_t shelf_lock_count() const noexcept {
-    return shelf_locks_.load(std::memory_order_relaxed);
+  /// Thin read over the registry-backed metric (`pool.buffer.shelf_locks`
+  /// in snapshots).
+  [[nodiscard]] std::uint64_t shelf_lock_count() const {
+    return obs::Registry::instance().counter_total(obs::Counter::kPoolBufferShelfLocks);
   }
 
   // --- thread-cache plumbing (ThreadCacheSlot owner contract) ------------------
@@ -103,13 +106,14 @@ class BufferPool {
   BufferPool() { free_.reserve(kMaxRetained); }
 
   void lock() noexcept {
-    shelf_locks_.fetch_add(1, std::memory_order_relaxed);
+    obs::count_always(obs::Counter::kPoolBufferShelfLocks);
     while (busy_.test_and_set(std::memory_order_acquire)) {
     }
   }
   void unlock() noexcept { busy_.clear(std::memory_order_release); }
 
   void refill(ThreadCache& cache) noexcept {
+    obs::count_always(obs::Counter::kPoolBufferRefills);
     lock();
     for (std::size_t i = 0; i < kRefillBatch && !free_.empty(); ++i) {
       cache.buffers.push_back(std::move(free_.back()));
@@ -121,6 +125,7 @@ class BufferPool {
   /// Flushes the stash down to `keep` buffers (one lock); buffers over the
   /// global cap are freed outside the lock.
   void flush(ThreadCache& cache, std::size_t keep) noexcept {
+    obs::count_always(obs::Counter::kPoolBufferFlushes);
     lock();
     while (cache.buffers.size() > keep && free_.size() < kMaxRetained) {
       free_.push_back(std::move(cache.buffers.back()));
@@ -158,7 +163,6 @@ class BufferPool {
   }
 
   std::atomic_flag busy_ = ATOMIC_FLAG_INIT;
-  std::atomic<std::uint64_t> shelf_locks_{0};
   std::vector<std::vector<std::uint8_t>> free_;
 };
 

@@ -57,56 +57,4 @@ std::string CategoricalHistogram::to_ascii(int bar_width) const {
   return out;
 }
 
-BinnedHistogram::BinnedHistogram(double lo, double hi, std::size_t bins)
-    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)), counts_(bins, 0) {
-  if (bins == 0 || !(hi > lo)) {
-    throw std::invalid_argument("BinnedHistogram requires bins > 0 and hi > lo");
-  }
-}
-
-void BinnedHistogram::add(double value) {
-  ++total_;
-  if (value < lo_) {
-    ++underflow_;
-    return;
-  }
-  if (value >= hi_) {
-    ++overflow_;
-    return;
-  }
-  auto index = static_cast<std::size_t>((value - lo_) / width_);
-  index = std::min(index, counts_.size() - 1);
-  ++counts_[index];
-}
-
-double BinnedHistogram::bin_lower(std::size_t index) const {
-  return lo_ + width_ * static_cast<double>(index);
-}
-
-double BinnedHistogram::bin_upper(std::size_t index) const {
-  return lo_ + width_ * static_cast<double>(index + 1);
-}
-
-double BinnedHistogram::quantile(double q) const {
-  if (total_ == 0) {
-    return lo_;
-  }
-  const auto target = static_cast<std::uint64_t>(q * static_cast<double>(total_));
-  std::uint64_t cumulative = underflow_;
-  if (cumulative > target) {
-    return lo_;
-  }
-  for (std::size_t i = 0; i < counts_.size(); ++i) {
-    if (cumulative + counts_[i] > target) {
-      const double within =
-          counts_[i] == 0
-              ? 0.0
-              : static_cast<double>(target - cumulative) / static_cast<double>(counts_[i]);
-      return bin_lower(i) + within * width_;
-    }
-    cumulative += counts_[i];
-  }
-  return hi_;
-}
-
 }  // namespace dear::common

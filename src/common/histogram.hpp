@@ -8,6 +8,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/histogram.hpp"
+
 namespace dear::common {
 
 /// Counts occurrences of integer-valued outcomes.
@@ -37,32 +39,29 @@ class CategoricalHistogram {
 };
 
 /// Fixed-bin histogram over a numeric range, for latency distributions.
+/// Thin facade over obs::Histogram — one implementation of the uniform
+/// bucket/quantile math serves both the bench harnesses and the metrics
+/// registry.
 class BinnedHistogram {
  public:
-  BinnedHistogram(double lo, double hi, std::size_t bins);
+  BinnedHistogram(double lo, double hi, std::size_t bins) : core_(lo, hi, bins) {}
 
-  void add(double value);
+  void add(double value) { core_.add(value); }
 
-  [[nodiscard]] std::size_t bin_count() const noexcept { return counts_.size(); }
-  [[nodiscard]] std::uint64_t bin(std::size_t index) const { return counts_.at(index); }
-  [[nodiscard]] double bin_lower(std::size_t index) const;
-  [[nodiscard]] double bin_upper(std::size_t index) const;
-  [[nodiscard]] std::uint64_t underflow() const noexcept { return underflow_; }
-  [[nodiscard]] std::uint64_t overflow() const noexcept { return overflow_; }
-  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] std::size_t bin_count() const noexcept { return core_.bin_count(); }
+  [[nodiscard]] std::uint64_t bin(std::size_t index) const { return core_.bin(index); }
+  [[nodiscard]] double bin_lower(std::size_t index) const { return core_.bin_lower(index); }
+  [[nodiscard]] double bin_upper(std::size_t index) const { return core_.bin_upper(index); }
+  [[nodiscard]] std::uint64_t underflow() const noexcept { return core_.underflow(); }
+  [[nodiscard]] std::uint64_t overflow() const noexcept { return core_.overflow(); }
+  [[nodiscard]] std::uint64_t total() const noexcept { return core_.total(); }
 
   /// Value below which the given fraction of samples fall (linear
   /// interpolation inside the bin). quantile in [0, 1].
-  [[nodiscard]] double quantile(double q) const;
+  [[nodiscard]] double quantile(double q) const noexcept { return core_.quantile(q); }
 
  private:
-  double lo_;
-  double hi_;
-  double width_;
-  std::vector<std::uint64_t> counts_;
-  std::uint64_t underflow_{0};
-  std::uint64_t overflow_{0};
-  std::uint64_t total_{0};
+  obs::Histogram core_;
 };
 
 }  // namespace dear::common

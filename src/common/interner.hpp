@@ -1,0 +1,49 @@
+// String interner: stable string_views for names seen repeatedly.
+//
+// Lookup is a FlatMap binary search (contiguous, log n) instead of the
+// linear scan the execution trace used to carry; the backing strings live
+// in unique_ptrs so an interned view stays valid across index growth for
+// the interner's lifetime. One allocation per distinct name, ever — every
+// later intern of the same name is allocation-free, which is what lets the
+// span tracer intern on its recording path.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/flat_map.hpp"
+
+namespace dear::common {
+
+class Interner {
+ public:
+  /// The canonical view for `name`, interning it on first sight. Returned
+  /// views point at NUL-terminated storage owned by this interner.
+  [[nodiscard]] std::string_view intern(std::string_view name) {
+    const auto it = index_.find(name);
+    if (it != index_.end()) {
+      return it->second;
+    }
+    owned_.push_back(std::make_unique<std::string>(name));
+    const std::string_view view = *owned_.back();
+    index_.insert_or_assign(view, view);
+    return view;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return owned_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return owned_.empty(); }
+
+  void clear() noexcept {
+    index_.clear();
+    owned_.clear();
+  }
+
+ private:
+  /// Keys view the owned strings, so the index itself stores no text.
+  FlatMap<std::string_view, std::string_view> index_;
+  std::vector<std::unique_ptr<std::string>> owned_;
+};
+
+}  // namespace dear::common

@@ -36,6 +36,7 @@
 #include <new>
 
 #include "common/thread_cache.hpp"
+#include "obs/obs.hpp"
 
 namespace dear::common {
 
@@ -103,9 +104,10 @@ class SmallBlockPool {
 
   /// Shelf spinlock acquisitions since process start (slow path only; the
   /// magazine fast path never touches it). Regression-tested to stay flat
-  /// in steady state.
-  [[nodiscard]] std::uint64_t shelf_lock_count() const noexcept {
-    return shelf_locks_.load(std::memory_order_relaxed);
+  /// in steady state. Thin read over the registry-backed metric
+  /// (`pool.small.shelf_locks` in snapshots).
+  [[nodiscard]] std::uint64_t shelf_lock_count() const {
+    return obs::Registry::instance().counter_total(obs::Counter::kPoolSmallShelfLocks);
   }
 
   // --- thread-cache plumbing (ThreadCacheSlot owner contract) ------------------
@@ -145,8 +147,8 @@ class SmallBlockPool {
     return -1;
   }
 
-  void lock(Shelf& shelf) noexcept {
-    shelf_locks_.fetch_add(1, std::memory_order_relaxed);
+  static void lock(Shelf& shelf) noexcept {
+    obs::count_always(obs::Counter::kPoolSmallShelfLocks);
     while (shelf.busy.test_and_set(std::memory_order_acquire)) {
     }
   }
@@ -154,6 +156,7 @@ class SmallBlockPool {
 
   /// Moves up to kMagazineRefill shelf blocks into the magazine (one lock).
   void refill(Magazine& magazine, int size_class) noexcept {
+    obs::count_always(obs::Counter::kPoolSmallRefills);
     Shelf& shelf = shelves_[static_cast<std::size_t>(size_class)];
     lock(shelf);
     while (magazine.count < kMagazineRefill && shelf.head != nullptr) {
@@ -168,6 +171,7 @@ class SmallBlockPool {
   /// Flushes the magazine down to `keep` blocks (one lock); blocks the
   /// shelf cannot retain are freed outside the lock.
   void flush(Magazine& magazine, int size_class, std::size_t keep) noexcept {
+    obs::count_always(obs::Counter::kPoolSmallFlushes);
     Shelf& shelf = shelves_[static_cast<std::size_t>(size_class)];
     std::size_t overflow = 0;
     lock(shelf);
@@ -219,7 +223,6 @@ class SmallBlockPool {
   }
 
   Shelf shelves_[kClassCount];
-  std::atomic<std::uint64_t> shelf_locks_{0};
 };
 
 /// Standard allocator facade over SmallBlockPool, usable with

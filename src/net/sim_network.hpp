@@ -16,6 +16,7 @@
 
 #include "common/rng.hpp"
 #include "net/network.hpp"
+#include "obs/obs.hpp"
 #include "sim/exec_time_model.hpp"
 #include "sim/kernel.hpp"
 
@@ -36,6 +37,17 @@ struct LinkParams {
 class SimNetwork final : public Network {
  public:
   SimNetwork(sim::Kernel& kernel, common::Rng rng);
+
+  /// Lifetime totals flush into the metrics registry at teardown; the
+  /// delivery hot path keeps its plain member counters. The duplicated
+  /// count doubles as the registry backing for `net.packets_duplicated`.
+  ~SimNetwork() override {
+    obs::count(obs::Counter::kNetPacketsSent, sent_);
+    obs::count(obs::Counter::kNetPacketsDelivered, delivered_);
+    obs::count(obs::Counter::kNetPacketsDropped, dropped_);
+    obs::count(obs::Counter::kNetPacketsReordered, reordered_);
+    obs::count(obs::Counter::kNetPacketsDuplicated, duplicated_);
+  }
 
   void bind(Endpoint endpoint, ReceiveHandler handler) override;
   void unbind(Endpoint endpoint) override;

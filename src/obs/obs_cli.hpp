@@ -1,0 +1,33 @@
+// CLI plumbing for the observability layer.
+//
+// Every example harness exposes the same three options; this helper keeps
+// registration, activation, and end-of-run export in one place:
+//
+//   dear::obs::register_cli_options(cli);
+//   if (!cli.parse(argc, argv)) return cli.exit_code();
+//   if (!dear::obs::configure_from_cli(cli)) return 1;
+//   ... run ...
+//   if (!dear::obs::export_from_cli(cli)) return 1;
+//
+// Passing --metrics-out or --trace-out enables the corresponding
+// subsystem for the run; with neither flag the process keeps the
+// single-branch disabled path everywhere.
+#pragma once
+
+#include "common/cli.hpp"
+
+namespace dear::obs {
+
+/// Adds --metrics-out, --trace-out, and --trace-categories.
+void register_cli_options(common::Cli& cli);
+
+/// Enables metrics/tracing according to the parsed flags. Returns false
+/// (with a message on stderr) when --trace-categories does not parse.
+[[nodiscard]] bool configure_from_cli(const common::Cli& cli);
+
+/// Writes the metrics snapshot / Chrome trace to the requested files.
+/// Quiescent-point operation — call after the run completes. Returns
+/// false (with a message on stderr) when a file cannot be written.
+[[nodiscard]] bool export_from_cli(const common::Cli& cli);
+
+}  // namespace dear::obs

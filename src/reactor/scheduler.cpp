@@ -5,6 +5,7 @@
 #include <chrono>
 #include <stdexcept>
 
+#include "obs/obs.hpp"
 #include "reactor/action.hpp"
 #include "reactor/environment.hpp"
 #include "reactor/port.hpp"
@@ -50,6 +51,13 @@ Scheduler::~Scheduler() {
   for (auto& thread : worker_threads_) {
     thread.join();
   }
+  // Lifetime totals flush into the metrics registry after the workers have
+  // joined (their slot counters are stable), so the tag loop keeps its
+  // plain member counters.
+  obs::count(obs::Counter::kSchedTagsProcessed, tags_processed_);
+  obs::count(obs::Counter::kSchedReactionsExecuted, reactions_executed());
+  obs::count(obs::Counter::kSchedDeadlineViolations,
+             deadline_violations_.load(std::memory_order_relaxed));
 }
 
 void Scheduler::configure(int level_count, unsigned workers, bool keepalive, Duration timeout) {
@@ -148,6 +156,9 @@ void Scheduler::prepare_tag_locked(const Tag& tag, bool is_stop) {
   set_current_tag_locked(tag);
   ++tags_processed_;
   busy_offset_ = 0;
+  if (obs::Registry::metrics_enabled()) {
+    obs::gauge_max(obs::Gauge::kSchedQueueDepthPeak, event_queue_.pending_events());
+  }
 
   const std::lock_guard<std::mutex> staging_lock(staging_mutex_);
   if (event_queue_.pop_at(tag, popped_actions_)) {
@@ -217,7 +228,12 @@ void Scheduler::execute_reaction(Reaction& reaction) {
     const std::lock_guard<std::mutex> lock(staging_mutex_);
     trace_.record(current_tag_, reaction.fqn(), violated);
   }
-  reaction.execute(current_tag_, physical_now);
+  {
+    const obs::SpanScope span(obs::SpanCategory::kReaction, reaction.fqn(), current_tag_.time,
+                              current_tag_.microstep,
+                              static_cast<std::int32_t>(reaction.level()));
+    reaction.execute(current_tag_, physical_now);
+  }
   worker_slots_[0].reactions_executed.fetch_add(1, std::memory_order_relaxed);
   if (exec_cost_hook_) {
     busy_offset_ += exec_cost_hook_(reaction);
@@ -238,11 +254,19 @@ void Scheduler::execute_reaction_parallel(Reaction& reaction, WorkerSlot& slot,
   if (trace_.enabled()) {
     slot.trace.push_back(LocalTraceRecord{batch_index, violated});
   }
-  reaction.execute(current_tag_, physical_now);
+  {
+    const obs::SpanScope span(obs::SpanCategory::kReaction, reaction.fqn(), current_tag_.time,
+                              current_tag_.microstep,
+                              static_cast<std::int32_t>(reaction.level()));
+    reaction.execute(current_tag_, physical_now);
+  }
   slot.reactions_executed.fetch_add(1, std::memory_order_relaxed);
 }
 
 void Scheduler::execute_staged() {
+  // Opt-in firehose category: masked off by default, one branch here.
+  const obs::SpanScope tag_span(obs::SpanCategory::kTag, "tag", current_tag_.time,
+                                current_tag_.microstep);
   for (std::size_t level = 0; level < staged_.size(); ++level) {
     // Swap with the reused batch buffer: the two vectors' capacities
     // rotate, so no level allocates in steady state.
@@ -255,6 +279,12 @@ void Scheduler::execute_staged() {
     if (level_batch_buffer_.empty()) {
       continue;
     }
+    if (obs::Registry::metrics_enabled()) {
+      const auto width = static_cast<std::uint64_t>(level_batch_buffer_.size());
+      obs::count(obs::Counter::kSchedLevelsRun);
+      obs::observe(obs::Hist::kSchedLevelWidth, static_cast<double>(width));
+      obs::gauge_max(obs::Gauge::kSchedLevelWidthPeak, width);
+    }
     // Serial fast path: single worker, single reaction, or modeled
     // execution cost (sequential by definition — the DES driver).
     if (workers_ <= 1 || level_batch_buffer_.size() == 1 || exec_cost_hook_ ||
@@ -263,6 +293,10 @@ void Scheduler::execute_staged() {
         execute_reaction(*reaction);
       }
     } else {
+      obs::count(obs::Counter::kSchedLevelsParallel);
+      const obs::SpanScope span(obs::SpanCategory::kLevel, "level", current_tag_.time,
+                                current_tag_.microstep, static_cast<std::int32_t>(level),
+                                level_batch_buffer_.size());
       run_level_parallel(level_batch_buffer_);
     }
     executed_buffer_.insert(executed_buffer_.end(), level_batch_buffer_.begin(),
@@ -336,8 +370,15 @@ void Scheduler::work_on_level(std::uint64_t generation, WorkerSlot& slot) {
     // The successful CAS proves the level was current and incomplete, so
     // the published batch pointer cannot have been republished since.
     Reaction* const* batch = level_batch_.load(std::memory_order_relaxed);
+    const bool timed = obs::Registry::metrics_enabled();
+    const std::int64_t claim_start = timed ? obs::steady_now_ns() : 0;
     for (std::uint32_t i = index; i < next; ++i) {
       execute_reaction_parallel(*batch[i], slot, i);
+    }
+    if (timed) {
+      obs::count(obs::Counter::kSchedChunkClaims);
+      obs::count(obs::Counter::kSchedWorkerBusyNs,
+                 static_cast<std::uint64_t>(obs::steady_now_ns() - claim_start));
     }
     level_completed_.fetch_add(next - index, std::memory_order_acq_rel);
   }
@@ -355,6 +396,8 @@ void Scheduler::worker_loop(std::size_t worker_index) {
     if ((cursor >> kGenShift) == seen_generation) {
       // Spin briefly (bridges the inter-level gap of a busy stream), then
       // park with a timed re-probe.
+      const bool timed = obs::Registry::metrics_enabled();
+      const std::int64_t idle_start = timed ? obs::steady_now_ns() : 0;
       int spins = 0;
       for (;;) {
         cpu_pause();
@@ -366,6 +409,7 @@ void Scheduler::worker_loop(std::size_t worker_index) {
           break;
         }
         if (++spins >= kSpinsBeforePark) {
+          obs::count(obs::Counter::kSchedWorkerParks);
           std::unique_lock<std::mutex> lock(park_mutex_);
           parked_workers_.fetch_add(1, std::memory_order_seq_cst);
           park_cv_.wait_for(lock, kParkPoll, [&] {
@@ -376,6 +420,10 @@ void Scheduler::worker_loop(std::size_t worker_index) {
           parked_workers_.fetch_sub(1, std::memory_order_relaxed);
           spins = 0;
         }
+      }
+      if (timed) {
+        obs::count(obs::Counter::kSchedWorkerIdleNs,
+                   static_cast<std::uint64_t>(obs::steady_now_ns() - idle_start));
       }
     }
     seen_generation = cursor >> kGenShift;

@@ -7,11 +7,11 @@
 #pragma once
 
 #include <cstdint>
-#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/interner.hpp"
 #include "reactor/tag.hpp"
 
 namespace dear::reactor {
@@ -48,22 +48,11 @@ class Trace {
   bool operator==(const Trace& other) const { return records_ == other.records_; }
 
  private:
-  [[nodiscard]] std::string_view intern(std::string_view name) {
-    // Linear scan: a program has few distinct reactions, and tracing is a
-    // test/diagnostic facility.
-    for (const auto& owned : names_) {
-      if (*owned == name) {
-        return *owned;
-      }
-    }
-    names_.push_back(std::make_unique<std::string>(name));
-    return *names_.back();
-  }
+  [[nodiscard]] std::string_view intern(std::string_view name) { return names_.intern(name); }
 
   bool enabled_{false};
   std::vector<TraceRecord> records_;
-  /// unique_ptr for stable string addresses across vector growth.
-  std::vector<std::unique_ptr<std::string>> names_;
+  common::Interner names_;
 };
 
 }  // namespace dear::reactor

@@ -126,6 +126,7 @@ std::string CampaignReport::to_json() const {
     append_format(out, "\"output_digest\": \"%016" PRIx64 "\", ", o.output_digest);
     append_format(out, "\"tag_digest\": \"%016" PRIx64 "\", ", o.tag_digest);
     append_format(out, "\"latency_mean_ns\": %.0f, ", o.latency_mean_ns);
+    append_format(out, "\"latency_max_ns\": %.0f, ", o.latency_max_ns);
     append_format(out, "\"deadline_violations\": %" PRIu64 ", ", o.deadline_violations);
     append_format(out, "\"deterministic_group\": %s, ",
                   row.determinism_checked ? "true" : "false");
@@ -137,6 +138,16 @@ std::string CampaignReport::to_json() const {
       append_format(out, "\"chain_budget_ns\": %" PRId64 ", ", row.timing.chain_budget_ns);
       append_format(out, "\"budget_exceeded\": %s, ",
                     row.timing.budget_exceeded ? "true" : "false");
+    }
+    if (row.obs.sampled) {
+      append_format(out, "\"obs\": {\"worker\": %u, \"sim_events\": %" PRIu64
+                         ", \"net_packets\": %" PRIu64 ", \"net_drops\": %" PRIu64
+                         ", \"net_dups\": %" PRIu64 ", \"msgs_sent\": %" PRIu64
+                         ", \"msgs_received\": %" PRIu64 ", \"wire_bytes\": %" PRIu64
+                         ", \"shelf_locks\": %" PRIu64 "}, ",
+                    row.obs.worker, row.obs.sim_events, row.obs.net_packets, row.obs.net_drops,
+                    row.obs.net_dups, row.obs.msgs_sent, row.obs.msgs_received,
+                    row.obs.wire_bytes, row.obs.shelf_locks);
     }
     append_format(out, "\"wall_seconds\": %.4f", row.wall_seconds);
     out += i + 1 < results.size() ? "},\n" : "}\n";
@@ -163,6 +174,26 @@ std::string CampaignReport::to_table() const {
                   row.spec.index, label.c_str(), o.samples_in, o.samples_out, o.app_errors,
                   o.protocol_errors, o.wrong_outputs, o.error_prevalence_percent(),
                   o.output_digest, row.determinism_checked ? " *" : "");
+  }
+  // Static-vs-dynamic timing cross-check: the analyzer's predicted worst
+  // chain latency next to the latency the run actually observed, one row
+  // per timing-annotated scenario with latency tracking.
+  bool timing_header = false;
+  for (const ScenarioResult& row : results) {
+    if (!row.timing.evaluated || row.outcome.latency_max_ns <= 0.0) {
+      continue;
+    }
+    if (!timing_header) {
+      append_format(out, "  %-5s %-44s %14s %14s %9s\n", "#", "timing (static vs observed)",
+                    "predicted_ns", "observed_ns", "ratio");
+      timing_header = true;
+    }
+    const double predicted = static_cast<double>(row.timing.chain_latency_max_ns);
+    append_format(out, "  %-5" PRIu64 " %-44s %14" PRId64 " %14.0f %9.2f\n", row.spec.index,
+                  row.spec.name.size() > 44 ? row.spec.name.substr(0, 44).c_str()
+                                            : row.spec.name.c_str(),
+                  row.timing.chain_latency_max_ns, row.outcome.latency_max_ns,
+                  predicted > 0.0 ? row.outcome.latency_max_ns / predicted : 0.0);
   }
   const common::RunningStats nondet = nondet_prevalence();
   if (nondet.count() > 0) {

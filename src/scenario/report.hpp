@@ -36,6 +36,26 @@ struct TimingVerdict {
   bool budget_exceeded{false};
 };
 
+/// Per-scenario observability sample: deltas of the worker thread's local
+/// metric cells across the run (the scenario's objects are all destroyed
+/// inside run_scenario, so their teardown flushes land before the after-
+/// read). Never part of report_digest() — wall-clock and host-dependent
+/// data stay out of determinism checks.
+struct ScenarioObs {
+  /// False when metrics were disabled for the campaign (fields are 0).
+  bool sampled{false};
+  /// Registry ordinal of the worker thread that ran the scenario.
+  std::uint32_t worker{0};
+  std::uint64_t sim_events{0};
+  std::uint64_t net_packets{0};
+  std::uint64_t net_drops{0};
+  std::uint64_t net_dups{0};
+  std::uint64_t msgs_sent{0};
+  std::uint64_t msgs_received{0};
+  std::uint64_t wire_bytes{0};
+  std::uint64_t shelf_locks{0};
+};
+
 /// Cache-line aligned: campaign workers write neighbouring slots of the
 /// preallocated result matrix concurrently, and without the alignment two
 /// workers' outcome stores false-share one line around every slot
@@ -48,6 +68,7 @@ struct alignas(64) ScenarioResult {
   /// Whether the run participated in a digest-invariance group.
   bool determinism_checked{false};
   TimingVerdict timing;
+  ScenarioObs obs;
 };
 
 struct CampaignReport {

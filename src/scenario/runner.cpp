@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "analysis/analyzer.hpp"
+#include "obs/obs.hpp"
 
 namespace dear::scenario {
 
@@ -20,6 +21,35 @@ using Clock = std::chrono::steady_clock;
 
 [[nodiscard]] double seconds_since(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+[[nodiscard]] std::uint64_t counter_delta(
+    const std::array<std::uint64_t, obs::kCounterCount>& before,
+    const std::array<std::uint64_t, obs::kCounterCount>& after, obs::Counter c) {
+  const auto i = static_cast<std::size_t>(c);
+  return after[i] - before[i];
+}
+
+/// Samples the worker-local metric deltas around one scenario run. All of
+/// the scenario's runtime objects are destroyed inside run_scenario, so
+/// their teardown flushes are visible in the after-read on this thread.
+[[nodiscard]] ScenarioObs sample_obs(const std::array<std::uint64_t, obs::kCounterCount>& before,
+                                     const std::array<std::uint64_t, obs::kCounterCount>& after) {
+  ScenarioObs obs_row;
+  obs_row.sampled = true;
+  obs_row.worker = obs::Registry::local_ordinal();
+  obs_row.sim_events = counter_delta(before, after, obs::Counter::kSimEventsProcessed);
+  obs_row.net_packets = counter_delta(before, after, obs::Counter::kNetPacketsSent);
+  obs_row.net_drops = counter_delta(before, after, obs::Counter::kNetPacketsDropped);
+  obs_row.net_dups = counter_delta(before, after, obs::Counter::kNetPacketsDuplicated);
+  obs_row.msgs_sent = counter_delta(before, after, obs::Counter::kSomeipMsgsSent) +
+                      counter_delta(before, after, obs::Counter::kLocalMsgsSent);
+  obs_row.msgs_received = counter_delta(before, after, obs::Counter::kSomeipMsgsReceived) +
+                          counter_delta(before, after, obs::Counter::kLocalMsgsReceived);
+  obs_row.wire_bytes = counter_delta(before, after, obs::Counter::kSomeipBytesSent);
+  obs_row.shelf_locks = counter_delta(before, after, obs::Counter::kPoolSmallShelfLocks) +
+                        counter_delta(before, after, obs::Counter::kPoolBufferShelfLocks);
+  return obs_row;
 }
 
 /// Evaluates the digest-invariance groups in place. Scenario order within
@@ -136,6 +166,7 @@ CampaignReport CampaignRunner::run(std::string name, std::vector<ScenarioSpec> s
     report.results[i].spec = std::move(scenarios[i]);
   }
 
+  const obs::SpanScope campaign_span(obs::SpanCategory::kCampaign, report.name);
   const auto batch_start = Clock::now();
   // Workers claim scenarios off a shared cursor in small batches and write
   // into their (cache-line aligned) matrix slots; no other cross-thread
@@ -170,9 +201,24 @@ CampaignReport CampaignRunner::run(std::string name, std::vector<ScenarioSpec> s
       const std::size_t end = std::min(begin + claim, total);
       for (std::size_t i = begin; i < end; ++i) {
         ScenarioResult& slot = report.results[i];
+        const bool sampling = obs::Registry::metrics_enabled();
+        std::array<std::uint64_t, obs::kCounterCount> before{};
+        if (sampling) {
+          obs::Registry::read_local_counters(before);
+        }
         const auto start = Clock::now();
-        slot.outcome = run_scenario(slot.spec);
+        {
+          const obs::SpanScope span(obs::SpanCategory::kScenario, slot.spec.name);
+          slot.outcome = run_scenario(slot.spec);
+        }
         slot.wall_seconds = seconds_since(start);
+        if (sampling) {
+          std::array<std::uint64_t, obs::kCounterCount> after{};
+          obs::Registry::read_local_counters(after);
+          slot.obs = sample_obs(before, after);
+          obs::count(obs::Counter::kCampaignScenarios);
+          obs::observe(obs::Hist::kCampaignScenarioWallMs, slot.wall_seconds * 1e3);
+        }
       }
     }
   };

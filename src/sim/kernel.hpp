@@ -19,6 +19,7 @@
 
 #include "common/binary_heap.hpp"
 #include "common/time.hpp"
+#include "obs/obs.hpp"
 
 namespace dear::sim {
 
@@ -31,6 +32,14 @@ class Kernel {
   Kernel() = default;
   Kernel(const Kernel&) = delete;
   Kernel& operator=(const Kernel&) = delete;
+
+  /// Lifetime totals flush into the metrics registry at teardown, so the
+  /// hot loop keeps its plain member counters (no per-event registry
+  /// traffic; the kernel is single-threaded by construction).
+  ~Kernel() {
+    obs::count(obs::Counter::kSimEventsScheduled, next_id_);
+    obs::count(obs::Counter::kSimEventsProcessed, processed_);
+  }
 
   /// Schedules `handler` at absolute time `time`. Times in the past (before
   /// now()) are clamped to now(). Returns an id usable with cancel().

@@ -5,6 +5,7 @@
 
 #include "common/buffer_pool.hpp"
 #include "common/logging.hpp"
+#include "obs/obs.hpp"
 
 namespace dear::someip {
 
@@ -20,21 +21,37 @@ Binding::Binding(net::Network& network, common::Executor& executor, net::Endpoin
   network_.bind(self_, [this](const net::Packet& packet) { on_packet(packet); });
 }
 
-Binding::~Binding() { network_.unbind(self_); }
+Binding::~Binding() {
+  network_.unbind(self_);
+  // Lifetime totals flush into the metrics registry; the hot paths above
+  // keep their plain member counters under the locks they already take.
+  obs::count(obs::Counter::kSomeipMsgsSent, msgs_sent_);
+  obs::count(obs::Counter::kSomeipMsgsReceived, msgs_received_);
+  obs::count(obs::Counter::kSomeipBytesSent, bytes_sent_);
+  obs::count(obs::Counter::kSomeipBytesReceived, bytes_received_);
+  obs::count(obs::Counter::kSomeipTaggedSent, tagged_sent_);
+  obs::count(obs::Counter::kSomeipTaggedReceived, tagged_received_);
+  obs::count(obs::Counter::kSomeipDedupHits, duplicate_requests_);
+  obs::count(obs::Counter::kSomeipMalformed, malformed_received_);
+  obs::count(obs::Counter::kSomeipTimeouts, timeouts_);
+}
 
 void Binding::send_message(const net::Endpoint& destination, Message message) {
   // The paper's modification: pick up a pending tag from the bypass and
   // attach it to the outgoing message (Figure 3, steps 5 and 16).
   message.tag = send_bypass_.collect();
+  const std::size_t wire_bytes = message.encoded_size();
   {
     const std::lock_guard<std::mutex> lock(mutex_);
+    ++msgs_sent_;
+    bytes_sent_ += wire_bytes;
     if (message.tag.has_value()) {
       ++tagged_sent_;
     }
   }
   // Encode into a recycled wire buffer; the network layer releases it back
   // to the pool after delivery, closing the allocation-free send cycle.
-  std::vector<std::uint8_t> wire = common::BufferPool::instance().acquire(message.encoded_size());
+  std::vector<std::uint8_t> wire = common::BufferPool::instance().acquire(wire_bytes);
   message.encode_into(wire);
   network_.send(self_, destination, std::move(wire));
 }
@@ -200,6 +217,11 @@ void Binding::on_packet(const net::Packet& packet) {
   // interleave with another message's. Decoding into the scratch message
   // (payload capacity recycled) rides the same serialization.
   const std::lock_guard<std::mutex> receive_lock(receive_mutex_);
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++msgs_received_;
+    bytes_received_ += packet.payload.size();
+  }
   if (!Message::decode_into(packet.payload.data(), packet.payload.size(), rx_message_)) {
     const std::lock_guard<std::mutex> lock(mutex_);
     ++malformed_received_;

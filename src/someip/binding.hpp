@@ -99,6 +99,11 @@ class Binding {
 
   // --- statistics ------------------------------------------------------------
 
+  /// Wire messages of any type, and their encoded bytes, per direction.
+  [[nodiscard]] std::uint64_t messages_sent() const noexcept { return msgs_sent_; }
+  [[nodiscard]] std::uint64_t messages_received() const noexcept { return msgs_received_; }
+  [[nodiscard]] std::uint64_t bytes_sent() const noexcept { return bytes_sent_; }
+  [[nodiscard]] std::uint64_t bytes_received() const noexcept { return bytes_received_; }
   [[nodiscard]] std::uint64_t requests_sent() const noexcept { return requests_sent_; }
   [[nodiscard]] std::uint64_t responses_received() const noexcept { return responses_received_; }
   [[nodiscard]] std::uint64_t notifications_sent() const noexcept { return notifications_sent_; }
@@ -160,6 +165,10 @@ class Binding {
   /// capacity is recycled across packets.
   Message rx_message_;
 
+  std::uint64_t msgs_sent_{0};
+  std::uint64_t msgs_received_{0};
+  std::uint64_t bytes_sent_{0};
+  std::uint64_t bytes_received_{0};
   std::uint64_t requests_sent_{0};
   std::uint64_t responses_received_{0};
   std::uint64_t notifications_sent_{0};

@@ -1,0 +1,56 @@
+// Interner tests: canonical-view identity, view stability across index
+// growth, and the one-allocation-per-distinct-name contract the span
+// tracer's recording path relies on.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/interner.hpp"
+
+namespace dear::common {
+namespace {
+
+TEST(Interner, SameNameYieldsTheSameView) {
+  Interner interner;
+  const std::string_view a = interner.intern("reactor/brake/decide");
+  const std::string_view b = interner.intern(std::string("reactor/brake/decide"));
+  EXPECT_EQ(a.data(), b.data());  // identical storage, not just equal text
+  EXPECT_EQ(interner.size(), 1u);
+}
+
+TEST(Interner, DistinctNamesAreDistinct) {
+  Interner interner;
+  const std::string_view a = interner.intern("a");
+  const std::string_view b = interner.intern("b");
+  EXPECT_NE(a.data(), b.data());
+  EXPECT_EQ(interner.size(), 2u);
+}
+
+TEST(Interner, ViewsSurviveIndexGrowth) {
+  Interner interner;
+  std::vector<std::string_view> views;
+  for (int i = 0; i < 500; ++i) {
+    views.push_back(interner.intern("name-" + std::to_string(i)));
+  }
+  EXPECT_EQ(interner.size(), 500u);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_EQ(views[static_cast<std::size_t>(i)], "name-" + std::to_string(i));
+    // Re-interning returns the original storage even after growth.
+    EXPECT_EQ(interner.intern("name-" + std::to_string(i)).data(),
+              views[static_cast<std::size_t>(i)].data());
+  }
+}
+
+TEST(Interner, ClearEmptiesTheIndex) {
+  Interner interner;
+  (void)interner.intern("x");
+  EXPECT_FALSE(interner.empty());
+  interner.clear();
+  EXPECT_TRUE(interner.empty());
+  EXPECT_EQ(interner.size(), 0u);
+}
+
+}  // namespace
+}  // namespace dear::common

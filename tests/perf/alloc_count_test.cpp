@@ -30,6 +30,7 @@
 
 #include "common/buffer_pool.hpp"
 #include "common/pool_allocator.hpp"
+#include "obs/obs.hpp"
 #include "reactor/runtime.hpp"
 #include "../reactor/reactor_fixture.hpp"
 #include "scenario/presets.hpp"
@@ -250,6 +251,88 @@ TEST(ShelfLocks, ThreadedSchedulerSteadyStateTakesNoShelfLocks) {
       << large_delta;
   EXPECT_EQ(small_delta, 0u) << "warm threaded run still took " << small_delta
                              << " shelf locks";
+}
+
+/// Restores the at-rest obs configuration when a test scope exits, so
+/// the enabled-path tests below cannot leak state into each other.
+struct ObsStateGuard {
+  ~ObsStateGuard() {
+    obs::Registry::instance().set_metrics_enabled(false);
+    obs::Registry::instance().set_span_mask(0);
+    obs::Registry::instance().set_ring_capacity(obs::Registry::kDefaultRingCapacity);
+    obs::Registry::instance().reset();
+  }
+};
+
+TEST(AllocCount, MetricOpsAreAllocationFreeOnceWarm) {
+  // The PR 8 enabled-path contract: after the thread's cell cache exists,
+  // a counter increment, gauge update, or histogram observe is a relaxed
+  // load + store into this thread's own cache line — zero allocations,
+  // zero shelf locks.
+  ObsStateGuard guard;
+  obs::Registry::instance().set_metrics_enabled(true);
+  obs::count(obs::Counter::kSimEventsProcessed);  // warm: creates the cache
+  const std::uint64_t locks_before = shelf_locks();
+  const std::uint64_t before = allocation_count();
+  for (int i = 0; i < 10'000; ++i) {
+    obs::count(obs::Counter::kSimEventsProcessed);
+    obs::gauge_max(obs::Gauge::kSchedQueueDepthPeak, static_cast<std::uint64_t>(i));
+    obs::observe(obs::Hist::kSchedLevelWidth, static_cast<double>(i % 64));
+  }
+  const std::uint64_t after = allocation_count();
+  EXPECT_EQ(after - before, 0u)
+      << "metric ops allocated " << (after - before) << " times over 30000 records";
+  EXPECT_EQ(shelf_locks() - locks_before, 0u);
+  EXPECT_GE(obs::Registry::instance().counter_total(obs::Counter::kSimEventsProcessed), 10'001u);
+}
+
+TEST(AllocCount, SpanRecordingIsAllocationFreeOnceWarm) {
+  // Span rings size lazily on the first record and intern each distinct
+  // name once; after that a record is a clock pair plus a slot write.
+  ObsStateGuard guard;
+  obs::Registry::instance().set_ring_capacity(256);
+  obs::Registry::instance().set_span_mask(obs::kAllSpansMask);
+  { obs::SpanScope warm(obs::SpanCategory::kScenario, "alloc-test-span"); }
+  const std::uint64_t before = allocation_count();
+  for (int i = 0; i < 2'000; ++i) {
+    obs::SpanScope span(obs::SpanCategory::kScenario, "alloc-test-span", i, 0, 1, 7);
+  }
+  const std::uint64_t after = allocation_count();
+  EXPECT_EQ(after - before, 0u)
+      << "span recording allocated " << (after - before) << " times over 2000 spans";
+  EXPECT_EQ(obs::Registry::instance().snapshot().spans_recorded, 2'001u);
+}
+
+TEST(AllocCount, InstrumentedSchedulerSteadyStateIsAllocationFree) {
+  // The scheduler hot loop with live metrics: the gated per-tag blocks
+  // (queue-depth gauge, level-width observe + histogram, levels-run
+  // counter) must stay inside the zero-allocation steady state the
+  // uninstrumented loop already guarantees.
+  ObsStateGuard guard;
+  obs::Registry::instance().set_metrics_enabled(true);
+  sim::Kernel kernel;
+  SimClock clock(kernel);
+  Environment env(clock);
+  Looper looper(env);
+  env.assemble();
+  env.scheduler().start_at(Tag{0, 0});
+
+  const auto process_tags = [&](std::uint64_t count) {
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const auto result = env.scheduler().process_next_tag(kTimeMax);
+      ASSERT_TRUE(result.has_value());
+    }
+  };
+
+  process_tags(2000);  // warm: pools, heap capacity, obs thread cache
+  const std::uint64_t locks_before = shelf_locks();
+  const std::uint64_t before = allocation_count();
+  process_tags(1000);
+  const std::uint64_t after = allocation_count();
+  EXPECT_EQ(after - before, 0u) << "instrumented scheduler loop allocated " << (after - before)
+                                << " times over 1000 events";
+  EXPECT_EQ(shelf_locks() - locks_before, 0u);
+  EXPECT_GT(obs::Registry::instance().counter_total(obs::Counter::kSchedLevelsRun), 0u);
 }
 
 TEST(AllocCount, BufferPoolRecyclesWireBuffers) {
