@@ -14,6 +14,10 @@
 //                                    workers <= 3x single-threaded
 //   * threaded_digest_workers      — trace/tag digests identical at 1/2/4
 //                                    workers
+//   * ft_idle_*/ft_sweep_*         — idle fault-tolerance hooks within 5%
+//                                    with anchor digests unchanged; live
+//                                    fault campaign digest-stable at every
+//                                    worker count with zero violations
 // so CI fails on a hot-path, scaling or determinism regression without
 // parsing any console output.
 #include <cstdio>
@@ -87,6 +91,17 @@ int main(int argc, char** argv) {
   obs_options.pipeline_frames = 300;
   obs_options.golden_digest = kDearDigest300f7;
   dear::bench::run_obs_suite(harness, obs_options);
+
+  // --- fault tolerance -------------------------------------------------------
+  // Idle injection hooks within 5% of the FT-free hot path (anchor digest
+  // unchanged), then the fault-tolerance campaign with faults live: zero
+  // determinism violations, report digest identical at 1/2/4 workers.
+  dear::bench::FtSuiteOptions ft_options;
+  ft_options.pipeline_frames = 300;
+  ft_options.golden_digest = kDearDigest300f7;
+  ft_options.sweep_frames = 120;
+  ft_options.sweep_seed = 1;
+  dear::bench::run_ft_suite(harness, ft_options);
 
   return harness.finish();
 }

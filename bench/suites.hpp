@@ -53,4 +53,24 @@ struct ObsOverheadOptions {
 /// (obs on == obs off == golden anchor).
 void run_obs_suite(Harness& harness, const ObsOverheadOptions& options);
 
+struct FtSuiteOptions {
+  /// Frames for the DEAR pipeline idle-overhead triple (the 300-frame
+  /// anchor workload; smaller standalone values skip the golden gate).
+  std::uint64_t pipeline_frames{300};
+  /// Golden output digest the idle-probe run must reproduce; 0 skips the
+  /// anchor gate.
+  std::uint64_t golden_digest{0};
+  /// Frames and seed for the fault-tolerance campaign sweep (48 scenarios
+  /// full, 16 under --quick).
+  std::uint64_t sweep_frames{120};
+  std::uint64_t sweep_seed{1};
+};
+
+/// Fault-tolerance gates: FT-free vs inert-fault-plan triples on the DEAR
+/// pipeline (idle injection hooks within 5%, digests unchanged vs the
+/// golden anchor) plus the fault-tolerance campaign with faults live —
+/// zero determinism violations and report-digest equality at 1/2/4
+/// workers.
+void run_ft_suite(Harness& harness, const FtSuiteOptions& options);
+
 }  // namespace dear::bench

@@ -17,7 +17,9 @@
 int main(int argc, char** argv) {
   dear::common::Cli cli("scenario_campaign",
                         "Runs a declarative fault/clock/network scenario campaign.");
-  cli.add_string("preset", "smoke", "campaign grid: smoke | fault-sweep | throughput");
+  cli.add_string("preset", "smoke",
+                 "campaign grid: smoke | fault-sweep | throughput | "
+                 "fault-tolerance | fault-tolerance-smoke");
   cli.add_int("frames", 500, "sensor samples per scenario");
   cli.add_int("seed", 1, "campaign seed (root of every derived stream)");
   cli.add_int("workers", 0, "worker threads (0 = hardware concurrency)");
@@ -45,8 +47,14 @@ int main(int argc, char** argv) {
   } else if (preset == "throughput") {
     campaign = dear::scenario::presets::throughput(
         static_cast<std::uint64_t>(cli.get_int("scenarios")), frames, seed);
+  } else if (preset == "fault-tolerance") {
+    campaign = dear::scenario::presets::fault_tolerance_sweep(frames, seed);
+  } else if (preset == "fault-tolerance-smoke") {
+    campaign = dear::scenario::presets::fault_tolerance_smoke(frames, seed);
   } else {
-    std::fprintf(stderr, "unknown preset '%s' (smoke | fault-sweep | throughput)\n",
+    std::fprintf(stderr,
+                 "unknown preset '%s' (smoke | fault-sweep | throughput | "
+                 "fault-tolerance | fault-tolerance-smoke)\n",
                  preset.c_str());
     return 1;
   }

@@ -1,7 +1,9 @@
 #include "acc/pipeline.hpp"
 
 #include <algorithm>
+#include <functional>
 #include <iterator>
+#include <memory>
 #include <optional>
 #include <unordered_map>
 
@@ -14,7 +16,9 @@
 #include "common/rng.hpp"
 #include "dear/app_builder.hpp"
 #include "dear/bundles.hpp"
+#include "ft/health.hpp"
 #include "net/sim_network.hpp"
+#include "obs/obs.hpp"
 #include "sim/clock_model.hpp"
 #include "sim/periodic_task.hpp"
 #include "sim/sim_executor.hpp"
@@ -32,6 +36,15 @@ constexpr net::Endpoint kActuatorEp{kPlatform, 304};
 constexpr net::Endpoint kConsoleEp{kPlatform, 305};
 
 using common::mix_digest;
+
+/// Coast-fallback commands carry a marker id (top 16 bits set) so the
+/// actuator can account for them without consulting the reference chain:
+/// there is no radar scan a coast tick corresponds to.
+constexpr std::uint64_t kCoastMarker = 0xFFFF'0000'0000'0000ULL;
+
+[[nodiscard]] constexpr bool is_coast_marker(std::uint64_t scan_id) noexcept {
+  return (scan_id & kCoastMarker) == kCoastMarker;
+}
 
 // --- SWC logic reactors ----------------------------------------------------------
 
@@ -80,7 +93,13 @@ class AccLogic final : public reactor::Reactor {
   reactor::Output<double> set_response{"set_response", this};
   reactor::Output<double> notify_out{"notify_out", this};
 
-  AccLogic(reactor::Environment& environment, sim::ExecTimeModel cost, double initial_target)
+  // Degraded-mode ports, created only when the fault-tolerance layer is
+  // deployed (coast_period > 0): with FT off the reactor graph — and with
+  // it the fact table and the golden digests — is unchanged.
+  std::unique_ptr<reactor::Input<ft::HealthState>> health_in;
+
+  AccLogic(reactor::Environment& environment, sim::ExecTimeModel cost, double initial_target,
+           Duration coast_period = 0, Duration coast_phase = 0)
       : Reactor("acc_logic", environment), target_(initial_target) {
     // Set before compute: a same-tag set-point update applies to the
     // command computed at that tag.
@@ -105,10 +124,39 @@ class AccLogic final : public reactor::Reactor {
         .writes(command_out)
         .reads_state("acc.target_speed")
         .set_modeled_cost(cost);
+    if (coast_period > 0) {
+      // Coast fallback: while the radar is dead (no scans, hence no
+      // tracks), keep emitting hold-speed commands at the nominal cadence.
+      // Both triggers (supervisor transitions, coast timer) are logical,
+      // so degraded ticks land at reproducible tags.
+      health_in = std::make_unique<reactor::Input<ft::HealthState>>("health_in", this);
+      coast_timer_ = std::make_unique<reactor::Timer>("coast_timer", this, coast_period,
+                                                      coast_phase > 0 ? coast_phase : coast_period);
+      add_reaction("on_health", [this] { health_ = health_in->get(); })
+          .triggered_by(*health_in)
+          .writes_state("acc.health");
+      add_reaction("on_coast",
+                   [this] {
+                     if (health_ != ft::HealthState::kDead) {
+                       return;
+                     }
+                     AccCommand command;
+                     command.scan_id = kCoastMarker | coast_tick_++;
+                     command.target_speed_kmh = target_;
+                     command_out.set(command);
+                   })
+          .triggered_by(*coast_timer_)
+          .writes(command_out)
+          .reads_state("acc.target_speed")
+          .reads_state("acc.health");
+    }
   }
 
  private:
   double target_;
+  std::unique_ptr<reactor::Timer> coast_timer_;
+  ft::HealthState health_{ft::HealthState::kHealthy};
+  std::uint64_t coast_tick_{0};
 };
 
 class ActuatorLogic final : public reactor::Reactor {
@@ -213,6 +261,56 @@ AccResult run_acc_pipeline(const AccScenarioConfig& config) {
 
   ara::com::LocalHub hub;
 
+  // Radar activation grid, fixed before the fault plan: the injection
+  // window and the health timers are anchored to it (cf. the brake
+  // pipeline — identical crash_at semantics on both workloads). Draws are
+  // sequenced explicitly: as constructor arguments their evaluation order
+  // would be compiler-dependent.
+  auto radar_cfg_rng = radar_rng.stream("radar");
+  const Duration radar_clock_offset = radar_cfg_rng.uniform_duration(0, config.period);
+  const double radar_clock_drift =
+      radar_cfg_rng.uniform(-1000, 1000) * 1e-3 * config.radar_drift_ppm;
+  const sim::PlatformClock radar_clock(radar_clock_offset, radar_clock_drift);
+  const Duration radar_phase = radar_cfg_rng.uniform_duration(0, config.period - 1);
+
+  // The radar starts once the service wiring has settled (see below), so
+  // grid points before `settle` are missed activations. Replicating
+  // PeriodicTask's arm rule here yields the nominal global release of
+  // scan 0 — jitter delays individual releases but never moves the grid.
+  const Duration settle = 5 * kMillisecond + 2 * config.svc_latency_max;
+  TimePoint first_scan = radar_clock.global_from_local(radar_phase);
+  for (TimePoint k = 1; first_scan < settle; ++k) {
+    first_scan = radar_clock.global_from_local(radar_phase + k * config.period);
+  }
+
+  // Fault-injection plan shared read-only by every binding in the chain.
+  // Declared before the AppBuilder so it outlives the node runtimes that
+  // hold a pointer to it. The radar node is the victim: crashing the
+  // sensor boundary exercises the consumer-side degradation path.
+  //
+  // The down window counts from scan 0's nominal release, so which scans
+  // lose their traffic is a pure function of the scenario knobs — the
+  // radar clock's offset cannot shift window membership.
+  const bool ft_on = config.service_faults.any();
+  ft::FaultPlan fault_plan;
+  fault_plan.victim = kRadarEp;
+  fault_plan.down_from =
+      config.service_faults.crash_at > 0 ? first_scan + config.service_faults.crash_at
+                                         : Duration{0};
+  fault_plan.down_until =
+      fault_plan.down_from > 0 && config.service_faults.restart_after > 0
+          ? fault_plan.down_from + config.service_faults.restart_after
+          : Duration{0};
+  fault_plan.call_error_probability = config.service_faults.call_error_probability;
+  fault_plan.call_omission_probability = config.service_faults.call_omission_probability;
+  fault_plan.fault_seed = config.fault_seed;
+
+  // Health timers ride the same anchor, offset to sit strictly between
+  // the chain's wire-tag grid (scans land at the grid +{5, 25, 35, 40}ms
+  // mod period, window boundaries at +period/2): beats a quarter period
+  // off the grid, supervisor checks at +period/4, coast ticks at +3/8.
+  const Duration ft_anchor = first_scan % config.period;
+
   const auto make_config = [&](Duration deadline) {
     transact::TransactorConfig tc;
     tc.deadline = scale_duration(deadline, config.deadline_scale);
@@ -232,10 +330,25 @@ AccResult run_acc_pipeline(const AccScenarioConfig& config) {
   auto& actuator = app.node("actuator", kActuatorEp, 0x34);
   auto& console = app.node("console", kConsoleEp, 0x35);
 
+  // The plan hooks live in every binding either way; installing an inert
+  // plan (ft_idle_probe) measures their cost on the undisturbed hot path.
+  if (ft_on || config.ft_idle_probe) {
+    for (auto* node : {&radar, &tracker, &acc, &actuator, &console}) {
+      node->runtime().set_fault_plan(&fault_plan);
+    }
+  }
+
   // Servers first (offered on construction), then clients.
   auto& radar_srv = radar.serve<Radar>(kInstance, make_config(config.radar_deadline));
   auto& tracker_srv = tracker.serve<Tracker>(kInstance, make_config(config.tracker_deadline));
   auto& acc_srv = acc.serve<AccController>(kInstance, make_config(config.acc_deadline));
+  // Health monitoring rides the same descriptor machinery as the chain
+  // services: the victim offers the heartbeat stream, the controller node
+  // supervises it (wired below, after the logic reactors exist).
+  transact::ServerSide<ft::Health>* health_srv = nullptr;
+  if (ft_on) {
+    health_srv = &radar.serve<ft::Health>(kInstance, make_config(config.radar_deadline));
+  }
 
   auto& tracker_cli = tracker.require<Radar>(kInstance, make_config(config.tracker_deadline));
   auto& acc_cli = acc.require<Tracker>(kInstance, make_config(config.acc_deadline));
@@ -243,6 +356,15 @@ AccResult run_acc_pipeline(const AccScenarioConfig& config) {
       actuator.require<AccController>(kInstance, make_config(config.actuator_deadline));
   auto& console_cli =
       console.require<AccController>(kInstance, make_config(config.console_deadline));
+  transact::ClientSide<ft::Health>* health_cli = nullptr;
+  if (ft_on) {
+    health_cli = &acc.require<ft::Health>(kInstance, make_config(config.acc_deadline));
+  }
+  if (config.retry.enabled()) {
+    // Field get/set are methods on the wire; the console's proxy retries
+    // them with the deterministic logical backoff.
+    console_cli.proxy().set_retry_policy(config.retry);
+  }
 
   const double ts = config.exec_time_scale;
   const auto light_cost =
@@ -263,9 +385,20 @@ AccResult run_acc_pipeline(const AccScenarioConfig& config) {
 
   auto& radar_logic = radar.logic<RadarLogic>(light_cost);
   auto& tracker_logic = tracker.logic<TrackerLogic>(tracker_cost);
-  auto& acc_logic = acc.logic<AccLogic>(acc_cost, 100.0);
+  auto& acc_logic = acc.logic<AccLogic>(acc_cost, 100.0, ft_on ? config.period : Duration{0},
+                                        ft_anchor + config.period / 4 + config.period / 8);
   auto& actuator_logic = actuator.logic<ActuatorLogic>(
       light_cost, [&](const AccCommand& command, const reactor::Tag& tag) {
+        if (is_coast_marker(command.scan_id)) {
+          // Degraded tick: no reference command exists (there was no scan);
+          // the marker and the held set-point still enter the digest so a
+          // nondeterministic fallback could not hide.
+          ++result.ft_degraded_ticks;
+          mix_digest(result.output_digest, command.scan_id);
+          mix_digest(result.output_digest,
+                     static_cast<std::uint64_t>(command.target_speed_kmh * 100.0));
+          return;
+        }
         ++result.commands;
         if (command.braking) {
           ++result.brake_interventions;
@@ -290,6 +423,24 @@ AccResult run_acc_pipeline(const AccScenarioConfig& config) {
       });
   auto& console_logic =
       console.logic<ConsoleLogic>(config.console_poll_period, config.console_update_period);
+
+  ft::Supervisor* supervisor = nullptr;
+  if (ft_on) {
+    auto& beat_src = radar.logic<ft::HeartbeatEmitter>(
+        config.period, ft_anchor + config.period + config.period / 4);
+    radar.connect(beat_src.out, health_srv->tx(ft::Health::beat).in);
+    // Staleness thresholds scale with the chain cadence: one missed beat
+    // is tolerated, ~2.5 periods without beats counts as degraded, four as
+    // dead (engaging the coast fallback).
+    ft::SupervisorConfig sup_config;
+    sup_config.check_period = config.period;
+    sup_config.check_phase = ft_anchor + config.period / 4;
+    sup_config.degraded_after = 2 * config.period + config.period / 2;
+    sup_config.dead_after = 4 * config.period;
+    supervisor = &acc.logic<ft::Supervisor>(sup_config);
+    acc.connect(health_cli->tx(ft::Health::beat).out, supervisor->beat_in);
+    acc.connect(supervisor->state_out, *acc_logic.health_in);
+  }
 
   // --- wiring: all of it derived from the descriptors -------------------------
   radar.connect(radar_logic.out, radar_srv.tx(Radar::scan).in);
@@ -316,20 +467,12 @@ AccResult run_acc_pipeline(const AccScenarioConfig& config) {
   console.connect(field_cli.notify.out, console_logic.notify_in);
 
   // --- the radar front-end -----------------------------------------------------
-  // Draws are sequenced explicitly: as constructor arguments their
-  // evaluation order would be compiler-dependent.
-  auto radar_cfg_rng = radar_rng.stream("radar");
-  const Duration radar_clock_offset = radar_cfg_rng.uniform_duration(0, config.period);
-  const double radar_clock_drift =
-      radar_cfg_rng.uniform(-1000, 1000) * 1e-3 * config.radar_drift_ppm;
-  const sim::PlatformClock radar_clock(radar_clock_offset, radar_clock_drift);
   sim::SensorFaultInjector radar_faults(config.sensor_faults, radar_rng.stream("radar.faults"));
   std::uint64_t captures = 0;
   std::uint64_t scans_sent = 0;
   std::optional<RadarScan> last_scan;
   sim::PeriodicTask radar_task(
-      kernel, radar_clock, config.period,
-      radar_cfg_rng.uniform_duration(0, config.period - 1),
+      kernel, radar_clock, config.period, radar_phase,
       [&](std::uint64_t /*activation*/, TimePoint release) {
         if (captures >= config.scans) {
           return;
@@ -389,9 +532,26 @@ AccResult run_acc_pipeline(const AccScenarioConfig& config) {
   // does not know its subscribers yet. Real deployments sequence this
   // through service discovery; the DES equivalent is a short drain scaled
   // to the service-link model.
-  const Duration settle = 5 * kMillisecond + 2 * config.svc_latency_max;
   kernel.run_until(settle);
   radar_task.start();
+
+  // Subscription churn: toggle the actuator's command subscription at a
+  // fixed physical cadence. The toggle windows are physical time, so churn
+  // scenarios are excluded from the digest-invariance groups; the claim
+  // under test is error accounting, not bit-identical output.
+  std::function<void()> churn_toggle;
+  if (config.service_faults.churn_period > 0) {
+    churn_toggle = [&] {
+      auto& rx = actuator_cli.tx(AccController::command);
+      if (rx.subscribed()) {
+        rx.unsubscribe();
+      } else {
+        rx.resubscribe();
+      }
+      kernel.schedule_after(config.service_faults.churn_period, [&] { churn_toggle(); });
+    };
+    kernel.schedule_after(config.service_faults.churn_period, [&] { churn_toggle(); });
+  }
 
   const TimePoint horizon = settle +
                             static_cast<TimePoint>(config.scans + 16) * config.period +
@@ -413,6 +573,16 @@ AccResult run_acc_pipeline(const AccScenarioConfig& config) {
   result.untagged_messages = app.untagged_messages();
   result.dropped_messages = app.dropped_messages();
   result.remote_errors = app.remote_errors();
+
+  result.ft_crash_drops = fault_plan.crash_drops.load(std::memory_order_relaxed);
+  result.ft_call_faults = fault_plan.call_errors.load(std::memory_order_relaxed) +
+                          fault_plan.call_omissions.load(std::memory_order_relaxed);
+  result.ft_retries = console_cli.proxy().retries();
+  // ft_degraded_ticks accumulated in the actuator observer.
+  result.ft_failovers = supervisor != nullptr ? supervisor->failovers() : 0;
+  obs::count(obs::Counter::kFtCrashDrops, result.ft_crash_drops);
+  obs::count(obs::Counter::kFtCallFaults, result.ft_call_faults);
+  obs::count(obs::Counter::kFtDegradedTicks, result.ft_degraded_ticks);
   return result;
 }
 

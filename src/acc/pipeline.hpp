@@ -23,6 +23,7 @@
 
 #include "common/time.hpp"
 #include "dear/config.hpp"
+#include "ft/fault_model.hpp"
 #include "sim/fault_injection.hpp"
 
 namespace dear {
@@ -90,6 +91,21 @@ struct AccScenarioConfig {
   /// Radar sensor faults (input-side: decided from radar_seed).
   sim::SensorFaultModel sensor_faults{};
 
+  // --- deterministic fault tolerance (src/ft/) -------------------------------
+  /// Service faults: the radar node is the victim (crash/restart windows
+  /// in wire-tag time, per-call error/omission, subscription churn).
+  /// Enabling any knob also deploys the health-monitor service and the
+  /// ACC controller's coast fallback.
+  ft::ServiceFaultModel service_faults{};
+  /// Retry budget installed on the console's field proxy.
+  ft::RetryBudget retry{};
+  /// Seed for the per-call fault die.
+  std::uint64_t fault_seed{1};
+  /// Bench-only: install an inert fault plan (real victim, empty crash
+  /// window, zero probabilities) WITHOUT the health service, to measure
+  /// the pure hook overhead on the hot path.
+  bool ft_idle_probe{false};
+
   // --- static-analysis hooks (src/analysis/) ---------------------------------
   /// Invoked after the app is fully wired, before validate()/start().
   std::function<void(AppBuilder&)> preflight{};
@@ -136,6 +152,15 @@ struct AccResult {
   std::uint64_t tag_digest{0};
   /// Digest over the console's get/set/notify observations.
   std::uint64_t console_digest{0};
+
+  // Fault-tolerance accounting (zero when no plan is installed).
+  std::uint64_t ft_crash_drops{0};
+  std::uint64_t ft_call_faults{0};
+  std::uint64_t ft_retries{0};
+  /// Actuator ticks served by the ACC coast fallback (radar dead).
+  std::uint64_t ft_degraded_ticks{0};
+  /// Supervisor transitions into the dead state.
+  std::uint64_t ft_failovers{0};
 
   [[nodiscard]] std::uint64_t total_errors() const noexcept {
     return deadline_violations + tardy_messages + dropped_messages + remote_errors +

@@ -34,6 +34,10 @@ std::string_view rule_id(Rule rule) noexcept {
       return "DEAR-LAT-003";
     case Rule::kUnreachableBudgetSink:
       return "DEAR-LAT-004";
+    case Rule::kFtNoFallback:
+      return "DEAR-FT-001";
+    case Rule::kFtRetryBudgetOverChain:
+      return "DEAR-FT-002";
   }
   return "DEAR-UNKNOWN";
 }
@@ -70,6 +74,10 @@ std::string_view rule_summary(Rule rule) noexcept {
       return "precedence-graph level wider than the configured worker count";
     case Rule::kUnreachableBudgetSink:
       return "end-to-end budget whose sink no tagged chain reaches";
+    case Rule::kFtNoFallback:
+      return "service faults injected without retry budget or fallback";
+    case Rule::kFtRetryBudgetOverChain:
+      return "retry budget worst case exceeds the end-to-end chain budget";
   }
   return "unknown rule";
 }
@@ -79,6 +87,11 @@ Severity rule_severity(Rule rule) noexcept {
     case Rule::kDeadReaction:
     case Rule::kChainBudgetExceeded:
     case Rule::kUnreachableBudgetSink:
+    // The FT rules flag tolerance-configuration smells, not determinism
+    // violations: an injected crash is still bit-reproducible, so these
+    // must stay warnings (the severity⟺expect_deterministic oracle).
+    case Rule::kFtNoFallback:
+    case Rule::kFtRetryBudgetOverChain:
       return Severity::kWarning;
     case Rule::kOrderedMultiWriterPort:
     case Rule::kLevelWidthOverWorkers:

@@ -68,6 +68,14 @@ enum class Rule : std::uint8_t {
   /// DEAR-LAT-004: an end-to-end budget whose sink no tagged source→sink
   /// chain reaches (unreachable sink / dead budget).
   kUnreachableBudgetSink,
+  /// DEAR-FT-001: the scenario injects service faults but configures
+  /// neither a retry budget nor (implicitly, via the fault model) a
+  /// fallback — failures surface as silent losses.
+  kFtNoFallback,
+  /// DEAR-FT-002: the retry budget's worst-case added latency (all
+  /// attempts time out, every backoff waited) exceeds the tightest
+  /// declared end-to-end chain budget.
+  kFtRetryBudgetOverChain,
 };
 
 /// Every rule, in catalog (= declaration) order. dear_lint --list-rules
@@ -80,7 +88,8 @@ inline constexpr Rule kAllRules[] = {
     Rule::kEnvelopeLossyLink,     Rule::kEnvelopeDeadlineScale,
     Rule::kEnvelopeExecScale,     Rule::kChainBudgetExceeded,
     Rule::kChainWcetExceedsDeadline, Rule::kLevelWidthOverWorkers,
-    Rule::kUnreachableBudgetSink,
+    Rule::kUnreachableBudgetSink,    Rule::kFtNoFallback,
+    Rule::kFtRetryBudgetOverChain,
 };
 
 [[nodiscard]] std::string_view rule_id(Rule rule) noexcept;

@@ -280,6 +280,38 @@ std::vector<Diagnostic> check_envelope(const scenario::ScenarioSpec& spec, const
                   spec.exec_time_scale);
     out.push_back(make_diagnostic(Rule::kEnvelopeExecScale, "exec_time_scale", buffer));
   }
+
+  // --- fault-tolerance configuration (src/ft/) -------------------------------
+  // Both rules are warnings by design: an injected crash is still
+  // bit-reproducible, so neither finding breaks the determinism claim.
+  if (spec.service_faults.any() && !spec.retry.enabled()) {
+    out.push_back(make_diagnostic(
+        Rule::kFtNoFallback, "service_faults",
+        "scenario injects service faults (crash/error/omission/churn) but no retry "
+        "budget is configured: affected calls and samples fail silently"));
+  }
+  if (spec.retry.enabled()) {
+    Duration tightest = 0;
+    std::string tightest_member;
+    for (const BudgetFact& budget : facts.budgets) {
+      if (budget.budget > 0 && (tightest == 0 || budget.budget < tightest)) {
+        tightest = budget.budget;
+        tightest_member = budget.member;
+      }
+    }
+    const Duration worst = spec.retry.worst_case_latency();
+    if (tightest > 0 && worst > tightest) {
+      char buffer[224];
+      std::snprintf(buffer, sizeof(buffer),
+                    "retry worst case %" PRId64 " ns (%u attempts x %" PRId64
+                    " ns timeout + linear backoff) exceeds the tightest end-to-end budget "
+                    "%" PRId64 " ns on %s",
+                    static_cast<std::int64_t>(worst), spec.retry.max_attempts,
+                    static_cast<std::int64_t>(spec.retry.timeout),
+                    static_cast<std::int64_t>(tightest), tightest_member.c_str());
+      out.push_back(make_diagnostic(Rule::kFtRetryBudgetOverChain, "retry", buffer));
+    }
+  }
   return out;
 }
 

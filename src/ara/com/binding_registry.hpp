@@ -67,6 +67,15 @@ class BindingRegistry {
   [[nodiscard]] bool has(BackendKind kind) const noexcept { return find(kind) != nullptr; }
   [[nodiscard]] std::size_t size() const noexcept { return backends_.size(); }
 
+  /// Applies `fn` to every attached backend (process-wide configuration,
+  /// e.g. installing a fault-injection plan).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& entry : backends_) {
+      fn(*entry.second);
+    }
+  }
+
  private:
   std::map<BackendKind, std::unique_ptr<TransportBinding>> backends_;
 };

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/logging.hpp"
+#include "ft/fault_model.hpp"
 
 namespace dear::ara::com {
 
@@ -67,6 +68,14 @@ void LocalBinding::send_frame(const net::Endpoint& destination, someip::Message 
   // Same contract as the wire path: pick up a pending tag from the bypass
   // and carry it — here in-band on the message, no trailer codec.
   message.tag = send_bypass_.collect();
+  // Injected crash: while the victim node is down, its tagged traffic dies
+  // at the binding exactly as if the process were gone. Untagged control
+  // traffic passes, so peers keep their subscription state (warm restart).
+  if (fault_plan_ != nullptr && message.tag.has_value() && fault_plan_->crashes(self_) &&
+      fault_plan_->down_at(message.tag->time)) {
+    fault_plan_->crash_drops.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     ++msgs_sent_;
@@ -299,6 +308,13 @@ void LocalBinding::drain_locked() {
 
 void LocalBinding::process(Frame& frame) {
   someip::Message& message = frame.message;
+  // Injected crash, receive side: a down victim does not process tagged
+  // traffic either (messages already in flight at crash time die here).
+  if (fault_plan_ != nullptr && message.tag.has_value() && fault_plan_->crashes(self_) &&
+      fault_plan_->down_at(message.tag->time)) {
+    fault_plan_->crash_drops.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     ++msgs_received_;
@@ -325,6 +341,21 @@ void LocalBinding::process(Frame& frame) {
 }
 
 void LocalBinding::handle_request(const someip::Message& message, const net::Endpoint& from) {
+  // Per-call fault die: a pure function of (fault_seed, client, session),
+  // hence identical across transports and worker counts. The local path
+  // never duplicates frames, so no dedup guard is needed.
+  if (fault_plan_ != nullptr && message.type == someip::MessageType::kRequest &&
+      message.session != 0) {
+    switch (fault_plan_->call_fault(message.client, message.session)) {
+      case ft::FaultPlan::CallFault::kOmission:
+        return;  // swallowed: the client's timeout is the only signal
+      case ft::FaultPlan::CallFault::kError:
+        respond(message, from, {}, someip::ReturnCode::kNotOk);
+        return;
+      case ft::FaultPlan::CallFault::kNone:
+        break;
+    }
+  }
   RequestHandler handler;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
@@ -379,6 +410,8 @@ std::optional<someip::WireTag> LocalBinding::collect_received_tag() {
 }
 
 bool LocalBinding::received_tag_armed() const { return receive_bypass_.armed(); }
+
+std::optional<someip::WireTag> LocalBinding::peek_send_tag() const { return send_bypass_.peek(); }
 
 TransportStats LocalBinding::stats() const {
   const std::lock_guard<std::mutex> lock(mutex_);

@@ -109,6 +109,10 @@ class LocalBinding final : public TransportBinding {
   void attach_send_tag(const someip::WireTag& tag) override;
   [[nodiscard]] std::optional<someip::WireTag> collect_received_tag() override;
   [[nodiscard]] bool received_tag_armed() const override;
+  [[nodiscard]] std::optional<someip::WireTag> peek_send_tag() const override;
+
+  void set_fault_plan(const ft::FaultPlan* plan) override { fault_plan_ = plan; }
+  [[nodiscard]] const ft::FaultPlan* fault_plan() const noexcept override { return fault_plan_; }
 
   [[nodiscard]] net::Endpoint endpoint() const noexcept override { return self_; }
   [[nodiscard]] someip::ClientId client_id() const noexcept override { return client_id_; }
@@ -148,6 +152,7 @@ class LocalBinding final : public TransportBinding {
   common::Executor& executor_;
   net::Endpoint self_;
   someip::ClientId client_id_;
+  const ft::FaultPlan* fault_plan_{nullptr};
 
   someip::TimestampBypass send_bypass_;
   someip::TimestampBypass receive_bypass_;

@@ -41,6 +41,14 @@ class SomeIpBinding final : public TransportBinding {
   void attach_send_tag(const someip::WireTag& tag) override;
   [[nodiscard]] std::optional<someip::WireTag> collect_received_tag() override;
   [[nodiscard]] bool received_tag_armed() const override;
+  [[nodiscard]] std::optional<someip::WireTag> peek_send_tag() const override {
+    return binding_.send_bypass().peek();
+  }
+
+  void set_fault_plan(const ft::FaultPlan* plan) override { binding_.set_fault_plan(plan); }
+  [[nodiscard]] const ft::FaultPlan* fault_plan() const noexcept override {
+    return binding_.fault_plan();
+  }
 
   [[nodiscard]] net::Endpoint endpoint() const noexcept override;
   [[nodiscard]] someip::ClientId client_id() const noexcept override;

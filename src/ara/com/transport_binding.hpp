@@ -35,6 +35,10 @@
 #include "someip/message.hpp"
 #include "someip/types.hpp"
 
+namespace dear::ft {
+class FaultPlan;
+}  // namespace dear::ft
+
 namespace dear::ara::com {
 
 /// Transport-level traffic counters, uniform across backends.
@@ -110,6 +114,21 @@ class TransportBinding {
 
   /// True while a received tag is waiting to be collected.
   [[nodiscard]] virtual bool received_tag_armed() const = 0;
+
+  /// Returns the armed send tag without disarming it, or nullopt when no
+  /// tag is pending. The retry layer records it so a retried attempt can
+  /// re-arm the original tag advanced by its logical backoff.
+  [[nodiscard]] virtual std::optional<someip::WireTag> peek_send_tag() const {
+    return std::nullopt;
+  }
+
+  // --- deterministic fault injection (ft/fault_model.hpp) -------------------
+
+  /// Installs (or clears, with nullptr) the shared injection plan. The
+  /// plan must outlive the binding. Backends without injection support
+  /// ignore it — the default keeps existing transports source-compatible.
+  virtual void set_fault_plan(const ft::FaultPlan* /*plan*/) {}
+  [[nodiscard]] virtual const ft::FaultPlan* fault_plan() const noexcept { return nullptr; }
 
   // --- identity + statistics -----------------------------------------------
 

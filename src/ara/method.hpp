@@ -8,9 +8,13 @@
 // of Figure 1.
 #pragma once
 
+#include <cstdint>
 #include <functional>
+#include <memory>
+#include <optional>
 #include <tuple>
 #include <utility>
+#include <vector>
 
 #include "ara/future.hpp"
 #include "ara/proxy.hpp"
@@ -107,6 +111,10 @@ class ProxyMethod {
 
   /// Invokes the remote method; returns immediately with a Future. On a
   /// transport-less proxy the future resolves to kNetworkBindingFailure.
+  /// When the proxy carries a retry policy, failed attempts (timeout or
+  /// server error) are re-issued up to the budget with the original wire
+  /// tag advanced by the deterministic linear backoff; a budget burned
+  /// entirely on timeouts resolves to ComErrc::kServiceNotAvailable.
   [[nodiscard]] Future<Res> operator()(const Args&... args) {
     Promise<Res> promise;
     Future<Res> future = promise.get_future();
@@ -115,29 +123,100 @@ class ProxyMethod {
       promise.SetError(ComErrc::kNetworkBindingFailure);
       return future;
     }
-    binding->call(
-        proxy_.server(), proxy_.instance().service, method_, someip::encode_payload(args...),
-        [promise](const someip::Message& response) mutable {
-          if (response.type == someip::MessageType::kError ||
-              response.return_code != someip::ReturnCode::kOk) {
-            const ComErrc error = to_com_error(response.return_code);
-            promise.SetError(error == ComErrc::kOk ? ComErrc::kRemoteError : error);
-            return;
-          }
-          std::decay_t<Res> value{};
-          if (!someip::decode_payload(response.payload, value)) {
-            promise.SetError(ComErrc::kMalformedResponse);
-            return;
-          }
-          promise.set_value(std::move(value));
-        },
-        proxy_.call_timeout());
+    if (!proxy_.retry_policy().enabled()) {
+      binding->call(
+          proxy_.server(), proxy_.instance().service, method_, someip::encode_payload(args...),
+          [promise](const someip::Message& response) mutable {
+            if (response.type == someip::MessageType::kError ||
+                response.return_code != someip::ReturnCode::kOk) {
+              const ComErrc error = to_com_error(response.return_code);
+              promise.SetError(error == ComErrc::kOk ? ComErrc::kRemoteError : error);
+              return;
+            }
+            std::decay_t<Res> value{};
+            if (!someip::decode_payload(response.payload, value)) {
+              promise.SetError(ComErrc::kMalformedResponse);
+              return;
+            }
+            promise.set_value(std::move(value));
+          },
+          proxy_.call_timeout());
+      return future;
+    }
+    issue_with_retry(*binding, std::move(promise), someip::encode_payload(args...));
     return future;
   }
 
   [[nodiscard]] someip::MethodId id() const noexcept { return method_; }
 
  private:
+  /// Per-call retry state. The binding's response handler holds the
+  /// shared_ptr (keeping the state alive exactly as long as a response is
+  /// pending); `issue` captures only a weak_ptr so a call abandoned at
+  /// teardown cannot keep itself alive through a reference cycle.
+  struct CallState {
+    std::uint32_t attempt{1};
+    std::optional<someip::WireTag> armed;
+    std::vector<std::uint8_t> payload;
+    std::function<void()> issue;
+  };
+
+  void issue_with_retry(com::TransportBinding& binding, Promise<Res> promise,
+                        std::vector<std::uint8_t> payload) {
+    auto state = std::make_shared<CallState>();
+    state->payload = std::move(payload);
+    // Record the tag the transactor armed for this call so a retry can
+    // re-arm it, advanced by the backoff (nullopt for untagged callers).
+    state->armed = binding.peek_send_tag();
+    state->issue = [this, &binding, promise = std::move(promise),
+                    weak = std::weak_ptr<CallState>(state)]() mutable {
+      const std::shared_ptr<CallState> st = weak.lock();
+      if (!st) {
+        return;
+      }
+      const ft::RetryBudget& budget = proxy_.retry_policy();
+      if (st->attempt > 1 && st->armed.has_value()) {
+        someip::WireTag tag = *st->armed;
+        tag.time += static_cast<Duration>(st->attempt - 1) * budget.backoff_base;
+        binding.attach_send_tag(tag);
+      }
+      binding.call(
+          proxy_.server(), proxy_.instance().service, method_, st->payload,
+          [this, promise, st](const someip::Message& response) mutable {
+            const ft::RetryBudget& budget = proxy_.retry_policy();
+            if (response.type == someip::MessageType::kError ||
+                response.return_code != someip::ReturnCode::kOk) {
+              const bool retryable = response.return_code == someip::ReturnCode::kTimeout ||
+                                     response.return_code == someip::ReturnCode::kNotOk;
+              if (retryable && st->attempt < budget.max_attempts) {
+                ++st->attempt;
+                proxy_.note_retry();
+                st->issue();
+                return;
+              }
+              ComErrc error = to_com_error(response.return_code);
+              if (response.return_code == someip::ReturnCode::kTimeout &&
+                  budget.max_attempts > 1) {
+                // The whole budget burned on timeouts: the service is
+                // gone, not merely slow.
+                error = ComErrc::kServiceNotAvailable;
+                proxy_.note_retry_exhausted();
+              }
+              promise.SetError(error == ComErrc::kOk ? ComErrc::kRemoteError : error);
+              return;
+            }
+            std::decay_t<Res> value{};
+            if (!someip::decode_payload(response.payload, value)) {
+              promise.SetError(ComErrc::kMalformedResponse);
+              return;
+            }
+            promise.set_value(std::move(value));
+          },
+          budget.timeout > 0 ? budget.timeout : proxy_.call_timeout());
+    };
+    state->issue();
+  }
+
   ServiceProxy& proxy_;
   someip::MethodId method_;
 };

@@ -12,10 +12,13 @@
 // and subscriptions are inert.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 
 #include "ara/runtime.hpp"
 #include "ara/types.hpp"
+#include "ft/fault_model.hpp"
+#include "obs/obs.hpp"
 
 namespace dear::ara {
 
@@ -54,12 +57,35 @@ class ServiceProxy {
   void set_call_timeout(Duration timeout) noexcept { call_timeout_ = timeout; }
   [[nodiscard]] Duration call_timeout() const noexcept { return call_timeout_; }
 
+  /// Logical-time retry budget applied by this proxy's typed methods (and
+  /// fields, which are methods on the wire). Disabled by default: a proxy
+  /// without a policy behaves exactly as before the fault-tolerance
+  /// subsystem existed. With a policy, each attempt runs under
+  /// RetryBudget::timeout and a failed attempt is re-issued with the
+  /// original wire tag advanced by the deterministic linear backoff.
+  void set_retry_policy(ft::RetryBudget budget) noexcept { retry_ = budget; }
+  [[nodiscard]] const ft::RetryBudget& retry_policy() const noexcept { return retry_; }
+
+  /// Retry bookkeeping, recorded by the typed method wrappers.
+  void note_retry() noexcept {
+    ++retries_;
+    obs::count(obs::Counter::kFtRetries);
+  }
+  void note_retry_exhausted() noexcept { ++retries_exhausted_; }
+  [[nodiscard]] std::uint64_t retries() const noexcept { return retries_; }
+  /// Calls whose whole budget burned on timeouts (reported as
+  /// ComErrc::kServiceNotAvailable).
+  [[nodiscard]] std::uint64_t retries_exhausted() const noexcept { return retries_exhausted_; }
+
  private:
   Runtime& runtime_;
   InstanceIdentifier instance_;
   net::Endpoint server_;
   com::TransportBinding* binding_;
   Duration call_timeout_{0};
+  ft::RetryBudget retry_{};
+  std::uint64_t retries_{0};
+  std::uint64_t retries_exhausted_{0};
 };
 
 }  // namespace dear::ara

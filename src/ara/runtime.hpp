@@ -64,6 +64,13 @@ class Runtime {
   /// The default-deployment backend (never null).
   [[nodiscard]] com::TransportBinding& binding() noexcept { return *default_binding_; }
 
+  /// Installs (or clears, with nullptr) the deterministic fault-injection
+  /// plan on every attached backend; the plan must outlive the process's
+  /// bindings. See ft/fault_model.hpp.
+  void set_fault_plan(const ft::FaultPlan* plan) {
+    registry_.for_each([plan](com::TransportBinding& binding) { binding.set_fault_plan(plan); });
+  }
+
   // --- service discovery ----------------------------------------------------
 
   /// One-shot service lookup (ara::com FindService).

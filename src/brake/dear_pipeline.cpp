@@ -1,5 +1,8 @@
 #include "brake/dear_pipeline.hpp"
 
+#include <functional>
+#include <memory>
+#include <optional>
 #include <unordered_map>
 
 #include "analysis/report.hpp"
@@ -12,7 +15,9 @@
 #include "common/rng.hpp"
 #include "dear/app_builder.hpp"
 #include "dear/bundles.hpp"
+#include "ft/health.hpp"
 #include "net/sim_network.hpp"
+#include "obs/obs.hpp"
 #include "sim/clock_model.hpp"
 #include "sim/sim_executor.hpp"
 
@@ -110,22 +115,66 @@ class EbaLogic final : public reactor::Reactor {
   reactor::Output<BrakeCommand> brake_out{"brake_out", this};
 
   using Observer = std::function<void(const VehicleList&, const BrakeCommand&, const reactor::Tag&)>;
+  /// Invoked for every hold-fallback re-emission (no vehicle list exists).
+  using HoldObserver = std::function<void(const BrakeCommand&, const reactor::Tag&)>;
 
-  EbaLogic(reactor::Environment& environment, sim::ExecTimeModel cost, Observer observer)
-      : Reactor("eba_logic", environment), observer_(std::move(observer)) {
-    add_reaction("on_vehicles",
-                 [this] {
-                   const BrakeCommand command = decide_brake(vehicles_in.get());
-                   brake_out.set(command);
-                   observer_(vehicles_in.get(), command, current_tag());
-                 })
-        .triggered_by(vehicles_in)
-        .writes(brake_out)
-        .set_modeled_cost(cost);
+  // Degraded-mode port, created only when the fault-tolerance layer is
+  // deployed (hold_period > 0): with FT off the reactor graph — and with
+  // it the fact table and the golden digests — is unchanged.
+  std::unique_ptr<reactor::Input<ft::HealthState>> health_in;
+
+  EbaLogic(reactor::Environment& environment, sim::ExecTimeModel cost, Observer observer,
+           Duration hold_period = 0, HoldObserver hold_observer = {}, Duration hold_phase = 0)
+      : Reactor("eba_logic", environment),
+        observer_(std::move(observer)),
+        hold_observer_(std::move(hold_observer)) {
+    auto& on_vehicles = add_reaction("on_vehicles",
+                                     [this] {
+                                       const BrakeCommand command = decide_brake(vehicles_in.get());
+                                       last_command_ = command;
+                                       brake_out.set(command);
+                                       observer_(vehicles_in.get(), command, current_tag());
+                                     })
+                            .triggered_by(vehicles_in)
+                            .writes(brake_out);
+    on_vehicles.set_modeled_cost(cost);
+    if (hold_period > 0) {
+      // The state annotation exists only alongside the fallback reader, so
+      // the FT-off fact table stays byte-identical to before.
+      on_vehicles.writes_state("eba.last_command");
+      // Hold fallback: while computer vision is dead, keep re-emitting the
+      // last safe brake command at the nominal cadence. Both triggers
+      // (supervisor transitions, hold timer) are logical, so degraded
+      // ticks land at reproducible tags.
+      health_in = std::make_unique<reactor::Input<ft::HealthState>>("health_in", this);
+      hold_timer_ = std::make_unique<reactor::Timer>("hold_timer", this, hold_period,
+                                                     hold_phase > 0 ? hold_phase : hold_period);
+      add_reaction("on_health", [this] { health_ = health_in->get(); })
+          .triggered_by(*health_in)
+          .writes_state("eba.health");
+      add_reaction("on_hold",
+                   [this] {
+                     if (health_ != ft::HealthState::kDead || !last_command_.has_value()) {
+                       return;
+                     }
+                     brake_out.set(*last_command_);
+                     if (hold_observer_) {
+                       hold_observer_(*last_command_, current_tag());
+                     }
+                   })
+          .triggered_by(*hold_timer_)
+          .writes(brake_out)
+          .reads_state("eba.last_command")
+          .reads_state("eba.health");
+    }
   }
 
  private:
   Observer observer_;
+  HoldObserver hold_observer_;
+  std::unique_ptr<reactor::Timer> hold_timer_;
+  ft::HealthState health_{ft::HealthState::kHealthy};
+  std::optional<BrakeCommand> last_command_;
 };
 
 }  // namespace
@@ -169,6 +218,60 @@ PipelineResult run_dear_pipeline(const DearScenarioConfig& config) {
   // detach from the hub on destruction.
   ara::com::LocalHub hub;
 
+  // Camera activation grid, fixed before the fault plan: the injection
+  // window and the health timers are anchored to it. The phase draw is a
+  // named sub-stream, so hoisting it here leaves every other draw — and
+  // with it the fault-free digests — untouched.
+  auto camera_cfg_rng = camera_rng.stream("camera");
+  Camera::Config camera_config;
+  camera_config.period = config.period;
+  camera_config.phase = camera_cfg_rng.uniform_duration(0, config.period - 1);
+  camera_config.jitter = sim::ExecTimeModel::uniform(0, config.camera_jitter);
+  camera_config.frame_limit = config.frames;
+  camera_config.faults = config.sensor_faults;
+
+  // The camera starts once the service wiring has settled (see below), so
+  // grid points before `settle` are missed activations. Replicating
+  // PeriodicTask's arm rule here yields the nominal global release of
+  // frame 0 — jitter delays individual releases but never moves the grid.
+  const Duration settle = 5 * kMillisecond + 2 * config.svc_latency_max;
+  TimePoint first_capture = clock1.global_from_local(camera_config.phase);
+  for (TimePoint k = 1; first_capture < settle; ++k) {
+    first_capture = clock1.global_from_local(camera_config.phase + k * config.period);
+  }
+
+  // Fault-injection plan shared read-only by every binding. Declared
+  // before the AppBuilder so it outlives the node runtimes that hold a
+  // pointer to it. Computer vision is the victim: the longest stage, and
+  // the one EBA's hold fallback guards.
+  //
+  // The down window is anchored to the capture grid: crash_at counts from
+  // frame 0's nominal release, so which frames lose their traffic is a
+  // pure function of the scenario knobs. The camera clock's offset (a
+  // platform-seed draw spanning a whole period) shifts every sensor tag,
+  // and an absolute window would let it shift window membership too —
+  // breaking the cross-platform-seed digest invariance the campaign
+  // checks.
+  const bool ft_on = config.service_faults.any();
+  ft::FaultPlan fault_plan;
+  fault_plan.victim = kCvEp;
+  fault_plan.down_from =
+      config.service_faults.crash_at > 0 ? first_capture + config.service_faults.crash_at
+                                         : Duration{0};
+  fault_plan.down_until =
+      fault_plan.down_from > 0 && config.service_faults.restart_after > 0
+          ? fault_plan.down_from + config.service_faults.restart_after
+          : Duration{0};
+  fault_plan.call_error_probability = config.service_faults.call_error_probability;
+  fault_plan.call_omission_probability = config.service_faults.call_omission_probability;
+  fault_plan.fault_seed = config.fault_seed;
+
+  // Health timers ride the same anchor, offset to sit strictly between
+  // the chain's wire-tag clouds (frames land near the grid +{5, 10, 30}ms
+  // mod period, window boundaries at +period/2): beats a quarter period
+  // off the grid, supervisor checks at +period/4, hold ticks at +3/8.
+  const Duration ft_anchor = first_capture % config.period;
+
   // Transactor configurations (paper §IV.B): one per SWC, derived from the
   // paper deadlines and the scenario's scaling knobs.
   const auto make_config = [&](Duration deadline) {
@@ -194,17 +297,45 @@ PipelineResult run_dear_pipeline(const DearScenarioConfig& config) {
   auto& eba = app.node("eba", kEbaEp, 0x24);
   auto& monitor = app.node("monitor", kMonitorEp, 0x25);
 
+  // The plan hooks live in every binding either way; installing an inert
+  // plan (ft_idle_probe) measures their cost on the undisturbed hot path.
+  if (ft_on || config.ft_idle_probe) {
+    for (auto* node : {&adapter, &preproc, &cv, &eba, &monitor}) {
+      node->runtime().set_fault_plan(&fault_plan);
+    }
+  }
+
   // Server bundles first (offered on construction), then client bundles.
   auto& adapter_srv = adapter.serve<VideoAdapter>(kInstance, make_config(config.adapter_deadline));
   auto& preproc_srv =
       preproc.serve<Preprocessing>(kInstance, make_config(config.preprocessing_deadline));
   auto& cv_srv = cv.serve<ComputerVision>(kInstance, make_config(config.cv_deadline));
   auto& eba_srv = eba.serve<Eba>(kInstance, make_config(config.eba_deadline));
+  // Health monitoring rides the same descriptor machinery as the pipeline
+  // services: the victim offers the heartbeat stream, EBA's node
+  // supervises it (wired below, after the logic reactors exist).
+  transact::ServerSide<ft::Health>* health_srv = nullptr;
+  if (ft_on) {
+    health_srv = &cv.serve<ft::Health>(kInstance, make_config(config.cv_deadline));
+  }
 
   auto& preproc_cli =
       preproc.require<VideoAdapter>(kInstance, make_config(config.preprocessing_deadline));
   auto& cv_cli = cv.require<Preprocessing>(kInstance, make_config(config.cv_deadline));
   auto& eba_cli = eba.require<ComputerVision>(kInstance, make_config(config.eba_deadline));
+  transact::ClientSide<ft::Health>* health_cli = nullptr;
+  if (ft_on) {
+    health_cli = &eba.require<ft::Health>(kInstance, make_config(config.eba_deadline));
+  }
+  if (config.retry.enabled()) {
+    // The pipeline interfaces are pure event streams, so the budget has no
+    // method call to retry here; installing it still exercises the policy
+    // plumbing and keeps the two workloads symmetric.
+    for (ara::ServiceProxy* proxy :
+         {&preproc_cli.proxy(), &cv_cli.proxy(), &eba_cli.proxy()}) {
+      proxy->set_retry_policy(config.retry);
+    }
+  }
 
   // Modeled execution times (upper bounds sit below the paper deadlines).
   const double ts = config.exec_time_scale;
@@ -235,8 +366,8 @@ PipelineResult run_dear_pipeline(const DearScenarioConfig& config) {
   auto& preproc_logic = preproc.logic<PreprocessingLogic>(preproc_cost);
   auto& cv_logic = cv.logic<ComputerVisionLogic>(cv_cost);
   auto& eba_logic = eba.logic<EbaLogic>(
-      eba_cost, [&](const VehicleList& vehicles, const BrakeCommand& command,
-                    const reactor::Tag& tag) {
+      eba_cost,
+      [&](const VehicleList& vehicles, const BrakeCommand& command, const reactor::Tag& tag) {
         ++result.frames_processed_eba;
         if (command.brake) {
           ++result.brake_commands;
@@ -257,7 +388,36 @@ PipelineResult run_dear_pipeline(const DearScenarioConfig& config) {
           result.latency.add(static_cast<double>(kernel.now() - it->second));
           arrival_time.erase(it);
         }
-      });
+      },
+      ft_on ? config.period : Duration{0},
+      [&](const BrakeCommand& command, const reactor::Tag& /*tag*/) {
+        // Degraded tick: the held command re-enters the digest under a
+        // marker so a nondeterministic fallback could not hide; no
+        // reference comparison (there is no frame behind a held tick).
+        ++result.ft_degraded_ticks;
+        mix_digest(result.output_digest, 0xFFFF'0000'0000'0000ULL | command.frame_id);
+        mix_digest(result.output_digest, command.brake ? 1 : 0);
+        mix_digest(result.output_digest, static_cast<std::uint64_t>(command.intensity * 1e6));
+      },
+      ft_anchor + config.period / 4 + config.period / 8);
+
+  ft::Supervisor* supervisor = nullptr;
+  if (ft_on) {
+    auto& beat_src = cv.logic<ft::HeartbeatEmitter>(
+        config.period, ft_anchor + config.period + config.period / 4);
+    cv.connect(beat_src.out, health_srv->tx(ft::Health::beat).in);
+    // Staleness thresholds scale with the pipeline cadence: one missed
+    // beat is tolerated, ~2.5 periods without beats counts as degraded,
+    // four as dead (engaging the hold fallback).
+    ft::SupervisorConfig sup_config;
+    sup_config.check_period = config.period;
+    sup_config.check_phase = ft_anchor + config.period / 4;
+    sup_config.degraded_after = 2 * config.period + config.period / 2;
+    sup_config.dead_after = 4 * config.period;
+    supervisor = &eba.logic<ft::Supervisor>(sup_config);
+    eba.connect(health_cli->tx(ft::Health::beat).out, supervisor->beat_in);
+    eba.connect(supervisor->state_out, *eba_logic.health_in);
+  }
 
   // Video Adapter publishes frames; Preprocessing consumes them and
   // publishes lane info + the forwarded frame; Computer Vision fuses both
@@ -321,18 +481,28 @@ PipelineResult run_dear_pipeline(const DearScenarioConfig& config) {
   // whether it does would depend on platform-side latency draws. Real
   // deployments sequence this through service discovery; the DES
   // equivalent is a short drain scaled to the link model.
-  const Duration settle = 5 * kMillisecond + 2 * config.svc_latency_max;
   kernel.run_until(settle);
 
-  auto camera_cfg_rng = camera_rng.stream("camera");
-  Camera::Config camera_config;
-  camera_config.period = config.period;
-  camera_config.phase = camera_cfg_rng.uniform_duration(0, config.period - 1);
-  camera_config.jitter = sim::ExecTimeModel::uniform(0, config.camera_jitter);
-  camera_config.frame_limit = config.frames;
-  camera_config.faults = config.sensor_faults;
   Camera camera(kernel, clock1, network, kCameraEp, kAdapterRawEp, camera_config, camera_rng);
   camera.start();
+
+  // Subscription churn: toggle EBA's vehicles subscription at a fixed
+  // physical cadence. The toggle windows are physical time, so churn
+  // scenarios are excluded from the digest-invariance groups; the claim
+  // under test is error accounting, not bit-identical output.
+  std::function<void()> churn_toggle;
+  if (config.service_faults.churn_period > 0) {
+    churn_toggle = [&] {
+      auto& rx = eba_cli.tx(ComputerVision::vehicles);
+      if (rx.subscribed()) {
+        rx.unsubscribe();
+      } else {
+        rx.resubscribe();
+      }
+      kernel.schedule_after(config.service_faults.churn_period, [&] { churn_toggle(); });
+    };
+    kernel.schedule_after(config.service_faults.churn_period, [&] { churn_toggle(); });
+  }
 
   const TimePoint horizon = settle +
                             static_cast<TimePoint>(config.frames + 16) * config.period +
@@ -371,6 +541,17 @@ PipelineResult run_dear_pipeline(const DearScenarioConfig& config) {
   result.errors.dropped_vehicles_eba += vehicles_tx.deadline_violations() +
                                         vehicles_rx.tardy_messages() +
                                         vehicles_rx.dropped_messages();
+
+  result.ft_crash_drops = fault_plan.crash_drops.load(std::memory_order_relaxed);
+  result.ft_call_faults = fault_plan.call_errors.load(std::memory_order_relaxed) +
+                          fault_plan.call_omissions.load(std::memory_order_relaxed);
+  result.ft_retries =
+      preproc_cli.proxy().retries() + cv_cli.proxy().retries() + eba_cli.proxy().retries();
+  // ft_degraded_ticks accumulated in the hold observer.
+  result.ft_failovers = supervisor != nullptr ? supervisor->failovers() : 0;
+  obs::count(obs::Counter::kFtCrashDrops, result.ft_crash_drops);
+  obs::count(obs::Counter::kFtCallFaults, result.ft_call_faults);
+  obs::count(obs::Counter::kFtDegradedTicks, result.ft_degraded_ticks);
 
   // End-to-end logical latency: the EBA tag is the adapter arrival tag plus
   // the accumulated D + L offsets — deterministic by construction; report

@@ -23,6 +23,7 @@
 #include "brake/metrics.hpp"
 #include "brake/nondet_pipeline.hpp"
 #include "dear/config.hpp"
+#include "ft/fault_model.hpp"
 
 namespace dear {
 class AppBuilder;
@@ -90,6 +91,21 @@ struct DearScenarioConfig {
   bool net_in_order{false};
   /// Camera sensor faults (input-side: decided from camera_seed).
   sim::SensorFaultModel sensor_faults{};
+
+  // --- deterministic fault tolerance (src/ft/) -------------------------------
+  /// Service faults: the computer-vision node is the victim (crash/restart
+  /// windows in wire-tag time, per-call error/omission, subscription
+  /// churn). Enabling any knob also deploys the health-monitor service and
+  /// the EBA's hold-last-safe-command fallback.
+  ft::ServiceFaultModel service_faults{};
+  /// Retry budget installed on the monitor's proxy methods.
+  ft::RetryBudget retry{};
+  /// Seed for the per-call fault die.
+  std::uint64_t fault_seed{1};
+  /// Bench-only: install an inert fault plan (real victim, empty crash
+  /// window, zero probabilities) WITHOUT the health service, to measure
+  /// the pure hook overhead on the hot path.
+  bool ft_idle_probe{false};
 
   // --- static-analysis hooks (src/analysis/) ---------------------------------
   /// Invoked after the app is fully wired, before validate()/start().

@@ -83,6 +83,15 @@ struct PipelineResult {
   std::uint64_t sensor_stuck{0};
   std::uint64_t sensor_noisy{0};
 
+  // Fault-tolerance accounting (zero when no plan is installed).
+  std::uint64_t ft_crash_drops{0};
+  std::uint64_t ft_call_faults{0};
+  std::uint64_t ft_retries{0};
+  /// EBA ticks served by the hold-last-safe-command fallback (CV dead).
+  std::uint64_t ft_degraded_ticks{0};
+  /// Supervisor transitions into the dead state.
+  std::uint64_t ft_failovers{0};
+
   [[nodiscard]] double error_prevalence_percent() const noexcept {
     return errors.prevalence_percent(frames_sent);
   }

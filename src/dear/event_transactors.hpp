@@ -63,6 +63,19 @@ class ClientEventTransactor final : public Transactor {
         .writes(out);
   }
 
+  /// Subscription churn hooks (fault-injection scenarios): drop and
+  /// re-establish the underlying ara::com subscription at runtime. While
+  /// unsubscribed, samples are simply not received — the DEAR release
+  /// logic is untouched, so the first sample after a resubscribe releases
+  /// by the ordinary wire-tag rule.
+  void unsubscribe() { event_.Unsubscribe(); }
+  void resubscribe() {
+    if (!event_.subscribed()) {
+      event_.Subscribe();
+    }
+  }
+  [[nodiscard]] bool subscribed() const noexcept { return event_.subscribed(); }
+
  private:
   ara::ProxyEvent<T>& event_;
   reactor::PhysicalAction<T> arrival_{"arrival", this};

@@ -25,6 +25,18 @@ void SimNetwork::set_link(NodeId source, NodeId destination, LinkParams params) 
   links_[{source, destination}] = std::move(params);
 }
 
+void SimNetwork::set_link_down(NodeId source, NodeId destination) {
+  down_links_.insert({source, destination});
+}
+
+void SimNetwork::set_link_up(NodeId source, NodeId destination) {
+  down_links_.erase({source, destination});
+}
+
+bool SimNetwork::link_down(NodeId source, NodeId destination) const {
+  return down_links_.count({source, destination}) != 0;
+}
+
 void SimNetwork::schedule_delivery(const LinkParams& link, PairState& pair, Packet packet) {
   TimePoint delivery = packet.send_time + link.latency.sample(rng_);
   if (link.enforce_in_order && delivery < pair.last_scheduled_delivery) {
@@ -41,6 +53,12 @@ void SimNetwork::schedule_delivery(const LinkParams& link, PairState& pair, Pack
   common::PooledBuffer keeper(std::move(packet.payload));
   kernel_.schedule_at(delivery,
                       [this, packet = std::move(packet), keeper = std::move(keeper)]() mutable {
+    // A partition severs the cable: packets in flight when the link went
+    // down die at their delivery time instead of landing.
+    if (link_down(packet.source.node, packet.destination.node)) {
+      ++partition_dropped_;
+      return;  // keeper recycles the buffer
+    }
     const auto it = receivers_.find(packet.destination);
     if (it == receivers_.end()) {
       ++dropped_;
@@ -57,6 +75,11 @@ void SimNetwork::schedule_delivery(const LinkParams& link, PairState& pair, Pack
 
 void SimNetwork::send(Endpoint source, Endpoint destination, std::vector<std::uint8_t> payload) {
   ++sent_;
+  if (link_down(source.node, destination.node)) {
+    ++partition_dropped_;
+    common::BufferPool::instance().release(std::move(payload));
+    return;
+  }
   const LinkParams& link = link_for(source.node, destination.node);
   if (link.drop_probability > 0.0 && rng_.chance(link.drop_probability)) {
     ++dropped_;

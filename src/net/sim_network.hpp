@@ -11,6 +11,7 @@
 #pragma once
 
 #include <map>
+#include <set>
 #include <unordered_map>
 #include <utility>
 
@@ -47,6 +48,7 @@ class SimNetwork final : public Network {
     obs::count(obs::Counter::kNetPacketsDropped, dropped_);
     obs::count(obs::Counter::kNetPacketsReordered, reordered_);
     obs::count(obs::Counter::kNetPacketsDuplicated, duplicated_);
+    obs::count(obs::Counter::kNetPacketsPartitionDropped, partition_dropped_);
   }
 
   void bind(Endpoint endpoint, ReceiveHandler handler) override;
@@ -61,6 +63,19 @@ class SimNetwork final : public Network {
   /// Directed link override for (source node -> destination node).
   void set_link(NodeId source, NodeId destination, LinkParams params);
 
+  /// Partition primitive: takes the directed (source node -> destination
+  /// node) link down. Packets sent while the link is down are dropped at
+  /// the sender; packets already in flight are re-checked at their
+  /// delivery instant (a partition severs the cable, it does not wait for
+  /// queued traffic to land).
+  void set_link_down(NodeId source, NodeId destination);
+  /// Heals the directed link. The partition check runs at each packet's
+  /// delivery instant: a packet whose delivery falls inside the down
+  /// window stays dead after the heal, while an in-flight packet whose
+  /// delivery lands after the heal survives.
+  void set_link_up(NodeId source, NodeId destination);
+  [[nodiscard]] bool link_down(NodeId source, NodeId destination) const;
+
   [[nodiscard]] std::uint64_t packets_sent() const override { return sent_; }
   [[nodiscard]] std::uint64_t packets_delivered() const override { return delivered_; }
   [[nodiscard]] std::uint64_t packets_dropped() const override { return dropped_; }
@@ -68,6 +83,10 @@ class SimNetwork final : public Network {
   [[nodiscard]] std::uint64_t packets_reordered() const noexcept { return reordered_; }
   /// Extra copies scheduled by the duplication model.
   [[nodiscard]] std::uint64_t packets_duplicated() const noexcept { return duplicated_; }
+  /// Packets killed by a link partition (at send or in flight).
+  [[nodiscard]] std::uint64_t packets_partition_dropped() const noexcept {
+    return partition_dropped_;
+  }
 
  private:
   struct PairState {
@@ -85,6 +104,7 @@ class SimNetwork final : public Network {
   LinkParams loopback_link_{
       sim::ExecTimeModel::uniform(5 * dear::kMicrosecond, 50 * dear::kMicrosecond), 0.0, false};
   std::map<std::pair<NodeId, NodeId>, LinkParams> links_;
+  std::set<std::pair<NodeId, NodeId>> down_links_;
   std::unordered_map<Endpoint, ReceiveHandler, EndpointHash> receivers_;
   std::map<std::pair<NodeId, NodeId>, PairState> pair_state_;
   std::uint64_t sent_{0};
@@ -92,6 +112,7 @@ class SimNetwork final : public Network {
   std::uint64_t dropped_{0};
   std::uint64_t reordered_{0};
   std::uint64_t duplicated_{0};
+  std::uint64_t partition_dropped_{0};
 };
 
 }  // namespace dear::net

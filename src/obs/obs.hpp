@@ -89,6 +89,12 @@ enum class Counter : std::uint16_t {
   kPoolBufferRefills,
   kPoolBufferFlushes,
   kCampaignScenarios,
+  kNetPacketsPartitionDropped,
+  kFtCrashDrops,
+  kFtCallFaults,
+  kFtRetries,
+  kFtDegradedTicks,
+  kFtFailovers,
   kCount_,
 };
 inline constexpr std::size_t kCounterCount = static_cast<std::size_t>(Counter::kCount_);
@@ -137,6 +143,12 @@ inline constexpr CounterDef kCounterDefs[kCounterCount] = {
     {"pool.buffer.refills", false},
     {"pool.buffer.flushes", false},
     {"campaign.scenarios", true},
+    {"net.packets_partition_dropped", true},
+    {"ft.crash_drops", true},
+    {"ft.call_faults", true},
+    {"ft.retries", true},
+    {"ft.degraded_ticks", true},
+    {"ft.failovers", true},
 };
 
 /// Gauges merge by max — peak observations (per thread, then across

@@ -5,7 +5,7 @@ namespace dear::scenario {
 namespace {
 
 /// Iterates an axis, falling back to the base value when the axis is
-/// empty. Keeps expand() readable as nine nested loops without
+/// empty. Keeps expand() readable as eleven nested loops without
 /// special-casing empty axes in each.
 template <typename T, typename F>
 void for_axis(const std::vector<T>& axis, const T& base_value, F&& f) {
@@ -26,6 +26,7 @@ std::uint64_t CampaignSpec::grid_size() const noexcept {
          dim(net_duplicate_probabilities.size()) * dim(svc_latency_ranges.size()) *
          dim(clock_drift_ppms.size()) * dim(deadline_scales.size()) *
          dim(exec_time_scales.size()) * dim(sensor_fault_models.size()) *
+         dim(service_fault_models.size()) * dim(retry_budgets.size()) *
          (replicas == 0 ? 1 : replicas);
 }
 
@@ -34,6 +35,9 @@ std::vector<ScenarioSpec> CampaignSpec::expand() const {
   scenarios.reserve(grid_size());
   const std::uint64_t replica_count = replicas == 0 ? 1 : replicas;
   const std::uint64_t sensor_seed = derive_seed(campaign_seed, 0, "sensor");
+  // Like the sensor stream, the per-call fault die is campaign-wide, so
+  // every scenario of a digest group shares the same fault decisions.
+  const std::uint64_t fault_seed = derive_seed(campaign_seed, 0, "fault");
 
   for_axis(workloads, base.workload, [&](Workload workload) {
     for_axis(transports, base.transport, [&](Transport transport) {
@@ -46,27 +50,36 @@ std::vector<ScenarioSpec> CampaignSpec::expand() const {
                 for_axis(exec_time_scales, base.exec_time_scale, [&](double exec_scale) {
                   for_axis(sensor_fault_models, base.sensor_faults,
                            [&](const sim::SensorFaultModel& faults) {
-                    for (std::uint64_t replica = 0; replica < replica_count; ++replica) {
-                      ScenarioSpec spec = base;
-                      spec.index = scenarios.size();
-                      spec.workload = workload;
-                      spec.transport = transport;
-                      spec.net_drop_probability = drop;
-                      spec.net_duplicate_probability = dup;
-                      spec.svc_latency_min = latency.first;
-                      spec.svc_latency_max = latency.second;
-                      spec.clock_drift_ppm = drift;
-                      spec.deadline_scale = deadline_scale;
-                      spec.exec_time_scale = exec_scale;
-                      spec.sensor_faults = faults;
-                      // Platform timing is a pure function of (campaign
-                      // seed, scenario index); the sensor input stream is
-                      // shared campaign-wide.
-                      spec.platform_seed = derive_seed(campaign_seed, spec.index, "platform");
-                      spec.sensor_seed = sensor_seed;
-                      spec.name = spec.describe();
-                      scenarios.push_back(std::move(spec));
-                    }
+                    for_axis(service_fault_models, base.service_faults,
+                             [&](const ft::ServiceFaultModel& svc_faults) {
+                      for_axis(retry_budgets, base.retry, [&](const ft::RetryBudget& retry) {
+                        for (std::uint64_t replica = 0; replica < replica_count; ++replica) {
+                          ScenarioSpec spec = base;
+                          spec.index = scenarios.size();
+                          spec.workload = workload;
+                          spec.transport = transport;
+                          spec.net_drop_probability = drop;
+                          spec.net_duplicate_probability = dup;
+                          spec.svc_latency_min = latency.first;
+                          spec.svc_latency_max = latency.second;
+                          spec.clock_drift_ppm = drift;
+                          spec.deadline_scale = deadline_scale;
+                          spec.exec_time_scale = exec_scale;
+                          spec.sensor_faults = faults;
+                          spec.service_faults = svc_faults;
+                          spec.retry = retry;
+                          // Platform timing is a pure function of
+                          // (campaign seed, scenario index); the sensor
+                          // input stream and the fault die are shared
+                          // campaign-wide.
+                          spec.platform_seed = derive_seed(campaign_seed, spec.index, "platform");
+                          spec.sensor_seed = sensor_seed;
+                          spec.fault_seed = fault_seed;
+                          spec.name = spec.describe();
+                          scenarios.push_back(std::move(spec));
+                        }
+                      });
+                    });
                   });
                 });
               });

@@ -40,6 +40,8 @@ struct CampaignSpec {
   std::vector<double> deadline_scales;
   std::vector<double> exec_time_scales;
   std::vector<sim::SensorFaultModel> sensor_fault_models;
+  std::vector<ft::ServiceFaultModel> service_fault_models;
+  std::vector<ft::RetryBudget> retry_budgets;
 
   /// Number of scenarios expand() will produce.
   [[nodiscard]] std::uint64_t grid_size() const noexcept;

@@ -18,6 +18,21 @@ namespace dear::scenario::presets {
 /// drop/duplication corners x sensor-fault corner, two replicas.
 [[nodiscard]] CampaignSpec fault_sweep(std::uint64_t frames, std::uint64_t campaign_seed);
 
+/// 48-scenario fault-tolerance sweep: DEAR brake + ACC x both transports
+/// x two service-fault models (clean crash/restart; crash + per-call
+/// error/omission faults) x three retry budgets (disabled, 2 attempts,
+/// 3 attempts), two replicas. Every scenario expects determinism: crash
+/// windows are wire-tag intervals and the call-fault die is a pure
+/// function of logical identities, so digests must be bit-identical
+/// across platform seeds, transports and worker counts.
+[[nodiscard]] CampaignSpec fault_tolerance_sweep(std::uint64_t frames,
+                                                 std::uint64_t campaign_seed);
+
+/// 16-scenario fault-tolerance smoke grid (CI): the sweep's corners with
+/// a single retry budget.
+[[nodiscard]] CampaignSpec fault_tolerance_smoke(std::uint64_t frames,
+                                                 std::uint64_t campaign_seed);
+
 /// Homogeneous DEAR grid of `scenario_count` platform-timing replicas —
 /// every run lands in one digest group, which makes it both the
 /// batch-throughput benchmark workload and the strongest digest-invariance

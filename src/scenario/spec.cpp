@@ -31,8 +31,14 @@ bool ScenarioSpec::expect_deterministic() const noexcept {
   if (workload == Workload::kBrakeNondet) {
     return false;
   }
+  // Injected service faults stay inside the guarantee: crash windows are
+  // wire-tag intervals and the per-call die is a pure function of
+  // (fault_seed, client, session) — both identical across transports,
+  // platform seeds and worker counts. Subscription churn is the exception:
+  // its unsubscribe/resubscribe windows are physical-time, so churn
+  // scenarios leave the digest-invariance groups.
   return net_drop_probability == 0.0 && svc_latency_max <= kSvcLatencyBound &&
-         deadline_scale >= 1.0 && exec_time_scale <= 1.0;
+         deadline_scale >= 1.0 && exec_time_scale <= 1.0 && service_faults.churn_period == 0;
 }
 
 std::uint64_t ScenarioSpec::digest_group() const noexcept {
@@ -54,6 +60,20 @@ std::uint64_t ScenarioSpec::digest_group() const noexcept {
   mix(bits(sensor_faults.stuck_probability));
   mix(bits(sensor_faults.noise_probability));
   mix(bits(deadline_scale));
+  // Service faults and retry budgets legitimately change observable
+  // behavior, so they split the groups — but only when actually engaged,
+  // which keeps every pre-existing group key bit-identical.
+  if (service_faults.any() || retry.enabled()) {
+    mix(static_cast<std::uint64_t>(service_faults.crash_at));
+    mix(static_cast<std::uint64_t>(service_faults.restart_after));
+    mix(bits(service_faults.call_error_probability));
+    mix(bits(service_faults.call_omission_probability));
+    mix(static_cast<std::uint64_t>(service_faults.churn_period));
+    mix(retry.max_attempts);
+    mix(static_cast<std::uint64_t>(retry.backoff_base));
+    mix(static_cast<std::uint64_t>(retry.timeout));
+    mix(fault_seed);
+  }
   return state;
 }
 
@@ -69,6 +89,22 @@ std::string ScenarioSpec::describe() const {
   if (sensor_faults.any()) {
     std::snprintf(buffer, sizeof(buffer), "/sf-d%.3f-s%.3f-n%.3f", sensor_faults.drop_probability,
                   sensor_faults.stuck_probability, sensor_faults.noise_probability);
+    out += buffer;
+  }
+  if (service_faults.any()) {
+    std::snprintf(buffer, sizeof(buffer), "/ft-c%" PRId64 "-r%" PRId64 "-e%.3f-o%.3f",
+                  service_faults.crash_at / kMillisecond, service_faults.restart_after / kMillisecond,
+                  service_faults.call_error_probability, service_faults.call_omission_probability);
+    out += buffer;
+    if (service_faults.churn_period > 0) {
+      std::snprintf(buffer, sizeof(buffer), "-ch%" PRId64,
+                    service_faults.churn_period / kMillisecond);
+      out += buffer;
+    }
+  }
+  if (retry.enabled()) {
+    std::snprintf(buffer, sizeof(buffer), "/rt%u-b%" PRId64 "-t%" PRId64, retry.max_attempts,
+                  retry.backoff_base / kMillisecond, retry.timeout / kMillisecond);
     out += buffer;
   }
   std::snprintf(buffer, sizeof(buffer), "/i%" PRIu64, index);

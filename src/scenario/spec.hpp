@@ -23,6 +23,7 @@
 #include <string_view>
 
 #include "common/time.hpp"
+#include "ft/fault_model.hpp"
 #include "sim/fault_injection.hpp"
 
 namespace dear::scenario {
@@ -81,6 +82,16 @@ struct ScenarioSpec {
   /// Sensor faults, applied at the camera/radar front-end (input-side).
   sim::SensorFaultModel sensor_faults{};
 
+  /// Service faults, applied at the victim node's transport binding
+  /// (crash/restart in wire-tag time, per-call error/omission, churn).
+  ft::ServiceFaultModel service_faults{};
+  /// Retry budget installed on the workload's tolerant proxies.
+  ft::RetryBudget retry{};
+  /// Seed for the per-call fault die. Derived from the campaign seed
+  /// alone (like sensor_seed), so scenarios in one digest group share the
+  /// exact same fault decisions.
+  std::uint64_t fault_seed{1};
+
   // --- fluent builder -------------------------------------------------------
   ScenarioSpec& with_workload(Workload value) { workload = value; return *this; }
   ScenarioSpec& with_transport(Transport value) { transport = value; return *this; }
@@ -106,6 +117,18 @@ struct ScenarioSpec {
   ScenarioSpec& with_deadline_scale(double value) { deadline_scale = value; return *this; }
   ScenarioSpec& with_sensor_faults(sim::SensorFaultModel value) {
     sensor_faults = value;
+    return *this;
+  }
+  ScenarioSpec& with_service_faults(ft::ServiceFaultModel value) {
+    service_faults = value;
+    return *this;
+  }
+  ScenarioSpec& with_retry(ft::RetryBudget value) {
+    retry = value;
+    return *this;
+  }
+  ScenarioSpec& with_fault_seed(std::uint64_t value) {
+    fault_seed = value;
     return *this;
   }
 

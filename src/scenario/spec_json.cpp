@@ -161,6 +161,80 @@ void parse_sensor_faults(Parser& parser, sim::SensorFaultModel& faults) {
   parser.expect('}');
 }
 
+void parse_service_faults(Parser& parser, ft::ServiceFaultModel& faults) {
+  parser.expect('{');
+  if (parser.consume('}')) {
+    return;
+  }
+  std::vector<std::string> seen;
+  do {
+    parser.set_context({});
+    const std::string key = parser.parse_string();
+    parser.expect(':');
+    if (parser.failed()) {
+      return;
+    }
+    if (std::find(seen.begin(), seen.end(), key) != seen.end()) {
+      parser.fail("duplicate service_faults key '" + key + "'");
+      return;
+    }
+    seen.push_back(key);
+    parser.set_context("service_faults." + key);
+    if (key == "crash_at_ns") {
+      faults.crash_at = static_cast<Duration>(parser.parse_number());
+    } else if (key == "restart_after_ns") {
+      faults.restart_after = static_cast<Duration>(parser.parse_number());
+    } else if (key == "call_error_probability") {
+      faults.call_error_probability = parser.parse_number();
+    } else if (key == "call_omission_probability") {
+      faults.call_omission_probability = parser.parse_number();
+    } else if (key == "churn_period_ns") {
+      faults.churn_period = static_cast<Duration>(parser.parse_number());
+    } else {
+      parser.set_context({});
+      parser.fail("unknown service_faults key '" + key + "'");
+      return;
+    }
+  } while (parser.consume(','));
+  parser.set_context({});
+  parser.expect('}');
+}
+
+void parse_retry(Parser& parser, ft::RetryBudget& retry) {
+  parser.expect('{');
+  if (parser.consume('}')) {
+    return;
+  }
+  std::vector<std::string> seen;
+  do {
+    parser.set_context({});
+    const std::string key = parser.parse_string();
+    parser.expect(':');
+    if (parser.failed()) {
+      return;
+    }
+    if (std::find(seen.begin(), seen.end(), key) != seen.end()) {
+      parser.fail("duplicate retry key '" + key + "'");
+      return;
+    }
+    seen.push_back(key);
+    parser.set_context("retry." + key);
+    if (key == "max_attempts") {
+      retry.max_attempts = static_cast<std::uint32_t>(parser.parse_number());
+    } else if (key == "backoff_base_ns") {
+      retry.backoff_base = static_cast<Duration>(parser.parse_number());
+    } else if (key == "timeout_ns") {
+      retry.timeout = static_cast<Duration>(parser.parse_number());
+    } else {
+      parser.set_context({});
+      parser.fail("unknown retry key '" + key + "'");
+      return;
+    }
+  } while (parser.consume(','));
+  parser.set_context({});
+  parser.expect('}');
+}
+
 }  // namespace
 
 std::string spec_to_json(const ScenarioSpec& spec) {
@@ -195,9 +269,25 @@ std::string spec_to_json(const ScenarioSpec& spec) {
   out += buffer;
   std::snprintf(buffer, sizeof(buffer),
                 "  \"sensor_faults\": {\"drop_probability\": %.6g, \"stuck_probability\": %.6g, "
-                "\"noise_probability\": %.6g}\n",
+                "\"noise_probability\": %.6g},\n",
                 spec.sensor_faults.drop_probability, spec.sensor_faults.stuck_probability,
                 spec.sensor_faults.noise_probability);
+  out += buffer;
+  std::snprintf(buffer, sizeof(buffer),
+                "  \"service_faults\": {\"crash_at_ns\": %" PRId64 ", \"restart_after_ns\": %" PRId64
+                ", \"call_error_probability\": %.6g, \"call_omission_probability\": %.6g, "
+                "\"churn_period_ns\": %" PRId64 "},\n",
+                static_cast<std::int64_t>(spec.service_faults.crash_at),
+                static_cast<std::int64_t>(spec.service_faults.restart_after),
+                spec.service_faults.call_error_probability,
+                spec.service_faults.call_omission_probability,
+                static_cast<std::int64_t>(spec.service_faults.churn_period));
+  out += buffer;
+  std::snprintf(buffer, sizeof(buffer),
+                "  \"retry\": {\"max_attempts\": %u, \"backoff_base_ns\": %" PRId64
+                ", \"timeout_ns\": %" PRId64 "},\n  \"fault_seed\": %" PRIu64 "\n",
+                spec.retry.max_attempts, static_cast<std::int64_t>(spec.retry.backoff_base),
+                static_cast<std::int64_t>(spec.retry.timeout), spec.fault_seed);
   out += buffer;
   out += "}\n";
   return out;
@@ -271,6 +361,12 @@ std::optional<ScenarioSpec> spec_from_json(std::string_view text, std::string* e
         spec.deadline_scale = parser.parse_number();
       } else if (key == "sensor_faults") {
         parse_sensor_faults(parser, spec.sensor_faults);
+      } else if (key == "service_faults") {
+        parse_service_faults(parser, spec.service_faults);
+      } else if (key == "retry") {
+        parse_retry(parser, spec.retry);
+      } else if (key == "fault_seed") {
+        spec.fault_seed = static_cast<std::uint64_t>(parser.parse_number());
       } else {
         parser.set_context({});
         parser.fail("unknown key '" + key + "'");

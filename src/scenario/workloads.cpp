@@ -19,6 +19,11 @@ namespace {
   outcome.sensor_faults_injected =
       result.sensor_dropped + result.sensor_stuck + result.sensor_noisy;
   outcome.deadline_violations = result.deadline_violations;
+  outcome.ft_crash_drops = result.ft_crash_drops;
+  outcome.ft_call_faults = result.ft_call_faults;
+  outcome.ft_retries = result.ft_retries;
+  outcome.ft_degraded_ticks = result.ft_degraded_ticks;
+  outcome.ft_failovers = result.ft_failovers;
   outcome.output_digest = result.output_digest;
   outcome.tag_digest = result.tag_digest;
   if (result.latency.count() > 0) {
@@ -42,6 +47,11 @@ namespace {
   outcome.sensor_faults_injected =
       result.sensor_dropped + result.sensor_stuck + result.sensor_noisy;
   outcome.deadline_violations = result.deadline_violations;
+  outcome.ft_crash_drops = result.ft_crash_drops;
+  outcome.ft_call_faults = result.ft_call_faults;
+  outcome.ft_retries = result.ft_retries;
+  outcome.ft_degraded_ticks = result.ft_degraded_ticks;
+  outcome.ft_failovers = result.ft_failovers;
   // Fold the console's field-traffic digest in: a scenario only counts as
   // behaviorally identical when events, methods and field all agree.
   outcome.output_digest = result.output_digest;
@@ -67,6 +77,9 @@ brake::DearScenarioConfig to_dear_config(const ScenarioSpec& spec) {
   config.net_duplicate_probability = spec.net_duplicate_probability;
   config.net_in_order = spec.net_in_order;
   config.sensor_faults = spec.sensor_faults;
+  config.service_faults = spec.service_faults;
+  config.retry = spec.retry;
+  config.fault_seed = spec.fault_seed;
   return config;
 }
 
@@ -100,6 +113,9 @@ acc::AccScenarioConfig to_acc_config(const ScenarioSpec& spec) {
   config.net_duplicate_probability = spec.net_duplicate_probability;
   config.net_in_order = spec.net_in_order;
   config.sensor_faults = spec.sensor_faults;
+  config.service_faults = spec.service_faults;
+  config.retry = spec.retry;
+  config.fault_seed = spec.fault_seed;
   return config;
 }
 

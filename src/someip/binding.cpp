@@ -5,6 +5,7 @@
 
 #include "common/buffer_pool.hpp"
 #include "common/logging.hpp"
+#include "ft/fault_model.hpp"
 #include "obs/obs.hpp"
 
 namespace dear::someip {
@@ -40,6 +41,14 @@ void Binding::send_message(const net::Endpoint& destination, Message message) {
   // The paper's modification: pick up a pending tag from the bypass and
   // attach it to the outgoing message (Figure 3, steps 5 and 16).
   message.tag = send_bypass_.collect();
+  // Injected crash: while the victim node is down, its tagged traffic dies
+  // at the binding exactly as if the process were gone. Untagged control
+  // traffic passes, so peers keep their subscription state (warm restart).
+  if (fault_plan_ != nullptr && message.tag.has_value() && fault_plan_->crashes(self_) &&
+      fault_plan_->down_at(message.tag->time)) {
+    fault_plan_->crash_drops.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   const std::size_t wire_bytes = message.encoded_size();
   {
     const std::lock_guard<std::mutex> lock(mutex_);
@@ -230,6 +239,13 @@ void Binding::on_packet(const net::Packet& packet) {
     return;
   }
   Message& message = rx_message_;
+  // Injected crash, receive side: a down victim does not process tagged
+  // traffic either (messages already in flight at crash time die here).
+  if (fault_plan_ != nullptr && message.tag.has_value() && fault_plan_->crashes(self_) &&
+      fault_plan_->down_at(message.tag->time)) {
+    fault_plan_->crash_drops.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   if (message.tag.has_value()) {
     {
       const std::lock_guard<std::mutex> lock(mutex_);
@@ -287,6 +303,20 @@ void Binding::handle_request(const Message& message, const net::Endpoint& from) 
     const auto it = methods_.find({message.service, message.method});
     if (it != methods_.end()) {
       handler = it->second;
+    }
+  }
+  // Per-call fault die (after dedup, so a duplicated datagram cannot
+  // double-count): a pure function of (fault_seed, client, session), hence
+  // identical across transports and worker counts.
+  if (fault_plan_ != nullptr && message.type == MessageType::kRequest && message.session != 0) {
+    switch (fault_plan_->call_fault(message.client, message.session)) {
+      case ft::FaultPlan::CallFault::kOmission:
+        return;  // swallowed: the client's timeout is the only signal
+      case ft::FaultPlan::CallFault::kError:
+        respond(message, from, {}, ReturnCode::kNotOk);
+        return;
+      case ft::FaultPlan::CallFault::kNone:
+        break;
     }
   }
   if (!handler) {

@@ -28,6 +28,10 @@
 #include "someip/timestamp_bypass.hpp"
 #include "someip/types.hpp"
 
+namespace dear::ft {
+class FaultPlan;
+}  // namespace dear::ft
+
 namespace dear::someip {
 
 /// Control service used for subscription management (mirrors the SD
@@ -97,6 +101,16 @@ class Binding {
   [[nodiscard]] net::Endpoint endpoint() const noexcept { return self_; }
   [[nodiscard]] ClientId client_id() const noexcept { return client_id_; }
 
+  // --- deterministic fault injection -----------------------------------------
+
+  /// Installs (or clears) the shared injection plan; it must outlive the
+  /// binding. A binding whose endpoint matches the plan's victim drops all
+  /// tagged traffic in and out while the wire tag is inside the down
+  /// window; any plan-installed binding rolls the per-call fault die on
+  /// incoming sessioned requests.
+  void set_fault_plan(const ft::FaultPlan* plan) noexcept { fault_plan_ = plan; }
+  [[nodiscard]] const ft::FaultPlan* fault_plan() const noexcept { return fault_plan_; }
+
   // --- statistics ------------------------------------------------------------
 
   /// Wire messages of any type, and their encoded bytes, per direction.
@@ -130,6 +144,7 @@ class Binding {
   common::Executor& executor_;
   net::Endpoint self_;
   ClientId client_id_;
+  const ft::FaultPlan* fault_plan_{nullptr};
 
   TimestampBypass send_bypass_;
   TimestampBypass receive_bypass_;

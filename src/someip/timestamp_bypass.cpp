@@ -17,6 +17,11 @@ std::optional<WireTag> TimestampBypass::collect() {
   return tag;
 }
 
+std::optional<WireTag> TimestampBypass::peek() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return slot_;
+}
+
 bool TimestampBypass::armed() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   return slot_.has_value();

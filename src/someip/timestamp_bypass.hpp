@@ -31,6 +31,11 @@ class TimestampBypass {
   /// Removes and returns the slot content.
   [[nodiscard]] std::optional<WireTag> collect();
 
+  /// Returns the slot content without disarming it (retry bookkeeping:
+  /// a proxy wrapper records the armed tag so a retried attempt can
+  /// re-arm it with a logical backoff).
+  [[nodiscard]] std::optional<WireTag> peek() const;
+
   /// True when a tag is waiting.
   [[nodiscard]] bool armed() const;
 

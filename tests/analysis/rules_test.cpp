@@ -351,6 +351,59 @@ TEST_F(EnvelopeTest, ExecScaleAboveOneIsAnError) {
   EXPECT_EQ(count_rule(check_envelope(spec, facts), Rule::kEnvelopeExecScale), 1U);
 }
 
+// --- DEAR-FT-001 / 002: fault-tolerance configuration ------------------------
+
+TEST_F(EnvelopeTest, ServiceFaultsWithoutRetryWarnOfMissingFallback) {
+  spec.service_faults.crash_at = 1000_ms;
+  const auto diagnostics = check_envelope(spec, facts);
+  ASSERT_EQ(count_rule(diagnostics, Rule::kFtNoFallback), 1U);
+  // Warning, not error: an injected crash is still bit-reproducible, so
+  // the severity⟺expect_deterministic oracle must keep holding.
+  EXPECT_FALSE(has_errors(diagnostics));
+  EXPECT_TRUE(spec.expect_deterministic());
+}
+
+TEST_F(EnvelopeTest, ServiceFaultsWithRetryBudgetAreClean) {
+  spec.service_faults.call_error_probability = 0.05;
+  spec.retry.max_attempts = 2;
+  spec.retry.timeout = 1_ms;
+  EXPECT_EQ(count_rule(check_envelope(spec, facts), Rule::kFtNoFallback), 0U);
+}
+
+TEST_F(EnvelopeTest, RetryWorstCaseBeyondTightestChainBudgetWarns) {
+  facts.budgets.push_back(BudgetFact{"Interface.member", "server", /*budget=*/20_ms});
+  spec.retry.max_attempts = 3;
+  spec.retry.backoff_base = 6_ms;
+  spec.retry.timeout = 5_ms;  // worst case 3x5ms + (6+12)ms backoff = 33ms
+  const auto diagnostics = check_envelope(spec, facts);
+  ASSERT_EQ(count_rule(diagnostics, Rule::kFtRetryBudgetOverChain), 1U);
+  EXPECT_FALSE(has_errors(diagnostics));
+  for (const Diagnostic& d : diagnostics) {
+    if (d.rule == Rule::kFtRetryBudgetOverChain) {
+      EXPECT_EQ(d.severity, Severity::kWarning);
+      EXPECT_NE(d.message.find("Interface.member"), std::string::npos) << d.message;
+    }
+  }
+}
+
+TEST_F(EnvelopeTest, RetryWorstCaseInsideTheChainBudgetIsClean) {
+  facts.budgets.push_back(BudgetFact{"Interface.member", "server", /*budget=*/40_ms});
+  spec.retry.max_attempts = 3;
+  spec.retry.backoff_base = 6_ms;
+  spec.retry.timeout = 5_ms;
+  EXPECT_EQ(count_rule(check_envelope(spec, facts), Rule::kFtRetryBudgetOverChain), 0U);
+}
+
+TEST_F(EnvelopeTest, RetryWithoutDeclaredBudgetsCannotBeJudged) {
+  // No BudgetFact rows -> no chain bound to compare against; stay silent
+  // rather than guessing a denominator.
+  spec.retry.max_attempts = 5;
+  spec.retry.backoff_base = 50_ms;
+  spec.retry.timeout = 50_ms;
+  const Facts no_budgets;
+  EXPECT_EQ(count_rule(check_envelope(spec, no_budgets), Rule::kFtRetryBudgetOverChain), 0U);
+}
+
 // --- rule metadata -----------------------------------------------------------
 
 TEST(RuleCatalog, IdsAreStableAndSeveritiesMatch) {
@@ -365,8 +418,12 @@ TEST(RuleCatalog, IdsAreStableAndSeveritiesMatch) {
   EXPECT_EQ(rule_id(Rule::kEnvelopeLossyLink), "DEAR-ENV-002");
   EXPECT_EQ(rule_id(Rule::kEnvelopeDeadlineScale), "DEAR-ENV-003");
   EXPECT_EQ(rule_id(Rule::kEnvelopeExecScale), "DEAR-ENV-004");
+  EXPECT_EQ(rule_id(Rule::kFtNoFallback), "DEAR-FT-001");
+  EXPECT_EQ(rule_id(Rule::kFtRetryBudgetOverChain), "DEAR-FT-002");
 
   EXPECT_EQ(rule_severity(Rule::kDeadReaction), Severity::kWarning);
+  EXPECT_EQ(rule_severity(Rule::kFtNoFallback), Severity::kWarning);
+  EXPECT_EQ(rule_severity(Rule::kFtRetryBudgetOverChain), Severity::kWarning);
   EXPECT_EQ(rule_severity(Rule::kOrderedMultiWriterPort), Severity::kNote);
   EXPECT_EQ(rule_severity(Rule::kMultiWriterPort), Severity::kError);
   EXPECT_EQ(rule_severity(Rule::kEnvelopeLatency), Severity::kError);

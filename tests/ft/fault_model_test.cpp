@@ -1,0 +1,148 @@
+#include "ft/fault_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dear::ft {
+namespace {
+
+using namespace dear::literals;
+
+TEST(ServiceFaultModel, AnyDetectsEachKnob) {
+  EXPECT_FALSE(ServiceFaultModel{}.any());
+  ServiceFaultModel crash;
+  crash.crash_at = 1_ms;
+  EXPECT_TRUE(crash.any());
+  ServiceFaultModel error;
+  error.call_error_probability = 0.01;
+  EXPECT_TRUE(error.any());
+  ServiceFaultModel omission;
+  omission.call_omission_probability = 0.01;
+  EXPECT_TRUE(omission.any());
+  ServiceFaultModel churn;
+  churn.churn_period = 100_ms;
+  EXPECT_TRUE(churn.any());
+  ServiceFaultModel restart_only;
+  restart_only.restart_after = 1_ms;  // restart without a crash is inert
+  EXPECT_FALSE(restart_only.any());
+}
+
+TEST(FaultPlan, DownWindowIsHalfOpen) {
+  FaultPlan plan;
+  plan.down_from = 100_ms;
+  plan.down_until = 200_ms;
+  EXPECT_FALSE(plan.down_at(99_ms));
+  EXPECT_TRUE(plan.down_at(100_ms));
+  EXPECT_TRUE(plan.down_at(199_ms));
+  EXPECT_FALSE(plan.down_at(200_ms));
+}
+
+TEST(FaultPlan, NoRestartMeansDownForever) {
+  FaultPlan plan;
+  plan.down_from = 100_ms;
+  plan.down_until = 0;
+  EXPECT_FALSE(plan.down_at(99_ms));
+  EXPECT_TRUE(plan.down_at(100_ms));
+  EXPECT_TRUE(plan.down_at(1000000_ms));
+}
+
+TEST(FaultPlan, NoCrashConfiguredIsNeverDown) {
+  FaultPlan plan;
+  EXPECT_FALSE(plan.down_at(0));
+  EXPECT_FALSE(plan.down_at(1000_ms));
+  EXPECT_FALSE(plan.crashes({1, 100}));
+}
+
+TEST(FaultPlan, CrashRequiresVictimMatch) {
+  FaultPlan plan;
+  plan.victim = net::Endpoint{2, 103};
+  plan.down_from = 100_ms;
+  EXPECT_TRUE(plan.crashes({2, 103}));
+  EXPECT_FALSE(plan.crashes({2, 104}));
+  EXPECT_FALSE(plan.crashes({3, 103}));
+}
+
+TEST(FaultPlan, CallFaultIsAPureFunctionOfIdentity) {
+  FaultPlan plan;
+  plan.call_error_probability = 0.3;
+  plan.call_omission_probability = 0.2;
+  plan.fault_seed = 42;
+  // Same (client, session) identity must yield the same verdict no matter
+  // how often or in what order the die is consulted — that is the whole
+  // transport/worker-count invariance argument.
+  for (someip::SessionId session = 1; session <= 200; ++session) {
+    const auto first = plan.call_fault(0x01, session);
+    const auto again = plan.call_fault(0x01, session);
+    EXPECT_EQ(first, again);
+  }
+  // A different fault seed reshuffles the verdicts.
+  FaultPlan other = {};
+  other.call_error_probability = 0.3;
+  other.call_omission_probability = 0.2;
+  other.fault_seed = 43;
+  bool any_difference = false;
+  for (someip::SessionId session = 1; session <= 200; ++session) {
+    if (plan.call_fault(0x01, session) != other.call_fault(0x01, session)) {
+      any_difference = true;
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(FaultPlan, CallFaultProbabilitiesRoughlyHold) {
+  FaultPlan plan;
+  plan.call_error_probability = 0.3;
+  plan.call_omission_probability = 0.2;
+  plan.fault_seed = 7;
+  int errors = 0;
+  int omissions = 0;
+  constexpr int kCalls = 20'000;
+  for (someip::SessionId session = 1; session <= kCalls; ++session) {
+    switch (plan.call_fault(0x05, session)) {
+      case FaultPlan::CallFault::kError:
+        ++errors;
+        break;
+      case FaultPlan::CallFault::kOmission:
+        ++omissions;
+        break;
+      case FaultPlan::CallFault::kNone:
+        break;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(errors) / kCalls, 0.3, 0.02);
+  EXPECT_NEAR(static_cast<double>(omissions) / kCalls, 0.2, 0.02);
+  EXPECT_EQ(plan.call_errors.load(), static_cast<std::uint64_t>(errors));
+  EXPECT_EQ(plan.call_omissions.load(), static_cast<std::uint64_t>(omissions));
+}
+
+TEST(FaultPlan, ZeroProbabilitiesShortCircuit) {
+  const FaultPlan plan;
+  for (someip::SessionId session = 1; session <= 100; ++session) {
+    EXPECT_EQ(plan.call_fault(0x01, session), FaultPlan::CallFault::kNone);
+  }
+  EXPECT_EQ(plan.call_errors.load(), 0u);
+  EXPECT_EQ(plan.call_omissions.load(), 0u);
+}
+
+TEST(RetryBudget, DisabledByDefault) {
+  const RetryBudget budget;
+  EXPECT_FALSE(budget.enabled());
+  EXPECT_EQ(budget.worst_case_latency(), 0);
+}
+
+TEST(RetryBudget, WorstCaseSumsTimeoutsAndBackoffs) {
+  RetryBudget budget;
+  budget.max_attempts = 3;
+  budget.backoff_base = 6_ms;
+  budget.timeout = 5_ms;
+  // 3 timeouts + backoffs of 1*6ms and 2*6ms: 15 + 18 = 33ms.
+  EXPECT_EQ(budget.worst_case_latency(), 33_ms);
+
+  RetryBudget single;
+  single.max_attempts = 1;
+  single.timeout = 5_ms;
+  single.backoff_base = 100_ms;  // never waited: no retry happens
+  EXPECT_EQ(single.worst_case_latency(), 5_ms);
+}
+
+}  // namespace
+}  // namespace dear::ft

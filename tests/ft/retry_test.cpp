@@ -1,0 +1,146 @@
+// Retry/timeout/backoff semantics on proxy methods, plus the ComErrc
+// regression coverage for the fault-injected failure modes: a silent
+// server surfaces kCommunicationTimeout (single attempt) or
+// kServiceNotAvailable (a whole retry budget burned on timeouts), an
+// erroring server stays kRemoteError with or without retries.
+#include "ara/method.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ara_fixture.hpp"
+#include "ft/fault_model.hpp"
+
+namespace dear::ara {
+namespace {
+
+using namespace dear::literals;
+using testing::AraSimFixture;
+
+struct FtRetryTest : AraSimFixture {
+  static ft::RetryBudget budget(std::uint32_t attempts, Duration backoff, Duration timeout) {
+    ft::RetryBudget b;
+    b.max_attempts = attempts;
+    b.backoff_base = backoff;
+    b.timeout = timeout;
+    return b;
+  }
+};
+
+TEST_F(FtRetryTest, TimeoutWithoutRetryIsCommunicationTimeout) {
+  // Regression: the plain timeout path must stay reachable (and keep its
+  // error code) now that the retry machinery exists.
+  skeleton->slow.set_handler([](const std::int32_t&) {
+    return Promise<std::int32_t>().get_future();  // never resolves
+  });
+  proxy->set_call_timeout(20_ms);
+  auto future = proxy->slow(1);
+  kernel.run();
+  ASSERT_TRUE(future.is_ready());
+  EXPECT_EQ(future.GetResult().error(), ComErrc::kCommunicationTimeout);
+  EXPECT_EQ(proxy->retries(), 0u);
+}
+
+TEST_F(FtRetryTest, TransientServerErrorsAreRetriedToSuccess) {
+  int invocations = 0;
+  skeleton->slow.set_handler([&invocations](const std::int32_t& v) {
+    if (++invocations < 3) {
+      Promise<std::int32_t> promise;
+      promise.SetError(ComErrc::kFieldValueNotSet);
+      return promise.get_future();
+    }
+    return make_ready_future<std::int32_t>(v * 10);
+  });
+  proxy->set_retry_policy(budget(3, 30_ms, 20_ms));
+  auto future = proxy->slow(4);
+  kernel.run();
+  ASSERT_TRUE(future.is_ready());
+  EXPECT_EQ(future.GetResult().value(), 40);
+  EXPECT_EQ(invocations, 3);
+  EXPECT_EQ(proxy->retries(), 2u);
+  EXPECT_EQ(proxy->retries_exhausted(), 0u);
+}
+
+TEST_F(FtRetryTest, BudgetBurnedOnTimeoutsYieldsServiceNotAvailable) {
+  skeleton->slow.set_handler([](const std::int32_t&) {
+    return Promise<std::int32_t>().get_future();  // never resolves
+  });
+  proxy->set_retry_policy(budget(3, 30_ms, 20_ms));
+  auto future = proxy->slow(1);
+  kernel.run();
+  ASSERT_TRUE(future.is_ready());
+  // Every attempt timed out: the service is gone, not merely slow.
+  EXPECT_EQ(future.GetResult().error(), ComErrc::kServiceNotAvailable);
+  EXPECT_EQ(proxy->retries(), 2u);
+  EXPECT_EQ(proxy->retries_exhausted(), 1u);
+}
+
+TEST_F(FtRetryTest, PersistentServerErrorStaysRemoteError) {
+  int invocations = 0;
+  skeleton->slow.set_handler([&invocations](const std::int32_t&) {
+    ++invocations;
+    Promise<std::int32_t> promise;
+    promise.SetError(ComErrc::kFieldValueNotSet);
+    return promise.get_future();
+  });
+  proxy->set_retry_policy(budget(2, 30_ms, 20_ms));
+  auto future = proxy->slow(1);
+  kernel.run();
+  ASSERT_TRUE(future.is_ready());
+  // Not a timeout exhaustion: the server answered, with an error.
+  EXPECT_EQ(future.GetResult().error(), ComErrc::kRemoteError);
+  EXPECT_EQ(invocations, 2);
+  EXPECT_EQ(proxy->retries(), 1u);
+  EXPECT_EQ(proxy->retries_exhausted(), 0u);
+}
+
+TEST_F(FtRetryTest, InjectedOmissionSurfacesAsTimeout) {
+  ft::FaultPlan plan;
+  plan.call_omission_probability = 1.0;
+  server_rt.set_fault_plan(&plan);
+  proxy->set_call_timeout(20_ms);
+  auto future = proxy->add(1, 2);
+  kernel.run();
+  ASSERT_TRUE(future.is_ready());
+  EXPECT_EQ(future.GetResult().error(), ComErrc::kCommunicationTimeout);
+  EXPECT_GE(plan.call_omissions.load(), 1u);
+  server_rt.set_fault_plan(nullptr);
+}
+
+TEST_F(FtRetryTest, InjectedOmissionWithRetryExhaustsToServiceNotAvailable) {
+  ft::FaultPlan plan;
+  plan.call_omission_probability = 1.0;
+  server_rt.set_fault_plan(&plan);
+  proxy->set_retry_policy(budget(3, 30_ms, 20_ms));
+  auto future = proxy->add(1, 2);
+  kernel.run();
+  ASSERT_TRUE(future.is_ready());
+  EXPECT_EQ(future.GetResult().error(), ComErrc::kServiceNotAvailable);
+  EXPECT_EQ(proxy->retries(), 2u);
+  EXPECT_GE(plan.call_omissions.load(), 3u);
+  server_rt.set_fault_plan(nullptr);
+}
+
+TEST_F(FtRetryTest, InjectedErrorBecomesRemoteError) {
+  ft::FaultPlan plan;
+  plan.call_error_probability = 1.0;
+  server_rt.set_fault_plan(&plan);
+  auto future = proxy->add(1, 2);
+  kernel.run();
+  ASSERT_TRUE(future.is_ready());
+  EXPECT_EQ(future.GetResult().error(), ComErrc::kRemoteError);
+  EXPECT_GE(plan.call_errors.load(), 1u);
+  server_rt.set_fault_plan(nullptr);
+}
+
+TEST_F(FtRetryTest, SuccessfulCallConsumesNoBudget) {
+  proxy->set_retry_policy(budget(3, 30_ms, 20_ms));
+  auto future = proxy->add(20, 22);
+  kernel.run();
+  ASSERT_TRUE(future.is_ready());
+  EXPECT_EQ(future.GetResult().value(), 42);
+  EXPECT_EQ(proxy->retries(), 0u);
+  EXPECT_EQ(proxy->retries_exhausted(), 0u);
+}
+
+}  // namespace
+}  // namespace dear::ara

@@ -169,6 +169,64 @@ TEST(CampaignRunner, SmokePresetExpandsTo16CheckedScenarios) {
   EXPECT_GT(report.determinism_checked_runs, 0u);
 }
 
+TEST(CampaignRunner, FaultToleranceSmokePresetIsDigestStable) {
+  const auto campaign = presets::fault_tolerance_smoke(100, 1);
+  EXPECT_EQ(campaign.grid_size(), 16u);
+  const auto serial = runner_with(1).run(campaign);
+  const auto parallel = runner_with(4).run(campaign);
+  EXPECT_TRUE(serial.invariants_ok()) << serial.to_table();
+  EXPECT_GT(serial.determinism_checked_runs, 0u);
+  EXPECT_EQ(serial.report_digest(), parallel.report_digest());
+
+  // The faulted rows must actually exercise the subsystem.
+  std::uint64_t crash_drops = 0;
+  std::uint64_t degraded = 0;
+  for (const ScenarioResult& row : serial.results) {
+    crash_drops += row.outcome.ft_crash_drops;
+    degraded += row.outcome.ft_degraded_ticks;
+  }
+  EXPECT_GT(crash_drops, 0u);
+  EXPECT_GT(degraded, 0u);
+}
+
+TEST(CampaignRunner, FaultToleranceSweepPresetExpandsTo48) {
+  const auto campaign = presets::fault_tolerance_sweep(100, 1);
+  EXPECT_EQ(campaign.grid_size(), 48u);
+  // Every scenario of the sweep expects determinism: crash windows are
+  // wire-tag intervals, the call-fault die is keyed on logical identities.
+  for (const ScenarioSpec& spec : campaign.expand()) {
+    EXPECT_TRUE(spec.expect_deterministic()) << spec.describe();
+  }
+}
+
+TEST(CampaignRunner, CrashScenariosShareDigestsAcrossTransportsAndSeeds) {
+  // crash_at counts from sensor sample 0's nominal release; the
+  // mid-frame boundary (the pipelines sample at 50 ms) keeps it clear of
+  // the jittered sensor-tag clouds, so the same frames die under every
+  // platform seed and transport.
+  ft::ServiceFaultModel crash;
+  crash.crash_at = 1025_ms;
+  crash.restart_after = 500_ms;
+
+  CampaignSpec campaign;
+  campaign.name = "ft-crash-invariance";
+  campaign.campaign_seed = 19;
+  campaign.base.frames = 60;
+  campaign.transports = {Transport::kSomeIp, Transport::kLocal};
+  campaign.service_fault_models = {crash};
+  campaign.replicas = 3;
+
+  const auto report = runner_with(2).run(campaign);
+  ASSERT_EQ(report.results.size(), 6u);
+  EXPECT_EQ(report.determinism_groups, 1u);
+  EXPECT_TRUE(report.invariants_ok()) << report.to_table();
+  const std::uint64_t reference = report.results.front().outcome.output_digest;
+  for (const ScenarioResult& row : report.results) {
+    EXPECT_EQ(row.outcome.output_digest, reference) << row.spec.name;
+    EXPECT_GT(row.outcome.ft_crash_drops, 0u) << row.spec.name;
+  }
+}
+
 TEST(CampaignRunner, ReportSerializesToJsonAndTable) {
   CampaignSpec campaign;
   campaign.campaign_seed = 2;

@@ -30,6 +30,15 @@ TEST(SpecJson, RoundTripsEveryKnob) {
   spec.sensor_faults.drop_probability = 0.01;
   spec.sensor_faults.stuck_probability = 0.02;
   spec.sensor_faults.noise_probability = 0.03;
+  spec.service_faults.crash_at = 1000_ms;
+  spec.service_faults.restart_after = 500_ms;
+  spec.service_faults.call_error_probability = 0.02;
+  spec.service_faults.call_omission_probability = 0.03;
+  spec.service_faults.churn_period = 200_ms;
+  spec.retry.max_attempts = 3;
+  spec.retry.backoff_base = 6_ms;
+  spec.retry.timeout = 5_ms;
+  spec.fault_seed = 99;
 
   std::string error;
   const auto parsed = spec_from_json(spec_to_json(spec), &error);
@@ -52,6 +61,9 @@ TEST(SpecJson, RoundTripsEveryKnob) {
   EXPECT_DOUBLE_EQ(parsed->sensor_faults.drop_probability, spec.sensor_faults.drop_probability);
   EXPECT_DOUBLE_EQ(parsed->sensor_faults.stuck_probability, spec.sensor_faults.stuck_probability);
   EXPECT_DOUBLE_EQ(parsed->sensor_faults.noise_probability, spec.sensor_faults.noise_probability);
+  EXPECT_EQ(parsed->service_faults, spec.service_faults);
+  EXPECT_EQ(parsed->retry, spec.retry);
+  EXPECT_EQ(parsed->fault_seed, spec.fault_seed);
 }
 
 TEST(SpecJson, OmittedFieldsKeepDefaults) {
@@ -136,6 +148,28 @@ TEST(SpecJson, ErrorsReportTheOffset) {
   std::string error;
   EXPECT_FALSE(spec_from_json(R"({"frames": })", &error).has_value());
   EXPECT_NE(error.find("at offset"), std::string::npos) << error;
+}
+
+TEST(SpecJson, NestedServiceFaultsAndRetryParse) {
+  const auto parsed = spec_from_json(
+      R"({"service_faults": {"crash_at_ns": 1000000, "churn_period_ns": 2000000},
+          "retry": {"max_attempts": 2, "timeout_ns": 5000000}, "fault_seed": 7})");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->service_faults.crash_at, 1_ms);
+  EXPECT_EQ(parsed->service_faults.restart_after, 0);
+  EXPECT_EQ(parsed->service_faults.churn_period, 2_ms);
+  EXPECT_EQ(parsed->retry.max_attempts, 2u);
+  EXPECT_EQ(parsed->retry.backoff_base, 0);
+  EXPECT_EQ(parsed->retry.timeout, 5_ms);
+  EXPECT_EQ(parsed->fault_seed, 7u);
+}
+
+TEST(SpecJson, UnknownServiceFaultsOrRetryKeyIsRejected) {
+  std::string error;
+  EXPECT_FALSE(spec_from_json(R"({"service_faults": {"crash_time": 1}})", &error).has_value());
+  EXPECT_NE(error.find("unknown service_faults key 'crash_time'"), std::string::npos) << error;
+  EXPECT_FALSE(spec_from_json(R"({"retry": {"attempts": 3}})", &error).has_value());
+  EXPECT_NE(error.find("unknown retry key 'attempts'"), std::string::npos) << error;
 }
 
 TEST(SpecJson, NestedSensorFaultsParse) {

@@ -90,6 +90,98 @@ TEST(ScenarioSpec, DigestGroupTracksInputAffectingKnobs) {
   EXPECT_NE(base.digest_group(), workload.digest_group());
 }
 
+TEST(ScenarioSpec, ServiceFaultsStayInsideTheDeterminismGuarantee) {
+  // Crash windows are wire-tag intervals and the call-fault die is a pure
+  // function of logical identities: the digests must still be checked.
+  ScenarioSpec crash;
+  crash.service_faults.crash_at = 1000_ms;
+  crash.service_faults.restart_after = 500_ms;
+  EXPECT_TRUE(crash.expect_deterministic());
+
+  ScenarioSpec dice;
+  dice.service_faults.call_error_probability = 0.02;
+  dice.service_faults.call_omission_probability = 0.02;
+  dice.retry.max_attempts = 3;
+  dice.retry.backoff_base = 6_ms;
+  dice.retry.timeout = 5_ms;
+  EXPECT_TRUE(dice.expect_deterministic());
+
+  ScenarioSpec churn;
+  churn.service_faults.churn_period = 200_ms;
+  EXPECT_FALSE(churn.expect_deterministic()) << "churn windows are physical";
+}
+
+TEST(ScenarioSpec, DigestGroupSplitsOnEngagedFaultToleranceKnobs) {
+  const ScenarioSpec base;
+
+  ScenarioSpec crash = base;
+  crash.service_faults.crash_at = 1000_ms;
+  EXPECT_NE(base.digest_group(), crash.digest_group());
+
+  ScenarioSpec restarted = crash;
+  restarted.service_faults.restart_after = 500_ms;
+  EXPECT_NE(crash.digest_group(), restarted.digest_group());
+
+  ScenarioSpec retry = base;
+  retry.retry.max_attempts = 3;
+  retry.retry.backoff_base = 6_ms;
+  retry.retry.timeout = 5_ms;
+  EXPECT_NE(base.digest_group(), retry.digest_group());
+
+  // The fault seed picks which calls fail, so it splits engaged groups —
+  // but an idle scenario must keep its pre-FT group key bit-identical no
+  // matter the seed (protects every existing digest anchor).
+  ScenarioSpec reseeded_idle = base;
+  reseeded_idle.fault_seed = base.fault_seed + 9;
+  EXPECT_EQ(base.digest_group(), reseeded_idle.digest_group());
+
+  ScenarioSpec reseeded_crash = crash;
+  reseeded_crash.fault_seed = crash.fault_seed + 9;
+  EXPECT_NE(crash.digest_group(), reseeded_crash.digest_group());
+}
+
+TEST(ScenarioSpec, DescribeNamesTheFaultToleranceKnobs) {
+  ScenarioSpec spec;
+  spec.service_faults.crash_at = 2000_ms;
+  spec.service_faults.restart_after = 1500_ms;
+  spec.retry.max_attempts = 3;
+  spec.retry.backoff_base = 6_ms;
+  spec.retry.timeout = 5_ms;
+  const std::string name = spec.describe();
+  EXPECT_NE(name.find("ft-c2000-r1500"), std::string::npos) << name;
+  EXPECT_NE(name.find("rt3-b6-t5"), std::string::npos) << name;
+}
+
+TEST(CampaignSpec, ServiceFaultAndRetryAxesMultiplyTheGrid) {
+  CampaignSpec campaign;
+  ft::ServiceFaultModel crash;
+  crash.crash_at = 1000_ms;
+  campaign.service_fault_models = {{}, crash};
+  ft::RetryBudget retry;
+  retry.max_attempts = 2;
+  retry.backoff_base = 6_ms;
+  retry.timeout = 5_ms;
+  campaign.retry_budgets = {{}, retry};
+  campaign.replicas = 3;
+  EXPECT_EQ(campaign.grid_size(), 2u * 2u * 3u);
+
+  const auto scenarios = campaign.expand();
+  ASSERT_EQ(scenarios.size(), campaign.grid_size());
+  // The fault seed is derived from the campaign seed alone, so every
+  // scenario of a digest group shares the exact same fault decisions.
+  for (const ScenarioSpec& spec : scenarios) {
+    EXPECT_EQ(spec.fault_seed, derive_seed(campaign.campaign_seed, 0, "fault"));
+  }
+  bool any_faulted = false;
+  bool any_retry = false;
+  for (const ScenarioSpec& spec : scenarios) {
+    any_faulted = any_faulted || spec.service_faults.any();
+    any_retry = any_retry || spec.retry.enabled();
+  }
+  EXPECT_TRUE(any_faulted);
+  EXPECT_TRUE(any_retry);
+}
+
 TEST(ScenarioSpec, DeriveSeedIsPureAndSensitiveToAllInputs) {
   EXPECT_EQ(derive_seed(1, 0, "platform"), derive_seed(1, 0, "platform"));
   EXPECT_NE(derive_seed(1, 0, "platform"), derive_seed(2, 0, "platform"));

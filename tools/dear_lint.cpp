@@ -41,7 +41,7 @@ void print_usage(std::FILE* stream) {
       "  --workload dear|nondet|acc   lint a workload with default knobs (repeatable)\n"
       "  --scenario FILE.json         lint a scenario file (repeatable; see\n"
       "                               docs/static_analysis.md for the format)\n"
-      "  --campaign smoke|fault-sweep|throughput\n"
+      "  --campaign smoke|fault-sweep|throughput|fault-tolerance\n"
       "                               lint every scenario of a preset campaign grid\n"
       "  --out FILE                   write the analysis-report-v1 JSON document\n"
       "  --timing                     run the end-to-end timing pass: chain latency\n"
@@ -91,6 +91,10 @@ std::optional<std::vector<dear::scenario::ScenarioSpec>> campaign_specs(const st
   if (name == "throughput") {
     return dear::scenario::presets::throughput(/*scenario_count=*/8, /*frames=*/200,
                                                /*campaign_seed=*/1)
+        .expand();
+  }
+  if (name == "fault-tolerance") {
+    return dear::scenario::presets::fault_tolerance_sweep(/*frames=*/200, /*campaign_seed=*/1)
         .expand();
   }
   return std::nullopt;
@@ -224,7 +228,9 @@ int main(int argc, char** argv) {
       }
       auto expanded = campaign_specs(value);
       if (!expanded) {
-        std::fprintf(stderr, "dear_lint: unknown campaign '%s' (smoke|fault-sweep|throughput)\n",
+        std::fprintf(stderr,
+                     "dear_lint: unknown campaign '%s' "
+                     "(smoke|fault-sweep|throughput|fault-tolerance)\n",
                      value);
         return 2;
       }
