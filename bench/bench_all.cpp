@@ -18,6 +18,11 @@
 //                                    with anchor digests unchanged; live
 //                                    fault campaign digest-stable at every
 //                                    worker count with zero violations
+//   * dataplane_*                  — local loaned streaming >= 10x encode
+//                                    GB/s at 1 MiB, zero payload copies +
+//                                    zero slab allocations in steady
+//                                    state, anchor digests unchanged with
+//                                    1 MiB camera bursts live
 // so CI fails on a hot-path, scaling or determinism regression without
 // parsing any console output.
 #include <cstdio>
@@ -102,6 +107,15 @@ int main(int argc, char** argv) {
   ft_options.sweep_frames = 120;
   ft_options.sweep_seed = 1;
   dear::bench::run_ft_suite(harness, ft_options);
+
+  // --- sensor data plane -----------------------------------------------------
+  // Loaned-slab vs encode streaming over both transports (>= 10x local
+  // loaned GB/s at 1 MiB, zero payload copies and zero slab allocations
+  // in steady state) and the anchor digest re-run with 1 MiB camera
+  // bursts live.
+  dear::bench::DataplaneOptions dataplane_options;
+  dataplane_options.golden_digest = kDearDigest300f7;
+  dear::bench::run_dataplane_suite(harness, dataplane_options);
 
   return harness.finish();
 }

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <thread>
 
 #include "common/stats.hpp"
 
@@ -90,7 +91,11 @@ const CaseResult* Harness::find(const std::string& name) const noexcept {
 }
 
 void Harness::gate(const std::string& name, bool ok, const std::string& detail) {
-  gates_.push_back(GateResult{name, ok, detail});
+  gates_.push_back(GateResult{name, ok, false, detail});
+}
+
+void Harness::gate_skipped(const std::string& name, const std::string& detail) {
+  gates_.push_back(GateResult{name, true, true, detail});
 }
 
 namespace {
@@ -140,6 +145,8 @@ bool Harness::write_json(const std::string& path) const {
   json_escape_into(out, name_);
   out += "\",\n  \"quick\": ";
   out += quick_ ? "true" : "false";
+  out += ",\n  \"host_cores\": ";
+  json_number_into(out, static_cast<double>(std::thread::hardware_concurrency()));
   out += ",\n  \"results\": [";
   for (std::size_t i = 0; i < cases_.size(); ++i) {
     const CaseResult& c = cases_[i];
@@ -174,6 +181,8 @@ bool Harness::write_json(const std::string& path) const {
     json_escape_into(out, g.name);
     out += "\", \"ok\": ";
     out += g.ok ? "true" : "false";
+    out += ", \"skipped\": ";
+    out += g.skipped ? "true" : "false";
     out += ", \"detail\": \"";
     json_escape_into(out, g.detail);
     out += "\"}";
@@ -208,8 +217,8 @@ int Harness::finish() {
 
   bool all_ok = true;
   for (const GateResult& g : gates_) {
-    std::printf("  gate %-39s %s  %s\n", g.name.c_str(), g.ok ? "PASS" : "FAIL",
-                g.detail.c_str());
+    std::printf("  gate %-39s %s  %s\n", g.name.c_str(),
+                g.skipped ? "SKIP" : (g.ok ? "PASS" : "FAIL"), g.detail.c_str());
     all_ok = all_ok && g.ok;
   }
 

@@ -49,6 +49,11 @@ struct CaseResult {
 struct GateResult {
   std::string name;
   bool ok{false};
+  /// The gate could not be evaluated on this host (e.g. a scaling gate on
+  /// a 1-core runner). Skipped gates never fail the run, and the JSON
+  /// report carries the flag so downstream tooling can tell "passed" from
+  /// "not measured" without parsing the detail string.
+  bool skipped{false};
   std::string detail;
 };
 
@@ -93,6 +98,10 @@ class Harness {
 
   /// Sanity gate; failing gates make finish() return 1.
   void gate(const std::string& name, bool ok, const std::string& detail);
+
+  /// Records a gate this host cannot evaluate (counts as ok, flagged
+  /// `skipped` in the report).
+  void gate_skipped(const std::string& name, const std::string& detail);
 
   /// Used by drivers with a canonical output file (bench_all →
   /// BENCH_hotpath.json); --json still overrides.

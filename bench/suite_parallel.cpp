@@ -11,8 +11,8 @@
 // campaign report digest must be bit-identical at every worker count.
 // Speedup/overhead floors need real parallel hardware, so they enforce
 // only when the host has >= 2 cores (a 1-core container cannot exhibit
-// parallel speedup; the gate then passes with a "skipped" detail, exactly
-// like bench_scenario_sweep).
+// parallel speedup; the gate is then recorded as skipped — machine-readable
+// in the report's per-gate "skipped" field).
 #include <cstdint>
 #include <cstdio>
 #include <thread>
@@ -59,9 +59,8 @@ void run_parallel_scaling_suite(Harness& h, const ParallelScalingOptions& option
   const double overhead_ceiling = h.quick() ? 8.0 : 3.0;
   if (cores < 2) {
     std::snprintf(detail, sizeof(detail),
-                  "skipped: host has %zu core(s) (observed %.2fx at 2 workers)", cores,
-                  overhead_2w);
-    h.gate("threaded_overhead_3x", true, detail);
+                  "host has %zu core(s) (observed %.2fx at 2 workers)", cores, overhead_2w);
+    h.gate_skipped("threaded_overhead_3x", detail);
   } else {
     std::snprintf(detail, sizeof(detail),
                   "per-event p50 at 2 workers %.2fx of single-threaded (ceiling %.1fx)",
@@ -156,9 +155,8 @@ void run_parallel_scaling_suite(Harness& h, const ParallelScalingOptions& option
   const double speedup_floor = h.quick() ? 1.2 : 1.6;
   if (cores < 2) {
     std::snprintf(detail, sizeof(detail),
-                  "skipped: host has %zu core(s) (observed %.2fx at 2 workers)", cores,
-                  speedup_2w);
-    h.gate("campaign_speedup_2w", true, detail);
+                  "host has %zu core(s) (observed %.2fx at 2 workers)", cores, speedup_2w);
+    h.gate_skipped("campaign_speedup_2w", detail);
   } else {
     std::snprintf(detail, sizeof(detail),
                   "campaign throughput %.2fx serial at 2 workers (floor %.1fx)", speedup_2w,

@@ -73,4 +73,26 @@ struct FtSuiteOptions {
 /// workers.
 void run_ft_suite(Harness& harness, const FtSuiteOptions& options);
 
+struct DataplaneOptions {
+  /// Frames per measured batch at the 64 KiB payload class. Larger
+  /// classes scale the per-batch frame count down so every row moves a
+  /// comparable byte volume (GB/s stays the comparable unit).
+  std::uint64_t frames{256};
+  /// Frames for the dedicated steady-state counter audit (zero-copy and
+  /// zero-slab-allocation gates on the local loaned path).
+  std::uint64_t steady_frames{128};
+  /// Golden DEAR pipeline output digest the 300-frame anchor workload
+  /// must reproduce with the camera payload plane live; 0 skips the
+  /// anchor gates (standalone runs with non-default frames).
+  std::uint64_t golden_digest{0};
+};
+
+/// Sensor data plane: loaned-slab vs encode event streaming at
+/// 64 KiB/256 KiB/1 MiB/4 MiB over both transport backends (GB/s +
+/// per-frame p50/p99), the >= 10x local loaned-vs-encode throughput gate
+/// at 1 MiB, steady-state counter audits (zero payload copies, zero slab
+/// allocations on the local loaned path), and the DEAR digest anchors
+/// re-run with a live camera payload plane.
+void run_dataplane_suite(Harness& harness, const DataplaneOptions& options);
+
 }  // namespace dear::bench

@@ -263,6 +263,57 @@ void LocalBinding::notify(someip::ServiceId service, someip::EventId event,
   }
 }
 
+void LocalBinding::notify_loaned(someip::ServiceId service, someip::EventId event,
+                                 common::LoanedBuffer payload) {
+  if (!payload) {
+    return;
+  }
+  // Snapshot the subscriber set into a fixed inline array — the general
+  // notify() copies the subscriber vector per call, which would be a
+  // per-frame allocation on the data plane's steady state. Fan-outs wider
+  // than the inline capacity fall back to a heap snapshot.
+  constexpr std::size_t kInlineSubscribers = 8;
+  net::Endpoint inline_subscribers[kInlineSubscribers];
+  std::vector<net::Endpoint> overflow_subscribers;
+  const net::Endpoint* subscribers = inline_subscribers;
+  std::size_t count = 0;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = subscribers_.find({service, event});
+    if (it != subscribers_.end()) {
+      if (it->second.size() <= kInlineSubscribers) {
+        count = it->second.size();
+        std::copy(it->second.begin(), it->second.end(), inline_subscribers);
+      } else {
+        overflow_subscribers = it->second;
+        subscribers = overflow_subscribers.data();
+        count = overflow_subscribers.size();
+      }
+    }
+    ++notifications_sent_;
+  }
+  // The tag (if any) must reach every subscriber; collect once and re-arm
+  // for each send. The slab is never copied: each message carries a
+  // refcount retain on the same storage, the last one moves the handle.
+  const std::optional<someip::WireTag> tag = send_bypass_.collect();
+  for (std::size_t i = 0; i < count; ++i) {
+    if (tag.has_value()) {
+      send_bypass_.deposit(*tag);
+    }
+    someip::Message message;
+    message.service = service;
+    message.method = event;
+    message.client = client_id_;
+    message.type = someip::MessageType::kNotification;
+    if (i + 1 == count) {
+      message.loaned = std::move(payload);
+    } else {
+      message.loaned = payload;
+    }
+    send_frame(subscribers[i], std::move(message));
+  }
+}
+
 std::size_t LocalBinding::subscriber_count(someip::ServiceId service, someip::EventId event) const {
   const std::lock_guard<std::mutex> lock(mutex_);
   const auto it = subscribers_.find({service, event});

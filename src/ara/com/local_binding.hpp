@@ -103,6 +103,11 @@ class LocalBinding final : public TransportBinding {
                std::vector<std::uint8_t> payload, someip::ReturnCode return_code) override;
   void notify(someip::ServiceId service, someip::EventId event,
               std::vector<std::uint8_t> payload) override;
+  /// Sensor data plane: every subscriber receives a handle to the same
+  /// slab (copy = refcount retain) — zero encode, zero payload memcpy,
+  /// and zero allocations on the steady-state path.
+  void notify_loaned(someip::ServiceId service, someip::EventId event,
+                     common::LoanedBuffer payload) override;
   [[nodiscard]] std::size_t subscriber_count(someip::ServiceId service,
                                              someip::EventId event) const override;
 

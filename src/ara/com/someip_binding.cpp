@@ -47,6 +47,11 @@ void SomeIpBinding::notify(someip::ServiceId service, someip::EventId event,
   binding_.notify(service, event, std::move(payload));
 }
 
+void SomeIpBinding::notify_loaned(someip::ServiceId service, someip::EventId event,
+                                  common::LoanedBuffer payload) {
+  binding_.notify_loaned(service, event, std::move(payload));
+}
+
 std::size_t SomeIpBinding::subscriber_count(someip::ServiceId service,
                                             someip::EventId event) const {
   return binding_.subscriber_count(service, event);

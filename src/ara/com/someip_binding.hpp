@@ -35,6 +35,8 @@ class SomeIpBinding final : public TransportBinding {
                std::vector<std::uint8_t> payload, someip::ReturnCode return_code) override;
   void notify(someip::ServiceId service, someip::EventId event,
               std::vector<std::uint8_t> payload) override;
+  void notify_loaned(someip::ServiceId service, someip::EventId event,
+                     common::LoanedBuffer payload) override;
   [[nodiscard]] std::size_t subscriber_count(someip::ServiceId service,
                                              someip::EventId event) const override;
 

@@ -30,8 +30,10 @@
 #include <string_view>
 #include <vector>
 
+#include "common/buffer_pool.hpp"
 #include "common/time.hpp"
 #include "net/endpoint.hpp"
+#include "obs/obs.hpp"
 #include "someip/message.hpp"
 #include "someip/types.hpp"
 
@@ -98,6 +100,22 @@ class TransportBinding {
   /// Sends a notification for (service, event) to all subscribers.
   virtual void notify(someip::ServiceId service, someip::EventId event,
                       std::vector<std::uint8_t> payload) = 0;
+
+  /// Sends a published loaned slab to all subscribers (the sensor data
+  /// plane). Backends that understand slabs move the handle — LocalBinding
+  /// fans the same storage out by refcount, SomeIpBinding frames header +
+  /// tag trailer around the bytes without serializing them. The default
+  /// materializes a vector (one counted copy) and falls back to notify(),
+  /// keeping other transports source-compatible.
+  virtual void notify_loaned(someip::ServiceId service, someip::EventId event,
+                             common::LoanedBuffer payload) {
+    if (!payload) {
+      return;
+    }
+    obs::count_always(obs::Counter::kDataplanePayloadCopies);
+    notify(service, event,
+           std::vector<std::uint8_t>(payload.data(), payload.data() + payload.size()));
+  }
 
   [[nodiscard]] virtual std::size_t subscriber_count(someip::ServiceId service,
                                                      someip::EventId event) const = 0;

@@ -4,13 +4,21 @@
 // handles" (paper §II.A). SkeletonEvent::Send serializes the sample and
 // notifies every subscriber; ProxyEvent delivers decoded samples to the
 // registered receive handler on the binding's receive path.
+// Events typed as common::LoanedBuffer ride the sensor data plane: Send
+// forwards the handle through notify_loaned (no serialization), and the
+// proxy hands subscribers the slab the producer published — over the local
+// transport the very same storage, over SOME/IP a slab rehydrated from the
+// wire bytes.
 #pragma once
 
+#include <cstring>
 #include <functional>
+#include <type_traits>
 #include <utility>
 
 #include "ara/proxy.hpp"
 #include "ara/skeleton.hpp"
+#include "common/buffer_pool.hpp"
 #include "someip/serialization.hpp"
 
 namespace dear::ara {
@@ -28,7 +36,11 @@ class SkeletonEvent {
     if (binding == nullptr) {
       return;
     }
-    binding->notify(skeleton_.instance().service, event_, someip::encode_payload(sample));
+    if constexpr (std::is_same_v<T, common::LoanedBuffer>) {
+      binding->notify_loaned(skeleton_.instance().service, event_, sample);
+    } else {
+      binding->notify(skeleton_.instance().service, event_, someip::encode_payload(sample));
+    }
   }
 
   [[nodiscard]] std::size_t subscriber_count() const {
@@ -88,8 +100,25 @@ class ProxyEvent {
         proxy_.server(), proxy_.instance().service, event_,
         [this](const someip::Message& message) {
           T sample{};
-          if (!someip::decode_payload(message.payload, sample)) {
-            return;  // malformed notification; drop
+          if constexpr (std::is_same_v<T, common::LoanedBuffer>) {
+            if (message.loaned) {
+              sample = message.loaned;  // local transport: retain the producer's slab
+            } else {
+              // Wire transport: the payload arrived as bytes; rehydrate a
+              // slab so the subscriber sees the same type either way. The
+              // copy is the wire's, not the data plane's — counted so the
+              // zero-copy gate can prove the local path never takes it.
+              sample = common::BufferPool::instance().loan(message.payload.size());
+              if (!message.payload.empty()) {
+                obs::count_always(obs::Counter::kDataplanePayloadCopies);
+                std::memcpy(sample.data(), message.payload.data(), message.payload.size());
+              }
+              sample.publish(message.payload.size());
+            }
+          } else {
+            if (!someip::decode_payload(message.payload, sample)) {
+              return;  // malformed notification; drop
+            }
           }
           if (!handler_) {
             return;

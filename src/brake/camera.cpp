@@ -1,9 +1,33 @@
 #include "brake/camera.hpp"
 
 #include "common/buffer_pool.hpp"
+#include "obs/obs.hpp"
 #include "someip/serialization.hpp"
 
 namespace dear::brake {
+
+namespace {
+
+/// Stamps the frame identity words into the slab head, little-endian (the
+/// deterministic part of the "pixel" content — consumers can verify which
+/// logical frame a slab carries without decoding the metadata packet).
+void stamp_frame(std::uint8_t* data, std::size_t capacity, const VideoFrame& frame,
+                 std::uint64_t payload_bytes) {
+  const std::uint64_t words[4] = {frame.frame_id, static_cast<std::uint64_t>(frame.capture_time),
+                                  frame.content_hash, payload_bytes};
+  std::size_t offset = 0;
+  for (const std::uint64_t word : words) {
+    if (offset + sizeof(word) > capacity) {
+      break;
+    }
+    for (std::size_t i = 0; i < sizeof(word); ++i) {
+      data[offset + i] = static_cast<std::uint8_t>(word >> (8 * i));
+    }
+    offset += sizeof(word);
+  }
+}
+
+}  // namespace
 
 bool decode_camera_packet(const std::vector<std::uint8_t>& payload, VideoFrame& frame) {
   someip::Reader reader(payload);
@@ -49,6 +73,13 @@ void Camera::capture(std::uint64_t /*activation*/, TimePoint release_time) {
       break;
   }
   last_frame_ = frame;
+  // Burst-capture data plane: the pixel slab must be secured before the
+  // metadata packet goes out — a ring-exhausted capture is dropped whole
+  // (no packet, no slab), so the drop shows up identically in the frame
+  // digest and in the payload accounting.
+  if (config_.payload_bytes > 0 && !capture_payload(frame)) {
+    return;
+  }
   // Pooled wire buffer: the network layer releases it back after delivery,
   // so the frame stream's acquire/release traffic balances — a sender that
   // pushed fresh vectors into the pool would force a cache flush per
@@ -57,6 +88,38 @@ void Camera::capture(std::uint64_t /*activation*/, TimePoint release_time) {
   someip_serialize(writer, frame);
   network_.send(self_, adapter_, writer.take());
   ++frames_sent_;
+}
+
+bool Camera::capture_payload(const VideoFrame& frame) {
+  if (ring_.empty()) {
+    ring_.resize(config_.ring_slabs > 0 ? config_.ring_slabs : 1);
+  }
+  // Dequeue: an empty slot loans lazily; a slot whose previous frame every
+  // consumer has released (we hold the only handle) requeues — reset + a
+  // fresh loan, which the shelf serves without allocating.
+  common::LoanedBuffer* slot = nullptr;
+  for (auto& candidate : ring_) {
+    if (!candidate || candidate.use_count() == 1) {
+      slot = &candidate;
+      break;
+    }
+  }
+  if (slot == nullptr) {
+    // Every ring slab is still held downstream: deterministic drop.
+    ++payload_drops_;
+    obs::count_always(obs::Counter::kCameraPayloadDrops);
+    return false;
+  }
+  slot->reset();
+  *slot = common::BufferPool::instance().loan(config_.payload_bytes);
+  stamp_frame(slot->data(), slot->capacity(), frame, config_.payload_bytes);
+  slot->publish(config_.payload_bytes);
+  ++payload_frames_;
+  obs::count_always(obs::Counter::kCameraPayloadFrames);
+  if (config_.frame_sink) {
+    config_.frame_sink(*slot, frame);
+  }
+  return true;
 }
 
 }  // namespace dear::brake

@@ -223,12 +223,24 @@ PipelineResult run_dear_pipeline(const DearScenarioConfig& config) {
   // named sub-stream, so hoisting it here leaves every other draw — and
   // with it the fault-free digests — untouched.
   auto camera_cfg_rng = camera_rng.stream("camera");
+  // Newest published pixel slab (sensor data plane). Declared before the
+  // camera so the handle is destroyed after it; holding only the latest
+  // frame keeps the ring from exhausting, so engaging the data plane
+  // changes no frame stream and no digest.
+  common::LoanedBuffer latest_frame_pixels;
   Camera::Config camera_config;
   camera_config.period = config.period;
   camera_config.phase = camera_cfg_rng.uniform_duration(0, config.period - 1);
   camera_config.jitter = sim::ExecTimeModel::uniform(0, config.camera_jitter);
   camera_config.frame_limit = config.frames;
   camera_config.faults = config.sensor_faults;
+  camera_config.payload_bytes = config.camera_payload_bytes;
+  if (config.camera_payload_bytes > 0) {
+    camera_config.frame_sink = [&latest_frame_pixels](const common::LoanedBuffer& slab,
+                                                      const VideoFrame&) {
+      latest_frame_pixels = slab;
+    };
+  }
 
   // The camera starts once the service wiring has settled (see below), so
   // grid points before `settle` are missed activations. Replicating
@@ -512,6 +524,8 @@ PipelineResult run_dear_pipeline(const DearScenarioConfig& config) {
 
   // --- collect results -------------------------------------------------------------------
   result.frames_sent = camera.frames_sent();
+  result.camera_payload_frames = camera.payload_frames();
+  result.camera_payload_drops = camera.payload_drops();
   result.sensor_dropped = camera.fault_injector().dropped_samples();
   result.sensor_stuck = camera.fault_injector().stuck_samples();
   result.sensor_noisy = camera.fault_injector().noisy_samples();

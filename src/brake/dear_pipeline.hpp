@@ -91,6 +91,10 @@ struct DearScenarioConfig {
   bool net_in_order{false};
   /// Camera sensor faults (input-side: decided from camera_seed).
   sim::SensorFaultModel sensor_faults{};
+  /// Sensor data plane: when nonzero the camera publishes a loaned pixel
+  /// slab of this many bytes per sent frame (zero-copy over the in-process
+  /// ring; the metadata stream and its digests are unchanged).
+  std::size_t camera_payload_bytes{0};
 
   // --- deterministic fault tolerance (src/ft/) -------------------------------
   /// Service faults: the computer-vision node is the victim (crash/restart

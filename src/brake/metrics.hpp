@@ -83,6 +83,10 @@ struct PipelineResult {
   std::uint64_t sensor_stuck{0};
   std::uint64_t sensor_noisy{0};
 
+  // Sensor data plane (zero unless camera_payload_bytes is configured).
+  std::uint64_t camera_payload_frames{0};
+  std::uint64_t camera_payload_drops{0};
+
   // Fault-tolerance accounting (zero when no plan is installed).
   std::uint64_t ft_crash_drops{0};
   std::uint64_t ft_call_faults{0};

@@ -286,6 +286,16 @@ PipelineResult run_nondet_pipeline(const ScenarioConfig& config) {
   camera_config.jitter = sim::ExecTimeModel::uniform(0, config.camera_jitter);
   camera_config.frame_limit = config.frames;
   camera_config.faults = config.sensor_faults;
+  camera_config.payload_bytes = config.camera_payload_bytes;
+  // Newest published slab only (see dear_pipeline): the ring never
+  // exhausts, so the frame stream is unchanged by the data plane.
+  common::LoanedBuffer latest_frame_pixels;
+  if (config.camera_payload_bytes > 0) {
+    camera_config.frame_sink = [&latest_frame_pixels](const common::LoanedBuffer& slab,
+                                                      const VideoFrame&) {
+      latest_frame_pixels = slab;
+    };
+  }
   Camera camera(s.kernel, s.clock1, *s.network, kCameraEp, kAdapterRawEp, camera_config,
                 s.camera_rng);
 
@@ -307,6 +317,8 @@ PipelineResult run_nondet_pipeline(const ScenarioConfig& config) {
   eba_swc.stop();
 
   result.frames_sent = camera.frames_sent();
+  result.camera_payload_frames = camera.payload_frames();
+  result.camera_payload_drops = camera.payload_drops();
   result.sensor_dropped = camera.fault_injector().dropped_samples();
   result.sensor_stuck = camera.fault_injector().stuck_samples();
   result.sensor_noisy = camera.fault_injector().noisy_samples();

@@ -70,6 +70,9 @@ struct ScenarioConfig {
   /// Camera sensor faults. Decided from the camera seed, i.e. part of the
   /// scenario's input stream, not of the platform.
   sim::SensorFaultModel sensor_faults{};
+  /// Sensor data plane: per-frame loaned pixel slab size (0 = metadata
+  /// only). Same knob as the DEAR pipeline so campaigns sweep both.
+  std::size_t camera_payload_bytes{0};
 };
 
 /// Runs the scenario to completion and returns the instrumented outcome.

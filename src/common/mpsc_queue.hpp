@@ -12,11 +12,16 @@
 // already completed. Callers that drain after their own push (as the local
 // transport does) never strand an element: the producer whose link closes
 // the chain drains everything reachable through it.
+// Nodes come from the SmallBlockPool: a steady-state message stream pushes
+// and pops with zero system-allocator traffic (the data-plane alloc-count
+// tests assert this through the local transport).
 #pragma once
 
 #include <atomic>
 #include <optional>
 #include <utility>
+
+#include "common/pool_allocator.hpp"
 
 namespace dear::common {
 
@@ -91,6 +96,16 @@ class MpscQueue {
   struct Node {
     Node() = default;
     explicit Node(T v) : value(std::move(v)) {}
+
+    // Pool-backed when the node fits a small-block class; stub_ is a plain
+    // member and never passes through these.
+    static void* operator new(std::size_t bytes) {
+      return SmallBlockPool::instance().allocate(bytes);
+    }
+    static void operator delete(void* pointer, std::size_t bytes) noexcept {
+      SmallBlockPool::instance().deallocate(pointer, bytes);
+    }
+
     std::atomic<Node*> next{nullptr};
     T value{};
   };

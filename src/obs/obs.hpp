@@ -95,6 +95,13 @@ enum class Counter : std::uint16_t {
   kFtRetries,
   kFtDegradedTicks,
   kFtFailovers,
+  kPoolSlabLoans,
+  kPoolSlabShelfHits,
+  kPoolSlabAllocs,
+  kPoolSlabPublishes,
+  kDataplanePayloadCopies,
+  kCameraPayloadFrames,
+  kCameraPayloadDrops,
   kCount_,
 };
 inline constexpr std::size_t kCounterCount = static_cast<std::size_t>(Counter::kCount_);
@@ -149,6 +156,17 @@ inline constexpr CounterDef kCounterDefs[kCounterCount] = {
     {"ft.retries", true},
     {"ft.degraded_ticks", true},
     {"ft.failovers", true},
+    // Loaned-slab data plane. Shelf traffic depends on thread timing
+    // (whose release reshelves first), so the pool counters are physical;
+    // the camera's frame/drop accounting is part of the deterministic
+    // scenario outcome.
+    {"pool.slab.loans", false},
+    {"pool.slab.shelf_hits", false},
+    {"pool.slab.allocs", false},
+    {"pool.slab.publishes", false},
+    {"dataplane.payload_copies", false},
+    {"camera.payload_frames", true},
+    {"camera.payload_drops", true},
 };
 
 /// Gauges merge by max — peak observations (per thread, then across

@@ -60,6 +60,13 @@ std::uint64_t ScenarioSpec::digest_group() const noexcept {
   mix(bits(sensor_faults.stuck_probability));
   mix(bits(sensor_faults.noise_probability));
   mix(bits(deadline_scale));
+  // The data plane enters the key only when engaged (same rule as the
+  // service-fault block below): slab-ring exhaustion drops frames, so the
+  // payload size may legitimately change the stream, while the idle
+  // default leaves every pre-existing group key bit-identical.
+  if (camera_payload_bytes != 0) {
+    mix(camera_payload_bytes);
+  }
   // Service faults and retry budgets legitimately change observable
   // behavior, so they split the groups — but only when actually engaged,
   // which keeps every pre-existing group key bit-identical.
@@ -105,6 +112,10 @@ std::string ScenarioSpec::describe() const {
   if (retry.enabled()) {
     std::snprintf(buffer, sizeof(buffer), "/rt%u-b%" PRId64 "-t%" PRId64, retry.max_attempts,
                   retry.backoff_base / kMillisecond, retry.timeout / kMillisecond);
+    out += buffer;
+  }
+  if (camera_payload_bytes != 0) {
+    std::snprintf(buffer, sizeof(buffer), "/px%" PRIu64, camera_payload_bytes);
     out += buffer;
   }
   std::snprintf(buffer, sizeof(buffer), "/i%" PRIu64, index);

@@ -92,6 +92,12 @@ struct ScenarioSpec {
   /// exact same fault decisions.
   std::uint64_t fault_seed{1};
 
+  /// Sensor data plane: per-frame loaned pixel slab size in bytes (0 =
+  /// metadata only). Splits digest groups only when engaged — slab drops
+  /// on ring exhaustion remove frames from the stream — so the idle
+  /// default keeps every pre-existing group key bit-identical.
+  std::uint64_t camera_payload_bytes{0};
+
   // --- fluent builder -------------------------------------------------------
   ScenarioSpec& with_workload(Workload value) { workload = value; return *this; }
   ScenarioSpec& with_transport(Transport value) { transport = value; return *this; }
@@ -129,6 +135,10 @@ struct ScenarioSpec {
   }
   ScenarioSpec& with_fault_seed(std::uint64_t value) {
     fault_seed = value;
+    return *this;
+  }
+  ScenarioSpec& with_camera_payload_bytes(std::uint64_t value) {
+    camera_payload_bytes = value;
     return *this;
   }
 

@@ -285,9 +285,12 @@ std::string spec_to_json(const ScenarioSpec& spec) {
   out += buffer;
   std::snprintf(buffer, sizeof(buffer),
                 "  \"retry\": {\"max_attempts\": %u, \"backoff_base_ns\": %" PRId64
-                ", \"timeout_ns\": %" PRId64 "},\n  \"fault_seed\": %" PRIu64 "\n",
+                ", \"timeout_ns\": %" PRId64 "},\n  \"fault_seed\": %" PRIu64 ",\n",
                 spec.retry.max_attempts, static_cast<std::int64_t>(spec.retry.backoff_base),
                 static_cast<std::int64_t>(spec.retry.timeout), spec.fault_seed);
+  out += buffer;
+  std::snprintf(buffer, sizeof(buffer), "  \"camera_payload_bytes\": %" PRIu64 "\n",
+                spec.camera_payload_bytes);
   out += buffer;
   out += "}\n";
   return out;
@@ -367,6 +370,8 @@ std::optional<ScenarioSpec> spec_from_json(std::string_view text, std::string* e
         parse_retry(parser, spec.retry);
       } else if (key == "fault_seed") {
         spec.fault_seed = static_cast<std::uint64_t>(parser.parse_number());
+      } else if (key == "camera_payload_bytes") {
+        spec.camera_payload_bytes = static_cast<std::uint64_t>(parser.parse_number());
       } else {
         parser.set_context({});
         parser.fail("unknown key '" + key + "'");

@@ -65,6 +65,7 @@ namespace {
 brake::DearScenarioConfig to_dear_config(const ScenarioSpec& spec) {
   brake::DearScenarioConfig config;
   config.frames = spec.frames;
+  config.camera_payload_bytes = static_cast<std::size_t>(spec.camera_payload_bytes);
   config.platform_seed = spec.platform_seed;
   config.camera_seed = spec.sensor_seed;
   config.camera_drift_ppm = spec.clock_drift_ppm;
@@ -95,6 +96,7 @@ brake::ScenarioConfig to_nondet_config(const ScenarioSpec& spec) {
   config.net_duplicate_probability = spec.net_duplicate_probability;
   config.net_in_order = spec.net_in_order;
   config.sensor_faults = spec.sensor_faults;
+  config.camera_payload_bytes = static_cast<std::size_t>(spec.camera_payload_bytes);
   return config;
 }
 

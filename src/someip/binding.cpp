@@ -215,6 +215,39 @@ void Binding::notify(ServiceId service, EventId event, std::vector<std::uint8_t>
   }
 }
 
+void Binding::notify_loaned(ServiceId service, EventId event, common::LoanedBuffer payload) {
+  if (!payload) {
+    return;
+  }
+  std::vector<net::Endpoint> subscribers;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = subscribers_.find({service, event});
+    if (it != subscribers_.end()) {
+      subscribers = it->second;
+    }
+    ++notifications_sent_;
+  }
+  const std::optional<WireTag> tag = send_bypass_.collect();
+  for (std::size_t i = 0; i < subscribers.size(); ++i) {
+    if (tag.has_value()) {
+      send_bypass_.deposit(*tag);
+    }
+    Message message;
+    message.service = service;
+    message.method = event;
+    message.client = client_id_;
+    message.type = MessageType::kNotification;
+    // Handle retain, not byte copy: encode_into frames the shared slab.
+    if (i + 1 == subscribers.size()) {
+      message.loaned = std::move(payload);
+    } else {
+      message.loaned = payload;
+    }
+    send_message(subscribers[i], std::move(message));
+  }
+}
+
 std::size_t Binding::subscriber_count(ServiceId service, EventId event) const {
   const std::lock_guard<std::mutex> lock(mutex_);
   const auto it = subscribers_.find({service, event});

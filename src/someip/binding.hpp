@@ -87,6 +87,12 @@ class Binding {
   /// Sends a notification for (service, event) to all subscribers.
   void notify(ServiceId service, EventId event, std::vector<std::uint8_t> payload);
 
+  /// Loaned-slab notification (sensor data plane): the header + DEAR tag
+  /// trailer are framed around the slab bytes without serializing them —
+  /// encode performs one bulk copy onto the wire per subscriber, never a
+  /// field-by-field pass over the payload.
+  void notify_loaned(ServiceId service, EventId event, common::LoanedBuffer payload);
+
   [[nodiscard]] std::size_t subscriber_count(ServiceId service, EventId event) const;
 
   // --- DEAR tag extension ----------------------------------------------------

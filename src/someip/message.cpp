@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "obs/obs.hpp"
+
 namespace dear::someip {
 
 void Message::encode_into(std::vector<std::uint8_t>& out) const {
@@ -11,14 +13,22 @@ void Message::encode_into(std::vector<std::uint8_t>& out) const {
   writer.write_u16(method);
   const std::size_t trailer = tag.has_value() ? kTagTrailerSize : 0;
   // Length covers request id (4) + version/type fields (4) + payload + trailer.
-  writer.write_u32(static_cast<std::uint32_t>(8 + payload.size() + trailer));
+  writer.write_u32(static_cast<std::uint32_t>(8 + payload_size() + trailer));
   writer.write_u16(client);
   writer.write_u16(session);
   writer.write_u8(tag.has_value() ? kTaggedProtocolVersion : kProtocolVersion);
   writer.write_u8(interface_version);
   writer.write_u8(static_cast<std::uint8_t>(type));
   writer.write_u8(static_cast<std::uint8_t>(return_code));
-  writer.write_bytes(payload.data(), payload.size());
+  if (loaned) {
+    // The slab bytes are framed, never serialized: one bulk copy onto the
+    // wire, counted so the zero-copy gate can prove the local path does
+    // not take it.
+    obs::count_always(obs::Counter::kDataplanePayloadCopies);
+    writer.write_bytes(loaned.data(), loaned.size());
+  } else {
+    writer.write_bytes(payload.data(), payload.size());
+  }
   if (tag.has_value()) {
     writer.write_i64(tag->time);
     writer.write_u32(tag->microstep);
@@ -33,6 +43,7 @@ std::vector<std::uint8_t> Message::encode() const {
 }
 
 bool Message::decode_into(const std::uint8_t* bytes, std::size_t size, Message& out) {
+  out.loaned.reset();  // scratch reuse: decoded payloads arrive in the vector
   Reader reader(bytes, size);
   out.service = reader.read_u16();
   out.method = reader.read_u16();

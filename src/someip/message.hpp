@@ -18,6 +18,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/buffer_pool.hpp"
 #include "someip/serialization.hpp"
 #include "someip/types.hpp"
 
@@ -43,12 +44,22 @@ struct Message {
   MessageType type{MessageType::kRequest};
   ReturnCode return_code{ReturnCode::kOk};
   std::vector<std::uint8_t> payload;
+  /// Loaned-slab payload (sensor data plane). When set it replaces
+  /// `payload`: encode frames header + trailer around the slab bytes
+  /// without serializing them, and the local backend hands the handle
+  /// itself to subscribers — payload never copied at all.
+  common::LoanedBuffer loaned;
   /// Present on messages sent through the tagged (DEAR-extended) binding.
   std::optional<WireTag> tag;
 
+  /// Bytes of application payload (loaned slab wins over the vector).
+  [[nodiscard]] std::size_t payload_size() const noexcept {
+    return loaned ? loaned.size() : payload.size();
+  }
+
   /// Total bytes encode() will produce.
   [[nodiscard]] std::size_t encoded_size() const noexcept {
-    return kHeaderSize + payload.size() + (tag.has_value() ? kTagTrailerSize : 0);
+    return kHeaderSize + payload_size() + (tag.has_value() ? kTagTrailerSize : 0);
   }
 
   /// Serializes header + payload (+ tag trailer when tag is set).

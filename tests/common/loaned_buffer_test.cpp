@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/buffer_pool.hpp"
+
+namespace dear::common {
+namespace {
+
+// The slab classes and retention budgets are load-bearing API: scenario
+// configs and the data-plane benchmarks size payloads against them, and
+// the byte budgets bound process memory for the pool's whole (leaked)
+// lifetime. Pin them so a change is a conscious decision.
+static_assert(BufferPool::kSlabClassCount == 4);
+static_assert(BufferPool::kSlabClassBytes[0] == 64 * 1024);
+static_assert(BufferPool::kSlabClassBytes[1] == 256 * 1024);
+static_assert(BufferPool::kSlabClassBytes[2] == 1024 * 1024);
+static_assert(BufferPool::kSlabClassBytes[3] == 4 * 1024 * 1024);
+static_assert(BufferPool::kMaxRetainedSlabBytes == 32 * 1024 * 1024);
+static_assert(BufferPool::kMaxRetainedCapacity == 16 * 1024);
+static_assert(BufferPool::kMaxRetainedBytes == 16 * 1024 * 1024);
+
+TEST(LoanedBuffer, DefaultIsEmpty) {
+  LoanedBuffer buffer;
+  EXPECT_FALSE(buffer);
+  EXPECT_EQ(buffer.size(), 0u);
+  EXPECT_EQ(buffer.capacity(), 0u);
+  EXPECT_EQ(buffer.use_count(), 0u);
+  EXPECT_FALSE(buffer.published());
+  buffer.reset();  // resetting an empty handle is a no-op
+}
+
+TEST(LoanedBuffer, LoanRoundsUpToSlabClass) {
+  LoanedBuffer buffer = BufferPool::instance().loan(1000);
+  ASSERT_TRUE(buffer);
+  EXPECT_EQ(buffer.capacity(), 64u * 1024u);
+  EXPECT_EQ(buffer.size(), 0u);  // no payload until publish()
+  EXPECT_EQ(buffer.use_count(), 1u);
+  LoanedBuffer large = BufferPool::instance().loan(64 * 1024 + 1);
+  EXPECT_EQ(large.capacity(), 256u * 1024u);
+}
+
+TEST(LoanedBuffer, PublishFreezesSizeAndClampsToCapacity) {
+  LoanedBuffer buffer = BufferPool::instance().loan(4096);
+  buffer.data()[0] = 0x5A;
+  buffer.publish(4096);
+  EXPECT_TRUE(buffer.published());
+  EXPECT_EQ(buffer.size(), 4096u);
+  EXPECT_EQ(buffer.data()[0], 0x5A);
+
+  LoanedBuffer clamped = BufferPool::instance().loan(64 * 1024);
+  clamped.publish(10 * 1024 * 1024);  // beyond capacity: clamped, not UB
+  EXPECT_EQ(clamped.size(), clamped.capacity());
+}
+
+TEST(LoanedBuffer, CopyRetainsMoveTransfers) {
+  LoanedBuffer producer = BufferPool::instance().loan(1024);
+  producer.publish(16);
+
+  LoanedBuffer copy = producer;  // copy = retain: same slab, +1 ref
+  EXPECT_EQ(producer.use_count(), 2u);
+  EXPECT_EQ(copy.use_count(), 2u);
+  EXPECT_EQ(copy.data(), producer.data());
+  EXPECT_EQ(copy.size(), 16u);
+
+  LoanedBuffer moved = std::move(copy);  // move = transfer: no ref change
+  EXPECT_EQ(moved.use_count(), 2u);
+  EXPECT_FALSE(copy);  // NOLINT(bugprone-use-after-move): moved-from is empty
+
+  moved.reset();
+  EXPECT_EQ(producer.use_count(), 1u);
+}
+
+TEST(LoanedBuffer, CopyAssignOverSelfAndOverExisting) {
+  LoanedBuffer a = BufferPool::instance().loan(1024);
+  LoanedBuffer b = BufferPool::instance().loan(1024);
+  const std::uint8_t* b_data = b.data();
+  b = a;  // releases b's slab, retains a's
+  EXPECT_EQ(b.data(), a.data());
+  EXPECT_NE(b.data(), b_data);
+  EXPECT_EQ(a.use_count(), 2u);
+  a = a;  // self-assignment keeps the slab alive
+  EXPECT_EQ(a.use_count(), 2u);
+}
+
+TEST(LoanedBuffer, PublishThenLateProducerRelease) {
+  // The producer may drop its handle immediately after handing the frame
+  // off; the consumer's retain keeps the published bytes alive.
+  LoanedBuffer consumer;
+  {
+    LoanedBuffer producer = BufferPool::instance().loan(2048);
+    producer.data()[7] = 0x42;
+    producer.publish(8);
+    consumer = producer;
+    producer.reset();  // late release: before any consumer read
+  }
+  ASSERT_TRUE(consumer);
+  EXPECT_EQ(consumer.use_count(), 1u);
+  EXPECT_TRUE(consumer.published());
+  EXPECT_EQ(consumer.size(), 8u);
+  EXPECT_EQ(consumer.data()[7], 0x42);
+}
+
+TEST(LoanedBuffer, MultiSubscriberFanOutSharesOneSlab) {
+  LoanedBuffer producer = BufferPool::instance().loan(4096);
+  producer.data()[0] = 0x77;
+  producer.publish(64);
+
+  std::vector<LoanedBuffer> subscribers;
+  for (int i = 0; i < 5; ++i) {
+    subscribers.push_back(producer);
+  }
+  EXPECT_EQ(producer.use_count(), 6u);
+  for (const LoanedBuffer& subscriber : subscribers) {
+    EXPECT_EQ(subscriber.data(), producer.data());  // zero-copy fan-out
+    EXPECT_EQ(subscriber.data()[0], 0x77);
+  }
+  subscribers.clear();
+  EXPECT_EQ(producer.use_count(), 1u);
+}
+
+TEST(LoanedBuffer, LastReleaseShelvesAndReloanReusesStorage) {
+  LoanedBuffer first = BufferPool::instance().loan(256 * 1024);
+  const std::uint8_t* storage = first.data();
+  const std::size_t retained_before = BufferPool::instance().retained_slab_bytes();
+  first.reset();  // last handle: slab goes back onto its shelf (LIFO)
+  EXPECT_EQ(BufferPool::instance().retained_slab_bytes(), retained_before + 256u * 1024u);
+
+  LoanedBuffer second = BufferPool::instance().loan(256 * 1024);
+  EXPECT_EQ(second.data(), storage);  // shelf hit: same storage, no allocation
+  EXPECT_EQ(second.size(), 0u);       // handle state reset on re-loan
+  EXPECT_FALSE(second.published());
+  EXPECT_EQ(second.use_count(), 1u);
+  EXPECT_EQ(BufferPool::instance().retained_slab_bytes(), retained_before);
+}
+
+TEST(LoanedBuffer, OversizeLoanIsUnpooled) {
+  const std::size_t bytes = 5 * 1024 * 1024;  // beyond the largest class
+  LoanedBuffer buffer = BufferPool::instance().loan(bytes);
+  ASSERT_TRUE(buffer);
+  EXPECT_EQ(buffer.capacity(), bytes);  // exact, not rounded to a class
+  const std::size_t retained_before = BufferPool::instance().retained_slab_bytes();
+  buffer.reset();
+  // Never shelved: an oversize one-off must not pin pool memory.
+  EXPECT_EQ(BufferPool::instance().retained_slab_bytes(), retained_before);
+}
+
+TEST(BufferPoolBudget, SlabShelvesStopRetainingAtByteBudget) {
+  // Hold more 4 MiB slabs live than the 32 MiB budget can shelve, then
+  // release them all: retention must stop at the budget, the overflow
+  // must be freed (deterministic drop, not unbounded growth).
+  std::vector<LoanedBuffer> live;
+  for (int i = 0; i < 12; ++i) {  // 48 MiB live
+    live.push_back(BufferPool::instance().loan(4 * 1024 * 1024));
+  }
+  live.clear();
+  EXPECT_LE(BufferPool::instance().retained_slab_bytes(),
+            BufferPool::kMaxRetainedSlabBytes);
+}
+
+TEST(BufferPoolBudget, VectorPlaneRejectsOverCapacityBuffers) {
+  // The small-buffer plane's per-buffer ceiling: a one-off giant vector
+  // must not be retained (large payloads belong on the slab plane).
+  const std::size_t retained_before = BufferPool::instance().retained_bytes();
+  std::vector<std::uint8_t> giant;
+  giant.reserve(BufferPool::kMaxRetainedCapacity + 1);
+  BufferPool::instance().release(std::move(giant));
+  EXPECT_EQ(BufferPool::instance().retained_bytes(), retained_before);
+}
+
+TEST(LoanedBuffer, ThreadedRetainReleaseConverges) {
+  // TSan target: concurrent retain/read/release traffic on one published
+  // slab. The refcount is the only shared-mutable state after publish.
+  LoanedBuffer producer = BufferPool::instance().loan(64 * 1024);
+  producer.data()[0] = 0x3C;
+  producer.publish(1024);
+
+  constexpr int kThreads = 4;
+  constexpr int kIterations = 2000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&producer] {
+      for (int i = 0; i < kIterations; ++i) {
+        LoanedBuffer reader = producer;  // retain
+        ASSERT_EQ(reader.data()[0], 0x3C);
+        ASSERT_EQ(reader.size(), 1024u);
+      }  // release
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(producer.use_count(), 1u);
+}
+
+}  // namespace
+}  // namespace dear::common

@@ -39,6 +39,7 @@ TEST(SpecJson, RoundTripsEveryKnob) {
   spec.retry.backoff_base = 6_ms;
   spec.retry.timeout = 5_ms;
   spec.fault_seed = 99;
+  spec.camera_payload_bytes = 1024 * 1024;
 
   std::string error;
   const auto parsed = spec_from_json(spec_to_json(spec), &error);
@@ -64,6 +65,22 @@ TEST(SpecJson, RoundTripsEveryKnob) {
   EXPECT_EQ(parsed->service_faults, spec.service_faults);
   EXPECT_EQ(parsed->retry, spec.retry);
   EXPECT_EQ(parsed->fault_seed, spec.fault_seed);
+  EXPECT_EQ(parsed->camera_payload_bytes, spec.camera_payload_bytes);
+}
+
+TEST(SpecJson, CameraPayloadBytesParsesAndRejectsWrongTypes) {
+  const auto parsed = spec_from_json(R"({"camera_payload_bytes": 65536})");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->camera_payload_bytes, 65536u);
+  EXPECT_EQ(ScenarioSpec{}.camera_payload_bytes, 0u);  // idle default
+
+  std::string error;
+  EXPECT_FALSE(spec_from_json(R"({"camera_payload_bytes": "lots"})", &error).has_value());
+  EXPECT_NE(error.find("key 'camera_payload_bytes'"), std::string::npos) << error;
+  EXPECT_NE(error.find("expected number"), std::string::npos) << error;
+  // Misspelled key: rejected like any other unknown key, named in the error.
+  EXPECT_FALSE(spec_from_json(R"({"camera_payload_byte": 1})", &error).has_value());
+  EXPECT_NE(error.find("camera_payload_byte"), std::string::npos) << error;
 }
 
 TEST(SpecJson, OmittedFieldsKeepDefaults) {

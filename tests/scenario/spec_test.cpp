@@ -140,6 +140,37 @@ TEST(ScenarioSpec, DigestGroupSplitsOnEngagedFaultToleranceKnobs) {
   EXPECT_NE(crash.digest_group(), reseeded_crash.digest_group());
 }
 
+TEST(ScenarioSpec, CameraPayloadSplitsDigestGroupOnlyWhenEngaged) {
+  // The burst-capture data plane changes what the pipeline digests (payload
+  // frames enter the digest), so a nonzero payload size is a new digest
+  // group — but the idle default must keep every pre-data-plane digest
+  // anchor bit-identical.
+  const ScenarioSpec base;
+  ASSERT_EQ(base.camera_payload_bytes, 0u);
+
+  ScenarioSpec idle = base;
+  idle.camera_payload_bytes = 0;
+  EXPECT_EQ(base.digest_group(), idle.digest_group());
+
+  ScenarioSpec engaged = base;
+  engaged.camera_payload_bytes = 65536;
+  EXPECT_NE(base.digest_group(), engaged.digest_group());
+
+  ScenarioSpec larger = base;
+  larger.camera_payload_bytes = 1024 * 1024;
+  EXPECT_NE(engaged.digest_group(), larger.digest_group());
+
+  // Deterministic either way: slab exhaustion drops are replayable.
+  EXPECT_TRUE(engaged.expect_deterministic());
+}
+
+TEST(ScenarioSpec, DescribeNamesTheCameraPayloadOnlyWhenEngaged) {
+  ScenarioSpec spec;
+  EXPECT_EQ(spec.describe().find("px"), std::string::npos) << spec.describe();
+  spec.camera_payload_bytes = 65536;
+  EXPECT_NE(spec.describe().find("px65536"), std::string::npos) << spec.describe();
+}
+
 TEST(ScenarioSpec, DescribeNamesTheFaultToleranceKnobs) {
   ScenarioSpec spec;
   spec.service_faults.crash_at = 2000_ms;
